@@ -1,0 +1,49 @@
+// Ablation (paper §8.4): VectorWise's micro-adaptive ordered aggregation —
+// the optimization that makes the production vectorized system faster than
+// plain Tectorwise on TPC-H Q1 (Table 2). Per vector, tuples are
+// partitioned into per-group selection vectors and aggregated with partial
+// sums in registers, replacing per-tuple hash-table updates with one group
+// update per vector.
+
+#include <cstdio>
+
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+
+int main() {
+  using namespace vcq;
+  const double sf = benchutil::EnvSf(1.0);
+  const int reps = benchutil::EnvReps(3);
+  benchutil::PrintHeader(
+      "Ablation: adaptive ordered aggregation on Q1 (paper Sec. 8.4)",
+      "VectorWise beats Tectorwise on Q1 via adaptive pre-partitioning "
+      "(Table 2: 71 vs 85 ms)",
+      "SF=" + benchutil::Fmt(sf, 2) + ", 1 thread");
+
+  runtime::Database db = datagen::GenerateTpch(sf);
+  runtime::QueryOptions opt;
+  opt.threads = 1;
+
+  const auto typer = benchutil::MeasureQuery(db, Engine::kTyper, Query::kQ1,
+                                             opt, reps);
+  const auto tw =
+      benchutil::MeasureQuery(db, Engine::kTectorwise, Query::kQ1, opt, reps);
+  opt.adaptive = true;
+  const auto tw_adaptive =
+      benchutil::MeasureQuery(db, Engine::kTectorwise, Query::kQ1, opt, reps);
+
+  benchutil::Table table({"variant", "ms", "vs plain TW"});
+  table.AddRow({"Typer (compiled)", benchutil::Fmt(typer.ms, 1),
+                benchutil::Fmt(tw.ms / typer.ms, 2) + "x"});
+  table.AddRow({"Tectorwise (hash agg)", benchutil::Fmt(tw.ms, 1), "1.00x"});
+  table.AddRow({"Tectorwise (adaptive ordered agg)",
+                benchutil::Fmt(tw_adaptive.ms, 1),
+                benchutil::Fmt(tw.ms / tw_adaptive.ms, 2) + "x"});
+  table.Print();
+  std::printf(
+      "\npaper shape: the adaptive variant removes most per-tuple "
+      "hash-aggregation work and closes much of the Q1 gap to the "
+      "compiled engine — the effect behind VectorWise's Table 2 Q1 "
+      "number.\n");
+  return 0;
+}

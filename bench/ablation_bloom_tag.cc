@@ -1,0 +1,101 @@
+// Ablation (paper §3.2): the hash-table directory embeds a 16-bit
+// Bloom-filter tag in each bucket pointer, so "a probe miss usually does
+// not have to traverse the collision list" — the design both engines share.
+// This bench isolates that choice: tagged vs untagged probing across hit
+// rates and table sizes.
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "benchutil/bench.h"
+#include "runtime/hash.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::Hashmap;
+
+struct Entry {
+  Hashmap::EntryHeader header;
+  int64_t key;
+};
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <bool kTagged>
+int64_t Probe(const Hashmap& ht, const std::vector<int64_t>& keys) {
+  int64_t found = 0;
+  for (const int64_t key : keys) {
+    const uint64_t h = runtime::HashMurmur2(static_cast<uint64_t>(key));
+    auto* e = kTagged ? ht.FindChainTagged(h) : ht.FindChain(h);
+    for (; e != nullptr; e = e->next) {
+      const auto* te = reinterpret_cast<const Entry*>(e);
+      if (e->hash == h && te->key == key) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+int main() {
+  const size_t probes = benchutil::Quick() ? 200000 : 4000000;
+  benchutil::PrintHeader(
+      "Ablation: Bloom-tagged directory pointers (paper Sec. 3.2)",
+      "16 pointer bits as a tag filter: probe misses skip the chain",
+      std::to_string(probes) + " probes per cell; selective joins are "
+                               "where the tag pays off");
+
+  benchutil::Table table({"entries", "hit rate", "tagged ns", "untagged ns",
+                          "speedup"});
+  std::mt19937_64 rng(41);
+  for (const size_t entries : {size_t{1} << 14, size_t{1} << 18,
+                               size_t{1} << 22}) {
+    Hashmap ht;
+    runtime::MemPool pool;
+    ht.SetSize(entries);
+    for (size_t k = 0; k < entries; ++k) {
+      auto* e = pool.Create<Entry>();
+      e->header.next = nullptr;
+      e->header.hash = runtime::HashMurmur2(k);
+      e->key = static_cast<int64_t>(k);
+      ht.InsertUnlocked(&e->header);
+    }
+    for (const int hit_pct : {1, 10, 50, 100}) {
+      std::vector<int64_t> keys(probes);
+      for (auto& k : keys) {
+        const bool hit = static_cast<int>(rng() % 100) < hit_pct;
+        k = hit ? static_cast<int64_t>(rng() % entries)
+                : static_cast<int64_t>(entries + rng() % (entries * 8));
+      }
+      double t0 = NowNs();
+      volatile int64_t f1 = Probe<true>(ht, keys);
+      const double tagged = (NowNs() - t0) / probes;
+      t0 = NowNs();
+      volatile int64_t f2 = Probe<false>(ht, keys);
+      const double untagged = (NowNs() - t0) / probes;
+      (void)f1;
+      (void)f2;
+      table.AddRow({std::to_string(entries), std::to_string(hit_pct) + "%",
+                    benchutil::Fmt(tagged, 1), benchutil::Fmt(untagged, 1),
+                    benchutil::Fmt(untagged / tagged, 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the tag helps most at low hit rates (selective "
+      "joins: most probes filtered without touching the chain) and is "
+      "neutral at 100%% hits.\n");
+  return 0;
+}

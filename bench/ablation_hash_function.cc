@@ -1,0 +1,144 @@
+// Ablation (paper §4.1): hash-function sensitivity of the two engines.
+// "Murmur2 requires twice as many instructions as CRC hashing, but has
+// higher throughput and is therefore slightly faster in Tectorwise, which
+// separates hash computation from probing. For Typer, in contrast, the CRC
+// hash function improves performance up to 40%" — because lower latency
+// lengthens the speculation window of the fused loop.
+//
+// Reproduced at the mechanism level: probe a large (cache-missing) table
+// (a) Typer-style — hash and probe fused in one loop, the hash sits on the
+//     load's critical path;
+// (b) Tectorwise-style — a hash primitive fills a vector, then a probe
+//     primitive consumes it (hash latency off the critical path).
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "benchutil/bench.h"
+#include "runtime/hash.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "tectorwise/core.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::Hashmap;
+using tectorwise::pos_t;
+
+struct Entry {
+  Hashmap::EntryHeader header;
+  int64_t key;
+};
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+using HashFn = uint64_t (*)(uint64_t);
+
+uint64_t Murmur(uint64_t k) { return runtime::HashMurmur2(k); }
+uint64_t Crc(uint64_t k) { return runtime::HashCrc32(k); }
+
+// (a) fused: hash -> bucket load -> chain walk, all in one iteration.
+template <HashFn kHash>
+int64_t ProbeFused(const Hashmap& ht, const std::vector<int64_t>& keys) {
+  int64_t found = 0;
+  for (const int64_t key : keys) {
+    const uint64_t h = kHash(static_cast<uint64_t>(key));
+    for (auto* e = ht.FindChainTagged(h); e != nullptr; e = e->next) {
+      if (e->hash == h && reinterpret_cast<const Entry*>(e)->key == key) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+// (b) vectorized: hash primitive fills hashes[], probe primitive consumes.
+template <HashFn kHash>
+int64_t ProbeVectorized(const Hashmap& ht, const std::vector<int64_t>& keys,
+                        size_t vecsize) {
+  std::vector<uint64_t> hashes(vecsize);
+  int64_t found = 0;
+  for (size_t base = 0; base < keys.size(); base += vecsize) {
+    const size_t n = std::min(vecsize, keys.size() - base);
+    for (size_t i = 0; i < n; ++i)
+      hashes[i] = kHash(static_cast<uint64_t>(keys[base + i]));
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h = hashes[i];
+      const int64_t key = keys[base + i];
+      for (auto* e = ht.FindChainTagged(h); e != nullptr; e = e->next) {
+        if (e->hash == h && reinterpret_cast<const Entry*>(e)->key == key) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  return found;
+}
+
+template <HashFn kHash>
+void BuildTable(Hashmap& ht, runtime::MemPool& pool, size_t entries) {
+  ht.SetSize(entries);
+  for (size_t k = 0; k < entries; ++k) {
+    auto* e = pool.Create<Entry>();
+    e->header.next = nullptr;
+    e->header.hash = kHash(k);
+    e->key = static_cast<int64_t>(k);
+    ht.InsertUnlocked(&e->header);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t entries = benchutil::Quick() ? (1 << 18) : (1 << 23);
+  const size_t probes = benchutil::Quick() ? 500000 : 8000000;
+  benchutil::PrintHeader(
+      "Ablation: hash function vs execution model (paper Sec. 4.1)",
+      "CRC (low latency) helps fused loops; Murmur (throughput) suits "
+      "separate hash primitives",
+      std::to_string(entries) + "-entry out-of-cache table, " +
+          std::to_string(probes) + " probes");
+
+  std::mt19937_64 rng(43);
+  std::vector<int64_t> keys(probes);
+  for (auto& k : keys) k = static_cast<int64_t>(rng() % entries);
+
+  runtime::MemPool pool_m, pool_c;
+  Hashmap ht_murmur, ht_crc;
+  BuildTable<&Murmur>(ht_murmur, pool_m, entries);
+  BuildTable<&Crc>(ht_crc, pool_c, entries);
+
+  benchutil::Table table({"model", "hash", "ns/probe"});
+  auto run = [&](const char* model, const char* name, auto&& fn) {
+    fn();  // warm-up
+    const double start = NowNs();
+    volatile int64_t f = fn();
+    (void)f;
+    table.AddRow({model, name,
+                  benchutil::Fmt((NowNs() - start) / probes, 1)});
+  };
+  run("fused (Typer-style)", "murmur2",
+      [&] { return ProbeFused<&Murmur>(ht_murmur, keys); });
+  run("fused (Typer-style)", "crc32",
+      [&] { return ProbeFused<&Crc>(ht_crc, keys); });
+  run("vectorized (TW-style)", "murmur2",
+      [&] { return ProbeVectorized<&Murmur>(ht_murmur, keys, 1024); });
+  run("vectorized (TW-style)", "crc32",
+      [&] { return ProbeVectorized<&Crc>(ht_crc, keys, 1024); });
+  table.Print();
+  std::printf(
+      "\npaper shape: CRC's lower latency matters in the fused loop "
+      "(Typer up to 40%% on large tables); with the hash in a separate "
+      "primitive the function's latency is hidden and the two converge "
+      "(TW slightly prefers Murmur's throughput).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §9.1): relaxed operator fusion — Peloton's hybrid of
+// compilation and vectorization. The fused Typer probe pipeline is split at
+// an explicit materialization boundary with software prefetching of the
+// staged hash-table buckets. "If the query optimizer's decision about
+// whether to break up a pipeline is correct, Peloton can be faster than
+// both standard models."
+
+#include <cstdio>
+
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+
+int main() {
+  using namespace vcq;
+  const double sf = benchutil::EnvSf(1.0);
+  const int reps = benchutil::EnvReps(3);
+  benchutil::PrintHeader(
+      "Ablation: relaxed operator fusion on Q9 (paper Sec. 9.1)",
+      "staged probes + prefetching can beat both standard models on "
+      "memory-bound joins",
+      "SF=" + benchutil::Fmt(sf, 2) + ", 1 thread; larger VCQ_SF makes the "
+                                      "hash tables miss caches harder");
+
+  runtime::Database db = datagen::GenerateTpch(sf);
+  runtime::QueryOptions opt;
+  opt.threads = 1;
+
+  const auto fused =
+      benchutil::MeasureQuery(db, Engine::kTyper, Query::kQ9, opt, reps);
+  opt.rof = true;
+  const auto rof =
+      benchutil::MeasureQuery(db, Engine::kTyper, Query::kQ9, opt, reps);
+  opt.rof = false;
+  const auto tw =
+      benchutil::MeasureQuery(db, Engine::kTectorwise, Query::kQ9, opt, reps);
+
+  benchutil::Table table({"variant", "ms", "vs fused"});
+  table.AddRow({"Typer (fully fused)", benchutil::Fmt(fused.ms, 1), "1.00x"});
+  table.AddRow({"Typer + ROF (staged, prefetch)", benchutil::Fmt(rof.ms, 1),
+                benchutil::Fmt(fused.ms / rof.ms, 2) + "x"});
+  table.AddRow({"Tectorwise", benchutil::Fmt(tw.ms, 1),
+                benchutil::Fmt(fused.ms / tw.ms, 2) + "x"});
+  table.Print();
+  std::printf(
+      "\npaper shape: breaking the pipeline buys the same latency-hiding "
+      "that favors Tectorwise on join queries while keeping the fused "
+      "loop's low instruction count — the hybrid sits at or above both "
+      "(Fig. 13's design space).\n");
+  return 0;
+}

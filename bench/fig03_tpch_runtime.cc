@@ -1,0 +1,40 @@
+// Figure 3: single-threaded TPC-H runtimes, Typer vs Tectorwise.
+// Paper: SF=1, 1 thread, Skylake X. Expected shape: Typer faster on Q1
+// (computation-bound) and Q18, Tectorwise faster on the join-dominated Q3
+// and Q9, Q6 close.
+
+#include <cstdio>
+
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+
+int main() {
+  using namespace vcq;
+  const double sf = benchutil::EnvSf(1.0);
+  const int reps = benchutil::EnvReps(3);
+  benchutil::PrintHeader(
+      "Figure 3: TPC-H runtimes, 1 thread (Typer vs Tectorwise)",
+      "SF=1, 1 thread, i9-7900X",
+      "SF=" + benchutil::Fmt(sf, 2) + ", 1 thread, " +
+          std::to_string(reps) + " reps (median)");
+
+  runtime::Database db = datagen::GenerateTpch(sf);
+  runtime::QueryOptions opt;
+  opt.threads = 1;
+
+  benchutil::Table table({"query", "Typer ms", "Tectorwise ms", "TW/Typer"});
+  for (Query q : TpchQueries()) {
+    const auto typer =
+        benchutil::MeasureQuery(db, Engine::kTyper, q, opt, reps);
+    const auto tw =
+        benchutil::MeasureQuery(db, Engine::kTectorwise, q, opt, reps);
+    table.AddRow({QueryName(q), benchutil::Fmt(typer.ms, 2),
+                  benchutil::Fmt(tw.ms, 2),
+                  benchutil::Fmt(tw.ms / typer.ms, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: Typer wins Q1 (~1.7x) and Q18; TW wins Q3/Q9 "
+      "(joins); both close on Q6.\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Figure 8: scalar vs SIMD hash-join probing.
+//  (a) hashing alone            (paper: 2.3x)
+//  (b) gather instruction       (paper: 1.1x — two loads/cycle either way)
+//  (c) TW probe primitive       (paper: 1.4x best case, cache-resident)
+//  (d) full TPC-H Q3 and Q9     (paper: ~1.1x — gains vanish)
+
+#include <benchmark/benchmark.h>
+
+#include <immintrin.h>
+
+#include <random>
+#include <vector>
+
+#include "api/vcq.h"
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+#include "runtime/hash.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "tectorwise/primitives.h"
+#include "tectorwise/primitives_simd.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::Hashmap;
+using tectorwise::pos_t;
+
+constexpr size_t kN = 4096;     // cache-resident batch (best case, paper)
+constexpr size_t kTable = 2048;  // small hash table that fits in L1/L2
+
+struct ProbeData {
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> hashes;
+  std::vector<pos_t> pos;
+  std::vector<uint64_t> gather_table;
+  std::vector<uint32_t> gather_idx;
+  std::vector<uint64_t> gather_out;
+  Hashmap ht;
+  runtime::MemPool pool;
+  std::vector<Hashmap::EntryHeader*> cand;
+  std::vector<pos_t> cand_pos;
+
+  struct Entry {
+    Hashmap::EntryHeader header;
+    int64_t key;
+  };
+
+  ProbeData()
+      : keys(kN),
+        hashes(kN),
+        pos(kN),
+        gather_table(1 << 16),
+        gather_idx(kN),
+        gather_out(kN),
+        cand(kN),
+        cand_pos(kN) {
+    std::mt19937_64 rng(13);
+    for (size_t i = 0; i < kN; ++i) {
+      keys[i] = static_cast<int64_t>(rng() % kTable);
+      pos[i] = static_cast<pos_t>(i);
+      gather_idx[i] = static_cast<uint32_t>(rng() % gather_table.size());
+    }
+    for (auto& v : gather_table) v = rng();
+    ht.SetSize(kTable);
+    for (size_t k = 0; k < kTable; ++k) {
+      auto* e = pool.Create<Entry>();
+      e->header.next = nullptr;
+      e->header.hash = runtime::HashMurmur2(k);
+      e->key = static_cast<int64_t>(k);
+      ht.InsertUnlocked(&e->header);
+    }
+    tectorwise::HashCompact<int64_t>(kN, nullptr, keys.data(), hashes.data(),
+                                     pos.data());
+  }
+};
+
+ProbeData& Data() {
+  static ProbeData data;
+  return data;
+}
+
+// (a) hashing -----------------------------------------------------------
+void BM_HashScalar(benchmark::State& state) {
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    tectorwise::HashCompact<int64_t>(kN, nullptr, d.keys.data(),
+                                     d.hashes.data(), d.pos.data());
+    benchmark::DoNotOptimize(d.hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_HashScalar);
+
+void BM_HashSimd(benchmark::State& state) {
+  if (!tectorwise::simd::Available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    tectorwise::simd::HashI64Compact(kN, nullptr, d.keys.data(),
+                                     d.hashes.data(), d.pos.data());
+    benchmark::DoNotOptimize(d.hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_HashSimd);
+
+// (b) raw gathers --------------------------------------------------------
+void BM_GatherScalar(benchmark::State& state) {
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    for (size_t i = 0; i < kN; ++i)
+      d.gather_out[i] = d.gather_table[d.gather_idx[i]];
+    benchmark::DoNotOptimize(d.gather_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_GatherScalar);
+
+__attribute__((target("avx512f"))) void GatherKernel(ProbeData& d) {
+  for (size_t i = 0; i + 8 <= kN; i += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d.gather_idx.data() + i));
+    const __m512i v =
+        _mm512_i32gather_epi64(idx, d.gather_table.data(), 8);
+    _mm512_storeu_si512(d.gather_out.data() + i, v);
+  }
+}
+
+void BM_GatherSimd(benchmark::State& state) {
+  if (!tectorwise::simd::Available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    GatherKernel(d);
+    benchmark::DoNotOptimize(d.gather_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_GatherSimd);
+
+// (c) TW probe primitive (findCandidates) ---------------------------------
+void BM_ProbeScalar(benchmark::State& state) {
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tectorwise::JoinCandidates(
+        kN, d.hashes.data(), d.pos.data(), d.ht, d.cand.data(),
+        d.cand_pos.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_ProbeScalar);
+
+void BM_ProbeSimd(benchmark::State& state) {
+  if (!tectorwise::simd::Available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  ProbeData& d = Data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tectorwise::simd::JoinCandidates(
+        kN, d.hashes.data(), d.pos.data(), d.ht, d.cand.data(),
+        d.cand_pos.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_ProbeSimd);
+
+// (d) full join queries ---------------------------------------------------
+const runtime::Database& Db() {
+  static const runtime::Database* db =
+      new runtime::Database(datagen::GenerateTpch(benchutil::EnvSf(1.0)));
+  return *db;
+}
+
+void RunJoinQuery(benchmark::State& state, Query q, bool simd) {
+  if (simd && !tectorwise::simd::Available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  const runtime::Database& db = Db();
+  runtime::QueryOptions opt;
+  opt.simd = simd;
+  for (auto _ : state) RunQuery(db, Engine::kTectorwise, q, opt);
+}
+
+void BM_Q3Scalar(benchmark::State& s) { RunJoinQuery(s, Query::kQ3, false); }
+void BM_Q3Simd(benchmark::State& s) { RunJoinQuery(s, Query::kQ3, true); }
+void BM_Q9Scalar(benchmark::State& s) { RunJoinQuery(s, Query::kQ9, false); }
+void BM_Q9Simd(benchmark::State& s) { RunJoinQuery(s, Query::kQ9, true); }
+BENCHMARK(BM_Q3Scalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q3Simd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q9Scalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q9Simd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vcq::benchutil::PrintHeader(
+      "Figure 8: scalar vs SIMD join probing",
+      "(a) hashing 2.3x  (b) gather 1.1x  (c) probe 1.4x  (d) queries ~1.1x",
+      "compare the Scalar/Simd pairs' rates / times");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9: hash-table probe cost vs working-set size, scalar vs SIMD.
+// Paper: gains from SIMD diminish as the working set leaves the caches;
+// beyond the LLC both variants converge to memory latency.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "benchutil/bench.h"
+#include "runtime/hash.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "tectorwise/primitives.h"
+#include "tectorwise/primitives_simd.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::Hashmap;
+using tectorwise::pos_t;
+
+constexpr size_t kBatch = 4096;
+
+struct Entry {
+  Hashmap::EntryHeader header;
+  int64_t key;
+};
+
+struct Workload {
+  Hashmap ht;
+  runtime::MemPool pool;
+  std::vector<uint64_t> hashes;
+  std::vector<pos_t> pos;
+  std::vector<Hashmap::EntryHeader*> cand;
+  std::vector<pos_t> cand_pos;
+  size_t working_set_bytes = 0;
+
+  explicit Workload(size_t entries)
+      : hashes(kBatch), pos(kBatch), cand(kBatch), cand_pos(kBatch) {
+    ht.SetSize(entries);
+    for (size_t k = 0; k < entries; ++k) {
+      auto* e = pool.Create<Entry>();
+      e->header.next = nullptr;
+      e->header.hash = runtime::HashMurmur2(k);
+      e->key = static_cast<int64_t>(k);
+      ht.InsertUnlocked(&e->header);
+    }
+    std::mt19937_64 rng(17);
+    for (size_t i = 0; i < kBatch; ++i) {
+      hashes[i] = runtime::HashMurmur2(rng() % entries);
+      pos[i] = static_cast<pos_t>(i);
+    }
+    working_set_bytes =
+        ht.capacity() * sizeof(void*) + entries * sizeof(Entry);
+  }
+};
+
+Workload& GetWorkload(size_t entries) {
+  static std::map<size_t, Workload*>* cache = new std::map<size_t, Workload*>();
+  auto it = cache->find(entries);
+  if (it == cache->end()) it = cache->emplace(entries, new Workload(entries)).first;
+  return *it->second;
+}
+
+void BM_LookupScalar(benchmark::State& state) {
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tectorwise::JoinCandidates(
+        kBatch, w.hashes.data(), w.pos.data(), w.ht, w.cand.data(),
+        w.cand_pos.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["ws_MB"] =
+      static_cast<double>(w.working_set_bytes) / (1 << 20);
+}
+
+void BM_LookupSimd(benchmark::State& state) {
+  if (!tectorwise::simd::Available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return;
+  }
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tectorwise::simd::JoinCandidates(
+        kBatch, w.hashes.data(), w.pos.data(), w.ht, w.cand.data(),
+        w.cand_pos.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["ws_MB"] =
+      static_cast<double>(w.working_set_bytes) / (1 << 20);
+}
+
+// Entry counts spanning 128 KB .. ~768 MB working sets.
+BENCHMARK(BM_LookupScalar)->RangeMultiplier(8)->Range(2048, 16 << 20);
+BENCHMARK(BM_LookupSimd)->RangeMultiplier(8)->Range(2048, 16 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vcq::benchutil::PrintHeader(
+      "Figure 9: probe cost vs working-set size",
+      "128 KB .. 256 MB; SIMD helps only while the table is cache-resident",
+      "ws_MB counter = directory + entries; compare Scalar/Simd rates");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

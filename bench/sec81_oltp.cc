@@ -1,0 +1,153 @@
+// Section 8.1 (qualitative in the paper, quantified here): OLTP point
+// accesses. "For OLTP workloads, vectorization has little benefit over
+// traditional Volcano-style iteration. With compilation, it is possible to
+// compile all queries of a stored procedure into a single, efficient
+// machine code fragment."
+//
+// Workload: N account-balance transactions against the customer table via
+// a primary-key hash index; each transaction looks up one customer and
+// updates c_acctbal. Variants:
+//   compiled  — one fused function per transaction (Typer / stored proc)
+//   vector-1  — vectorized primitives invoked with vector size 1
+//               (per-tuple interpretation, nothing amortized)
+//   vector-1k — the same primitives over batches of 1024 transactions
+//               (only valid if transactions are batchable — OLAP-style)
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+#include "runtime/hash.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "tectorwise/primitives.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::Hashmap;
+using tectorwise::pos_t;
+
+struct CustEntry {
+  Hashmap::EntryHeader header;
+  int32_t custkey;
+  int64_t* acctbal;  // points into the column (update target)
+};
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const double sf = benchutil::EnvSf(1.0);
+  const size_t txns = benchutil::Quick() ? 100000 : 2000000;
+  benchutil::PrintHeader(
+      "Sec. 8.1: OLTP point transactions (compiled vs vectorized)",
+      "qualitative claim: vectorization does not amortize over single "
+      "tuples; compilation does stored procedures in one fragment",
+      "SF=" + benchutil::Fmt(sf, 2) + ", " + std::to_string(txns) +
+          " balance-update transactions");
+
+  runtime::Database db = datagen::GenerateTpch(sf);
+  runtime::Relation& customer = db["customer"];
+  const auto custkey = customer.Col<int32_t>("c_custkey");
+  auto acctbal = customer.MutableCol<int64_t>("c_acctbal");
+
+  // Primary-key hash index.
+  Hashmap index;
+  runtime::MemPool pool;
+  index.SetSize(customer.tuple_count());
+  for (size_t i = 0; i < customer.tuple_count(); ++i) {
+    auto* e = pool.Create<CustEntry>();
+    e->header.next = nullptr;
+    e->header.hash = runtime::HashMurmur2(static_cast<uint32_t>(custkey[i]));
+    e->custkey = custkey[i];
+    e->acctbal = &acctbal[i];
+    index.InsertUnlocked(&e->header);
+  }
+
+  // Transaction inputs.
+  std::mt19937_64 rng(31);
+  std::vector<int32_t> txn_keys(txns);
+  std::vector<int64_t> txn_amounts(txns);
+  for (size_t i = 0; i < txns; ++i) {
+    txn_keys[i] =
+        static_cast<int32_t>(rng() % customer.tuple_count()) + 1;
+    txn_amounts[i] = static_cast<int64_t>(rng() % 1000) - 500;
+  }
+
+  benchutil::Table table({"variant", "ns/txn", "relative"});
+  double compiled_ns = 0;
+
+  // --- compiled: one fused fragment per transaction ------------------------
+  {
+    const double start = NowNs();
+    for (size_t i = 0; i < txns; ++i) {
+      const int32_t key = txn_keys[i];
+      const uint64_t h = runtime::HashMurmur2(static_cast<uint32_t>(key));
+      for (auto* e = index.FindChainTagged(h); e != nullptr; e = e->next) {
+        auto* ce = reinterpret_cast<CustEntry*>(e);
+        if (e->hash == h && ce->custkey == key) {
+          *ce->acctbal += txn_amounts[i];
+          break;
+        }
+      }
+    }
+    compiled_ns = (NowNs() - start) / static_cast<double>(txns);
+    table.AddRow({"compiled (fused)", benchutil::Fmt(compiled_ns, 1), "1.0"});
+  }
+
+  // --- vectorized with vector size v ---------------------------------------
+  auto run_vectorized = [&](size_t v, const char* label) {
+    std::vector<uint64_t> hashes(v);
+    std::vector<pos_t> pos(v);
+    std::vector<Hashmap::EntryHeader*> cand(v), hits(v);
+    std::vector<pos_t> cand_pos(v), hit_pos(v);
+    std::vector<uint8_t> match(v);
+    const double start = NowNs();
+    for (size_t base = 0; base < txns; base += v) {
+      const size_t n = std::min(v, txns - base);
+      const int32_t* keys = txn_keys.data() + base;
+      // The Fig. 2b primitive sequence, per batch of n transactions.
+      tectorwise::HashCompact<int32_t>(n, nullptr, keys, hashes.data(),
+                                       pos.data());
+      size_t m = tectorwise::JoinCandidates(n, hashes.data(), pos.data(),
+                                            index, cand.data(),
+                                            cand_pos.data());
+      size_t hit_count = 0;
+      while (m > 0) {
+        tectorwise::CmpEntryKeyInit<int32_t>(m, cand.data(), cand_pos.data(),
+                                             keys,
+                                             offsetof(CustEntry, custkey),
+                                             match.data());
+        m = tectorwise::ExtractHitsAdvance(m, cand.data(), cand_pos.data(),
+                                           match.data(), hits.data(),
+                                           hit_pos.data(), hit_count);
+      }
+      for (size_t k = 0; k < hit_count; ++k) {
+        auto* ce = reinterpret_cast<CustEntry*>(hits[k]);
+        *ce->acctbal += txn_amounts[base + hit_pos[k]];
+      }
+    }
+    const double ns = (NowNs() - start) / static_cast<double>(txns);
+    table.AddRow({label, benchutil::Fmt(ns, 1),
+                  benchutil::Fmt(ns / compiled_ns, 1) + "x"});
+  };
+  run_vectorized(1, "vectorized, vector=1");
+  run_vectorized(1024, "vectorized, vector=1024 (batchable only)");
+
+  table.Print();
+  std::printf(
+      "\npaper shape: per-transaction vectorization pays full "
+      "interpretation cost (vector=1 clearly slower than compiled); the "
+      "amortization only returns once transactions can be batched — which "
+      "OLTP usually cannot do.\n");
+  return 0;
+}

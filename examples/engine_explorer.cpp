@@ -1,0 +1,103 @@
+// Engine explorer: interactively sweep the execution-model knobs the paper
+// studies — engine, vector size, SIMD, threads — on any query, and see how
+// runtime responds. A hands-on version of Figures 3/5/11 and Table 6's
+// taxonomy (Typer = push+compilation, Tectorwise = pull+vectorization,
+// Volcano = pull+interpretation).
+//
+//   ./engine_explorer [--sf 0.5] [--query Q1|Q6|Q3|Q9|Q18|SSB-Q1.1|...]
+//
+// With no --query it sweeps the full TPC-H subset.
+
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/vcq.h"
+#include "datagen/ssb.h"
+#include "datagen/tpch.h"
+#include "tectorwise/primitives_simd.h"
+
+namespace {
+
+double Time(const vcq::runtime::Database& db, vcq::Engine e, vcq::Query q,
+            const vcq::runtime::QueryOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  vcq::RunQuery(db, e, q, opt);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.5;
+  std::string query_name;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sf") && i + 1 < argc) sf = std::atof(argv[++i]);
+    if (!std::strcmp(argv[i], "--query") && i + 1 < argc) query_name = argv[++i];
+  }
+
+  std::vector<vcq::Query> queries;
+  for (vcq::Query q : vcq::TpchQueries()) queries.push_back(q);
+  for (vcq::Query q : vcq::SsbQueries()) queries.push_back(q);
+  if (!query_name.empty()) {
+    queries.clear();
+    for (vcq::Query q : vcq::TpchQueries())
+      if (query_name == vcq::QueryName(q)) queries.push_back(q);
+    for (vcq::Query q : vcq::SsbQueries())
+      if (query_name == vcq::QueryName(q)) queries.push_back(q);
+    if (queries.empty()) {
+      std::fprintf(stderr, "unknown query '%s'\n", query_name.c_str());
+      return 1;
+    }
+  } else {
+    queries.assign(vcq::TpchQueries().begin(), vcq::TpchQueries().end());
+  }
+
+  const bool need_ssb = !queries.empty() && vcq::IsSsbQuery(queries.front());
+  std::printf("Loading %s SF=%.2f ...\n", need_ssb ? "SSB" : "TPC-H", sf);
+  vcq::runtime::Database db = need_ssb ? vcq::datagen::GenerateSsb(sf)
+                                       : vcq::datagen::GenerateTpch(sf);
+
+  for (vcq::Query q : queries) {
+    std::printf("\n=== %s ===\n", vcq::QueryName(q));
+
+    // Engine comparison, single thread.
+    vcq::runtime::QueryOptions st;
+    std::printf("  engines (1 thread):\n");
+    for (vcq::Engine e : {vcq::Engine::kTyper, vcq::Engine::kTectorwise,
+                          vcq::Engine::kVolcano}) {
+      if (!vcq::EngineSupports(e, q)) continue;
+      std::printf("    %-11s %8.2f ms\n", vcq::EngineName(e),
+                  Time(db, e, q, st));
+    }
+
+    // Vector-size sweep (Tectorwise, Fig. 5).
+    std::printf("  tectorwise vector sizes:\n");
+    for (size_t vs : {size_t{1}, size_t{64}, size_t{1024}, size_t{65536}}) {
+      vcq::runtime::QueryOptions opt;
+      opt.vector_size = vs;
+      std::printf("    %-8zu    %8.2f ms\n", vs,
+                  Time(db, vcq::Engine::kTectorwise, q, opt));
+    }
+
+    // SIMD (Fig. 6/8) and threads (Table 3).
+    if (vcq::tectorwise::simd::Available()) {
+      vcq::runtime::QueryOptions simd;
+      simd.simd = true;
+      std::printf("  tectorwise AVX-512:       %8.2f ms\n",
+                  Time(db, vcq::Engine::kTectorwise, q, simd));
+    }
+    vcq::runtime::QueryOptions mt;
+    mt.threads = std::max(1u, std::thread::hardware_concurrency() / 2);
+    std::printf("  typer x%-2zu threads:        %8.2f ms\n", mt.threads,
+                Time(db, vcq::Engine::kTyper, q, mt));
+    std::printf("  tectorwise x%-2zu threads:   %8.2f ms\n", mt.threads,
+                Time(db, vcq::Engine::kTectorwise, q, mt));
+  }
+  return 0;
+}

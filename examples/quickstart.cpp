@@ -1,0 +1,39 @@
+// Quickstart: generate a small TPC-H instance, run one query on all three
+// engines, and compare results and timings.
+//
+//   ./quickstart [scale_factor] [threads]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/vcq.h"
+#include "datagen/tpch.h"
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const size_t threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+
+  std::printf("Generating TPC-H scale factor %.2f ...\n", sf);
+  vcq::runtime::Database db = vcq::datagen::GenerateTpch(sf);
+  std::printf("Database size: %.1f MB\n",
+              static_cast<double>(db.byte_size()) / (1 << 20));
+
+  vcq::runtime::QueryOptions opt;
+  opt.threads = threads;
+
+  for (vcq::Engine engine :
+       {vcq::Engine::kTyper, vcq::Engine::kTectorwise, vcq::Engine::kVolcano}) {
+    const auto start = std::chrono::steady_clock::now();
+    vcq::runtime::QueryResult result =
+        vcq::RunQuery(db, engine, vcq::Query::kQ6, opt);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::printf("\n=== %s, TPC-H Q6, %zu thread(s): %.2f ms ===\n",
+                vcq::EngineName(engine), threads, ms);
+    std::printf("%s", result.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef VCQ_API_VCQ_H_
+#define VCQ_API_VCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/options.h"
+#include "runtime/query_result.h"
+#include "runtime/relation.h"
+
+// Public entry point of the VCQ library: one call runs any studied query on
+// any engine. Typical use:
+//
+//   vcq::runtime::Database db = vcq::datagen::GenerateTpch(1.0);
+//   vcq::runtime::QueryOptions opt{.threads = 8};
+//   auto result = vcq::RunQuery(db, vcq::Engine::kTyper, vcq::Query::kQ1,
+//                               opt);
+//   std::cout << result.ToString();
+//
+// See examples/quickstart.cpp for a complete program.
+
+namespace vcq {
+
+/// The three execution paradigms (paper Table 6 cells):
+/// Typer = push + compilation, Tectorwise = pull + vectorization,
+/// Volcano = pull + interpretation (TPC-H only, single-threaded).
+enum class Engine { kTyper, kTectorwise, kVolcano };
+
+/// The studied workload (paper §3.3 and §4.4).
+enum class Query {
+  kQ1,
+  kQ6,
+  kQ3,
+  kQ9,
+  kQ18,
+  kSsbQ11,
+  kSsbQ21,
+  kSsbQ31,
+  kSsbQ41,
+};
+
+/// Runs `query` on `engine`; the database must come from the matching
+/// generator (GenerateTpch for kQ*, GenerateSsb for kSsb*).
+runtime::QueryResult RunQuery(const runtime::Database& db, Engine engine,
+                              Query query,
+                              const runtime::QueryOptions& options = {});
+
+const char* EngineName(Engine engine);
+const char* QueryName(Query query);
+bool IsSsbQuery(Query query);
+std::vector<Query> TpchQueries();
+std::vector<Query> SsbQueries();
+
+/// True if `engine` implements `query` (Volcano covers TPC-H only).
+bool EngineSupports(Engine engine, Query query);
+
+}  // namespace vcq
+
+#endif  // VCQ_API_VCQ_H_

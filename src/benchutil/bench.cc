@@ -1,0 +1,151 @@
+#include "benchutil/bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/env_util.h"
+
+namespace vcq::benchutil {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double Measurement::CyclesPerTuple() const {
+  return counters.cycles / static_cast<double>(tuples);
+}
+
+double Measurement::InstructionsPerTuple() const {
+  return counters.instructions / static_cast<double>(tuples);
+}
+
+Measurement Measure(const std::function<void()>& fn, int reps) {
+  Measurement m;
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const double start = Now();
+    fn();
+    times.push_back(Now() - start);
+  }
+  std::sort(times.begin(), times.end());
+  m.ms = times[times.size() / 2];
+  runtime::PerfCounters counters;
+  counters.Start();
+  fn();
+  m.counters = counters.Stop();
+  return m;
+}
+
+size_t TuplesScanned(const runtime::Database& db, Query query) {
+  auto count = [&](const char* name) { return db[name].tuple_count(); };
+  switch (query) {
+    case Query::kQ1:
+    case Query::kQ6: return count("lineitem");
+    case Query::kQ3:
+      return count("customer") + count("orders") + count("lineitem");
+    case Query::kQ9:
+      return count("part") + count("supplier") + count("partsupp") +
+             count("orders") + count("lineitem");
+    case Query::kQ18:
+      return count("lineitem") + count("orders") + count("customer");
+    case Query::kSsbQ11: return count("lineorder") + count("date");
+    case Query::kSsbQ21:
+      return count("lineorder") + count("date") + count("part") +
+             count("supplier");
+    case Query::kSsbQ31:
+      return count("lineorder") + count("date") + count("customer") +
+             count("supplier");
+    case Query::kSsbQ41:
+      return count("lineorder") + count("date") + count("customer") +
+             count("supplier") + count("part");
+  }
+  return 1;
+}
+
+Measurement MeasureQuery(const runtime::Database& db, Engine engine,
+                         Query query, const runtime::QueryOptions& opt,
+                         int reps) {
+  Measurement m =
+      Measure([&] { RunQuery(db, engine, query, opt); }, reps);
+  m.tuples = TuplesScanned(db, query);
+  return m;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_setup,
+                 const std::string& this_setup) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper setup: %s\n", paper_setup.c_str());
+  std::printf("this run:    %s\n", this_setup.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c)
+      std::printf("%s%-*s", c ? "  " : "", static_cast<int>(widths[c]),
+                  cells[c].c_str());
+    std::printf("\n");
+  };
+  emit(columns_);
+  size_t total = columns_.size() >= 1 ? 2 * (columns_.size() - 1) : 0;
+  for (size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtCounter(double v, int decimals) {
+  if (std::isnan(v)) return "n/a";
+  return Fmt(v, decimals);
+}
+
+double EnvSf(double default_sf) {
+  if (Quick()) default_sf = std::min(default_sf, 0.05);
+  return EnvDouble("VCQ_SF", default_sf);
+}
+
+int EnvReps(int default_reps) {
+  if (Quick()) default_reps = 1;
+  return static_cast<int>(EnvInt("VCQ_REPS", default_reps));
+}
+
+size_t EnvThreads(size_t default_threads) {
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t v = static_cast<size_t>(
+      EnvInt("VCQ_THREADS", static_cast<int64_t>(
+                                default_threads ? default_threads : hw)));
+  return std::max<size_t>(1, v);
+}
+
+bool Quick() { return EnvFlag("VCQ_QUICK"); }
+
+}  // namespace vcq::benchutil

@@ -1,0 +1,27 @@
+#ifndef VCQ_COMMON_BIT_UTIL_H_
+#define VCQ_COMMON_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcq {
+
+/// Smallest power of two >= v (v == 0 yields 1).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - __builtin_clzll(v - 1));
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil(a / b) for b > 0.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds n up to the next multiple of align (align must be a power of two).
+inline uint64_t AlignUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace vcq
+
+#endif  // VCQ_COMMON_BIT_UTIL_H_

@@ -1,0 +1,34 @@
+#ifndef VCQ_COMMON_CHECK_H_
+#define VCQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. The library follows the paper's prototype
+// philosophy (and the Google style guide's no-exceptions rule): a violated
+// invariant is a programming error and aborts with a source location.
+//
+// VCQ_CHECK(cond)        - always evaluated.
+// VCQ_CHECK_MSG(cond, m) - always evaluated, custom message.
+// VCQ_DCHECK(cond)       - debug builds only; compiled out under NDEBUG.
+
+#define VCQ_CHECK_MSG(condition, message)                                  \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #condition, message);                         \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define VCQ_CHECK(condition) VCQ_CHECK_MSG(condition, "invariant violated")
+
+#ifdef NDEBUG
+#define VCQ_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define VCQ_DCHECK(condition) VCQ_CHECK(condition)
+#endif
+
+#endif  // VCQ_COMMON_CHECK_H_

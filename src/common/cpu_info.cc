@@ -1,0 +1,59 @@
+#include "common/cpu_info.h"
+
+#include <cpuid.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace vcq {
+namespace {
+
+struct Features {
+  bool avx2 = false;
+  bool avx512 = false;
+  char model[128] = "unknown";
+
+  Features() {
+    unsigned eax, ebx, ecx, edx;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+      avx2 = (ebx >> 5) & 1;
+      const bool f = (ebx >> 16) & 1;
+      const bool dq = (ebx >> 17) & 1;
+      const bool cd = (ebx >> 28) & 1;
+      const bool bw = (ebx >> 30) & 1;
+      const bool vl = (ebx >> 31) & 1;
+      avx512 = f && dq && cd && bw && vl;
+    }
+    // Brand string via extended CPUID leaves 0x80000002..4.
+    unsigned brand[12];
+    bool ok = true;
+    for (unsigned i = 0; i < 3; ++i) {
+      unsigned a, b, c, d;
+      if (!__get_cpuid(0x80000002 + i, &a, &b, &c, &d)) {
+        ok = false;
+        break;
+      }
+      brand[i * 4 + 0] = a;
+      brand[i * 4 + 1] = b;
+      brand[i * 4 + 2] = c;
+      brand[i * 4 + 3] = d;
+    }
+    if (ok) {
+      std::memcpy(model, brand, sizeof(brand));
+      model[sizeof(brand)] = '\0';
+    }
+  }
+};
+
+const Features& GetFeatures() {
+  static const Features features;
+  return features;
+}
+
+}  // namespace
+
+bool CpuInfo::HasAvx512() { return GetFeatures().avx512; }
+bool CpuInfo::HasAvx2() { return GetFeatures().avx2; }
+const char* CpuInfo::ModelName() { return GetFeatures().model; }
+
+}  // namespace vcq

@@ -1,0 +1,25 @@
+#ifndef VCQ_COMMON_CPU_INFO_H_
+#define VCQ_COMMON_CPU_INFO_H_
+
+namespace vcq {
+
+/// Runtime CPU feature detection used to dispatch between scalar and SIMD
+/// primitive implementations (paper §5). All SIMD code paths in this library
+/// are compiled with per-function target attributes, so the binary itself
+/// runs on any x86-64 CPU; AVX-512 paths are selected here at runtime.
+class CpuInfo {
+ public:
+  /// AVX-512 F + BW + DQ + VL + CD: everything the paper's selection and
+  /// probing kernels need (compress-store, 64-bit gather, masked compares).
+  static bool HasAvx512();
+
+  /// AVX2 (used by the auto-vectorized build of the Fig. 10 study).
+  static bool HasAvx2();
+
+  /// Human-readable model name from /proc/cpuinfo (best effort).
+  static const char* ModelName();
+};
+
+}  // namespace vcq
+
+#endif  // VCQ_COMMON_CPU_INFO_H_

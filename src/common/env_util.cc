@@ -1,0 +1,34 @@
+#include "common/env_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vcq {
+
+double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  char* end = nullptr;
+  const int64_t parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::strcmp(v, "0") != 0 && *v != '\0';
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? default_value : std::string(v);
+}
+
+}  // namespace vcq

@@ -1,0 +1,49 @@
+#ifndef VCQ_DATAGEN_RNG_H_
+#define VCQ_DATAGEN_RNG_H_
+
+#include <cstdint>
+
+namespace vcq::datagen {
+
+/// SplitMix64: used to derive independent per-row seeds, so generation is
+/// deterministic yet embarrassingly parallel (any row's randomness depends
+/// only on (seed, row index), never on generation order).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Small, fast PRNG (xorshift128+) seeded from SplitMix64. One instance per
+/// row/order keeps the generators morsel-parallel and order-independent.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = SplitMix64(seed);
+    s1_ = SplitMix64(s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), like dbgen's random(lo, hi).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace vcq::datagen
+
+#endif  // VCQ_DATAGEN_RNG_H_

@@ -1,0 +1,241 @@
+#include "datagen/ssb.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.h"
+#include "datagen/rng.h"
+#include "runtime/types.h"
+#include "runtime/worker_pool.h"
+
+namespace vcq::datagen {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DaysFromCivil;
+using runtime::Relation;
+
+namespace {
+
+constexpr uint64_t kSeed = 0x55Bu;
+
+// SSB nations: 25, five per region (simplified fixed mapping).
+constexpr const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                        "MIDDLE EAST"};
+constexpr const char* kNationNames[] = {
+    "ALGERIA",   "ETHIOPIA", "KENYA",   "MOROCCO", "MOZAMBIQUE",  // AFRICA
+    "ARGENTINA", "BRAZIL",   "CANADA",  "PERU",    "UNITED STATES",
+    "INDIA",     "CHINA",    "JAPAN",   "VIETNAM", "INDONESIA",  // ASIA
+    "FRANCE",    "GERMANY",  "ROMANIA", "RUSSIA",  "UNITED KINGDOM",
+    "EGYPT",     "IRAN",     "IRAQ",    "JORDAN",  "SAUDI ARABIA"};
+
+int64_t ScaledCount(double sf, int64_t base) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(sf * base)));
+}
+
+int32_t NationOf(Rng& rng) { return static_cast<int32_t>(rng.Uniform(0, 24)); }
+int32_t RegionOfNation(int32_t nation) { return nation / 5; }
+
+}  // namespace
+
+SsbCardinalities SsbCardinalities::For(double sf) {
+  VCQ_CHECK_MSG(sf > 0, "scale factor must be positive");
+  SsbCardinalities c;
+  c.orders = ScaledCount(sf, 1500000);
+  c.customers = ScaledCount(sf, 30000);
+  c.suppliers = ScaledCount(sf, 2000);
+  c.parts = sf >= 1.0 ? 200000 * (1 + static_cast<int64_t>(std::log2(sf)))
+                      : ScaledCount(sf, 200000);
+  c.dates = DaysFromCivil(1999, 1, 1) - DaysFromCivil(1992, 1, 1);
+  return c;
+}
+
+Database GenerateSsb(double scale_factor, int threads) {
+  const SsbCardinalities card = SsbCardinalities::For(scale_factor);
+  runtime::WorkerPool& pool = runtime::WorkerPool::Global();
+  const size_t nthreads =
+      threads > 0 ? static_cast<size_t>(threads) : pool.max_threads();
+
+  Database db;
+  const int32_t date_start = DaysFromCivil(1992, 1, 1);
+
+  // --- date dimension -----------------------------------------------------
+  {
+    Relation& date = db.Add("date");
+    const size_t n = card.dates;
+    auto d_datekey = date.AddColumn<int32_t>("d_datekey", n);
+    auto d_year = date.AddColumn<int32_t>("d_year", n);
+    auto d_yearmonthnum = date.AddColumn<int32_t>("d_yearmonthnum", n);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t day = date_start + static_cast<int32_t>(i);
+      const runtime::Civil c = runtime::CivilFromDays(day);
+      d_datekey[i] = day;
+      d_year[i] = c.year;
+      d_yearmonthnum[i] = c.year * 100 + static_cast<int32_t>(c.month);
+    }
+  }
+
+  // --- customer ------------------------------------------------------------
+  {
+    Relation& customer = db.Add("customer");
+    const size_t n = card.customers;
+    auto c_custkey = customer.AddColumn<int32_t>("c_custkey", n);
+    auto c_city = customer.AddColumn<Char<10>>("c_city", n);
+    auto c_nation = customer.AddColumn<Char<15>>("c_nation", n);
+    auto c_region = customer.AddColumn<Char<12>>("c_region", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[16];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Rng rng(SplitMix64(kSeed ^ 0xC) ^ (i + 1));
+          c_custkey[i] = static_cast<int32_t>(i) + 1;
+          const int32_t nation = NationOf(rng);
+          c_nation[i] = Char<15>::From(kNationNames[nation]);
+          c_region[i] = Char<12>::From(kRegionNames[RegionOfNation(nation)]);
+          std::snprintf(buf, sizeof(buf), "CITY%02d%lld", nation,
+                        static_cast<long long>(rng.Uniform(0, 9)));
+          c_city[i] = Char<10>::From(buf);
+        }
+      }
+    });
+  }
+
+  // --- supplier ------------------------------------------------------------
+  {
+    Relation& supplier = db.Add("supplier");
+    const size_t n = card.suppliers;
+    auto s_suppkey = supplier.AddColumn<int32_t>("s_suppkey", n);
+    auto s_city = supplier.AddColumn<Char<10>>("s_city", n);
+    auto s_nation = supplier.AddColumn<Char<15>>("s_nation", n);
+    auto s_region = supplier.AddColumn<Char<12>>("s_region", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[16];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Rng rng(SplitMix64(kSeed ^ 0x5) ^ (i + 1));
+          s_suppkey[i] = static_cast<int32_t>(i) + 1;
+          const int32_t nation = NationOf(rng);
+          s_nation[i] = Char<15>::From(kNationNames[nation]);
+          s_region[i] = Char<12>::From(kRegionNames[RegionOfNation(nation)]);
+          std::snprintf(buf, sizeof(buf), "CITY%02d%lld", nation,
+                        static_cast<long long>(rng.Uniform(0, 9)));
+          s_city[i] = Char<10>::From(buf);
+        }
+      }
+    });
+  }
+
+  // --- part ------------------------------------------------------------
+  {
+    Relation& part = db.Add("part");
+    const size_t n = card.parts;
+    auto p_partkey = part.AddColumn<int32_t>("p_partkey", n);
+    auto p_mfgr = part.AddColumn<Char<6>>("p_mfgr", n);
+    auto p_category = part.AddColumn<Char<7>>("p_category", n);
+    auto p_brand1 = part.AddColumn<Char<9>>("p_brand1", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[16];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Rng rng(SplitMix64(kSeed ^ 0xBA27) ^ (i + 1));
+          p_partkey[i] = static_cast<int32_t>(i) + 1;
+          const int64_t mfgr = rng.Uniform(1, 5);
+          const int64_t cat = rng.Uniform(1, 5);
+          const int64_t brand = rng.Uniform(1, 40);
+          std::snprintf(buf, sizeof(buf), "MFGR#%lld",
+                        static_cast<long long>(mfgr));
+          p_mfgr[i] = Char<6>::From(buf);
+          std::snprintf(buf, sizeof(buf), "MFGR#%lld%lld",
+                        static_cast<long long>(mfgr),
+                        static_cast<long long>(cat));
+          p_category[i] = Char<7>::From(buf);
+          std::snprintf(buf, sizeof(buf), "MFGR#%lld%lld%02lld",
+                        static_cast<long long>(mfgr),
+                        static_cast<long long>(cat),
+                        static_cast<long long>(brand));
+          p_brand1[i] = Char<9>::From(buf);
+        }
+      }
+    });
+  }
+
+  // --- lineorder ------------------------------------------------------------
+  {
+    const size_t orders_n = card.orders;
+    std::vector<int8_t> lines_per_order(orders_n);
+    std::vector<int64_t> first_line(orders_n + 1);
+    {
+      runtime::MorselQueue morsels(orders_n);
+      pool.Run(nthreads, [&](size_t) {
+        size_t begin, end;
+        while (morsels.Next(begin, end)) {
+          for (size_t o = begin; o < end; ++o) {
+            Rng rng(SplitMix64(kSeed ^ 0x10) ^ (o + 1));
+            lines_per_order[o] = static_cast<int8_t>(rng.Uniform(1, 7));
+          }
+        }
+      });
+    }
+    first_line[0] = 0;
+    for (size_t o = 0; o < orders_n; ++o)
+      first_line[o + 1] = first_line[o] + lines_per_order[o];
+    const size_t n = static_cast<size_t>(first_line[orders_n]);
+
+    Relation& lo = db.Add("lineorder");
+    auto lo_orderkey = lo.AddColumn<int32_t>("lo_orderkey", n);
+    auto lo_custkey = lo.AddColumn<int32_t>("lo_custkey", n);
+    auto lo_partkey = lo.AddColumn<int32_t>("lo_partkey", n);
+    auto lo_suppkey = lo.AddColumn<int32_t>("lo_suppkey", n);
+    auto lo_orderdate = lo.AddColumn<int32_t>("lo_orderdate", n);
+    auto lo_quantity = lo.AddColumn<int64_t>("lo_quantity", n);
+    auto lo_extendedprice = lo.AddColumn<int64_t>("lo_extendedprice", n);
+    auto lo_discount = lo.AddColumn<int64_t>("lo_discount", n);
+    auto lo_revenue = lo.AddColumn<int64_t>("lo_revenue", n);
+    auto lo_supplycost = lo.AddColumn<int64_t>("lo_supplycost", n);
+
+    runtime::MorselQueue morsels(orders_n, 4096);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t o = begin; o < end; ++o) {
+          Rng rng(SplitMix64(kSeed ^ 0x70) ^ (o + 1));
+          const int32_t orderkey = static_cast<int32_t>(o) + 1;
+          const int32_t custkey =
+              static_cast<int32_t>(rng.Uniform(1, card.customers));
+          const int32_t odate = date_start + static_cast<int32_t>(rng.Uniform(
+                                                 0, card.dates - 1));
+          const int64_t nlines = lines_per_order[o];
+          for (int64_t l = 0; l < nlines; ++l) {
+            const size_t i = static_cast<size_t>(first_line[o] + l);
+            lo_orderkey[i] = orderkey;
+            lo_custkey[i] = custkey;
+            lo_partkey[i] =
+                static_cast<int32_t>(rng.Uniform(1, card.parts));
+            lo_suppkey[i] =
+                static_cast<int32_t>(rng.Uniform(1, card.suppliers));
+            lo_orderdate[i] = odate;
+            const int64_t qty = rng.Uniform(1, 50);
+            lo_quantity[i] = qty;  // SSB quantity is integral (scale 0)
+            const int64_t extprice = qty * rng.Uniform(9000, 200000);
+            lo_extendedprice[i] = extprice;
+            const int64_t disc = rng.Uniform(0, 10);
+            lo_discount[i] = disc;
+            lo_revenue[i] = extprice * (100 - disc) / 100;
+            lo_supplycost[i] = extprice * 6 / 10;
+          }
+        }
+      }
+    });
+  }
+
+  return db;
+}
+
+}  // namespace vcq::datagen

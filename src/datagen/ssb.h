@@ -1,0 +1,30 @@
+#ifndef VCQ_DATAGEN_SSB_H_
+#define VCQ_DATAGEN_SSB_H_
+
+#include "runtime/relation.h"
+
+// Star Schema Benchmark generator (paper §4.4). SSB is TPC-H refactored
+// into a star: one denormalized fact table (lineorder) plus four dimensions
+// (date, customer, supplier, part). The studied query flights Q1.1, Q2.1,
+// Q3.1, Q4.1 are dominated by hash-table probes into the dimensions, which
+// is exactly why the paper uses it as a cross-check of the TPC-H findings.
+
+namespace vcq::datagen {
+
+struct SsbCardinalities {
+  int64_t orders;     // lineorder has 1..7 lines per order
+  int64_t customers;  // 30,000 * SF
+  int64_t suppliers;  // 2,000 * SF
+  int64_t parts;      // 200,000 * (1 + floor(log2(SF))) for SF >= 1
+  int64_t dates;      // 7 years of days (fixed)
+
+  static SsbCardinalities For(double scale_factor);
+};
+
+/// Generates lineorder, date, customer, supplier, part at `scale_factor`.
+/// Deterministic and morsel-parallel like GenerateTpch.
+runtime::Database GenerateSsb(double scale_factor, int threads = 0);
+
+}  // namespace vcq::datagen
+
+#endif  // VCQ_DATAGEN_SSB_H_

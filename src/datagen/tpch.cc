@@ -1,0 +1,371 @@
+#include "datagen/tpch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "datagen/rng.h"
+#include "runtime/types.h"
+#include "runtime/worker_pool.h"
+
+namespace vcq::datagen {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DaysFromCivil;
+using runtime::Relation;
+using runtime::Varchar;
+
+namespace {
+
+constexpr uint64_t kSeed = 0x7c9u;  // fixed: the whole benchmark is seeded
+
+// TPC-H P_NAME words (spec 4.2.3: 92 color words; "green" drives Q9's
+// ~1-in-17 part selectivity).
+constexpr const char* kColors[] = {
+    "almond",    "antique",   "aquamarine", "azure",      "beige",
+    "bisque",    "black",     "blanched",   "blue",       "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",   "cream",
+    "cyan",      "dark",      "deep",       "dim",        "dodger",
+    "drab",      "firebrick", "floral",     "forest",     "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",      "grey",
+    "honeydew",  "hot",       "hotpink",    "indian",     "ivory",
+    "khaki",     "lace",      "lavender",   "lawn",       "lemon",
+    "light",     "lime",      "linen",      "magenta",    "maroon",
+    "medium",    "metallic",  "midnight",   "mint",       "misty",
+    "moccasin",  "navajo",    "navy",       "olive",      "orange",
+    "orchid",    "pale",      "papaya",     "peach",      "peru",
+    "pink",      "plum",      "powder",     "puff",       "purple",
+    "red",       "rose",      "rosy",       "royal",      "saddle",
+    "salmon",    "sandy",     "seashell",   "sienna",     "sky",
+    "slate",     "smoke",     "snow",       "spring",     "steel",
+    "tan",       "thistle",   "tomato",     "turquoise",  "violet",
+    "wheat",     "white"};
+constexpr int kColorCount = sizeof(kColors) / sizeof(kColors[0]);
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+
+// 25 TPC-H nations with their region assignment (spec Appendix).
+struct NationDef {
+  const char* name;
+  int32_t region;
+};
+constexpr NationDef kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1},  {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},      {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},    {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},     {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},    {"RUSSIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+int64_t ScaledCount(double sf, int64_t base) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(sf * base)));
+}
+
+}  // namespace
+
+int32_t TpchDates::Start() {
+  static const int32_t d = DaysFromCivil(1992, 1, 1);
+  return d;
+}
+int32_t TpchDates::Current() {
+  static const int32_t d = DaysFromCivil(1995, 6, 17);
+  return d;
+}
+int32_t TpchDates::OrdersEnd() {
+  static const int32_t d = DaysFromCivil(1998, 8, 2);
+  return d;
+}
+
+TpchCardinalities TpchCardinalities::For(double sf) {
+  VCQ_CHECK_MSG(sf > 0, "scale factor must be positive");
+  return TpchCardinalities{ScaledCount(sf, 150000), ScaledCount(sf, 1500000),
+                           ScaledCount(sf, 200000), ScaledCount(sf, 10000)};
+}
+
+int32_t PartSuppSupplier(int64_t partkey, int64_t i, int64_t supplier_count) {
+  const int64_t s = supplier_count;
+  return static_cast<int32_t>(
+      (partkey + (i * (s / 4 + (partkey - 1) / s))) % s + 1);
+}
+
+int64_t PartRetailPrice(int64_t partkey) {
+  return 90000 + ((partkey / 10) % 20001) + 100 * (partkey % 1000);
+}
+
+Database GenerateTpch(double scale_factor, int threads) {
+  const TpchCardinalities card = TpchCardinalities::For(scale_factor);
+  runtime::WorkerPool& pool = runtime::WorkerPool::Global();
+  const size_t nthreads =
+      threads > 0 ? static_cast<size_t>(threads) : pool.max_threads();
+
+  Database db;
+
+  // --- nation & region (fixed content) -----------------------------------
+  {
+    Relation& nation = db.Add("nation");
+    auto n_nationkey = nation.AddColumn<int32_t>("n_nationkey", 25);
+    auto n_name = nation.AddColumn<Char<25>>("n_name", 25);
+    auto n_regionkey = nation.AddColumn<int32_t>("n_regionkey", 25);
+    for (int i = 0; i < 25; ++i) {
+      n_nationkey[i] = i;
+      n_name[i] = Char<25>::From(kNations[i].name);
+      n_regionkey[i] = kNations[i].region;
+    }
+    Relation& region = db.Add("region");
+    auto r_regionkey = region.AddColumn<int32_t>("r_regionkey", 5);
+    auto r_name = region.AddColumn<Char<25>>("r_name", 5);
+    for (int i = 0; i < 5; ++i) {
+      r_regionkey[i] = i;
+      r_name[i] = Char<25>::From(kRegions[i]);
+    }
+  }
+
+  // --- supplier ------------------------------------------------------------
+  {
+    Relation& supplier = db.Add("supplier");
+    const size_t n = card.suppliers;
+    auto s_suppkey = supplier.AddColumn<int32_t>("s_suppkey", n);
+    auto s_name = supplier.AddColumn<Char<25>>("s_name", n);
+    auto s_nationkey = supplier.AddColumn<int32_t>("s_nationkey", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[32];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int64_t key = static_cast<int64_t>(i) + 1;
+          Rng rng(SplitMix64(kSeed ^ 0x5001) ^ key);
+          s_suppkey[i] = static_cast<int32_t>(key);
+          std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                        static_cast<long long>(key));
+          s_name[i] = Char<25>::From(buf);
+          s_nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+        }
+      }
+    });
+  }
+
+  // --- customer ------------------------------------------------------------
+  {
+    Relation& customer = db.Add("customer");
+    const size_t n = card.customers;
+    auto c_custkey = customer.AddColumn<int32_t>("c_custkey", n);
+    auto c_name = customer.AddColumn<Char<25>>("c_name", n);
+    auto c_nationkey = customer.AddColumn<int32_t>("c_nationkey", n);
+    auto c_mktsegment = customer.AddColumn<Char<10>>("c_mktsegment", n);
+    auto c_acctbal = customer.AddColumn<int64_t>("c_acctbal", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[32];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int64_t key = static_cast<int64_t>(i) + 1;
+          Rng rng(SplitMix64(kSeed ^ 0xC001) ^ key);
+          c_custkey[i] = static_cast<int32_t>(key);
+          std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                        static_cast<long long>(key));
+          c_name[i] = Char<25>::From(buf);
+          c_nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+          c_mktsegment[i] = Char<10>::From(kSegments[rng.Uniform(0, 4)]);
+          c_acctbal[i] = rng.Uniform(-99999, 999999);
+        }
+      }
+    });
+  }
+
+  // --- part ------------------------------------------------------------
+  {
+    Relation& part = db.Add("part");
+    const size_t n = card.parts;
+    auto p_partkey = part.AddColumn<int32_t>("p_partkey", n);
+    auto p_name = part.AddColumn<Varchar<55>>("p_name", n);
+    auto p_brand = part.AddColumn<Char<10>>("p_brand", n);
+    auto p_size = part.AddColumn<int32_t>("p_size", n);
+    auto p_retailprice = part.AddColumn<int64_t>("p_retailprice", n);
+    runtime::MorselQueue morsels(n);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      char buf[64];
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int64_t key = static_cast<int64_t>(i) + 1;
+          Rng rng(SplitMix64(kSeed ^ 0xBA27) ^ key);
+          p_partkey[i] = static_cast<int32_t>(key);
+          // P_NAME: five distinct-ish color words joined by spaces.
+          std::string name;
+          for (int w = 0; w < 5; ++w) {
+            if (w > 0) name += ' ';
+            name += kColors[rng.Uniform(0, kColorCount - 1)];
+          }
+          p_name[i] = Varchar<55>::From(name);
+          const int64_t m = rng.Uniform(1, 5);
+          const int64_t nb = rng.Uniform(1, 5);
+          std::snprintf(buf, sizeof(buf), "Brand#%lld%lld",
+                        static_cast<long long>(m),
+                        static_cast<long long>(nb));
+          p_brand[i] = Char<10>::From(buf);
+          p_size[i] = static_cast<int32_t>(rng.Uniform(1, 50));
+          p_retailprice[i] = PartRetailPrice(key);
+        }
+      }
+    });
+  }
+
+  // --- partsupp ------------------------------------------------------------
+  {
+    Relation& partsupp = db.Add("partsupp");
+    const size_t n = card.parts * 4;
+    auto ps_partkey = partsupp.AddColumn<int32_t>("ps_partkey", n);
+    auto ps_suppkey = partsupp.AddColumn<int32_t>("ps_suppkey", n);
+    auto ps_availqty = partsupp.AddColumn<int32_t>("ps_availqty", n);
+    auto ps_supplycost = partsupp.AddColumn<int64_t>("ps_supplycost", n);
+    runtime::MorselQueue morsels(card.parts);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t p = begin; p < end; ++p) {
+          const int64_t partkey = static_cast<int64_t>(p) + 1;
+          Rng rng(SplitMix64(kSeed ^ 0x9501) ^ partkey);
+          for (int64_t s = 0; s < 4; ++s) {
+            const size_t i = p * 4 + static_cast<size_t>(s);
+            ps_partkey[i] = static_cast<int32_t>(partkey);
+            ps_suppkey[i] = PartSuppSupplier(partkey, s, card.suppliers);
+            ps_availqty[i] = static_cast<int32_t>(rng.Uniform(1, 9999));
+            ps_supplycost[i] = rng.Uniform(100, 100000);  // 1.00 .. 1000.00
+          }
+        }
+      }
+    });
+  }
+
+  // --- orders + lineitem -----------------------------------------------
+  // Two passes: first derive each order's lineitem count (pure function of
+  // the order's seed), prefix-sum to place lineitems, then fill both tables
+  // morsel-parallel.
+  {
+    const size_t orders_n = card.orders;
+    std::vector<int8_t> lines_per_order(orders_n);
+    std::vector<int64_t> first_line(orders_n + 1);
+    {
+      runtime::MorselQueue morsels(orders_n);
+      runtime::WorkerPool::Global().Run(nthreads, [&](size_t) {
+        size_t begin, end;
+        while (morsels.Next(begin, end)) {
+          for (size_t o = begin; o < end; ++o) {
+            Rng rng(SplitMix64(kSeed ^ 0x08de4) ^
+                    (static_cast<int64_t>(o) + 1));
+            lines_per_order[o] = static_cast<int8_t>(rng.Uniform(1, 7));
+          }
+        }
+      });
+    }
+    first_line[0] = 0;
+    for (size_t o = 0; o < orders_n; ++o)
+      first_line[o + 1] = first_line[o] + lines_per_order[o];
+    const size_t lineitem_n = static_cast<size_t>(first_line[orders_n]);
+
+    Relation& orders = db.Add("orders");
+    auto o_orderkey = orders.AddColumn<int32_t>("o_orderkey", orders_n);
+    auto o_custkey = orders.AddColumn<int32_t>("o_custkey", orders_n);
+    auto o_orderdate = orders.AddColumn<int32_t>("o_orderdate", orders_n);
+    auto o_totalprice = orders.AddColumn<int64_t>("o_totalprice", orders_n);
+    auto o_shippriority =
+        orders.AddColumn<int32_t>("o_shippriority", orders_n);
+
+    Relation& lineitem = db.Add("lineitem");
+    auto l_orderkey = lineitem.AddColumn<int32_t>("l_orderkey", lineitem_n);
+    auto l_partkey = lineitem.AddColumn<int32_t>("l_partkey", lineitem_n);
+    auto l_suppkey = lineitem.AddColumn<int32_t>("l_suppkey", lineitem_n);
+    auto l_linenumber =
+        lineitem.AddColumn<int32_t>("l_linenumber", lineitem_n);
+    auto l_quantity = lineitem.AddColumn<int64_t>("l_quantity", lineitem_n);
+    auto l_extendedprice =
+        lineitem.AddColumn<int64_t>("l_extendedprice", lineitem_n);
+    auto l_discount = lineitem.AddColumn<int64_t>("l_discount", lineitem_n);
+    auto l_tax = lineitem.AddColumn<int64_t>("l_tax", lineitem_n);
+    auto l_returnflag =
+        lineitem.AddColumn<Char<1>>("l_returnflag", lineitem_n);
+    auto l_linestatus =
+        lineitem.AddColumn<Char<1>>("l_linestatus", lineitem_n);
+    auto l_shipdate = lineitem.AddColumn<int32_t>("l_shipdate", lineitem_n);
+    auto l_commitdate =
+        lineitem.AddColumn<int32_t>("l_commitdate", lineitem_n);
+    auto l_receiptdate =
+        lineitem.AddColumn<int32_t>("l_receiptdate", lineitem_n);
+
+    const int32_t start_date = TpchDates::Start();
+    const int32_t current_date = TpchDates::Current();
+    const int32_t orders_end = TpchDates::OrdersEnd();
+
+    runtime::MorselQueue morsels(orders_n, 4096);
+    pool.Run(nthreads, [&](size_t) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t o = begin; o < end; ++o) {
+          const int64_t orderkey = static_cast<int64_t>(o) + 1;
+          Rng rng(SplitMix64(kSeed ^ 0x0D0E5) ^ orderkey);
+          o_orderkey[o] = static_cast<int32_t>(orderkey);
+          // Spec: only two thirds of customers place orders.
+          int64_t ck = rng.Uniform(1, card.customers);
+          if (card.customers >= 3 && ck % 3 == 0) ++ck;
+          o_custkey[o] = static_cast<int32_t>(ck);
+          const int32_t odate = static_cast<int32_t>(
+              rng.Uniform(start_date, orders_end));
+          o_orderdate[o] = odate;
+          o_shippriority[o] = 0;
+
+          int64_t total = 0;  // scale 6 until final rounding
+          const int64_t nlines = lines_per_order[o];
+          for (int64_t l = 0; l < nlines; ++l) {
+            const size_t i = static_cast<size_t>(first_line[o] + l);
+            l_orderkey[i] = static_cast<int32_t>(orderkey);
+            l_linenumber[i] = static_cast<int32_t>(l + 1);
+            const int64_t partkey = rng.Uniform(1, card.parts);
+            l_partkey[i] = static_cast<int32_t>(partkey);
+            l_suppkey[i] =
+                PartSuppSupplier(partkey, rng.Uniform(0, 3), card.suppliers);
+            const int64_t qty = rng.Uniform(1, 50);
+            l_quantity[i] = qty * 100;  // scale 2
+            const int64_t extprice = qty * PartRetailPrice(partkey);
+            l_extendedprice[i] = extprice;
+            const int64_t disc = rng.Uniform(0, 10);
+            l_discount[i] = disc;
+            const int64_t tax = rng.Uniform(0, 8);
+            l_tax[i] = tax;
+            const int32_t ship =
+                odate + static_cast<int32_t>(rng.Uniform(1, 121));
+            l_shipdate[i] = ship;
+            l_commitdate[i] =
+                odate + static_cast<int32_t>(rng.Uniform(30, 90));
+            const int32_t receipt =
+                ship + static_cast<int32_t>(rng.Uniform(1, 30));
+            l_receiptdate[i] = receipt;
+            l_returnflag[i] = Char<1>::From(
+                receipt <= current_date ? (rng.Uniform(0, 1) ? "R" : "A")
+                                        : "N");
+            l_linestatus[i] = Char<1>::From(ship > current_date ? "O" : "F");
+            total += extprice * (100 + tax) * (100 - disc);
+          }
+          o_totalprice[o] = (total + 5000) / 10000;  // back to scale 2
+        }
+      }
+    });
+  }
+
+  return db;
+}
+
+}  // namespace vcq::datagen

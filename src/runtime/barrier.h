@@ -1,0 +1,53 @@
+#ifndef VCQ_RUNTIME_BARRIER_H_
+#define VCQ_RUNTIME_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace vcq::runtime {
+
+/// Reusable barrier for pipeline-phase ordering (paper §6.1: "pipeline
+/// breaking operators use a barrier to enforce a global order of
+/// sub-tasks" — e.g. hash-join build completes before any probe starts).
+/// The callable passed to Wait runs exactly once, on the last arriving
+/// thread, while the others are blocked — the natural place for
+/// finalize-build work such as sizing the hash table.
+class Barrier {
+ public:
+  explicit Barrier(size_t thread_count) : threads_(thread_count) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void Wait() {
+    Wait([] {});
+  }
+
+  /// Returns true on the thread that executed `on_last`.
+  template <typename F>
+  bool Wait(F&& on_last) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t generation = generation_;
+    if (++arrived_ == threads_) {
+      on_last();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation != generation_; });
+    return false;
+  }
+
+ private:
+  const size_t threads_;
+  size_t arrived_ = 0;
+  size_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_BARRIER_H_

@@ -1,0 +1,35 @@
+#include "runtime/hash.h"
+
+#include <cstring>
+
+namespace vcq::runtime {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  constexpr uint64_t m = kMurmurMul;
+  constexpr int r = 47;
+  uint64_t h = 0x8445d61a4e774912ull ^ (len * m);
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto* end = p + (len & ~size_t{7});
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+    p += 8;
+  }
+  uint64_t tail = 0;
+  std::memcpy(&tail, p, len & 7);
+  if ((len & 7) != 0) {
+    h ^= tail;
+    h *= m;
+  }
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace vcq::runtime

@@ -1,0 +1,56 @@
+#ifndef VCQ_RUNTIME_HASH_H_
+#define VCQ_RUNTIME_HASH_H_
+
+#include <nmmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+// Hash functions used by both engines (paper §4.1): Murmur2 (64A) for
+// Tectorwise — more instructions, higher throughput when hash computation is
+// a standalone primitive loop — and a CRC32-based function for Typer — lower
+// latency, which matters when the hash sits on the critical path of a fused
+// loop. Either engine can be configured with either function; the defaults
+// follow the paper ("each system uses the more beneficial hash function").
+
+namespace vcq::runtime {
+
+inline constexpr uint64_t kMurmurMul = 0xc6a4a7935bd1e995ull;
+
+/// MurmurHash64A specialized for a single 8-byte key.
+inline uint64_t HashMurmur2(uint64_t k) {
+  constexpr int r = 47;
+  uint64_t h = 0x8445d61a4e774912ull ^ (8 * kMurmurMul);
+  k *= kMurmurMul;
+  k ^= k >> r;
+  k *= kMurmurMul;
+  h ^= k;
+  h *= kMurmurMul;
+  h ^= h >> r;
+  h *= kMurmurMul;
+  h ^= h >> r;
+  return h;
+}
+
+/// CRC-based hash: combines two 32-bit CRC results (different seeds) into a
+/// single 64-bit hash (paper §4.1). One multiply spreads the entropy into
+/// the high bits used by the table's Bloom tag.
+inline uint64_t HashCrc32(uint64_t k) {
+  const uint64_t c1 = _mm_crc32_u64(0xb7e151628aed2a6bull, k);
+  const uint64_t c2 = _mm_crc32_u64(0x9e3779b97f4a7c15ull, k);
+  return ((c1 << 32) | (c2 & 0xffffffffull)) * kMurmurMul;
+}
+
+/// Combines an existing hash with the hash of the next key column
+/// (composite-key joins / group-bys; TW "rehash" primitive). Asymmetric in
+/// its arguments so that swapped composite key columns hash differently.
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return (seed * kMurmurMul) ^ h;
+}
+
+/// MurmurHash64A over an arbitrary byte sequence (inline strings).
+uint64_t HashBytes(const void* data, size_t len);
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_HASH_H_

@@ -1,0 +1,117 @@
+#ifndef VCQ_RUNTIME_HASHMAP_H_
+#define VCQ_RUNTIME_HASHMAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace vcq::runtime {
+
+/// Chaining hash table shared by Typer and Tectorwise (paper §3.2): a bucket
+/// array of tagged pointers plus externally allocated entries (row format,
+/// MemPool). The upper 16 bits of each bucket pointer encode a small
+/// Bloom-filter-like tag ("using 16 unused bits of each pointer"), so a
+/// probe miss usually skips the collision chain entirely — this is what
+/// makes selective joins cheap in both engines.
+///
+/// The table itself is key-agnostic: operators define their own entry
+/// layouts that start with EntryHeader and do their own key comparisons,
+/// which is precisely the paper's framing (Typer fuses the comparison into
+/// the probe loop; Tectorwise runs one compare primitive per key column).
+class Hashmap {
+ public:
+  struct EntryHeader {
+    EntryHeader* next;
+    uint64_t hash;
+  };
+
+  static constexpr uintptr_t kPtrMask = (uintptr_t{1} << 48) - 1;
+
+  Hashmap() = default;
+  Hashmap(const Hashmap&) = delete;
+  Hashmap& operator=(const Hashmap&) = delete;
+
+  /// Sizes the bucket array for `entry_count` entries (load factor <= 0.5).
+  /// Not thread-safe; call once before the parallel build phase.
+  void SetSize(size_t entry_count) {
+    capacity_ = NextPow2(entry_count * 2);
+    mask_ = capacity_ - 1;
+    buckets_ = std::make_unique<std::atomic<uintptr_t>[]>(capacity_);
+    for (size_t i = 0; i < capacity_; ++i)
+      buckets_[i].store(0, std::memory_order_relaxed);
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < capacity_; ++i)
+      buckets_[i].store(0, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Bloom tag derived from the hash's top 4 bits: one of 16 bits in the
+  /// pointer's upper 16 bits.
+  static uintptr_t TagOf(uint64_t hash) {
+    return uintptr_t{1} << (48 + (hash >> 60));
+  }
+
+  static EntryHeader* Ptr(uintptr_t bucket) {
+    return reinterpret_cast<EntryHeader*>(bucket & kPtrMask);
+  }
+
+  size_t BucketOf(uint64_t hash) const { return hash & mask_; }
+
+  /// Chain head with Bloom pre-filter: returns nullptr without touching the
+  /// chain when the tag bit for this hash is absent.
+  EntryHeader* FindChainTagged(uint64_t hash) const {
+    const uintptr_t b =
+        buckets_[BucketOf(hash)].load(std::memory_order_relaxed);
+    return (b & TagOf(hash)) ? Ptr(b) : nullptr;
+  }
+
+  /// Chain head without the filter (used by the tag-ablation bench).
+  EntryHeader* FindChain(uint64_t hash) const {
+    return Ptr(buckets_[BucketOf(hash)].load(std::memory_order_relaxed));
+  }
+
+  /// Thread-safe insert via CAS; preserves existing tag bits and adds the
+  /// entry's own. `e->hash` must already be set.
+  void Insert(EntryHeader* e) {
+    std::atomic<uintptr_t>& slot = buckets_[BucketOf(e->hash)];
+    const uintptr_t tag = TagOf(e->hash);
+    uintptr_t old = slot.load(std::memory_order_relaxed);
+    uintptr_t desired;
+    do {
+      e->next = Ptr(old);
+      desired = reinterpret_cast<uintptr_t>(e) | (old & ~kPtrMask) | tag;
+    } while (!slot.compare_exchange_weak(old, desired,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Single-threaded insert (no CAS); for serial builds and tests.
+  void InsertUnlocked(EntryHeader* e) {
+    std::atomic<uintptr_t>& slot = buckets_[BucketOf(e->hash)];
+    const uintptr_t old = slot.load(std::memory_order_relaxed);
+    e->next = Ptr(old);
+    slot.store(reinterpret_cast<uintptr_t>(e) | (old & ~kPtrMask) |
+                   TagOf(e->hash),
+               std::memory_order_relaxed);
+  }
+
+  /// Raw bucket array (SIMD gather probing, Fig. 8/9).
+  const std::atomic<uintptr_t>* buckets() const { return buckets_.get(); }
+  uint64_t mask() const { return mask_; }
+
+ private:
+  std::unique_ptr<std::atomic<uintptr_t>[]> buckets_;
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_HASHMAP_H_

@@ -1,0 +1,67 @@
+#ifndef VCQ_RUNTIME_MEM_POOL_H_
+#define VCQ_RUNTIME_MEM_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace vcq::runtime {
+
+/// Arena allocator for hash-table entries. Each worker thread owns a pool,
+/// so entry allocation during parallel builds is contention-free; the pools
+/// are kept alive by the operator that owns the hash table. Memory is only
+/// reclaimed wholesale when the pool dies — exactly the lifetime of a query
+/// operator, which is all an execution engine needs.
+class MemPool {
+ public:
+  explicit MemPool(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {}
+
+  MemPool(const MemPool&) = delete;
+  MemPool& operator=(const MemPool&) = delete;
+  MemPool(MemPool&&) = default;
+  MemPool& operator=(MemPool&&) = default;
+
+  /// Returns 8-byte-aligned storage; never fails (aborts on OOM).
+  void* Allocate(size_t bytes) {
+    bytes = AlignUp(bytes, 8);
+    if (used_ + bytes > current_size_) Grow(bytes);
+    void* p = current_ + used_;
+    used_ += bytes;
+    return p;
+  }
+
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pool never runs destructors");
+    return new (Allocate(sizeof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes handed out (diagnostics / working-set reporting).
+  size_t bytes_allocated() const { return total_allocated_; }
+
+ private:
+  void Grow(size_t min_bytes) {
+    const size_t size = std::max(chunk_bytes_, NextPow2(min_bytes));
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    current_ = chunks_.back().get();
+    current_size_ = size;
+    used_ = 0;
+    total_allocated_ += size;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* current_ = nullptr;
+  size_t current_size_ = 0;
+  size_t used_ = 0;
+  size_t total_allocated_ = 0;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_MEM_POOL_H_

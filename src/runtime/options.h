@@ -1,0 +1,34 @@
+#ifndef VCQ_RUNTIME_OPTIONS_H_
+#define VCQ_RUNTIME_OPTIONS_H_
+
+#include <cstddef>
+
+namespace vcq::runtime {
+
+/// Per-run execution settings, honored by all engines where meaningful.
+struct QueryOptions {
+  /// Worker threads (morsel-driven parallelism, paper §6).
+  size_t threads = 1;
+  /// Tectorwise vector size in tuples (Fig. 5 sweep); ignored by Typer and
+  /// Volcano.
+  size_t vector_size = 1024;
+  /// Use AVX-512 primitive variants where available (paper §5);
+  /// Tectorwise only.
+  bool simd = false;
+  /// Morsel size in tuples for table scans.
+  size_t morsel_grain = 16384;
+  /// Micro-adaptive ordered aggregation (paper §8.4, VectorWise's
+  /// optimization): per vector, partition input into per-group selection
+  /// vectors and keep partial aggregates in registers when the group count
+  /// is small; falls back to hash aggregation otherwise. Tectorwise Q1
+  /// only.
+  bool adaptive = false;
+  /// Relaxed operator fusion (paper §9.1, Peloton's hybrid): break the
+  /// fused probe pipeline at explicit materialization boundaries and issue
+  /// software prefetches for the staged hash-table buckets. Typer Q9 only.
+  bool rof = false;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_OPTIONS_H_

@@ -1,0 +1,116 @@
+#include "runtime/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace vcq::runtime {
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+struct ReadFormat {
+  uint64_t value;
+  uint64_t time_enabled;
+  uint64_t time_running;
+};
+
+}  // namespace
+
+double PerfCounters::Values::nan() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+PerfCounters::PerfCounters() {
+  using V = Values;
+  OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, &V::cycles);
+  OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, &V::instructions);
+  OpenEvent(PERF_TYPE_HW_CACHE,
+            PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+            &V::l1d_misses);
+  OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, &V::llc_misses);
+  OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
+            &V::branch_misses);
+  // CYCLE_ACTIVITY.STALLS_MEM_ANY (Intel: event 0xa3, umask 0x14, cmask 20);
+  // OpenEvent dedups, so the generic backend-stall event below only kicks in
+  // if the raw event is unavailable on this machine.
+  OpenEvent(PERF_TYPE_RAW, 0x145314a3, &V::memory_stall_cycles);
+  OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+            &V::memory_stall_cycles);
+}
+
+void PerfCounters::OpenEvent(uint32_t type, uint64_t config,
+                             double Values::* slot) {
+  // Skip if this slot is already fed by an earlier (preferred) event.
+  for (const Event& e : events_)
+    if (e.slot != nullptr && &(current_.*slot) == e.slot) return;
+
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.inherit = 1;  // count child/worker threads too
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const int fd =
+      static_cast<int>(PerfEventOpen(&attr, 0, -1, -1, PERF_FLAG_FD_CLOEXEC));
+  if (fd < 0) return;
+  Event e;
+  e.fd = fd;
+  e.slot = &(current_.*slot);
+  events_.push_back(e);
+  slots_.push_back(slot);
+}
+
+PerfCounters::~PerfCounters() {
+  for (const Event& e : events_) close(e.fd);
+}
+
+bool PerfCounters::available() const {
+  bool cycles = false, instructions = false;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == &Values::cycles) cycles = true;
+    if (slots_[i] == &Values::instructions) instructions = true;
+  }
+  return cycles && instructions;
+}
+
+void PerfCounters::Start() {
+  for (Event& e : events_) {
+    ioctl(e.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(e.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounters::Values PerfCounters::Stop() {
+  Values out;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    Event& e = events_[i];
+    ioctl(e.fd, PERF_EVENT_IOC_DISABLE, 0);
+    ReadFormat rf;
+    if (read(e.fd, &rf, sizeof(rf)) != sizeof(rf)) continue;
+    double value = static_cast<double>(rf.value);
+    // Scale for multiplexing: value * enabled / running.
+    if (rf.time_running > 0 && rf.time_running < rf.time_enabled)
+      value = value * static_cast<double>(rf.time_enabled) /
+              static_cast<double>(rf.time_running);
+    if (rf.time_running == 0) continue;  // never scheduled -> keep NaN
+    out.*(slots_[i]) = value;
+  }
+  return out;
+}
+
+}  // namespace vcq::runtime

@@ -1,0 +1,62 @@
+#ifndef VCQ_RUNTIME_PERF_COUNTERS_H_
+#define VCQ_RUNTIME_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcq::runtime {
+
+/// Hardware counter capture via the Linux perf-events API — the measurement
+/// substrate behind Table 1, Figure 4 and the §4.4 SSB table. Counters are
+/// opened individually (not as one group) so partially restricted
+/// environments still deliver what they can; anything unavailable reads as
+/// NaN and the bench harness prints "n/a". All experiment conclusions that
+/// depend only on wall time remain reproducible without any counters
+/// (containers often set perf_event_paranoid too high).
+class PerfCounters {
+ public:
+  struct Values {
+    double cycles = nan();
+    double instructions = nan();
+    double l1d_misses = nan();
+    double llc_misses = nan();
+    double branch_misses = nan();
+    /// Cycles stalled on memory (Fig. 4). Tries the architecture-specific
+    /// CYCLE_ACTIVITY.STALLS_MEM_ANY raw event, then the generic
+    /// stalled-cycles-backend.
+    double memory_stall_cycles = nan();
+
+    double ipc() const { return instructions / cycles; }
+    static double nan();
+  };
+
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if at least cycles+instructions opened successfully.
+  bool available() const;
+
+  void Start();
+  /// Stops counting and returns deltas since Start().
+  Values Stop();
+
+ private:
+  struct Event {
+    int fd = -1;
+    uint64_t start_value = 0;
+    double* slot = nullptr;  // which Values field this event feeds
+  };
+
+  void OpenEvent(uint32_t type, uint64_t config, double Values::* slot);
+
+  std::vector<Event> events_;
+  std::vector<double Values::*> slots_;
+  Values current_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_PERF_COUNTERS_H_

@@ -1,0 +1,87 @@
+#include "runtime/query_result.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "runtime/types.h"
+
+namespace vcq::runtime {
+
+void QueryResult::SortRows() { std::sort(rows.begin(), rows.end()); }
+
+std::string QueryResult::ToString(size_t limit) const {
+  std::vector<size_t> widths(column_names.size());
+  for (size_t c = 0; c < column_names.size(); ++c)
+    widths[c] = column_names[c].size();
+  const size_t n = (limit == 0) ? rows.size() : std::min(limit, rows.size());
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < rows[r].size(); ++c)
+      widths[c] = std::max(widths[c], rows[r][c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? " | " : "");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(column_names);
+  size_t total = column_names.size() ? 3 * (column_names.size() - 1) : 0;
+  for (size_t w : widths) total += w;
+  out << std::string(total, '-') << "\n";
+  for (size_t r = 0; r < n; ++r) emit_row(rows[r]);
+  if (n < rows.size())
+    out << "... (" << rows.size() - n << " more rows)\n";
+  return out.str();
+}
+
+ResultBuilder::ResultBuilder(std::vector<std::string> column_names)
+    : width_(column_names.size()) {
+  result_.column_names = std::move(column_names);
+}
+
+ResultBuilder& ResultBuilder::BeginRow() {
+  if (!result_.rows.empty())
+    VCQ_CHECK_MSG(result_.rows.back().size() == width_, "short row");
+  result_.rows.emplace_back();
+  result_.rows.back().reserve(width_);
+  return *this;
+}
+
+ResultBuilder& ResultBuilder::Int(int64_t v) {
+  result_.rows.back().push_back(std::to_string(v));
+  return *this;
+}
+
+ResultBuilder& ResultBuilder::Numeric(int64_t v, int scale) {
+  result_.rows.back().push_back(NumericToString(v, scale));
+  return *this;
+}
+
+ResultBuilder& ResultBuilder::Avg(int64_t sum, int64_t count, int in_scale,
+                                  int out_scale) {
+  result_.rows.back().push_back(
+      NumericAvgToString(sum, count, in_scale, out_scale));
+  return *this;
+}
+
+ResultBuilder& ResultBuilder::Date(int32_t days) {
+  result_.rows.back().push_back(DateToString(days));
+  return *this;
+}
+
+ResultBuilder& ResultBuilder::Str(std::string_view s) {
+  result_.rows.back().emplace_back(s);
+  return *this;
+}
+
+QueryResult ResultBuilder::Finish() {
+  if (!result_.rows.empty())
+    VCQ_CHECK_MSG(result_.rows.back().size() == width_, "short row");
+  return std::move(result_);
+}
+
+}  // namespace vcq::runtime

@@ -1,0 +1,51 @@
+#ifndef VCQ_RUNTIME_QUERY_RESULT_H_
+#define VCQ_RUNTIME_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcq::runtime {
+
+/// Materialized, normalized query result. All engines produce one of these
+/// so cross-engine equivalence is a structural comparison. Values are
+/// rendered to canonical text (fixed-point with schema scale, ISO dates),
+/// which sidesteps float-comparison issues entirely — the engines use exact
+/// integer arithmetic throughout, as the paper's prototype does.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Lexicographic row sort for order-insensitive comparison.
+  void SortRows();
+
+  /// Renders up to `limit` rows as an aligned table (0 = all).
+  std::string ToString(size_t limit = 0) const;
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+/// Row-at-a-time builder with shared formatting, so every engine renders
+/// values identically.
+class ResultBuilder {
+ public:
+  explicit ResultBuilder(std::vector<std::string> column_names);
+
+  ResultBuilder& BeginRow();
+  ResultBuilder& Int(int64_t v);
+  ResultBuilder& Numeric(int64_t v, int scale);
+  /// round(sum/count) at out_scale digits, exact decimal arithmetic.
+  ResultBuilder& Avg(int64_t sum, int64_t count, int in_scale, int out_scale);
+  ResultBuilder& Date(int32_t days);
+  ResultBuilder& Str(std::string_view s);
+
+  QueryResult Finish();
+
+ private:
+  QueryResult result_;
+  size_t width_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_QUERY_RESULT_H_

@@ -1,0 +1,18 @@
+#include "runtime/relation.h"
+
+#include <cstdlib>
+
+#include "common/bit_util.h"
+
+namespace vcq::runtime {
+
+std::shared_ptr<std::byte[]> Relation::AllocateAligned(size_t bytes) {
+  // 64-byte alignment: cache-line- and AVX-512-friendly scans.
+  if (bytes == 0) bytes = 64;
+  void* p = std::aligned_alloc(64, AlignUp(bytes, 64));
+  VCQ_CHECK_MSG(p != nullptr, "column allocation failed");
+  return {static_cast<std::byte*>(p),
+          [](std::byte* ptr) { std::free(ptr); }};
+}
+
+}  // namespace vcq::runtime

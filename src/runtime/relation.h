@@ -1,0 +1,167 @@
+#ifndef VCQ_RUNTIME_RELATION_H_
+#define VCQ_RUNTIME_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "runtime/types.h"
+
+namespace vcq::runtime {
+
+/// Physical type tags for runtime-checked column access.
+enum class TypeTag : uint8_t {
+  kInt32,   // also dates (day numbers)
+  kInt64,   // also fixed-point numerics
+  kChar,    // Char<N>; elem_size distinguishes widths
+  kVarchar  // Varchar<N>
+};
+
+template <typename T>
+struct TypeTraits;
+template <>
+struct TypeTraits<int32_t> {
+  static constexpr TypeTag kTag = TypeTag::kInt32;
+};
+template <>
+struct TypeTraits<int64_t> {
+  static constexpr TypeTag kTag = TypeTag::kInt64;
+};
+template <size_t N>
+struct TypeTraits<Char<N>> {
+  static constexpr TypeTag kTag = TypeTag::kChar;
+};
+template <size_t N>
+struct TypeTraits<Varchar<N>> {
+  static constexpr TypeTag kTag = TypeTag::kVarchar;
+};
+
+/// Columnar table: named, typed, 64-byte-aligned column buffers. This is the
+/// storage layer both engines scan (paper §2: columnar representation).
+class Relation {
+ public:
+  Relation() = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  /// Allocates (or replaces) a column of `count` elements and returns a
+  /// writable view. Also sets the relation's tuple count on first call.
+  template <typename T>
+  std::span<T> AddColumn(const std::string& name, size_t count) {
+    if (tuple_count_ == 0) tuple_count_ = count;
+    VCQ_CHECK_MSG(count == tuple_count_, "column cardinality mismatch");
+    ColumnData col;
+    col.name = name;
+    col.tag = TypeTraits<T>::kTag;
+    col.elem_size = sizeof(T);
+    col.count = count;
+    col.data = AllocateAligned(sizeof(T) * count);
+    T* ptr = reinterpret_cast<T*>(col.data.get());
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      columns_[it->second] = std::move(col);
+    } else {
+      index_.emplace(name, columns_.size());
+      columns_.push_back(std::move(col));
+    }
+    return {ptr, count};
+  }
+
+  template <typename T>
+  std::span<const T> Col(std::string_view name) const {
+    const ColumnData& c = Lookup(name);
+    VCQ_CHECK_MSG(c.tag == TypeTraits<T>::kTag && c.elem_size == sizeof(T),
+                  "column type mismatch");
+    return {reinterpret_cast<const T*>(c.data.get()), c.count};
+  }
+
+  template <typename T>
+  std::span<T> MutableCol(std::string_view name) {
+    const ColumnData& c = Lookup(name);
+    VCQ_CHECK_MSG(c.tag == TypeTraits<T>::kTag && c.elem_size == sizeof(T),
+                  "column type mismatch");
+    return {reinterpret_cast<T*>(c.data.get()), c.count};
+  }
+
+  bool HasColumn(std::string_view name) const {
+    return index_.find(std::string(name)) != index_.end();
+  }
+
+  size_t tuple_count() const { return tuple_count_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Total bytes across all columns (working-set accounting, Tab. 5).
+  size_t byte_size() const {
+    size_t total = 0;
+    for (const auto& c : columns_) total += c.elem_size * c.count;
+    return total;
+  }
+
+  std::vector<std::string> ColumnNames() const {
+    std::vector<std::string> names;
+    names.reserve(columns_.size());
+    for (const auto& c : columns_) names.push_back(c.name);
+    return names;
+  }
+
+ private:
+  struct ColumnData {
+    std::string name;
+    TypeTag tag;
+    size_t elem_size;
+    size_t count;
+    std::shared_ptr<std::byte[]> data;
+  };
+
+  static std::shared_ptr<std::byte[]> AllocateAligned(size_t bytes);
+
+  const ColumnData& Lookup(std::string_view name) const {
+    const auto it = index_.find(std::string(name));
+    VCQ_CHECK_MSG(it != index_.end(), std::string(name).c_str());
+    return columns_[it->second];
+  }
+
+  std::vector<ColumnData> columns_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t tuple_count_ = 0;
+};
+
+/// A named set of relations (one TPC-H or SSB instance).
+class Database {
+ public:
+  Relation& Add(const std::string& name) { return relations_[name]; }
+
+  Relation& operator[](const std::string& name) {
+    const auto it = relations_.find(name);
+    VCQ_CHECK_MSG(it != relations_.end(), name.c_str());
+    return it->second;
+  }
+  const Relation& operator[](const std::string& name) const {
+    const auto it = relations_.find(name);
+    VCQ_CHECK_MSG(it != relations_.end(), name.c_str());
+    return it->second;
+  }
+
+  bool Has(const std::string& name) const {
+    return relations_.find(name) != relations_.end();
+  }
+
+  size_t byte_size() const {
+    size_t total = 0;
+    for (const auto& [_, rel] : relations_) total += rel.byte_size();
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_RELATION_H_

@@ -1,0 +1,101 @@
+#include "runtime/throttled_source.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vcq::runtime {
+
+namespace {
+constexpr size_t kChunk = 4 << 20;  // 4 MB I/O units, SSD-realistic
+}
+
+ThrottledSource::ThrottledSource(std::string path,
+                                 uint64_t bandwidth_bytes_per_sec)
+    : path_(std::move(path)), bandwidth_(bandwidth_bytes_per_sec) {}
+
+ThrottledSource::~ThrottledSource() {
+  if (loader_.joinable()) loader_.join();
+  unlink(path_.c_str());
+}
+
+void ThrottledSource::Spill(const void* data, uint64_t bytes) {
+  // First Spill truncates any stale file; later calls append.
+  const int flags =
+      O_WRONLY | O_CREAT | (file_bytes_ == 0 ? O_TRUNC : O_APPEND);
+  const int fd = open(path_.c_str(), flags, 0644);
+  VCQ_CHECK_MSG(fd >= 0, "cannot create spill file");
+  const char* p = static_cast<const char*>(data);
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t n = write(fd, p, std::min<uint64_t>(remaining, kChunk));
+    VCQ_CHECK_MSG(n > 0, "spill write failed");
+    p += n;
+    remaining -= static_cast<uint64_t>(n);
+  }
+  close(fd);
+  file_bytes_ += bytes;
+}
+
+void ThrottledSource::StartReplay() {
+  VCQ_CHECK(!running_);
+  watermark_.store(0, std::memory_order_relaxed);
+  running_ = true;
+  loader_ = std::thread(&ThrottledSource::LoaderLoop, this);
+}
+
+void ThrottledSource::LoaderLoop() {
+  using Clock = std::chrono::steady_clock;
+  const int fd = open(path_.c_str(), O_RDONLY);
+  VCQ_CHECK_MSG(fd >= 0, "cannot open spill file");
+  // Drop any cached pages so the replay actually reads (best effort; if the
+  // kernel ignores it, the token bucket below still enforces the bandwidth).
+  posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+
+  std::vector<char> buf(kChunk);
+  const Clock::time_point start = Clock::now();
+  uint64_t replayed = 0;
+  while (true) {
+    const ssize_t n = read(fd, buf.data(), buf.size());
+    VCQ_CHECK_MSG(n >= 0, "spill read failed");
+    if (n == 0) break;
+    replayed += static_cast<uint64_t>(n);
+    if (bandwidth_ > 0) {
+      // Token bucket: sleep until this many bytes are "allowed".
+      const double due_s = static_cast<double>(replayed) /
+                           static_cast<double>(bandwidth_);
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(due_s));
+      std::this_thread::sleep_until(due);
+    }
+    watermark_.store(replayed, std::memory_order_release);
+    cv_.notify_all();
+  }
+  close(fd);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    watermark_.store(replayed, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void ThrottledSource::WaitForBytes(uint64_t offset) {
+  if (watermark_.load(std::memory_order_acquire) >= offset) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return watermark_.load(std::memory_order_acquire) >= offset;
+  });
+}
+
+uint64_t ThrottledSource::Join() {
+  if (loader_.joinable()) loader_.join();
+  running_ = false;
+  return watermark_.load(std::memory_order_acquire);
+}
+
+}  // namespace vcq::runtime

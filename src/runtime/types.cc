@@ -1,0 +1,74 @@
+#include "runtime/types.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcq::runtime {
+
+int32_t DateFromString(std::string_view s) {
+  VCQ_CHECK_MSG(s.size() == 10 && s[4] == '-' && s[7] == '-',
+                "date must be YYYY-MM-DD");
+  auto num = [&](size_t off, size_t len) {
+    int32_t v = 0;
+    for (size_t i = 0; i < len; ++i) {
+      const char c = s[off + i];
+      VCQ_CHECK_MSG(c >= '0' && c <= '9', "date digit expected");
+      v = v * 10 + (c - '0');
+    }
+    return v;
+  };
+  const int32_t y = num(0, 4);
+  const uint32_t m = static_cast<uint32_t>(num(5, 2));
+  const uint32_t d = static_cast<uint32_t>(num(8, 2));
+  VCQ_CHECK_MSG(m >= 1 && m <= 12 && d >= 1 && d <= 31, "date out of range");
+  return DaysFromCivil(y, m, d);
+}
+
+std::string DateToString(int32_t days) {
+  const Civil c = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string NumericToString(int64_t value, int scale) {
+  VCQ_CHECK(scale >= 0 && scale <= 10);
+  if (scale == 0) return std::to_string(value);
+  const bool neg = value < 0;
+  // Avoid overflow on INT64_MIN by working with unsigned magnitude.
+  uint64_t mag = neg ? -static_cast<uint64_t>(value) : value;
+  const uint64_t p = static_cast<uint64_t>(kPow10[scale]);
+  const uint64_t whole = mag / p;
+  const uint64_t frac = mag % p;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%0*llu", neg ? "-" : "",
+                static_cast<unsigned long long>(whole), scale,
+                static_cast<unsigned long long>(frac));
+  return buf;
+}
+
+std::string NumericAvgToString(int64_t sum, int64_t count, int in_scale,
+                               int out_scale) {
+  VCQ_CHECK(count > 0);
+  // Scale sum so the quotient carries out_scale fractional digits, then do
+  // one exact division with half-up rounding. 128-bit intermediate keeps
+  // this exact for any realistic TPC-H aggregate.
+  __int128 scaled = static_cast<__int128>(sum);
+  int shift = out_scale - in_scale;
+  while (shift > 0) {
+    scaled *= 10;
+    --shift;
+  }
+  while (shift < 0) {
+    // Out-scale below in-scale is not used by any query; keep exactness.
+    VCQ_CHECK_MSG(false, "avg out_scale must be >= in_scale");
+  }
+  const bool neg = scaled < 0;
+  __int128 mag = neg ? -scaled : scaled;
+  const __int128 q = (mag + count / 2) / count;
+  return NumericToString(neg ? -static_cast<int64_t>(q)
+                             : static_cast<int64_t>(q),
+                         out_scale);
+}
+
+}  // namespace vcq::runtime

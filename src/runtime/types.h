@@ -1,0 +1,171 @@
+#ifndef VCQ_RUNTIME_TYPES_H_
+#define VCQ_RUNTIME_TYPES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+
+// Value types shared by all three engines (paper §3: "the same data
+// structures"). All types are trivially copyable PODs so they can live in
+// raw columnar buffers and inside hash-table entries.
+//
+//  * Dates are 32-bit day numbers (days since 1970-01-01, proleptic
+//    Gregorian), so date predicates are plain integer comparisons.
+//  * Monetary/decimal values are 64-bit fixed-point integers; the scale is
+//    part of the schema, not of the value (as in the paper's prototype,
+//    which ignores overflow checking, §3.2).
+//  * Short strings are inline Char<N> / Varchar<N> values, exactly like the
+//    original test system, so string predicates run on columnar data without
+//    pointer chasing.
+
+namespace vcq::runtime {
+
+// ---------------------------------------------------------------------------
+// Date
+// ---------------------------------------------------------------------------
+
+/// Converts a civil date to days since the Unix epoch
+/// (Howard Hinnant's days_from_civil algorithm).
+constexpr int32_t DaysFromCivil(int32_t y, uint32_t m, uint32_t d) {
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);
+  const uint32_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+struct Civil {
+  int32_t year;
+  uint32_t month;
+  uint32_t day;
+};
+
+/// Inverse of DaysFromCivil.
+constexpr Civil CivilFromDays(int32_t z) {
+  z += 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);
+  const uint32_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint32_t mp = (5 * doy + 2) / 153;
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint32_t m = mp + (mp < 10 ? 3 : -9);
+  return Civil{y + (m <= 2), m, d};
+}
+
+/// Parses "YYYY-MM-DD"; aborts on malformed input (generator/test use only).
+int32_t DateFromString(std::string_view s);
+
+/// Formats a day number as "YYYY-MM-DD".
+std::string DateToString(int32_t days);
+
+/// Extracts the calendar year of a day number.
+constexpr int32_t YearOf(int32_t days) { return CivilFromDays(days).year; }
+
+// ---------------------------------------------------------------------------
+// Fixed-point numerics
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kPow10[] = {1,
+                              10,
+                              100,
+                              1000,
+                              10000,
+                              100000,
+                              1000000,
+                              10000000,
+                              100000000,
+                              1000000000,
+                              10000000000LL};
+
+/// Renders a scale-`scale` fixed-point integer (e.g. 12345 @ scale 2 ->
+/// "123.45"). Used for result normalization so all engines format alike.
+std::string NumericToString(int64_t value, int scale);
+
+/// Exact decimal average with half-up rounding, rendered at `out_scale`
+/// digits: round(sum / count * 10^(out_scale - in_scale)).
+std::string NumericAvgToString(int64_t sum, int64_t count, int in_scale,
+                               int out_scale);
+
+// ---------------------------------------------------------------------------
+// Inline strings
+// ---------------------------------------------------------------------------
+
+/// Fixed-width string, zero-padded. Equality compares all N bytes.
+template <size_t N>
+struct Char {
+  char data[N];
+
+  static Char From(std::string_view s) {
+    VCQ_CHECK_MSG(s.size() <= N, "Char<N> overflow");
+    Char c;
+    std::memset(c.data, 0, N);
+    std::memcpy(c.data, s.data(), s.size());
+    return c;
+  }
+
+  std::string_view View() const {
+    size_t len = N;
+    while (len > 0 && data[len - 1] == '\0') --len;
+    return {data, len};
+  }
+
+  friend bool operator==(const Char& a, const Char& b) {
+    return std::memcmp(a.data, b.data, N) == 0;
+  }
+  friend bool operator<(const Char& a, const Char& b) {
+    return std::memcmp(a.data, b.data, N) < 0;
+  }
+  friend bool operator<=(const Char& a, const Char& b) { return !(b < a); }
+  friend bool operator>(const Char& a, const Char& b) { return b < a; }
+  friend bool operator>=(const Char& a, const Char& b) { return !(a < b); }
+};
+
+/// Bounded-length string with an explicit length byte, stored inline.
+template <size_t N>
+struct Varchar {
+  uint8_t len;
+  char data[N];
+
+  static Varchar From(std::string_view s) {
+    VCQ_CHECK_MSG(s.size() <= N, "Varchar<N> overflow");
+    Varchar v;
+    v.len = static_cast<uint8_t>(s.size());
+    std::memset(v.data, 0, N);
+    std::memcpy(v.data, s.data(), s.size());
+    return v;
+  }
+
+  std::string_view View() const { return {data, len}; }
+
+  /// Substring search; the Q9 "p_name like '%green%'" predicate.
+  bool Contains(std::string_view needle) const {
+    return View().find(needle) != std::string_view::npos;
+  }
+
+  friend bool operator==(const Varchar& a, const Varchar& b) {
+    return a.len == b.len && std::memcmp(a.data, b.data, a.len) == 0;
+  }
+  friend bool operator<(const Varchar& a, const Varchar& b) {
+    return a.View() < b.View();
+  }
+  friend bool operator<=(const Varchar& a, const Varchar& b) {
+    return !(b < a);
+  }
+  friend bool operator>(const Varchar& a, const Varchar& b) { return b < a; }
+  friend bool operator>=(const Varchar& a, const Varchar& b) {
+    return !(a < b);
+  }
+};
+
+static_assert(sizeof(Char<10>) == 10);
+static_assert(sizeof(Varchar<55>) == 56);
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_TYPES_H_

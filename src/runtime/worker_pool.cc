@@ -1,0 +1,84 @@
+#include "runtime/worker_pool.h"
+
+#include "common/check.h"
+
+namespace vcq::runtime {
+
+WorkerPool& WorkerPool::Global() {
+  // Leaked on purpose: workers may outlive main() teardown order otherwise.
+  static WorkerPool* pool = new WorkerPool();
+  return *pool;
+}
+
+WorkerPool::WorkerPool()
+    : max_threads_(std::max(1u, std::thread::hardware_concurrency())) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::EnsureThreads(size_t needed) {
+  while (threads_.size() < needed)
+    threads_.emplace_back(&WorkerPool::WorkerLoop, this, threads_.size());
+}
+
+void WorkerPool::Run(size_t thread_count,
+                     const std::function<void(size_t)>& fn) {
+  VCQ_CHECK(thread_count >= 1);
+  if (thread_count == 1) {
+    fn(0);
+    return;
+  }
+  // One parallel region at a time; concurrent queries queue up here.
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const size_t helpers = thread_count - 1;  // caller acts as worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  EnsureThreads(helpers);
+  job_ = &fn;
+  job_threads_ = helpers;
+  job_remaining_ = helpers;
+  ++job_generation_;
+  const size_t my_generation = job_generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  fn(0);
+
+  lock.lock();
+  done_cv_.wait(lock, [&] {
+    return job_generation_ == my_generation && job_remaining_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(size_t pool_index) {
+  size_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t my_id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr &&
+                             job_generation_ != seen_generation &&
+                             pool_index < job_threads_);
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      fn = job_;
+      my_id = pool_index + 1;  // caller is worker 0
+    }
+    (*fn)(my_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--job_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vcq::runtime

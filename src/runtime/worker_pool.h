@@ -1,0 +1,88 @@
+#ifndef VCQ_RUNTIME_WORKER_POOL_H_
+#define VCQ_RUNTIME_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcq::runtime {
+
+/// Work distribution unit for morsel-driven parallelism (paper §6.1,
+/// following HyPer's design): workers pull fixed-size tuple ranges from a
+/// shared atomic cursor until the input is exhausted, which load-balances
+/// automatically. Both engines use this — the parallelization framework is
+/// deliberately identical (paper §3).
+class MorselQueue {
+ public:
+  static constexpr size_t kDefaultGrain = 16384;
+
+  explicit MorselQueue(size_t total, size_t grain = kDefaultGrain)
+      : total_(total), grain_(grain == 0 ? kDefaultGrain : grain) {}
+
+  /// Claims the next [begin, end) range; returns false when drained.
+  bool Next(size_t& begin, size_t& end) {
+    const size_t b = next_.fetch_add(grain_, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    begin = b;
+    end = std::min(b + grain_, total_);
+    return true;
+  }
+
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+  size_t total() const { return total_; }
+  size_t grain() const { return grain_; }
+
+ private:
+  std::atomic<size_t> next_{0};
+  const size_t total_;
+  const size_t grain_;
+};
+
+/// Persistent thread pool that broadcasts one job to N workers and joins
+/// them. Queries run as a sequence of such parallel regions (one per
+/// pipeline), with Barrier ordering the phases inside a region.
+class WorkerPool {
+ public:
+  /// Process-wide pool (threads are created lazily, reused across queries).
+  static WorkerPool& Global();
+
+  WorkerPool();
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(worker_id) on `thread_count` workers and blocks until all
+  /// return. worker_id is dense in [0, thread_count). With thread_count == 1
+  /// the job runs inline on the caller (clean single-threaded measurements:
+  /// no handoff, no wakeup latency). Concurrent Run calls from different
+  /// threads are serialized: queries issued in parallel execute one after
+  /// another on the pool, each with correct results.
+  void Run(size_t thread_count, const std::function<void(size_t)>& fn);
+
+  size_t max_threads() const { return max_threads_; }
+
+ private:
+  void WorkerLoop(size_t pool_index);
+  void EnsureThreads(size_t needed);
+
+  std::vector<std::thread> threads_;
+  std::mutex run_mutex_;  // serializes concurrent Run() callers
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_threads_ = 0;     // workers participating in current job
+  size_t job_generation_ = 0;  // bumped per job
+  size_t job_remaining_ = 0;
+  bool shutdown_ = false;
+  size_t max_threads_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_WORKER_POOL_H_

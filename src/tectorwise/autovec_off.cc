@@ -1,0 +1,2 @@
+#define VCQ_AUTOVEC_NS autovec_off
+#include "tectorwise/autovec_kernels.inc"

@@ -1,0 +1,2 @@
+#define VCQ_AUTOVEC_NS autovec_on
+#include "tectorwise/autovec_kernels.inc"

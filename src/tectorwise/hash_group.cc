@@ -1,0 +1,233 @@
+#include "tectorwise/hash_group.h"
+
+namespace vcq::tectorwise {
+
+using runtime::Hashmap;
+
+HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
+                     std::unique_ptr<Operator> child, const ExecContext& ctx)
+    : shared_(shared),
+      worker_id_(worker_id),
+      worker_count_(worker_count),
+      child_(std::move(child)),
+      ctx_(ctx) {
+  const size_t v = ctx_.vector_size;
+  hashes_.Reset(v * sizeof(uint64_t));
+  pos_.Reset(v * sizeof(pos_t));
+  groups_.Reset(v * sizeof(std::byte*));
+  cand_.Reset(v * sizeof(Hashmap::EntryHeader*));
+  cand_k_.Reset(v * sizeof(pos_t));
+  cand_pos_.Reset(v * sizeof(pos_t));
+  match_.Reset(v * sizeof(uint8_t));
+  local_ht_.SetSize(2048);
+}
+
+size_t HashGroup::AddSumAgg(const Slot* col) {
+  if (agg_begin_ == 0) agg_begin_ = agg_end_ = AlignUp(key_end_, 8);
+  const size_t offset = agg_end_;
+  agg_end_ += sizeof(int64_t);
+  sum_offsets_.push_back(offset);
+  sum_cols_.push_back(col);
+  return offset;
+}
+
+size_t HashGroup::AddCountAgg() {
+  if (agg_begin_ == 0) agg_begin_ = agg_end_ = AlignUp(key_end_, 8);
+  const size_t offset = agg_end_;
+  agg_end_ += sizeof(int64_t);
+  sum_offsets_.push_back(offset);
+  sum_cols_.push_back(nullptr);
+  return offset;
+}
+
+void HashGroup::GrowLocalTable() {
+  local_ht_.SetSize(local_count_ * 4);
+  auto& spill = shared_->spills[worker_id_];
+  for (auto& part : spill.parts) {
+    for (std::byte* e : part)
+      local_ht_.InsertUnlocked(reinterpret_cast<Hashmap::EntryHeader*>(e));
+  }
+}
+
+std::byte* HashGroup::InsertGroup(uint64_t hash, pos_t p) {
+  // Re-check the chain first: an earlier miss in this batch (or a tag false
+  // negative against a just-grown table) may have created the group already.
+  for (Hashmap::EntryHeader* e = local_ht_.FindChain(hash); e != nullptr;
+       e = e->next) {
+    if (e->hash != hash) continue;
+    auto* bytes = reinterpret_cast<std::byte*>(e);
+    bool equal = true;
+    for (const KeySteps& key : key_steps_) {
+      if (!key.equal(bytes, p)) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return bytes;
+  }
+  if ((local_count_ + 1) * 2 > local_ht_.capacity()) GrowLocalTable();
+
+  auto* entry = static_cast<std::byte*>(pool_.Allocate(entry_size()));
+  auto* header = reinterpret_cast<Hashmap::EntryHeader*>(entry);
+  header->next = nullptr;
+  header->hash = hash;
+  // Zero the key region (memcmp-comparable padding) and the aggregates.
+  std::memset(entry + sizeof(Hashmap::EntryHeader), 0,
+              entry_size() - sizeof(Hashmap::EntryHeader));
+  for (const KeySteps& key : key_steps_) key.init(entry, p);
+  local_ht_.InsertUnlocked(header);
+  shared_->spills[worker_id_].parts[PartitionOf(hash)].push_back(entry);
+  ++local_count_;
+  return entry;
+}
+
+void HashGroup::FindGroups(size_t n) {
+  uint64_t* hashes = hashes_.As<uint64_t>();
+  pos_t* pos = pos_.As<pos_t>();
+  std::byte** groups = groups_.As<std::byte*>();
+  auto** cand = cand_.As<Hashmap::EntryHeader*>();
+  pos_t* cand_k = cand_k_.As<pos_t>();
+  pos_t* cand_pos = cand_pos_.As<pos_t>();
+  uint8_t* match = match_.As<uint8_t>();
+
+  for (size_t k = 0; k < n; ++k) groups[k] = nullptr;
+
+  // findCandidates against the local table (vectorized fast path).
+  size_t m = 0;
+  for (size_t k = 0; k < n; ++k) {
+    Hashmap::EntryHeader* e = local_ht_.FindChainTagged(hashes[k]);
+    cand[m] = e;
+    cand_k[m] = static_cast<pos_t>(k);
+    cand_pos[m] = pos[k];
+    m += (e != nullptr) ? 1 : 0;
+  }
+  while (m > 0) {
+    bool first = true;
+    for (const KeySteps& key : key_steps_) {
+      key.compare(m, cand, cand_pos, match, first);
+      first = false;
+    }
+    size_t survivors = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (match[j]) {
+        groups[cand_k[j]] = reinterpret_cast<std::byte*>(cand[j]);
+      } else {
+        Hashmap::EntryHeader* next = cand[j]->next;
+        cand[survivors] = next;
+        cand_k[survivors] = cand_k[j];
+        cand_pos[survivors] = cand_pos[j];
+        survivors += (next != nullptr) ? 1 : 0;
+      }
+    }
+    m = survivors;
+  }
+
+  // Scalar insert path for group-less tuples.
+  for (size_t k = 0; k < n; ++k) {
+    if (groups[k] == nullptr) groups[k] = InsertGroup(hashes[k], pos[k]);
+  }
+}
+
+void HashGroup::ConsumeChild() {
+  VCQ_CHECK_MSG(!key_steps_.empty(), "group keys not configured");
+  uint64_t* hashes = hashes_.As<uint64_t>();
+  pos_t* pos = pos_.As<pos_t>();
+  std::byte** groups = groups_.As<std::byte*>();
+
+  size_t n;
+  while ((n = child_->Next()) != kEndOfStream) {
+    if (n == 0) continue;
+    const pos_t* sel = child_->sel();
+    bool first = true;
+    for (const KeyHashKind& h : hash_steps_) {
+      if (first) {
+        h.hash(n, sel, hashes, pos);
+        first = false;
+      } else {
+        h.rehash(n, pos, hashes);
+      }
+    }
+    FindGroups(n);
+    // Aggregate updates (vectorized primitives over the group pointers).
+    for (size_t a = 0; a < sum_offsets_.size(); ++a) {
+      if (sum_cols_[a] == nullptr) {
+        AggCount(n, groups, sum_offsets_[a]);
+      } else {
+        AggSum(n, groups, sum_offsets_[a], pos, Get<int64_t>(sum_cols_[a]));
+      }
+    }
+  }
+
+  shared_->barrier.Wait();
+  MergePartitions();
+  shared_->barrier.Wait();
+  consumed_ = true;
+  emit_partition_ = worker_id_;
+  emit_index_ = 0;
+}
+
+void HashGroup::MergePartitions() {
+  const size_t key_offset = sizeof(Hashmap::EntryHeader);
+  const size_t key_len = key_end_ - key_offset;
+
+  for (size_t p = worker_id_; p < kPartitions; p += worker_count_) {
+    std::vector<std::byte*>& out = shared_->merged[p];
+    if (worker_count_ == 1) {
+      out = std::move(shared_->spills[0].parts[p]);
+      continue;
+    }
+    size_t total = 0;
+    for (const auto& spill : shared_->spills) total += spill.parts[p].size();
+    if (total == 0) continue;
+    Hashmap merge_ht;
+    merge_ht.SetSize(total);
+    out.reserve(total);
+    for (const auto& spill : shared_->spills) {
+      for (std::byte* entry : spill.parts[p]) {
+        auto* header = reinterpret_cast<Hashmap::EntryHeader*>(entry);
+        Hashmap::EntryHeader* existing = nullptr;
+        for (Hashmap::EntryHeader* e = merge_ht.FindChain(header->hash);
+             e != nullptr; e = e->next) {
+          if (e->hash == header->hash &&
+              std::memcmp(reinterpret_cast<std::byte*>(e) + key_offset,
+                          entry + key_offset, key_len) == 0) {
+            existing = e;
+            break;
+          }
+        }
+        if (existing == nullptr) {
+          merge_ht.InsertUnlocked(header);
+          out.push_back(entry);
+        } else {
+          auto* dst = reinterpret_cast<std::byte*>(existing);
+          for (size_t off : sum_offsets_) {
+            *reinterpret_cast<int64_t*>(dst + off) +=
+                *reinterpret_cast<const int64_t*>(entry + off);
+          }
+        }
+      }
+    }
+  }
+}
+
+size_t HashGroup::Next() {
+  if (!consumed_) ConsumeChild();
+  // Emit merged groups from owned partitions, one vector at a time.
+  while (emit_partition_ < kPartitions) {
+    const std::vector<std::byte*>& part = shared_->merged[emit_partition_];
+    if (emit_index_ >= part.size()) {
+      emit_partition_ += worker_count_;
+      emit_index_ = 0;
+      continue;
+    }
+    const size_t n =
+        std::min(ctx_.vector_size, part.size() - emit_index_);
+    for (const Output& o : outputs_) o.gather(n, part.data() + emit_index_);
+    emit_index_ += n;
+    sel_ = nullptr;
+    return n;
+  }
+  return kEndOfStream;
+}
+
+}  // namespace vcq::tectorwise

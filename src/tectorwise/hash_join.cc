@@ -1,0 +1,102 @@
+#include "tectorwise/hash_join.h"
+
+#include "tectorwise/primitives_simd.h"
+
+namespace vcq::tectorwise {
+
+using runtime::Hashmap;
+
+HashJoin::HashJoin(Shared* shared, std::unique_ptr<Operator> build,
+                   std::unique_ptr<Operator> probe, const ExecContext& ctx)
+    : shared_(shared),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      ctx_(ctx) {
+  const size_t v = ctx_.vector_size;
+  hashes_.Reset(v * sizeof(uint64_t));
+  pos_.Reset(v * sizeof(pos_t));
+  cand_.Reset(v * sizeof(Hashmap::EntryHeader*));
+  cand_pos_.Reset(v * sizeof(pos_t));
+  match_.Reset(v * sizeof(uint8_t));
+  hits_.Reset(v * sizeof(Hashmap::EntryHeader*));
+  hit_pos_.Reset(v * sizeof(pos_t));
+}
+
+size_t HashJoin::entry_size() const { return AlignUp(entry_bytes_, 8); }
+
+void HashJoin::BuildPhase() {
+  VCQ_CHECK_MSG(static_cast<bool>(build_hash_), "build hash not configured");
+  const size_t stride = entry_size();
+  uint64_t* hashes = hashes_.As<uint64_t>();
+  pos_t* pos = pos_.As<pos_t>();
+
+  size_t local = 0;
+  size_t n;
+  while ((n = build_->Next()) != kEndOfStream) {
+    if (n == 0) continue;
+    build_hash_(n, build_->sel(), hashes, pos);
+    for (const RehashStep& step : build_rehash_) step(n, pos, hashes);
+    auto* base = static_cast<std::byte*>(pool_.Allocate(n * stride));
+    ScatterHashes(n, hashes, base, stride);
+    for (const ScatterStep& step : scatter_steps_)
+      step(n, pos, base, stride);
+    chunks_.emplace_back(base, n);
+    local += n;
+  }
+  shared_->entry_count.fetch_add(local, std::memory_order_relaxed);
+
+  shared_->barrier.Wait([this] {
+    shared_->ht.SetSize(shared_->entry_count.load(std::memory_order_relaxed));
+  });
+
+  for (const auto& [base, count] : chunks_) {
+    for (size_t k = 0; k < count; ++k) {
+      shared_->ht.Insert(
+          reinterpret_cast<Hashmap::EntryHeader*>(base + k * stride));
+    }
+  }
+  shared_->barrier.Wait();
+  built_ = true;
+}
+
+size_t HashJoin::Next() {
+  if (!built_) BuildPhase();
+  VCQ_CHECK_MSG(static_cast<bool>(probe_hash_), "probe hash not configured");
+  VCQ_CHECK_MSG(!compare_steps_.empty(), "key compares not configured");
+
+  uint64_t* hashes = hashes_.As<uint64_t>();
+  pos_t* pos = pos_.As<pos_t>();
+  auto** cand = cand_.As<Hashmap::EntryHeader*>();
+  pos_t* cand_pos = cand_pos_.As<pos_t>();
+  uint8_t* match = match_.As<uint8_t>();
+  auto** hits = hits_.As<Hashmap::EntryHeader*>();
+  pos_t* hit_pos = hit_pos_.As<pos_t>();
+  const bool use_simd = ctx_.use_simd && simd::Available();
+
+  while (true) {
+    const size_t n = probe_->Next();
+    if (n == kEndOfStream) return kEndOfStream;
+    if (n == 0) continue;
+    probe_hash_(n, probe_->sel(), hashes, pos);
+    for (const RehashStep& step : probe_rehash_) step(n, pos, hashes);
+
+    size_t m = use_simd ? simd::JoinCandidates(n, hashes, pos, shared_->ht,
+                                               cand, cand_pos)
+                        : JoinCandidates(n, hashes, pos, shared_->ht, cand,
+                                         cand_pos);
+    size_t hit_count = 0;
+    while (m > 0) {
+      for (const CmpStep& step : compare_steps_)
+        step(m, cand, cand_pos, match);
+      m = ExtractHitsAdvance(m, cand, cand_pos, match, hits, hit_pos,
+                             hit_count);
+    }
+    if (hit_count == 0) continue;
+
+    for (const Output& o : outputs_) o.gather(hit_count);
+    sel_ = nullptr;
+    return hit_count;
+  }
+}
+
+}  // namespace vcq::tectorwise

@@ -1,0 +1,170 @@
+#ifndef VCQ_TECTORWISE_HASH_JOIN_H_
+#define VCQ_TECTORWISE_HASH_JOIN_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "runtime/barrier.h"
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "tectorwise/core.h"
+#include "tectorwise/operators.h"
+#include "tectorwise/steps.h"
+
+namespace vcq::tectorwise {
+
+/// Vectorized hash join (paper Fig. 2b, §2.2), primary-key build side.
+///
+/// Build: each worker drains its build child, materializes key+payload rows
+/// into arena-allocated entries (probeHash-style expressions compute the
+/// hashes; scatter primitives fill the rows), then all workers meet at a
+/// barrier that sizes the shared table, insert their entries with CAS, and
+/// meet again before probing — the paper's shared-state + barrier scheme
+/// (§6.1).
+///
+/// Probe: hash primitives -> findCandidates (Bloom-tagged directory) ->
+/// compareKeys primitives (one per key column) -> extractHits/advance loop
+/// -> buildGather + probe-side gathers into dense output vectors.
+class HashJoin : public Operator {
+ public:
+  struct Shared {
+    explicit Shared(size_t thread_count) : barrier(thread_count) {}
+    runtime::Hashmap ht;
+    runtime::Barrier barrier;
+    std::atomic<size_t> entry_count{0};
+  };
+
+  HashJoin(Shared* shared, std::unique_ptr<Operator> build,
+           std::unique_ptr<Operator> probe, const ExecContext& ctx);
+
+  // --- build-side configuration (call before first Next) -------------------
+
+  /// Appends a field to the entry layout, filled from `col` during build;
+  /// returns its byte offset (for key compares and build outputs).
+  template <typename T>
+  size_t AddBuildField(const Slot* col) {
+    const size_t offset = AlignUp(entry_bytes_, alignof(T));
+    entry_bytes_ = offset + sizeof(T);
+    scatter_steps_.push_back(
+        [col, offset](size_t n, const pos_t* pos, std::byte* base,
+                      size_t stride) {
+          ScatterToEntries<T>(n, pos, Get<T>(col), base, stride, offset);
+        });
+    return offset;
+  }
+
+  void SetBuildHash(HashStep step) { build_hash_ = std::move(step); }
+  void AddBuildRehash(RehashStep step) {
+    build_rehash_.push_back(std::move(step));
+  }
+
+  // --- probe-side configuration -----------------------------------------
+
+  void SetProbeHash(HashStep step) { probe_hash_ = std::move(step); }
+  void AddProbeRehash(RehashStep step) {
+    probe_rehash_.push_back(std::move(step));
+  }
+
+  /// Key equality between probe column and entry field (one per key column;
+  /// composite keys add several — the constraint of Fig. 2b).
+  template <typename T>
+  void AddKeyCompare(const Slot* probe_col, size_t build_field_offset) {
+    const bool first = compare_steps_.empty();
+    compare_steps_.push_back(
+        [probe_col, build_field_offset, first](
+            size_t m, runtime::Hashmap::EntryHeader* const* cand,
+            const pos_t* cand_pos, uint8_t* match) {
+          if (first) {
+            CmpEntryKeyInit<T>(m, cand, cand_pos, Get<T>(probe_col),
+                               build_field_offset, match);
+          } else {
+            CmpEntryKeyAnd<T>(m, cand, cand_pos, Get<T>(probe_col),
+                              build_field_offset, match);
+          }
+        });
+  }
+
+  // --- outputs ------------------------------------------------------------
+
+  /// Build-side column (entry field) gathered into a dense output vector.
+  template <typename T>
+  Slot* AddBuildOutput(size_t field_offset) {
+    outputs_.push_back(Output{VecBuffer(ctx_.vector_size * sizeof(T)),
+                              std::make_unique<Slot>(), {}});
+    Output& o = outputs_.back();
+    o.slot->ptr = o.buffer.data();
+    T* out = o.buffer.As<T>();
+    o.gather = [this, field_offset, out](size_t m) {
+      GatherEntry<T>(m, hits_.As<runtime::Hashmap::EntryHeader*>(),
+                     field_offset, out);
+    };
+    return o.slot.get();
+  }
+
+  /// Probe-side column compacted through the hit positions.
+  template <typename T>
+  Slot* AddProbeOutput(const Slot* col) {
+    outputs_.push_back(Output{VecBuffer(ctx_.vector_size * sizeof(T)),
+                              std::make_unique<Slot>(), {}});
+    Output& o = outputs_.back();
+    o.slot->ptr = o.buffer.data();
+    T* out = o.buffer.As<T>();
+    o.gather = [this, col, out](size_t m) {
+      GatherPos<T>(m, hit_pos_.As<pos_t>(), Get<T>(col), out);
+    };
+    return o.slot.get();
+  }
+
+  size_t Next() override;
+
+  /// Entry row size including the header (working-set sizing, Fig. 9).
+  size_t entry_size() const;
+
+ private:
+  struct Output {
+    VecBuffer buffer;
+    std::unique_ptr<Slot> slot;
+    std::function<void(size_t m)> gather;
+  };
+  using ScatterStep = std::function<void(size_t n, const pos_t* pos,
+                                         std::byte* base, size_t stride)>;
+  using CmpStep =
+      std::function<void(size_t m, runtime::Hashmap::EntryHeader* const* cand,
+                         const pos_t* cand_pos, uint8_t* match)>;
+
+  void BuildPhase();
+
+  Shared* shared_;
+  std::unique_ptr<Operator> build_;
+  std::unique_ptr<Operator> probe_;
+  ExecContext ctx_;
+
+  HashStep build_hash_;
+  std::vector<RehashStep> build_rehash_;
+  std::vector<ScatterStep> scatter_steps_;
+  HashStep probe_hash_;
+  std::vector<RehashStep> probe_rehash_;
+  std::vector<CmpStep> compare_steps_;
+  std::vector<Output> outputs_;
+
+  size_t entry_bytes_ = sizeof(runtime::Hashmap::EntryHeader);
+  runtime::MemPool pool_;  // worker-local entry storage
+  std::vector<std::pair<std::byte*, size_t>> chunks_;
+  bool built_ = false;
+
+  // Probe scratch vectors.
+  VecBuffer hashes_;
+  VecBuffer pos_;
+  VecBuffer cand_;
+  VecBuffer cand_pos_;
+  VecBuffer match_;
+  VecBuffer hits_;
+  VecBuffer hit_pos_;
+};
+
+}  // namespace vcq::tectorwise
+
+#endif  // VCQ_TECTORWISE_HASH_JOIN_H_

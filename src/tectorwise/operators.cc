@@ -1,0 +1,82 @@
+#include "tectorwise/operators.h"
+
+namespace vcq::tectorwise {
+
+size_t Scan::Next() {
+  if (morsel_begin_ >= morsel_end_ &&
+      !shared_->morsels.Next(morsel_begin_, morsel_end_)) {
+    return kEndOfStream;
+  }
+  const size_t n = std::min(vector_size_, morsel_end_ - morsel_begin_);
+  for (Column& c : columns_)
+    c.slot->ptr = c.base + morsel_begin_ * c.elem_size;
+  morsel_begin_ += n;
+  sel_ = nullptr;
+  return n;
+}
+
+Select::Select(std::unique_ptr<Operator> child, size_t vector_size)
+    : child_(std::move(child)),
+      buf_a_(vector_size * sizeof(pos_t)),
+      buf_b_(vector_size * sizeof(pos_t)) {}
+
+size_t Select::Next() {
+  while (true) {
+    const size_t n = child_->Next();
+    if (n == kEndOfStream) return kEndOfStream;
+    const pos_t* sel = child_->sel();
+    size_t count = n;
+    pos_t* out = buf_a_.As<pos_t>();
+    pos_t* spare = buf_b_.As<pos_t>();
+    for (const SelStep& step : steps_) {
+      count = step(count, sel, out);
+      sel = out;
+      std::swap(out, spare);
+      if (count == 0) break;
+    }
+    if (count > 0) {
+      sel_ = sel;
+      return count;
+    }
+    // All tuples filtered: pull the next batch instead of emitting empties.
+  }
+}
+
+size_t Map::Next() {
+  const size_t n = child_->Next();
+  if (n == kEndOfStream) return kEndOfStream;
+  sel_ = child_->sel();
+  for (const MapStep& step : steps_) step(n, sel_);
+  return n;
+}
+
+Slot* FixedAggregation::AddSumI64(const Slot* input) {
+  sums_.push_back(std::make_unique<Sum>());
+  Sum& s = *sums_.back();
+  s.input = input;
+  s.slot = std::make_unique<Slot>();
+  s.slot->ptr = &s.total;
+  return s.slot.get();
+}
+
+size_t FixedAggregation::Next() {
+  if (done_) return kEndOfStream;
+  size_t n;
+  while ((n = child_->Next()) != kEndOfStream) {
+    const pos_t* sel = child_->sel();
+    for (auto& sum : sums_) {
+      const int64_t* col = Get<int64_t>(sum->input);
+      int64_t acc = 0;
+      if (sel == nullptr) {
+        for (size_t p = 0; p < n; ++p) acc += col[p];
+      } else {
+        for (size_t k = 0; k < n; ++k) acc += col[sel[k]];
+      }
+      sum->total += acc;
+    }
+  }
+  done_ = true;
+  return 1;  // one result row; slots point at the totals
+}
+
+}  // namespace vcq::tectorwise

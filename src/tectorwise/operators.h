@@ -1,0 +1,167 @@
+#ifndef VCQ_TECTORWISE_OPERATORS_H_
+#define VCQ_TECTORWISE_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/relation.h"
+#include "runtime/worker_pool.h"
+#include "tectorwise/core.h"
+
+// Basic Tectorwise operators: Scan, Select, Map, FixedAggregation. The
+// joins and group-by live in hash_join.h / hash_group.h. Each worker builds
+// its own operator tree; shared-state structs (morsel queues, hash tables,
+// barriers) coordinate the workers (paper §6.1).
+
+namespace vcq::tectorwise {
+
+/// Type-erased vector step signatures. Operators hold chains of these; the
+/// per-batch std::function dispatch is exactly the interpretation overhead
+/// the paper shows amortizes to <1.5% of runtime (§4.2).
+using SelStep =
+    std::function<size_t(size_t n, const pos_t* sel_in, pos_t* sel_out)>;
+using MapStep = std::function<void(size_t n, const pos_t* sel)>;
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// Morsel-driven table scan: claims tuple ranges from the shared queue and
+/// serves them vector-at-a-time by bumping column base pointers (zero copy).
+class Scan : public Operator {
+ public:
+  struct Shared {
+    explicit Shared(size_t tuple_count,
+                    size_t grain = runtime::MorselQueue::kDefaultGrain)
+        : morsels(tuple_count, grain) {}
+    runtime::MorselQueue morsels;
+  };
+
+  Scan(Shared* shared, const runtime::Relation* relation, size_t vector_size)
+      : shared_(shared), relation_(relation), vector_size_(vector_size) {}
+
+  /// Registers a column; the returned Slot tracks the current batch.
+  template <typename T>
+  Slot* AddColumn(std::string_view name) {
+    columns_.push_back(Column{
+        reinterpret_cast<const std::byte*>(relation_->Col<T>(name).data()),
+        sizeof(T), std::make_unique<Slot>()});
+    return columns_.back().slot.get();
+  }
+
+  size_t Next() override;
+
+ private:
+  struct Column {
+    const std::byte* base;
+    size_t elem_size;
+    std::unique_ptr<Slot> slot;
+  };
+
+  Shared* shared_;
+  const runtime::Relation* relation_;
+  size_t vector_size_;
+  std::vector<Column> columns_;
+  size_t morsel_begin_ = 0;
+  size_t morsel_end_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+/// Conjunctive filter: a cascade of selection primitives, each narrowing the
+/// selection vector (Fig. 1b). Skips empty batches internally.
+class Select : public Operator {
+ public:
+  Select(std::unique_ptr<Operator> child, size_t vector_size);
+
+  void AddStep(SelStep step) { steps_.push_back(std::move(step)); }
+
+  size_t Next() override;
+
+  Operator* child() { return child_.get(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<SelStep> steps_;
+  VecBuffer buf_a_;
+  VecBuffer buf_b_;
+};
+
+// ---------------------------------------------------------------------------
+// Map (projection)
+// ---------------------------------------------------------------------------
+
+/// Computes derived columns into owned buffers, position-aligned with the
+/// child's batch (intermediate-result materialization, §4.1).
+class Map : public Operator {
+ public:
+  Map(std::unique_ptr<Operator> child, size_t vector_size)
+      : child_(std::move(child)), vector_size_(vector_size) {}
+
+  /// Allocates an output column buffer; wire the returned slot into a step.
+  template <typename T>
+  Slot* AddOutput() {
+    outputs_.push_back(Output{VecBuffer(vector_size_ * sizeof(T)),
+                              std::make_unique<Slot>()});
+    outputs_.back().slot->ptr = outputs_.back().buffer.data();
+    return outputs_.back().slot.get();
+  }
+
+  /// Raw pointer to the buffer behind an output slot (for step factories).
+  template <typename T>
+  T* OutputData(Slot* slot) {
+    return const_cast<T*>(static_cast<const T*>(slot->ptr));
+  }
+
+  void AddStep(MapStep step) { steps_.push_back(std::move(step)); }
+
+  size_t Next() override;
+
+ private:
+  struct Output {
+    VecBuffer buffer;
+    std::unique_ptr<Slot> slot;
+  };
+
+  std::unique_ptr<Operator> child_;
+  size_t vector_size_;
+  std::vector<Output> outputs_;
+  std::vector<MapStep> steps_;
+};
+
+// ---------------------------------------------------------------------------
+// FixedAggregation
+// ---------------------------------------------------------------------------
+
+/// Group-less aggregation (Q1.1 / Q6 style "select sum(...)"): drains the
+/// child, accumulating into worker-local totals, then emits a single row.
+/// Cross-worker summation happens in the collector.
+class FixedAggregation : public Operator {
+ public:
+  explicit FixedAggregation(std::unique_ptr<Operator> child)
+      : child_(std::move(child)) {}
+
+  /// Adds a sum over an int64 column; the returned slot exposes the total.
+  Slot* AddSumI64(const Slot* input);
+
+  size_t Next() override;
+
+ private:
+  struct Sum {
+    const Slot* input;
+    int64_t total = 0;
+    std::unique_ptr<Slot> slot;
+  };
+
+  std::unique_ptr<Operator> child_;
+  std::vector<std::unique_ptr<Sum>> sums_;
+  bool done_ = false;
+};
+
+}  // namespace vcq::tectorwise
+
+#endif  // VCQ_TECTORWISE_OPERATORS_H_

@@ -1,0 +1,18 @@
+#include "tectorwise/primitives.h"
+
+#include "runtime/types.h"
+
+namespace vcq::tectorwise {
+
+void MapYear(size_t n, const pos_t* sel, const int32_t* a, int32_t* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = runtime::YearOf(a[p]);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = runtime::YearOf(a[p]);
+    }
+  }
+}
+
+}  // namespace vcq::tectorwise

@@ -1,0 +1,37 @@
+#ifndef VCQ_TECTORWISE_QUERIES_H_
+#define VCQ_TECTORWISE_QUERIES_H_
+
+#include "runtime/options.h"
+#include "runtime/query_result.h"
+#include "runtime/relation.h"
+
+// Tectorwise implementations of the studied workload (paper §3.3): the
+// representative TPC-H subset Q1/Q6/Q3/Q9/Q18 and SSB Q1.1/Q2.1/Q3.1/Q4.1.
+// Plans are hand-wired from the generic operators, mirroring how the
+// paper's test system configures its vectorized engine.
+
+namespace vcq::tectorwise {
+
+runtime::QueryResult RunQ1(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ6(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ3(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ9(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ18(const runtime::Database& db,
+                            const runtime::QueryOptions& opt);
+
+runtime::QueryResult RunSsbQ11(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ21(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ31(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ41(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+
+}  // namespace vcq::tectorwise
+
+#endif  // VCQ_TECTORWISE_QUERIES_H_

@@ -1,0 +1,756 @@
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "runtime/types.h"
+#include "runtime/worker_pool.h"
+#include "tectorwise/hash_group.h"
+#include "tectorwise/hash_join.h"
+#include "tectorwise/queries.h"
+#include "tectorwise/steps.h"
+
+// TPC-H query plans for the Tectorwise engine. Each worker wires its own
+// operator tree over shared state (morsel queues, hash tables, barriers) and
+// drains the root; collectors merge the per-worker output under a mutex
+// (root cardinalities are tiny for all studied queries).
+
+namespace vcq::tectorwise {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DateFromString;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::Relation;
+using runtime::ResultBuilder;
+using runtime::Varchar;
+
+namespace {
+
+ExecContext MakeContext(const QueryOptions& opt) {
+  ExecContext ctx;
+  ctx.vector_size = opt.vector_size;
+  ctx.use_simd = opt.simd;
+  return ctx;
+}
+
+}  // namespace
+
+namespace {
+
+// Q1 with micro-adaptive ordered aggregation (paper §8.4): per vector,
+// tuples are partitioned into one selection vector per (returnflag,
+// linestatus) code; each partition is aggregated with partial sums held in
+// registers and a single group update per vector — the VectorWise
+// optimization that beats plain Tectorwise on Q1 (Table 2). If a vector
+// exceeds kMaxAdaptiveGroups distinct codes the engine would exponentially
+// back off to hash aggregation; Q1's four groups never trigger it.
+QueryResult RunQ1Adaptive(const Database& db, const QueryOptions& opt) {
+  constexpr size_t kMaxAdaptiveGroups = 16;
+  const Relation& lineitem = db["lineitem"];
+  ExecContext ctx;
+  ctx.vector_size = opt.vector_size;
+  ctx.use_simd = opt.simd;
+  const int32_t cutoff = DateFromString("1998-09-02");
+
+  struct Agg {
+    int64_t qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0,
+            count = 0;
+  };
+  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
+  std::map<uint16_t, Agg> merged;
+  std::mutex mu;
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t) {
+    auto scan =
+        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
+    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
+    Slot* rf = scan->AddColumn<Char<1>>("l_returnflag");
+    Slot* ls = scan->AddColumn<Char<1>>("l_linestatus");
+    Slot* qty = scan->AddColumn<int64_t>("l_quantity");
+    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
+    Slot* discount = scan->AddColumn<int64_t>("l_discount");
+    Slot* tax = scan->AddColumn<int64_t>("l_tax");
+
+    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
+    select->AddStep(
+        MakeSelCmp<int32_t>(ctx, shipdate, CmpOp::kLessEq, cutoff));
+
+    std::map<uint16_t, Agg> local;
+    // Per-vector partitions: code list + one selection vector per code.
+    std::vector<uint16_t> codes;
+    std::vector<std::vector<pos_t>> parts(kMaxAdaptiveGroups);
+
+    size_t n;
+    while ((n = select->Next()) != kEndOfStream) {
+      const pos_t* sel = select->sel();
+      const Char<1>* rfc = Get<Char<1>>(rf);
+      const Char<1>* lsc = Get<Char<1>>(ls);
+      // Partition phase (the "multiple selection vectors" trick).
+      codes.clear();
+      for (size_t k = 0; k < n; ++k) {
+        const pos_t p = sel ? sel[k] : static_cast<pos_t>(k);
+        const uint16_t code = static_cast<uint16_t>(
+            static_cast<uint8_t>(rfc[p].data[0]) |
+            (static_cast<uint8_t>(lsc[p].data[0]) << 8));
+        size_t slot = codes.size();
+        for (size_t c = 0; c < codes.size(); ++c) {
+          if (codes[c] == code) {
+            slot = c;
+            break;
+          }
+        }
+        if (slot == codes.size()) {
+          VCQ_CHECK_MSG(slot < kMaxAdaptiveGroups,
+                        "adaptive backoff not reachable on Q1");
+          codes.push_back(code);
+          parts[slot].clear();
+        }
+        parts[slot].push_back(p);
+      }
+      // Ordered aggregation phase: per-partition register accumulation.
+      const int64_t* q = Get<int64_t>(qty);
+      const int64_t* e = Get<int64_t>(extprice);
+      const int64_t* d = Get<int64_t>(discount);
+      const int64_t* t = Get<int64_t>(tax);
+      for (size_t c = 0; c < codes.size(); ++c) {
+        int64_t s_qty = 0, s_base = 0, s_dp = 0, s_ch = 0, s_d = 0;
+        for (const pos_t p : parts[c]) {
+          const int64_t dp = e[p] * (100 - d[p]);
+          s_qty += q[p];
+          s_base += e[p];
+          s_dp += dp;
+          s_ch += dp * (100 + t[p]);
+          s_d += d[p];
+        }
+        Agg& agg = local[codes[c]];
+        agg.qty += s_qty;
+        agg.base += s_base;
+        agg.disc_price += s_dp;
+        agg.charge += s_ch;
+        agg.disc += s_d;
+        agg.count += static_cast<int64_t>(parts[c].size());
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& [code, agg] : local) {
+      Agg& m = merged[code];
+      m.qty += agg.qty;
+      m.base += agg.base;
+      m.disc_price += agg.disc_price;
+      m.charge += agg.charge;
+      m.disc += agg.disc;
+      m.count += agg.count;
+    }
+  });
+
+  // std::map keyed by (rf | ls<<8) does not sort by (rf, ls); order rows.
+  std::vector<std::pair<std::pair<char, char>, Agg>> rows;
+  for (const auto& [code, agg] : merged) {
+    rows.push_back({{static_cast<char>(code & 0xff),
+                     static_cast<char>(code >> 8)},
+                    agg});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
+                    "sum_base_price", "sum_disc_price", "sum_charge",
+                    "avg_qty", "avg_price", "avg_disc", "count_order"});
+  for (const auto& [key, a] : rows) {
+    rb.BeginRow()
+        .Str(std::string_view(&key.first, 1))
+        .Str(std::string_view(&key.second, 1))
+        .Numeric(a.qty, 2)
+        .Numeric(a.base, 2)
+        .Numeric(a.disc_price, 4)
+        .Numeric(a.charge, 6)
+        .Avg(a.qty, a.count, 2, 2)
+        .Avg(a.base, a.count, 2, 2)
+        .Avg(a.disc, a.count, 2, 2)
+        .Int(a.count);
+  }
+  return rb.Finish();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q1: in-cache aggregation over fixed-point arithmetic (4 groups)
+// ---------------------------------------------------------------------------
+QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
+  if (opt.adaptive) return RunQ1Adaptive(db, opt);
+  const Relation& lineitem = db["lineitem"];
+  const ExecContext ctx = MakeContext(opt);
+  const int32_t cutoff = DateFromString("1998-09-02");
+
+  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
+  HashGroup::Shared group_shared(opt.threads);
+
+  struct Row {
+    char rf, ls;
+    int64_t sum_qty, sum_base, sum_disc_price, sum_charge, sum_disc, count;
+  };
+  std::vector<Row> rows;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    auto scan =
+        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
+    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
+    Slot* rf = scan->AddColumn<Char<1>>("l_returnflag");
+    Slot* ls = scan->AddColumn<Char<1>>("l_linestatus");
+    Slot* qty = scan->AddColumn<int64_t>("l_quantity");
+    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
+    Slot* discount = scan->AddColumn<int64_t>("l_discount");
+    Slot* tax = scan->AddColumn<int64_t>("l_tax");
+
+    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
+    select->AddStep(
+        MakeSelCmp<int32_t>(ctx, shipdate, CmpOp::kLessEq, cutoff));
+
+    auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
+    Slot* one_minus_disc = map->AddOutput<int64_t>();
+    Slot* disc_price = map->AddOutput<int64_t>();  // scale 4
+    Slot* one_plus_tax = map->AddOutput<int64_t>();
+    Slot* charge = map->AddOutput<int64_t>();  // scale 6
+    map->AddStep(MakeMapRSubConst<int64_t>(
+        100, discount, map->OutputData<int64_t>(one_minus_disc)));
+    map->AddStep(MakeMapMul<int64_t>(extprice, one_minus_disc,
+                                     map->OutputData<int64_t>(disc_price)));
+    map->AddStep(MakeMapAddConst<int64_t>(
+        100, tax, map->OutputData<int64_t>(one_plus_tax)));
+    map->AddStep(MakeMapMul<int64_t>(disc_price, one_plus_tax,
+                                     map->OutputData<int64_t>(charge)));
+
+    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
+                                             std::move(map), ctx);
+    const size_t k_rf = group->AddKey<Char<1>>(rf);
+    const size_t k_ls = group->AddKey<Char<1>>(ls);
+    const size_t a_qty = group->AddSumAgg(qty);
+    const size_t a_base = group->AddSumAgg(extprice);
+    const size_t a_disc_price = group->AddSumAgg(disc_price);
+    const size_t a_charge = group->AddSumAgg(charge);
+    const size_t a_disc = group->AddSumAgg(discount);
+    const size_t a_count = group->AddCountAgg();
+
+    Slot* o_rf = group->AddOutput<Char<1>>(k_rf);
+    Slot* o_ls = group->AddOutput<Char<1>>(k_ls);
+    Slot* o_qty = group->AddOutput<int64_t>(a_qty);
+    Slot* o_base = group->AddOutput<int64_t>(a_base);
+    Slot* o_dp = group->AddOutput<int64_t>(a_disc_price);
+    Slot* o_ch = group->AddOutput<int64_t>(a_charge);
+    Slot* o_disc = group->AddOutput<int64_t>(a_disc);
+    Slot* o_cnt = group->AddOutput<int64_t>(a_count);
+
+    size_t n;
+    while ((n = group->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t k = 0; k < n; ++k) {
+        rows.push_back(Row{Get<Char<1>>(o_rf)[k].data[0],
+                           Get<Char<1>>(o_ls)[k].data[0],
+                           Get<int64_t>(o_qty)[k], Get<int64_t>(o_base)[k],
+                           Get<int64_t>(o_dp)[k], Get<int64_t>(o_ch)[k],
+                           Get<int64_t>(o_disc)[k], Get<int64_t>(o_cnt)[k]});
+      }
+    }
+    roots[wid] = std::move(group);
+  });
+  roots.clear();
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.rf, a.ls) < std::tie(b.rf, b.ls);
+  });
+  ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
+                    "sum_base_price", "sum_disc_price", "sum_charge",
+                    "avg_qty", "avg_price", "avg_disc", "count_order"});
+  for (const Row& r : rows) {
+    rb.BeginRow()
+        .Str(std::string_view(&r.rf, 1))
+        .Str(std::string_view(&r.ls, 1))
+        .Numeric(r.sum_qty, 2)
+        .Numeric(r.sum_base, 2)
+        .Numeric(r.sum_disc_price, 4)
+        .Numeric(r.sum_charge, 6)
+        .Avg(r.sum_qty, r.count, 2, 2)
+        .Avg(r.sum_base, r.count, 2, 2)
+        .Avg(r.sum_disc, r.count, 2, 2)
+        .Int(r.count);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q6: selective scan
+// ---------------------------------------------------------------------------
+QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
+  const Relation& lineitem = db["lineitem"];
+  const ExecContext ctx = MakeContext(opt);
+  const int32_t lo = DateFromString("1994-01-01");
+  const int32_t hi = DateFromString("1995-01-01") - 1;
+
+  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
+  int64_t total = 0;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    auto scan =
+        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
+    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
+    Slot* discount = scan->AddColumn<int64_t>("l_discount");
+    Slot* quantity = scan->AddColumn<int64_t>("l_quantity");
+    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
+
+    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
+    select->AddStep(MakeSelBetween<int32_t>(ctx, shipdate, lo, hi));
+    select->AddStep(MakeSelBetween<int64_t>(ctx, discount, 5, 7));
+    select->AddStep(MakeSelCmp<int64_t>(ctx, quantity, CmpOp::kLess, 2400));
+
+    auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
+    Slot* revenue = map->AddOutput<int64_t>();  // scale 4
+    map->AddStep(MakeMapMul<int64_t>(extprice, discount,
+                                     map->OutputData<int64_t>(revenue)));
+
+    auto agg = std::make_unique<FixedAggregation>(std::move(map));
+    Slot* sum = agg->AddSumI64(revenue);
+
+    size_t n;
+    while ((n = agg->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      total += *Get<int64_t>(sum);
+    }
+    roots[wid] = std::move(agg);
+  });
+  roots.clear();
+
+  ResultBuilder rb({"revenue"});
+  rb.BeginRow().Numeric(total, 4);
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q3: two joins feeding a group-by, top-10
+// ---------------------------------------------------------------------------
+QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
+  const Relation& customer = db["customer"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const ExecContext ctx = MakeContext(opt);
+  const int32_t date = DateFromString("1995-03-15");
+  const Char<10> building = Char<10>::From("BUILDING");
+
+  Scan::Shared scan_cust(customer.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
+  HashJoin::Shared join_cust(opt.threads);
+  HashJoin::Shared join_ord(opt.threads);
+  HashGroup::Shared group_shared(opt.threads);
+
+  struct Row {
+    int32_t orderkey, orderdate, shippriority;
+    int64_t revenue;
+  };
+  std::vector<Row> rows;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    // Build side 1: customers in the BUILDING segment.
+    auto cscan =
+        std::make_unique<Scan>(&scan_cust, &customer, ctx.vector_size);
+    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
+    Slot* c_mkt = cscan->AddColumn<Char<10>>("c_mktsegment");
+    auto csel = std::make_unique<Select>(std::move(cscan), ctx.vector_size);
+    csel->AddStep(MakeSelCmp<Char<10>>(ctx, c_mkt, CmpOp::kEq, building));
+
+    // Probe side 1: orders before the date.
+    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
+    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
+    Slot* o_custkey = oscan->AddColumn<int32_t>("o_custkey");
+    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
+    Slot* o_shipprio = oscan->AddColumn<int32_t>("o_shippriority");
+    auto osel = std::make_unique<Select>(std::move(oscan), ctx.vector_size);
+    osel->AddStep(MakeSelCmp<int32_t>(ctx, o_orderdate, CmpOp::kLess, date));
+
+    auto hj1 = std::make_unique<HashJoin>(&join_cust, std::move(csel),
+                                          std::move(osel), ctx);
+    const size_t f_custkey = hj1->AddBuildField<int32_t>(c_custkey);
+    hj1->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
+    hj1->SetProbeHash(MakeHash<int32_t>(ctx, o_custkey));
+    hj1->AddKeyCompare<int32_t>(o_custkey, f_custkey);
+    Slot* j1_orderkey = hj1->AddProbeOutput<int32_t>(o_orderkey);
+    Slot* j1_orderdate = hj1->AddProbeOutput<int32_t>(o_orderdate);
+    Slot* j1_shipprio = hj1->AddProbeOutput<int32_t>(o_shipprio);
+
+    // Probe side 2: lineitems shipped after the date.
+    auto lscan =
+        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
+    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
+    Slot* l_shipdate = lscan->AddColumn<int32_t>("l_shipdate");
+    Slot* l_extprice = lscan->AddColumn<int64_t>("l_extendedprice");
+    Slot* l_discount = lscan->AddColumn<int64_t>("l_discount");
+    auto lsel = std::make_unique<Select>(std::move(lscan), ctx.vector_size);
+    lsel->AddStep(
+        MakeSelCmp<int32_t>(ctx, l_shipdate, CmpOp::kGreater, date));
+
+    auto hj2 = std::make_unique<HashJoin>(&join_ord, std::move(hj1),
+                                          std::move(lsel), ctx);
+    const size_t f_orderkey = hj2->AddBuildField<int32_t>(j1_orderkey);
+    const size_t f_orderdate = hj2->AddBuildField<int32_t>(j1_orderdate);
+    const size_t f_shipprio = hj2->AddBuildField<int32_t>(j1_shipprio);
+    hj2->SetBuildHash(MakeHash<int32_t>(ctx, j1_orderkey));
+    hj2->SetProbeHash(MakeHash<int32_t>(ctx, l_orderkey));
+    hj2->AddKeyCompare<int32_t>(l_orderkey, f_orderkey);
+    Slot* j2_orderkey = hj2->AddBuildOutput<int32_t>(f_orderkey);
+    Slot* j2_orderdate = hj2->AddBuildOutput<int32_t>(f_orderdate);
+    Slot* j2_shipprio = hj2->AddBuildOutput<int32_t>(f_shipprio);
+    Slot* j2_extprice = hj2->AddProbeOutput<int64_t>(l_extprice);
+    Slot* j2_discount = hj2->AddProbeOutput<int64_t>(l_discount);
+
+    auto map = std::make_unique<Map>(std::move(hj2), ctx.vector_size);
+    Slot* one_minus_disc = map->AddOutput<int64_t>();
+    Slot* revenue = map->AddOutput<int64_t>();  // scale 4
+    map->AddStep(MakeMapRSubConst<int64_t>(
+        100, j2_discount, map->OutputData<int64_t>(one_minus_disc)));
+    map->AddStep(MakeMapMul<int64_t>(j2_extprice, one_minus_disc,
+                                     map->OutputData<int64_t>(revenue)));
+
+    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
+                                             std::move(map), ctx);
+    const size_t k_okey = group->AddKey<int32_t>(j2_orderkey);
+    const size_t k_odate = group->AddKey<int32_t>(j2_orderdate);
+    const size_t k_prio = group->AddKey<int32_t>(j2_shipprio);
+    const size_t a_rev = group->AddSumAgg(revenue);
+    Slot* g_okey = group->AddOutput<int32_t>(k_okey);
+    Slot* g_odate = group->AddOutput<int32_t>(k_odate);
+    Slot* g_prio = group->AddOutput<int32_t>(k_prio);
+    Slot* g_rev = group->AddOutput<int64_t>(a_rev);
+
+    size_t n;
+    while ((n = group->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t k = 0; k < n; ++k) {
+        rows.push_back(Row{Get<int32_t>(g_okey)[k], Get<int32_t>(g_odate)[k],
+                           Get<int32_t>(g_prio)[k], Get<int64_t>(g_rev)[k]});
+      }
+    }
+    roots[wid] = std::move(group);
+  });
+  roots.clear();
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(b.revenue, a.orderdate, a.orderkey) <
+           std::tie(a.revenue, b.orderdate, b.orderkey);
+  });
+  if (rows.size() > 10) rows.resize(10);
+  ResultBuilder rb(
+      {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+  for (const Row& r : rows) {
+    rb.BeginRow()
+        .Int(r.orderkey)
+        .Numeric(r.revenue, 4)
+        .Date(r.orderdate)
+        .Int(r.shippriority);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q9: four joins (one composite-key) into a group-by
+// ---------------------------------------------------------------------------
+QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
+  const Relation& part = db["part"];
+  const Relation& supplier = db["supplier"];
+  const Relation& partsupp = db["partsupp"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const Relation& nation = db["nation"];
+  const ExecContext ctx = MakeContext(opt);
+
+  Scan::Shared scan_part(part.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_ps(partsupp.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_supp(supplier.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
+  HashJoin::Shared join_part(opt.threads);
+  HashJoin::Shared join_ps(opt.threads);
+  HashJoin::Shared join_supp(opt.threads);
+  HashJoin::Shared join_ord(opt.threads);
+  HashGroup::Shared group_shared(opt.threads);
+
+  struct Row {
+    int32_t nationkey, year;
+    int64_t profit;
+  };
+  std::vector<Row> rows;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    // Green parts.
+    auto pscan = std::make_unique<Scan>(&scan_part, &part, ctx.vector_size);
+    Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
+    Slot* p_name = pscan->AddColumn<Varchar<55>>("p_name");
+    auto psel = std::make_unique<Select>(std::move(pscan), ctx.vector_size);
+    psel->AddStep(MakeSelContains<Varchar<55>>(p_name, "green"));
+
+    // partsupp semi-joined with green parts, then built as a composite HT.
+    auto psscan =
+        std::make_unique<Scan>(&scan_ps, &partsupp, ctx.vector_size);
+    Slot* ps_partkey = psscan->AddColumn<int32_t>("ps_partkey");
+    Slot* ps_suppkey = psscan->AddColumn<int32_t>("ps_suppkey");
+    Slot* ps_cost = psscan->AddColumn<int64_t>("ps_supplycost");
+
+    auto hj_part = std::make_unique<HashJoin>(&join_part, std::move(psel),
+                                              std::move(psscan), ctx);
+    const size_t f_partkey = hj_part->AddBuildField<int32_t>(p_partkey);
+    hj_part->SetBuildHash(MakeHash<int32_t>(ctx, p_partkey));
+    hj_part->SetProbeHash(MakeHash<int32_t>(ctx, ps_partkey));
+    hj_part->AddKeyCompare<int32_t>(ps_partkey, f_partkey);
+    Slot* jp_partkey = hj_part->AddProbeOutput<int32_t>(ps_partkey);
+    Slot* jp_suppkey = hj_part->AddProbeOutput<int32_t>(ps_suppkey);
+    Slot* jp_cost = hj_part->AddProbeOutput<int64_t>(ps_cost);
+
+    // Probe chain start: lineitem.
+    auto lscan =
+        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
+    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
+    Slot* l_partkey = lscan->AddColumn<int32_t>("l_partkey");
+    Slot* l_suppkey = lscan->AddColumn<int32_t>("l_suppkey");
+    Slot* l_extprice = lscan->AddColumn<int64_t>("l_extendedprice");
+    Slot* l_discount = lscan->AddColumn<int64_t>("l_discount");
+    Slot* l_quantity = lscan->AddColumn<int64_t>("l_quantity");
+
+    // Composite-key join against (ps_partkey, ps_suppkey).
+    auto hj_ps = std::make_unique<HashJoin>(&join_ps, std::move(hj_part),
+                                            std::move(lscan), ctx);
+    const size_t f_ps_partkey = hj_ps->AddBuildField<int32_t>(jp_partkey);
+    const size_t f_ps_suppkey = hj_ps->AddBuildField<int32_t>(jp_suppkey);
+    const size_t f_ps_cost = hj_ps->AddBuildField<int64_t>(jp_cost);
+    hj_ps->SetBuildHash(MakeHash<int32_t>(ctx, jp_partkey));
+    hj_ps->AddBuildRehash(MakeRehash<int32_t>(ctx, jp_suppkey));
+    hj_ps->SetProbeHash(MakeHash<int32_t>(ctx, l_partkey));
+    hj_ps->AddProbeRehash(MakeRehash<int32_t>(ctx, l_suppkey));
+    hj_ps->AddKeyCompare<int32_t>(l_partkey, f_ps_partkey);
+    hj_ps->AddKeyCompare<int32_t>(l_suppkey, f_ps_suppkey);
+    Slot* jps_cost = hj_ps->AddBuildOutput<int64_t>(f_ps_cost);
+    Slot* jps_orderkey = hj_ps->AddProbeOutput<int32_t>(l_orderkey);
+    Slot* jps_suppkey = hj_ps->AddProbeOutput<int32_t>(l_suppkey);
+    Slot* jps_extprice = hj_ps->AddProbeOutput<int64_t>(l_extprice);
+    Slot* jps_discount = hj_ps->AddProbeOutput<int64_t>(l_discount);
+    Slot* jps_quantity = hj_ps->AddProbeOutput<int64_t>(l_quantity);
+
+    // Supplier join (adds s_nationkey).
+    auto sscan =
+        std::make_unique<Scan>(&scan_supp, &supplier, ctx.vector_size);
+    Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
+    Slot* s_nationkey = sscan->AddColumn<int32_t>("s_nationkey");
+    auto hj_supp = std::make_unique<HashJoin>(&join_supp, std::move(sscan),
+                                              std::move(hj_ps), ctx);
+    const size_t f_suppkey = hj_supp->AddBuildField<int32_t>(s_suppkey);
+    const size_t f_nationkey = hj_supp->AddBuildField<int32_t>(s_nationkey);
+    hj_supp->SetBuildHash(MakeHash<int32_t>(ctx, s_suppkey));
+    hj_supp->SetProbeHash(MakeHash<int32_t>(ctx, jps_suppkey));
+    hj_supp->AddKeyCompare<int32_t>(jps_suppkey, f_suppkey);
+    Slot* js_nationkey = hj_supp->AddBuildOutput<int32_t>(f_nationkey);
+    Slot* js_orderkey = hj_supp->AddProbeOutput<int32_t>(jps_orderkey);
+    Slot* js_cost = hj_supp->AddProbeOutput<int64_t>(jps_cost);
+    Slot* js_extprice = hj_supp->AddProbeOutput<int64_t>(jps_extprice);
+    Slot* js_discount = hj_supp->AddProbeOutput<int64_t>(jps_discount);
+    Slot* js_quantity = hj_supp->AddProbeOutput<int64_t>(jps_quantity);
+
+    // Orders join (adds the order year).
+    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
+    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
+    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
+    auto omap = std::make_unique<Map>(std::move(oscan), ctx.vector_size);
+    Slot* o_year = omap->AddOutput<int32_t>();
+    omap->AddStep(MakeMapYear(o_orderdate, omap->OutputData<int32_t>(o_year)));
+
+    auto hj_ord = std::make_unique<HashJoin>(&join_ord, std::move(omap),
+                                             std::move(hj_supp), ctx);
+    const size_t f_orderkey = hj_ord->AddBuildField<int32_t>(o_orderkey);
+    const size_t f_year = hj_ord->AddBuildField<int32_t>(o_year);
+    hj_ord->SetBuildHash(MakeHash<int32_t>(ctx, o_orderkey));
+    hj_ord->SetProbeHash(MakeHash<int32_t>(ctx, js_orderkey));
+    hj_ord->AddKeyCompare<int32_t>(js_orderkey, f_orderkey);
+    Slot* jo_year = hj_ord->AddBuildOutput<int32_t>(f_year);
+    Slot* jo_nationkey = hj_ord->AddProbeOutput<int32_t>(js_nationkey);
+    Slot* jo_cost = hj_ord->AddProbeOutput<int64_t>(js_cost);
+    Slot* jo_extprice = hj_ord->AddProbeOutput<int64_t>(js_extprice);
+    Slot* jo_discount = hj_ord->AddProbeOutput<int64_t>(js_discount);
+    Slot* jo_quantity = hj_ord->AddProbeOutput<int64_t>(js_quantity);
+
+    // amount = extprice * (1 - discount) - supplycost * quantity (scale 4)
+    auto map = std::make_unique<Map>(std::move(hj_ord), ctx.vector_size);
+    Slot* one_minus_disc = map->AddOutput<int64_t>();
+    Slot* gross = map->AddOutput<int64_t>();
+    Slot* cost_term = map->AddOutput<int64_t>();
+    Slot* amount = map->AddOutput<int64_t>();
+    map->AddStep(MakeMapRSubConst<int64_t>(
+        100, jo_discount, map->OutputData<int64_t>(one_minus_disc)));
+    map->AddStep(MakeMapMul<int64_t>(jo_extprice, one_minus_disc,
+                                     map->OutputData<int64_t>(gross)));
+    map->AddStep(MakeMapMul<int64_t>(jo_cost, jo_quantity,
+                                     map->OutputData<int64_t>(cost_term)));
+    map->AddStep(MakeMapSub<int64_t>(gross, cost_term,
+                                     map->OutputData<int64_t>(amount)));
+
+    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
+                                             std::move(map), ctx);
+    const size_t k_nation = group->AddKey<int32_t>(jo_nationkey);
+    const size_t k_year = group->AddKey<int32_t>(jo_year);
+    const size_t a_profit = group->AddSumAgg(amount);
+    Slot* g_nation = group->AddOutput<int32_t>(k_nation);
+    Slot* g_year = group->AddOutput<int32_t>(k_year);
+    Slot* g_profit = group->AddOutput<int64_t>(a_profit);
+
+    size_t n;
+    while ((n = group->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t k = 0; k < n; ++k) {
+        rows.push_back(Row{Get<int32_t>(g_nation)[k], Get<int32_t>(g_year)[k],
+                           Get<int64_t>(g_profit)[k]});
+      }
+    }
+    roots[wid] = std::move(group);
+  });
+  roots.clear();
+
+  const auto n_name = nation.Col<Char<25>>("n_name");
+  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    const auto an = n_name[a.nationkey].View();
+    const auto bn = n_name[b.nationkey].View();
+    if (an != bn) return an < bn;
+    return a.year > b.year;
+  });
+  ResultBuilder rb({"nation", "o_year", "sum_profit"});
+  for (const Row& r : rows) {
+    rb.BeginRow()
+        .Str(n_name[r.nationkey].View())
+        .Int(r.year)
+        .Numeric(r.profit, 4);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q18: high-cardinality aggregation, having-filter, two joins, top-100
+// ---------------------------------------------------------------------------
+QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
+  const Relation& lineitem = db["lineitem"];
+  const Relation& orders = db["orders"];
+  const Relation& customer = db["customer"];
+  const ExecContext ctx = MakeContext(opt);
+
+  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
+  Scan::Shared scan_cust(customer.tuple_count(), opt.morsel_grain);
+  HashGroup::Shared group_shared(opt.threads);
+  HashJoin::Shared join_ord(opt.threads);
+  HashJoin::Shared join_cust(opt.threads);
+
+  struct Row {
+    Char<25> name;
+    int32_t custkey, orderkey, orderdate;
+    int64_t totalprice, sum_qty;
+  };
+  std::vector<Row> rows;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    // 1.5M-group aggregation of lineitem by orderkey.
+    auto lscan =
+        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
+    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
+    Slot* l_quantity = lscan->AddColumn<int64_t>("l_quantity");
+    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
+                                             std::move(lscan), ctx);
+    const size_t k_okey = group->AddKey<int32_t>(l_orderkey);
+    const size_t a_qty = group->AddSumAgg(l_quantity);
+    Slot* g_okey = group->AddOutput<int32_t>(k_okey);
+    Slot* g_qty = group->AddOutput<int64_t>(a_qty);
+
+    // having sum(l_quantity) > 300 (scale 2).
+    auto having = std::make_unique<Select>(std::move(group), ctx.vector_size);
+    having->AddStep(MakeSelCmp<int64_t>(ctx, g_qty, CmpOp::kGreater, 30000));
+
+    // Join the qualifying orderkeys with orders.
+    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
+    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
+    Slot* o_custkey = oscan->AddColumn<int32_t>("o_custkey");
+    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
+    Slot* o_totalprice = oscan->AddColumn<int64_t>("o_totalprice");
+
+    auto hj_o = std::make_unique<HashJoin>(&join_ord, std::move(having),
+                                           std::move(oscan), ctx);
+    const size_t f_okey = hj_o->AddBuildField<int32_t>(g_okey);
+    const size_t f_qty = hj_o->AddBuildField<int64_t>(g_qty);
+    hj_o->SetBuildHash(MakeHash<int32_t>(ctx, g_okey));
+    hj_o->SetProbeHash(MakeHash<int32_t>(ctx, o_orderkey));
+    hj_o->AddKeyCompare<int32_t>(o_orderkey, f_okey);
+    Slot* jo_qty = hj_o->AddBuildOutput<int64_t>(f_qty);
+    Slot* jo_orderkey = hj_o->AddProbeOutput<int32_t>(o_orderkey);
+    Slot* jo_custkey = hj_o->AddProbeOutput<int32_t>(o_custkey);
+    Slot* jo_orderdate = hj_o->AddProbeOutput<int32_t>(o_orderdate);
+    Slot* jo_totalprice = hj_o->AddProbeOutput<int64_t>(o_totalprice);
+
+    // Customer join for the name. Customer is the build side: its key is
+    // unique, whereas several qualifying orders may share a customer.
+    auto cscan =
+        std::make_unique<Scan>(&scan_cust, &customer, ctx.vector_size);
+    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
+    Slot* c_name = cscan->AddColumn<Char<25>>("c_name");
+    auto hj_c = std::make_unique<HashJoin>(&join_cust, std::move(cscan),
+                                           std::move(hj_o), ctx);
+    const size_t f_custkey = hj_c->AddBuildField<int32_t>(c_custkey);
+    const size_t f_name = hj_c->AddBuildField<Char<25>>(c_name);
+    hj_c->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
+    hj_c->SetProbeHash(MakeHash<int32_t>(ctx, jo_custkey));
+    hj_c->AddKeyCompare<int32_t>(jo_custkey, f_custkey);
+    Slot* out_name = hj_c->AddBuildOutput<Char<25>>(f_name);
+    Slot* out_custkey = hj_c->AddProbeOutput<int32_t>(jo_custkey);
+    Slot* out_orderkey = hj_c->AddProbeOutput<int32_t>(jo_orderkey);
+    Slot* out_orderdate = hj_c->AddProbeOutput<int32_t>(jo_orderdate);
+    Slot* out_total = hj_c->AddProbeOutput<int64_t>(jo_totalprice);
+    Slot* out_qty = hj_c->AddProbeOutput<int64_t>(jo_qty);
+
+    size_t n;
+    while ((n = hj_c->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t k = 0; k < n; ++k) {
+        rows.push_back(Row{Get<Char<25>>(out_name)[k],
+                           Get<int32_t>(out_custkey)[k],
+                           Get<int32_t>(out_orderkey)[k],
+                           Get<int32_t>(out_orderdate)[k],
+                           Get<int64_t>(out_total)[k],
+                           Get<int64_t>(out_qty)[k]});
+      }
+    }
+    roots[wid] = std::move(hj_c);
+  });
+  roots.clear();
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(b.totalprice, a.orderdate, a.orderkey) <
+           std::tie(a.totalprice, b.orderdate, b.orderkey);
+  });
+  if (rows.size() > 100) rows.resize(100);
+  ResultBuilder rb({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                    "o_totalprice", "sum_qty"});
+  for (const Row& r : rows) {
+    rb.BeginRow()
+        .Str(r.name.View())
+        .Int(r.custkey)
+        .Int(r.orderkey)
+        .Date(r.orderdate)
+        .Numeric(r.totalprice, 2)
+        .Numeric(r.sum_qty, 2);
+  }
+  return rb.Finish();
+}
+
+}  // namespace vcq::tectorwise

@@ -1,0 +1,268 @@
+#ifndef VCQ_TECTORWISE_STEPS_H_
+#define VCQ_TECTORWISE_STEPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tectorwise/core.h"
+#include "tectorwise/operators.h"
+#include "tectorwise/primitives.h"
+#include "tectorwise/primitives_simd.h"
+
+// Factories that bind primitives to column slots and constants, producing
+// the type-erased steps the operators execute. This is the plan-construction
+// layer: the "interpretation logic" of the vectorized engine is set up once
+// per query here, then amortized over every vector (paper §2.1).
+//
+// When ExecContext.use_simd is set (and the CPU supports AVX-512), the
+// factories select the data-parallel primitive variants of §5.
+
+namespace vcq::tectorwise {
+
+enum class CmpOp { kLess, kLessEq, kGreater, kGreaterEq, kEq };
+
+namespace internal {
+
+template <typename T, typename Cmp>
+SelStep SelCmpScalar(const Slot* col, T konst) {
+  return [col, konst](size_t n, const pos_t* sel, pos_t* out) {
+    if (sel == nullptr) return SelDense<T, Cmp>(n, Get<T>(col), konst, out);
+    return SelSparse<T, Cmp>(n, sel, Get<T>(col), konst, out);
+  };
+}
+
+}  // namespace internal
+
+/// Selection against a constant: col OP konst.
+template <typename T>
+SelStep MakeSelCmp(const ExecContext& ctx, const Slot* col, CmpOp op,
+                   T konst) {
+  const bool use_simd = ctx.use_simd && simd::Available();
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (use_simd) {
+      return [col, op, konst](size_t n, const pos_t* sel, pos_t* out) {
+        const int32_t* c = Get<int32_t>(col);
+        if (sel == nullptr) {
+          switch (op) {
+            case CmpOp::kLess: return simd::SelLessI32Dense(n, c, konst, out);
+            case CmpOp::kLessEq:
+              return simd::SelLessEqI32Dense(n, c, konst, out);
+            case CmpOp::kGreater:
+              return simd::SelGreaterI32Dense(n, c, konst, out);
+            case CmpOp::kGreaterEq:
+              return simd::SelGreaterEqI32Dense(n, c, konst, out);
+            case CmpOp::kEq: return simd::SelEqI32Dense(n, c, konst, out);
+          }
+        } else {
+          switch (op) {
+            case CmpOp::kLess:
+              return simd::SelLessI32Sparse(n, sel, c, konst, out);
+            case CmpOp::kLessEq:
+              return simd::SelLessEqI32Sparse(n, sel, c, konst, out);
+            case CmpOp::kGreater:
+              return simd::SelGreaterI32Sparse(n, sel, c, konst, out);
+            case CmpOp::kGreaterEq:
+              return simd::SelGreaterEqI32Sparse(n, sel, c, konst, out);
+            case CmpOp::kEq:
+              return SelSparse<int32_t, CmpEq>(n, sel, c, konst, out);
+          }
+        }
+        return size_t{0};
+      };
+    }
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    if (use_simd) {
+      return [col, op, konst](size_t n, const pos_t* sel, pos_t* out) {
+        const int64_t* c = Get<int64_t>(col);
+        if (sel == nullptr) {
+          switch (op) {
+            case CmpOp::kLess: return simd::SelLessI64Dense(n, c, konst, out);
+            case CmpOp::kLessEq:
+              return simd::SelLessEqI64Dense(n, c, konst, out);
+            case CmpOp::kGreater:
+              return simd::SelGreaterI64Dense(n, c, konst, out);
+            case CmpOp::kGreaterEq:
+              return simd::SelGreaterEqI64Dense(n, c, konst, out);
+            case CmpOp::kEq: return simd::SelEqI64Dense(n, c, konst, out);
+          }
+        } else {
+          switch (op) {
+            case CmpOp::kLess:
+              return simd::SelLessI64Sparse(n, sel, c, konst, out);
+            case CmpOp::kLessEq:
+              return SelSparse<int64_t, CmpLessEq>(n, sel, c, konst, out);
+            case CmpOp::kGreater:
+              return SelSparse<int64_t, CmpGreater>(n, sel, c, konst, out);
+            case CmpOp::kGreaterEq:
+              return SelSparse<int64_t, CmpGreaterEq>(n, sel, c, konst, out);
+            case CmpOp::kEq:
+              return SelSparse<int64_t, CmpEq>(n, sel, c, konst, out);
+          }
+        }
+        return size_t{0};
+      };
+    }
+  }
+  switch (op) {
+    case CmpOp::kLess: return internal::SelCmpScalar<T, CmpLess>(col, konst);
+    case CmpOp::kLessEq:
+      return internal::SelCmpScalar<T, CmpLessEq>(col, konst);
+    case CmpOp::kGreater:
+      return internal::SelCmpScalar<T, CmpGreater>(col, konst);
+    case CmpOp::kGreaterEq:
+      return internal::SelCmpScalar<T, CmpGreaterEq>(col, konst);
+    case CmpOp::kEq: return internal::SelCmpScalar<T, CmpEq>(col, konst);
+  }
+  return {};
+}
+
+/// Inclusive range selection: lo <= col <= hi.
+template <typename T>
+SelStep MakeSelBetween(const ExecContext& ctx, const Slot* col, T lo, T hi) {
+  const bool use_simd = ctx.use_simd && simd::Available();
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (use_simd) {
+      return [col, lo, hi](size_t n, const pos_t* sel, pos_t* out) {
+        const int32_t* c = Get<int32_t>(col);
+        if (sel == nullptr) return simd::SelBetweenI32Dense(n, c, lo, hi, out);
+        return simd::SelBetweenI32Sparse(n, sel, c, lo, hi, out);
+      };
+    }
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    if (use_simd) {
+      return [col, lo, hi](size_t n, const pos_t* sel, pos_t* out) {
+        const int64_t* c = Get<int64_t>(col);
+        if (sel == nullptr) return simd::SelBetweenI64Dense(n, c, lo, hi, out);
+        return simd::SelBetweenI64Sparse(n, sel, c, lo, hi, out);
+      };
+    }
+  }
+  return [col, lo, hi](size_t n, const pos_t* sel, pos_t* out) {
+    if (sel == nullptr) return SelBetweenDense<T>(n, Get<T>(col), lo, hi, out);
+    return SelBetweenSparse<T>(n, sel, Get<T>(col), lo, hi, out);
+  };
+}
+
+/// col == a || col == b (Char<N> IN-lists).
+template <typename T>
+SelStep MakeSelEqOr2(const Slot* col, T a, T b) {
+  return [col, a, b](size_t n, const pos_t* sel, pos_t* out) {
+    const T* c = Get<T>(col);
+    if (sel == nullptr) return SelEqOr2Dense<T>(n, c, a, b, out);
+    pos_t* res = out;
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      *res = p;
+      res += (c[p] == a || c[p] == b) ? 1 : 0;
+    }
+    return static_cast<size_t>(res - out);
+  };
+}
+
+/// Substring containment on a Varchar column.
+template <typename V>
+SelStep MakeSelContains(const Slot* col, std::string needle) {
+  return [col, needle](size_t n, const pos_t* sel, pos_t* out) {
+    const V* c = Get<V>(col);
+    if (sel == nullptr) return SelContainsDense<V>(n, c, needle, out);
+    pos_t* res = out;
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      *res = p;
+      res += c[p].Contains(needle) ? 1 : 0;
+    }
+    return static_cast<size_t>(res - out);
+  };
+}
+
+// --- map step factories ------------------------------------------------------
+
+template <typename T>
+MapStep MakeMapMul(const Slot* a, const Slot* b, T* out) {
+  return [a, b, out](size_t n, const pos_t* sel) {
+    MapMul<T>(n, sel, Get<T>(a), Get<T>(b), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapRSubConst(T konst, const Slot* a, T* out) {
+  return [konst, a, out](size_t n, const pos_t* sel) {
+    MapRSubConst<T>(n, sel, konst, Get<T>(a), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapAddConst(T konst, const Slot* a, T* out) {
+  return [konst, a, out](size_t n, const pos_t* sel) {
+    MapAddConst<T>(n, sel, konst, Get<T>(a), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapDivConst(const Slot* a, T konst, T* out) {
+  return [a, konst, out](size_t n, const pos_t* sel) {
+    MapDivConst<T>(n, sel, Get<T>(a), konst, out);
+  };
+}
+
+inline MapStep MakeMapYear(const Slot* a, int32_t* out) {
+  return [a, out](size_t n, const pos_t* sel) {
+    MapYear(n, sel, Get<int32_t>(a), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapSub(const Slot* a, const Slot* b, T* out) {
+  return [a, b, out](size_t n, const pos_t* sel) {
+    MapSub<T>(n, sel, Get<T>(a), Get<T>(b), out);
+  };
+}
+
+// --- hash / key expression steps (joins, group-by) ---------------------------
+
+/// Computes (hashes, positions) compacted for the active tuples.
+using HashStep = std::function<void(size_t n, const pos_t* sel,
+                                    uint64_t* hashes, pos_t* pos)>;
+/// Combines another key column into existing hashes (composite keys).
+using RehashStep =
+    std::function<void(size_t n, const pos_t* pos, uint64_t* hashes)>;
+
+template <typename T>
+HashStep MakeHash(const ExecContext& ctx, const Slot* col) {
+  const bool use_simd = ctx.use_simd && simd::Available();
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (use_simd) {
+      return [col](size_t n, const pos_t* sel, uint64_t* hashes, pos_t* pos) {
+        simd::HashI32Compact(n, sel, Get<int32_t>(col), hashes, pos);
+      };
+    }
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    if (use_simd) {
+      return [col](size_t n, const pos_t* sel, uint64_t* hashes, pos_t* pos) {
+        simd::HashI64Compact(n, sel, Get<int64_t>(col), hashes, pos);
+      };
+    }
+  }
+  return [col](size_t n, const pos_t* sel, uint64_t* hashes, pos_t* pos) {
+    HashCompact<T>(n, sel, Get<T>(col), hashes, pos);
+  };
+}
+
+template <typename T>
+RehashStep MakeRehash(const ExecContext& ctx, const Slot* col) {
+  const bool use_simd = ctx.use_simd && simd::Available();
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (use_simd) {
+      return [col](size_t n, const pos_t* pos, uint64_t* hashes) {
+        simd::RehashI32Compact(n, pos, Get<int32_t>(col), hashes);
+      };
+    }
+  }
+  return [col](size_t n, const pos_t* pos, uint64_t* hashes) {
+    RehashCompact<T>(n, pos, Get<T>(col), hashes);
+  };
+}
+
+}  // namespace vcq::tectorwise
+
+#endif  // VCQ_TECTORWISE_STEPS_H_

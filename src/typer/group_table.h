@@ -1,0 +1,119 @@
+#ifndef VCQ_TYPER_GROUP_TABLE_H_
+#define VCQ_TYPER_GROUP_TABLE_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "runtime/worker_pool.h"
+
+// Group-by support for the Typer engine. The aggregation algorithm is the
+// same two-phase scheme both engines share (paper §3.2): worker-local
+// pre-aggregation that spills group pointers into hash partitions, then a
+// parallel per-partition merge. Unlike Tectorwise, everything here is
+// template-inlined into the query's fused loop — no per-vector indirection,
+// keys live in registers until the group update (paper §2).
+
+namespace vcq::typer {
+
+inline constexpr size_t kGroupPartitions = 64;
+
+inline size_t GroupPartitionOf(uint64_t hash) { return (hash >> 52) & 63; }
+
+/// Worker-local aggregation table. Entry must begin with a
+/// runtime::Hashmap::EntryHeader member named `header`.
+template <typename Entry>
+class LocalGroupTable {
+ public:
+  LocalGroupTable() { ht_.SetSize(2048); }
+
+  /// Returns the group for `hash`, creating it with `init(Entry*)` when
+  /// absent. `eq(const Entry&)` decides key equality against the probe key
+  /// held in the caller's registers.
+  template <typename EqFn, typename InitFn>
+  Entry* FindOrCreate(uint64_t hash, EqFn&& eq, InitFn&& init) {
+    for (auto* e = ht_.FindChainTagged(hash); e != nullptr; e = e->next) {
+      if (e->hash == hash && eq(*reinterpret_cast<Entry*>(e)))
+        return reinterpret_cast<Entry*>(e);
+    }
+    if ((count_ + 1) * 2 > ht_.capacity()) Grow();
+    Entry* entry = pool_.template Create<Entry>();
+    entry->header.next = nullptr;
+    entry->header.hash = hash;
+    init(entry);
+    ht_.InsertUnlocked(&entry->header);
+    parts[GroupPartitionOf(hash)].push_back(entry);
+    ++count_;
+    return entry;
+  }
+
+  size_t size() const { return count_; }
+
+  std::array<std::vector<Entry*>, kGroupPartitions> parts;
+
+ private:
+  void Grow() {
+    ht_.SetSize(count_ * 4);
+    for (auto& part : parts)
+      for (Entry* e : part) ht_.InsertUnlocked(&e->header);
+  }
+
+  runtime::Hashmap ht_;
+  runtime::MemPool pool_;
+  size_t count_ = 0;
+};
+
+/// Parallel partition-wise merge of all workers' local tables. Entry must
+/// provide `bool KeyEquals(const Entry&) const` and `void Combine(const
+/// Entry&)`. Returns the distinct merged groups (order unspecified).
+template <typename Entry>
+std::vector<Entry*> MergeLocalGroups(
+    std::vector<std::unique_ptr<LocalGroupTable<Entry>>>& locals,
+    size_t threads) {
+  std::array<std::vector<Entry*>, kGroupPartitions> merged;
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    for (size_t p = wid; p < kGroupPartitions; p += threads) {
+      size_t total = 0;
+      for (const auto& local : locals) total += local->parts[p].size();
+      if (total == 0) continue;
+      if (locals.size() == 1) {
+        merged[p] = std::move(locals[0]->parts[p]);
+        continue;
+      }
+      runtime::Hashmap ht;
+      ht.SetSize(total);
+      std::vector<Entry*>& out = merged[p];
+      out.reserve(total);
+      for (const auto& local : locals) {
+        for (Entry* e : local->parts[p]) {
+          Entry* existing = nullptr;
+          for (auto* c = ht.FindChain(e->header.hash); c != nullptr;
+               c = c->next) {
+            auto* ce = reinterpret_cast<Entry*>(c);
+            if (c->hash == e->header.hash && ce->KeyEquals(*e)) {
+              existing = ce;
+              break;
+            }
+          }
+          if (existing == nullptr) {
+            e->header.next = nullptr;
+            ht.InsertUnlocked(&e->header);
+            out.push_back(e);
+          } else {
+            existing->Combine(*e);
+          }
+        }
+      }
+    }
+  });
+  std::vector<Entry*> result;
+  for (auto& part : merged)
+    result.insert(result.end(), part.begin(), part.end());
+  return result;
+}
+
+}  // namespace vcq::typer
+
+#endif  // VCQ_TYPER_GROUP_TABLE_H_

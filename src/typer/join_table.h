@@ -1,0 +1,69 @@
+#ifndef VCQ_TYPER_JOIN_TABLE_H_
+#define VCQ_TYPER_JOIN_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/hashmap.h"
+#include "runtime/mem_pool.h"
+#include "runtime/worker_pool.h"
+
+namespace vcq::typer {
+
+/// Shared join hash table for Typer pipelines: a morsel-parallel producer
+/// materializes entries into worker-local arenas, then the table is sized
+/// once and filled with lock-free CAS inserts — the same build protocol the
+/// Tectorwise HashJoin uses over the same runtime::Hashmap (paper §3.2:
+/// "the same data structures").
+///
+/// Entry must begin with a runtime::Hashmap::EntryHeader member `header`;
+/// the producer sets `header.hash` before emitting.
+template <typename Entry>
+class JoinTable {
+ public:
+  explicit JoinTable(size_t threads) : pools_(threads), rows_(threads) {}
+
+  /// produce(worker_id, emit) appends build tuples via emit(const Entry&).
+  template <typename ProduceFn>
+  void Build(size_t threads, ProduceFn&& produce) {
+    runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+      auto emit = [&](const Entry& e) {
+        Entry* p = pools_[wid].template Create<Entry>(e);
+        rows_[wid].push_back(p);
+      };
+      produce(wid, emit);
+    });
+    size_t total = 0;
+    for (const auto& r : rows_) total += r.size();
+    ht.SetSize(total);
+    runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+      for (Entry* e : rows_[wid]) ht.Insert(&e->header);
+    });
+  }
+
+  /// Primary-key lookup: first entry with matching hash passing `eq`.
+  template <typename EqFn>
+  const Entry* Lookup(uint64_t hash, EqFn&& eq) const {
+    for (auto* e = ht.FindChainTagged(hash); e != nullptr; e = e->next) {
+      if (e->hash == hash && eq(*reinterpret_cast<const Entry*>(e)))
+        return reinterpret_cast<const Entry*>(e);
+    }
+    return nullptr;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& r : rows_) total += r.size();
+    return total;
+  }
+
+  runtime::Hashmap ht;
+
+ private:
+  std::vector<runtime::MemPool> pools_;
+  std::vector<std::vector<Entry*>> rows_;
+};
+
+}  // namespace vcq::typer
+
+#endif  // VCQ_TYPER_JOIN_TABLE_H_

@@ -1,0 +1,40 @@
+#ifndef VCQ_TYPER_QUERIES_H_
+#define VCQ_TYPER_QUERIES_H_
+
+#include "runtime/options.h"
+#include "runtime/query_result.h"
+#include "runtime/relation.h"
+
+// Typer: the data-centric "compiled" engine. Each query is the fused
+// tight-loop pipeline that HyPer-style produce/consume code generation
+// emits (paper §2, Fig. 2a) — compiled ahead of time, which the paper's own
+// methodology treats as equivalent since compile time is excluded from all
+// measurements (§3, footnote 1). Predicates, arithmetic, hash-table probes
+// and aggregate updates of one pipeline all live in a single loop whose
+// intermediate values stay in registers.
+
+namespace vcq::typer {
+
+runtime::QueryResult RunQ1(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ6(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ3(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ9(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ18(const runtime::Database& db,
+                            const runtime::QueryOptions& opt);
+
+runtime::QueryResult RunSsbQ11(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ21(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ31(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+runtime::QueryResult RunSsbQ41(const runtime::Database& db,
+                               const runtime::QueryOptions& opt);
+
+}  // namespace vcq::typer
+
+#endif  // VCQ_TYPER_QUERIES_H_

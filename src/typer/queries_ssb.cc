@@ -1,0 +1,516 @@
+#include <algorithm>
+#include <mutex>
+#include <tuple>
+
+#include "runtime/hash.h"
+#include "runtime/types.h"
+#include "runtime/worker_pool.h"
+#include "typer/group_table.h"
+#include "typer/join_table.h"
+#include "typer/queries.h"
+
+// Star Schema Benchmark pipelines for Typer (paper §4.4): one fused probe
+// loop over lineorder against filtered dimension hash tables.
+
+namespace vcq::typer {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::HashCrc32;
+using runtime::Hashmap;
+using runtime::MorselQueue;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::Relation;
+using runtime::ResultBuilder;
+using runtime::WorkerPool;
+
+namespace {
+
+struct DateEntry {
+  Hashmap::EntryHeader header;
+  int32_t datekey, year;
+};
+struct KeyOnly {
+  Hashmap::EntryHeader header;
+  int32_t key;
+};
+struct KeyNation {
+  Hashmap::EntryHeader header;
+  int32_t key;
+  Char<15> nation;
+};
+struct BrandEntry {
+  Hashmap::EntryHeader header;
+  int32_t partkey;
+  Char<9> brand;
+};
+
+/// Builds a dimension hash table from rows passing `pred`, with the entry
+/// payload produced by `fill`.
+template <typename Entry, typename PredFn, typename FillFn>
+void BuildDimension(JoinTable<Entry>& table, size_t tuple_count,
+                    size_t threads, size_t grain, PredFn&& pred,
+                    FillFn&& fill) {
+  MorselQueue morsels(tuple_count, grain);
+  table.Build(threads, [&](size_t, auto emit) {
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        if (!pred(i)) continue;
+        Entry e;
+        fill(i, &e);
+        emit(e);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q1.1
+// ---------------------------------------------------------------------------
+QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
+  const Relation& lineorder = db["lineorder"];
+  const Relation& date = db["date"];
+  const auto d_datekey = date.Col<int32_t>("d_datekey");
+  const auto d_year = date.Col<int32_t>("d_year");
+  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
+  const auto lo_discount = lineorder.Col<int64_t>("lo_discount");
+  const auto lo_quantity = lineorder.Col<int64_t>("lo_quantity");
+  const auto lo_extprice = lineorder.Col<int64_t>("lo_extendedprice");
+
+  JoinTable<KeyOnly> ht_date(opt.threads);
+  BuildDimension(
+      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return d_year[i] == 1993; },
+      [&](size_t i, KeyOnly* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
+        e->key = d_datekey[i];
+      });
+
+  int64_t total = 0;
+  std::mutex mu;
+  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t) {
+    int64_t local = 0;
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        if (lo_discount[i] < 1 || lo_discount[i] > 3 || lo_quantity[i] >= 25)
+          continue;
+        const int32_t dk = lo_orderdate[i];
+        if (ht_date.Lookup(HashCrc32(static_cast<uint32_t>(dk)),
+                           [&](const KeyOnly& e) { return e.key == dk; }) ==
+            nullptr) {
+          continue;
+        }
+        local += lo_extprice[i] * lo_discount[i];
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total += local;
+  });
+
+  ResultBuilder rb({"revenue"});
+  rb.BeginRow().Numeric(total, 4);
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q2.1
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q21Group {
+  Hashmap::EntryHeader header;
+  int32_t year;
+  Char<9> brand;
+  int64_t revenue;
+
+  bool KeyEquals(const Q21Group& o) const {
+    return year == o.year && brand == o.brand;
+  }
+  void Combine(const Q21Group& o) { revenue += o.revenue; }
+};
+
+}  // namespace
+
+QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
+  const Relation& lineorder = db["lineorder"];
+  const Relation& date = db["date"];
+  const Relation& part = db["part"];
+  const Relation& supplier = db["supplier"];
+
+  const auto p_partkey = part.Col<int32_t>("p_partkey");
+  const auto p_category = part.Col<Char<7>>("p_category");
+  const auto p_brand1 = part.Col<Char<9>>("p_brand1");
+  JoinTable<BrandEntry> ht_part(opt.threads);
+  const Char<7> mfgr12 = Char<7>::From("MFGR#12");
+  BuildDimension(
+      ht_part, part.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return p_category[i] == mfgr12; },
+      [&](size_t i, BrandEntry* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
+        e->partkey = p_partkey[i];
+        e->brand = p_brand1[i];
+      });
+
+  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
+  const auto s_region = supplier.Col<Char<12>>("s_region");
+  JoinTable<KeyOnly> ht_supp(opt.threads);
+  const Char<12> america = Char<12>::From("AMERICA");
+  BuildDimension(
+      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return s_region[i] == america; },
+      [&](size_t i, KeyOnly* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
+        e->key = s_suppkey[i];
+      });
+
+  const auto d_datekey = date.Col<int32_t>("d_datekey");
+  const auto d_year = date.Col<int32_t>("d_year");
+  JoinTable<DateEntry> ht_date(opt.threads);
+  BuildDimension(
+      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t) { return true; },
+      [&](size_t i, DateEntry* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
+        e->datekey = d_datekey[i];
+        e->year = d_year[i];
+      });
+
+  const auto lo_partkey = lineorder.Col<int32_t>("lo_partkey");
+  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
+  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
+  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
+
+  std::vector<std::unique_ptr<LocalGroupTable<Q21Group>>> locals(opt.threads);
+  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>();
+    LocalGroupTable<Q21Group>& local = *locals[wid];
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        const int32_t pk = lo_partkey[i];
+        const BrandEntry* p = ht_part.Lookup(
+            HashCrc32(static_cast<uint32_t>(pk)),
+            [&](const BrandEntry& e) { return e.partkey == pk; });
+        if (p == nullptr) continue;
+        const int32_t sk = lo_suppkey[i];
+        if (ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
+                           [&](const KeyOnly& e) { return e.key == sk; }) ==
+            nullptr) {
+          continue;
+        }
+        const int32_t dk = lo_orderdate[i];
+        const DateEntry* d = ht_date.Lookup(
+            HashCrc32(static_cast<uint32_t>(dk)),
+            [&](const DateEntry& e) { return e.datekey == dk; });
+        const int32_t year = d->year;
+        const Char<9> brand = p->brand;
+        const uint64_t gh = HashCrc32(
+            static_cast<uint64_t>(static_cast<uint32_t>(year)) ^
+            (runtime::HashBytes(brand.data, 9) << 1));
+        Q21Group* g = local.FindOrCreate(
+            gh,
+            [&](const Q21Group& e) {
+              return e.year == year && e.brand == brand;
+            },
+            [&](Q21Group* e) {
+              e->year = year;
+              e->brand = brand;
+              e->revenue = 0;
+            });
+        g->revenue += lo_revenue[i];
+      }
+    }
+  });
+
+  std::vector<Q21Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::sort(groups.begin(), groups.end(), [](Q21Group* a, Q21Group* b) {
+    if (a->year != b->year) return a->year < b->year;
+    return a->brand < b->brand;
+  });
+  ResultBuilder rb({"d_year", "p_brand1", "revenue"});
+  for (const Q21Group* g : groups)
+    rb.BeginRow().Int(g->year).Str(g->brand.View()).Numeric(g->revenue, 2);
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q3.1
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q31Group {
+  Hashmap::EntryHeader header;
+  Char<15> c_nation, s_nation;
+  int32_t year;
+  int64_t revenue;
+
+  bool KeyEquals(const Q31Group& o) const {
+    return year == o.year && c_nation == o.c_nation && s_nation == o.s_nation;
+  }
+  void Combine(const Q31Group& o) { revenue += o.revenue; }
+};
+
+}  // namespace
+
+QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
+  const Relation& lineorder = db["lineorder"];
+  const Relation& date = db["date"];
+  const Relation& customer = db["customer"];
+  const Relation& supplier = db["supplier"];
+  const Char<12> asia = Char<12>::From("ASIA");
+
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  const auto c_nation = customer.Col<Char<15>>("c_nation");
+  const auto c_region = customer.Col<Char<12>>("c_region");
+  JoinTable<KeyNation> ht_cust(opt.threads);
+  BuildDimension(
+      ht_cust, customer.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return c_region[i] == asia; },
+      [&](size_t i, KeyNation* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
+        e->key = c_custkey[i];
+        e->nation = c_nation[i];
+      });
+
+  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
+  const auto s_nation = supplier.Col<Char<15>>("s_nation");
+  const auto s_region = supplier.Col<Char<12>>("s_region");
+  JoinTable<KeyNation> ht_supp(opt.threads);
+  BuildDimension(
+      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return s_region[i] == asia; },
+      [&](size_t i, KeyNation* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
+        e->key = s_suppkey[i];
+        e->nation = s_nation[i];
+      });
+
+  const auto d_datekey = date.Col<int32_t>("d_datekey");
+  const auto d_year = date.Col<int32_t>("d_year");
+  JoinTable<DateEntry> ht_date(opt.threads);
+  BuildDimension(
+      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return d_year[i] >= 1992 && d_year[i] <= 1997; },
+      [&](size_t i, DateEntry* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
+        e->datekey = d_datekey[i];
+        e->year = d_year[i];
+      });
+
+  const auto lo_custkey = lineorder.Col<int32_t>("lo_custkey");
+  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
+  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
+  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
+
+  std::vector<std::unique_ptr<LocalGroupTable<Q31Group>>> locals(opt.threads);
+  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>();
+    LocalGroupTable<Q31Group>& local = *locals[wid];
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        const int32_t ck = lo_custkey[i];
+        const KeyNation* c = ht_cust.Lookup(
+            HashCrc32(static_cast<uint32_t>(ck)),
+            [&](const KeyNation& e) { return e.key == ck; });
+        if (c == nullptr) continue;
+        const int32_t sk = lo_suppkey[i];
+        const KeyNation* s = ht_supp.Lookup(
+            HashCrc32(static_cast<uint32_t>(sk)),
+            [&](const KeyNation& e) { return e.key == sk; });
+        if (s == nullptr) continue;
+        const int32_t dk = lo_orderdate[i];
+        const DateEntry* d = ht_date.Lookup(
+            HashCrc32(static_cast<uint32_t>(dk)),
+            [&](const DateEntry& e) { return e.datekey == dk; });
+        if (d == nullptr) continue;
+        const uint64_t gh = HashCrc32(
+            runtime::HashBytes(c->nation.data, 15) ^
+            (runtime::HashBytes(s->nation.data, 15) << 1) ^
+            static_cast<uint32_t>(d->year));
+        Q31Group* g = local.FindOrCreate(
+            gh,
+            [&](const Q31Group& e) {
+              return e.year == d->year && e.c_nation == c->nation &&
+                     e.s_nation == s->nation;
+            },
+            [&](Q31Group* e) {
+              e->c_nation = c->nation;
+              e->s_nation = s->nation;
+              e->year = d->year;
+              e->revenue = 0;
+            });
+        g->revenue += lo_revenue[i];
+      }
+    }
+  });
+
+  std::vector<Q31Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::sort(groups.begin(), groups.end(), [](Q31Group* a, Q31Group* b) {
+    if (a->year != b->year) return a->year < b->year;
+    if (a->revenue != b->revenue) return a->revenue > b->revenue;
+    return std::tie(a->c_nation, a->s_nation) <
+           std::tie(b->c_nation, b->s_nation);
+  });
+  ResultBuilder rb({"c_nation", "s_nation", "d_year", "revenue"});
+  for (const Q31Group* g : groups) {
+    rb.BeginRow()
+        .Str(g->c_nation.View())
+        .Str(g->s_nation.View())
+        .Int(g->year)
+        .Numeric(g->revenue, 2);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q4.1
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q41Group {
+  Hashmap::EntryHeader header;
+  int32_t year;
+  Char<15> c_nation;
+  int64_t profit;
+
+  bool KeyEquals(const Q41Group& o) const {
+    return year == o.year && c_nation == o.c_nation;
+  }
+  void Combine(const Q41Group& o) { profit += o.profit; }
+};
+
+}  // namespace
+
+QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
+  const Relation& lineorder = db["lineorder"];
+  const Relation& date = db["date"];
+  const Relation& customer = db["customer"];
+  const Relation& supplier = db["supplier"];
+  const Relation& part = db["part"];
+  const Char<12> america = Char<12>::From("AMERICA");
+
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  const auto c_nation = customer.Col<Char<15>>("c_nation");
+  const auto c_region = customer.Col<Char<12>>("c_region");
+  JoinTable<KeyNation> ht_cust(opt.threads);
+  BuildDimension(
+      ht_cust, customer.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return c_region[i] == america; },
+      [&](size_t i, KeyNation* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
+        e->key = c_custkey[i];
+        e->nation = c_nation[i];
+      });
+
+  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
+  const auto s_region = supplier.Col<Char<12>>("s_region");
+  JoinTable<KeyOnly> ht_supp(opt.threads);
+  BuildDimension(
+      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return s_region[i] == america; },
+      [&](size_t i, KeyOnly* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
+        e->key = s_suppkey[i];
+      });
+
+  const auto p_partkey = part.Col<int32_t>("p_partkey");
+  const auto p_mfgr = part.Col<Char<6>>("p_mfgr");
+  JoinTable<KeyOnly> ht_part(opt.threads);
+  const Char<6> mfgr1 = Char<6>::From("MFGR#1");
+  const Char<6> mfgr2 = Char<6>::From("MFGR#2");
+  BuildDimension(
+      ht_part, part.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t i) { return p_mfgr[i] == mfgr1 || p_mfgr[i] == mfgr2; },
+      [&](size_t i, KeyOnly* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
+        e->key = p_partkey[i];
+      });
+
+  const auto d_datekey = date.Col<int32_t>("d_datekey");
+  const auto d_year = date.Col<int32_t>("d_year");
+  JoinTable<DateEntry> ht_date(opt.threads);
+  BuildDimension(
+      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      [&](size_t) { return true; },
+      [&](size_t i, DateEntry* e) {
+        e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
+        e->datekey = d_datekey[i];
+        e->year = d_year[i];
+      });
+
+  const auto lo_custkey = lineorder.Col<int32_t>("lo_custkey");
+  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
+  const auto lo_partkey = lineorder.Col<int32_t>("lo_partkey");
+  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
+  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
+  const auto lo_supplycost = lineorder.Col<int64_t>("lo_supplycost");
+
+  std::vector<std::unique_ptr<LocalGroupTable<Q41Group>>> locals(opt.threads);
+  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>();
+    LocalGroupTable<Q41Group>& local = *locals[wid];
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        const int32_t ck = lo_custkey[i];
+        const KeyNation* c = ht_cust.Lookup(
+            HashCrc32(static_cast<uint32_t>(ck)),
+            [&](const KeyNation& e) { return e.key == ck; });
+        if (c == nullptr) continue;
+        const int32_t sk = lo_suppkey[i];
+        if (ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
+                           [&](const KeyOnly& e) { return e.key == sk; }) ==
+            nullptr) {
+          continue;
+        }
+        const int32_t pk = lo_partkey[i];
+        if (ht_part.Lookup(HashCrc32(static_cast<uint32_t>(pk)),
+                           [&](const KeyOnly& e) { return e.key == pk; }) ==
+            nullptr) {
+          continue;
+        }
+        const int32_t dk = lo_orderdate[i];
+        const DateEntry* d = ht_date.Lookup(
+            HashCrc32(static_cast<uint32_t>(dk)),
+            [&](const DateEntry& e) { return e.datekey == dk; });
+        const int64_t profit = lo_revenue[i] - lo_supplycost[i];
+        const uint64_t gh = HashCrc32(
+            runtime::HashBytes(c->nation.data, 15) ^
+            static_cast<uint32_t>(d->year));
+        Q41Group* g = local.FindOrCreate(
+            gh,
+            [&](const Q41Group& e) {
+              return e.year == d->year && e.c_nation == c->nation;
+            },
+            [&](Q41Group* e) {
+              e->year = d->year;
+              e->c_nation = c->nation;
+              e->profit = 0;
+            });
+        g->profit += profit;
+      }
+    }
+  });
+
+  std::vector<Q41Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::sort(groups.begin(), groups.end(), [](Q41Group* a, Q41Group* b) {
+    if (a->year != b->year) return a->year < b->year;
+    return a->c_nation < b->c_nation;
+  });
+  ResultBuilder rb({"d_year", "c_nation", "profit"});
+  for (const Q41Group* g : groups)
+    rb.BeginRow().Int(g->year).Str(g->c_nation.View()).Numeric(g->profit, 2);
+  return rb.Finish();
+}
+
+}  // namespace vcq::typer

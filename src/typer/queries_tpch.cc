@@ -1,0 +1,745 @@
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <tuple>
+
+#include "runtime/hash.h"
+#include "runtime/types.h"
+#include "runtime/worker_pool.h"
+#include "typer/group_table.h"
+#include "typer/join_table.h"
+#include "typer/queries.h"
+
+// TPC-H pipelines for the Typer engine. Every pipeline is one fused loop
+// (scan + select + arithmetic + probe + aggregate), the code shape that
+// data-centric produce/consume generation emits (paper Fig. 2a). Typer uses
+// the low-latency CRC hash (paper §4.1: "the CRC hash function improves
+// [Typer's] performance up to 40%").
+
+namespace vcq::typer {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DateFromString;
+using runtime::HashCrc32;
+using runtime::Hashmap;
+using runtime::MorselQueue;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::Relation;
+using runtime::ResultBuilder;
+using runtime::Varchar;
+using runtime::WorkerPool;
+using runtime::YearOf;
+
+// ---------------------------------------------------------------------------
+// Q1
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q1Group {
+  Hashmap::EntryHeader header;
+  uint16_t key;  // returnflag | linestatus << 8
+  int64_t sum_qty, sum_base, sum_disc_price, sum_charge, sum_disc, count;
+
+  bool KeyEquals(const Q1Group& o) const { return key == o.key; }
+  void Combine(const Q1Group& o) {
+    sum_qty += o.sum_qty;
+    sum_base += o.sum_base;
+    sum_disc_price += o.sum_disc_price;
+    sum_charge += o.sum_charge;
+    sum_disc += o.sum_disc;
+    count += o.count;
+  }
+};
+
+}  // namespace
+
+QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
+  const Relation& lineitem = db["lineitem"];
+  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto rf = lineitem.Col<Char<1>>("l_returnflag");
+  const auto ls = lineitem.Col<Char<1>>("l_linestatus");
+  const auto qty = lineitem.Col<int64_t>("l_quantity");
+  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto discount = lineitem.Col<int64_t>("l_discount");
+  const auto tax = lineitem.Col<int64_t>("l_tax");
+  const int32_t cutoff = DateFromString("1998-09-02");
+
+  std::vector<std::unique_ptr<LocalGroupTable<Q1Group>>> locals(opt.threads);
+  MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    locals[wid] = std::make_unique<LocalGroupTable<Q1Group>>();
+    LocalGroupTable<Q1Group>& local = *locals[wid];
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      for (size_t i = begin; i < end; ++i) {
+        if (shipdate[i] > cutoff) continue;
+        const uint16_t key = static_cast<uint16_t>(
+            static_cast<uint8_t>(rf[i].data[0]) |
+            (static_cast<uint8_t>(ls[i].data[0]) << 8));
+        Q1Group* g = local.FindOrCreate(
+            HashCrc32(key), [&](const Q1Group& e) { return e.key == key; },
+            [&](Q1Group* e) {
+              e->key = key;
+              e->sum_qty = e->sum_base = e->sum_disc_price = 0;
+              e->sum_charge = e->sum_disc = e->count = 0;
+            });
+        const int64_t disc_price = extprice[i] * (100 - discount[i]);
+        g->sum_qty += qty[i];
+        g->sum_base += extprice[i];
+        g->sum_disc_price += disc_price;
+        g->sum_charge += disc_price * (100 + tax[i]);
+        g->sum_disc += discount[i];
+        g->count += 1;
+      }
+    }
+  });
+
+  std::vector<Q1Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::sort(groups.begin(), groups.end(), [](Q1Group* a, Q1Group* b) {
+    return std::make_pair(a->key & 0xff, a->key >> 8) <
+           std::make_pair(b->key & 0xff, b->key >> 8);
+  });
+  ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
+                    "sum_base_price", "sum_disc_price", "sum_charge",
+                    "avg_qty", "avg_price", "avg_disc", "count_order"});
+  for (const Q1Group* g : groups) {
+    const char r = static_cast<char>(g->key & 0xff);
+    const char l = static_cast<char>(g->key >> 8);
+    rb.BeginRow()
+        .Str(std::string_view(&r, 1))
+        .Str(std::string_view(&l, 1))
+        .Numeric(g->sum_qty, 2)
+        .Numeric(g->sum_base, 2)
+        .Numeric(g->sum_disc_price, 4)
+        .Numeric(g->sum_charge, 6)
+        .Avg(g->sum_qty, g->count, 2, 2)
+        .Avg(g->sum_base, g->count, 2, 2)
+        .Avg(g->sum_disc, g->count, 2, 2)
+        .Int(g->count);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q6
+// ---------------------------------------------------------------------------
+QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
+  const Relation& lineitem = db["lineitem"];
+  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto discount = lineitem.Col<int64_t>("l_discount");
+  const auto quantity = lineitem.Col<int64_t>("l_quantity");
+  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const int32_t lo = DateFromString("1994-01-01");
+  const int32_t hi = DateFromString("1995-01-01") - 1;
+
+  int64_t total = 0;
+  std::mutex mu;
+  MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+  WorkerPool::Global().Run(opt.threads, [&](size_t) {
+    // Branch-free predicated evaluation (paper footnote 8: Typer's Q6 is
+    // branch-free), with two accumulators so the conditional add is not one
+    // long loop-carried dependency chain.
+    int64_t acc0 = 0, acc1 = 0;
+    size_t begin, end;
+    while (morsels.Next(begin, end)) {
+      size_t i = begin;
+      for (; i + 2 <= end; i += 2) {
+        const bool p0 = (shipdate[i] >= lo) & (shipdate[i] <= hi) &
+                        (discount[i] >= 5) & (discount[i] <= 7) &
+                        (quantity[i] < 2400);
+        const bool p1 = (shipdate[i + 1] >= lo) & (shipdate[i + 1] <= hi) &
+                        (discount[i + 1] >= 5) & (discount[i + 1] <= 7) &
+                        (quantity[i + 1] < 2400);
+        acc0 += p0 ? extprice[i] * discount[i] : 0;
+        acc1 += p1 ? extprice[i + 1] * discount[i + 1] : 0;
+      }
+      for (; i < end; ++i) {
+        const bool pass = (shipdate[i] >= lo) & (shipdate[i] <= hi) &
+                          (discount[i] >= 5) & (discount[i] <= 7) &
+                          (quantity[i] < 2400);
+        acc0 += pass ? extprice[i] * discount[i] : 0;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total += acc0 + acc1;
+  });
+
+  ResultBuilder rb({"revenue"});
+  rb.BeginRow().Numeric(total, 4);
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q3
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q3Cust {
+  Hashmap::EntryHeader header;
+  int32_t custkey;
+};
+struct Q3Order {
+  Hashmap::EntryHeader header;
+  int32_t orderkey, orderdate, shippriority;
+};
+struct Q3Group {
+  Hashmap::EntryHeader header;
+  int32_t orderkey, orderdate, shippriority;
+  int64_t revenue;
+
+  bool KeyEquals(const Q3Group& o) const { return orderkey == o.orderkey; }
+  void Combine(const Q3Group& o) { revenue += o.revenue; }
+};
+
+}  // namespace
+
+QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
+  const Relation& customer = db["customer"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const int32_t date = DateFromString("1995-03-15");
+  const Char<10> building = Char<10>::From("BUILDING");
+
+  // Pipeline 1: build customer hash table (BUILDING segment).
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
+  JoinTable<Q3Cust> ht_cust(opt.threads);
+  {
+    MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
+    ht_cust.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!(c_mkt[i] == building)) continue;
+          Q3Cust e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
+          e.custkey = c_custkey[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Pipeline 2: orders semi-joined with those customers.
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_custkey = orders.Col<int32_t>("o_custkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  const auto o_shipprio = orders.Col<int32_t>("o_shippriority");
+  JoinTable<Q3Order> ht_ord(opt.threads);
+  {
+    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
+    ht_ord.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          if (o_orderdate[i] >= date) continue;
+          const int32_t ck = o_custkey[i];
+          const uint64_t h = HashCrc32(static_cast<uint32_t>(ck));
+          if (ht_cust.Lookup(h, [&](const Q3Cust& c) {
+                return c.custkey == ck;
+              }) == nullptr) {
+            continue;
+          }
+          Q3Order e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(o_orderkey[i]));
+          e.orderkey = o_orderkey[i];
+          e.orderdate = o_orderdate[i];
+          e.shippriority = o_shipprio[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Pipeline 3: probe with lineitem, aggregate revenue per order.
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto l_discount = lineitem.Col<int64_t>("l_discount");
+  std::vector<std::unique_ptr<LocalGroupTable<Q3Group>>> locals(opt.threads);
+  {
+    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+      locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>();
+      LocalGroupTable<Q3Group>& local = *locals[wid];
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          if (l_shipdate[i] <= date) continue;
+          const int32_t ok = l_orderkey[i];
+          const uint64_t h = HashCrc32(static_cast<uint32_t>(ok));
+          const Q3Order* o = ht_ord.Lookup(
+              h, [&](const Q3Order& e) { return e.orderkey == ok; });
+          if (o == nullptr) continue;
+          Q3Group* g = local.FindOrCreate(
+              h, [&](const Q3Group& e) { return e.orderkey == ok; },
+              [&](Q3Group* e) {
+                e->orderkey = o->orderkey;
+                e->orderdate = o->orderdate;
+                e->shippriority = o->shippriority;
+                e->revenue = 0;
+              });
+          g->revenue += l_extprice[i] * (100 - l_discount[i]);
+        }
+      }
+    });
+  }
+
+  std::vector<Q3Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::sort(groups.begin(), groups.end(), [](Q3Group* a, Q3Group* b) {
+    return std::tie(b->revenue, a->orderdate, a->orderkey) <
+           std::tie(a->revenue, b->orderdate, b->orderkey);
+  });
+  if (groups.size() > 10) groups.resize(10);
+  ResultBuilder rb(
+      {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+  for (const Q3Group* g : groups) {
+    rb.BeginRow()
+        .Int(g->orderkey)
+        .Numeric(g->revenue, 4)
+        .Date(g->orderdate)
+        .Int(g->shippriority);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q9
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q9Part {
+  Hashmap::EntryHeader header;
+  int32_t partkey;
+};
+struct Q9PartSupp {
+  Hashmap::EntryHeader header;
+  int32_t partkey, suppkey;
+  int64_t supplycost;
+};
+struct Q9Supp {
+  Hashmap::EntryHeader header;
+  int32_t suppkey, nationkey;
+};
+struct Q9Order {
+  Hashmap::EntryHeader header;
+  int32_t orderkey, year;
+};
+struct Q9Group {
+  Hashmap::EntryHeader header;
+  uint64_t key;  // nationkey << 32 | year
+  int64_t profit;
+
+  bool KeyEquals(const Q9Group& o) const { return key == o.key; }
+  void Combine(const Q9Group& o) { profit += o.profit; }
+};
+
+uint64_t PackPartSupp(int32_t partkey, int32_t suppkey) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(partkey)) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(suppkey)) << 32);
+}
+
+}  // namespace
+
+QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
+  const Relation& part = db["part"];
+  const Relation& supplier = db["supplier"];
+  const Relation& partsupp = db["partsupp"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const Relation& nation = db["nation"];
+
+  // Green parts.
+  const auto p_partkey = part.Col<int32_t>("p_partkey");
+  const auto p_name = part.Col<Varchar<55>>("p_name");
+  JoinTable<Q9Part> ht_part(opt.threads);
+  {
+    MorselQueue morsels(part.tuple_count(), opt.morsel_grain);
+    ht_part.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!p_name[i].Contains("green")) continue;
+          Q9Part e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
+          e.partkey = p_partkey[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // partsupp filtered by green parts, keyed by the composite key.
+  const auto ps_partkey = partsupp.Col<int32_t>("ps_partkey");
+  const auto ps_suppkey = partsupp.Col<int32_t>("ps_suppkey");
+  const auto ps_cost = partsupp.Col<int64_t>("ps_supplycost");
+  JoinTable<Q9PartSupp> ht_ps(opt.threads);
+  {
+    MorselQueue morsels(partsupp.tuple_count(), opt.morsel_grain);
+    ht_ps.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int32_t pk = ps_partkey[i];
+          const uint64_t h = HashCrc32(static_cast<uint32_t>(pk));
+          if (ht_part.Lookup(h, [&](const Q9Part& e) {
+                return e.partkey == pk;
+              }) == nullptr) {
+            continue;
+          }
+          Q9PartSupp e;
+          e.header.hash = HashCrc32(PackPartSupp(pk, ps_suppkey[i]));
+          e.partkey = pk;
+          e.suppkey = ps_suppkey[i];
+          e.supplycost = ps_cost[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Suppliers.
+  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
+  const auto s_nationkey = supplier.Col<int32_t>("s_nationkey");
+  JoinTable<Q9Supp> ht_supp(opt.threads);
+  {
+    MorselQueue morsels(supplier.tuple_count(), opt.morsel_grain);
+    ht_supp.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Q9Supp e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
+          e.suppkey = s_suppkey[i];
+          e.nationkey = s_nationkey[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Orders (year extracted at build time).
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  JoinTable<Q9Order> ht_ord(opt.threads);
+  {
+    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
+    ht_ord.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Q9Order e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(o_orderkey[i]));
+          e.orderkey = o_orderkey[i];
+          e.year = YearOf(o_orderdate[i]);
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Probe pipeline over lineitem.
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_partkey = lineitem.Col<int32_t>("l_partkey");
+  const auto l_suppkey = lineitem.Col<int32_t>("l_suppkey");
+  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto l_discount = lineitem.Col<int64_t>("l_discount");
+  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  std::vector<std::unique_ptr<LocalGroupTable<Q9Group>>> locals(opt.threads);
+  if (opt.rof) {
+    // Relaxed operator fusion (paper §9.1): the fused probe loop is split
+    // at an explicit materialization boundary. Stage 1 computes the
+    // composite-key hashes for a block of tuples and prefetches their
+    // partsupp buckets; stage 2 probes with the latency already hidden —
+    // Peloton's staged-pipeline idea grafted onto the compiled engine.
+    constexpr size_t kStage = 512;
+    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+      locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
+      LocalGroupTable<Q9Group>& local = *locals[wid];
+      uint64_t ps_hashes[kStage];
+      uint64_t ord_hashes[kStage];
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t block = begin; block < end; block += kStage) {
+          const size_t block_end = std::min(block + kStage, end);
+          const size_t n = block_end - block;
+          for (size_t k = 0; k < n; ++k) {
+            const size_t i = block + k;
+            ps_hashes[k] =
+                HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
+            __builtin_prefetch(
+                ht_ps.ht.buckets() + ht_ps.ht.BucketOf(ps_hashes[k]), 0, 1);
+            // The orders directory is the memory-bound structure (1.5M
+            // entries per SF): prefetching it is what pays.
+            ord_hashes[k] =
+                HashCrc32(static_cast<uint32_t>(l_orderkey[i]));
+            __builtin_prefetch(
+                ht_ord.ht.buckets() + ht_ord.ht.BucketOf(ord_hashes[k]), 0,
+                1);
+          }
+          // Second boundary: the directory words are now cached; resolve
+          // the chain heads and prefetch the entry nodes themselves (the
+          // second dependent miss of a chaining table).
+          for (size_t k = 0; k < n; ++k) {
+            if (Hashmap::EntryHeader* e =
+                    ht_ord.ht.FindChainTagged(ord_hashes[k])) {
+              __builtin_prefetch(e, 0, 1);
+            }
+          }
+          for (size_t k = 0; k < n; ++k) {
+            const size_t i = block + k;
+            const uint64_t pskey =
+                PackPartSupp(l_partkey[i], l_suppkey[i]);
+            const Q9PartSupp* ps =
+                ht_ps.Lookup(ps_hashes[k], [&](const Q9PartSupp& e) {
+                  return PackPartSupp(e.partkey, e.suppkey) == pskey;
+                });
+            if (ps == nullptr) continue;
+            const int32_t sk = l_suppkey[i];
+            const Q9Supp* s = ht_supp.Lookup(
+                HashCrc32(static_cast<uint32_t>(sk)),
+                [&](const Q9Supp& e) { return e.suppkey == sk; });
+            const int32_t ok = l_orderkey[i];
+            const Q9Order* o = ht_ord.Lookup(
+                ord_hashes[k],
+                [&](const Q9Order& e) { return e.orderkey == ok; });
+            const int64_t amount = l_extprice[i] * (100 - l_discount[i]) -
+                                   ps->supplycost * l_quantity[i];
+            const uint64_t key =
+                (static_cast<uint64_t>(static_cast<uint32_t>(s->nationkey))
+                 << 32) |
+                static_cast<uint32_t>(o->year);
+            Q9Group* g = local.FindOrCreate(
+                HashCrc32(key),
+                [&](const Q9Group& e) { return e.key == key; },
+                [&](Q9Group* e) {
+                  e->key = key;
+                  e->profit = 0;
+                });
+            g->profit += amount;
+          }
+        }
+      }
+    });
+  } else {
+    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+      locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
+      LocalGroupTable<Q9Group>& local = *locals[wid];
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t pskey = PackPartSupp(l_partkey[i], l_suppkey[i]);
+          const Q9PartSupp* ps = ht_ps.Lookup(
+              HashCrc32(pskey), [&](const Q9PartSupp& e) {
+                return PackPartSupp(e.partkey, e.suppkey) == pskey;
+              });
+          if (ps == nullptr) continue;
+          const int32_t sk = l_suppkey[i];
+          const Q9Supp* s =
+              ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
+                             [&](const Q9Supp& e) { return e.suppkey == sk; });
+          const int32_t ok = l_orderkey[i];
+          const Q9Order* o = ht_ord.Lookup(
+              HashCrc32(static_cast<uint32_t>(ok)),
+              [&](const Q9Order& e) { return e.orderkey == ok; });
+          const int64_t amount = l_extprice[i] * (100 - l_discount[i]) -
+                                 ps->supplycost * l_quantity[i];
+          const uint64_t key =
+              (static_cast<uint64_t>(static_cast<uint32_t>(s->nationkey))
+               << 32) |
+              static_cast<uint32_t>(o->year);
+          Q9Group* g = local.FindOrCreate(
+              HashCrc32(key), [&](const Q9Group& e) { return e.key == key; },
+              [&](Q9Group* e) {
+                e->key = key;
+                e->profit = 0;
+              });
+          g->profit += amount;
+        }
+      }
+    });
+  }
+
+  std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt.threads);
+  const auto n_name = nation.Col<Char<25>>("n_name");
+  auto nation_of = [](const Q9Group* g) {
+    return static_cast<int32_t>(g->key >> 32);
+  };
+  auto year_of = [](const Q9Group* g) {
+    return static_cast<int32_t>(g->key & 0xffffffff);
+  };
+  std::sort(groups.begin(), groups.end(), [&](Q9Group* a, Q9Group* b) {
+    const auto an = n_name[nation_of(a)].View();
+    const auto bn = n_name[nation_of(b)].View();
+    if (an != bn) return an < bn;
+    return year_of(a) > year_of(b);
+  });
+  ResultBuilder rb({"nation", "o_year", "sum_profit"});
+  for (const Q9Group* g : groups) {
+    rb.BeginRow()
+        .Str(n_name[nation_of(g)].View())
+        .Int(year_of(g))
+        .Numeric(g->profit, 4);
+  }
+  return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Q18
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Q18Group {
+  Hashmap::EntryHeader header;
+  int32_t orderkey;
+  int64_t sum_qty;
+
+  bool KeyEquals(const Q18Group& o) const { return orderkey == o.orderkey; }
+  void Combine(const Q18Group& o) { sum_qty += o.sum_qty; }
+};
+struct Q18Order {
+  Hashmap::EntryHeader header;
+  int32_t orderkey;
+  int64_t sum_qty;
+};
+struct Q18Cust {
+  Hashmap::EntryHeader header;
+  int32_t custkey;
+  Char<25> name;
+};
+
+}  // namespace
+
+QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
+  const Relation& lineitem = db["lineitem"];
+  const Relation& orders = db["orders"];
+  const Relation& customer = db["customer"];
+
+  // Pipeline 1: high-cardinality aggregation of lineitem by orderkey.
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  std::vector<std::unique_ptr<LocalGroupTable<Q18Group>>> locals(opt.threads);
+  {
+    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
+    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+      locals[wid] = std::make_unique<LocalGroupTable<Q18Group>>();
+      LocalGroupTable<Q18Group>& local = *locals[wid];
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int32_t ok = l_orderkey[i];
+          Q18Group* g = local.FindOrCreate(
+              HashCrc32(static_cast<uint32_t>(ok)),
+              [&](const Q18Group& e) { return e.orderkey == ok; },
+              [&](Q18Group* e) {
+                e->orderkey = ok;
+                e->sum_qty = 0;
+              });
+          g->sum_qty += l_quantity[i];
+        }
+      }
+    });
+  }
+  std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt.threads);
+
+  // Having-filter + hash table over qualifying orderkeys.
+  JoinTable<Q18Order> ht_big(opt.threads);
+  {
+    MorselQueue morsels(groups.size(), opt.morsel_grain);
+    ht_big.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const Q18Group* g = groups[i];
+          if (g->sum_qty <= 30000) continue;
+          Q18Order e;
+          e.header.hash = g->header.hash;
+          e.orderkey = g->orderkey;
+          e.sum_qty = g->sum_qty;
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Customer hash table (name lookup).
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  const auto c_name = customer.Col<Char<25>>("c_name");
+  JoinTable<Q18Cust> ht_cust(opt.threads);
+  {
+    MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
+    ht_cust.Build(opt.threads, [&](size_t, auto emit) {
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          Q18Cust e;
+          e.header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
+          e.custkey = c_custkey[i];
+          e.name = c_name[i];
+          emit(e);
+        }
+      }
+    });
+  }
+
+  // Final pipeline: probe orders against the qualifying set, join customer.
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_custkey = orders.Col<int32_t>("o_custkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  const auto o_totalprice = orders.Col<int64_t>("o_totalprice");
+  struct Row {
+    Char<25> name;
+    int32_t custkey, orderkey, orderdate;
+    int64_t totalprice, sum_qty;
+  };
+  std::vector<Row> rows;
+  std::mutex mu;
+  {
+    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
+    WorkerPool::Global().Run(opt.threads, [&](size_t) {
+      std::vector<Row> local;
+      size_t begin, end;
+      while (morsels.Next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const int32_t ok = o_orderkey[i];
+          const Q18Order* b = ht_big.Lookup(
+              HashCrc32(static_cast<uint32_t>(ok)),
+              [&](const Q18Order& e) { return e.orderkey == ok; });
+          if (b == nullptr) continue;
+          const int32_t ck = o_custkey[i];
+          const Q18Cust* c = ht_cust.Lookup(
+              HashCrc32(static_cast<uint32_t>(ck)),
+              [&](const Q18Cust& e) { return e.custkey == ck; });
+          local.push_back(Row{c->name, ck, ok, o_orderdate[i],
+                              o_totalprice[i], b->sum_qty});
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      rows.insert(rows.end(), local.begin(), local.end());
+    });
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(b.totalprice, a.orderdate, a.orderkey) <
+           std::tie(a.totalprice, b.orderdate, b.orderkey);
+  });
+  if (rows.size() > 100) rows.resize(100);
+  ResultBuilder rb({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                    "o_totalprice", "sum_qty"});
+  for (const Row& r : rows) {
+    rb.BeginRow()
+        .Str(r.name.View())
+        .Int(r.custkey)
+        .Int(r.orderkey)
+        .Date(r.orderdate)
+        .Numeric(r.totalprice, 2)
+        .Numeric(r.sum_qty, 2);
+  }
+  return rb.Finish();
+}
+
+}  // namespace vcq::typer

@@ -1,0 +1,435 @@
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "runtime/types.h"
+#include "volcano/queries.h"
+#include "volcano/volcano.h"
+
+namespace vcq::volcano {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DateFromString;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::Relation;
+using runtime::ResultBuilder;
+using runtime::Varchar;
+using runtime::YearOf;
+
+namespace {
+
+int64_t PackKeys(int64_t a, int64_t b) {
+  return static_cast<int64_t>((static_cast<uint64_t>(a) << 32) |
+                              static_cast<uint32_t>(b));
+}
+
+}  // namespace
+
+QueryResult RunQ1(const Database& db, const QueryOptions&) {
+  const Relation& lineitem = db["lineitem"];
+  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto rf = lineitem.Col<Char<1>>("l_returnflag");
+  const auto ls = lineitem.Col<Char<1>>("l_linestatus");
+  const auto qty = lineitem.Col<int64_t>("l_quantity");
+  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto discount = lineitem.Col<int64_t>("l_discount");
+  const auto tax = lineitem.Col<int64_t>("l_tax");
+  const int32_t cutoff = DateFromString("1998-09-02");
+
+  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  const size_t s_date = scan->AddAccessor([&](size_t i) { return shipdate[i]; });
+  const size_t s_rf = scan->AddAccessor([&](size_t i) { return rf[i].data[0]; });
+  const size_t s_ls = scan->AddAccessor([&](size_t i) { return ls[i].data[0]; });
+  const size_t s_qty = scan->AddAccessor([&](size_t i) { return qty[i]; });
+  const size_t s_price =
+      scan->AddAccessor([&](size_t i) { return extprice[i]; });
+  const size_t s_disc =
+      scan->AddAccessor([&](size_t i) { return discount[i]; });
+  const size_t s_tax = scan->AddAccessor([&](size_t i) { return tax[i]; });
+
+  auto select = std::make_unique<SelectOp>(
+      std::move(scan),
+      [s_date, cutoff](const Row& r) { return r[s_date] <= cutoff; });
+  auto project = std::make_unique<ProjectOp>(std::move(select));
+  const size_t s_dp = project->AddExpr([s_price, s_disc](const Row& r) {
+    return r[s_price] * (100 - r[s_disc]);
+  });
+  const size_t s_ch = project->AddExpr(
+      [s_dp, s_tax](const Row& r) { return r[s_dp] * (100 + r[s_tax]); });
+
+  auto group =
+      std::make_unique<GroupByOp>(std::move(project),
+                                  std::vector<size_t>{s_rf, s_ls});
+  group->AddAgg(s_qty);
+  group->AddAgg(s_price);
+  group->AddAgg(s_dp);
+  group->AddAgg(s_ch);
+  group->AddAgg(s_disc);
+  group->AddAgg(SIZE_MAX);
+
+  group->Open();
+  Row row;
+  std::vector<Row> rows;
+  while (group->Next(&row)) rows.push_back(row);
+  std::sort(rows.begin(), rows.end());
+
+  ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
+                    "sum_base_price", "sum_disc_price", "sum_charge",
+                    "avg_qty", "avg_price", "avg_disc", "count_order"});
+  for (const Row& r : rows) {
+    const char c_rf = static_cast<char>(r[0]);
+    const char c_ls = static_cast<char>(r[1]);
+    rb.BeginRow()
+        .Str(std::string_view(&c_rf, 1))
+        .Str(std::string_view(&c_ls, 1))
+        .Numeric(r[2], 2)
+        .Numeric(r[3], 2)
+        .Numeric(r[4], 4)
+        .Numeric(r[5], 6)
+        .Avg(r[2], r[7], 2, 2)
+        .Avg(r[3], r[7], 2, 2)
+        .Avg(r[6], r[7], 2, 2)
+        .Int(r[7]);
+  }
+  return rb.Finish();
+}
+
+QueryResult RunQ6(const Database& db, const QueryOptions&) {
+  const Relation& lineitem = db["lineitem"];
+  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto discount = lineitem.Col<int64_t>("l_discount");
+  const auto quantity = lineitem.Col<int64_t>("l_quantity");
+  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const int32_t lo = DateFromString("1994-01-01");
+  const int32_t hi = DateFromString("1995-01-01") - 1;
+
+  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  const size_t s_date =
+      scan->AddAccessor([&](size_t i) { return shipdate[i]; });
+  const size_t s_disc =
+      scan->AddAccessor([&](size_t i) { return discount[i]; });
+  const size_t s_qty =
+      scan->AddAccessor([&](size_t i) { return quantity[i]; });
+  const size_t s_price =
+      scan->AddAccessor([&](size_t i) { return extprice[i]; });
+
+  auto select = std::make_unique<SelectOp>(
+      std::move(scan), [=](const Row& r) {
+        return r[s_date] >= lo && r[s_date] <= hi && r[s_disc] >= 5 &&
+               r[s_disc] <= 7 && r[s_qty] < 2400;
+      });
+  auto project = std::make_unique<ProjectOp>(std::move(select));
+  const size_t s_rev = project->AddExpr(
+      [=](const Row& r) { return r[s_price] * r[s_disc]; });
+
+  project->Open();
+  Row row;
+  int64_t total = 0;
+  while (project->Next(&row)) total += row[s_rev];
+
+  ResultBuilder rb({"revenue"});
+  rb.BeginRow().Numeric(total, 4);
+  return rb.Finish();
+}
+
+QueryResult RunQ3(const Database& db, const QueryOptions&) {
+  const Relation& customer = db["customer"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const int32_t date = DateFromString("1995-03-15");
+  const Char<10> building = Char<10>::From("BUILDING");
+
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
+  auto cscan = std::make_unique<ScanOp>(customer.tuple_count());
+  const size_t sc_key =
+      cscan->AddAccessor([&](size_t i) { return c_custkey[i]; });
+  const size_t sc_flag = cscan->AddAccessor(
+      [&, building](size_t i) { return c_mkt[i] == building ? 1 : 0; });
+  auto csel = std::make_unique<SelectOp>(
+      std::move(cscan), [=](const Row& r) { return r[sc_flag] != 0; });
+
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_custkey = orders.Col<int32_t>("o_custkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  const auto o_shipprio = orders.Col<int32_t>("o_shippriority");
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  const size_t so_key =
+      oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
+  const size_t so_cust =
+      oscan->AddAccessor([&](size_t i) { return o_custkey[i]; });
+  const size_t so_date =
+      oscan->AddAccessor([&](size_t i) { return o_orderdate[i]; });
+  const size_t so_prio =
+      oscan->AddAccessor([&](size_t i) { return o_shipprio[i]; });
+  auto osel = std::make_unique<SelectOp>(
+      std::move(oscan), [=](const Row& r) { return r[so_date] < date; });
+
+  // customer ⋈ orders (customer is build side, no payload needed).
+  auto hj1 = std::make_unique<HashJoinOp>(std::move(csel), std::move(osel),
+                                          sc_key, so_cust,
+                                          std::vector<size_t>{});
+
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_shipdate = lineitem.Col<int32_t>("l_shipdate");
+  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto l_discount = lineitem.Col<int64_t>("l_discount");
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  const size_t sl_key =
+      lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
+  const size_t sl_date =
+      lscan->AddAccessor([&](size_t i) { return l_shipdate[i]; });
+  const size_t sl_price =
+      lscan->AddAccessor([&](size_t i) { return l_extprice[i]; });
+  const size_t sl_disc =
+      lscan->AddAccessor([&](size_t i) { return l_discount[i]; });
+  auto lsel = std::make_unique<SelectOp>(
+      std::move(lscan), [=](const Row& r) { return r[sl_date] > date; });
+
+  // (customer ⋈ orders) ⋈ lineitem; payload = orderdate, shippriority.
+  auto hj2 = std::make_unique<HashJoinOp>(
+      std::move(hj1), std::move(lsel), so_key, sl_key,
+      std::vector<size_t>{so_date, so_prio});
+  const size_t j_date = 4;  // probe width 4, payload appended after
+  const size_t j_prio = 5;
+
+  auto project = std::make_unique<ProjectOp>(std::move(hj2));
+  const size_t s_rev = project->AddExpr([=](const Row& r) {
+    return r[sl_price] * (100 - r[sl_disc]);
+  });
+
+  auto group = std::make_unique<GroupByOp>(
+      std::move(project), std::vector<size_t>{sl_key, j_date, j_prio});
+  group->AddAgg(s_rev);
+
+  group->Open();
+  Row row;
+  struct Out {
+    int64_t orderkey, orderdate, prio, revenue;
+  };
+  std::vector<Out> rows;
+  while (group->Next(&row))
+    rows.push_back(Out{row[0], row[1], row[2], row[3]});
+  std::sort(rows.begin(), rows.end(), [](const Out& a, const Out& b) {
+    return std::tie(b.revenue, a.orderdate, a.orderkey) <
+           std::tie(a.revenue, b.orderdate, b.orderkey);
+  });
+  if (rows.size() > 10) rows.resize(10);
+
+  ResultBuilder rb(
+      {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+  for (const Out& r : rows) {
+    rb.BeginRow()
+        .Int(r.orderkey)
+        .Numeric(r.revenue, 4)
+        .Date(static_cast<int32_t>(r.orderdate))
+        .Int(r.prio);
+  }
+  return rb.Finish();
+}
+
+QueryResult RunQ9(const Database& db, const QueryOptions&) {
+  const Relation& part = db["part"];
+  const Relation& supplier = db["supplier"];
+  const Relation& partsupp = db["partsupp"];
+  const Relation& orders = db["orders"];
+  const Relation& lineitem = db["lineitem"];
+  const Relation& nation = db["nation"];
+
+  const auto p_partkey = part.Col<int32_t>("p_partkey");
+  const auto p_name = part.Col<Varchar<55>>("p_name");
+  auto pscan = std::make_unique<ScanOp>(part.tuple_count());
+  const size_t sp_key =
+      pscan->AddAccessor([&](size_t i) { return p_partkey[i]; });
+  const size_t sp_green = pscan->AddAccessor(
+      [&](size_t i) { return p_name[i].Contains("green") ? 1 : 0; });
+  auto psel = std::make_unique<SelectOp>(
+      std::move(pscan), [=](const Row& r) { return r[sp_green] != 0; });
+
+  const auto ps_partkey = partsupp.Col<int32_t>("ps_partkey");
+  const auto ps_suppkey = partsupp.Col<int32_t>("ps_suppkey");
+  const auto ps_cost = partsupp.Col<int64_t>("ps_supplycost");
+  auto psscan = std::make_unique<ScanOp>(partsupp.tuple_count());
+  const size_t sps_part =
+      psscan->AddAccessor([&](size_t i) { return ps_partkey[i]; });
+  const size_t sps_packed = psscan->AddAccessor(
+      [&](size_t i) { return PackKeys(ps_partkey[i], ps_suppkey[i]); });
+  const size_t sps_cost =
+      psscan->AddAccessor([&](size_t i) { return ps_cost[i]; });
+
+  // part ⋈ partsupp (semi-join filter on green parts).
+  auto hj_part = std::make_unique<HashJoinOp>(std::move(psel),
+                                              std::move(psscan), sp_key,
+                                              sps_part, std::vector<size_t>{});
+
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_partkey = lineitem.Col<int32_t>("l_partkey");
+  const auto l_suppkey = lineitem.Col<int32_t>("l_suppkey");
+  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
+  const auto l_discount = lineitem.Col<int64_t>("l_discount");
+  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  const size_t sl_order =
+      lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
+  const size_t sl_supp =
+      lscan->AddAccessor([&](size_t i) { return l_suppkey[i]; });
+  const size_t sl_packed = lscan->AddAccessor(
+      [&](size_t i) { return PackKeys(l_partkey[i], l_suppkey[i]); });
+  const size_t sl_price =
+      lscan->AddAccessor([&](size_t i) { return l_extprice[i]; });
+  const size_t sl_disc =
+      lscan->AddAccessor([&](size_t i) { return l_discount[i]; });
+  const size_t sl_qty =
+      lscan->AddAccessor([&](size_t i) { return l_quantity[i]; });
+
+  // partsupp ⋈ lineitem on the composite key; payload = supplycost.
+  auto hj_ps = std::make_unique<HashJoinOp>(
+      std::move(hj_part), std::move(lscan), sps_packed, sl_packed,
+      std::vector<size_t>{sps_cost});
+  const size_t j_cost = 6;  // lineitem scan width 6
+
+  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
+  const auto s_nationkey = supplier.Col<int32_t>("s_nationkey");
+  auto sscan = std::make_unique<ScanOp>(supplier.tuple_count());
+  const size_t ss_key =
+      sscan->AddAccessor([&](size_t i) { return s_suppkey[i]; });
+  const size_t ss_nation =
+      sscan->AddAccessor([&](size_t i) { return s_nationkey[i]; });
+
+  auto hj_supp = std::make_unique<HashJoinOp>(
+      std::move(sscan), std::move(hj_ps), ss_key, sl_supp,
+      std::vector<size_t>{ss_nation});
+  const size_t j_nation = 7;
+
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  const size_t so_key =
+      oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
+  const size_t so_year =
+      oscan->AddAccessor([&](size_t i) { return YearOf(o_orderdate[i]); });
+
+  auto hj_ord = std::make_unique<HashJoinOp>(
+      std::move(oscan), std::move(hj_supp), so_key, sl_order,
+      std::vector<size_t>{so_year});
+  const size_t j_year = 8;
+
+  auto project = std::make_unique<ProjectOp>(std::move(hj_ord));
+  const size_t s_amount = project->AddExpr([=](const Row& r) {
+    return r[sl_price] * (100 - r[sl_disc]) - r[j_cost] * r[sl_qty];
+  });
+
+  auto group = std::make_unique<GroupByOp>(
+      std::move(project), std::vector<size_t>{j_nation, j_year});
+  group->AddAgg(s_amount);
+
+  group->Open();
+  Row row;
+  struct Out {
+    int64_t nationkey, year, profit;
+  };
+  std::vector<Out> rows;
+  while (group->Next(&row)) rows.push_back(Out{row[0], row[1], row[2]});
+  const auto n_name = nation.Col<Char<25>>("n_name");
+  std::sort(rows.begin(), rows.end(), [&](const Out& a, const Out& b) {
+    const auto an = n_name[a.nationkey].View();
+    const auto bn = n_name[b.nationkey].View();
+    if (an != bn) return an < bn;
+    return a.year > b.year;
+  });
+  ResultBuilder rb({"nation", "o_year", "sum_profit"});
+  for (const Out& r : rows) {
+    rb.BeginRow()
+        .Str(n_name[r.nationkey].View())
+        .Int(r.year)
+        .Numeric(r.profit, 4);
+  }
+  return rb.Finish();
+}
+
+QueryResult RunQ18(const Database& db, const QueryOptions&) {
+  const Relation& lineitem = db["lineitem"];
+  const Relation& orders = db["orders"];
+  const Relation& customer = db["customer"];
+
+  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
+  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  const size_t sl_key =
+      lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
+  const size_t sl_qty =
+      lscan->AddAccessor([&](size_t i) { return l_quantity[i]; });
+
+  auto group = std::make_unique<GroupByOp>(std::move(lscan),
+                                           std::vector<size_t>{sl_key});
+  group->AddAgg(sl_qty);
+  auto having = std::make_unique<SelectOp>(
+      std::move(group), [](const Row& r) { return r[1] > 30000; });
+
+  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
+  const auto o_custkey = orders.Col<int32_t>("o_custkey");
+  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  const auto o_totalprice = orders.Col<int64_t>("o_totalprice");
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  const size_t so_key =
+      oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
+  const size_t so_cust =
+      oscan->AddAccessor([&](size_t i) { return o_custkey[i]; });
+  const size_t so_date =
+      oscan->AddAccessor([&](size_t i) { return o_orderdate[i]; });
+  const size_t so_total =
+      oscan->AddAccessor([&](size_t i) { return o_totalprice[i]; });
+
+  // qualifying orderkeys ⋈ orders; payload = sum(l_quantity).
+  auto hj_o = std::make_unique<HashJoinOp>(std::move(having),
+                                           std::move(oscan), 0, so_key,
+                                           std::vector<size_t>{1});
+  const size_t j_qty = 4;
+
+  // ⋈ customer (FK integrity filter; the name is derived from custkey).
+  const auto c_custkey = customer.Col<int32_t>("c_custkey");
+  auto cscan = std::make_unique<ScanOp>(customer.tuple_count());
+  const size_t sc_key =
+      cscan->AddAccessor([&](size_t i) { return c_custkey[i]; });
+  auto hj_c = std::make_unique<HashJoinOp>(std::move(cscan), std::move(hj_o),
+                                           sc_key, so_cust,
+                                           std::vector<size_t>{});
+
+  hj_c->Open();
+  Row row;
+  struct Out {
+    int64_t custkey, orderkey, orderdate, totalprice, qty;
+  };
+  std::vector<Out> rows;
+  while (hj_c->Next(&row)) {
+    rows.push_back(
+        Out{row[so_cust], row[so_key], row[so_date], row[so_total],
+            row[j_qty]});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Out& a, const Out& b) {
+    return std::tie(b.totalprice, a.orderdate, a.orderkey) <
+           std::tie(a.totalprice, b.orderdate, b.orderkey);
+  });
+  if (rows.size() > 100) rows.resize(100);
+
+  ResultBuilder rb({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                    "o_totalprice", "sum_qty"});
+  for (const Out& r : rows) {
+    // c_name is a pure function of c_custkey in this dbgen (as in TPC-H).
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09lld",
+                  static_cast<long long>(r.custkey));
+    rb.BeginRow()
+        .Str(name)
+        .Int(r.custkey)
+        .Int(r.orderkey)
+        .Date(static_cast<int32_t>(r.orderdate))
+        .Numeric(r.totalprice, 2)
+        .Numeric(r.qty, 2);
+  }
+  return rb.Finish();
+}
+
+}  // namespace vcq::volcano

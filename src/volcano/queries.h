@@ -1,0 +1,27 @@
+#ifndef VCQ_VOLCANO_QUERIES_H_
+#define VCQ_VOLCANO_QUERIES_H_
+
+#include "runtime/options.h"
+#include "runtime/query_result.h"
+#include "runtime/relation.h"
+
+// Volcano implementations of the TPC-H subset. Single-threaded (classic
+// Volcano has no intra-query parallelism without exchange operators); the
+// options' thread count is ignored.
+
+namespace vcq::volcano {
+
+runtime::QueryResult RunQ1(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ6(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ3(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ9(const runtime::Database& db,
+                           const runtime::QueryOptions& opt);
+runtime::QueryResult RunQ18(const runtime::Database& db,
+                            const runtime::QueryOptions& opt);
+
+}  // namespace vcq::volcano
+
+#endif  // VCQ_VOLCANO_QUERIES_H_

@@ -1,0 +1,102 @@
+#include "volcano/volcano.h"
+
+#include "runtime/hash.h"
+
+namespace vcq::volcano {
+
+bool ScanOp::Next(Row* out) {
+  if (next_ >= count_) return false;
+  out->resize(accessors_.size());
+  for (size_t k = 0; k < accessors_.size(); ++k)
+    (*out)[k] = accessors_[k](next_);
+  ++next_;
+  return true;
+}
+
+bool SelectOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (predicate_(*out)) return true;
+  }
+  return false;
+}
+
+bool ProjectOp::Next(Row* out) {
+  if (!child_->Next(out)) return false;
+  const size_t base = out->size();
+  out->resize(base + exprs_.size());
+  for (size_t k = 0; k < exprs_.size(); ++k)
+    (*out)[base + k] = exprs_[k](*out);
+  return true;
+}
+
+void HashJoinOp::Open() {
+  build_->Open();
+  probe_->Open();
+  table_.clear();
+  Row row;
+  while (build_->Next(&row)) {
+    std::vector<int64_t> payload(payload_slots_.size());
+    for (size_t k = 0; k < payload_slots_.size(); ++k)
+      payload[k] = row[payload_slots_[k]];
+    table_.emplace(row[build_key_slot_], std::move(payload));
+  }
+  have_range_ = false;
+}
+
+bool HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (have_range_ && it_ != range_end_) {
+      *out = probe_row_;
+      const size_t base = out->size();
+      out->resize(base + payload_slots_.size());
+      for (size_t k = 0; k < it_->second.size(); ++k)
+        (*out)[base + k] = it_->second[k];
+      ++it_;
+      return true;
+    }
+    have_range_ = false;
+    if (!probe_->Next(&probe_row_)) return false;
+    auto range = table_.equal_range(probe_row_[probe_key_slot_]);
+    if (range.first == range.second) continue;
+    it_ = range.first;
+    range_end_ = range.second;
+    have_range_ = true;
+  }
+}
+
+size_t GroupByOp::VecHash::operator()(const std::vector<int64_t>& v) const {
+  uint64_t h = 0x2545f4914f6cdd1dull;
+  for (int64_t x : v)
+    h = runtime::HashCombine(h,
+                             runtime::HashMurmur2(static_cast<uint64_t>(x)));
+  return h;
+}
+
+void GroupByOp::Open() {
+  child_->Open();
+  groups_.clear();
+  Row row;
+  std::vector<int64_t> key(key_slots_.size());
+  while (child_->Next(&row)) {
+    for (size_t k = 0; k < key_slots_.size(); ++k) key[k] = row[key_slots_[k]];
+    auto [it, inserted] =
+        groups_.try_emplace(key, std::vector<int64_t>(agg_slots_.size(), 0));
+    std::vector<int64_t>& aggs = it->second;
+    for (size_t a = 0; a < agg_slots_.size(); ++a)
+      aggs[a] += (agg_slots_[a] == SIZE_MAX) ? 1 : row[agg_slots_[a]];
+  }
+  emit_ = groups_.begin();
+  materialized_ = true;
+}
+
+bool GroupByOp::Next(Row* out) {
+  if (!materialized_ || emit_ == groups_.end()) return false;
+  out->clear();
+  out->reserve(Width());
+  out->insert(out->end(), emit_->first.begin(), emit_->first.end());
+  out->insert(out->end(), emit_->second.begin(), emit_->second.end());
+  ++emit_;
+  return true;
+}
+
+}  // namespace vcq::volcano

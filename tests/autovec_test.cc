@@ -1,0 +1,86 @@
+#include "tectorwise/autovec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/cpu_info.h"
+#include "runtime/hash.h"
+#include "tectorwise/primitives.h"
+
+// The Fig. 10 study's two builds of the same kernels must be semantically
+// identical to each other and to the engine's own primitives — otherwise
+// the instruction/time comparison compares different programs.
+
+namespace vcq::tectorwise {
+namespace {
+
+class AutovecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CpuInfo::HasAvx512())
+      GTEST_SKIP() << "autovec_on TU requires AVX-512 at runtime";
+    std::mt19937_64 rng(3);
+    col32_.resize(kN);
+    col64_.resize(kN);
+    b64_.resize(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      col32_[i] = static_cast<int32_t>(rng() % 1000);
+      col64_[i] = static_cast<int64_t>(rng() % 1000);
+      b64_[i] = static_cast<int64_t>(rng() % 100);
+      if (i % 3 == 0) sel_.push_back(static_cast<pos_t>(i));
+    }
+  }
+
+  static constexpr size_t kN = 10007;
+  std::vector<int32_t> col32_;
+  std::vector<int64_t> col64_, b64_;
+  std::vector<pos_t> sel_;
+};
+
+TEST_F(AutovecTest, SelectionsAgree) {
+  std::vector<pos_t> off(kN), on(kN), engine(kN);
+  const size_t n_off = autovec_off::SelBetweenI32Dense(kN, col32_.data(), 100,
+                                                       500, off.data());
+  const size_t n_on = autovec_on::SelBetweenI32Dense(kN, col32_.data(), 100,
+                                                     500, on.data());
+  const size_t n_engine =
+      SelBetweenDense<int32_t>(kN, col32_.data(), 100, 500, engine.data());
+  ASSERT_EQ(n_off, n_on);
+  ASSERT_EQ(n_off, n_engine);
+  for (size_t i = 0; i < n_off; ++i) {
+    ASSERT_EQ(off[i], on[i]);
+    ASSERT_EQ(off[i], engine[i]);
+  }
+
+  const size_t s_off = autovec_off::SelLessI64Sparse(
+      sel_.size(), sel_.data(), b64_.data(), 40, off.data());
+  const size_t s_on = autovec_on::SelLessI64Sparse(
+      sel_.size(), sel_.data(), b64_.data(), 40, on.data());
+  ASSERT_EQ(s_off, s_on);
+  for (size_t i = 0; i < s_off; ++i) ASSERT_EQ(off[i], on[i]);
+}
+
+TEST_F(AutovecTest, HashingAgreesWithRuntimeHash) {
+  std::vector<uint64_t> off(kN), on(kN);
+  autovec_off::HashI64Dense(kN, col64_.data(), off.data());
+  autovec_on::HashI64Dense(kN, col64_.data(), on.data());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(off[i], on[i]) << i;
+    ASSERT_EQ(off[i],
+              runtime::HashMurmur2(static_cast<uint64_t>(col64_[i])));
+  }
+}
+
+TEST_F(AutovecTest, ArithmeticAgrees) {
+  std::vector<int64_t> off(kN), on(kN);
+  autovec_off::MapMulI64(kN, col64_.data(), b64_.data(), off.data());
+  autovec_on::MapMulI64(kN, col64_.data(), b64_.data(), on.data());
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(off[i], on[i]);
+  EXPECT_EQ(autovec_off::SumI64(kN, col64_.data()),
+            autovec_on::SumI64(kN, col64_.data()));
+}
+
+}  // namespace
+}  // namespace vcq::tectorwise

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/vcq.h"
+#include "datagen/tpch.h"
+#include "runtime/worker_pool.h"
+
+// Concurrent top-level queries: a downstream user will issue RunQuery from
+// several application threads at once. The worker pool serializes parallel
+// regions, so every concurrently-issued query must still produce the exact
+// result.
+
+namespace vcq {
+namespace {
+
+using runtime::Database;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+
+const Database& TestDb() {
+  static const Database* db = new Database(datagen::GenerateTpch(0.02));
+  return *db;
+}
+
+TEST(ConcurrencyTest, ParallelRunQueryCallsAreCorrect) {
+  const QueryResult expected_q6 =
+      RunQuery(TestDb(), Engine::kTyper, Query::kQ6, {});
+  const QueryResult expected_q3 =
+      RunQuery(TestDb(), Engine::kTyper, Query::kQ3, {});
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      QueryOptions opt;
+      opt.threads = 3;
+      for (int round = 0; round < 4; ++round) {
+        const Engine e =
+            (t % 2 == 0) ? Engine::kTyper : Engine::kTectorwise;
+        const Query q = (round % 2 == 0) ? Query::kQ6 : Query::kQ3;
+        const QueryResult got = RunQuery(TestDb(), e, q, opt);
+        const QueryResult& expected =
+            (round % 2 == 0) ? expected_q6 : expected_q3;
+        if (!(got == expected)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ConcurrentPoolRunsSerializeCleanly) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::atomic<int> total{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        runtime::WorkerPool::Global().Run(4, [&](size_t) {
+          const int now = concurrent.fetch_add(1) + 1;
+          int seen = max_concurrent.load();
+          while (seen < now &&
+                 !max_concurrent.compare_exchange_weak(seen, now)) {
+          }
+          total.fetch_add(1);
+          concurrent.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 4);
+  // One region at a time: never more than one job's workers active.
+  EXPECT_LE(max_concurrent.load(), 4);
+}
+
+}  // namespace
+}  // namespace vcq

@@ -1,0 +1,156 @@
+#include "tectorwise/hash_group.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/worker_pool.h"
+#include "tectorwise/steps.h"
+
+namespace vcq::tectorwise {
+namespace {
+
+using runtime::Char;
+using runtime::Relation;
+
+struct GroupConfig {
+  size_t vector_size;
+  size_t threads;
+  size_t cardinality;  // distinct groups
+};
+
+class HashGroupTest : public ::testing::TestWithParam<GroupConfig> {};
+
+TEST_P(HashGroupTest, SumAndCountMatchReference) {
+  const auto [vecsize, threads, cardinality] = GetParam();
+  constexpr size_t kRows = 50000;
+  Relation rel;
+  {
+    auto key = rel.AddColumn<int32_t>("key", kRows);
+    auto val = rel.AddColumn<int64_t>("val", kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      key[i] = static_cast<int32_t>((i * 7919) % cardinality);
+      val[i] = static_cast<int64_t>(i % 1000);
+    }
+  }
+
+  ExecContext ctx;
+  ctx.vector_size = vecsize;
+  Scan::Shared ss(kRows, 2048);
+  HashGroup::Shared gs(threads);
+  std::map<int32_t, std::pair<int64_t, int64_t>> got;  // key -> (sum, count)
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(threads);
+
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    auto scan = std::make_unique<Scan>(&ss, &rel, vecsize);
+    Slot* key = scan->AddColumn<int32_t>("key");
+    Slot* val = scan->AddColumn<int64_t>("val");
+    auto group = std::make_unique<HashGroup>(&gs, wid, threads,
+                                             std::move(scan), ctx);
+    const size_t k_key = group->AddKey<int32_t>(key);
+    const size_t a_sum = group->AddSumAgg(val);
+    const size_t a_cnt = group->AddCountAgg();
+    Slot* o_key = group->AddOutput<int32_t>(k_key);
+    Slot* o_sum = group->AddOutput<int64_t>(a_sum);
+    Slot* o_cnt = group->AddOutput<int64_t>(a_cnt);
+    size_t n;
+    while ((n = group->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t k = Get<int32_t>(o_key)[i];
+        ASSERT_EQ(got.count(k), 0u) << "duplicate group " << k;
+        got[k] = {Get<int64_t>(o_sum)[i], Get<int64_t>(o_cnt)[i]};
+      }
+    }
+    roots[wid] = std::move(group);
+  });
+
+  std::map<int32_t, std::pair<int64_t, int64_t>> ref;
+  for (size_t i = 0; i < kRows; ++i) {
+    auto& [sum, count] = ref[static_cast<int32_t>((i * 7919) % cardinality)];
+    sum += static_cast<int64_t>(i % 1000);
+    count += 1;
+  }
+  EXPECT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HashGroupTest,
+    ::testing::Values(GroupConfig{1024, 1, 4}, GroupConfig{1024, 1, 10000},
+                      GroupConfig{16, 1, 997}, GroupConfig{1024, 4, 4},
+                      GroupConfig{1024, 4, 10000}, GroupConfig{511, 3, 997},
+                      GroupConfig{1024, 8, 40000}));
+
+TEST(HashGroupCompositeTest, CompositeKeysWithChars) {
+  constexpr size_t kRows = 10000;
+  Relation rel;
+  {
+    auto tag = rel.AddColumn<Char<9>>("tag", kRows);
+    auto year = rel.AddColumn<int32_t>("year", kRows);
+    auto val = rel.AddColumn<int64_t>("val", kRows);
+    const char* tags[] = {"MFGR#1201", "MFGR#1202", "MFGR#1310"};
+    for (size_t i = 0; i < kRows; ++i) {
+      tag[i] = Char<9>::From(tags[i % 3]);
+      year[i] = static_cast<int32_t>(1992 + (i % 7));
+      val[i] = static_cast<int64_t>(i);
+    }
+  }
+  ExecContext ctx;
+  const size_t threads = 4;
+  Scan::Shared ss(kRows, 512);
+  HashGroup::Shared gs(threads);
+  std::map<std::pair<std::string, int32_t>, int64_t> got;
+  std::mutex mu;
+  std::vector<std::unique_ptr<Operator>> roots(threads);
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    auto scan = std::make_unique<Scan>(&ss, &rel, ctx.vector_size);
+    Slot* tag = scan->AddColumn<Char<9>>("tag");
+    Slot* year = scan->AddColumn<int32_t>("year");
+    Slot* val = scan->AddColumn<int64_t>("val");
+    auto group = std::make_unique<HashGroup>(&gs, wid, threads,
+                                             std::move(scan), ctx);
+    const size_t k_tag = group->AddKey<Char<9>>(tag);
+    const size_t k_year = group->AddKey<int32_t>(year);
+    const size_t a_sum = group->AddSumAgg(val);
+    Slot* o_tag = group->AddOutput<Char<9>>(k_tag);
+    Slot* o_year = group->AddOutput<int32_t>(k_year);
+    Slot* o_sum = group->AddOutput<int64_t>(a_sum);
+    size_t n;
+    while ((n = group->Next()) != kEndOfStream) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t i = 0; i < n; ++i) {
+        got[{std::string(Get<Char<9>>(o_tag)[i].View()),
+             Get<int32_t>(o_year)[i]}] = Get<int64_t>(o_sum)[i];
+      }
+    }
+    roots[wid] = std::move(group);
+  });
+
+  std::map<std::pair<std::string, int32_t>, int64_t> ref;
+  const char* tags[] = {"MFGR#1201", "MFGR#1202", "MFGR#1310"};
+  for (size_t i = 0; i < kRows; ++i)
+    ref[{tags[i % 3], static_cast<int32_t>(1992 + (i % 7))}] +=
+        static_cast<int64_t>(i);
+  EXPECT_EQ(got, ref);
+  EXPECT_EQ(got.size(), 21u);
+}
+
+TEST(HashGroupEdgeTest, EmptyInputProducesNoGroups) {
+  Relation rel;
+  rel.AddColumn<int32_t>("key", 0);
+  rel.AddColumn<int64_t>("val", 0);
+  ExecContext ctx;
+  Scan::Shared ss(0, 512);
+  HashGroup::Shared gs(1);
+  auto scan = std::make_unique<Scan>(&ss, &rel, ctx.vector_size);
+  Slot* key = scan->AddColumn<int32_t>("key");
+  Slot* val = scan->AddColumn<int64_t>("val");
+  HashGroup group(&gs, 0, 1, std::move(scan), ctx);
+  group.AddKey<int32_t>(key);
+  group.AddSumAgg(val);
+  EXPECT_EQ(group.Next(), kEndOfStream);
+}
+
+}  // namespace
+}  // namespace vcq::tectorwise

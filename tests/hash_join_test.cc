@@ -1,0 +1,231 @@
+#include "tectorwise/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/worker_pool.h"
+#include "tectorwise/steps.h"
+
+namespace vcq::tectorwise {
+namespace {
+
+using runtime::Relation;
+
+struct JoinConfig {
+  size_t vector_size;
+  size_t threads;
+  bool simd;
+};
+
+class HashJoinTest : public ::testing::TestWithParam<JoinConfig> {};
+
+// build(key, payload) x probe(fk) with a known match pattern.
+TEST_P(HashJoinTest, SingleKeyJoinMatchesReference) {
+  const auto [vecsize, threads, use_simd] = GetParam();
+  constexpr size_t kBuild = 1000;
+  constexpr size_t kProbe = 20000;
+  Relation build;
+  {
+    auto key = build.AddColumn<int32_t>("key", kBuild);
+    auto val = build.AddColumn<int64_t>("val", kBuild);
+    for (size_t i = 0; i < kBuild; ++i) {
+      key[i] = static_cast<int32_t>(i * 2);  // even keys only
+      val[i] = static_cast<int64_t>(i) * 100;
+    }
+  }
+  Relation probe;
+  {
+    auto fk = probe.AddColumn<int32_t>("fk", kProbe);
+    auto w = probe.AddColumn<int64_t>("w", kProbe);
+    for (size_t i = 0; i < kProbe; ++i) {
+      fk[i] = static_cast<int32_t>(i % 3000);  // 1/2 hit rate on evens
+      w[i] = static_cast<int64_t>(i);
+    }
+  }
+
+  ExecContext ctx;
+  ctx.vector_size = vecsize;
+  ctx.use_simd = use_simd;
+  Scan::Shared sb(kBuild, 257);
+  Scan::Shared sp(kProbe, 509);
+  HashJoin::Shared js(threads);
+
+  std::atomic<int64_t> sum_val{0}, sum_w{0}, matches{0};
+  std::vector<std::unique_ptr<Operator>> roots(threads);
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    auto bscan = std::make_unique<Scan>(&sb, &build, vecsize);
+    Slot* key = bscan->AddColumn<int32_t>("key");
+    Slot* val = bscan->AddColumn<int64_t>("val");
+    auto pscan = std::make_unique<Scan>(&sp, &probe, vecsize);
+    Slot* fk = pscan->AddColumn<int32_t>("fk");
+    Slot* w = pscan->AddColumn<int64_t>("w");
+
+    auto hj = std::make_unique<HashJoin>(&js, std::move(bscan),
+                                         std::move(pscan), ctx);
+    const size_t f_key = hj->AddBuildField<int32_t>(key);
+    const size_t f_val = hj->AddBuildField<int64_t>(val);
+    hj->SetBuildHash(MakeHash<int32_t>(ctx, key));
+    hj->SetProbeHash(MakeHash<int32_t>(ctx, fk));
+    hj->AddKeyCompare<int32_t>(fk, f_key);
+    Slot* o_val = hj->AddBuildOutput<int64_t>(f_val);
+    Slot* o_w = hj->AddProbeOutput<int64_t>(w);
+
+    int64_t lv = 0, lw = 0, lm = 0;
+    size_t n;
+    while ((n = hj->Next()) != kEndOfStream) {
+      for (size_t i = 0; i < n; ++i) {
+        lv += Get<int64_t>(o_val)[i];
+        lw += Get<int64_t>(o_w)[i];
+      }
+      lm += static_cast<int64_t>(n);
+    }
+    sum_val += lv;
+    sum_w += lw;
+    matches += lm;
+    roots[wid] = std::move(hj);
+  });
+
+  // Reference.
+  std::map<int32_t, int64_t> ref;
+  for (size_t i = 0; i < kBuild; ++i)
+    ref[static_cast<int32_t>(i * 2)] = static_cast<int64_t>(i) * 100;
+  int64_t ev = 0, ew = 0, em = 0;
+  for (size_t i = 0; i < kProbe; ++i) {
+    const auto it = ref.find(static_cast<int32_t>(i % 3000));
+    if (it == ref.end()) continue;
+    ev += it->second;
+    ew += static_cast<int64_t>(i);
+    ++em;
+  }
+  EXPECT_EQ(matches.load(), em);
+  EXPECT_EQ(sum_val.load(), ev);
+  EXPECT_EQ(sum_w.load(), ew);
+}
+
+TEST_P(HashJoinTest, CompositeKeyJoin) {
+  const auto [vecsize, threads, use_simd] = GetParam();
+  constexpr size_t kBuild = 500;
+  constexpr size_t kProbe = 10000;
+  Relation build;
+  {
+    auto k1 = build.AddColumn<int32_t>("k1", kBuild);
+    auto k2 = build.AddColumn<int32_t>("k2", kBuild);
+    auto val = build.AddColumn<int64_t>("val", kBuild);
+    for (size_t i = 0; i < kBuild; ++i) {
+      k1[i] = static_cast<int32_t>(i % 50);
+      k2[i] = static_cast<int32_t>(i / 50);
+      val[i] = static_cast<int64_t>(i);
+    }
+  }
+  Relation probe;
+  {
+    auto k1 = probe.AddColumn<int32_t>("k1", kProbe);
+    auto k2 = probe.AddColumn<int32_t>("k2", kProbe);
+    for (size_t i = 0; i < kProbe; ++i) {
+      k1[i] = static_cast<int32_t>(i % 60);     // some miss on k1
+      k2[i] = static_cast<int32_t>((i / 7) % 15);  // some miss on k2
+    }
+  }
+
+  ExecContext ctx;
+  ctx.vector_size = vecsize;
+  ctx.use_simd = use_simd;
+  Scan::Shared sb(kBuild, 128);
+  Scan::Shared sp(kProbe, 1024);
+  HashJoin::Shared js(threads);
+  std::atomic<int64_t> sum{0}, matches{0};
+  std::vector<std::unique_ptr<Operator>> roots(threads);
+
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    auto bscan = std::make_unique<Scan>(&sb, &build, vecsize);
+    Slot* bk1 = bscan->AddColumn<int32_t>("k1");
+    Slot* bk2 = bscan->AddColumn<int32_t>("k2");
+    Slot* val = bscan->AddColumn<int64_t>("val");
+    auto pscan = std::make_unique<Scan>(&sp, &probe, vecsize);
+    Slot* pk1 = pscan->AddColumn<int32_t>("k1");
+    Slot* pk2 = pscan->AddColumn<int32_t>("k2");
+
+    auto hj = std::make_unique<HashJoin>(&js, std::move(bscan),
+                                         std::move(pscan), ctx);
+    const size_t f_k1 = hj->AddBuildField<int32_t>(bk1);
+    const size_t f_k2 = hj->AddBuildField<int32_t>(bk2);
+    const size_t f_val = hj->AddBuildField<int64_t>(val);
+    hj->SetBuildHash(MakeHash<int32_t>(ctx, bk1));
+    hj->AddBuildRehash(MakeRehash<int32_t>(ctx, bk2));
+    hj->SetProbeHash(MakeHash<int32_t>(ctx, pk1));
+    hj->AddProbeRehash(MakeRehash<int32_t>(ctx, pk2));
+    hj->AddKeyCompare<int32_t>(pk1, f_k1);
+    hj->AddKeyCompare<int32_t>(pk2, f_k2);
+    Slot* o_val = hj->AddBuildOutput<int64_t>(f_val);
+
+    int64_t lv = 0, lm = 0;
+    size_t n;
+    while ((n = hj->Next()) != kEndOfStream) {
+      for (size_t i = 0; i < n; ++i) lv += Get<int64_t>(o_val)[i];
+      lm += static_cast<int64_t>(n);
+    }
+    sum += lv;
+    matches += lm;
+    roots[wid] = std::move(hj);
+  });
+
+  std::map<std::pair<int32_t, int32_t>, int64_t> ref;
+  for (size_t i = 0; i < kBuild; ++i)
+    ref[{static_cast<int32_t>(i % 50), static_cast<int32_t>(i / 50)}] =
+        static_cast<int64_t>(i);
+  int64_t ev = 0, em = 0;
+  for (size_t i = 0; i < kProbe; ++i) {
+    const auto it = ref.find({static_cast<int32_t>(i % 60),
+                              static_cast<int32_t>((i / 7) % 15)});
+    if (it == ref.end()) continue;
+    ev += it->second;
+    ++em;
+  }
+  EXPECT_EQ(matches.load(), em);
+  EXPECT_EQ(sum.load(), ev);
+}
+
+TEST_P(HashJoinTest, EmptyBuildSideYieldsNoMatches) {
+  const auto [vecsize, threads, use_simd] = GetParam();
+  Relation build;
+  build.AddColumn<int32_t>("key", 0);
+  Relation probe;
+  {
+    auto fk = probe.AddColumn<int32_t>("fk", 1000);
+    for (size_t i = 0; i < 1000; ++i) fk[i] = static_cast<int32_t>(i);
+  }
+  ExecContext ctx;
+  ctx.vector_size = vecsize;
+  ctx.use_simd = use_simd;
+  Scan::Shared sb(0, 128);
+  Scan::Shared sp(1000, 128);
+  HashJoin::Shared js(threads);
+  std::atomic<int64_t> matches{0};
+  std::vector<std::unique_ptr<Operator>> roots(threads);
+  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+    auto bscan = std::make_unique<Scan>(&sb, &build, vecsize);
+    Slot* key = bscan->AddColumn<int32_t>("key");
+    auto pscan = std::make_unique<Scan>(&sp, &probe, vecsize);
+    Slot* fk = pscan->AddColumn<int32_t>("fk");
+    auto hj = std::make_unique<HashJoin>(&js, std::move(bscan),
+                                         std::move(pscan), ctx);
+    const size_t f_key = hj->AddBuildField<int32_t>(key);
+    hj->SetBuildHash(MakeHash<int32_t>(ctx, key));
+    hj->SetProbeHash(MakeHash<int32_t>(ctx, fk));
+    hj->AddKeyCompare<int32_t>(fk, f_key);
+    size_t n;
+    while ((n = hj->Next()) != kEndOfStream) matches += n;
+    roots[wid] = std::move(hj);
+  });
+  EXPECT_EQ(matches.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HashJoinTest,
+    ::testing::Values(JoinConfig{1024, 1, false}, JoinConfig{1024, 1, true},
+                      JoinConfig{16, 1, false}, JoinConfig{1024, 4, false},
+                      JoinConfig{1024, 4, true}, JoinConfig{333, 2, false}));
+
+}  // namespace
+}  // namespace vcq::tectorwise

@@ -1,0 +1,70 @@
+#include "runtime/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_set>
+
+namespace vcq::runtime {
+namespace {
+
+TEST(HashTest, MurmurDeterministic) {
+  EXPECT_EQ(HashMurmur2(42), HashMurmur2(42));
+  EXPECT_NE(HashMurmur2(42), HashMurmur2(43));
+}
+
+TEST(HashTest, CrcDeterministic) {
+  EXPECT_EQ(HashCrc32(42), HashCrc32(42));
+  EXPECT_NE(HashCrc32(42), HashCrc32(43));
+}
+
+TEST(HashTest, FewCollisionsOnSequentialKeys) {
+  // Sequential keys (the common TPC-H key pattern) must spread well.
+  constexpr int kN = 100000;
+  std::unordered_set<uint64_t> murmur, crc;
+  for (int i = 1; i <= kN; ++i) {
+    murmur.insert(HashMurmur2(static_cast<uint64_t>(i)));
+    crc.insert(HashCrc32(static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(murmur.size(), static_cast<size_t>(kN));
+  EXPECT_GE(crc.size(), static_cast<size_t>(kN) - 2);
+}
+
+TEST(HashTest, HighBitsUsableForTags) {
+  // The Bloom tag uses the top 4 bits; sequential keys must populate many
+  // distinct tag values, otherwise the filter degenerates.
+  std::unordered_set<int> murmur_tags, crc_tags;
+  for (int i = 1; i <= 1000; ++i) {
+    murmur_tags.insert(
+        static_cast<int>(HashMurmur2(static_cast<uint64_t>(i)) >> 60));
+    crc_tags.insert(
+        static_cast<int>(HashCrc32(static_cast<uint64_t>(i)) >> 60));
+  }
+  EXPECT_EQ(murmur_tags.size(), 16u);
+  EXPECT_EQ(crc_tags.size(), 16u);
+}
+
+TEST(HashTest, BytesMatchesLengths) {
+  const char data[] = "abcdefghijklmnopqrstuvwxyz";
+  std::unordered_set<uint64_t> hashes;
+  for (size_t len = 0; len <= 26; ++len)
+    hashes.insert(HashBytes(data, len));
+  EXPECT_EQ(hashes.size(), 27u);  // every prefix hashes differently
+}
+
+TEST(HashTest, BytesIgnoresTrailingGarbage) {
+  char a[16], b[16];
+  std::memset(a, 0xAA, sizeof(a));
+  std::memset(b, 0x55, sizeof(b));
+  std::memcpy(a, "hello", 5);
+  std::memcpy(b, "hello", 5);
+  EXPECT_EQ(HashBytes(a, 5), HashBytes(b, 5));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  const uint64_t h1 = HashMurmur2(1), h2 = HashMurmur2(2);
+  EXPECT_NE(HashCombine(h1, h2), HashCombine(h2, h1));
+}
+
+}  // namespace
+}  // namespace vcq::runtime

@@ -1,0 +1,163 @@
+#include "runtime/hashmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/hash.h"
+#include "runtime/mem_pool.h"
+
+namespace vcq::runtime {
+namespace {
+
+struct TestEntry {
+  Hashmap::EntryHeader header;
+  int64_t key;
+  int64_t value;
+};
+
+TestEntry* MakeEntry(MemPool& pool, int64_t key, int64_t value) {
+  auto* e = pool.Create<TestEntry>();
+  e->header.next = nullptr;
+  e->header.hash = HashMurmur2(static_cast<uint64_t>(key));
+  e->key = key;
+  e->value = value;
+  return e;
+}
+
+const TestEntry* Find(const Hashmap& ht, int64_t key) {
+  const uint64_t h = HashMurmur2(static_cast<uint64_t>(key));
+  for (auto* e = ht.FindChainTagged(h); e != nullptr; e = e->next) {
+    const auto* te = reinterpret_cast<const TestEntry*>(e);
+    if (e->hash == h && te->key == key) return te;
+  }
+  return nullptr;
+}
+
+TEST(HashmapTest, InsertFindRoundTrip) {
+  Hashmap ht;
+  ht.SetSize(1000);
+  MemPool pool;
+  for (int64_t k = 0; k < 1000; ++k)
+    ht.InsertUnlocked(&MakeEntry(pool, k, k * 10)->header);
+  for (int64_t k = 0; k < 1000; ++k) {
+    const TestEntry* e = Find(ht, k);
+    ASSERT_NE(e, nullptr) << "key " << k;
+    EXPECT_EQ(e->value, k * 10);
+  }
+  EXPECT_EQ(Find(ht, 5000), nullptr);
+}
+
+TEST(HashmapTest, TagNeverProducesFalseNegatives) {
+  // The Bloom tag may let non-members through (false positives are fine)
+  // but must never hide an inserted key.
+  Hashmap ht;
+  ht.SetSize(64);  // tiny: long chains, heavily shared buckets
+  MemPool pool;
+  for (int64_t k = 0; k < 4096; ++k)
+    ht.InsertUnlocked(&MakeEntry(pool, k, k)->header);
+  for (int64_t k = 0; k < 4096; ++k)
+    ASSERT_NE(Find(ht, k), nullptr) << "key " << k;
+}
+
+TEST(HashmapTest, TagFiltersMostMisses) {
+  Hashmap ht;
+  ht.SetSize(1 << 14);
+  MemPool pool;
+  for (int64_t k = 0; k < 1000; ++k)
+    ht.InsertUnlocked(&MakeEntry(pool, k, k)->header);
+  // With load factor << 1 and 16 tag bits, most absent keys must be
+  // rejected without chain traversal.
+  int filtered = 0;
+  constexpr int kProbes = 10000;
+  for (int64_t k = 1000000; k < 1000000 + kProbes; ++k) {
+    if (ht.FindChainTagged(HashMurmur2(static_cast<uint64_t>(k))) == nullptr)
+      ++filtered;
+  }
+  EXPECT_GT(filtered, kProbes * 9 / 10);
+}
+
+TEST(HashmapTest, DuplicateKeysChainTogether) {
+  Hashmap ht;
+  ht.SetSize(100);
+  MemPool pool;
+  for (int64_t v = 0; v < 5; ++v)
+    ht.InsertUnlocked(&MakeEntry(pool, 7, v)->header);
+  const uint64_t h = HashMurmur2(7);
+  int matches = 0;
+  for (auto* e = ht.FindChainTagged(h); e != nullptr; e = e->next) {
+    if (e->hash == h && reinterpret_cast<TestEntry*>(e)->key == 7) ++matches;
+  }
+  EXPECT_EQ(matches, 5);
+}
+
+TEST(HashmapTest, ConcurrentInsertIsLossless) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  Hashmap ht;
+  ht.SetSize(kThreads * kPerThread);
+  std::vector<MemPool> pools(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        const int64_t key = t * kPerThread + i;
+        ht.Insert(&MakeEntry(pools[t], key, key)->header);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int64_t key = 0; key < kThreads * kPerThread; ++key)
+    ASSERT_NE(Find(ht, key), nullptr) << "lost key " << key;
+}
+
+TEST(HashmapTest, ClearEmptiesTable) {
+  Hashmap ht;
+  ht.SetSize(100);
+  MemPool pool;
+  ht.InsertUnlocked(&MakeEntry(pool, 1, 1)->header);
+  ASSERT_NE(Find(ht, 1), nullptr);
+  ht.Clear();
+  EXPECT_EQ(Find(ht, 1), nullptr);
+}
+
+TEST(HashmapTest, CapacityIsPowerOfTwoAndAmple) {
+  Hashmap ht;
+  ht.SetSize(1000);
+  EXPECT_GE(ht.capacity(), 2000u);
+  EXPECT_EQ(ht.capacity() & (ht.capacity() - 1), 0u);
+}
+
+TEST(MemPoolTest, AllocationsAlignedAndDistinct) {
+  MemPool pool(1024);
+  void* a = pool.Allocate(10);
+  void* b = pool.Allocate(10);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+}
+
+TEST(MemPoolTest, LargeAllocationExceedingChunk) {
+  MemPool pool(1024);
+  void* big = pool.Allocate(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 1 << 20);  // must be writable end to end
+}
+
+TEST(MemPoolTest, ManySmallAllocationsDoNotOverlap) {
+  MemPool pool(4096);
+  std::vector<int64_t*> ptrs;
+  for (int i = 0; i < 10000; ++i) {
+    auto* p = static_cast<int64_t*>(pool.Allocate(sizeof(int64_t)));
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+}  // namespace
+}  // namespace vcq::runtime

@@ -1,0 +1,63 @@
+#include "runtime/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+// The perf wrapper must degrade gracefully: in restricted containers no
+// counters open at all; anywhere else, whatever opened must report sane
+// deltas. Either way, nothing crashes and NaN marks the unavailable slots.
+
+namespace vcq::runtime {
+namespace {
+
+TEST(PerfCountersTest, ConstructsAndStopsWithoutCrashing) {
+  PerfCounters counters;
+  counters.Start();
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  const PerfCounters::Values v = counters.Stop();
+  (void)sink;
+  if (!counters.available()) {
+    GTEST_SKIP() << "perf events unavailable (expected in containers)";
+  }
+  EXPECT_GT(v.instructions, 1000000.0);  // at least one per loop iteration
+  EXPECT_GT(v.cycles, 0.0);
+  EXPECT_GT(v.ipc(), 0.1);
+  EXPECT_LT(v.ipc(), 8.0);
+}
+
+TEST(PerfCountersTest, UnopenedSlotsReadNaN) {
+  PerfCounters counters;
+  counters.Start();
+  const PerfCounters::Values v = counters.Stop();
+  if (counters.available()) {
+    // Opened counters report finite numbers.
+    EXPECT_TRUE(std::isfinite(v.cycles));
+  } else {
+    EXPECT_TRUE(std::isnan(v.cycles));
+    EXPECT_TRUE(std::isnan(v.instructions));
+  }
+}
+
+TEST(PerfCountersTest, RestartableAcrossMeasurements) {
+  PerfCounters counters;
+  if (!counters.available()) GTEST_SKIP();
+  std::vector<double> instr;
+  for (int round = 0; round < 3; ++round) {
+    counters.Start();
+    volatile int64_t sink = 0;
+    for (int i = 0; i < 500000; ++i) sink = sink + i;
+    (void)sink;
+    instr.push_back(counters.Stop().instructions);
+  }
+  // Same work each round: within 3x of each other (noise tolerance).
+  const double lo = *std::min_element(instr.begin(), instr.end());
+  const double hi = *std::max_element(instr.begin(), instr.end());
+  EXPECT_LT(hi, lo * 3);
+}
+
+}  // namespace
+}  // namespace vcq::runtime

@@ -1,0 +1,280 @@
+#include "tectorwise/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "runtime/types.h"
+#include "tectorwise/primitives_simd.h"
+
+// Scalar primitive semantics plus the SIMD == scalar property (paper §5):
+// every AVX-512 kernel must be bit-identical to its scalar counterpart on
+// random inputs across the whole selectivity range, odd sizes included.
+
+namespace vcq::tectorwise {
+namespace {
+
+struct SelCase {
+  size_t n;
+  int selectivity_pct;
+};
+
+class SimdSelEquivalence : public ::testing::TestWithParam<SelCase> {};
+
+std::vector<int32_t> RandomI32(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int32_t> dist(0, 99);
+  std::vector<int32_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<int64_t> RandomI64(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, 99);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST_P(SimdSelEquivalence, DenseI32AllOps) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX-512";
+  const auto [n, sel_pct] = GetParam();
+  const auto col = RandomI32(n, 42);
+  const int32_t konst = sel_pct;  // values uniform in [0,100)
+  std::vector<pos_t> scalar(n), vec(n);
+
+  struct Variant {
+    size_t (*scalar_fn)(size_t, const int32_t*, int32_t, pos_t*);
+    size_t (*simd_fn)(size_t, const int32_t*, int32_t, pos_t*);
+  };
+  const Variant variants[] = {
+      {&SelDense<int32_t, CmpLess>, &simd::SelLessI32Dense},
+      {&SelDense<int32_t, CmpLessEq>, &simd::SelLessEqI32Dense},
+      {&SelDense<int32_t, CmpGreater>, &simd::SelGreaterI32Dense},
+      {&SelDense<int32_t, CmpGreaterEq>, &simd::SelGreaterEqI32Dense},
+      {&SelDense<int32_t, CmpEq>, &simd::SelEqI32Dense},
+  };
+  for (const Variant& v : variants) {
+    const size_t ns = v.scalar_fn(n, col.data(), konst, scalar.data());
+    const size_t nv = v.simd_fn(n, col.data(), konst, vec.data());
+    ASSERT_EQ(ns, nv);
+    for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]) << i;
+  }
+}
+
+TEST_P(SimdSelEquivalence, DenseI64AllOps) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX-512";
+  const auto [n, sel_pct] = GetParam();
+  const auto col = RandomI64(n, 43);
+  const int64_t konst = sel_pct;
+  std::vector<pos_t> scalar(n), vec(n);
+
+  struct Variant {
+    size_t (*scalar_fn)(size_t, const int64_t*, int64_t, pos_t*);
+    size_t (*simd_fn)(size_t, const int64_t*, int64_t, pos_t*);
+  };
+  const Variant variants[] = {
+      {&SelDense<int64_t, CmpLess>, &simd::SelLessI64Dense},
+      {&SelDense<int64_t, CmpLessEq>, &simd::SelLessEqI64Dense},
+      {&SelDense<int64_t, CmpGreater>, &simd::SelGreaterI64Dense},
+      {&SelDense<int64_t, CmpGreaterEq>, &simd::SelGreaterEqI64Dense},
+      {&SelDense<int64_t, CmpEq>, &simd::SelEqI64Dense},
+  };
+  for (const Variant& v : variants) {
+    const size_t ns = v.scalar_fn(n, col.data(), konst, scalar.data());
+    const size_t nv = v.simd_fn(n, col.data(), konst, vec.data());
+    ASSERT_EQ(ns, nv);
+    for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]) << i;
+  }
+}
+
+TEST_P(SimdSelEquivalence, SparseI32) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX-512";
+  const auto [n, sel_pct] = GetParam();
+  const auto col = RandomI32(n, 44);
+  // Build an input selection vector from an independent predicate.
+  std::vector<pos_t> sel;
+  for (size_t p = 0; p < n; ++p)
+    if (p % 3 != 0) sel.push_back(static_cast<pos_t>(p));
+  const int32_t konst = sel_pct;
+  std::vector<pos_t> scalar(n), vec(n);
+  const size_t ns = SelSparse<int32_t, CmpLess>(sel.size(), sel.data(),
+                                                col.data(), konst,
+                                                scalar.data());
+  const size_t nv = simd::SelLessI32Sparse(sel.size(), sel.data(), col.data(),
+                                           konst, vec.data());
+  ASSERT_EQ(ns, nv);
+  for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]) << i;
+}
+
+TEST_P(SimdSelEquivalence, BetweenDenseAndSparse) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX-512";
+  const auto [n, sel_pct] = GetParam();
+  const auto col32 = RandomI32(n, 45);
+  const auto col64 = RandomI64(n, 46);
+  const int32_t lo = 10, hi = 10 + sel_pct;
+  std::vector<pos_t> scalar(n), vec(n);
+
+  size_t ns = SelBetweenDense<int32_t>(n, col32.data(), lo, hi, scalar.data());
+  size_t nv = simd::SelBetweenI32Dense(n, col32.data(), lo, hi, vec.data());
+  ASSERT_EQ(ns, nv);
+  for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]);
+
+  ns = SelBetweenDense<int64_t>(n, col64.data(), lo, hi, scalar.data());
+  nv = simd::SelBetweenI64Dense(n, col64.data(), lo, hi, vec.data());
+  ASSERT_EQ(ns, nv);
+  for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]);
+
+  std::vector<pos_t> sel;
+  for (size_t p = 0; p < n; p += 2) sel.push_back(static_cast<pos_t>(p));
+  ns = SelBetweenSparse<int32_t>(sel.size(), sel.data(), col32.data(), lo, hi,
+                                 scalar.data());
+  nv = simd::SelBetweenI32Sparse(sel.size(), sel.data(), col32.data(), lo, hi,
+                                 vec.data());
+  ASSERT_EQ(ns, nv);
+  for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]);
+
+  ns = SelBetweenSparse<int64_t>(sel.size(), sel.data(), col64.data(), lo, hi,
+                                 scalar.data());
+  nv = simd::SelBetweenI64Sparse(sel.size(), sel.data(), col64.data(), lo, hi,
+                                 vec.data());
+  ASSERT_EQ(ns, nv);
+  for (size_t i = 0; i < ns; ++i) ASSERT_EQ(scalar[i], vec[i]);
+}
+
+TEST_P(SimdSelEquivalence, HashCompactMatchesScalar) {
+  if (!simd::Available()) GTEST_SKIP() << "no AVX-512";
+  const auto [n, sel_pct] = GetParam();
+  (void)sel_pct;
+  const auto col32 = RandomI32(n, 47);
+  const auto col64 = RandomI64(n, 48);
+  std::vector<uint64_t> hs(n), hv(n);
+  std::vector<pos_t> ps(n), pv(n);
+
+  HashCompact<int32_t>(n, nullptr, col32.data(), hs.data(), ps.data());
+  simd::HashI32Compact(n, nullptr, col32.data(), hv.data(), pv.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hs[i], hv[i]) << i;
+    ASSERT_EQ(ps[i], pv[i]) << i;
+  }
+
+  HashCompact<int64_t>(n, nullptr, col64.data(), hs.data(), ps.data());
+  simd::HashI64Compact(n, nullptr, col64.data(), hv.data(), pv.data());
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hs[i], hv[i]) << i;
+
+  // Sparse variant + rehash.
+  std::vector<pos_t> sel;
+  for (size_t p = 1; p < n; p += 2) sel.push_back(static_cast<pos_t>(p));
+  HashCompact<int32_t>(sel.size(), sel.data(), col32.data(), hs.data(),
+                       ps.data());
+  simd::HashI32Compact(sel.size(), sel.data(), col32.data(), hv.data(),
+                       pv.data());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    ASSERT_EQ(hs[i], hv[i]) << i;
+    ASSERT_EQ(ps[i], pv[i]) << i;
+  }
+  RehashCompact<int32_t>(sel.size(), ps.data(), col32.data(), hs.data());
+  simd::RehashI32Compact(sel.size(), pv.data(), col32.data(), hv.data());
+  for (size_t i = 0; i < sel.size(); ++i) ASSERT_EQ(hs[i], hv[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Selectivities, SimdSelEquivalence,
+    ::testing::Values(SelCase{0, 50}, SelCase{1, 50}, SelCase{15, 50},
+                      SelCase{16, 50}, SelCase{17, 50}, SelCase{1000, 0},
+                      SelCase{1000, 1}, SelCase{1000, 25}, SelCase{1000, 50},
+                      SelCase{1000, 75}, SelCase{1000, 100},
+                      SelCase{8192, 40}, SelCase{8191, 99}));
+
+TEST(ScalarPrimitives, SelDenseBasics) {
+  const std::vector<int32_t> col = {5, 1, 9, 3, 7};
+  std::vector<pos_t> out(5);
+  EXPECT_EQ((SelDense<int32_t, CmpLess>(5, col.data(), 5, out.data())), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ((SelDense<int32_t, CmpEq>(5, col.data(), 9, out.data())), 1u);
+  EXPECT_EQ(out[0], 2u);
+}
+
+TEST(ScalarPrimitives, SelSparsePreservesPositions) {
+  const std::vector<int32_t> col = {5, 1, 9, 3, 7};
+  const std::vector<pos_t> sel = {0, 2, 4};
+  std::vector<pos_t> out(5);
+  const size_t n =
+      SelSparse<int32_t, CmpGreater>(3, sel.data(), col.data(), 5,
+                                     out.data());
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[1], 4u);
+}
+
+TEST(ScalarPrimitives, MapAlignedWrites) {
+  const std::vector<int64_t> a = {1, 2, 3, 4};
+  const std::vector<int64_t> b = {10, 20, 30, 40};
+  std::vector<int64_t> out(4, -1);
+  const std::vector<pos_t> sel = {1, 3};
+  MapMul<int64_t>(2, sel.data(), a.data(), b.data(), out.data());
+  EXPECT_EQ(out[0], -1);  // untouched
+  EXPECT_EQ(out[1], 40);
+  EXPECT_EQ(out[2], -1);
+  EXPECT_EQ(out[3], 160);
+  MapRSubConst<int64_t>(2, sel.data(), 100, a.data(), out.data());
+  EXPECT_EQ(out[1], 98);
+  EXPECT_EQ(out[3], 96);
+}
+
+TEST(ScalarPrimitives, GatherScatter) {
+  const std::vector<int64_t> col = {10, 20, 30, 40};
+  const std::vector<pos_t> pos = {3, 0, 2};
+  std::vector<int64_t> out(3);
+  GatherPos<int64_t>(3, pos.data(), col.data(), out.data());
+  EXPECT_EQ(out[0], 40);
+  EXPECT_EQ(out[1], 10);
+  EXPECT_EQ(out[2], 30);
+
+  // Scatter into a fake entry array and gather back.
+  constexpr size_t kStride = 32;
+  alignas(8) std::byte entries[3 * kStride];
+  ScatterToEntries<int64_t>(3, pos.data(), col.data(), entries, kStride, 16);
+  Hashmap::EntryHeader* hdrs[3];
+  for (int i = 0; i < 3; ++i)
+    hdrs[i] = reinterpret_cast<Hashmap::EntryHeader*>(entries + i * kStride);
+  std::vector<int64_t> back(3);
+  GatherEntry<int64_t>(3, hdrs, 16, back.data());
+  EXPECT_EQ(back[0], 40);
+  EXPECT_EQ(back[1], 10);
+  EXPECT_EQ(back[2], 30);
+}
+
+TEST(ScalarPrimitives, MapYearMatchesCalendar) {
+  std::vector<int32_t> dates = {runtime::DateFromString("1992-06-01"),
+                                runtime::DateFromString("1998-12-31")};
+  std::vector<int32_t> out(2);
+  MapYear(2, nullptr, dates.data(), out.data());
+  EXPECT_EQ(out[0], 1992);
+  EXPECT_EQ(out[1], 1998);
+}
+
+TEST(ScalarPrimitives, AggSumAndCount) {
+  struct G {
+    Hashmap::EntryHeader h;
+    int64_t sum;
+    int64_t count;
+  } g1{}, g2{};
+  std::byte* groups[4] = {
+      reinterpret_cast<std::byte*>(&g1), reinterpret_cast<std::byte*>(&g2),
+      reinterpret_cast<std::byte*>(&g1), reinterpret_cast<std::byte*>(&g1)};
+  const std::vector<pos_t> pos = {0, 1, 2, 3};
+  const std::vector<int64_t> col = {5, 7, 11, 13};
+  AggSum(4, groups, offsetof(G, sum), pos.data(), col.data());
+  AggCount(4, groups, offsetof(G, count));
+  EXPECT_EQ(g1.sum, 5 + 11 + 13);
+  EXPECT_EQ(g2.sum, 7);
+  EXPECT_EQ(g1.count, 3);
+  EXPECT_EQ(g2.count, 1);
+}
+
+}  // namespace
+}  // namespace vcq::tectorwise

@@ -1,0 +1,122 @@
+#include "runtime/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/query_result.h"
+
+namespace vcq::runtime {
+namespace {
+
+TEST(RelationTest, AddAndReadColumns) {
+  Relation rel;
+  auto ints = rel.AddColumn<int32_t>("a", 100);
+  auto longs = rel.AddColumn<int64_t>("b", 100);
+  for (int i = 0; i < 100; ++i) {
+    ints[i] = i;
+    longs[i] = i * 10;
+  }
+  EXPECT_EQ(rel.tuple_count(), 100u);
+  EXPECT_EQ(rel.column_count(), 2u);
+  const auto a = rel.Col<int32_t>("a");
+  const auto b = rel.Col<int64_t>("b");
+  EXPECT_EQ(a[42], 42);
+  EXPECT_EQ(b[42], 420);
+}
+
+TEST(RelationTest, CharColumns) {
+  Relation rel;
+  auto col = rel.AddColumn<Char<10>>("seg", 3);
+  col[0] = Char<10>::From("BUILDING");
+  EXPECT_EQ(rel.Col<Char<10>>("seg")[0].View(), "BUILDING");
+}
+
+TEST(RelationTest, ColumnBuffersAreCacheAligned) {
+  Relation rel;
+  auto col = rel.AddColumn<int64_t>("x", 7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(col.data()) % 64, 0u);
+}
+
+TEST(RelationTest, HasColumn) {
+  Relation rel;
+  rel.AddColumn<int32_t>("a", 1);
+  EXPECT_TRUE(rel.HasColumn("a"));
+  EXPECT_FALSE(rel.HasColumn("b"));
+}
+
+TEST(RelationTest, ByteSizeSums) {
+  Relation rel;
+  rel.AddColumn<int32_t>("a", 100);
+  rel.AddColumn<int64_t>("b", 100);
+  EXPECT_EQ(rel.byte_size(), 100 * (4 + 8));
+}
+
+TEST(RelationDeathTest, TypeMismatchAborts) {
+  Relation rel;
+  rel.AddColumn<int32_t>("a", 10);
+  EXPECT_DEATH(rel.Col<int64_t>("a"), "column type mismatch");
+}
+
+TEST(RelationDeathTest, UnknownColumnAborts) {
+  Relation rel;
+  rel.AddColumn<int32_t>("a", 10);
+  EXPECT_DEATH(rel.Col<int32_t>("zzz"), "zzz");
+}
+
+TEST(RelationDeathTest, CardinalityMismatchAborts) {
+  Relation rel;
+  rel.AddColumn<int32_t>("a", 10);
+  EXPECT_DEATH(rel.AddColumn<int32_t>("b", 11), "cardinality");
+}
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  db.Add("t").AddColumn<int32_t>("a", 5);
+  EXPECT_TRUE(db.Has("t"));
+  EXPECT_FALSE(db.Has("u"));
+  EXPECT_EQ(db["t"].tuple_count(), 5u);
+}
+
+TEST(QueryResultTest, BuilderAndFormatting) {
+  ResultBuilder rb({"k", "v"});
+  rb.BeginRow().Int(1).Numeric(12345, 2);
+  rb.BeginRow().Int(2).Numeric(-5, 2);
+  QueryResult r = rb.Finish();
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1], "123.45");
+  EXPECT_EQ(r.rows[1][1], "-0.05");
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("123.45"), std::string::npos);
+}
+
+TEST(QueryResultTest, SortAndEquality) {
+  ResultBuilder rb1({"a"});
+  rb1.BeginRow().Int(2);
+  rb1.BeginRow().Int(1);
+  QueryResult r1 = rb1.Finish();
+
+  ResultBuilder rb2({"a"});
+  rb2.BeginRow().Int(1);
+  rb2.BeginRow().Int(2);
+  QueryResult r2 = rb2.Finish();
+
+  EXPECT_FALSE(r1 == r2);
+  r1.SortRows();
+  r2.SortRows();
+  EXPECT_TRUE(r1 == r2);
+}
+
+TEST(QueryResultTest, DateFormatting) {
+  ResultBuilder rb({"d"});
+  rb.BeginRow().Date(DateFromString("1995-03-15"));
+  EXPECT_EQ(rb.Finish().rows[0][0], "1995-03-15");
+}
+
+TEST(QueryResultTest, ToStringLimit) {
+  ResultBuilder rb({"a"});
+  for (int i = 0; i < 100; ++i) rb.BeginRow().Int(i);
+  const std::string s = rb.Finish().ToString(3);
+  EXPECT_NE(s.find("97 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcq::runtime

@@ -1,0 +1,108 @@
+#include "datagen/ssb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/types.h"
+
+namespace vcq::datagen {
+namespace {
+
+using runtime::Char;
+using runtime::Database;
+
+class SsbDatagenTest : public ::testing::Test {
+ protected:
+  static const Database& Db() {
+    static const Database* db = new Database(GenerateSsb(0.02));
+    return *db;
+  }
+};
+
+TEST_F(SsbDatagenTest, Cardinalities) {
+  const auto card = SsbCardinalities::For(0.02);
+  EXPECT_EQ(card.customers, 600);
+  EXPECT_EQ(card.suppliers, 40);
+  EXPECT_EQ(card.dates, 2557);  // 1992-01-01 .. 1998-12-31, two leap years
+  EXPECT_EQ(Db()["customer"].tuple_count(), 600u);
+  EXPECT_EQ(Db()["supplier"].tuple_count(), 40u);
+  EXPECT_EQ(Db()["date"].tuple_count(), 2557u);
+  const size_t lo = Db()["lineorder"].tuple_count();
+  EXPECT_GT(lo, card.orders * 3u);
+  EXPECT_LT(lo, card.orders * 5u);
+}
+
+TEST_F(SsbDatagenTest, DateDimensionContinuous) {
+  const auto& date = Db()["date"];
+  const auto key = date.Col<int32_t>("d_datekey");
+  const auto year = date.Col<int32_t>("d_year");
+  for (size_t i = 1; i < date.tuple_count(); ++i)
+    ASSERT_EQ(key[i], key[i - 1] + 1);
+  EXPECT_EQ(year[0], 1992);
+  EXPECT_EQ(year[date.tuple_count() - 1], 1998);
+}
+
+TEST_F(SsbDatagenTest, RegionsConsistentWithNations) {
+  const auto& cust = Db()["customer"];
+  const auto nation = cust.Col<Char<15>>("c_nation");
+  const auto region = cust.Col<Char<12>>("c_region");
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < cust.tuple_count(); ++i)
+    pairs.insert({std::string(nation[i].View()),
+                  std::string(region[i].View())});
+  // Each nation maps to exactly one region.
+  std::set<std::string> nations;
+  for (const auto& [n, r] : pairs) {
+    EXPECT_TRUE(nations.insert(n).second) << n << " in two regions";
+  }
+  // CHINA must be in ASIA (used by Q3.1 expectations).
+  EXPECT_TRUE(pairs.count({"CHINA", "ASIA"}));
+  EXPECT_TRUE(pairs.count({"UNITED STATES", "AMERICA"}));
+}
+
+TEST_F(SsbDatagenTest, PartHierarchy) {
+  const auto& part = Db()["part"];
+  const auto mfgr = part.Col<Char<6>>("p_mfgr");
+  const auto category = part.Col<Char<7>>("p_category");
+  const auto brand = part.Col<Char<9>>("p_brand1");
+  for (size_t i = 0; i < part.tuple_count(); ++i) {
+    // category extends mfgr, brand extends category.
+    ASSERT_EQ(std::string(category[i].View()).substr(0, 6),
+              std::string(mfgr[i].View()));
+    ASSERT_EQ(std::string(brand[i].View()).substr(0, 7),
+              std::string(category[i].View()));
+  }
+}
+
+TEST_F(SsbDatagenTest, LineorderForeignKeysInRange) {
+  const auto card = SsbCardinalities::For(0.02);
+  const auto& lo = Db()["lineorder"];
+  const auto ck = lo.Col<int32_t>("lo_custkey");
+  const auto sk = lo.Col<int32_t>("lo_suppkey");
+  const auto pk = lo.Col<int32_t>("lo_partkey");
+  const auto rev = lo.Col<int64_t>("lo_revenue");
+  const auto price = lo.Col<int64_t>("lo_extendedprice");
+  const auto disc = lo.Col<int64_t>("lo_discount");
+  for (size_t i = 0; i < lo.tuple_count(); ++i) {
+    ASSERT_GE(ck[i], 1);
+    ASSERT_LE(ck[i], card.customers);
+    ASSERT_GE(sk[i], 1);
+    ASSERT_LE(sk[i], card.suppliers);
+    ASSERT_GE(pk[i], 1);
+    ASSERT_LE(pk[i], card.parts);
+    ASSERT_EQ(rev[i], price[i] * (100 - disc[i]) / 100);
+  }
+}
+
+TEST_F(SsbDatagenTest, DeterministicAcrossThreadCounts) {
+  const Database a = GenerateSsb(0.01, 1);
+  const Database b = GenerateSsb(0.01, 8);
+  const auto ra = a["lineorder"].Col<int64_t>("lo_revenue");
+  const auto rb = b["lineorder"].Col<int64_t>("lo_revenue");
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) ASSERT_EQ(ra[i], rb[i]) << i;
+}
+
+}  // namespace
+}  // namespace vcq::datagen

@@ -1,0 +1,213 @@
+#include "datagen/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/types.h"
+
+namespace vcq::datagen {
+namespace {
+
+using runtime::Char;
+using runtime::Database;
+using runtime::DateFromString;
+using runtime::Varchar;
+
+class TpchDatagenTest : public ::testing::Test {
+ protected:
+  static const Database& Db() {
+    static const Database* db = new Database(GenerateTpch(0.01));
+    return *db;
+  }
+};
+
+TEST_F(TpchDatagenTest, Cardinalities) {
+  const auto card = TpchCardinalities::For(0.01);
+  EXPECT_EQ(card.customers, 1500);
+  EXPECT_EQ(card.orders, 15000);
+  EXPECT_EQ(card.parts, 2000);
+  EXPECT_EQ(card.suppliers, 100);
+  EXPECT_EQ(Db()["orders"].tuple_count(), 15000u);
+  EXPECT_EQ(Db()["customer"].tuple_count(), 1500u);
+  EXPECT_EQ(Db()["part"].tuple_count(), 2000u);
+  EXPECT_EQ(Db()["partsupp"].tuple_count(), 8000u);
+  EXPECT_EQ(Db()["supplier"].tuple_count(), 100u);
+  EXPECT_EQ(Db()["nation"].tuple_count(), 25u);
+  EXPECT_EQ(Db()["region"].tuple_count(), 5u);
+  // 1..7 lineitems per order, expectation 4x orders.
+  const size_t li = Db()["lineitem"].tuple_count();
+  EXPECT_GT(li, 15000u * 3);
+  EXPECT_LT(li, 15000u * 5);
+}
+
+TEST_F(TpchDatagenTest, LineitemValueRanges) {
+  const auto& li = Db()["lineitem"];
+  const auto qty = li.Col<int64_t>("l_quantity");
+  const auto disc = li.Col<int64_t>("l_discount");
+  const auto tax = li.Col<int64_t>("l_tax");
+  const auto price = li.Col<int64_t>("l_extendedprice");
+  for (size_t i = 0; i < li.tuple_count(); ++i) {
+    ASSERT_GE(qty[i], 100);    // 1.00
+    ASSERT_LE(qty[i], 5000);   // 50.00
+    ASSERT_EQ(qty[i] % 100, 0);
+    ASSERT_GE(disc[i], 0);
+    ASSERT_LE(disc[i], 10);
+    ASSERT_GE(tax[i], 0);
+    ASSERT_LE(tax[i], 8);
+    ASSERT_GT(price[i], 0);
+  }
+}
+
+TEST_F(TpchDatagenTest, DateWindowsFollowSpec) {
+  const auto& li = Db()["lineitem"];
+  const auto& ord = Db()["orders"];
+  const auto odate = ord.Col<int32_t>("o_orderdate");
+  for (size_t i = 0; i < ord.tuple_count(); ++i) {
+    ASSERT_GE(odate[i], TpchDates::Start());
+    ASSERT_LE(odate[i], TpchDates::OrdersEnd());
+  }
+  const auto ship = li.Col<int32_t>("l_shipdate");
+  const auto commit = li.Col<int32_t>("l_commitdate");
+  const auto receipt = li.Col<int32_t>("l_receiptdate");
+  const auto okey = li.Col<int32_t>("l_orderkey");
+  for (size_t i = 0; i < li.tuple_count(); ++i) {
+    const int32_t od = odate[okey[i] - 1];
+    ASSERT_GE(ship[i], od + 1);
+    ASSERT_LE(ship[i], od + 121);
+    ASSERT_GE(commit[i], od + 30);
+    ASSERT_LE(commit[i], od + 90);
+    ASSERT_GE(receipt[i], ship[i] + 1);
+    ASSERT_LE(receipt[i], ship[i] + 30);
+  }
+}
+
+TEST_F(TpchDatagenTest, ReturnFlagAndLineStatusRules) {
+  const auto& li = Db()["lineitem"];
+  const auto ship = li.Col<int32_t>("l_shipdate");
+  const auto receipt = li.Col<int32_t>("l_receiptdate");
+  const auto rf = li.Col<Char<1>>("l_returnflag");
+  const auto ls = li.Col<Char<1>>("l_linestatus");
+  const int32_t current = TpchDates::Current();
+  for (size_t i = 0; i < li.tuple_count(); ++i) {
+    if (receipt[i] <= current) {
+      ASSERT_TRUE(rf[i].data[0] == 'R' || rf[i].data[0] == 'A');
+    } else {
+      ASSERT_EQ(rf[i].data[0], 'N');
+    }
+    ASSERT_EQ(ls[i].data[0], ship[i] > current ? 'O' : 'F');
+  }
+}
+
+TEST_F(TpchDatagenTest, PartSuppKeysFollowSpecFormula) {
+  const auto& ps = Db()["partsupp"];
+  const auto partkey = ps.Col<int32_t>("ps_partkey");
+  const auto suppkey = ps.Col<int32_t>("ps_suppkey");
+  const auto card = TpchCardinalities::For(0.01);
+  for (size_t i = 0; i < ps.tuple_count(); ++i) {
+    const int64_t p = partkey[i];
+    const int64_t s = static_cast<int64_t>(i) % 4;
+    ASSERT_EQ(suppkey[i], PartSuppSupplier(p, s, card.suppliers));
+    ASSERT_GE(suppkey[i], 1);
+    ASSERT_LE(suppkey[i], card.suppliers);
+  }
+  // Each part has 4 distinct suppliers.
+  for (size_t p = 0; p < 50; ++p) {
+    std::set<int32_t> supps;
+    for (size_t s = 0; s < 4; ++s) supps.insert(suppkey[p * 4 + s]);
+    ASSERT_EQ(supps.size(), 4u) << "part " << p + 1;
+  }
+}
+
+TEST_F(TpchDatagenTest, LineitemSupplierConsistentWithPartsupp) {
+  // Every (l_partkey, l_suppkey) combination must exist in partsupp —
+  // otherwise Q9's composite-key join silently drops tuples.
+  const auto& li = Db()["lineitem"];
+  const auto lp = li.Col<int32_t>("l_partkey");
+  const auto lsup = li.Col<int32_t>("l_suppkey");
+  const auto card = TpchCardinalities::For(0.01);
+  for (size_t i = 0; i < li.tuple_count(); ++i) {
+    bool found = false;
+    for (int64_t s = 0; s < 4; ++s) {
+      if (PartSuppSupplier(lp[i], s, card.suppliers) == lsup[i]) {
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "lineitem " << i;
+  }
+}
+
+TEST_F(TpchDatagenTest, MktSegmentsAreValidAndAllPresent) {
+  const auto& cust = Db()["customer"];
+  const auto seg = cust.Col<Char<10>>("c_mktsegment");
+  std::set<std::string> seen;
+  for (size_t i = 0; i < cust.tuple_count(); ++i)
+    seen.insert(std::string(seg[i].View()));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count("BUILDING"));
+}
+
+TEST_F(TpchDatagenTest, GreenPartsSelectivityNearSpec) {
+  // 'green' is one of 92 words, 5 words per name: P ~ 1 - (91/92)^5 ~ 5.3%.
+  const auto& part = Db()["part"];
+  const auto name = part.Col<Varchar<55>>("p_name");
+  size_t green = 0;
+  for (size_t i = 0; i < part.tuple_count(); ++i)
+    green += name[i].Contains("green") ? 1 : 0;
+  const double fraction =
+      static_cast<double>(green) / static_cast<double>(part.tuple_count());
+  EXPECT_GT(fraction, 0.02);
+  EXPECT_LT(fraction, 0.10);
+}
+
+TEST_F(TpchDatagenTest, DeterministicAcrossThreadCounts) {
+  // Morsel-parallel generation must not depend on the thread count.
+  const Database a = GenerateTpch(0.005, 1);
+  const Database b = GenerateTpch(0.005, 8);
+  const auto pa = a["lineitem"].Col<int64_t>("l_extendedprice");
+  const auto pb = b["lineitem"].Col<int64_t>("l_extendedprice");
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]) << i;
+  const auto sa = a["lineitem"].Col<int32_t>("l_shipdate");
+  const auto sb = b["lineitem"].Col<int32_t>("l_shipdate");
+  for (size_t i = 0; i < sa.size(); ++i) ASSERT_EQ(sa[i], sb[i]) << i;
+}
+
+TEST_F(TpchDatagenTest, TotalPriceMatchesLineitems) {
+  const auto& ord = Db()["orders"];
+  const auto& li = Db()["lineitem"];
+  const auto total = ord.Col<int64_t>("o_totalprice");
+  const auto okey = li.Col<int32_t>("l_orderkey");
+  const auto price = li.Col<int64_t>("l_extendedprice");
+  const auto disc = li.Col<int64_t>("l_discount");
+  const auto tax = li.Col<int64_t>("l_tax");
+  std::vector<int64_t> sum(ord.tuple_count(), 0);
+  for (size_t i = 0; i < li.tuple_count(); ++i)
+    sum[okey[i] - 1] += price[i] * (100 + tax[i]) * (100 - disc[i]);
+  for (size_t o = 0; o < ord.tuple_count(); ++o)
+    ASSERT_EQ(total[o], (sum[o] + 5000) / 10000) << "order " << o + 1;
+}
+
+TEST(TpchScaling, CardinalitiesScaleLinearly) {
+  const auto c1 = TpchCardinalities::For(1.0);
+  EXPECT_EQ(c1.customers, 150000);
+  EXPECT_EQ(c1.orders, 1500000);
+  EXPECT_EQ(c1.parts, 200000);
+  EXPECT_EQ(c1.suppliers, 10000);
+  const auto c2 = TpchCardinalities::For(2.0);
+  EXPECT_EQ(c2.orders, 3000000);
+}
+
+TEST(TpchScaling, PartRetailPriceFormula) {
+  EXPECT_EQ(PartRetailPrice(1), 90000 + 0 + 100);
+  // Range sanity across keys.
+  for (int64_t k = 1; k < 10000; k += 7) {
+    const int64_t p = PartRetailPrice(k);
+    EXPECT_GE(p, 90000);
+    EXPECT_LT(p, 90000 + 20001 + 100 * 1000);
+  }
+}
+
+}  // namespace
+}  // namespace vcq::datagen

@@ -1,0 +1,102 @@
+#include "runtime/types.h"
+
+#include <gtest/gtest.h>
+
+namespace vcq::runtime {
+namespace {
+
+TEST(DateTest, RoundTripKnownDates) {
+  EXPECT_EQ(DateFromString("1970-01-01"), 0);
+  EXPECT_EQ(DateFromString("1970-01-02"), 1);
+  EXPECT_EQ(DateToString(0), "1970-01-01");
+  for (const char* s : {"1992-01-01", "1995-06-17", "1998-09-02",
+                        "1996-02-29", "2000-12-31", "1969-07-20"}) {
+    EXPECT_EQ(DateToString(DateFromString(s)), s);
+  }
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(DateFromString("1994-12-31"), DateFromString("1995-01-01"));
+  EXPECT_LT(DateFromString("1995-01-01"), DateFromString("1995-01-02"));
+  EXPECT_GT(DateFromString("1998-08-02"), DateFromString("1992-01-01"));
+}
+
+TEST(DateTest, LeapYearHandling) {
+  const int32_t feb28 = DateFromString("1996-02-28");
+  EXPECT_EQ(DateToString(feb28 + 1), "1996-02-29");
+  EXPECT_EQ(DateToString(feb28 + 2), "1996-03-01");
+  const int32_t feb28_1995 = DateFromString("1995-02-28");
+  EXPECT_EQ(DateToString(feb28_1995 + 1), "1995-03-01");
+}
+
+TEST(DateTest, YearOf) {
+  EXPECT_EQ(YearOf(DateFromString("1992-01-01")), 1992);
+  EXPECT_EQ(YearOf(DateFromString("1992-12-31")), 1992);
+  EXPECT_EQ(YearOf(DateFromString("1993-01-01")), 1993);
+}
+
+TEST(DateTest, RoundTripSweep) {
+  // Every day across the whole TPC-H window.
+  const int32_t start = DateFromString("1992-01-01");
+  const int32_t end = DateFromString("1999-01-01");
+  int32_t previous_year = 1991;
+  for (int32_t d = start; d < end; ++d) {
+    const Civil c = CivilFromDays(d);
+    EXPECT_EQ(DaysFromCivil(c.year, c.month, c.day), d);
+    EXPECT_GE(c.year, previous_year);
+    previous_year = c.year;
+  }
+}
+
+TEST(NumericTest, Formatting) {
+  EXPECT_EQ(NumericToString(12345, 2), "123.45");
+  EXPECT_EQ(NumericToString(5, 2), "0.05");
+  EXPECT_EQ(NumericToString(-12345, 2), "-123.45");
+  EXPECT_EQ(NumericToString(0, 2), "0.00");
+  EXPECT_EQ(NumericToString(7, 0), "7");
+  EXPECT_EQ(NumericToString(1, 6), "0.000001");
+}
+
+TEST(NumericTest, AvgHalfUpRounding) {
+  // 10 / 4 = 2.5 -> "2.50" at out scale 2 from in scale 0.
+  EXPECT_EQ(NumericAvgToString(10, 4, 0, 2), "2.50");
+  // 1 / 3 = 0.333...
+  EXPECT_EQ(NumericAvgToString(1, 3, 0, 2), "0.33");
+  // 2 / 3 = 0.666... -> 0.67
+  EXPECT_EQ(NumericAvgToString(2, 3, 0, 2), "0.67");
+  // Same scale in and out.
+  EXPECT_EQ(NumericAvgToString(500, 2, 2, 2), "2.50");
+}
+
+TEST(CharTest, PaddingAndEquality) {
+  const auto a = Char<10>::From("BUILDING");
+  const auto b = Char<10>::From("BUILDING");
+  const auto c = Char<10>::From("MACHINERY");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.View(), "BUILDING");
+  EXPECT_EQ(a.View().size(), 8u);
+}
+
+TEST(CharTest, Ordering) {
+  EXPECT_LT(Char<10>::From("AUTOMOBILE"), Char<10>::From("BUILDING"));
+  EXPECT_LT(Char<10>::From("A"), Char<10>::From("AB"));
+}
+
+TEST(VarcharTest, ContainsSubstring) {
+  const auto v = Varchar<55>::From("forest green metallic snow peru");
+  EXPECT_TRUE(v.Contains("green"));
+  EXPECT_TRUE(v.Contains("forest"));
+  EXPECT_TRUE(v.Contains("peru"));
+  EXPECT_FALSE(v.Contains("lavender"));
+  EXPECT_FALSE(v.Contains("greenx"));
+  EXPECT_EQ(v.View().size(), 31u);
+}
+
+TEST(VarcharTest, EqualityRespectsLength) {
+  EXPECT_EQ(Varchar<55>::From("abc"), Varchar<55>::From("abc"));
+  EXPECT_FALSE(Varchar<55>::From("abc") == Varchar<55>::From("abcd"));
+}
+
+}  // namespace
+}  // namespace vcq::runtime

@@ -1,0 +1,111 @@
+#include "runtime/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/barrier.h"
+
+namespace vcq::runtime {
+namespace {
+
+TEST(MorselQueueTest, CoversRangeExactlyOnce) {
+  constexpr size_t kTotal = 100001;  // deliberately not a grain multiple
+  MorselQueue q(kTotal, 1000);
+  std::vector<int> seen(kTotal, 0);
+  size_t b, e;
+  while (q.Next(b, e)) {
+    ASSERT_LE(e, kTotal);
+    ASSERT_LT(b, e);
+    for (size_t i = b; i < e; ++i) seen[i]++;
+  }
+  for (size_t i = 0; i < kTotal; ++i) ASSERT_EQ(seen[i], 1) << i;
+}
+
+TEST(MorselQueueTest, ConcurrentConsumersPartitionWork) {
+  constexpr size_t kTotal = 1 << 20;
+  MorselQueue q(kTotal, 4096);
+  std::atomic<size_t> covered{0};
+  WorkerPool::Global().Run(8, [&](size_t) {
+    size_t b, e;
+    size_t local = 0;
+    while (q.Next(b, e)) local += e - b;
+    covered.fetch_add(local);
+  });
+  EXPECT_EQ(covered.load(), kTotal);
+}
+
+TEST(MorselQueueTest, EmptyInput) {
+  MorselQueue q(0, 100);
+  size_t b, e;
+  EXPECT_FALSE(q.Next(b, e));
+}
+
+TEST(MorselQueueTest, ResetAllowsReuse) {
+  MorselQueue q(10, 100);
+  size_t b, e;
+  EXPECT_TRUE(q.Next(b, e));
+  EXPECT_FALSE(q.Next(b, e));
+  q.Reset();
+  EXPECT_TRUE(q.Next(b, e));
+}
+
+TEST(WorkerPoolTest, AllWorkerIdsDistinctAndDense) {
+  for (size_t n : {1u, 2u, 7u, 16u}) {
+    std::vector<std::atomic<int>> hits(n);
+    WorkerPool::Global().Run(n, [&](size_t wid) {
+      ASSERT_LT(wid, n);
+      hits[wid]++;
+    });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkerPoolTest, RepeatedRunsReuseThreads) {
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round)
+    WorkerPool::Global().Run(4, [&](size_t) { total++; });
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(WorkerPoolTest, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  WorkerPool::Global().Run(1, [&](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(BarrierTest, OnLastRunsExactlyOnce) {
+  constexpr size_t kThreads = 8;
+  Barrier barrier(kThreads);
+  std::atomic<int> last_calls{0};
+  std::atomic<int> after{0};
+  WorkerPool::Global().Run(kThreads, [&](size_t) {
+    for (int round = 0; round < 50; ++round) {
+      barrier.Wait([&] { last_calls++; });
+      after++;
+    }
+  });
+  EXPECT_EQ(last_calls.load(), 50);
+  EXPECT_EQ(after.load(), 50 * static_cast<int>(kThreads));
+}
+
+TEST(BarrierTest, OrdersPhases) {
+  // No thread may observe phase-2 state before every thread finished
+  // phase 1 — the hash-join build/probe ordering guarantee.
+  constexpr size_t kThreads = 6;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase1_done{0};
+  std::atomic<bool> violation{false};
+  WorkerPool::Global().Run(kThreads, [&](size_t) {
+    phase1_done++;
+    barrier.Wait();
+    if (phase1_done.load() != kThreads) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace vcq::runtime
