@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/env_util.h"
+#include "tectorwise/compaction.h"
 
 namespace vcq::benchutil {
 
@@ -39,10 +40,15 @@ Measurement Measure(const std::function<void()>& fn, int reps) {
   }
   std::sort(times.begin(), times.end());
   m.ms = times[times.size() / 2];
+  auto& telemetry = tectorwise::CompactionTelemetry::Global();
+  telemetry.Reset();
   runtime::PerfCounters counters;
   counters.Start();
   fn();
   m.counters = counters.Stop();
+  const auto density = telemetry.Take();
+  m.avg_density = density.AvgDensity();
+  m.compactions = static_cast<double>(density.compactions);
   return m;
 }
 

@@ -24,6 +24,15 @@ struct Measurement {
   runtime::PerfCounters::Values counters;  // from the median-adjacent run
   size_t tuples = 0;                    // normalization base (paper §3.4)
 
+  // Batch-density telemetry from the instrumented run (Tectorwise
+  // compaction points; see tectorwise/compaction.h). avg_density is NaN
+  // when the run never crossed a compaction point; compactions counts the
+  // dense batches the compactors emitted. These ride along in every bench
+  // table so BENCH_*.json trajectories can track density regressions next
+  // to runtime.
+  double avg_density = 0;
+  double compactions = 0;
+
   double CyclesPerTuple() const;
   double InstructionsPerTuple() const;
 };

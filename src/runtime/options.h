@@ -5,6 +5,10 @@
 
 namespace vcq::runtime {
 
+/// Engine-independent spelling of the Tectorwise batch-compaction policy
+/// (mapped onto tectorwise::CompactionPolicy by the plan builders).
+enum class CompactionMode { kNever, kAlways, kAdaptive };
+
 /// Per-run execution settings, honored by all engines where meaningful.
 struct QueryOptions {
   /// Worker threads (morsel-driven parallelism, paper §6).
@@ -27,6 +31,12 @@ struct QueryOptions {
   /// fused probe pipeline at explicit materialization boundaries and issue
   /// software prefetches for the staged hash-table buckets. Typer Q9 only.
   bool rof = false;
+  /// Batch compaction at the sparse points of the vectorized pipeline
+  /// (Select output, hash-join probe output, group-by input); Tectorwise
+  /// only. See tectorwise::CompactionPolicy.
+  CompactionMode compaction = CompactionMode::kNever;
+  /// Density below which kAdaptive compacts (count / vector_size).
+  double compaction_threshold = 1.0 / 64;
 };
 
 }  // namespace vcq::runtime

@@ -1,0 +1,94 @@
+#include "tectorwise/compaction.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vcq::tectorwise {
+
+double CompactionTelemetry::Snapshot::AvgDensity() const {
+  if (capacity == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(tuples) / static_cast<double>(capacity);
+}
+
+CompactionTelemetry& CompactionTelemetry::Global() {
+  static CompactionTelemetry telemetry;
+  return telemetry;
+}
+
+void CompactionTelemetry::Reset() {
+  batches_.store(0, std::memory_order_relaxed);
+  tuples_.store(0, std::memory_order_relaxed);
+  capacity_.store(0, std::memory_order_relaxed);
+  compactions_.store(0, std::memory_order_relaxed);
+  compacted_tuples_.store(0, std::memory_order_relaxed);
+}
+
+CompactionTelemetry::Snapshot CompactionTelemetry::Take() const {
+  Snapshot s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.tuples = tuples_.load(std::memory_order_relaxed);
+  s.capacity = capacity_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.compacted_tuples = compacted_tuples_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LocalBatchStats::FlushToGlobal() {
+  if (batches == 0) return;
+  CompactionTelemetry::Global().RecordBatches(batches, tuples, capacity);
+  batches = tuples = capacity = 0;
+}
+
+void Compactor::Configure(const ExecContext& ctx) {
+  policy_ = ctx.compaction;
+  threshold_ = ctx.compaction_threshold;
+  vector_size_ = ctx.vector_size;
+}
+
+void Compactor::AddColumn(Slot* slot, size_t elem_size, CompactStep step) {
+  if (policy_ == CompactionPolicy::kNever) return;
+  for (const Column& c : columns_) {
+    if (c.slot == slot) return;  // already registered
+  }
+  columns_.push_back(
+      Column{slot, elem_size, std::move(step),
+             VecBuffer(2 * vector_size_ * elem_size), nullptr});
+}
+
+void Compactor::BeginBatch() {
+  if (emitted_ == 0) return;
+  const size_t rest = pending_ - emitted_;
+  for (Column& c : columns_) {
+    if (rest > 0) {
+      auto* base = static_cast<std::byte*>(c.buffer.data());
+      std::memmove(base, base + emitted_ * c.elem_size,
+                   rest * c.elem_size);
+    }
+    c.slot->ptr = c.saved;
+  }
+  pending_ = rest;
+  emitted_ = 0;
+}
+
+void Compactor::Append(size_t n, const pos_t* sel) {
+  VCQ_CHECK_MSG(pending_ < vector_size_ && n <= vector_size_,
+                "compaction buffer overflow");
+  for (Column& c : columns_) {
+    auto* base = static_cast<std::byte*>(c.buffer.data());
+    c.step(n, sel, base + pending_ * c.elem_size);
+  }
+  pending_ += n;
+}
+
+size_t Compactor::Flush() {
+  const size_t m = pending_ < vector_size_ ? pending_ : vector_size_;
+  for (Column& c : columns_) {
+    c.saved = c.slot->ptr;
+    c.slot->ptr = c.buffer.data();
+  }
+  emitted_ = m;
+  CompactionTelemetry::Global().RecordCompaction(m);
+  return m;
+}
+
+}  // namespace vcq::tectorwise

@@ -20,14 +20,16 @@ HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
   cand_pos_.Reset(v * sizeof(pos_t));
   match_.Reset(v * sizeof(uint8_t));
   local_ht_.SetSize(2048);
+  compactor_.Configure(ctx_);
 }
 
-size_t HashGroup::AddSumAgg(const Slot* col) {
+size_t HashGroup::AddSumAgg(Slot* col) {
   if (agg_begin_ == 0) agg_begin_ = agg_end_ = AlignUp(key_end_, 8);
   const size_t offset = agg_end_;
   agg_end_ += sizeof(int64_t);
   sum_offsets_.push_back(offset);
   sum_cols_.push_back(col);
+  CompactColumn<int64_t>(ctx_, compactor_, col);
   return offset;
 }
 
@@ -128,35 +130,58 @@ void HashGroup::FindGroups(size_t n) {
   }
 }
 
-void HashGroup::ConsumeChild() {
-  VCQ_CHECK_MSG(!key_steps_.empty(), "group keys not configured");
+void HashGroup::ProcessBatch(size_t n, const pos_t* sel) {
   uint64_t* hashes = hashes_.As<uint64_t>();
   pos_t* pos = pos_.As<pos_t>();
   std::byte** groups = groups_.As<std::byte*>();
+
+  bool first = true;
+  for (const KeyHashKind& h : hash_steps_) {
+    if (first) {
+      h.hash(n, sel, hashes, pos);
+      first = false;
+    } else {
+      h.rehash(n, pos, hashes);
+    }
+  }
+  FindGroups(n);
+  // Aggregate updates (vectorized primitives over the group pointers).
+  for (size_t a = 0; a < sum_offsets_.size(); ++a) {
+    if (sum_cols_[a] == nullptr) {
+      AggCount(n, groups, sum_offsets_[a]);
+    } else {
+      AggSum(n, groups, sum_offsets_[a], pos, Get<int64_t>(sum_cols_[a]));
+    }
+  }
+}
+
+void HashGroup::ConsumeChild() {
+  VCQ_CHECK_MSG(!key_steps_.empty(), "group keys not configured");
+  const bool compacting = compactor_.enabled();
 
   size_t n;
   while ((n = child_->Next()) != kEndOfStream) {
     if (n == 0) continue;
     const pos_t* sel = child_->sel();
-    bool first = true;
-    for (const KeyHashKind& h : hash_steps_) {
-      if (first) {
-        h.hash(n, sel, hashes, pos);
-        first = false;
-      } else {
-        h.rehash(n, pos, hashes);
-      }
+    stats_.Record(n, ctx_.vector_size);
+    // Dense batches are processed in place even while sparse rows are
+    // pending — aggregation is order-insensitive, so the backlog can keep
+    // accumulating.
+    if (!compacting || !compactor_.ShouldCompact(n)) {
+      ProcessBatch(n, sel);
+      continue;
     }
-    FindGroups(n);
-    // Aggregate updates (vectorized primitives over the group pointers).
-    for (size_t a = 0; a < sum_offsets_.size(); ++a) {
-      if (sum_cols_[a] == nullptr) {
-        AggCount(n, groups, sum_offsets_[a]);
-      } else {
-        AggSum(n, groups, sum_offsets_[a], pos, Get<int64_t>(sum_cols_[a]));
-      }
+    compactor_.Append(n, sel);
+    if (compactor_.Full()) {
+      ProcessBatch(compactor_.Flush(), nullptr);
+      compactor_.BeginBatch();  // restore slots before the next child batch
     }
   }
+  while (compacting && compactor_.pending() > 0) {
+    ProcessBatch(compactor_.Flush(), nullptr);
+    compactor_.BeginBatch();
+  }
+  stats_.FlushToGlobal();
 
   shared_->barrier.Wait();
   MergePartitions();

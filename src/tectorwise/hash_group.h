@@ -53,10 +53,15 @@ class HashGroup : public Operator {
 
   // --- key / aggregate configuration (before first Next) -------------------
 
-  /// Adds a grouping key column; returns its entry byte offset.
+  /// Adds a grouping key column; returns its entry byte offset. Key and
+  /// aggregate columns are auto-registered with the input Compactor, so
+  /// the group-by compaction point needs no extra plan wiring: sparse
+  /// input batches are densified before the group lookup when the policy
+  /// asks for it.
   template <typename T>
-  size_t AddKey(const Slot* col) {
+  size_t AddKey(Slot* col) {
     VCQ_CHECK_MSG(agg_begin_ == 0, "keys must be added before aggregates");
+    CompactColumn<T>(ctx_, compactor_, col);
     const size_t offset = AlignUp(key_end_, alignof(T));
     key_end_ = offset + sizeof(T);
     hash_steps_.push_back(key_steps_.empty()
@@ -85,7 +90,7 @@ class HashGroup : public Operator {
   }
 
   /// Adds sum(col) over an int64 column; returns the aggregate's offset.
-  size_t AddSumAgg(const Slot* col);
+  size_t AddSumAgg(Slot* col);
   /// Adds count(*); returns the aggregate's offset.
   size_t AddCountAgg();
 
@@ -129,6 +134,7 @@ class HashGroup : public Operator {
 
   size_t entry_size() const { return AlignUp(agg_end_, 8); }
   void ConsumeChild();
+  void ProcessBatch(size_t n, const pos_t* sel);
   void FindGroups(size_t n);
   std::byte* InsertGroup(uint64_t hash, pos_t p);
   void GrowLocalTable();
@@ -153,6 +159,8 @@ class HashGroup : public Operator {
   runtime::Hashmap local_ht_;
   runtime::MemPool pool_;
   size_t local_count_ = 0;
+  Compactor compactor_;  // input densification (batch compaction point)
+  LocalBatchStats stats_;
 
   bool consumed_ = false;
   size_t emit_partition_ = 0;  // owned-partition cursor (worker-strided)

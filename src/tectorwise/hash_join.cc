@@ -1,5 +1,7 @@
 #include "tectorwise/hash_join.h"
 
+#include <cstring>
+
 #include "tectorwise/primitives_simd.h"
 
 namespace vcq::tectorwise {
@@ -72,10 +74,43 @@ size_t HashJoin::Next() {
   auto** hits = hits_.As<Hashmap::EntryHeader*>();
   pos_t* hit_pos = hit_pos_.As<pos_t>();
   const bool use_simd = ctx_.use_simd && simd::Available();
+  const size_t vsize = ctx_.vector_size;
+  const bool accumulate = ctx_.compaction != CompactionPolicy::kNever;
+
+  // Shift the carry-over from the last emission to the buffer front.
+  if (out_emitted_ > 0) {
+    const size_t rest = out_pending_ - out_emitted_;
+    if (rest > 0) {
+      for (Output& o : outputs_) {
+        auto* base = static_cast<std::byte*>(o.buffer.data());
+        std::memmove(base, base + out_emitted_ * o.elem_size,
+                     rest * o.elem_size);
+      }
+    }
+    out_pending_ = rest;
+    out_emitted_ = 0;
+  }
+
+  const auto emit = [this](size_t m) {
+    out_emitted_ = m;
+    sel_ = nullptr;
+    return m;
+  };
 
   while (true) {
+    if (probe_eos_) {
+      if (out_pending_ > 0) {
+        CompactionTelemetry::Global().RecordCompaction(out_pending_);
+        return emit(out_pending_);
+      }
+      stats_.FlushToGlobal();
+      return kEndOfStream;
+    }
     const size_t n = probe_->Next();
-    if (n == kEndOfStream) return kEndOfStream;
+    if (n == kEndOfStream) {
+      probe_eos_ = true;
+      continue;
+    }
     if (n == 0) continue;
     probe_hash_(n, probe_->sel(), hashes, pos);
     for (const RehashStep& step : probe_rehash_) step(n, pos, hashes);
@@ -91,11 +126,25 @@ size_t HashJoin::Next() {
       m = ExtractHitsAdvance(m, cand, cand_pos, match, hits, hit_pos,
                              hit_count);
     }
+    stats_.Record(hit_count, vsize);
     if (hit_count == 0) continue;
 
-    for (const Output& o : outputs_) o.gather(hit_count);
-    sel_ = nullptr;
-    return hit_count;
+    // Gather this batch's hits behind whatever is already pending (hit
+    // positions only stay valid while the probe batch is current).
+    for (const Output& o : outputs_) o.gather(hit_count, out_pending_);
+    out_pending_ += hit_count;
+    if (!accumulate) return emit(out_pending_);
+    if (ctx_.compaction == CompactionPolicy::kAdaptive &&
+        out_pending_ == hit_count &&
+        static_cast<double>(hit_count) >=
+            ctx_.compaction_threshold * static_cast<double>(vsize)) {
+      // Dense enough and nothing buffered: emit with no extra latency.
+      return emit(out_pending_);
+    }
+    if (out_pending_ >= vsize) {
+      CompactionTelemetry::Global().RecordCompaction(vsize);
+      return emit(vsize);
+    }
   }
 }
 

@@ -88,18 +88,25 @@ class HashJoin : public Operator {
   }
 
   // --- outputs ------------------------------------------------------------
+  // Output buffers hold 2 * vector_size rows: under batch compaction
+  // (ctx.compaction != kNever) the join keeps probing until a full vector
+  // of hits has accumulated, so a batch's hits can straddle the
+  // vector_size emission boundary; the overhang is carried to the front on
+  // the next Next() call. Gathers happen per probe batch either way (hit
+  // positions refer to the current batch), so accumulation only changes
+  // the emission cadence, not the gather work.
 
   /// Build-side column (entry field) gathered into a dense output vector.
   template <typename T>
   Slot* AddBuildOutput(size_t field_offset) {
-    outputs_.push_back(Output{VecBuffer(ctx_.vector_size * sizeof(T)),
-                              std::make_unique<Slot>(), {}});
+    outputs_.push_back(Output{VecBuffer(2 * ctx_.vector_size * sizeof(T)),
+                              std::make_unique<Slot>(), sizeof(T), {}});
     Output& o = outputs_.back();
     o.slot->ptr = o.buffer.data();
     T* out = o.buffer.As<T>();
-    o.gather = [this, field_offset, out](size_t m) {
+    o.gather = [this, field_offset, out](size_t m, size_t at) {
       GatherEntry<T>(m, hits_.As<runtime::Hashmap::EntryHeader*>(),
-                     field_offset, out);
+                     field_offset, out + at);
     };
     return o.slot.get();
   }
@@ -107,13 +114,13 @@ class HashJoin : public Operator {
   /// Probe-side column compacted through the hit positions.
   template <typename T>
   Slot* AddProbeOutput(const Slot* col) {
-    outputs_.push_back(Output{VecBuffer(ctx_.vector_size * sizeof(T)),
-                              std::make_unique<Slot>(), {}});
+    outputs_.push_back(Output{VecBuffer(2 * ctx_.vector_size * sizeof(T)),
+                              std::make_unique<Slot>(), sizeof(T), {}});
     Output& o = outputs_.back();
     o.slot->ptr = o.buffer.data();
     T* out = o.buffer.As<T>();
-    o.gather = [this, col, out](size_t m) {
-      GatherPos<T>(m, hit_pos_.As<pos_t>(), Get<T>(col), out);
+    o.gather = [this, col, out](size_t m, size_t at) {
+      GatherPos<T>(m, hit_pos_.As<pos_t>(), Get<T>(col), out + at);
     };
     return o.slot.get();
   }
@@ -127,7 +134,8 @@ class HashJoin : public Operator {
   struct Output {
     VecBuffer buffer;
     std::unique_ptr<Slot> slot;
-    std::function<void(size_t m)> gather;
+    size_t elem_size;
+    std::function<void(size_t m, size_t at)> gather;
   };
   using ScatterStep = std::function<void(size_t n, const pos_t* pos,
                                          std::byte* base, size_t stride)>;
@@ -154,6 +162,12 @@ class HashJoin : public Operator {
   runtime::MemPool pool_;  // worker-local entry storage
   std::vector<std::pair<std::byte*, size_t>> chunks_;
   bool built_ = false;
+  bool probe_eos_ = false;
+
+  // Probe-output accumulation state (batch compaction of the join result).
+  size_t out_pending_ = 0;  // gathered rows not yet emitted
+  size_t out_emitted_ = 0;  // rows published by the last emission
+  LocalBatchStats stats_;
 
   // Probe scratch vectors.
   VecBuffer hashes_;

@@ -17,13 +17,23 @@ size_t Scan::Next() {
 
 Select::Select(std::unique_ptr<Operator> child, size_t vector_size)
     : child_(std::move(child)),
+      vector_size_(vector_size),
       buf_a_(vector_size * sizeof(pos_t)),
       buf_b_(vector_size * sizeof(pos_t)) {}
 
+Select::Select(std::unique_ptr<Operator> child, const ExecContext& ctx)
+    : Select(std::move(child), ctx.vector_size) {
+  compactor_.Configure(ctx);
+}
+
 size_t Select::Next() {
+  if (compactor_.enabled()) return NextCompacting();
   while (true) {
     const size_t n = child_->Next();
-    if (n == kEndOfStream) return kEndOfStream;
+    if (n == kEndOfStream) {
+      stats_.FlushToGlobal();
+      return kEndOfStream;
+    }
     const pos_t* sel = child_->sel();
     size_t count = n;
     pos_t* out = buf_a_.As<pos_t>();
@@ -34,11 +44,55 @@ size_t Select::Next() {
       std::swap(out, spare);
       if (count == 0) break;
     }
+    stats_.Record(count, vector_size_);
     if (count > 0) {
       sel_ = sel;
       return count;
     }
     // All tuples filtered: pull the next batch instead of emitting empties.
+  }
+}
+
+size_t Select::NextCompacting() {
+  compactor_.BeginBatch();
+  while (true) {
+    if (child_eos_) {
+      if (compactor_.pending() > 0) {
+        sel_ = nullptr;
+        return compactor_.Flush();
+      }
+      stats_.FlushToGlobal();
+      return kEndOfStream;
+    }
+    const size_t n = child_->Next();
+    if (n == kEndOfStream) {
+      child_eos_ = true;
+      continue;
+    }
+    const pos_t* sel = child_->sel();
+    size_t count = n;
+    pos_t* out = buf_a_.As<pos_t>();
+    pos_t* spare = buf_b_.As<pos_t>();
+    for (const SelStep& step : steps_) {
+      count = step(count, sel, out);
+      sel = out;
+      std::swap(out, spare);
+      if (count == 0) break;
+    }
+    stats_.Record(count, vector_size_);
+    if (count == 0) continue;
+    // Dense batches pass through untouched, even while sparse rows are
+    // pending — those already live in the compactor's own buffers and can
+    // wait for the backlog to fill up (batch order is not significant).
+    if (!compactor_.ShouldCompact(count)) {
+      sel_ = sel;
+      return count;
+    }
+    compactor_.Append(count, sel);
+    if (compactor_.Full()) {
+      sel_ = nullptr;
+      return compactor_.Flush();
+    }
   }
 }
 

@@ -337,6 +337,39 @@ void GatherPos(size_t n, const pos_t* pos, const T* col, T* out) {
   for (size_t k = 0; k < n; ++k) out[k] = col[pos[k]];
 }
 
+// ---------------------------------------------------------------------------
+// Batch compaction (sparse -> dense rewrite)
+// ---------------------------------------------------------------------------
+// Compaction primitives copy the live values of a sel-carrying batch into a
+// dense buffer so downstream primitives run their dense paths. The AVX-512
+// compress-store variants live in primitives_simd.h (CompactI32/I64).
+
+/// out[k] = col[sel[k]]; a null sel means the batch is already dense and
+/// the copy is contiguous. The generic sparse->dense gather fallback used
+/// for any fixed-width type.
+template <typename T>
+void CompactCopy(size_t n, const pos_t* sel, const T* col, T* out) {
+  if (n == 0) return;
+  if (sel == nullptr) {
+    std::memcpy(out, col, n * sizeof(T));
+    return;
+  }
+  for (size_t k = 0; k < n; ++k) out[k] = col[sel[k]];
+}
+
+/// Type-erased row compaction for odd-width columns (Char<N>, Varchar):
+/// copies `elem_size`-byte rows col[sel[k]] -> out[k].
+inline void CompactBytes(size_t n, const pos_t* sel, const std::byte* col,
+                         size_t elem_size, std::byte* out) {
+  if (n == 0) return;
+  if (sel == nullptr) {
+    std::memcpy(out, col, n * elem_size);
+    return;
+  }
+  for (size_t k = 0; k < n; ++k)
+    std::memcpy(out + k * elem_size, col + sel[k] * elem_size, elem_size);
+}
+
 /// out[k] = *(T*)(entries[k] + offset) — the paper's buildGather.
 template <typename T>
 void GatherEntry(size_t n, Hashmap::EntryHeader* const* entries,

@@ -2,6 +2,8 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 #include "common/cpu_info.h"
 #include "runtime/hash.h"
 
@@ -333,6 +335,77 @@ VCQ_AVX512 size_t SelBetweenI64Sparse(size_t n, const pos_t* sel,
     res += (col[p] >= lo && col[p] <= hi) ? 1 : 0;
   }
   return static_cast<size_t>(res - out);
+}
+
+// --- batch compaction --------------------------------------------------------
+
+namespace {
+
+// 16 lanes per block: gather the per-block lane mask from the (ascending)
+// selection vector, masked-load only the selected lanes, compress-store them
+// densely. Blocks without survivors are never touched.
+VCQ_AVX512 void CompactI32Kernel(size_t n, const pos_t* sel,
+                                 const int32_t* col, int32_t* out) {
+  size_t k = 0;
+  while (k < n) {
+    const pos_t base = sel[k] & ~pos_t{15};
+    unsigned m = 0;
+    do {
+      m |= 1u << (sel[k] - base);
+      ++k;
+    } while (k < n && sel[k] < base + 16);
+    const __mmask16 mask = static_cast<__mmask16>(m);
+    const __m512i v = _mm512_maskz_loadu_epi32(mask, col + base);
+    _mm512_mask_compressstoreu_epi32(out, mask, v);
+    out += __builtin_popcount(m);
+  }
+}
+
+VCQ_AVX512 void CompactI64Kernel(size_t n, const pos_t* sel,
+                                 const int64_t* col, int64_t* out) {
+  size_t k = 0;
+  while (k < n) {
+    const pos_t base = sel[k] & ~pos_t{7};
+    unsigned m = 0;
+    do {
+      m |= 1u << (sel[k] - base);
+      ++k;
+    } while (k < n && sel[k] < base + 8);
+    const __mmask8 mask = static_cast<__mmask8>(m);
+    const __m512i v = _mm512_maskz_loadu_epi64(mask, col + base);
+    _mm512_mask_compressstoreu_epi64(out, mask, v);
+    out += __builtin_popcount(m);
+  }
+}
+
+}  // namespace
+
+void CompactI32(size_t n, const pos_t* sel, const int32_t* col,
+                int32_t* out) {
+  if (n == 0) return;
+  if (sel == nullptr) {  // already dense: contiguous copy
+    std::memcpy(out, col, n * sizeof(int32_t));
+    return;
+  }
+  if (!Available()) {
+    for (size_t k = 0; k < n; ++k) out[k] = col[sel[k]];
+    return;
+  }
+  CompactI32Kernel(n, sel, col, out);
+}
+
+void CompactI64(size_t n, const pos_t* sel, const int64_t* col,
+                int64_t* out) {
+  if (n == 0) return;
+  if (sel == nullptr) {
+    std::memcpy(out, col, n * sizeof(int64_t));
+    return;
+  }
+  if (!Available()) {
+    for (size_t k = 0; k < n; ++k) out[k] = col[sel[k]];
+    return;
+  }
+  CompactI64Kernel(n, sel, col, out);
 }
 
 // --- hashing -----------------------------------------------------------------

@@ -59,6 +59,17 @@ size_t SelLessI64Sparse(size_t n, const pos_t* sel, const int64_t* col,
 size_t SelBetweenI64Sparse(size_t n, const pos_t* sel, const int64_t* col,
                            int64_t lo, int64_t hi, pos_t* out);
 
+// Batch compaction: out[k] = col[sel[k]] via per-16/8-lane masked loads +
+// COMPRESSSTORE — only cache lines containing survivors are touched, so the
+// cost scales with the number of live tuples, not the vector size. Selection
+// vectors are position-sorted (all producers emit them ascending), which is
+// what lets the kernels build one lane mask per block. Unlike the other
+// kernels in this header these fall back to the scalar CompactCopy
+// internally when AVX-512 is unavailable, so they are safe to call on any
+// host (the runtime-dispatch contract of the Compactor).
+void CompactI32(size_t n, const pos_t* sel, const int32_t* col, int32_t* out);
+void CompactI64(size_t n, const pos_t* sel, const int64_t* col, int64_t* out);
+
 // Murmur2 hashing, compacted output (see HashCompact in primitives.h).
 void HashI32Compact(size_t n, const pos_t* sel, const int32_t* col,
                     uint64_t* hashes, pos_t* pos);

@@ -28,6 +28,8 @@ ExecContext MakeContext(const QueryOptions& opt) {
   ExecContext ctx;
   ctx.vector_size = opt.vector_size;
   ctx.use_simd = opt.simd;
+  ctx.compaction = ToPolicy(opt.compaction);
+  ctx.compaction_threshold = opt.compaction_threshold;
   return ctx;
 }
 
@@ -54,8 +56,9 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
     auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
     Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
     Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-    auto dsel = std::make_unique<Select>(std::move(dscan), ctx.vector_size);
+    auto dsel = std::make_unique<Select>(std::move(dscan), ctx);
     dsel->AddStep(MakeSelCmp<int32_t>(ctx, d_year, CmpOp::kEq, 1993));
+    CompactColumn<int32_t>(ctx, dsel->compactor(), d_datekey);
 
     auto loscan =
         std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
@@ -63,9 +66,12 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
     Slot* lo_discount = loscan->AddColumn<int64_t>("lo_discount");
     Slot* lo_quantity = loscan->AddColumn<int64_t>("lo_quantity");
     Slot* lo_extprice = loscan->AddColumn<int64_t>("lo_extendedprice");
-    auto losel = std::make_unique<Select>(std::move(loscan), ctx.vector_size);
+    auto losel = std::make_unique<Select>(std::move(loscan), ctx);
     losel->AddStep(MakeSelBetween<int64_t>(ctx, lo_discount, 1, 3));
     losel->AddStep(MakeSelCmp<int64_t>(ctx, lo_quantity, CmpOp::kLess, 25));
+    CompactColumn<int32_t>(ctx, losel->compactor(), lo_orderdate);
+    CompactColumn<int64_t>(ctx, losel->compactor(), lo_discount);
+    CompactColumn<int64_t>(ctx, losel->compactor(), lo_extprice);
 
     auto hj = std::make_unique<HashJoin>(&join_date, std::move(dsel),
                                          std::move(losel), ctx);
@@ -130,16 +136,19 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
     Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
     Slot* p_category = pscan->AddColumn<Char<7>>("p_category");
     Slot* p_brand1 = pscan->AddColumn<Char<9>>("p_brand1");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx.vector_size);
+    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
     psel->AddStep(MakeSelCmp<Char<7>>(ctx, p_category, CmpOp::kEq,
                                       Char<7>::From("MFGR#12")));
+    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
+    CompactColumn<Char<9>>(ctx, psel->compactor(), p_brand1);
 
     auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
     Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
     Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx.vector_size);
+    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
     ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq,
                                        Char<12>::From("AMERICA")));
+    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
 
     auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
     Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
@@ -250,21 +259,27 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
     Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
     Slot* c_nation = cscan->AddColumn<Char<15>>("c_nation");
     Slot* c_region = cscan->AddColumn<Char<12>>("c_region");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx.vector_size);
+    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
     csel->AddStep(MakeSelCmp<Char<12>>(ctx, c_region, CmpOp::kEq, asia));
+    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
+    CompactColumn<Char<15>>(ctx, csel->compactor(), c_nation);
 
     auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
     Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
     Slot* s_nation = sscan->AddColumn<Char<15>>("s_nation");
     Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx.vector_size);
+    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
     ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq, asia));
+    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
+    CompactColumn<Char<15>>(ctx, ssel->compactor(), s_nation);
 
     auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
     Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
     Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-    auto dsel = std::make_unique<Select>(std::move(dscan), ctx.vector_size);
+    auto dsel = std::make_unique<Select>(std::move(dscan), ctx);
     dsel->AddStep(MakeSelBetween<int32_t>(ctx, d_year, 1992, 1997));
+    CompactColumn<int32_t>(ctx, dsel->compactor(), d_datekey);
+    CompactColumn<int32_t>(ctx, dsel->compactor(), d_year);
 
     auto loscan =
         std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
@@ -386,21 +401,25 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
     Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
     Slot* c_nation = cscan->AddColumn<Char<15>>("c_nation");
     Slot* c_region = cscan->AddColumn<Char<12>>("c_region");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx.vector_size);
+    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
     csel->AddStep(MakeSelCmp<Char<12>>(ctx, c_region, CmpOp::kEq, america));
+    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
+    CompactColumn<Char<15>>(ctx, csel->compactor(), c_nation);
 
     auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
     Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
     Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx.vector_size);
+    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
     ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq, america));
+    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
 
     auto pscan = std::make_unique<Scan>(&scan_p, &part, ctx.vector_size);
     Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
     Slot* p_mfgr = pscan->AddColumn<Char<6>>("p_mfgr");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx.vector_size);
+    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
     psel->AddStep(MakeSelEqOr2<Char<6>>(p_mfgr, Char<6>::From("MFGR#1"),
                                         Char<6>::From("MFGR#2")));
+    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
 
     auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
     Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");

@@ -32,6 +32,8 @@ ExecContext MakeContext(const QueryOptions& opt) {
   ExecContext ctx;
   ctx.vector_size = opt.vector_size;
   ctx.use_simd = opt.simd;
+  ctx.compaction = ToPolicy(opt.compaction);
+  ctx.compaction_threshold = opt.compaction_threshold;
   return ctx;
 }
 
@@ -206,9 +208,15 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
     Slot* discount = scan->AddColumn<int64_t>("l_discount");
     Slot* tax = scan->AddColumn<int64_t>("l_tax");
 
-    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
+    auto select = std::make_unique<Select>(std::move(scan), ctx);
     select->AddStep(
         MakeSelCmp<int32_t>(ctx, shipdate, CmpOp::kLessEq, cutoff));
+    CompactColumn<Char<1>>(ctx, select->compactor(), rf);
+    CompactColumn<Char<1>>(ctx, select->compactor(), ls);
+    CompactColumn<int64_t>(ctx, select->compactor(), qty);
+    CompactColumn<int64_t>(ctx, select->compactor(), extprice);
+    CompactColumn<int64_t>(ctx, select->compactor(), discount);
+    CompactColumn<int64_t>(ctx, select->compactor(), tax);
 
     auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
     Slot* one_minus_disc = map->AddOutput<int64_t>();
@@ -303,10 +311,12 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
     Slot* quantity = scan->AddColumn<int64_t>("l_quantity");
     Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
 
-    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
+    auto select = std::make_unique<Select>(std::move(scan), ctx);
     select->AddStep(MakeSelBetween<int32_t>(ctx, shipdate, lo, hi));
     select->AddStep(MakeSelBetween<int64_t>(ctx, discount, 5, 7));
     select->AddStep(MakeSelCmp<int64_t>(ctx, quantity, CmpOp::kLess, 2400));
+    CompactColumn<int64_t>(ctx, select->compactor(), extprice);
+    CompactColumn<int64_t>(ctx, select->compactor(), discount);
 
     auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
     Slot* revenue = map->AddOutput<int64_t>();  // scale 4
@@ -362,8 +372,9 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
         std::make_unique<Scan>(&scan_cust, &customer, ctx.vector_size);
     Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
     Slot* c_mkt = cscan->AddColumn<Char<10>>("c_mktsegment");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx.vector_size);
+    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
     csel->AddStep(MakeSelCmp<Char<10>>(ctx, c_mkt, CmpOp::kEq, building));
+    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
 
     // Probe side 1: orders before the date.
     auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
@@ -371,8 +382,12 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
     Slot* o_custkey = oscan->AddColumn<int32_t>("o_custkey");
     Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
     Slot* o_shipprio = oscan->AddColumn<int32_t>("o_shippriority");
-    auto osel = std::make_unique<Select>(std::move(oscan), ctx.vector_size);
+    auto osel = std::make_unique<Select>(std::move(oscan), ctx);
     osel->AddStep(MakeSelCmp<int32_t>(ctx, o_orderdate, CmpOp::kLess, date));
+    CompactColumn<int32_t>(ctx, osel->compactor(), o_orderkey);
+    CompactColumn<int32_t>(ctx, osel->compactor(), o_custkey);
+    CompactColumn<int32_t>(ctx, osel->compactor(), o_orderdate);
+    CompactColumn<int32_t>(ctx, osel->compactor(), o_shipprio);
 
     auto hj1 = std::make_unique<HashJoin>(&join_cust, std::move(csel),
                                           std::move(osel), ctx);
@@ -391,9 +406,12 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
     Slot* l_shipdate = lscan->AddColumn<int32_t>("l_shipdate");
     Slot* l_extprice = lscan->AddColumn<int64_t>("l_extendedprice");
     Slot* l_discount = lscan->AddColumn<int64_t>("l_discount");
-    auto lsel = std::make_unique<Select>(std::move(lscan), ctx.vector_size);
+    auto lsel = std::make_unique<Select>(std::move(lscan), ctx);
     lsel->AddStep(
         MakeSelCmp<int32_t>(ctx, l_shipdate, CmpOp::kGreater, date));
+    CompactColumn<int32_t>(ctx, lsel->compactor(), l_orderkey);
+    CompactColumn<int64_t>(ctx, lsel->compactor(), l_extprice);
+    CompactColumn<int64_t>(ctx, lsel->compactor(), l_discount);
 
     auto hj2 = std::make_unique<HashJoin>(&join_ord, std::move(hj1),
                                           std::move(lsel), ctx);
@@ -493,8 +511,9 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
     auto pscan = std::make_unique<Scan>(&scan_part, &part, ctx.vector_size);
     Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
     Slot* p_name = pscan->AddColumn<Varchar<55>>("p_name");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx.vector_size);
+    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
     psel->AddStep(MakeSelContains<Varchar<55>>(p_name, "green"));
+    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
 
     // partsupp semi-joined with green parts, then built as a composite HT.
     auto psscan =
@@ -675,8 +694,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
     Slot* g_qty = group->AddOutput<int64_t>(a_qty);
 
     // having sum(l_quantity) > 300 (scale 2).
-    auto having = std::make_unique<Select>(std::move(group), ctx.vector_size);
+    auto having = std::make_unique<Select>(std::move(group), ctx);
     having->AddStep(MakeSelCmp<int64_t>(ctx, g_qty, CmpOp::kGreater, 30000));
+    CompactColumn<int32_t>(ctx, having->compactor(), g_okey);
+    CompactColumn<int64_t>(ctx, having->compactor(), g_qty);
 
     // Join the qualifying orderkeys with orders.
     auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);

@@ -175,6 +175,44 @@ SelStep MakeSelContains(const Slot* col, std::string needle) {
   };
 }
 
+// --- compaction step factories -----------------------------------------------
+
+/// Per-column append kernel for the Compactor: copies the live values of
+/// the bound column into a dense compaction buffer. i32/i64 use the
+/// AVX-512 compress-store primitives (which themselves fall back to scalar
+/// at runtime on non-AVX-512 hosts); other widths take the generic
+/// sparse->dense gather.
+template <typename T>
+CompactStep MakeCompact(const ExecContext& ctx, const Slot* col) {
+  const bool use_simd = ctx.use_simd && simd::Available();
+  if constexpr (std::is_same_v<T, int32_t>) {
+    if (use_simd) {
+      return [col](size_t n, const pos_t* sel, void* dst) {
+        simd::CompactI32(n, sel, Get<int32_t>(col),
+                         static_cast<int32_t*>(dst));
+      };
+    }
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    if (use_simd) {
+      return [col](size_t n, const pos_t* sel, void* dst) {
+        simd::CompactI64(n, sel, Get<int64_t>(col),
+                         static_cast<int64_t*>(dst));
+      };
+    }
+  }
+  return [col](size_t n, const pos_t* sel, void* dst) {
+    CompactCopy<T>(n, sel, Get<T>(col), static_cast<T*>(dst));
+  };
+}
+
+/// Registers `col` for densification by Compactor `c` — the one-liner the
+/// plan builders use to declare which columns are consumed above a
+/// compaction point.
+template <typename T>
+void CompactColumn(const ExecContext& ctx, Compactor& c, Slot* col) {
+  c.AddColumn(col, sizeof(T), MakeCompact<T>(ctx, col));
+}
+
 // --- map step factories ------------------------------------------------------
 
 template <typename T>
