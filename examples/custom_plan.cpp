@@ -1,6 +1,6 @@
 // Building a custom vectorized query plan against your own data with the
-// library's operator toolkit — the extension path a downstream user takes
-// when their query is not one of the built-ins.
+// declarative plan builder (tectorwise/plan.h) — the extension path a
+// downstream user takes when their query is not one of the built-ins.
 //
 // Scenario: a web-shop "sessions" fact table. Query:
 //
@@ -10,30 +10,26 @@
 //     AND campaigns.active = 1
 //   GROUP BY campaign
 //
-// wired as Scan -> Select -> HashJoin -> HashGroup, morsel-parallel.
+// described as Scan -> Select -> HashJoin -> HashGroup. The builder wires
+// the per-worker operator trees, the shared state (morsel queues, hash
+// table, barriers) and the collector loop, and derives the batch-compaction
+// registrations from slot usage — note the absence of any CompactColumn
+// call even though adaptive compaction is enabled below.
 
+#include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <random>
 #include <vector>
 
 #include "runtime/relation.h"
-#include "runtime/worker_pool.h"
-#include "tectorwise/hash_group.h"
-#include "tectorwise/hash_join.h"
-#include "tectorwise/steps.h"
+#include "tectorwise/plan.h"
 
 using namespace vcq;
 using runtime::Char;
 using tectorwise::CmpOp;
-using tectorwise::ExecContext;
-using tectorwise::Get;
-using tectorwise::HashGroup;
-using tectorwise::HashJoin;
-using tectorwise::kEndOfStream;
-using tectorwise::Scan;
-using tectorwise::Select;
-using tectorwise::Slot;
+using tectorwise::ColumnRef;
+using tectorwise::Plan;
+using tectorwise::PlanBuilder;
 
 int main() {
   // --- 1. Build the data (normally you would load it) ----------------------
@@ -65,75 +61,55 @@ int main() {
     }
   }
 
-  // --- 2. Shared state: one per pipeline-breaking structure ---------------
-  const size_t threads = 8;
-  ExecContext ctx;  // vector_size = 1024, scalar primitives
-  Scan::Shared scan_sessions(sessions.tuple_count());
-  Scan::Shared scan_campaigns(campaigns.tuple_count());
-  HashJoin::Shared join_shared(threads);
-  HashGroup::Shared group_shared(threads);
+  // --- 2. Describe the plan ------------------------------------------------
+  PlanBuilder pb("campaign-report");
 
-  // --- 3. Per-worker plans + a collector ----------------------------------
+  // Build side: active campaigns.
+  auto& cscan = pb.Scan(campaigns, "campaigns");
+  const ColumnRef c_id = cscan.Col<int32_t>("id");
+  const ColumnRef c_name = cscan.Col<Char<16>>("name");
+  const ColumnRef c_active = cscan.Col<int32_t>("active");
+  auto& csel = pb.Select(cscan);
+  csel.Cmp<int32_t>(c_active, CmpOp::kEq, 1);
+
+  // Probe side: sessions with plausible durations.
+  auto& sscan = pb.Scan(sessions, "sessions");
+  const ColumnRef s_campaign = sscan.Col<int32_t>("campaign_id");
+  const ColumnRef s_duration = sscan.Col<int64_t>("duration_s");
+  const ColumnRef s_revenue = sscan.Col<int64_t>("revenue");
+  auto& ssel = pb.Select(sscan);
+  ssel.Between<int64_t>(s_duration, 30, 600);
+
+  auto& join = pb.HashJoin(csel, ssel);
+  join.Key<int32_t>(s_campaign, c_id);
+  const ColumnRef j_name = join.Build<Char<16>>(c_name);
+  const ColumnRef j_revenue = join.Probe<int64_t>(s_revenue);
+
+  auto& group = pb.HashGroup(join);
+  const ColumnRef g_name = group.Key<Char<16>>(j_name);
+  const ColumnRef g_rev = group.Sum(j_revenue);
+  const ColumnRef g_cnt = group.Count();
+
+  Plan plan = pb.Build(group, {g_name, g_rev, g_cnt});
+  std::printf("%s\n", plan.ToString().c_str());
+
+  // --- 3. Run it: 8 workers, adaptive batch compaction ---------------------
+  runtime::QueryOptions opt;
+  opt.threads = 8;
+  opt.compaction = runtime::CompactionMode::kAdaptive;
+
   struct ResultRow {
     Char<16> name;
     int64_t revenue, count;
   };
   std::vector<ResultRow> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<tectorwise::Operator>> roots(threads);
-
-  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
-    // Build side: active campaigns.
-    auto cscan = std::make_unique<Scan>(&scan_campaigns, &campaigns,
-                                        ctx.vector_size);
-    Slot* c_id = cscan->AddColumn<int32_t>("id");
-    Slot* c_name = cscan->AddColumn<Char<16>>("name");
-    Slot* c_active = cscan->AddColumn<int32_t>("active");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx.vector_size);
-    csel->AddStep(tectorwise::MakeSelCmp<int32_t>(ctx, c_active, CmpOp::kEq,
-                                                  1));
-
-    // Probe side: sessions with plausible durations.
-    auto sscan = std::make_unique<Scan>(&scan_sessions, &sessions,
-                                        ctx.vector_size);
-    Slot* s_campaign = sscan->AddColumn<int32_t>("campaign_id");
-    Slot* s_duration = sscan->AddColumn<int64_t>("duration_s");
-    Slot* s_revenue = sscan->AddColumn<int64_t>("revenue");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx.vector_size);
-    ssel->AddStep(
-        tectorwise::MakeSelBetween<int64_t>(ctx, s_duration, 30, 600));
-
-    auto join = std::make_unique<HashJoin>(&join_shared, std::move(csel),
-                                           std::move(ssel), ctx);
-    const size_t f_id = join->AddBuildField<int32_t>(c_id);
-    const size_t f_name = join->AddBuildField<Char<16>>(c_name);
-    join->SetBuildHash(tectorwise::MakeHash<int32_t>(ctx, c_id));
-    join->SetProbeHash(tectorwise::MakeHash<int32_t>(ctx, s_campaign));
-    join->AddKeyCompare<int32_t>(s_campaign, f_id);
-    Slot* j_name = join->AddBuildOutput<Char<16>>(f_name);
-    Slot* j_revenue = join->AddProbeOutput<int64_t>(s_revenue);
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, threads,
-                                             std::move(join), ctx);
-    const size_t k_name = group->AddKey<Char<16>>(j_name);
-    const size_t a_rev = group->AddSumAgg(j_revenue);
-    const size_t a_cnt = group->AddCountAgg();
-    Slot* g_name = group->AddOutput<Char<16>>(k_name);
-    Slot* g_rev = group->AddOutput<int64_t>(a_rev);
-    Slot* g_cnt = group->AddOutput<int64_t>(a_cnt);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(ResultRow{Get<Char<16>>(g_name)[k],
-                                 Get<int64_t>(g_rev)[k],
-                                 Get<int64_t>(g_cnt)[k]});
-      }
+  plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(ResultRow{b.Column<Char<16>>(g_name)[k],
+                               b.Column<int64_t>(g_rev)[k],
+                               b.Column<int64_t>(g_cnt)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
   // --- 4. Present ---------------------------------------------------------
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {

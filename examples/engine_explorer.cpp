@@ -5,8 +5,11 @@
 // Volcano = pull+interpretation).
 //
 //   ./engine_explorer [--sf 0.5] [--query Q1|Q6|Q3|Q9|Q18|SSB-Q1.1|...]
+//                     [--explain]
 //
-// With no --query it sweeps the full TPC-H subset.
+// With no --query it sweeps the full TPC-H subset. --explain additionally
+// prints each query's declarative Tectorwise plan (nodes, consumed
+// columns, and the compaction registrations derived from slot usage).
 
 #include <chrono>
 #include <thread>
@@ -36,9 +39,11 @@ double Time(const vcq::runtime::Database& db, vcq::Engine e, vcq::Query q,
 int main(int argc, char** argv) {
   double sf = 0.5;
   std::string query_name;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sf") && i + 1 < argc) sf = std::atof(argv[++i]);
     if (!std::strcmp(argv[i], "--query") && i + 1 < argc) query_name = argv[++i];
+    if (!std::strcmp(argv[i], "--explain")) explain = true;
   }
 
   std::vector<vcq::Query> queries;
@@ -65,6 +70,10 @@ int main(int argc, char** argv) {
 
   for (vcq::Query q : queries) {
     std::printf("\n=== %s ===\n", vcq::QueryName(q));
+
+    if (explain) {
+      std::printf("%s", vcq::ExplainQuery(db, q).c_str());
+    }
 
     // Engine comparison, single thread.
     vcq::runtime::QueryOptions st;

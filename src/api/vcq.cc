@@ -1,6 +1,7 @@
 #include "api/vcq.h"
 
 #include "common/check.h"
+#include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
 #include "typer/queries.h"
 #include "volcano/queries.h"
@@ -55,6 +56,10 @@ QueryResult RunQuery(const Database& db, Engine engine, Query query,
   }
   VCQ_CHECK_MSG(false, "unreachable");
   return {};
+}
+
+std::string ExplainQuery(const Database& db, Query query) {
+  return tectorwise::PlanFor(db, QueryName(query)).ToString();
 }
 
 const char* EngineName(Engine engine) {

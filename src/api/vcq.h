@@ -45,6 +45,11 @@ runtime::QueryResult RunQuery(const runtime::Database& db, Engine engine,
                               Query query,
                               const runtime::QueryOptions& options = {});
 
+/// EXPLAIN-style dump of the Tectorwise declarative plan for `query`:
+/// nodes, steps, consumed columns, and the compaction registrations the
+/// plan builder derived from slot usage (see tectorwise/plan.h).
+std::string ExplainQuery(const runtime::Database& db, Query query);
+
 const char* EngineName(Engine engine);
 const char* QueryName(Query query);
 bool IsSsbQuery(Query query);

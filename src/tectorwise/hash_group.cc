@@ -19,6 +19,7 @@ HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
   cand_k_.Reset(v * sizeof(pos_t));
   cand_pos_.Reset(v * sizeof(pos_t));
   match_.Reset(v * sizeof(uint8_t));
+  emit_entries_.Reset(v * sizeof(std::byte*));
   local_ht_.SetSize(2048);
   compactor_.Configure(ctx_);
 }
@@ -237,22 +238,51 @@ void HashGroup::MergePartitions() {
 
 size_t HashGroup::Next() {
   if (!consumed_) ConsumeChild();
-  // Emit merged groups from owned partitions, one vector at a time.
-  while (emit_partition_ < kPartitions) {
+  if (!dense_output_) {
+    // Emit merged groups from owned partitions, one vector at a time;
+    // batches end at partition boundaries (seed behavior).
+    while (emit_partition_ < kPartitions) {
+      const std::vector<std::byte*>& part = shared_->merged[emit_partition_];
+      if (emit_index_ >= part.size()) {
+        emit_partition_ += worker_count_;
+        emit_index_ = 0;
+        continue;
+      }
+      const size_t n =
+          std::min(ctx_.vector_size, part.size() - emit_index_);
+      for (const Output& o : outputs_) o.gather(n, part.data() + emit_index_);
+      emit_index_ += n;
+      sel_ = nullptr;
+      return n;
+    }
+    return kEndOfStream;
+  }
+  // Partition-emission compaction: pack groups from consecutive owned
+  // partitions into one full output vector (group order is unchanged, only
+  // the batch boundaries move).
+  std::byte** entries = emit_entries_.As<std::byte*>();
+  size_t n = 0;
+  size_t chunks = 0;
+  while (n < ctx_.vector_size && emit_partition_ < kPartitions) {
     const std::vector<std::byte*>& part = shared_->merged[emit_partition_];
     if (emit_index_ >= part.size()) {
       emit_partition_ += worker_count_;
       emit_index_ = 0;
       continue;
     }
-    const size_t n =
-        std::min(ctx_.vector_size, part.size() - emit_index_);
-    for (const Output& o : outputs_) o.gather(n, part.data() + emit_index_);
-    emit_index_ += n;
-    sel_ = nullptr;
-    return n;
+    const size_t take =
+        std::min(ctx_.vector_size - n, part.size() - emit_index_);
+    std::memcpy(entries + n, part.data() + emit_index_,
+                take * sizeof(std::byte*));
+    n += take;
+    emit_index_ += take;
+    ++chunks;
   }
-  return kEndOfStream;
+  if (n == 0) return kEndOfStream;
+  for (const Output& o : outputs_) o.gather(n, entries);
+  if (chunks > 1) CompactionTelemetry::Global().RecordCompaction(n);
+  sel_ = nullptr;
+  return n;
 }
 
 }  // namespace vcq::tectorwise

@@ -110,6 +110,15 @@ class HashGroup : public Operator {
     return o.slot.get();
   }
 
+  /// Partition-emission compaction (ROADMAP follow-on to PR 1): when
+  /// enabled, Next() packs groups from consecutive owned partitions into
+  /// full dense output vectors instead of emitting whatever sub-vector
+  /// remnants the merge produced, so downstream operators (e.g. Q18's
+  /// having-Select) see dense input. Off by default to keep hand-wired
+  /// pipelines byte-for-byte identical; the plan builder enables it
+  /// whenever the compaction policy is not kNever.
+  void SetDenseOutput(bool on) { dense_output_ = on; }
+
   size_t Next() override;
 
  private:
@@ -163,6 +172,7 @@ class HashGroup : public Operator {
   LocalBatchStats stats_;
 
   bool consumed_ = false;
+  bool dense_output_ = false;  // partition-emission compaction
   size_t emit_partition_ = 0;  // owned-partition cursor (worker-strided)
   size_t emit_index_ = 0;
 
@@ -174,6 +184,7 @@ class HashGroup : public Operator {
   VecBuffer cand_k_;
   VecBuffer cand_pos_;
   VecBuffer match_;
+  VecBuffer emit_entries_;  // cross-partition gather list (dense output)
 };
 
 }  // namespace vcq::tectorwise

@@ -1,0 +1,482 @@
+#include "tectorwise/plan.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "runtime/worker_pool.h"
+
+namespace vcq::tectorwise {
+
+ExecContext MakeContext(const runtime::QueryOptions& opt) {
+  ExecContext ctx;
+  ctx.vector_size = opt.vector_size;
+  ctx.use_simd = opt.simd;
+  ctx.compaction = ToPolicy(opt.compaction);
+  ctx.compaction_threshold = opt.compaction_threshold;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// PlanNode declaration helpers
+// ---------------------------------------------------------------------------
+
+ColumnRef PlanNode::Define(std::string name, size_t elem_size,
+                           plan_internal::CompactRegistrar registrar) {
+  VCQ_CHECK_MSG(builder_ != nullptr,
+                "plan node declared after Build() consumed its builder");
+  return builder_->AddColumn(plan_internal::ColumnInfo{
+      std::move(name), index_, elem_size, std::move(registrar)});
+}
+
+void PlanNode::Consume(ColumnRef ref) {
+  VCQ_CHECK_MSG(builder_ != nullptr,
+                "plan node declared after Build() consumed its builder");
+  VCQ_CHECK_MSG(ref.valid(), "consumed column ref is not initialized");
+  consumed_.push_back(ref.id);
+}
+
+std::string PlanNode::ColName(ColumnRef ref) const {
+  VCQ_CHECK_MSG(builder_ != nullptr,
+                "plan node declared after Build() consumed its builder");
+  VCQ_CHECK_MSG(ref.valid(), "column ref is not initialized");
+  return builder_->columns_[ref.id].name;
+}
+
+// ---------------------------------------------------------------------------
+// Node instantiation
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<void> ScanNode::MakeShared(
+    const runtime::QueryOptions& opt) const {
+  return std::make_shared<Scan::Shared>(relation_->tuple_count(),
+                                        opt.morsel_grain);
+}
+
+std::unique_ptr<Operator> ScanNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto* shared = static_cast<Scan::Shared*>((*ws.shared)[index_].get());
+  auto scan = std::make_unique<Scan>(shared, relation_, ws.ctx.vector_size);
+  for (const auto& add : cols_) add(*scan, ws);
+  return scan;
+}
+
+std::unique_ptr<Operator> SelectNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto select =
+      std::make_unique<Select>(InstantiateNode(*children_[0], ws), ws.ctx);
+  for (const auto& make : steps_) select->AddStep(make(ws.ctx, ws));
+  // The derived compaction registrations: every column produced at or
+  // below this Select and consumed above it.
+  for (const uint32_t id : compact_) {
+    (*ws.columns)[id].compact(ws.ctx, select->compactor(), ws.slots[id]);
+  }
+  return select;
+}
+
+std::unique_ptr<Operator> MapNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto map = std::make_unique<::vcq::tectorwise::Map>(
+      InstantiateNode(*children_[0], ws), ws.ctx.vector_size);
+  for (const auto& add : steps_) add(*map, ws);
+  return map;
+}
+
+std::shared_ptr<void> JoinNode::MakeShared(
+    const runtime::QueryOptions& opt) const {
+  return std::make_shared<HashJoin::Shared>(opt.threads);
+}
+
+std::unique_ptr<Operator> JoinNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto build = InstantiateNode(*children_[0], ws);
+  auto probe = InstantiateNode(*children_[1], ws);
+  auto* shared = static_cast<HashJoin::Shared*>((*ws.shared)[index_].get());
+  auto join = std::make_unique<HashJoin>(shared, std::move(build),
+                                         std::move(probe), ws.ctx);
+  FieldMap fields;
+  for (const auto& configure : config_)
+    configure(ws.ctx, *join, ws, fields);
+  return join;
+}
+
+std::shared_ptr<void> GroupNode::MakeShared(
+    const runtime::QueryOptions& opt) const {
+  return std::make_shared<HashGroup::Shared>(opt.threads);
+}
+
+std::unique_ptr<Operator> GroupNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto* shared = static_cast<HashGroup::Shared*>((*ws.shared)[index_].get());
+  auto group = std::make_unique<HashGroup>(shared, ws.worker_id,
+                                           ws.worker_count,
+                                           InstantiateNode(*children_[0], ws),
+                                           ws.ctx);
+  for (const auto& configure : config_) configure(*group, ws);
+  group->SetDenseOutput(dense_output_.value_or(
+      ws.ctx.compaction != CompactionPolicy::kNever));
+  return group;
+}
+
+ColumnRef GroupNode::Sum(ColumnRef col) {
+  Consume(col);
+  const ColumnRef out = Define("sum(" + ColName(col) + ")", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: sum(" + ColName(col) + ")");
+  config_.push_back([col, id = out.id](HashGroup& group,
+                                       plan_internal::Workspace& ws) {
+    const size_t offset = group.AddSumAgg(ws.slots[col.id]);
+    ws.slots[id] = group.AddOutput<int64_t>(offset);
+  });
+  return out;
+}
+
+ColumnRef GroupNode::Count() {
+  const ColumnRef out = Define("count(*)", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: count(*)");
+  config_.push_back(
+      [id = out.id](HashGroup& group, plan_internal::Workspace& ws) {
+        const size_t offset = group.AddCountAgg();
+        ws.slots[id] = group.AddOutput<int64_t>(offset);
+      });
+  return out;
+}
+
+GroupNode& GroupNode::DensePartitionOutput(bool on) {
+  dense_output_ = on;
+  Detail(std::string("dense partition output: ") + (on ? "on" : "off"));
+  return *this;
+}
+
+ColumnRef FixedAggNode::Sum(ColumnRef col, std::string name) {
+  Consume(col);
+  const ColumnRef out = Define(std::move(name), sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: sum(" + ColName(col) + ")");
+  sums_.push_back(AggDecl{col.id, out.id});
+  return out;
+}
+
+std::unique_ptr<Operator> FixedAggNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto agg =
+      std::make_unique<FixedAggregation>(InstantiateNode(*children_[0], ws));
+  for (const AggDecl& decl : sums_)
+    ws.slots[decl.out] = agg->AddSumI64(ws.slots[decl.in]);
+  return agg;
+}
+
+ColumnRef OrderedAggNode::Key(ColumnRef col) {
+  Consume(col);
+  const ColumnRef out = Define(ColName(col), 1,
+                               plan_internal::MakeRegistrar<runtime::Char<1>>());
+  Detail("key: " + ColName(col));
+  keys_.push_back(KeyDecl{col.id, out.id});
+  return out;
+}
+
+ColumnRef OrderedAggNode::Sum(ColumnRef col) {
+  Consume(col);
+  const ColumnRef out = Define("sum(" + ColName(col) + ")", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: sum(" + ColName(col) + ")");
+  aggs_.push_back(AggDecl{col, out.id});
+  return out;
+}
+
+ColumnRef OrderedAggNode::Count() {
+  const ColumnRef out = Define("count(*)", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: count(*)");
+  aggs_.push_back(AggDecl{ColumnRef{}, out.id});
+  return out;
+}
+
+std::unique_ptr<Operator> OrderedAggNode::Instantiate(
+    plan_internal::Workspace& ws) const {
+  auto agg = std::make_unique<OrderedAggregation>(
+      InstantiateNode(*children_[0], ws), ws.ctx, max_groups_);
+  for (const KeyDecl& key : keys_)
+    ws.slots[key.out] = agg->AddKeyChar1(ws.slots[key.in]);
+  for (const AggDecl& decl : aggs_) {
+    ws.slots[decl.out] = decl.in.valid()
+                             ? agg->AddSumI64(ws.slots[decl.in.id])
+                             : agg->AddCount();
+  }
+  return agg;
+}
+
+// ---------------------------------------------------------------------------
+// PlanBuilder
+// ---------------------------------------------------------------------------
+
+ColumnRef PlanBuilder::AddColumn(plan_internal::ColumnInfo info) {
+  columns_.push_back(std::move(info));
+  return ColumnRef{static_cast<uint32_t>(columns_.size() - 1)};
+}
+
+PlanNode& PlanBuilder::Register(std::unique_ptr<PlanNode> node,
+                                std::initializer_list<PlanNode*> children) {
+  node->index_ = static_cast<uint32_t>(nodes_.size());
+  for (PlanNode* child : children) {
+    VCQ_CHECK_MSG(child->builder_ == this,
+                  "child node belongs to another builder");
+    VCQ_CHECK_MSG(child->parent_ == -1,
+                  "plan node already consumed by another parent");
+    child->parent_ = static_cast<int>(node->index_);
+    node->children_.push_back(child);
+  }
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+ScanNode& PlanBuilder::Scan(const runtime::Relation& relation,
+                            std::string table) {
+  auto node = std::unique_ptr<ScanNode>(
+      new ScanNode(this, &relation, std::move(table)));
+  return static_cast<ScanNode&>(Register(std::move(node), {}));
+}
+
+SelectNode& PlanBuilder::Select(PlanNode& child) {
+  auto node = std::unique_ptr<SelectNode>(new SelectNode(this));
+  return static_cast<SelectNode&>(Register(std::move(node), {&child}));
+}
+
+MapNode& PlanBuilder::Map(PlanNode& child) {
+  auto node = std::unique_ptr<MapNode>(new MapNode(this));
+  return static_cast<MapNode&>(Register(std::move(node), {&child}));
+}
+
+JoinNode& PlanBuilder::HashJoin(PlanNode& build, PlanNode& probe) {
+  auto node = std::unique_ptr<JoinNode>(new JoinNode(this));
+  return static_cast<JoinNode&>(Register(std::move(node), {&build, &probe}));
+}
+
+GroupNode& PlanBuilder::HashGroup(PlanNode& child) {
+  auto node = std::unique_ptr<GroupNode>(new GroupNode(this));
+  return static_cast<GroupNode&>(Register(std::move(node), {&child}));
+}
+
+FixedAggNode& PlanBuilder::FixedAgg(PlanNode& child) {
+  auto node = std::unique_ptr<FixedAggNode>(new FixedAggNode(this));
+  return static_cast<FixedAggNode&>(Register(std::move(node), {&child}));
+}
+
+OrderedAggNode& PlanBuilder::OrderedAgg(PlanNode& child, size_t max_groups) {
+  auto node =
+      std::unique_ptr<OrderedAggNode>(new OrderedAggNode(this, max_groups));
+  return static_cast<OrderedAggNode&>(Register(std::move(node), {&child}));
+}
+
+namespace {
+
+/// True when batches flow through `node` with positions intact (same
+/// underlying column buffers, possibly narrowed by a selection vector).
+bool IsPassThrough(NodeKind kind) {
+  return kind == NodeKind::kSelect || kind == NodeKind::kMap;
+}
+
+}  // namespace
+
+Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result) {
+  VCQ_CHECK_MSG(root.builder_ == this, "root belongs to another builder");
+  VCQ_CHECK_MSG(root.parent_ == -1, "root is consumed by another node");
+
+  // Every declared node must be reachable from the root.
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<const PlanNode*> stack = {&root};
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    reachable[node->index_] = true;
+    for (const PlanNode* child : node->children_) stack.push_back(child);
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    VCQ_CHECK_MSG(reachable[i], "plan node is not reachable from the root");
+  }
+  for (const auto& node : nodes_) {
+    if (node->kind_ == NodeKind::kHashJoin) {
+      VCQ_CHECK_MSG(static_cast<JoinNode*>(node.get())->has_key_,
+                    "hash-join node declares no Key()");
+    }
+  }
+  // Every shipped collector reads root batches densely (Batch::Column()[k]);
+  // a Select/Map root could emit selection vectors and silently misread.
+  // Rematerializing roots always publish dense batches.
+  VCQ_CHECK_MSG(!IsPassThrough(root.kind_) && root.kind_ != NodeKind::kScan,
+                "plan root must be a join/group/aggregation node (dense "
+                "batches); wrap streaming roots in an aggregation");
+
+  // Column visibility: a consumed column must come from the consumer's own
+  // subtree, and every operator strictly between producer and consumer must
+  // preserve batch positions (Select/Map). Reading e.g. a scan column above
+  // a join would silently misalign positions — the builder rejects it.
+  const auto parent = [&](const PlanNode* node) -> const PlanNode* {
+    return node->parent_ >= 0 ? nodes_[node->parent_].get() : nullptr;
+  };
+  const auto check_flow = [&](uint32_t col, const PlanNode* consumer) {
+    // consumer == nullptr denotes the result sink above the root.
+    const PlanNode* producer = nodes_[columns_[col].producer].get();
+    if (producer == consumer) return;
+    for (const PlanNode* node = parent(producer); node != consumer;
+         node = parent(node)) {
+      VCQ_CHECK_MSG(node != nullptr,
+                    "column is not visible to its consumer (crosses the "
+                    "plan root)");
+      VCQ_CHECK_MSG(IsPassThrough(node->kind_),
+                    "column consumed across a rematerializing operator; "
+                    "re-emit it as a join/group output");
+    }
+  };
+  for (const auto& node : nodes_) {
+    for (const uint32_t col : node->consumed_) check_flow(col, node.get());
+  }
+  for (const ColumnRef ref : result) {
+    VCQ_CHECK_MSG(ref.valid(), "result column ref is not initialized");
+    check_flow(ref.id, nullptr);
+  }
+
+  // Derive each Select's compaction registrations from slot usage.
+  for (const auto& node : nodes_) {
+    if (node->kind_ != NodeKind::kSelect) continue;
+    auto* select = static_cast<SelectNode*>(node.get());
+    std::set<uint32_t> needed;
+    for (const PlanNode* a = parent(select); a != nullptr; a = parent(a)) {
+      needed.insert(a->consumed_.begin(), a->consumed_.end());
+    }
+    for (const ColumnRef ref : result) needed.insert(ref.id);
+
+    std::vector<bool> below(nodes_.size(), false);
+    stack = {select};
+    while (!stack.empty()) {
+      const PlanNode* n = stack.back();
+      stack.pop_back();
+      below[n->index_] = true;
+      for (const PlanNode* child : n->children_) stack.push_back(child);
+    }
+    select->compact_.clear();
+    for (const uint32_t id : needed) {
+      if (below[columns_[id].producer]) select->compact_.push_back(id);
+    }
+  }
+
+  Plan plan;
+  plan.name_ = std::move(name_);
+  plan.nodes_ = std::move(nodes_);
+  plan.columns_ = std::move(columns_);
+  plan.root_ = root.index_;
+  plan.result_.reserve(result.size());
+  for (const ColumnRef ref : result) plan.result_.push_back(ref.id);
+  // The builder is consumed; declaration calls on retained node references
+  // must fail cleanly instead of dereferencing a dead builder.
+  for (const auto& node : plan.nodes_) node->builder_ = nullptr;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+void Plan::Run(const runtime::QueryOptions& opt,
+               const Collector& collect) const {
+  const ExecContext ctx = MakeContext(opt);
+  std::vector<std::shared_ptr<void>> shared(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    shared[i] = nodes_[i]->MakeShared(opt);
+  }
+
+  std::vector<bool> is_result(columns_.size(), false);
+  for (const uint32_t id : result_) is_result[id] = true;
+
+  std::mutex mu;
+  // Trees stay alive until every worker has finished: probe pipelines read
+  // hash-table entries owned by other workers' operators.
+  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
+  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    plan_internal::Workspace ws{ctx,      wid,     opt.threads, &columns_,
+                                &shared,  {}};
+    ws.slots.resize(columns_.size(), nullptr);
+    auto root = nodes_[root_]->Instantiate(ws);
+    size_t n;
+    while ((n = root->Next()) != kEndOfStream) {
+      if (n == 0) continue;
+      const Batch batch(&ws.slots, &is_result, n, root->sel());
+      std::lock_guard<std::mutex> lock(mu);
+      collect(batch);
+    }
+    roots[wid] = std::move(root);
+  });
+  roots.clear();
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+std::vector<Plan::NodeInfo> Plan::Describe() const {
+  std::vector<NodeInfo> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    NodeInfo info;
+    info.kind = node->kind_;
+    info.label = node->label_;
+    for (const PlanNode* child : node->children_)
+      info.children.push_back(child->index_);
+    info.details = node->details_;
+    std::set<uint32_t> seen;
+    for (const uint32_t id : node->consumed_) {
+      if (seen.insert(id).second) info.consumes.push_back(columns_[id].name);
+    }
+    if (node->kind_ == NodeKind::kSelect) {
+      const auto* select = static_cast<const SelectNode*>(node.get());
+      for (const uint32_t id : select->compaction_columns())
+        info.compacts.push_back(columns_[id].name);
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string Plan::ToString() const {
+  const auto join_names = [](const std::vector<std::string>& names) {
+    std::string out;
+    for (const std::string& name : names) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+    return out;
+  };
+
+  std::string out = "plan " + name_ + " (tectorwise)\n";
+  const std::vector<NodeInfo> infos = Describe();
+  for (size_t i = 0; i < infos.size(); ++i) {
+    const NodeInfo& info = infos[i];
+    out += "  #" + std::to_string(i) + " " + info.label;
+    if (info.kind == NodeKind::kHashJoin) {
+      out += " build=#" + std::to_string(info.children[0]) + " probe=#" +
+             std::to_string(info.children[1]);
+    } else if (!info.children.empty()) {
+      out += " <- #" + std::to_string(info.children[0]);
+    }
+    out += "\n";
+    for (const std::string& detail : info.details) {
+      out += "       " + detail + "\n";
+    }
+    if (!info.consumes.empty()) {
+      out += "       consumes: " + join_names(info.consumes) + "\n";
+    }
+    if (info.kind == NodeKind::kSelect) {
+      out += "       compacts: " +
+             (info.compacts.empty() ? std::string("(none)")
+                                    : join_names(info.compacts)) +
+             "\n";
+    }
+  }
+  std::vector<std::string> result_names;
+  for (const uint32_t id : result_) result_names.push_back(columns_[id].name);
+  out += "  result: " + join_names(result_names) + "\n";
+  return out;
+}
+
+}  // namespace vcq::tectorwise

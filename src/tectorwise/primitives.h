@@ -197,6 +197,35 @@ void MapDivConst(size_t n, const pos_t* sel, const T* a, T konst, T* out) {
   }
 }
 
+/// out[p] = a[p] * (konst - b[p])   (e.g. extendedprice * (1.00 - discount));
+/// fuses the RSubConst+Mul pair so the intermediate is never materialized.
+template <typename T>
+void MapMulRSubConst(size_t n, const pos_t* sel, const T* a, T konst,
+                     const T* b, T* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = a[p] * (konst - b[p]);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = a[p] * (konst - b[p]);
+    }
+  }
+}
+
+/// out[p] = a[p] * (konst + b[p])   (e.g. disc_price * (1.00 + tax)).
+template <typename T>
+void MapMulAddConst(size_t n, const pos_t* sel, const T* a, T konst,
+                    const T* b, T* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = a[p] * (konst + b[p]);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = a[p] * (konst + b[p]);
+    }
+  }
+}
+
 /// out[p] = calendar year of day-number a[p] (extract(year from date)).
 void MapYear(size_t n, const pos_t* sel, const int32_t* a, int32_t* out);
 

@@ -1,16 +1,21 @@
 #ifndef VCQ_TECTORWISE_QUERIES_H_
 #define VCQ_TECTORWISE_QUERIES_H_
 
+#include <string_view>
+
 #include "runtime/options.h"
 #include "runtime/query_result.h"
 #include "runtime/relation.h"
 
 // Tectorwise implementations of the studied workload (paper §3.3): the
 // representative TPC-H subset Q1/Q6/Q3/Q9/Q18 and SSB Q1.1/Q2.1/Q3.1/Q4.1.
-// Plans are hand-wired from the generic operators, mirroring how the
-// paper's test system configures its vectorized engine.
+// Each query is a declarative PlanBuilder description (see plan.h) plus a
+// small collector; compaction-column registration is derived from slot
+// usage by the builder.
 
 namespace vcq::tectorwise {
+
+class Plan;
 
 runtime::QueryResult RunQ1(const runtime::Database& db,
                            const runtime::QueryOptions& opt);
@@ -31,6 +36,17 @@ runtime::QueryResult RunSsbQ31(const runtime::Database& db,
                                const runtime::QueryOptions& opt);
 runtime::QueryResult RunSsbQ41(const runtime::Database& db,
                                const runtime::QueryOptions& opt);
+
+/// Builds (without running) the declarative plan for the named query —
+/// "Q1", "Q1-adaptive", "Q6", "Q3", "Q9", "Q18", "SSB-Q1.1", "SSB-Q2.1",
+/// "SSB-Q3.1", "SSB-Q4.1" — for EXPLAIN dumps and compaction-registration
+/// introspection. The database must hold the matching schema. Check-fails
+/// on unknown names.
+Plan PlanFor(const runtime::Database& db, std::string_view query_name);
+
+namespace detail {
+Plan SsbPlanFor(const runtime::Database& db, std::string_view query_name);
+}
 
 }  // namespace vcq::tectorwise
 

@@ -1,17 +1,17 @@
 #include <algorithm>
-#include <mutex>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "runtime/types.h"
-#include "runtime/worker_pool.h"
-#include "tectorwise/hash_group.h"
-#include "tectorwise/hash_join.h"
+#include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
-#include "tectorwise/steps.h"
 
 // Star Schema Benchmark plans for the Tectorwise engine (paper §4.4):
 // lineorder probes filtered dimension hash tables — the workload that made
-// the SSB results "quite similar to TPC-H Q3 and Q9".
+// the SSB results "quite similar to TPC-H Q3 and Q9". Described with the
+// PlanBuilder (plan.h); compaction registrations are derived from slot
+// usage.
 
 namespace vcq::tectorwise {
 
@@ -19,85 +19,59 @@ using runtime::Char;
 using runtime::Database;
 using runtime::QueryOptions;
 using runtime::QueryResult;
-using runtime::Relation;
 using runtime::ResultBuilder;
-
-namespace {
-
-ExecContext MakeContext(const QueryOptions& opt) {
-  ExecContext ctx;
-  ctx.vector_size = opt.vector_size;
-  ctx.use_simd = opt.simd;
-  ctx.compaction = ToPolicy(opt.compaction);
-  ctx.compaction_threshold = opt.compaction_threshold;
-  return ctx;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Q1.1: date join + tight selections, single aggregate
 // ---------------------------------------------------------------------------
+
+namespace {
+
+struct SsbQ11Plan {
+  Plan plan;
+  ColumnRef revenue;
+};
+
+SsbQ11Plan MakeSsbQ11(const Database& db) {
+  PlanBuilder pb("SSB-Q1.1");
+
+  auto& dscan = pb.Scan(db["date"], "date");
+  const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
+  const ColumnRef d_year = dscan.Col<int32_t>("d_year");
+  auto& dsel = pb.Select(dscan);
+  dsel.Cmp<int32_t>(d_year, CmpOp::kEq, 1993);
+
+  auto& loscan = pb.Scan(db["lineorder"], "lineorder");
+  const ColumnRef lo_orderdate = loscan.Col<int32_t>("lo_orderdate");
+  const ColumnRef lo_discount = loscan.Col<int64_t>("lo_discount");
+  const ColumnRef lo_quantity = loscan.Col<int64_t>("lo_quantity");
+  const ColumnRef lo_extprice = loscan.Col<int64_t>("lo_extendedprice");
+  auto& losel = pb.Select(loscan);
+  losel.Between<int64_t>(lo_discount, 1, 3);
+  losel.Cmp<int64_t>(lo_quantity, CmpOp::kLess, 25);
+
+  auto& hj = pb.HashJoin(dsel, losel);
+  hj.Key<int32_t>(lo_orderdate, d_datekey);
+  const ColumnRef j_extprice = hj.Probe<int64_t>(lo_extprice);
+  const ColumnRef j_discount = hj.Probe<int64_t>(lo_discount);
+
+  auto& map = pb.Map(hj);
+  const ColumnRef revenue =
+      map.Mul<int64_t>(j_extprice, j_discount, "revenue");  // scale 4
+
+  auto& agg = pb.FixedAgg(map);
+  const ColumnRef total = agg.Sum(revenue, "revenue");
+  return SsbQ11Plan{pb.Build(agg, {total}), total};
+}
+
+}  // namespace
+
 QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const ExecContext ctx = MakeContext(opt);
-
-  Scan::Shared scan_lo(lineorder.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_d(date.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_date(opt.threads);
-
+  const SsbQ11Plan q = MakeSsbQ11(db);
   int64_t total = 0;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    (void)wid;
-    auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
-    Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
-    Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-    auto dsel = std::make_unique<Select>(std::move(dscan), ctx);
-    dsel->AddStep(MakeSelCmp<int32_t>(ctx, d_year, CmpOp::kEq, 1993));
-    CompactColumn<int32_t>(ctx, dsel->compactor(), d_datekey);
-
-    auto loscan =
-        std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
-    Slot* lo_orderdate = loscan->AddColumn<int32_t>("lo_orderdate");
-    Slot* lo_discount = loscan->AddColumn<int64_t>("lo_discount");
-    Slot* lo_quantity = loscan->AddColumn<int64_t>("lo_quantity");
-    Slot* lo_extprice = loscan->AddColumn<int64_t>("lo_extendedprice");
-    auto losel = std::make_unique<Select>(std::move(loscan), ctx);
-    losel->AddStep(MakeSelBetween<int64_t>(ctx, lo_discount, 1, 3));
-    losel->AddStep(MakeSelCmp<int64_t>(ctx, lo_quantity, CmpOp::kLess, 25));
-    CompactColumn<int32_t>(ctx, losel->compactor(), lo_orderdate);
-    CompactColumn<int64_t>(ctx, losel->compactor(), lo_discount);
-    CompactColumn<int64_t>(ctx, losel->compactor(), lo_extprice);
-
-    auto hj = std::make_unique<HashJoin>(&join_date, std::move(dsel),
-                                         std::move(losel), ctx);
-    const size_t f_datekey = hj->AddBuildField<int32_t>(d_datekey);
-    hj->SetBuildHash(MakeHash<int32_t>(ctx, d_datekey));
-    hj->SetProbeHash(MakeHash<int32_t>(ctx, lo_orderdate));
-    hj->AddKeyCompare<int32_t>(lo_orderdate, f_datekey);
-    Slot* j_extprice = hj->AddProbeOutput<int64_t>(lo_extprice);
-    Slot* j_discount = hj->AddProbeOutput<int64_t>(lo_discount);
-
-    auto map = std::make_unique<Map>(std::move(hj), ctx.vector_size);
-    Slot* revenue = map->AddOutput<int64_t>();  // scale 4
-    map->AddStep(MakeMapMul<int64_t>(j_extprice, j_discount,
-                                     map->OutputData<int64_t>(revenue)));
-
-    auto agg = std::make_unique<FixedAggregation>(std::move(map));
-    Slot* sum = agg->AddSumI64(revenue);
-    size_t n;
-    while ((n = agg->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      total += *Get<int64_t>(sum);
-    }
-    roots[wid] = std::move(agg);
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    total += b.Column<int64_t>(q.revenue)[0];
   });
-  roots.clear();
-
   ResultBuilder rb({"revenue"});
   rb.BeginRow().Numeric(total, 4);
   return rb.Finish();
@@ -106,114 +80,85 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q2.1: part + supplier + date joins, group by (year, brand)
 // ---------------------------------------------------------------------------
+
+namespace {
+
+struct SsbQ21Plan {
+  Plan plan;
+  ColumnRef year, brand, revenue;
+};
+
+SsbQ21Plan MakeSsbQ21(const Database& db) {
+  PlanBuilder pb("SSB-Q2.1");
+
+  auto& pscan = pb.Scan(db["part"], "part");
+  const ColumnRef p_partkey = pscan.Col<int32_t>("p_partkey");
+  const ColumnRef p_category = pscan.Col<Char<7>>("p_category");
+  const ColumnRef p_brand1 = pscan.Col<Char<9>>("p_brand1");
+  auto& psel = pb.Select(pscan);
+  psel.Cmp<Char<7>>(p_category, CmpOp::kEq, Char<7>::From("MFGR#12"));
+
+  auto& sscan = pb.Scan(db["supplier"], "supplier");
+  const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
+  const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
+  auto& ssel = pb.Select(sscan);
+  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, Char<12>::From("AMERICA"));
+
+  auto& dscan = pb.Scan(db["date"], "date");
+  const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
+  const ColumnRef d_year = dscan.Col<int32_t>("d_year");
+
+  auto& loscan = pb.Scan(db["lineorder"], "lineorder");
+  const ColumnRef lo_partkey = loscan.Col<int32_t>("lo_partkey");
+  const ColumnRef lo_suppkey = loscan.Col<int32_t>("lo_suppkey");
+  const ColumnRef lo_orderdate = loscan.Col<int32_t>("lo_orderdate");
+  const ColumnRef lo_revenue = loscan.Col<int64_t>("lo_revenue");
+
+  auto& hj_p = pb.HashJoin(psel, loscan);
+  hj_p.Key<int32_t>(lo_partkey, p_partkey);
+  const ColumnRef jp_brand = hj_p.Build<Char<9>>(p_brand1);
+  const ColumnRef jp_suppkey = hj_p.Probe<int32_t>(lo_suppkey);
+  const ColumnRef jp_orderdate = hj_p.Probe<int32_t>(lo_orderdate);
+  const ColumnRef jp_revenue = hj_p.Probe<int64_t>(lo_revenue);
+
+  auto& hj_s = pb.HashJoin(ssel, hj_p);
+  hj_s.Key<int32_t>(jp_suppkey, s_suppkey);
+  const ColumnRef js_brand = hj_s.Probe<Char<9>>(jp_brand);
+  const ColumnRef js_orderdate = hj_s.Probe<int32_t>(jp_orderdate);
+  const ColumnRef js_revenue = hj_s.Probe<int64_t>(jp_revenue);
+
+  auto& hj_d = pb.HashJoin(dscan, hj_s);
+  hj_d.Key<int32_t>(js_orderdate, d_datekey);
+  const ColumnRef jd_year = hj_d.Build<int32_t>(d_year);
+  const ColumnRef jd_brand = hj_d.Probe<Char<9>>(js_brand);
+  const ColumnRef jd_revenue = hj_d.Probe<int64_t>(js_revenue);
+
+  auto& group = pb.HashGroup(hj_d);
+  const ColumnRef g_year = group.Key<int32_t>(jd_year);
+  const ColumnRef g_brand = group.Key<Char<9>>(jd_brand);
+  const ColumnRef g_rev = group.Sum(jd_revenue);
+
+  Plan plan = pb.Build(group, {g_year, g_brand, g_rev});
+  return SsbQ21Plan{std::move(plan), g_year, g_brand, g_rev};
+}
+
+}  // namespace
+
 QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& part = db["part"];
-  const Relation& supplier = db["supplier"];
-  const ExecContext ctx = MakeContext(opt);
-
-  Scan::Shared scan_lo(lineorder.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_d(date.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_p(part.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_s(supplier.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_part(opt.threads);
-  HashJoin::Shared join_supp(opt.threads);
-  HashJoin::Shared join_date(opt.threads);
-  HashGroup::Shared group_shared(opt.threads);
-
+  const SsbQ21Plan q = MakeSsbQ21(db);
   struct Row {
     int32_t year;
     Char<9> brand;
     int64_t revenue;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    auto pscan = std::make_unique<Scan>(&scan_p, &part, ctx.vector_size);
-    Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
-    Slot* p_category = pscan->AddColumn<Char<7>>("p_category");
-    Slot* p_brand1 = pscan->AddColumn<Char<9>>("p_brand1");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
-    psel->AddStep(MakeSelCmp<Char<7>>(ctx, p_category, CmpOp::kEq,
-                                      Char<7>::From("MFGR#12")));
-    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
-    CompactColumn<Char<9>>(ctx, psel->compactor(), p_brand1);
-
-    auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
-    Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
-    Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
-    ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq,
-                                       Char<12>::From("AMERICA")));
-    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
-
-    auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
-    Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
-    Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-
-    auto loscan =
-        std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
-    Slot* lo_partkey = loscan->AddColumn<int32_t>("lo_partkey");
-    Slot* lo_suppkey = loscan->AddColumn<int32_t>("lo_suppkey");
-    Slot* lo_orderdate = loscan->AddColumn<int32_t>("lo_orderdate");
-    Slot* lo_revenue = loscan->AddColumn<int64_t>("lo_revenue");
-
-    auto hj_p = std::make_unique<HashJoin>(&join_part, std::move(psel),
-                                           std::move(loscan), ctx);
-    const size_t f_partkey = hj_p->AddBuildField<int32_t>(p_partkey);
-    const size_t f_brand = hj_p->AddBuildField<Char<9>>(p_brand1);
-    hj_p->SetBuildHash(MakeHash<int32_t>(ctx, p_partkey));
-    hj_p->SetProbeHash(MakeHash<int32_t>(ctx, lo_partkey));
-    hj_p->AddKeyCompare<int32_t>(lo_partkey, f_partkey);
-    Slot* jp_brand = hj_p->AddBuildOutput<Char<9>>(f_brand);
-    Slot* jp_suppkey = hj_p->AddProbeOutput<int32_t>(lo_suppkey);
-    Slot* jp_orderdate = hj_p->AddProbeOutput<int32_t>(lo_orderdate);
-    Slot* jp_revenue = hj_p->AddProbeOutput<int64_t>(lo_revenue);
-
-    auto hj_s = std::make_unique<HashJoin>(&join_supp, std::move(ssel),
-                                           std::move(hj_p), ctx);
-    const size_t f_suppkey = hj_s->AddBuildField<int32_t>(s_suppkey);
-    hj_s->SetBuildHash(MakeHash<int32_t>(ctx, s_suppkey));
-    hj_s->SetProbeHash(MakeHash<int32_t>(ctx, jp_suppkey));
-    hj_s->AddKeyCompare<int32_t>(jp_suppkey, f_suppkey);
-    Slot* js_brand = hj_s->AddProbeOutput<Char<9>>(jp_brand);
-    Slot* js_orderdate = hj_s->AddProbeOutput<int32_t>(jp_orderdate);
-    Slot* js_revenue = hj_s->AddProbeOutput<int64_t>(jp_revenue);
-
-    auto hj_d = std::make_unique<HashJoin>(&join_date, std::move(dscan),
-                                           std::move(hj_s), ctx);
-    const size_t f_datekey = hj_d->AddBuildField<int32_t>(d_datekey);
-    const size_t f_year = hj_d->AddBuildField<int32_t>(d_year);
-    hj_d->SetBuildHash(MakeHash<int32_t>(ctx, d_datekey));
-    hj_d->SetProbeHash(MakeHash<int32_t>(ctx, js_orderdate));
-    hj_d->AddKeyCompare<int32_t>(js_orderdate, f_datekey);
-    Slot* jd_year = hj_d->AddBuildOutput<int32_t>(f_year);
-    Slot* jd_brand = hj_d->AddProbeOutput<Char<9>>(js_brand);
-    Slot* jd_revenue = hj_d->AddProbeOutput<int64_t>(js_revenue);
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(hj_d), ctx);
-    const size_t k_year = group->AddKey<int32_t>(jd_year);
-    const size_t k_brand = group->AddKey<Char<9>>(jd_brand);
-    const size_t a_rev = group->AddSumAgg(jd_revenue);
-    Slot* g_year = group->AddOutput<int32_t>(k_year);
-    Slot* g_brand = group->AddOutput<Char<9>>(k_brand);
-    Slot* g_rev = group->AddOutput<int64_t>(a_rev);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<int32_t>(g_year)[k], Get<Char<9>>(g_brand)[k],
-                           Get<int64_t>(g_rev)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<int32_t>(q.year)[k],
+                         b.Column<Char<9>>(q.brand)[k],
+                         b.Column<int64_t>(q.revenue)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.year != b.year) return a.year < b.year;
@@ -228,125 +173,93 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q3.1: customer + supplier + date joins, group by (c_nation, s_nation, year)
 // ---------------------------------------------------------------------------
-QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& customer = db["customer"];
-  const Relation& supplier = db["supplier"];
-  const ExecContext ctx = MakeContext(opt);
+
+namespace {
+
+struct SsbQ31Plan {
+  Plan plan;
+  ColumnRef c_nation, s_nation, year, revenue;
+};
+
+SsbQ31Plan MakeSsbQ31(const Database& db) {
+  PlanBuilder pb("SSB-Q3.1");
   const Char<12> asia = Char<12>::From("ASIA");
 
-  Scan::Shared scan_lo(lineorder.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_d(date.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_c(customer.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_s(supplier.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_cust(opt.threads);
-  HashJoin::Shared join_supp(opt.threads);
-  HashJoin::Shared join_date(opt.threads);
-  HashGroup::Shared group_shared(opt.threads);
+  auto& cscan = pb.Scan(db["customer"], "customer");
+  const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
+  const ColumnRef c_nation = cscan.Col<Char<15>>("c_nation");
+  const ColumnRef c_region = cscan.Col<Char<12>>("c_region");
+  auto& csel = pb.Select(cscan);
+  csel.Cmp<Char<12>>(c_region, CmpOp::kEq, asia);
 
+  auto& sscan = pb.Scan(db["supplier"], "supplier");
+  const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
+  const ColumnRef s_nation = sscan.Col<Char<15>>("s_nation");
+  const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
+  auto& ssel = pb.Select(sscan);
+  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, asia);
+
+  auto& dscan = pb.Scan(db["date"], "date");
+  const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
+  const ColumnRef d_year = dscan.Col<int32_t>("d_year");
+  auto& dsel = pb.Select(dscan);
+  dsel.Between<int32_t>(d_year, 1992, 1997);
+
+  auto& loscan = pb.Scan(db["lineorder"], "lineorder");
+  const ColumnRef lo_custkey = loscan.Col<int32_t>("lo_custkey");
+  const ColumnRef lo_suppkey = loscan.Col<int32_t>("lo_suppkey");
+  const ColumnRef lo_orderdate = loscan.Col<int32_t>("lo_orderdate");
+  const ColumnRef lo_revenue = loscan.Col<int64_t>("lo_revenue");
+
+  auto& hj_c = pb.HashJoin(csel, loscan);
+  hj_c.Key<int32_t>(lo_custkey, c_custkey);
+  const ColumnRef jc_cnation = hj_c.Build<Char<15>>(c_nation);
+  const ColumnRef jc_suppkey = hj_c.Probe<int32_t>(lo_suppkey);
+  const ColumnRef jc_orderdate = hj_c.Probe<int32_t>(lo_orderdate);
+  const ColumnRef jc_revenue = hj_c.Probe<int64_t>(lo_revenue);
+
+  auto& hj_s = pb.HashJoin(ssel, hj_c);
+  hj_s.Key<int32_t>(jc_suppkey, s_suppkey);
+  const ColumnRef js_snation = hj_s.Build<Char<15>>(s_nation);
+  const ColumnRef js_cnation = hj_s.Probe<Char<15>>(jc_cnation);
+  const ColumnRef js_orderdate = hj_s.Probe<int32_t>(jc_orderdate);
+  const ColumnRef js_revenue = hj_s.Probe<int64_t>(jc_revenue);
+
+  auto& hj_d = pb.HashJoin(dsel, hj_s);
+  hj_d.Key<int32_t>(js_orderdate, d_datekey);
+  const ColumnRef jd_year = hj_d.Build<int32_t>(d_year);
+  const ColumnRef jd_cnation = hj_d.Probe<Char<15>>(js_cnation);
+  const ColumnRef jd_snation = hj_d.Probe<Char<15>>(js_snation);
+  const ColumnRef jd_revenue = hj_d.Probe<int64_t>(js_revenue);
+
+  auto& group = pb.HashGroup(hj_d);
+  const ColumnRef g_cnation = group.Key<Char<15>>(jd_cnation);
+  const ColumnRef g_snation = group.Key<Char<15>>(jd_snation);
+  const ColumnRef g_year = group.Key<int32_t>(jd_year);
+  const ColumnRef g_rev = group.Sum(jd_revenue);
+
+  Plan plan = pb.Build(group, {g_cnation, g_snation, g_year, g_rev});
+  return SsbQ31Plan{std::move(plan), g_cnation, g_snation, g_year, g_rev};
+}
+
+}  // namespace
+
+QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
+  const SsbQ31Plan q = MakeSsbQ31(db);
   struct Row {
     Char<15> c_nation, s_nation;
     int32_t year;
     int64_t revenue;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    auto cscan = std::make_unique<Scan>(&scan_c, &customer, ctx.vector_size);
-    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
-    Slot* c_nation = cscan->AddColumn<Char<15>>("c_nation");
-    Slot* c_region = cscan->AddColumn<Char<12>>("c_region");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
-    csel->AddStep(MakeSelCmp<Char<12>>(ctx, c_region, CmpOp::kEq, asia));
-    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
-    CompactColumn<Char<15>>(ctx, csel->compactor(), c_nation);
-
-    auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
-    Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
-    Slot* s_nation = sscan->AddColumn<Char<15>>("s_nation");
-    Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
-    ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq, asia));
-    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
-    CompactColumn<Char<15>>(ctx, ssel->compactor(), s_nation);
-
-    auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
-    Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
-    Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-    auto dsel = std::make_unique<Select>(std::move(dscan), ctx);
-    dsel->AddStep(MakeSelBetween<int32_t>(ctx, d_year, 1992, 1997));
-    CompactColumn<int32_t>(ctx, dsel->compactor(), d_datekey);
-    CompactColumn<int32_t>(ctx, dsel->compactor(), d_year);
-
-    auto loscan =
-        std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
-    Slot* lo_custkey = loscan->AddColumn<int32_t>("lo_custkey");
-    Slot* lo_suppkey = loscan->AddColumn<int32_t>("lo_suppkey");
-    Slot* lo_orderdate = loscan->AddColumn<int32_t>("lo_orderdate");
-    Slot* lo_revenue = loscan->AddColumn<int64_t>("lo_revenue");
-
-    auto hj_c = std::make_unique<HashJoin>(&join_cust, std::move(csel),
-                                           std::move(loscan), ctx);
-    const size_t f_custkey = hj_c->AddBuildField<int32_t>(c_custkey);
-    const size_t f_cnation = hj_c->AddBuildField<Char<15>>(c_nation);
-    hj_c->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
-    hj_c->SetProbeHash(MakeHash<int32_t>(ctx, lo_custkey));
-    hj_c->AddKeyCompare<int32_t>(lo_custkey, f_custkey);
-    Slot* jc_cnation = hj_c->AddBuildOutput<Char<15>>(f_cnation);
-    Slot* jc_suppkey = hj_c->AddProbeOutput<int32_t>(lo_suppkey);
-    Slot* jc_orderdate = hj_c->AddProbeOutput<int32_t>(lo_orderdate);
-    Slot* jc_revenue = hj_c->AddProbeOutput<int64_t>(lo_revenue);
-
-    auto hj_s = std::make_unique<HashJoin>(&join_supp, std::move(ssel),
-                                           std::move(hj_c), ctx);
-    const size_t f_suppkey = hj_s->AddBuildField<int32_t>(s_suppkey);
-    const size_t f_snation = hj_s->AddBuildField<Char<15>>(s_nation);
-    hj_s->SetBuildHash(MakeHash<int32_t>(ctx, s_suppkey));
-    hj_s->SetProbeHash(MakeHash<int32_t>(ctx, jc_suppkey));
-    hj_s->AddKeyCompare<int32_t>(jc_suppkey, f_suppkey);
-    Slot* js_snation = hj_s->AddBuildOutput<Char<15>>(f_snation);
-    Slot* js_cnation = hj_s->AddProbeOutput<Char<15>>(jc_cnation);
-    Slot* js_orderdate = hj_s->AddProbeOutput<int32_t>(jc_orderdate);
-    Slot* js_revenue = hj_s->AddProbeOutput<int64_t>(jc_revenue);
-
-    auto hj_d = std::make_unique<HashJoin>(&join_date, std::move(dsel),
-                                           std::move(hj_s), ctx);
-    const size_t f_datekey = hj_d->AddBuildField<int32_t>(d_datekey);
-    const size_t f_year = hj_d->AddBuildField<int32_t>(d_year);
-    hj_d->SetBuildHash(MakeHash<int32_t>(ctx, d_datekey));
-    hj_d->SetProbeHash(MakeHash<int32_t>(ctx, js_orderdate));
-    hj_d->AddKeyCompare<int32_t>(js_orderdate, f_datekey);
-    Slot* jd_year = hj_d->AddBuildOutput<int32_t>(f_year);
-    Slot* jd_cnation = hj_d->AddProbeOutput<Char<15>>(js_cnation);
-    Slot* jd_snation = hj_d->AddProbeOutput<Char<15>>(js_snation);
-    Slot* jd_revenue = hj_d->AddProbeOutput<int64_t>(js_revenue);
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(hj_d), ctx);
-    const size_t k_cnation = group->AddKey<Char<15>>(jd_cnation);
-    const size_t k_snation = group->AddKey<Char<15>>(jd_snation);
-    const size_t k_year = group->AddKey<int32_t>(jd_year);
-    const size_t a_rev = group->AddSumAgg(jd_revenue);
-    Slot* g_cnation = group->AddOutput<Char<15>>(k_cnation);
-    Slot* g_snation = group->AddOutput<Char<15>>(k_snation);
-    Slot* g_year = group->AddOutput<int32_t>(k_year);
-    Slot* g_rev = group->AddOutput<int64_t>(a_rev);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<Char<15>>(g_cnation)[k],
-                           Get<Char<15>>(g_snation)[k],
-                           Get<int32_t>(g_year)[k], Get<int64_t>(g_rev)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<Char<15>>(q.c_nation)[k],
+                         b.Column<Char<15>>(q.s_nation)[k],
+                         b.Column<int32_t>(q.year)[k],
+                         b.Column<int64_t>(q.revenue)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.year != b.year) return a.year < b.year;
@@ -367,148 +280,110 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q4.1: four-dimension join, group by (year, c_nation), profit
 // ---------------------------------------------------------------------------
-QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& customer = db["customer"];
-  const Relation& supplier = db["supplier"];
-  const Relation& part = db["part"];
-  const ExecContext ctx = MakeContext(opt);
+
+namespace {
+
+struct SsbQ41Plan {
+  Plan plan;
+  ColumnRef year, c_nation, profit;
+};
+
+SsbQ41Plan MakeSsbQ41(const Database& db) {
+  PlanBuilder pb("SSB-Q4.1");
   const Char<12> america = Char<12>::From("AMERICA");
 
-  Scan::Shared scan_lo(lineorder.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_d(date.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_c(customer.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_s(supplier.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_p(part.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_cust(opt.threads);
-  HashJoin::Shared join_supp(opt.threads);
-  HashJoin::Shared join_part(opt.threads);
-  HashJoin::Shared join_date(opt.threads);
-  HashGroup::Shared group_shared(opt.threads);
+  auto& cscan = pb.Scan(db["customer"], "customer");
+  const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
+  const ColumnRef c_nation = cscan.Col<Char<15>>("c_nation");
+  const ColumnRef c_region = cscan.Col<Char<12>>("c_region");
+  auto& csel = pb.Select(cscan);
+  csel.Cmp<Char<12>>(c_region, CmpOp::kEq, america);
 
+  auto& sscan = pb.Scan(db["supplier"], "supplier");
+  const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
+  const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
+  auto& ssel = pb.Select(sscan);
+  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, america);
+
+  auto& pscan = pb.Scan(db["part"], "part");
+  const ColumnRef p_partkey = pscan.Col<int32_t>("p_partkey");
+  const ColumnRef p_mfgr = pscan.Col<Char<6>>("p_mfgr");
+  auto& psel = pb.Select(pscan);
+  psel.EqOr2<Char<6>>(p_mfgr, Char<6>::From("MFGR#1"), Char<6>::From("MFGR#2"));
+
+  auto& dscan = pb.Scan(db["date"], "date");
+  const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
+  const ColumnRef d_year = dscan.Col<int32_t>("d_year");
+
+  auto& loscan = pb.Scan(db["lineorder"], "lineorder");
+  const ColumnRef lo_custkey = loscan.Col<int32_t>("lo_custkey");
+  const ColumnRef lo_suppkey = loscan.Col<int32_t>("lo_suppkey");
+  const ColumnRef lo_partkey = loscan.Col<int32_t>("lo_partkey");
+  const ColumnRef lo_orderdate = loscan.Col<int32_t>("lo_orderdate");
+  const ColumnRef lo_revenue = loscan.Col<int64_t>("lo_revenue");
+  const ColumnRef lo_supplycost = loscan.Col<int64_t>("lo_supplycost");
+
+  auto& hj_c = pb.HashJoin(csel, loscan);
+  hj_c.Key<int32_t>(lo_custkey, c_custkey);
+  const ColumnRef jc_cnation = hj_c.Build<Char<15>>(c_nation);
+  const ColumnRef jc_suppkey = hj_c.Probe<int32_t>(lo_suppkey);
+  const ColumnRef jc_partkey = hj_c.Probe<int32_t>(lo_partkey);
+  const ColumnRef jc_orderdate = hj_c.Probe<int32_t>(lo_orderdate);
+  const ColumnRef jc_revenue = hj_c.Probe<int64_t>(lo_revenue);
+  const ColumnRef jc_supplycost = hj_c.Probe<int64_t>(lo_supplycost);
+
+  auto& hj_s = pb.HashJoin(ssel, hj_c);
+  hj_s.Key<int32_t>(jc_suppkey, s_suppkey);
+  const ColumnRef js_cnation = hj_s.Probe<Char<15>>(jc_cnation);
+  const ColumnRef js_partkey = hj_s.Probe<int32_t>(jc_partkey);
+  const ColumnRef js_orderdate = hj_s.Probe<int32_t>(jc_orderdate);
+  const ColumnRef js_revenue = hj_s.Probe<int64_t>(jc_revenue);
+  const ColumnRef js_supplycost = hj_s.Probe<int64_t>(jc_supplycost);
+
+  auto& hj_p = pb.HashJoin(psel, hj_s);
+  hj_p.Key<int32_t>(js_partkey, p_partkey);
+  const ColumnRef jp_cnation = hj_p.Probe<Char<15>>(js_cnation);
+  const ColumnRef jp_orderdate = hj_p.Probe<int32_t>(js_orderdate);
+  const ColumnRef jp_revenue = hj_p.Probe<int64_t>(js_revenue);
+  const ColumnRef jp_supplycost = hj_p.Probe<int64_t>(js_supplycost);
+
+  auto& hj_d = pb.HashJoin(dscan, hj_p);
+  hj_d.Key<int32_t>(jp_orderdate, d_datekey);
+  const ColumnRef jd_year = hj_d.Build<int32_t>(d_year);
+  const ColumnRef jd_cnation = hj_d.Probe<Char<15>>(jp_cnation);
+  const ColumnRef jd_revenue = hj_d.Probe<int64_t>(jp_revenue);
+  const ColumnRef jd_supplycost = hj_d.Probe<int64_t>(jp_supplycost);
+
+  auto& map = pb.Map(hj_d);
+  const ColumnRef profit =
+      map.Sub<int64_t>(jd_revenue, jd_supplycost, "profit");  // scale 2
+
+  auto& group = pb.HashGroup(map);
+  const ColumnRef g_year = group.Key<int32_t>(jd_year);
+  const ColumnRef g_cnation = group.Key<Char<15>>(jd_cnation);
+  const ColumnRef g_profit = group.Sum(profit);
+
+  Plan plan = pb.Build(group, {g_year, g_cnation, g_profit});
+  return SsbQ41Plan{std::move(plan), g_year, g_cnation, g_profit};
+}
+
+}  // namespace
+
+QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
+  const SsbQ41Plan q = MakeSsbQ41(db);
   struct Row {
     int32_t year;
     Char<15> c_nation;
     int64_t profit;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    auto cscan = std::make_unique<Scan>(&scan_c, &customer, ctx.vector_size);
-    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
-    Slot* c_nation = cscan->AddColumn<Char<15>>("c_nation");
-    Slot* c_region = cscan->AddColumn<Char<12>>("c_region");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
-    csel->AddStep(MakeSelCmp<Char<12>>(ctx, c_region, CmpOp::kEq, america));
-    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
-    CompactColumn<Char<15>>(ctx, csel->compactor(), c_nation);
-
-    auto sscan = std::make_unique<Scan>(&scan_s, &supplier, ctx.vector_size);
-    Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
-    Slot* s_region = sscan->AddColumn<Char<12>>("s_region");
-    auto ssel = std::make_unique<Select>(std::move(sscan), ctx);
-    ssel->AddStep(MakeSelCmp<Char<12>>(ctx, s_region, CmpOp::kEq, america));
-    CompactColumn<int32_t>(ctx, ssel->compactor(), s_suppkey);
-
-    auto pscan = std::make_unique<Scan>(&scan_p, &part, ctx.vector_size);
-    Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
-    Slot* p_mfgr = pscan->AddColumn<Char<6>>("p_mfgr");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
-    psel->AddStep(MakeSelEqOr2<Char<6>>(p_mfgr, Char<6>::From("MFGR#1"),
-                                        Char<6>::From("MFGR#2")));
-    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
-
-    auto dscan = std::make_unique<Scan>(&scan_d, &date, ctx.vector_size);
-    Slot* d_datekey = dscan->AddColumn<int32_t>("d_datekey");
-    Slot* d_year = dscan->AddColumn<int32_t>("d_year");
-
-    auto loscan =
-        std::make_unique<Scan>(&scan_lo, &lineorder, ctx.vector_size);
-    Slot* lo_custkey = loscan->AddColumn<int32_t>("lo_custkey");
-    Slot* lo_suppkey = loscan->AddColumn<int32_t>("lo_suppkey");
-    Slot* lo_partkey = loscan->AddColumn<int32_t>("lo_partkey");
-    Slot* lo_orderdate = loscan->AddColumn<int32_t>("lo_orderdate");
-    Slot* lo_revenue = loscan->AddColumn<int64_t>("lo_revenue");
-    Slot* lo_supplycost = loscan->AddColumn<int64_t>("lo_supplycost");
-
-    auto hj_c = std::make_unique<HashJoin>(&join_cust, std::move(csel),
-                                           std::move(loscan), ctx);
-    const size_t f_custkey = hj_c->AddBuildField<int32_t>(c_custkey);
-    const size_t f_cnation = hj_c->AddBuildField<Char<15>>(c_nation);
-    hj_c->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
-    hj_c->SetProbeHash(MakeHash<int32_t>(ctx, lo_custkey));
-    hj_c->AddKeyCompare<int32_t>(lo_custkey, f_custkey);
-    Slot* jc_cnation = hj_c->AddBuildOutput<Char<15>>(f_cnation);
-    Slot* jc_suppkey = hj_c->AddProbeOutput<int32_t>(lo_suppkey);
-    Slot* jc_partkey = hj_c->AddProbeOutput<int32_t>(lo_partkey);
-    Slot* jc_orderdate = hj_c->AddProbeOutput<int32_t>(lo_orderdate);
-    Slot* jc_revenue = hj_c->AddProbeOutput<int64_t>(lo_revenue);
-    Slot* jc_supplycost = hj_c->AddProbeOutput<int64_t>(lo_supplycost);
-
-    auto hj_s = std::make_unique<HashJoin>(&join_supp, std::move(ssel),
-                                           std::move(hj_c), ctx);
-    const size_t f_suppkey = hj_s->AddBuildField<int32_t>(s_suppkey);
-    hj_s->SetBuildHash(MakeHash<int32_t>(ctx, s_suppkey));
-    hj_s->SetProbeHash(MakeHash<int32_t>(ctx, jc_suppkey));
-    hj_s->AddKeyCompare<int32_t>(jc_suppkey, f_suppkey);
-    Slot* js_cnation = hj_s->AddProbeOutput<Char<15>>(jc_cnation);
-    Slot* js_partkey = hj_s->AddProbeOutput<int32_t>(jc_partkey);
-    Slot* js_orderdate = hj_s->AddProbeOutput<int32_t>(jc_orderdate);
-    Slot* js_revenue = hj_s->AddProbeOutput<int64_t>(jc_revenue);
-    Slot* js_supplycost = hj_s->AddProbeOutput<int64_t>(jc_supplycost);
-
-    auto hj_p = std::make_unique<HashJoin>(&join_part, std::move(psel),
-                                           std::move(hj_s), ctx);
-    const size_t f_partkey = hj_p->AddBuildField<int32_t>(p_partkey);
-    hj_p->SetBuildHash(MakeHash<int32_t>(ctx, p_partkey));
-    hj_p->SetProbeHash(MakeHash<int32_t>(ctx, js_partkey));
-    hj_p->AddKeyCompare<int32_t>(js_partkey, f_partkey);
-    Slot* jp_cnation = hj_p->AddProbeOutput<Char<15>>(js_cnation);
-    Slot* jp_orderdate = hj_p->AddProbeOutput<int32_t>(js_orderdate);
-    Slot* jp_revenue = hj_p->AddProbeOutput<int64_t>(js_revenue);
-    Slot* jp_supplycost = hj_p->AddProbeOutput<int64_t>(js_supplycost);
-
-    auto hj_d = std::make_unique<HashJoin>(&join_date, std::move(dscan),
-                                           std::move(hj_p), ctx);
-    const size_t f_datekey = hj_d->AddBuildField<int32_t>(d_datekey);
-    const size_t f_year = hj_d->AddBuildField<int32_t>(d_year);
-    hj_d->SetBuildHash(MakeHash<int32_t>(ctx, d_datekey));
-    hj_d->SetProbeHash(MakeHash<int32_t>(ctx, jp_orderdate));
-    hj_d->AddKeyCompare<int32_t>(jp_orderdate, f_datekey);
-    Slot* jd_year = hj_d->AddBuildOutput<int32_t>(f_year);
-    Slot* jd_cnation = hj_d->AddProbeOutput<Char<15>>(jp_cnation);
-    Slot* jd_revenue = hj_d->AddProbeOutput<int64_t>(jp_revenue);
-    Slot* jd_supplycost = hj_d->AddProbeOutput<int64_t>(jp_supplycost);
-
-    auto map = std::make_unique<Map>(std::move(hj_d), ctx.vector_size);
-    Slot* profit = map->AddOutput<int64_t>();  // scale 2
-    map->AddStep(MakeMapSub<int64_t>(jd_revenue, jd_supplycost,
-                                     map->OutputData<int64_t>(profit)));
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(map), ctx);
-    const size_t k_year = group->AddKey<int32_t>(jd_year);
-    const size_t k_cnation = group->AddKey<Char<15>>(jd_cnation);
-    const size_t a_profit = group->AddSumAgg(profit);
-    Slot* g_year = group->AddOutput<int32_t>(k_year);
-    Slot* g_cnation = group->AddOutput<Char<15>>(k_cnation);
-    Slot* g_profit = group->AddOutput<int64_t>(a_profit);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<int32_t>(g_year)[k],
-                           Get<Char<15>>(g_cnation)[k],
-                           Get<int64_t>(g_profit)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<int32_t>(q.year)[k],
+                         b.Column<Char<15>>(q.c_nation)[k],
+                         b.Column<int64_t>(q.profit)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.year != b.year) return a.year < b.year;
@@ -519,5 +394,22 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
     rb.BeginRow().Int(r.year).Str(r.c_nation.View()).Numeric(r.profit, 2);
   return rb.Finish();
 }
+
+// ---------------------------------------------------------------------------
+// EXPLAIN entry point (SSB half; see queries_tpch.cc for the dispatcher)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+Plan SsbPlanFor(const Database& db, std::string_view query_name) {
+  if (query_name == "SSB-Q1.1") return MakeSsbQ11(db).plan;
+  if (query_name == "SSB-Q2.1") return MakeSsbQ21(db).plan;
+  if (query_name == "SSB-Q3.1") return MakeSsbQ31(db).plan;
+  if (query_name == "SSB-Q4.1") return MakeSsbQ41(db).plan;
+  VCQ_CHECK_MSG(false, "unknown query name for PlanFor");
+  std::abort();  // unreachable: the check above never returns
+}
+
+}  // namespace detail
 
 }  // namespace vcq::tectorwise

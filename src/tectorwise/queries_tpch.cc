@@ -1,19 +1,18 @@
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "runtime/types.h"
-#include "runtime/worker_pool.h"
-#include "tectorwise/hash_group.h"
-#include "tectorwise/hash_join.h"
+#include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
-#include "tectorwise/steps.h"
 
-// TPC-H query plans for the Tectorwise engine. Each worker wires its own
-// operator tree over shared state (morsel queues, hash tables, barriers) and
-// drains the root; collectors merge the per-worker output under a mutex
-// (root cardinalities are tiny for all studied queries).
+// TPC-H query plans for the Tectorwise engine, described declaratively with
+// the PlanBuilder (plan.h): each query is a DAG of nodes plus a small
+// collector; the builder wires the per-worker operator trees, the shared
+// state, and the derived compaction registrations. Collectors merge the
+// tiny root cardinalities under the plan's mutex.
 
 namespace vcq::tectorwise {
 
@@ -22,140 +21,103 @@ using runtime::Database;
 using runtime::DateFromString;
 using runtime::QueryOptions;
 using runtime::QueryResult;
-using runtime::Relation;
 using runtime::ResultBuilder;
 using runtime::Varchar;
 
 namespace {
 
-ExecContext MakeContext(const QueryOptions& opt) {
-  ExecContext ctx;
-  ctx.vector_size = opt.vector_size;
-  ctx.use_simd = opt.simd;
-  ctx.compaction = ToPolicy(opt.compaction);
-  ctx.compaction_threshold = opt.compaction_threshold;
-  return ctx;
+// ---------------------------------------------------------------------------
+// Q1: in-cache aggregation over fixed-point arithmetic (4 groups)
+// ---------------------------------------------------------------------------
+
+struct Q1Plan {
+  Plan plan;
+  ColumnRef rf, ls, qty, base, disc_price, charge, disc, count;
+};
+
+// Shared front of both Q1 variants: filtered lineitem scan plus the
+// fixed-point derived columns.
+struct Q1Front {
+  MapNode* map;
+  ColumnRef rf, ls, qty, extprice, discount, disc_price, charge;
+};
+
+Q1Front MakeQ1Front(PlanBuilder& pb, const Database& db) {
+  auto& scan = pb.Scan(db["lineitem"], "lineitem");
+  const ColumnRef shipdate = scan.Col<int32_t>("l_shipdate");
+  const ColumnRef rf = scan.Col<Char<1>>("l_returnflag");
+  const ColumnRef ls = scan.Col<Char<1>>("l_linestatus");
+  const ColumnRef qty = scan.Col<int64_t>("l_quantity");
+  const ColumnRef extprice = scan.Col<int64_t>("l_extendedprice");
+  const ColumnRef discount = scan.Col<int64_t>("l_discount");
+  const ColumnRef tax = scan.Col<int64_t>("l_tax");
+
+  auto& sel = pb.Select(scan);
+  sel.Cmp<int32_t>(shipdate, CmpOp::kLessEq, DateFromString("1998-09-02"));
+
+  auto& map = pb.Map(sel);
+  // Fused steps: the (1 - discount) / (1 + tax) intermediates are never
+  // materialized.
+  const ColumnRef disc_price = map.MulRSubConst<int64_t>(
+      extprice, 100, discount, "disc_price");  // scale 4
+  const ColumnRef charge =
+      map.MulAddConst<int64_t>(disc_price, 100, tax, "charge");  // scale 6
+
+  return Q1Front{&map, rf, ls, qty, extprice, discount, disc_price, charge};
 }
 
-}  // namespace
+Q1Plan MakeQ1(const Database& db) {
+  PlanBuilder pb("Q1");
+  const Q1Front f = MakeQ1Front(pb, db);
 
-namespace {
+  auto& group = pb.HashGroup(*f.map);
+  const ColumnRef g_rf = group.Key<Char<1>>(f.rf);
+  const ColumnRef g_ls = group.Key<Char<1>>(f.ls);
+  const ColumnRef g_qty = group.Sum(f.qty);
+  const ColumnRef g_base = group.Sum(f.extprice);
+  const ColumnRef g_dp = group.Sum(f.disc_price);
+  const ColumnRef g_ch = group.Sum(f.charge);
+  const ColumnRef g_disc = group.Sum(f.discount);
+  const ColumnRef g_cnt = group.Count();
 
-// Q1 with micro-adaptive ordered aggregation (paper §8.4): per vector,
-// tuples are partitioned into one selection vector per (returnflag,
-// linestatus) code; each partition is aggregated with partial sums held in
-// registers and a single group update per vector — the VectorWise
-// optimization that beats plain Tectorwise on Q1 (Table 2). If a vector
-// exceeds kMaxAdaptiveGroups distinct codes the engine would exponentially
-// back off to hash aggregation; Q1's four groups never trigger it.
-QueryResult RunQ1Adaptive(const Database& db, const QueryOptions& opt) {
-  constexpr size_t kMaxAdaptiveGroups = 16;
-  const Relation& lineitem = db["lineitem"];
-  ExecContext ctx;
-  ctx.vector_size = opt.vector_size;
-  ctx.use_simd = opt.simd;
-  const int32_t cutoff = DateFromString("1998-09-02");
+  Plan plan = pb.Build(
+      group, {g_rf, g_ls, g_qty, g_base, g_dp, g_ch, g_disc, g_cnt});
+  return Q1Plan{std::move(plan), g_rf,   g_ls, g_qty,
+                g_base,          g_dp,   g_ch, g_disc,
+                g_cnt};
+}
 
-  struct Agg {
-    int64_t qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0,
-            count = 0;
-  };
-  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
-  std::map<uint16_t, Agg> merged;
-  std::mutex mu;
+// Q1 with micro-adaptive ordered aggregation (paper §8.4): same front, but
+// the hash group-by is replaced by the OrderedAgg node (per-vector
+// partitioning into per-group selection vectors, register accumulation).
+// Q1's four groups never exceed the node's group budget.
+Q1Plan MakeQ1Adaptive(const Database& db) {
+  PlanBuilder pb("Q1-adaptive");
+  const Q1Front f = MakeQ1Front(pb, db);
 
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t) {
-    auto scan =
-        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
-    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
-    Slot* rf = scan->AddColumn<Char<1>>("l_returnflag");
-    Slot* ls = scan->AddColumn<Char<1>>("l_linestatus");
-    Slot* qty = scan->AddColumn<int64_t>("l_quantity");
-    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
-    Slot* discount = scan->AddColumn<int64_t>("l_discount");
-    Slot* tax = scan->AddColumn<int64_t>("l_tax");
+  auto& agg = pb.OrderedAgg(*f.map, /*max_groups=*/16);
+  const ColumnRef a_rf = agg.Key(f.rf);
+  const ColumnRef a_ls = agg.Key(f.ls);
+  const ColumnRef a_qty = agg.Sum(f.qty);
+  const ColumnRef a_base = agg.Sum(f.extprice);
+  const ColumnRef a_dp = agg.Sum(f.disc_price);
+  const ColumnRef a_ch = agg.Sum(f.charge);
+  const ColumnRef a_disc = agg.Sum(f.discount);
+  const ColumnRef a_cnt = agg.Count();
 
-    auto select = std::make_unique<Select>(std::move(scan), ctx.vector_size);
-    select->AddStep(
-        MakeSelCmp<int32_t>(ctx, shipdate, CmpOp::kLessEq, cutoff));
+  Plan plan = pb.Build(
+      agg, {a_rf, a_ls, a_qty, a_base, a_dp, a_ch, a_disc, a_cnt});
+  return Q1Plan{std::move(plan), a_rf,   a_ls, a_qty,
+                a_base,          a_dp,   a_ch, a_disc,
+                a_cnt};
+}
 
-    std::map<uint16_t, Agg> local;
-    // Per-vector partitions: code list + one selection vector per code.
-    std::vector<uint16_t> codes;
-    std::vector<std::vector<pos_t>> parts(kMaxAdaptiveGroups);
+struct Q1Agg {
+  int64_t qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0, count = 0;
+};
 
-    size_t n;
-    while ((n = select->Next()) != kEndOfStream) {
-      const pos_t* sel = select->sel();
-      const Char<1>* rfc = Get<Char<1>>(rf);
-      const Char<1>* lsc = Get<Char<1>>(ls);
-      // Partition phase (the "multiple selection vectors" trick).
-      codes.clear();
-      for (size_t k = 0; k < n; ++k) {
-        const pos_t p = sel ? sel[k] : static_cast<pos_t>(k);
-        const uint16_t code = static_cast<uint16_t>(
-            static_cast<uint8_t>(rfc[p].data[0]) |
-            (static_cast<uint8_t>(lsc[p].data[0]) << 8));
-        size_t slot = codes.size();
-        for (size_t c = 0; c < codes.size(); ++c) {
-          if (codes[c] == code) {
-            slot = c;
-            break;
-          }
-        }
-        if (slot == codes.size()) {
-          VCQ_CHECK_MSG(slot < kMaxAdaptiveGroups,
-                        "adaptive backoff not reachable on Q1");
-          codes.push_back(code);
-          parts[slot].clear();
-        }
-        parts[slot].push_back(p);
-      }
-      // Ordered aggregation phase: per-partition register accumulation.
-      const int64_t* q = Get<int64_t>(qty);
-      const int64_t* e = Get<int64_t>(extprice);
-      const int64_t* d = Get<int64_t>(discount);
-      const int64_t* t = Get<int64_t>(tax);
-      for (size_t c = 0; c < codes.size(); ++c) {
-        int64_t s_qty = 0, s_base = 0, s_dp = 0, s_ch = 0, s_d = 0;
-        for (const pos_t p : parts[c]) {
-          const int64_t dp = e[p] * (100 - d[p]);
-          s_qty += q[p];
-          s_base += e[p];
-          s_dp += dp;
-          s_ch += dp * (100 + t[p]);
-          s_d += d[p];
-        }
-        Agg& agg = local[codes[c]];
-        agg.qty += s_qty;
-        agg.base += s_base;
-        agg.disc_price += s_dp;
-        agg.charge += s_ch;
-        agg.disc += s_d;
-        agg.count += static_cast<int64_t>(parts[c].size());
-      }
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    for (const auto& [code, agg] : local) {
-      Agg& m = merged[code];
-      m.qty += agg.qty;
-      m.base += agg.base;
-      m.disc_price += agg.disc_price;
-      m.charge += agg.charge;
-      m.disc += agg.disc;
-      m.count += agg.count;
-    }
-  });
-
-  // std::map keyed by (rf | ls<<8) does not sort by (rf, ls); order rows.
-  std::vector<std::pair<std::pair<char, char>, Agg>> rows;
-  for (const auto& [code, agg] : merged) {
-    rows.push_back({{static_cast<char>(code & 0xff),
-                     static_cast<char>(code >> 8)},
-                    agg});
-  }
-  std::sort(rows.begin(), rows.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+QueryResult FormatQ1(
+    const std::vector<std::pair<std::pair<char, char>, Q1Agg>>& rows) {
   ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
                     "sum_base_price", "sum_disc_price", "sum_charge",
                     "avg_qty", "avg_price", "avg_disc", "count_order"});
@@ -175,166 +137,92 @@ QueryResult RunQ1Adaptive(const Database& db, const QueryOptions& opt) {
   return rb.Finish();
 }
 
+QueryResult RunQ1Adaptive(const Database& db, const QueryOptions& opt) {
+  const Q1Plan q = MakeQ1Adaptive(db);
+  // Workers emit their local groups; merge them by key here.
+  std::map<std::pair<char, char>, Q1Agg> merged;
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      Q1Agg& agg = merged[{b.Column<Char<1>>(q.rf)[k].data[0],
+                           b.Column<Char<1>>(q.ls)[k].data[0]}];
+      agg.qty += b.Column<int64_t>(q.qty)[k];
+      agg.base += b.Column<int64_t>(q.base)[k];
+      agg.disc_price += b.Column<int64_t>(q.disc_price)[k];
+      agg.charge += b.Column<int64_t>(q.charge)[k];
+      agg.disc += b.Column<int64_t>(q.disc)[k];
+      agg.count += b.Column<int64_t>(q.count)[k];
+    }
+  });
+  std::vector<std::pair<std::pair<char, char>, Q1Agg>> rows(merged.begin(),
+                                                            merged.end());
+  return FormatQ1(rows);
+}
+
 }  // namespace
 
-// ---------------------------------------------------------------------------
-// Q1: in-cache aggregation over fixed-point arithmetic (4 groups)
-// ---------------------------------------------------------------------------
 QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
   if (opt.adaptive) return RunQ1Adaptive(db, opt);
-  const Relation& lineitem = db["lineitem"];
-  const ExecContext ctx = MakeContext(opt);
-  const int32_t cutoff = DateFromString("1998-09-02");
-
-  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
-  HashGroup::Shared group_shared(opt.threads);
-
-  struct Row {
-    char rf, ls;
-    int64_t sum_qty, sum_base, sum_disc_price, sum_charge, sum_disc, count;
-  };
-  std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    auto scan =
-        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
-    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
-    Slot* rf = scan->AddColumn<Char<1>>("l_returnflag");
-    Slot* ls = scan->AddColumn<Char<1>>("l_linestatus");
-    Slot* qty = scan->AddColumn<int64_t>("l_quantity");
-    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
-    Slot* discount = scan->AddColumn<int64_t>("l_discount");
-    Slot* tax = scan->AddColumn<int64_t>("l_tax");
-
-    auto select = std::make_unique<Select>(std::move(scan), ctx);
-    select->AddStep(
-        MakeSelCmp<int32_t>(ctx, shipdate, CmpOp::kLessEq, cutoff));
-    CompactColumn<Char<1>>(ctx, select->compactor(), rf);
-    CompactColumn<Char<1>>(ctx, select->compactor(), ls);
-    CompactColumn<int64_t>(ctx, select->compactor(), qty);
-    CompactColumn<int64_t>(ctx, select->compactor(), extprice);
-    CompactColumn<int64_t>(ctx, select->compactor(), discount);
-    CompactColumn<int64_t>(ctx, select->compactor(), tax);
-
-    auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
-    Slot* one_minus_disc = map->AddOutput<int64_t>();
-    Slot* disc_price = map->AddOutput<int64_t>();  // scale 4
-    Slot* one_plus_tax = map->AddOutput<int64_t>();
-    Slot* charge = map->AddOutput<int64_t>();  // scale 6
-    map->AddStep(MakeMapRSubConst<int64_t>(
-        100, discount, map->OutputData<int64_t>(one_minus_disc)));
-    map->AddStep(MakeMapMul<int64_t>(extprice, one_minus_disc,
-                                     map->OutputData<int64_t>(disc_price)));
-    map->AddStep(MakeMapAddConst<int64_t>(
-        100, tax, map->OutputData<int64_t>(one_plus_tax)));
-    map->AddStep(MakeMapMul<int64_t>(disc_price, one_plus_tax,
-                                     map->OutputData<int64_t>(charge)));
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(map), ctx);
-    const size_t k_rf = group->AddKey<Char<1>>(rf);
-    const size_t k_ls = group->AddKey<Char<1>>(ls);
-    const size_t a_qty = group->AddSumAgg(qty);
-    const size_t a_base = group->AddSumAgg(extprice);
-    const size_t a_disc_price = group->AddSumAgg(disc_price);
-    const size_t a_charge = group->AddSumAgg(charge);
-    const size_t a_disc = group->AddSumAgg(discount);
-    const size_t a_count = group->AddCountAgg();
-
-    Slot* o_rf = group->AddOutput<Char<1>>(k_rf);
-    Slot* o_ls = group->AddOutput<Char<1>>(k_ls);
-    Slot* o_qty = group->AddOutput<int64_t>(a_qty);
-    Slot* o_base = group->AddOutput<int64_t>(a_base);
-    Slot* o_dp = group->AddOutput<int64_t>(a_disc_price);
-    Slot* o_ch = group->AddOutput<int64_t>(a_charge);
-    Slot* o_disc = group->AddOutput<int64_t>(a_disc);
-    Slot* o_cnt = group->AddOutput<int64_t>(a_count);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<Char<1>>(o_rf)[k].data[0],
-                           Get<Char<1>>(o_ls)[k].data[0],
-                           Get<int64_t>(o_qty)[k], Get<int64_t>(o_base)[k],
-                           Get<int64_t>(o_dp)[k], Get<int64_t>(o_ch)[k],
-                           Get<int64_t>(o_disc)[k], Get<int64_t>(o_cnt)[k]});
-      }
+  const Q1Plan q = MakeQ1(db);
+  std::vector<std::pair<std::pair<char, char>, Q1Agg>> rows;
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back({{b.Column<Char<1>>(q.rf)[k].data[0],
+                       b.Column<Char<1>>(q.ls)[k].data[0]},
+                      Q1Agg{b.Column<int64_t>(q.qty)[k],
+                            b.Column<int64_t>(q.base)[k],
+                            b.Column<int64_t>(q.disc_price)[k],
+                            b.Column<int64_t>(q.charge)[k],
+                            b.Column<int64_t>(q.disc)[k],
+                            b.Column<int64_t>(q.count)[k]}});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
-
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return std::tie(a.rf, a.ls) < std::tie(b.rf, b.ls);
-  });
-  ResultBuilder rb({"l_returnflag", "l_linestatus", "sum_qty",
-                    "sum_base_price", "sum_disc_price", "sum_charge",
-                    "avg_qty", "avg_price", "avg_disc", "count_order"});
-  for (const Row& r : rows) {
-    rb.BeginRow()
-        .Str(std::string_view(&r.rf, 1))
-        .Str(std::string_view(&r.ls, 1))
-        .Numeric(r.sum_qty, 2)
-        .Numeric(r.sum_base, 2)
-        .Numeric(r.sum_disc_price, 4)
-        .Numeric(r.sum_charge, 6)
-        .Avg(r.sum_qty, r.count, 2, 2)
-        .Avg(r.sum_base, r.count, 2, 2)
-        .Avg(r.sum_disc, r.count, 2, 2)
-        .Int(r.count);
-  }
-  return rb.Finish();
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return FormatQ1(rows);
 }
 
 // ---------------------------------------------------------------------------
 // Q6: selective scan
 // ---------------------------------------------------------------------------
+
+namespace {
+
+struct Q6Plan {
+  Plan plan;
+  ColumnRef revenue;
+};
+
+Q6Plan MakeQ6(const Database& db) {
+  PlanBuilder pb("Q6");
+  auto& scan = pb.Scan(db["lineitem"], "lineitem");
+  const ColumnRef shipdate = scan.Col<int32_t>("l_shipdate");
+  const ColumnRef discount = scan.Col<int64_t>("l_discount");
+  const ColumnRef quantity = scan.Col<int64_t>("l_quantity");
+  const ColumnRef extprice = scan.Col<int64_t>("l_extendedprice");
+
+  auto& sel = pb.Select(scan);
+  sel.Between<int32_t>(shipdate, DateFromString("1994-01-01"),
+                       DateFromString("1995-01-01") - 1);
+  sel.Between<int64_t>(discount, 5, 7);
+  sel.Cmp<int64_t>(quantity, CmpOp::kLess, 2400);
+
+  auto& map = pb.Map(sel);
+  const ColumnRef revenue =
+      map.Mul<int64_t>(extprice, discount, "revenue");  // scale 4
+
+  auto& agg = pb.FixedAgg(map);
+  const ColumnRef total = agg.Sum(revenue, "revenue");
+  return Q6Plan{pb.Build(agg, {total}), total};
+}
+
+}  // namespace
+
 QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
-  const Relation& lineitem = db["lineitem"];
-  const ExecContext ctx = MakeContext(opt);
-  const int32_t lo = DateFromString("1994-01-01");
-  const int32_t hi = DateFromString("1995-01-01") - 1;
-
-  Scan::Shared scan_shared(lineitem.tuple_count(), opt.morsel_grain);
+  const Q6Plan q = MakeQ6(db);
   int64_t total = 0;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    auto scan =
-        std::make_unique<Scan>(&scan_shared, &lineitem, ctx.vector_size);
-    Slot* shipdate = scan->AddColumn<int32_t>("l_shipdate");
-    Slot* discount = scan->AddColumn<int64_t>("l_discount");
-    Slot* quantity = scan->AddColumn<int64_t>("l_quantity");
-    Slot* extprice = scan->AddColumn<int64_t>("l_extendedprice");
-
-    auto select = std::make_unique<Select>(std::move(scan), ctx);
-    select->AddStep(MakeSelBetween<int32_t>(ctx, shipdate, lo, hi));
-    select->AddStep(MakeSelBetween<int64_t>(ctx, discount, 5, 7));
-    select->AddStep(MakeSelCmp<int64_t>(ctx, quantity, CmpOp::kLess, 2400));
-    CompactColumn<int64_t>(ctx, select->compactor(), extprice);
-    CompactColumn<int64_t>(ctx, select->compactor(), discount);
-
-    auto map = std::make_unique<Map>(std::move(select), ctx.vector_size);
-    Slot* revenue = map->AddOutput<int64_t>();  // scale 4
-    map->AddStep(MakeMapMul<int64_t>(extprice, discount,
-                                     map->OutputData<int64_t>(revenue)));
-
-    auto agg = std::make_unique<FixedAggregation>(std::move(map));
-    Slot* sum = agg->AddSumI64(revenue);
-
-    size_t n;
-    while ((n = agg->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      total += *Get<int64_t>(sum);
-    }
-    roots[wid] = std::move(agg);
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    total += b.Column<int64_t>(q.revenue)[0];
   });
-  roots.clear();
-
   ResultBuilder rb({"revenue"});
   rb.BeginRow().Numeric(total, 4);
   return rb.Finish();
@@ -343,120 +231,90 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q3: two joins feeding a group-by, top-10
 // ---------------------------------------------------------------------------
-QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
-  const Relation& customer = db["customer"];
-  const Relation& orders = db["orders"];
-  const Relation& lineitem = db["lineitem"];
-  const ExecContext ctx = MakeContext(opt);
+
+namespace {
+
+struct Q3Plan {
+  Plan plan;
+  ColumnRef orderkey, orderdate, shippriority, revenue;
+};
+
+Q3Plan MakeQ3(const Database& db) {
+  PlanBuilder pb("Q3");
   const int32_t date = DateFromString("1995-03-15");
-  const Char<10> building = Char<10>::From("BUILDING");
 
-  Scan::Shared scan_cust(customer.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_cust(opt.threads);
-  HashJoin::Shared join_ord(opt.threads);
-  HashGroup::Shared group_shared(opt.threads);
+  // Build side 1: customers in the BUILDING segment.
+  auto& cscan = pb.Scan(db["customer"], "customer");
+  const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
+  const ColumnRef c_mkt = cscan.Col<Char<10>>("c_mktsegment");
+  auto& csel = pb.Select(cscan);
+  csel.Cmp<Char<10>>(c_mkt, CmpOp::kEq, Char<10>::From("BUILDING"));
 
+  // Probe side 1: orders before the date.
+  auto& oscan = pb.Scan(db["orders"], "orders");
+  const ColumnRef o_orderkey = oscan.Col<int32_t>("o_orderkey");
+  const ColumnRef o_custkey = oscan.Col<int32_t>("o_custkey");
+  const ColumnRef o_orderdate = oscan.Col<int32_t>("o_orderdate");
+  const ColumnRef o_shipprio = oscan.Col<int32_t>("o_shippriority");
+  auto& osel = pb.Select(oscan);
+  osel.Cmp<int32_t>(o_orderdate, CmpOp::kLess, date);
+
+  auto& hj1 = pb.HashJoin(csel, osel);
+  hj1.Key<int32_t>(o_custkey, c_custkey);
+  const ColumnRef j1_orderkey = hj1.Probe<int32_t>(o_orderkey);
+  const ColumnRef j1_orderdate = hj1.Probe<int32_t>(o_orderdate);
+  const ColumnRef j1_shipprio = hj1.Probe<int32_t>(o_shipprio);
+
+  // Probe side 2: lineitems shipped after the date.
+  auto& lscan = pb.Scan(db["lineitem"], "lineitem");
+  const ColumnRef l_orderkey = lscan.Col<int32_t>("l_orderkey");
+  const ColumnRef l_shipdate = lscan.Col<int32_t>("l_shipdate");
+  const ColumnRef l_extprice = lscan.Col<int64_t>("l_extendedprice");
+  const ColumnRef l_discount = lscan.Col<int64_t>("l_discount");
+  auto& lsel = pb.Select(lscan);
+  lsel.Cmp<int32_t>(l_shipdate, CmpOp::kGreater, date);
+
+  auto& hj2 = pb.HashJoin(hj1, lsel);
+  hj2.Key<int32_t>(l_orderkey, j1_orderkey);
+  const ColumnRef j2_orderkey = hj2.Build<int32_t>(j1_orderkey);
+  const ColumnRef j2_orderdate = hj2.Build<int32_t>(j1_orderdate);
+  const ColumnRef j2_shipprio = hj2.Build<int32_t>(j1_shipprio);
+  const ColumnRef j2_extprice = hj2.Probe<int64_t>(l_extprice);
+  const ColumnRef j2_discount = hj2.Probe<int64_t>(l_discount);
+
+  auto& map = pb.Map(hj2);
+  const ColumnRef one_minus_disc =
+      map.RSubConst<int64_t>(100, j2_discount, "one_minus_disc");
+  const ColumnRef revenue =
+      map.Mul<int64_t>(j2_extprice, one_minus_disc, "revenue");  // scale 4
+
+  auto& group = pb.HashGroup(map);
+  const ColumnRef g_okey = group.Key<int32_t>(j2_orderkey);
+  const ColumnRef g_odate = group.Key<int32_t>(j2_orderdate);
+  const ColumnRef g_prio = group.Key<int32_t>(j2_shipprio);
+  const ColumnRef g_rev = group.Sum(revenue);
+
+  Plan plan = pb.Build(group, {g_okey, g_odate, g_prio, g_rev});
+  return Q3Plan{std::move(plan), g_okey, g_odate, g_prio, g_rev};
+}
+
+}  // namespace
+
+QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
+  const Q3Plan q = MakeQ3(db);
   struct Row {
     int32_t orderkey, orderdate, shippriority;
     int64_t revenue;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    // Build side 1: customers in the BUILDING segment.
-    auto cscan =
-        std::make_unique<Scan>(&scan_cust, &customer, ctx.vector_size);
-    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
-    Slot* c_mkt = cscan->AddColumn<Char<10>>("c_mktsegment");
-    auto csel = std::make_unique<Select>(std::move(cscan), ctx);
-    csel->AddStep(MakeSelCmp<Char<10>>(ctx, c_mkt, CmpOp::kEq, building));
-    CompactColumn<int32_t>(ctx, csel->compactor(), c_custkey);
-
-    // Probe side 1: orders before the date.
-    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
-    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
-    Slot* o_custkey = oscan->AddColumn<int32_t>("o_custkey");
-    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
-    Slot* o_shipprio = oscan->AddColumn<int32_t>("o_shippriority");
-    auto osel = std::make_unique<Select>(std::move(oscan), ctx);
-    osel->AddStep(MakeSelCmp<int32_t>(ctx, o_orderdate, CmpOp::kLess, date));
-    CompactColumn<int32_t>(ctx, osel->compactor(), o_orderkey);
-    CompactColumn<int32_t>(ctx, osel->compactor(), o_custkey);
-    CompactColumn<int32_t>(ctx, osel->compactor(), o_orderdate);
-    CompactColumn<int32_t>(ctx, osel->compactor(), o_shipprio);
-
-    auto hj1 = std::make_unique<HashJoin>(&join_cust, std::move(csel),
-                                          std::move(osel), ctx);
-    const size_t f_custkey = hj1->AddBuildField<int32_t>(c_custkey);
-    hj1->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
-    hj1->SetProbeHash(MakeHash<int32_t>(ctx, o_custkey));
-    hj1->AddKeyCompare<int32_t>(o_custkey, f_custkey);
-    Slot* j1_orderkey = hj1->AddProbeOutput<int32_t>(o_orderkey);
-    Slot* j1_orderdate = hj1->AddProbeOutput<int32_t>(o_orderdate);
-    Slot* j1_shipprio = hj1->AddProbeOutput<int32_t>(o_shipprio);
-
-    // Probe side 2: lineitems shipped after the date.
-    auto lscan =
-        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
-    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
-    Slot* l_shipdate = lscan->AddColumn<int32_t>("l_shipdate");
-    Slot* l_extprice = lscan->AddColumn<int64_t>("l_extendedprice");
-    Slot* l_discount = lscan->AddColumn<int64_t>("l_discount");
-    auto lsel = std::make_unique<Select>(std::move(lscan), ctx);
-    lsel->AddStep(
-        MakeSelCmp<int32_t>(ctx, l_shipdate, CmpOp::kGreater, date));
-    CompactColumn<int32_t>(ctx, lsel->compactor(), l_orderkey);
-    CompactColumn<int64_t>(ctx, lsel->compactor(), l_extprice);
-    CompactColumn<int64_t>(ctx, lsel->compactor(), l_discount);
-
-    auto hj2 = std::make_unique<HashJoin>(&join_ord, std::move(hj1),
-                                          std::move(lsel), ctx);
-    const size_t f_orderkey = hj2->AddBuildField<int32_t>(j1_orderkey);
-    const size_t f_orderdate = hj2->AddBuildField<int32_t>(j1_orderdate);
-    const size_t f_shipprio = hj2->AddBuildField<int32_t>(j1_shipprio);
-    hj2->SetBuildHash(MakeHash<int32_t>(ctx, j1_orderkey));
-    hj2->SetProbeHash(MakeHash<int32_t>(ctx, l_orderkey));
-    hj2->AddKeyCompare<int32_t>(l_orderkey, f_orderkey);
-    Slot* j2_orderkey = hj2->AddBuildOutput<int32_t>(f_orderkey);
-    Slot* j2_orderdate = hj2->AddBuildOutput<int32_t>(f_orderdate);
-    Slot* j2_shipprio = hj2->AddBuildOutput<int32_t>(f_shipprio);
-    Slot* j2_extprice = hj2->AddProbeOutput<int64_t>(l_extprice);
-    Slot* j2_discount = hj2->AddProbeOutput<int64_t>(l_discount);
-
-    auto map = std::make_unique<Map>(std::move(hj2), ctx.vector_size);
-    Slot* one_minus_disc = map->AddOutput<int64_t>();
-    Slot* revenue = map->AddOutput<int64_t>();  // scale 4
-    map->AddStep(MakeMapRSubConst<int64_t>(
-        100, j2_discount, map->OutputData<int64_t>(one_minus_disc)));
-    map->AddStep(MakeMapMul<int64_t>(j2_extprice, one_minus_disc,
-                                     map->OutputData<int64_t>(revenue)));
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(map), ctx);
-    const size_t k_okey = group->AddKey<int32_t>(j2_orderkey);
-    const size_t k_odate = group->AddKey<int32_t>(j2_orderdate);
-    const size_t k_prio = group->AddKey<int32_t>(j2_shipprio);
-    const size_t a_rev = group->AddSumAgg(revenue);
-    Slot* g_okey = group->AddOutput<int32_t>(k_okey);
-    Slot* g_odate = group->AddOutput<int32_t>(k_odate);
-    Slot* g_prio = group->AddOutput<int32_t>(k_prio);
-    Slot* g_rev = group->AddOutput<int64_t>(a_rev);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<int32_t>(g_okey)[k], Get<int32_t>(g_odate)[k],
-                           Get<int32_t>(g_prio)[k], Get<int64_t>(g_rev)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<int32_t>(q.orderkey)[k],
+                         b.Column<int32_t>(q.orderdate)[k],
+                         b.Column<int32_t>(q.shippriority)[k],
+                         b.Column<int64_t>(q.revenue)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return std::tie(b.revenue, a.orderdate, a.orderkey) <
@@ -478,167 +336,122 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q9: four joins (one composite-key) into a group-by
 // ---------------------------------------------------------------------------
+
+namespace {
+
+struct Q9Plan {
+  Plan plan;
+  ColumnRef nationkey, year, profit;
+};
+
+Q9Plan MakeQ9(const Database& db) {
+  PlanBuilder pb("Q9");
+
+  // Green parts.
+  auto& pscan = pb.Scan(db["part"], "part");
+  const ColumnRef p_partkey = pscan.Col<int32_t>("p_partkey");
+  const ColumnRef p_name = pscan.Col<Varchar<55>>("p_name");
+  auto& psel = pb.Select(pscan);
+  psel.Contains<Varchar<55>>(p_name, "green");
+
+  // partsupp semi-joined with green parts, then built as a composite HT.
+  auto& psscan = pb.Scan(db["partsupp"], "partsupp");
+  const ColumnRef ps_partkey = psscan.Col<int32_t>("ps_partkey");
+  const ColumnRef ps_suppkey = psscan.Col<int32_t>("ps_suppkey");
+  const ColumnRef ps_cost = psscan.Col<int64_t>("ps_supplycost");
+
+  auto& hj_part = pb.HashJoin(psel, psscan);
+  hj_part.Key<int32_t>(ps_partkey, p_partkey);
+  const ColumnRef jp_partkey = hj_part.Probe<int32_t>(ps_partkey);
+  const ColumnRef jp_suppkey = hj_part.Probe<int32_t>(ps_suppkey);
+  const ColumnRef jp_cost = hj_part.Probe<int64_t>(ps_cost);
+
+  // Probe chain start: lineitem.
+  auto& lscan = pb.Scan(db["lineitem"], "lineitem");
+  const ColumnRef l_orderkey = lscan.Col<int32_t>("l_orderkey");
+  const ColumnRef l_partkey = lscan.Col<int32_t>("l_partkey");
+  const ColumnRef l_suppkey = lscan.Col<int32_t>("l_suppkey");
+  const ColumnRef l_extprice = lscan.Col<int64_t>("l_extendedprice");
+  const ColumnRef l_discount = lscan.Col<int64_t>("l_discount");
+  const ColumnRef l_quantity = lscan.Col<int64_t>("l_quantity");
+
+  // Composite-key join against (ps_partkey, ps_suppkey).
+  auto& hj_ps = pb.HashJoin(hj_part, lscan);
+  hj_ps.Key<int32_t>(l_partkey, jp_partkey);
+  hj_ps.Key<int32_t>(l_suppkey, jp_suppkey);
+  const ColumnRef jps_cost = hj_ps.Build<int64_t>(jp_cost);
+  const ColumnRef jps_orderkey = hj_ps.Probe<int32_t>(l_orderkey);
+  const ColumnRef jps_suppkey = hj_ps.Probe<int32_t>(l_suppkey);
+  const ColumnRef jps_extprice = hj_ps.Probe<int64_t>(l_extprice);
+  const ColumnRef jps_discount = hj_ps.Probe<int64_t>(l_discount);
+  const ColumnRef jps_quantity = hj_ps.Probe<int64_t>(l_quantity);
+
+  // Supplier join (adds s_nationkey).
+  auto& sscan = pb.Scan(db["supplier"], "supplier");
+  const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
+  const ColumnRef s_nationkey = sscan.Col<int32_t>("s_nationkey");
+  auto& hj_supp = pb.HashJoin(sscan, hj_ps);
+  hj_supp.Key<int32_t>(jps_suppkey, s_suppkey);
+  const ColumnRef js_nationkey = hj_supp.Build<int32_t>(s_nationkey);
+  const ColumnRef js_orderkey = hj_supp.Probe<int32_t>(jps_orderkey);
+  const ColumnRef js_cost = hj_supp.Probe<int64_t>(jps_cost);
+  const ColumnRef js_extprice = hj_supp.Probe<int64_t>(jps_extprice);
+  const ColumnRef js_discount = hj_supp.Probe<int64_t>(jps_discount);
+  const ColumnRef js_quantity = hj_supp.Probe<int64_t>(jps_quantity);
+
+  // Orders join (adds the order year).
+  auto& oscan = pb.Scan(db["orders"], "orders");
+  const ColumnRef o_orderkey = oscan.Col<int32_t>("o_orderkey");
+  const ColumnRef o_orderdate = oscan.Col<int32_t>("o_orderdate");
+  auto& omap = pb.Map(oscan);
+  const ColumnRef o_year = omap.Year(o_orderdate, "o_year");
+
+  auto& hj_ord = pb.HashJoin(omap, hj_supp);
+  hj_ord.Key<int32_t>(js_orderkey, o_orderkey);
+  const ColumnRef jo_year = hj_ord.Build<int32_t>(o_year);
+  const ColumnRef jo_nationkey = hj_ord.Probe<int32_t>(js_nationkey);
+  const ColumnRef jo_cost = hj_ord.Probe<int64_t>(js_cost);
+  const ColumnRef jo_extprice = hj_ord.Probe<int64_t>(js_extprice);
+  const ColumnRef jo_discount = hj_ord.Probe<int64_t>(js_discount);
+  const ColumnRef jo_quantity = hj_ord.Probe<int64_t>(js_quantity);
+
+  // amount = extprice * (1 - discount) - supplycost * quantity (scale 4)
+  auto& map = pb.Map(hj_ord);
+  const ColumnRef one_minus_disc =
+      map.RSubConst<int64_t>(100, jo_discount, "one_minus_disc");
+  const ColumnRef gross =
+      map.Mul<int64_t>(jo_extprice, one_minus_disc, "gross");
+  const ColumnRef cost_term =
+      map.Mul<int64_t>(jo_cost, jo_quantity, "cost_term");
+  const ColumnRef amount = map.Sub<int64_t>(gross, cost_term, "amount");
+
+  auto& group = pb.HashGroup(map);
+  const ColumnRef g_nation = group.Key<int32_t>(jo_nationkey);
+  const ColumnRef g_year = group.Key<int32_t>(jo_year);
+  const ColumnRef g_profit = group.Sum(amount);
+
+  Plan plan = pb.Build(group, {g_nation, g_year, g_profit});
+  return Q9Plan{std::move(plan), g_nation, g_year, g_profit};
+}
+
+}  // namespace
+
 QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
-  const Relation& part = db["part"];
-  const Relation& supplier = db["supplier"];
-  const Relation& partsupp = db["partsupp"];
-  const Relation& orders = db["orders"];
-  const Relation& lineitem = db["lineitem"];
-  const Relation& nation = db["nation"];
-  const ExecContext ctx = MakeContext(opt);
-
-  Scan::Shared scan_part(part.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_ps(partsupp.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_supp(supplier.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
-  HashJoin::Shared join_part(opt.threads);
-  HashJoin::Shared join_ps(opt.threads);
-  HashJoin::Shared join_supp(opt.threads);
-  HashJoin::Shared join_ord(opt.threads);
-  HashGroup::Shared group_shared(opt.threads);
-
+  const Q9Plan q = MakeQ9(db);
   struct Row {
     int32_t nationkey, year;
     int64_t profit;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    // Green parts.
-    auto pscan = std::make_unique<Scan>(&scan_part, &part, ctx.vector_size);
-    Slot* p_partkey = pscan->AddColumn<int32_t>("p_partkey");
-    Slot* p_name = pscan->AddColumn<Varchar<55>>("p_name");
-    auto psel = std::make_unique<Select>(std::move(pscan), ctx);
-    psel->AddStep(MakeSelContains<Varchar<55>>(p_name, "green"));
-    CompactColumn<int32_t>(ctx, psel->compactor(), p_partkey);
-
-    // partsupp semi-joined with green parts, then built as a composite HT.
-    auto psscan =
-        std::make_unique<Scan>(&scan_ps, &partsupp, ctx.vector_size);
-    Slot* ps_partkey = psscan->AddColumn<int32_t>("ps_partkey");
-    Slot* ps_suppkey = psscan->AddColumn<int32_t>("ps_suppkey");
-    Slot* ps_cost = psscan->AddColumn<int64_t>("ps_supplycost");
-
-    auto hj_part = std::make_unique<HashJoin>(&join_part, std::move(psel),
-                                              std::move(psscan), ctx);
-    const size_t f_partkey = hj_part->AddBuildField<int32_t>(p_partkey);
-    hj_part->SetBuildHash(MakeHash<int32_t>(ctx, p_partkey));
-    hj_part->SetProbeHash(MakeHash<int32_t>(ctx, ps_partkey));
-    hj_part->AddKeyCompare<int32_t>(ps_partkey, f_partkey);
-    Slot* jp_partkey = hj_part->AddProbeOutput<int32_t>(ps_partkey);
-    Slot* jp_suppkey = hj_part->AddProbeOutput<int32_t>(ps_suppkey);
-    Slot* jp_cost = hj_part->AddProbeOutput<int64_t>(ps_cost);
-
-    // Probe chain start: lineitem.
-    auto lscan =
-        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
-    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
-    Slot* l_partkey = lscan->AddColumn<int32_t>("l_partkey");
-    Slot* l_suppkey = lscan->AddColumn<int32_t>("l_suppkey");
-    Slot* l_extprice = lscan->AddColumn<int64_t>("l_extendedprice");
-    Slot* l_discount = lscan->AddColumn<int64_t>("l_discount");
-    Slot* l_quantity = lscan->AddColumn<int64_t>("l_quantity");
-
-    // Composite-key join against (ps_partkey, ps_suppkey).
-    auto hj_ps = std::make_unique<HashJoin>(&join_ps, std::move(hj_part),
-                                            std::move(lscan), ctx);
-    const size_t f_ps_partkey = hj_ps->AddBuildField<int32_t>(jp_partkey);
-    const size_t f_ps_suppkey = hj_ps->AddBuildField<int32_t>(jp_suppkey);
-    const size_t f_ps_cost = hj_ps->AddBuildField<int64_t>(jp_cost);
-    hj_ps->SetBuildHash(MakeHash<int32_t>(ctx, jp_partkey));
-    hj_ps->AddBuildRehash(MakeRehash<int32_t>(ctx, jp_suppkey));
-    hj_ps->SetProbeHash(MakeHash<int32_t>(ctx, l_partkey));
-    hj_ps->AddProbeRehash(MakeRehash<int32_t>(ctx, l_suppkey));
-    hj_ps->AddKeyCompare<int32_t>(l_partkey, f_ps_partkey);
-    hj_ps->AddKeyCompare<int32_t>(l_suppkey, f_ps_suppkey);
-    Slot* jps_cost = hj_ps->AddBuildOutput<int64_t>(f_ps_cost);
-    Slot* jps_orderkey = hj_ps->AddProbeOutput<int32_t>(l_orderkey);
-    Slot* jps_suppkey = hj_ps->AddProbeOutput<int32_t>(l_suppkey);
-    Slot* jps_extprice = hj_ps->AddProbeOutput<int64_t>(l_extprice);
-    Slot* jps_discount = hj_ps->AddProbeOutput<int64_t>(l_discount);
-    Slot* jps_quantity = hj_ps->AddProbeOutput<int64_t>(l_quantity);
-
-    // Supplier join (adds s_nationkey).
-    auto sscan =
-        std::make_unique<Scan>(&scan_supp, &supplier, ctx.vector_size);
-    Slot* s_suppkey = sscan->AddColumn<int32_t>("s_suppkey");
-    Slot* s_nationkey = sscan->AddColumn<int32_t>("s_nationkey");
-    auto hj_supp = std::make_unique<HashJoin>(&join_supp, std::move(sscan),
-                                              std::move(hj_ps), ctx);
-    const size_t f_suppkey = hj_supp->AddBuildField<int32_t>(s_suppkey);
-    const size_t f_nationkey = hj_supp->AddBuildField<int32_t>(s_nationkey);
-    hj_supp->SetBuildHash(MakeHash<int32_t>(ctx, s_suppkey));
-    hj_supp->SetProbeHash(MakeHash<int32_t>(ctx, jps_suppkey));
-    hj_supp->AddKeyCompare<int32_t>(jps_suppkey, f_suppkey);
-    Slot* js_nationkey = hj_supp->AddBuildOutput<int32_t>(f_nationkey);
-    Slot* js_orderkey = hj_supp->AddProbeOutput<int32_t>(jps_orderkey);
-    Slot* js_cost = hj_supp->AddProbeOutput<int64_t>(jps_cost);
-    Slot* js_extprice = hj_supp->AddProbeOutput<int64_t>(jps_extprice);
-    Slot* js_discount = hj_supp->AddProbeOutput<int64_t>(jps_discount);
-    Slot* js_quantity = hj_supp->AddProbeOutput<int64_t>(jps_quantity);
-
-    // Orders join (adds the order year).
-    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
-    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
-    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
-    auto omap = std::make_unique<Map>(std::move(oscan), ctx.vector_size);
-    Slot* o_year = omap->AddOutput<int32_t>();
-    omap->AddStep(MakeMapYear(o_orderdate, omap->OutputData<int32_t>(o_year)));
-
-    auto hj_ord = std::make_unique<HashJoin>(&join_ord, std::move(omap),
-                                             std::move(hj_supp), ctx);
-    const size_t f_orderkey = hj_ord->AddBuildField<int32_t>(o_orderkey);
-    const size_t f_year = hj_ord->AddBuildField<int32_t>(o_year);
-    hj_ord->SetBuildHash(MakeHash<int32_t>(ctx, o_orderkey));
-    hj_ord->SetProbeHash(MakeHash<int32_t>(ctx, js_orderkey));
-    hj_ord->AddKeyCompare<int32_t>(js_orderkey, f_orderkey);
-    Slot* jo_year = hj_ord->AddBuildOutput<int32_t>(f_year);
-    Slot* jo_nationkey = hj_ord->AddProbeOutput<int32_t>(js_nationkey);
-    Slot* jo_cost = hj_ord->AddProbeOutput<int64_t>(js_cost);
-    Slot* jo_extprice = hj_ord->AddProbeOutput<int64_t>(js_extprice);
-    Slot* jo_discount = hj_ord->AddProbeOutput<int64_t>(js_discount);
-    Slot* jo_quantity = hj_ord->AddProbeOutput<int64_t>(js_quantity);
-
-    // amount = extprice * (1 - discount) - supplycost * quantity (scale 4)
-    auto map = std::make_unique<Map>(std::move(hj_ord), ctx.vector_size);
-    Slot* one_minus_disc = map->AddOutput<int64_t>();
-    Slot* gross = map->AddOutput<int64_t>();
-    Slot* cost_term = map->AddOutput<int64_t>();
-    Slot* amount = map->AddOutput<int64_t>();
-    map->AddStep(MakeMapRSubConst<int64_t>(
-        100, jo_discount, map->OutputData<int64_t>(one_minus_disc)));
-    map->AddStep(MakeMapMul<int64_t>(jo_extprice, one_minus_disc,
-                                     map->OutputData<int64_t>(gross)));
-    map->AddStep(MakeMapMul<int64_t>(jo_cost, jo_quantity,
-                                     map->OutputData<int64_t>(cost_term)));
-    map->AddStep(MakeMapSub<int64_t>(gross, cost_term,
-                                     map->OutputData<int64_t>(amount)));
-
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(map), ctx);
-    const size_t k_nation = group->AddKey<int32_t>(jo_nationkey);
-    const size_t k_year = group->AddKey<int32_t>(jo_year);
-    const size_t a_profit = group->AddSumAgg(amount);
-    Slot* g_nation = group->AddOutput<int32_t>(k_nation);
-    Slot* g_year = group->AddOutput<int32_t>(k_year);
-    Slot* g_profit = group->AddOutput<int64_t>(a_profit);
-
-    size_t n;
-    while ((n = group->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<int32_t>(g_nation)[k], Get<int32_t>(g_year)[k],
-                           Get<int64_t>(g_profit)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<int32_t>(q.nationkey)[k],
+                         b.Column<int32_t>(q.year)[k],
+                         b.Column<int64_t>(q.profit)[k]});
     }
-    roots[wid] = std::move(group);
   });
-  roots.clear();
 
-  const auto n_name = nation.Col<Char<25>>("n_name");
+  const auto n_name = db["nation"].Col<Char<25>>("n_name");
   std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
     const auto an = n_name[a.nationkey].View();
     const auto bn = n_name[b.nationkey].View();
@@ -658,102 +471,84 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q18: high-cardinality aggregation, having-filter, two joins, top-100
 // ---------------------------------------------------------------------------
+
+namespace {
+
+struct Q18Plan {
+  Plan plan;
+  ColumnRef name, custkey, orderkey, orderdate, totalprice, sum_qty;
+};
+
+Q18Plan MakeQ18(const Database& db) {
+  PlanBuilder pb("Q18");
+
+  // 1.5M-group aggregation of lineitem by orderkey.
+  auto& lscan = pb.Scan(db["lineitem"], "lineitem");
+  const ColumnRef l_orderkey = lscan.Col<int32_t>("l_orderkey");
+  const ColumnRef l_quantity = lscan.Col<int64_t>("l_quantity");
+  auto& group = pb.HashGroup(lscan);
+  const ColumnRef g_okey = group.Key<int32_t>(l_orderkey);
+  const ColumnRef g_qty = group.Sum(l_quantity);
+
+  // having sum(l_quantity) > 300 (scale 2).
+  auto& having = pb.Select(group);
+  having.Cmp<int64_t>(g_qty, CmpOp::kGreater, 30000);
+
+  // Join the qualifying orderkeys with orders.
+  auto& oscan = pb.Scan(db["orders"], "orders");
+  const ColumnRef o_orderkey = oscan.Col<int32_t>("o_orderkey");
+  const ColumnRef o_custkey = oscan.Col<int32_t>("o_custkey");
+  const ColumnRef o_orderdate = oscan.Col<int32_t>("o_orderdate");
+  const ColumnRef o_totalprice = oscan.Col<int64_t>("o_totalprice");
+
+  auto& hj_o = pb.HashJoin(having, oscan);
+  hj_o.Key<int32_t>(o_orderkey, g_okey);
+  const ColumnRef jo_qty = hj_o.Build<int64_t>(g_qty);
+  const ColumnRef jo_orderkey = hj_o.Probe<int32_t>(o_orderkey);
+  const ColumnRef jo_custkey = hj_o.Probe<int32_t>(o_custkey);
+  const ColumnRef jo_orderdate = hj_o.Probe<int32_t>(o_orderdate);
+  const ColumnRef jo_totalprice = hj_o.Probe<int64_t>(o_totalprice);
+
+  // Customer join for the name. Customer is the build side: its key is
+  // unique, whereas several qualifying orders may share a customer.
+  auto& cscan = pb.Scan(db["customer"], "customer");
+  const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
+  const ColumnRef c_name = cscan.Col<Char<25>>("c_name");
+  auto& hj_c = pb.HashJoin(cscan, hj_o);
+  hj_c.Key<int32_t>(jo_custkey, c_custkey);
+  const ColumnRef out_name = hj_c.Build<Char<25>>(c_name);
+  const ColumnRef out_custkey = hj_c.Probe<int32_t>(jo_custkey);
+  const ColumnRef out_orderkey = hj_c.Probe<int32_t>(jo_orderkey);
+  const ColumnRef out_orderdate = hj_c.Probe<int32_t>(jo_orderdate);
+  const ColumnRef out_total = hj_c.Probe<int64_t>(jo_totalprice);
+  const ColumnRef out_qty = hj_c.Probe<int64_t>(jo_qty);
+
+  Plan plan = pb.Build(hj_c, {out_name, out_custkey, out_orderkey,
+                              out_orderdate, out_total, out_qty});
+  return Q18Plan{std::move(plan), out_name,      out_custkey, out_orderkey,
+                 out_orderdate,   out_total,     out_qty};
+}
+
+}  // namespace
+
 QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
-  const Relation& lineitem = db["lineitem"];
-  const Relation& orders = db["orders"];
-  const Relation& customer = db["customer"];
-  const ExecContext ctx = MakeContext(opt);
-
-  Scan::Shared scan_li(lineitem.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_ord(orders.tuple_count(), opt.morsel_grain);
-  Scan::Shared scan_cust(customer.tuple_count(), opt.morsel_grain);
-  HashGroup::Shared group_shared(opt.threads);
-  HashJoin::Shared join_ord(opt.threads);
-  HashJoin::Shared join_cust(opt.threads);
-
+  const Q18Plan q = MakeQ18(db);
   struct Row {
     Char<25> name;
     int32_t custkey, orderkey, orderdate;
     int64_t totalprice, sum_qty;
   };
   std::vector<Row> rows;
-  std::mutex mu;
-  std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    // 1.5M-group aggregation of lineitem by orderkey.
-    auto lscan =
-        std::make_unique<Scan>(&scan_li, &lineitem, ctx.vector_size);
-    Slot* l_orderkey = lscan->AddColumn<int32_t>("l_orderkey");
-    Slot* l_quantity = lscan->AddColumn<int64_t>("l_quantity");
-    auto group = std::make_unique<HashGroup>(&group_shared, wid, opt.threads,
-                                             std::move(lscan), ctx);
-    const size_t k_okey = group->AddKey<int32_t>(l_orderkey);
-    const size_t a_qty = group->AddSumAgg(l_quantity);
-    Slot* g_okey = group->AddOutput<int32_t>(k_okey);
-    Slot* g_qty = group->AddOutput<int64_t>(a_qty);
-
-    // having sum(l_quantity) > 300 (scale 2).
-    auto having = std::make_unique<Select>(std::move(group), ctx);
-    having->AddStep(MakeSelCmp<int64_t>(ctx, g_qty, CmpOp::kGreater, 30000));
-    CompactColumn<int32_t>(ctx, having->compactor(), g_okey);
-    CompactColumn<int64_t>(ctx, having->compactor(), g_qty);
-
-    // Join the qualifying orderkeys with orders.
-    auto oscan = std::make_unique<Scan>(&scan_ord, &orders, ctx.vector_size);
-    Slot* o_orderkey = oscan->AddColumn<int32_t>("o_orderkey");
-    Slot* o_custkey = oscan->AddColumn<int32_t>("o_custkey");
-    Slot* o_orderdate = oscan->AddColumn<int32_t>("o_orderdate");
-    Slot* o_totalprice = oscan->AddColumn<int64_t>("o_totalprice");
-
-    auto hj_o = std::make_unique<HashJoin>(&join_ord, std::move(having),
-                                           std::move(oscan), ctx);
-    const size_t f_okey = hj_o->AddBuildField<int32_t>(g_okey);
-    const size_t f_qty = hj_o->AddBuildField<int64_t>(g_qty);
-    hj_o->SetBuildHash(MakeHash<int32_t>(ctx, g_okey));
-    hj_o->SetProbeHash(MakeHash<int32_t>(ctx, o_orderkey));
-    hj_o->AddKeyCompare<int32_t>(o_orderkey, f_okey);
-    Slot* jo_qty = hj_o->AddBuildOutput<int64_t>(f_qty);
-    Slot* jo_orderkey = hj_o->AddProbeOutput<int32_t>(o_orderkey);
-    Slot* jo_custkey = hj_o->AddProbeOutput<int32_t>(o_custkey);
-    Slot* jo_orderdate = hj_o->AddProbeOutput<int32_t>(o_orderdate);
-    Slot* jo_totalprice = hj_o->AddProbeOutput<int64_t>(o_totalprice);
-
-    // Customer join for the name. Customer is the build side: its key is
-    // unique, whereas several qualifying orders may share a customer.
-    auto cscan =
-        std::make_unique<Scan>(&scan_cust, &customer, ctx.vector_size);
-    Slot* c_custkey = cscan->AddColumn<int32_t>("c_custkey");
-    Slot* c_name = cscan->AddColumn<Char<25>>("c_name");
-    auto hj_c = std::make_unique<HashJoin>(&join_cust, std::move(cscan),
-                                           std::move(hj_o), ctx);
-    const size_t f_custkey = hj_c->AddBuildField<int32_t>(c_custkey);
-    const size_t f_name = hj_c->AddBuildField<Char<25>>(c_name);
-    hj_c->SetBuildHash(MakeHash<int32_t>(ctx, c_custkey));
-    hj_c->SetProbeHash(MakeHash<int32_t>(ctx, jo_custkey));
-    hj_c->AddKeyCompare<int32_t>(jo_custkey, f_custkey);
-    Slot* out_name = hj_c->AddBuildOutput<Char<25>>(f_name);
-    Slot* out_custkey = hj_c->AddProbeOutput<int32_t>(jo_custkey);
-    Slot* out_orderkey = hj_c->AddProbeOutput<int32_t>(jo_orderkey);
-    Slot* out_orderdate = hj_c->AddProbeOutput<int32_t>(jo_orderdate);
-    Slot* out_total = hj_c->AddProbeOutput<int64_t>(jo_totalprice);
-    Slot* out_qty = hj_c->AddProbeOutput<int64_t>(jo_qty);
-
-    size_t n;
-    while ((n = hj_c->Next()) != kEndOfStream) {
-      std::lock_guard<std::mutex> lock(mu);
-      for (size_t k = 0; k < n; ++k) {
-        rows.push_back(Row{Get<Char<25>>(out_name)[k],
-                           Get<int32_t>(out_custkey)[k],
-                           Get<int32_t>(out_orderkey)[k],
-                           Get<int32_t>(out_orderdate)[k],
-                           Get<int64_t>(out_total)[k],
-                           Get<int64_t>(out_qty)[k]});
-      }
+  q.plan.Run(opt, [&](const Plan::Batch& b) {
+    for (size_t k = 0; k < b.size(); ++k) {
+      rows.push_back(Row{b.Column<Char<25>>(q.name)[k],
+                         b.Column<int32_t>(q.custkey)[k],
+                         b.Column<int32_t>(q.orderkey)[k],
+                         b.Column<int32_t>(q.orderdate)[k],
+                         b.Column<int64_t>(q.totalprice)[k],
+                         b.Column<int64_t>(q.sum_qty)[k]});
     }
-    roots[wid] = std::move(hj_c);
   });
-  roots.clear();
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return std::tie(b.totalprice, a.orderdate, a.orderkey) <
@@ -772,6 +567,20 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
         .Numeric(r.sum_qty, 2);
   }
   return rb.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN entry point
+// ---------------------------------------------------------------------------
+
+Plan PlanFor(const Database& db, std::string_view query_name) {
+  if (query_name == "Q1") return MakeQ1(db).plan;
+  if (query_name == "Q1-adaptive") return MakeQ1Adaptive(db).plan;
+  if (query_name == "Q6") return MakeQ6(db).plan;
+  if (query_name == "Q3") return MakeQ3(db).plan;
+  if (query_name == "Q9") return MakeQ9(db).plan;
+  if (query_name == "Q18") return MakeQ18(db).plan;
+  return detail::SsbPlanFor(db, query_name);
 }
 
 }  // namespace vcq::tectorwise

@@ -237,6 +237,20 @@ MapStep MakeMapAddConst(T konst, const Slot* a, T* out) {
 }
 
 template <typename T>
+MapStep MakeMapMulRSubConst(const Slot* a, T konst, const Slot* b, T* out) {
+  return [a, konst, b, out](size_t n, const pos_t* sel) {
+    MapMulRSubConst<T>(n, sel, Get<T>(a), konst, Get<T>(b), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapMulAddConst(const Slot* a, T konst, const Slot* b, T* out) {
+  return [a, konst, b, out](size_t n, const pos_t* sel) {
+    MapMulAddConst<T>(n, sel, Get<T>(a), konst, Get<T>(b), out);
+  };
+}
+
+template <typename T>
 MapStep MakeMapDivConst(const Slot* a, T konst, T* out) {
   return [a, konst, out](size_t n, const pos_t* sel) {
     MapDivConst<T>(n, sel, Get<T>(a), konst, out);
