@@ -1,9 +1,11 @@
 // Ablation (paper §9.1): relaxed operator fusion — Peloton's hybrid of
 // compilation and vectorization. The fused Typer probe pipeline is split at
 // an explicit materialization boundary with software prefetching of the
-// staged hash-table buckets. "If the query optimizer's decision about
-// whether to break up a pipeline is correct, Peloton can be faster than
-// both standard models."
+// staged hash-table buckets and chain heads (the reusable
+// typer::JoinTable::StagedLookup path; opt.rof applies to every Typer join
+// query, Q9 shown here as the paper's memory-bound example). "If the query
+// optimizer's decision about whether to break up a pipeline is correct,
+// Peloton can be faster than both standard models."
 
 #include <cstdio>
 

@@ -26,8 +26,9 @@ int main() {
   runtime::QueryOptions opt;
   opt.threads = 1;
 
-  benchutil::Table table(
-      {"query", "Typer ms", "TW ms", "Volcano ms", "Volcano/Typer"});
+  benchutil::Table table({"query", "Typer ms", "Ty build", "Ty probe",
+                          "TW ms", "TW build", "TW probe", "Volcano ms",
+                          "Volcano/Typer"});
   for (Query q : TpchQueries()) {
     const auto typer =
         benchutil::MeasureQuery(db, Engine::kTyper, q, opt, reps);
@@ -36,7 +37,10 @@ int main() {
     const auto vol =
         benchutil::MeasureQuery(db, Engine::kVolcano, q, opt, reps);
     table.AddRow({QueryName(q), benchutil::Fmt(typer.ms, 1),
-                  benchutil::Fmt(tw.ms, 1), benchutil::Fmt(vol.ms, 1),
+                  benchutil::Fmt(typer.build_ms, 1),
+                  benchutil::Fmt(typer.probe_ms, 1), benchutil::Fmt(tw.ms, 1),
+                  benchutil::Fmt(tw.build_ms, 1),
+                  benchutil::Fmt(tw.probe_ms, 1), benchutil::Fmt(vol.ms, 1),
                   benchutil::Fmt(vol.ms / typer.ms, 1)});
   }
   table.Print();

@@ -27,7 +27,8 @@ int main() {
 
   runtime::Database db = datagen::GenerateTpch(sf);
 
-  benchutil::Table table({"query", "thr", "Typer ms", "Typer spdup", "TW ms",
+  benchutil::Table table({"query", "thr", "Typer ms", "Ty build", "Ty probe",
+                          "Typer spdup", "TW ms", "TW build", "TW probe",
                           "TW spdup", "Ratio"});
   for (Query q : TpchQueries()) {
     double typer_base = 0, tw_base = 0;
@@ -44,8 +45,12 @@ int main() {
       }
       table.AddRow({QueryName(q), std::to_string(t),
                     benchutil::Fmt(typer.ms, 1),
+                    benchutil::Fmt(typer.build_ms, 1),
+                    benchutil::Fmt(typer.probe_ms, 1),
                     benchutil::Fmt(typer_base / typer.ms, 1),
                     benchutil::Fmt(tw.ms, 1),
+                    benchutil::Fmt(tw.build_ms, 1),
+                    benchutil::Fmt(tw.probe_ms, 1),
                     benchutil::Fmt(tw_base / tw.ms, 1),
                     benchutil::Fmt(typer.ms / tw.ms, 2)});
     }

@@ -47,10 +47,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<vcq::Query> queries;
-  for (vcq::Query q : vcq::TpchQueries()) queries.push_back(q);
-  for (vcq::Query q : vcq::SsbQueries()) queries.push_back(q);
   if (!query_name.empty()) {
-    queries.clear();
     for (vcq::Query q : vcq::TpchQueries())
       if (query_name == vcq::QueryName(q)) queries.push_back(q);
     for (vcq::Query q : vcq::SsbQueries())
@@ -60,7 +57,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    queries.assign(vcq::TpchQueries().begin(), vcq::TpchQueries().end());
+    queries = vcq::TpchQueries();
   }
 
   const bool need_ssb = !queries.empty() && vcq::IsSsbQuery(queries.front());

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/env_util.h"
+#include "runtime/hashmap.h"
 #include "tectorwise/compaction.h"
 
 namespace vcq::benchutil {
@@ -42,13 +43,19 @@ Measurement Measure(const std::function<void()>& fn, int reps) {
   m.ms = times[times.size() / 2];
   auto& telemetry = tectorwise::CompactionTelemetry::Global();
   telemetry.Reset();
+  auto& build_telemetry = runtime::JoinBuildTelemetry::Global();
+  build_telemetry.Reset();
   runtime::PerfCounters counters;
   counters.Start();
+  const double instr_start = Now();
   fn();
+  const double instr_ms = Now() - instr_start;
   m.counters = counters.Stop();
   const auto density = telemetry.Take();
   m.avg_density = density.AvgDensity();
   m.compactions = static_cast<double>(density.compactions);
+  m.build_ms = static_cast<double>(build_telemetry.total_ns()) / 1e6;
+  m.probe_ms = std::max(0.0, instr_ms - m.build_ms);
   return m;
 }
 

@@ -33,6 +33,16 @@ struct Measurement {
   double avg_density = 0;
   double compactions = 0;
 
+  // Build/probe phase split from the instrumented run: build_ms sums the
+  // join-build insert-protocol wall spans recorded by
+  // runtime::JoinBuildTelemetry (one span per hash table, sizing barrier to
+  // final barrier — spans of distinct builds never overlap, so nested
+  // build-side joins are not double-counted, and materialize-phase skew is
+  // excluded); probe_ms is the rest of that run — for queries without hash
+  // joins build_ms is 0 and probe_ms is simply the whole run.
+  double build_ms = 0;
+  double probe_ms = 0;
+
   double CyclesPerTuple() const;
   double InstructionsPerTuple() const;
 };

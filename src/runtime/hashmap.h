@@ -2,12 +2,18 @@
 #define VCQ_RUNTIME_HASHMAP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "runtime/barrier.h"
+#include "runtime/options.h"
 
 namespace vcq::runtime {
 
@@ -92,6 +98,15 @@ class Hashmap {
                                          std::memory_order_relaxed));
   }
 
+  /// Partitioned-build bucket publish: one plain store of the chain head
+  /// plus the accumulated tag bits — no CAS. Only valid while the calling
+  /// thread exclusively owns `bucket` (disjoint bucket ranges,
+  /// runtime::JoinBuild).
+  void SetBucketOwned(size_t bucket, EntryHeader* head, uintptr_t tags) {
+    buckets_[bucket].store(reinterpret_cast<uintptr_t>(head) | tags,
+                           std::memory_order_relaxed);
+  }
+
   /// Single-threaded insert (no CAS); for serial builds and tests.
   void InsertUnlocked(EntryHeader* e) {
     std::atomic<uintptr_t>& slot = buckets_[BucketOf(e->hash)];
@@ -110,6 +125,207 @@ class Hashmap {
   std::unique_ptr<std::atomic<uintptr_t>[]> buckets_;
   size_t capacity_ = 0;
   uint64_t mask_ = 0;
+};
+
+/// One worker's materialized build-side rows: contiguous `stride`-byte rows,
+/// each beginning with an EntryHeader whose hash is already set. Produced by
+/// the materialize phase of either engine, consumed by JoinBuild.
+struct EntryChunkList {
+  std::vector<std::pair<std::byte*, size_t>> chunks;  // (base, row count)
+  size_t total = 0;
+
+  void Add(std::byte* base, size_t rows) {
+    chunks.emplace_back(base, rows);
+    total += rows;
+  }
+};
+
+/// Process-wide accumulator of join-build wall time, drained by
+/// benchutil::Measure for the build/probe timing split: each JoinBuild adds
+/// one span, from the sizing barrier (the last worker has finished
+/// materializing) to the final barrier — the insert protocol itself,
+/// deliberately excluding the engine-specific materialize phase (whose
+/// drain may execute whole nested subplans, which would double-count
+/// builds stacked on a join's build side, and whose per-worker skew would
+/// otherwise be booked as build time).
+class JoinBuildTelemetry {
+ public:
+  static JoinBuildTelemetry& Global() {
+    static JoinBuildTelemetry t;
+    return t;
+  }
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void Reset() { build_ns_.store(0, std::memory_order_relaxed); }
+  void Add(uint64_t ns) { build_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  uint64_t total_ns() const {
+    return build_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> build_ns_{0};
+};
+
+/// Shared join-build protocol of both engines (one instance per hash table,
+/// one Run() call per worker). The materialize phase stays engine-specific;
+/// from the sizing barrier on, the path is common:
+///
+///   kCas          every worker CAS-inserts its own rows into the shared
+///                 table — the seed protocol. Entries remain in the worker
+///                 MemPool chunks, so chains pointer-chase across them.
+///   kPartitioned  workers are assigned disjoint bucket ranges (by the hash
+///                 bits that select the bucket). Each worker histograms the
+///                 whole input for its range, the counts are prefix-summed
+///                 at a barrier, and each worker then copies its range's
+///                 rows into a contiguous bucket-ordered arena segment and
+///                 links them with plain stores: a bucket's chain is a
+///                 sequential run of rows, and no bucket word is ever
+///                 touched by two cores.
+///
+/// The arena is owned here and must outlive the probes (both engines keep
+/// the JoinBuild alive for the query). Chain contents are identical across
+/// modes (same entries per bucket, same tag bits); only chain order and
+/// entry placement differ, which no studied query observes.
+class JoinBuild {
+ public:
+  JoinBuild(Hashmap* ht, size_t threads)
+      : ht_(ht), threads_(threads), barrier_(threads), published_(threads),
+        seg_counts_(threads), seg_offsets_(threads + 1) {}
+
+  /// Executes the insert protocol for one worker: publishes `chunks`, meets
+  /// the barrier that sizes the table, and inserts according to `mode`.
+  /// `stride` is the row size (identical across workers).
+  void Run(BuildMode mode, EntryChunkList chunks, size_t stride) {
+    const size_t wid = arrivals_.fetch_add(1, std::memory_order_relaxed);
+    VCQ_CHECK_MSG(wid < threads_, "JoinBuild::Run called more often than the "
+                                  "thread count it was built for");
+    published_[wid] = std::move(chunks);
+
+    barrier_.Wait([&] {
+      start_ns_ = JoinBuildTelemetry::NowNs();
+      stride_ = stride;
+      total_ = 0;
+      for (const EntryChunkList& list : published_) total_ += list.total;
+      ht_->SetSize(total_);
+      if (mode == BuildMode::kPartitioned)
+        arena_.reset(new std::byte[total_ * stride_]);
+    });
+
+    if (mode == BuildMode::kCas) {
+      for (const auto& [base, rows] : published_[wid].chunks) {
+        for (size_t k = 0; k < rows; ++k) {
+          ht_->Insert(
+              reinterpret_cast<Hashmap::EntryHeader*>(base + k * stride_));
+        }
+      }
+    } else {
+      InsertPartition(wid);
+    }
+
+    barrier_.Wait([&] {
+      JoinBuildTelemetry::Global().Add(JoinBuildTelemetry::NowNs() -
+                                       start_ns_);
+    });
+  }
+
+  /// Total build-side rows (valid after Run returns).
+  size_t entry_count() const { return total_; }
+  /// Bucket-ordered entry arena (kPartitioned only; nullptr for kCas).
+  const std::byte* arena() const { return arena_.get(); }
+
+ private:
+  /// Bucket range owned by worker `wid` (contiguous, covers the table).
+  std::pair<size_t, size_t> RangeOf(size_t wid) const {
+    const size_t cap = ht_->capacity();
+    return {wid * cap / threads_, (wid + 1) * cap / threads_};
+  }
+
+  void InsertPartition(size_t wid) {
+    const auto [lo, hi] = RangeOf(wid);
+    // Pass 1: histogram this worker's bucket range over the whole input,
+    // accumulating each bucket's tag bits along the way.
+    std::vector<uint32_t> hist(hi - lo, 0);
+    std::vector<uintptr_t> tags(hi - lo, 0);
+    size_t mine = 0;
+    for (const EntryChunkList& list : published_) {
+      for (const auto& [base, rows] : list.chunks) {
+        for (size_t k = 0; k < rows; ++k) {
+          const auto* e =
+              reinterpret_cast<const Hashmap::EntryHeader*>(base + k * stride_);
+          const size_t b = ht_->BucketOf(e->hash);
+          if (b - lo < hi - lo) {
+            ++hist[b - lo];
+            tags[b - lo] |= Hashmap::TagOf(e->hash);
+            ++mine;
+          }
+        }
+      }
+    }
+    seg_counts_[wid] = mine;
+    barrier_.Wait([&] {
+      seg_offsets_[0] = 0;
+      for (size_t w = 0; w < threads_; ++w)
+        seg_offsets_[w + 1] = seg_offsets_[w] + seg_counts_[w];
+    });
+
+    // Per-bucket arena row offsets (exclusive prefix over the histogram,
+    // starting at this worker's segment); each non-empty bucket's word is
+    // published once — chain head plus accumulated tags.
+    std::vector<size_t> start(hi - lo);
+    size_t off = seg_offsets_[wid];
+    for (size_t j = 0; j < hi - lo; ++j) {
+      start[j] = off;
+      off += hist[j];
+      if (hist[j] > 0) {
+        ht_->SetBucketOwned(lo + j,
+                            reinterpret_cast<Hashmap::EntryHeader*>(
+                                arena_.get() + start[j] * stride_),
+                            tags[j]);
+      }
+    }
+
+    // Pass 2: copy + link. A bucket's rows are consecutive, so each
+    // entry's successor is simply the next arena row.
+    std::vector<uint32_t> filled(hi - lo, 0);
+    for (const EntryChunkList& list : published_) {
+      for (const auto& [base, rows] : list.chunks) {
+        for (size_t k = 0; k < rows; ++k) {
+          const std::byte* src = base + k * stride_;
+          const uint64_t hash =
+              reinterpret_cast<const Hashmap::EntryHeader*>(src)->hash;
+          const size_t b = ht_->BucketOf(hash);
+          if (b - lo >= hi - lo) continue;
+          const size_t j = b - lo;
+          const size_t slot = start[j] + filled[j]++;
+          std::byte* dst = arena_.get() + slot * stride_;
+          std::memcpy(dst, src, stride_);
+          auto* header = reinterpret_cast<Hashmap::EntryHeader*>(dst);
+          header->next =
+              filled[j] < hist[j]
+                  ? reinterpret_cast<Hashmap::EntryHeader*>(dst + stride_)
+                  : nullptr;
+        }
+      }
+    }
+  }
+
+  Hashmap* ht_;
+  const size_t threads_;
+  Barrier barrier_;
+  std::atomic<size_t> arrivals_{0};
+  std::vector<EntryChunkList> published_;
+  std::vector<size_t> seg_counts_;
+  std::vector<size_t> seg_offsets_;
+  size_t stride_ = 0;
+  size_t total_ = 0;
+  std::unique_ptr<std::byte[]> arena_;
+  uint64_t start_ns_ = 0;  // written/read only under the barrier's on_last
 };
 
 }  // namespace vcq::runtime

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "runtime/options.h"
 
 // Tectorwise execution core (paper §2): pull-based operators exchanging
 // vectors of a configurable size, with selection vectors marking the active
@@ -70,6 +71,12 @@ struct ExecContext {
   /// column, so only truly sparse batches are worth copying. Values >= 1.0
   /// make kAdaptive behave like kAlways, <= 0.0 like kNever.
   double compaction_threshold = 1.0 / 64;
+  /// Join hash-table build protocol (runtime::JoinBuild); plan nodes can
+  /// override it per join (JoinNode::SetBuildMode).
+  runtime::BuildMode build_mode = runtime::BuildMode::kPartitioned;
+  /// Relaxed operator fusion (paper §9.1): HashJoin probes use the
+  /// prefetch-staged findCandidates variant (JoinCandidatesStaged).
+  bool rof = false;
 };
 
 /// Pull-based operator: Next() produces the next batch and returns the

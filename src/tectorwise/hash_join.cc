@@ -13,7 +13,8 @@ HashJoin::HashJoin(Shared* shared, std::unique_ptr<Operator> build,
     : shared_(shared),
       build_(std::move(build)),
       probe_(std::move(probe)),
-      ctx_(ctx) {
+      ctx_(ctx),
+      build_mode_(ctx.build_mode) {
   const size_t v = ctx_.vector_size;
   hashes_.Reset(v * sizeof(uint64_t));
   pos_.Reset(v * sizeof(pos_t));
@@ -32,7 +33,6 @@ void HashJoin::BuildPhase() {
   uint64_t* hashes = hashes_.As<uint64_t>();
   pos_t* pos = pos_.As<pos_t>();
 
-  size_t local = 0;
   size_t n;
   while ((n = build_->Next()) != kEndOfStream) {
     if (n == 0) continue;
@@ -42,22 +42,9 @@ void HashJoin::BuildPhase() {
     ScatterHashes(n, hashes, base, stride);
     for (const ScatterStep& step : scatter_steps_)
       step(n, pos, base, stride);
-    chunks_.emplace_back(base, n);
-    local += n;
+    chunks_.Add(base, n);
   }
-  shared_->entry_count.fetch_add(local, std::memory_order_relaxed);
-
-  shared_->barrier.Wait([this] {
-    shared_->ht.SetSize(shared_->entry_count.load(std::memory_order_relaxed));
-  });
-
-  for (const auto& [base, count] : chunks_) {
-    for (size_t k = 0; k < count; ++k) {
-      shared_->ht.Insert(
-          reinterpret_cast<Hashmap::EntryHeader*>(base + k * stride));
-    }
-  }
-  shared_->barrier.Wait();
+  shared_->build.Run(build_mode_, std::move(chunks_), stride);
   built_ = true;
 }
 
@@ -115,10 +102,18 @@ size_t HashJoin::Next() {
     probe_hash_(n, probe_->sel(), hashes, pos);
     for (const RehashStep& step : probe_rehash_) step(n, pos, hashes);
 
-    size_t m = use_simd ? simd::JoinCandidates(n, hashes, pos, shared_->ht,
-                                               cand, cand_pos)
-                        : JoinCandidates(n, hashes, pos, shared_->ht, cand,
-                                         cand_pos);
+    size_t m;
+    if (use_simd) {
+      m = ctx_.rof ? simd::JoinCandidatesStaged(n, hashes, pos, shared_->ht,
+                                                cand, cand_pos)
+                   : simd::JoinCandidates(n, hashes, pos, shared_->ht, cand,
+                                          cand_pos);
+    } else {
+      m = ctx_.rof ? JoinCandidatesStaged(n, hashes, pos, shared_->ht, cand,
+                                          cand_pos)
+                   : JoinCandidates(n, hashes, pos, shared_->ht, cand,
+                                    cand_pos);
+    }
     size_t hit_count = 0;
     while (m > 0) {
       for (const CmpStep& step : compare_steps_)

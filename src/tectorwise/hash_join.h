@@ -20,21 +20,23 @@ namespace vcq::tectorwise {
 ///
 /// Build: each worker drains its build child, materializes key+payload rows
 /// into arena-allocated entries (probeHash-style expressions compute the
-/// hashes; scatter primitives fill the rows), then all workers meet at a
-/// barrier that sizes the shared table, insert their entries with CAS, and
-/// meet again before probing — the paper's shared-state + barrier scheme
-/// (§6.1).
+/// hashes; scatter primitives fill the rows), then hands its chunk list to
+/// the shared runtime::JoinBuild, which sizes the table at a barrier and
+/// inserts — either with the seed's global CAS pass or, by default, the
+/// partition-parallel protocol that relinks entries into a contiguous
+/// bucket-ordered arena (BuildMode, paper §6.1's shared-state + barrier
+/// scheme).
 ///
-/// Probe: hash primitives -> findCandidates (Bloom-tagged directory) ->
-/// compareKeys primitives (one per key column) -> extractHits/advance loop
-/// -> buildGather + probe-side gathers into dense output vectors.
+/// Probe: hash primitives -> findCandidates (Bloom-tagged directory;
+/// prefetch-staged variant under ctx.rof, paper §9.1) -> compareKeys
+/// primitives (one per key column) -> extractHits/advance loop ->
+/// buildGather + probe-side gathers into dense output vectors.
 class HashJoin : public Operator {
  public:
   struct Shared {
-    explicit Shared(size_t thread_count) : barrier(thread_count) {}
+    explicit Shared(size_t thread_count) : build(&ht, thread_count) {}
     runtime::Hashmap ht;
-    runtime::Barrier barrier;
-    std::atomic<size_t> entry_count{0};
+    runtime::JoinBuild build;
   };
 
   HashJoin(Shared* shared, std::unique_ptr<Operator> build,
@@ -60,6 +62,9 @@ class HashJoin : public Operator {
   void AddBuildRehash(RehashStep step) {
     build_rehash_.push_back(std::move(step));
   }
+  /// Overrides the build protocol for this join (default: ctx.build_mode).
+  /// All workers' HashJoin instances of one Shared must agree.
+  void SetBuildMode(runtime::BuildMode mode) { build_mode_ = mode; }
 
   // --- probe-side configuration -----------------------------------------
 
@@ -159,8 +164,9 @@ class HashJoin : public Operator {
   std::vector<Output> outputs_;
 
   size_t entry_bytes_ = sizeof(runtime::Hashmap::EntryHeader);
-  runtime::MemPool pool_;  // worker-local entry storage
-  std::vector<std::pair<std::byte*, size_t>> chunks_;
+  runtime::BuildMode build_mode_;
+  runtime::MemPool pool_;  // worker-local entry storage (materialize phase)
+  runtime::EntryChunkList chunks_;
   bool built_ = false;
   bool probe_eos_ = false;
 

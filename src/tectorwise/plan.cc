@@ -14,6 +14,8 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.use_simd = opt.simd;
   ctx.compaction = ToPolicy(opt.compaction);
   ctx.compaction_threshold = opt.compaction_threshold;
+  ctx.build_mode = opt.build_mode;
+  ctx.rof = opt.rof;
   return ctx;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/cpu_info.h"
 #include "runtime/hash.h"
+#include "tectorwise/primitives.h"
 
 // Every kernel carries its own target attribute so the library builds and
 // runs on any x86-64 machine; the AVX-512 code paths are only taken when
@@ -528,6 +529,17 @@ VCQ_AVX512 size_t JoinCandidates(size_t n, const uint64_t* hashes,
     m += (e != nullptr) ? 1 : 0;
   }
   return m;
+}
+
+size_t JoinCandidatesStaged(size_t n, const uint64_t* hashes,
+                            const pos_t* pos, const runtime::Hashmap& ht,
+                            runtime::Hashmap::EntryHeader** cand,
+                            pos_t* cand_pos) {
+  return StagedCandidates(n, hashes, pos, ht, cand, cand_pos,
+                          [](auto&&... args) {
+                            return JoinCandidates(
+                                std::forward<decltype(args)>(args)...);
+                          });
 }
 
 }  // namespace vcq::tectorwise::simd

@@ -1,43 +1,67 @@
 #ifndef VCQ_TYPER_JOIN_TABLE_H_
 #define VCQ_TYPER_JOIN_TABLE_H_
 
-#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "runtime/hashmap.h"
 #include "runtime/mem_pool.h"
+#include "runtime/options.h"
 #include "runtime/worker_pool.h"
 
 namespace vcq::typer {
 
+/// Block size for relaxed-operator-fusion staged probes (paper §9.1): large
+/// enough that the block's independent prefetches cover DRAM latency, small
+/// enough that the staged hash buffers stay L1-resident.
+inline constexpr size_t kRofBlock = 512;
+
 /// Shared join hash table for Typer pipelines: a morsel-parallel producer
-/// materializes entries into worker-local arenas, then the table is sized
-/// once and filled with lock-free CAS inserts — the same build protocol the
-/// Tectorwise HashJoin uses over the same runtime::Hashmap (paper §3.2:
-/// "the same data structures").
+/// materializes entries into worker-local chunk arenas, then hands them to
+/// the shared runtime::JoinBuild — the same build protocol the Tectorwise
+/// HashJoin uses over the same runtime::Hashmap (paper §3.2: "the same data
+/// structures"). Under the default BuildMode::kPartitioned each worker owns
+/// a disjoint bucket range and relinks its range's entries into a
+/// contiguous bucket-ordered arena with plain stores; BuildMode::kCas is
+/// the seed's global lock-free CAS pass.
 ///
 /// Entry must begin with a runtime::Hashmap::EntryHeader member `header`;
 /// the producer sets `header.hash` before emitting.
 template <typename Entry>
 class JoinTable {
- public:
-  explicit JoinTable(size_t threads) : pools_(threads), rows_(threads) {}
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "the partitioned build relocates entries bytewise");
 
-  /// produce(worker_id, emit) appends build tuples via emit(const Entry&).
+ public:
+  explicit JoinTable(const runtime::QueryOptions& opt)
+      : threads_(opt.threads),
+        mode_(opt.build_mode),
+        build_(&ht, opt.threads),
+        pools_(opt.threads) {}
+
+  /// produce(worker_id, emit) appends build tuples via emit(const Entry&);
+  /// runs one parallel region covering materialize + insert.
   template <typename ProduceFn>
-  void Build(size_t threads, ProduceFn&& produce) {
-    runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+  void Build(ProduceFn&& produce) {
+    runtime::WorkerPool::Global().Run(threads_, [&](size_t wid) {
+      runtime::EntryChunkList list;
+      Entry* block = nullptr;
+      size_t used = kChunkRows;
       auto emit = [&](const Entry& e) {
-        Entry* p = pools_[wid].template Create<Entry>(e);
-        rows_[wid].push_back(p);
+        if (used == kChunkRows) {
+          block = static_cast<Entry*>(
+              pools_[wid].Allocate(kChunkRows * sizeof(Entry)));
+          list.Add(reinterpret_cast<std::byte*>(block), 0);
+          used = 0;
+        }
+        new (block + used++) Entry(e);
+        ++list.chunks.back().second;
+        ++list.total;
       };
       produce(wid, emit);
-    });
-    size_t total = 0;
-    for (const auto& r : rows_) total += r.size();
-    ht.SetSize(total);
-    runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
-      for (Entry* e : rows_[wid]) ht.Insert(&e->header);
+      build_.Run(mode_, std::move(list), sizeof(Entry));
     });
   }
 
@@ -51,17 +75,61 @@ class JoinTable {
     return nullptr;
   }
 
-  size_t size() const {
-    size_t total = 0;
-    for (const auto& r : rows_) total += r.size();
-    return total;
-  }
+  /// Staged (ROF) probe state for this table (paper §9.1): the fused probe
+  /// loop is split at a kRofBlock boundary. Stage 1 (Hash) computes the
+  /// block's hashes and prefetches their directory words; stage 2
+  /// (PrefetchEntries) resolves the chain heads from the now-cached
+  /// directory and prefetches the entry nodes — the second dependent miss
+  /// of a chaining table; stage 3 (Lookup) resolves a block behind, with
+  /// the latency already hidden. One StagedLookup per join table in the
+  /// pipeline; this is what generalizes the former Typer-Q9-only ROF
+  /// special case to every join query.
+  class StagedLookup {
+   public:
+    explicit StagedLookup(const JoinTable& table) : table_(table) {}
+
+    /// Stage 1: hashes_[k] = hash_of(k) for k in [0, n); n <= kRofBlock.
+    template <typename HashFn>
+    void Hash(size_t n, HashFn&& hash_of) {
+      const runtime::Hashmap& ht = table_.ht;
+      for (size_t k = 0; k < n; ++k) {
+        hashes_[k] = hash_of(k);
+        __builtin_prefetch(ht.buckets() + ht.BucketOf(hashes_[k]), 0, 1);
+      }
+    }
+
+    /// Stage 2: prefetches the surviving chain heads.
+    void PrefetchEntries(size_t n) const {
+      for (size_t k = 0; k < n; ++k) {
+        if (auto* e = table_.ht.FindChainTagged(hashes_[k]))
+          __builtin_prefetch(e, 0, 1);
+      }
+    }
+
+    uint64_t hash(size_t k) const { return hashes_[k]; }
+
+    /// Stage 3: the standard Lookup with the staged hash.
+    template <typename EqFn>
+    const Entry* Lookup(size_t k, EqFn&& eq) const {
+      return table_.Lookup(hashes_[k], std::forward<EqFn>(eq));
+    }
+
+   private:
+    const JoinTable& table_;
+    uint64_t hashes_[kRofBlock];
+  };
+
+  size_t size() const { return build_.entry_count(); }
 
   runtime::Hashmap ht;
 
  private:
+  static constexpr size_t kChunkRows = 1024;
+
+  size_t threads_;
+  runtime::BuildMode mode_;
+  runtime::JoinBuild build_;
   std::vector<runtime::MemPool> pools_;
-  std::vector<std::vector<Entry*>> rows_;
 };
 
 }  // namespace vcq::typer

@@ -49,11 +49,10 @@ struct BrandEntry {
 /// Builds a dimension hash table from rows passing `pred`, with the entry
 /// payload produced by `fill`.
 template <typename Entry, typename PredFn, typename FillFn>
-void BuildDimension(JoinTable<Entry>& table, size_t tuple_count,
-                    size_t threads, size_t grain, PredFn&& pred,
-                    FillFn&& fill) {
+void BuildDimension(JoinTable<Entry>& table, size_t tuple_count, size_t grain,
+                    PredFn&& pred, FillFn&& fill) {
   MorselQueue morsels(tuple_count, grain);
-  table.Build(threads, [&](size_t, auto emit) {
+  table.Build([&](size_t, auto emit) {
     size_t begin, end;
     while (morsels.Next(begin, end)) {
       for (size_t i = begin; i < end; ++i) {
@@ -81,9 +80,9 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
   const auto lo_quantity = lineorder.Col<int64_t>("lo_quantity");
   const auto lo_extprice = lineorder.Col<int64_t>("lo_extendedprice");
 
-  JoinTable<KeyOnly> ht_date(opt.threads);
+  JoinTable<KeyOnly> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_date, date.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return d_year[i] == 1993; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -95,18 +94,41 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
   MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
   WorkerPool::Global().Run(opt.threads, [&](size_t) {
     int64_t local = 0;
+    auto resolve = [&](size_t i, uint64_t dh) {
+      const int32_t dk = lo_orderdate[i];
+      if (ht_date.Lookup(dh, [&](const KeyOnly& e) { return e.key == dk; }) ==
+          nullptr) {
+        return;
+      }
+      local += lo_extprice[i] * lo_discount[i];
+    };
+    auto pass = [&](size_t i) {
+      return lo_discount[i] >= 1 && lo_discount[i] <= 3 &&
+             lo_quantity[i] < 25;
+    };
     size_t begin, end;
     while (morsels.Next(begin, end)) {
-      for (size_t i = begin; i < end; ++i) {
-        if (lo_discount[i] < 1 || lo_discount[i] > 3 || lo_quantity[i] >= 25)
-          continue;
-        const int32_t dk = lo_orderdate[i];
-        if (ht_date.Lookup(HashCrc32(static_cast<uint32_t>(dk)),
-                           [&](const KeyOnly& e) { return e.key == dk; }) ==
-            nullptr) {
-          continue;
+      if (opt.rof) {
+        JoinTable<KeyOnly>::StagedLookup date_probe(ht_date);
+        size_t idx[kRofBlock];
+        for (size_t block = begin; block < end; block += kRofBlock) {
+          const size_t block_end = std::min(block + kRofBlock, end);
+          size_t n = 0;
+          for (size_t i = block; i < block_end; ++i) {
+            idx[n] = i;
+            n += pass(i) ? 1 : 0;
+          }
+          date_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_orderdate[idx[k]]));
+          });
+          date_probe.PrefetchEntries(n);
+          for (size_t k = 0; k < n; ++k) resolve(idx[k], date_probe.hash(k));
         }
-        local += lo_extprice[i] * lo_discount[i];
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          if (!pass(i)) continue;
+          resolve(i, HashCrc32(static_cast<uint32_t>(lo_orderdate[i])));
+        }
       }
     }
     std::lock_guard<std::mutex> lock(mu);
@@ -146,10 +168,10 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_category = part.Col<Char<7>>("p_category");
   const auto p_brand1 = part.Col<Char<9>>("p_brand1");
-  JoinTable<BrandEntry> ht_part(opt.threads);
+  JoinTable<BrandEntry> ht_part(opt);
   const Char<7> mfgr12 = Char<7>::From("MFGR#12");
   BuildDimension(
-      ht_part, part.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_part, part.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return p_category[i] == mfgr12; },
       [&](size_t i, BrandEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
@@ -159,10 +181,10 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
 
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_region = supplier.Col<Char<12>>("s_region");
-  JoinTable<KeyOnly> ht_supp(opt.threads);
+  JoinTable<KeyOnly> ht_supp(opt);
   const Char<12> america = Char<12>::From("AMERICA");
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_supp, supplier.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return s_region[i] == america; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
@@ -171,9 +193,9 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
 
   const auto d_datekey = date.Col<int32_t>("d_datekey");
   const auto d_year = date.Col<int32_t>("d_year");
-  JoinTable<DateEntry> ht_date(opt.threads);
+  JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_date, date.tuple_count(), opt.morsel_grain,
       [&](size_t) { return true; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -191,40 +213,74 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
   WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>();
     LocalGroupTable<Q21Group>& local = *locals[wid];
+    auto resolve = [&](size_t i, auto&& ph, auto&& sh, auto&& dh) {
+      const int32_t pk = lo_partkey[i];
+      const BrandEntry* p = ht_part.Lookup(
+          ph(), [&](const BrandEntry& e) { return e.partkey == pk; });
+      if (p == nullptr) return;
+      const int32_t sk = lo_suppkey[i];
+      if (ht_supp.Lookup(sh(), [&](const KeyOnly& e) {
+            return e.key == sk;
+          }) == nullptr) {
+        return;
+      }
+      const int32_t dk = lo_orderdate[i];
+      const DateEntry* d = ht_date.Lookup(
+          dh(), [&](const DateEntry& e) { return e.datekey == dk; });
+      const int32_t year = d->year;
+      const Char<9> brand = p->brand;
+      const uint64_t gh = HashCrc32(
+          static_cast<uint64_t>(static_cast<uint32_t>(year)) ^
+          (runtime::HashBytes(brand.data, 9) << 1));
+      Q21Group* g = local.FindOrCreate(
+          gh,
+          [&](const Q21Group& e) {
+            return e.year == year && e.brand == brand;
+          },
+          [&](Q21Group* e) {
+            e->year = year;
+            e->brand = brand;
+            e->revenue = 0;
+          });
+      g->revenue += lo_revenue[i];
+    };
     size_t begin, end;
     while (morsels.Next(begin, end)) {
-      for (size_t i = begin; i < end; ++i) {
-        const int32_t pk = lo_partkey[i];
-        const BrandEntry* p = ht_part.Lookup(
-            HashCrc32(static_cast<uint32_t>(pk)),
-            [&](const BrandEntry& e) { return e.partkey == pk; });
-        if (p == nullptr) continue;
-        const int32_t sk = lo_suppkey[i];
-        if (ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
-                           [&](const KeyOnly& e) { return e.key == sk; }) ==
-            nullptr) {
-          continue;
+      if (opt.rof) {
+        JoinTable<BrandEntry>::StagedLookup part_probe(ht_part);
+        JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);
+        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
+        for (size_t block = begin; block < end; block += kRofBlock) {
+          const size_t n = std::min(kRofBlock, end - block);
+          part_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_partkey[block + k]));
+          });
+          supp_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
+          });
+          date_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
+          });
+          part_probe.PrefetchEntries(n);
+          supp_probe.PrefetchEntries(n);
+          date_probe.PrefetchEntries(n);
+          for (size_t k = 0; k < n; ++k) {
+            resolve(
+                block + k, [&] { return part_probe.hash(k); },
+                [&] { return supp_probe.hash(k); },
+                [&] { return date_probe.hash(k); });
+          }
         }
-        const int32_t dk = lo_orderdate[i];
-        const DateEntry* d = ht_date.Lookup(
-            HashCrc32(static_cast<uint32_t>(dk)),
-            [&](const DateEntry& e) { return e.datekey == dk; });
-        const int32_t year = d->year;
-        const Char<9> brand = p->brand;
-        const uint64_t gh = HashCrc32(
-            static_cast<uint64_t>(static_cast<uint32_t>(year)) ^
-            (runtime::HashBytes(brand.data, 9) << 1));
-        Q21Group* g = local.FindOrCreate(
-            gh,
-            [&](const Q21Group& e) {
-              return e.year == year && e.brand == brand;
-            },
-            [&](Q21Group* e) {
-              e->year = year;
-              e->brand = brand;
-              e->revenue = 0;
-            });
-        g->revenue += lo_revenue[i];
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          resolve(
+              i,
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_partkey[i])); },
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_suppkey[i])); },
+              [&] {
+                return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+              });
+        }
       }
     }
   });
@@ -269,9 +325,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_nation = customer.Col<Char<15>>("c_nation");
   const auto c_region = customer.Col<Char<12>>("c_region");
-  JoinTable<KeyNation> ht_cust(opt.threads);
+  JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
-      ht_cust, customer.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_cust, customer.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return c_region[i] == asia; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
@@ -282,9 +338,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_nation = supplier.Col<Char<15>>("s_nation");
   const auto s_region = supplier.Col<Char<12>>("s_region");
-  JoinTable<KeyNation> ht_supp(opt.threads);
+  JoinTable<KeyNation> ht_supp(opt);
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_supp, supplier.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return s_region[i] == asia; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
@@ -294,9 +350,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
 
   const auto d_datekey = date.Col<int32_t>("d_datekey");
   const auto d_year = date.Col<int32_t>("d_year");
-  JoinTable<DateEntry> ht_date(opt.threads);
+  JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_date, date.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return d_year[i] >= 1992 && d_year[i] <= 1997; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -314,41 +370,74 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>();
     LocalGroupTable<Q31Group>& local = *locals[wid];
+    auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& dh) {
+      const int32_t ck = lo_custkey[i];
+      const KeyNation* c = ht_cust.Lookup(
+          ch(), [&](const KeyNation& e) { return e.key == ck; });
+      if (c == nullptr) return;
+      const int32_t sk = lo_suppkey[i];
+      const KeyNation* s = ht_supp.Lookup(
+          sh(), [&](const KeyNation& e) { return e.key == sk; });
+      if (s == nullptr) return;
+      const int32_t dk = lo_orderdate[i];
+      const DateEntry* d = ht_date.Lookup(
+          dh(), [&](const DateEntry& e) { return e.datekey == dk; });
+      if (d == nullptr) return;
+      const uint64_t gh = HashCrc32(
+          runtime::HashBytes(c->nation.data, 15) ^
+          (runtime::HashBytes(s->nation.data, 15) << 1) ^
+          static_cast<uint32_t>(d->year));
+      Q31Group* g = local.FindOrCreate(
+          gh,
+          [&](const Q31Group& e) {
+            return e.year == d->year && e.c_nation == c->nation &&
+                   e.s_nation == s->nation;
+          },
+          [&](Q31Group* e) {
+            e->c_nation = c->nation;
+            e->s_nation = s->nation;
+            e->year = d->year;
+            e->revenue = 0;
+          });
+      g->revenue += lo_revenue[i];
+    };
     size_t begin, end;
     while (morsels.Next(begin, end)) {
-      for (size_t i = begin; i < end; ++i) {
-        const int32_t ck = lo_custkey[i];
-        const KeyNation* c = ht_cust.Lookup(
-            HashCrc32(static_cast<uint32_t>(ck)),
-            [&](const KeyNation& e) { return e.key == ck; });
-        if (c == nullptr) continue;
-        const int32_t sk = lo_suppkey[i];
-        const KeyNation* s = ht_supp.Lookup(
-            HashCrc32(static_cast<uint32_t>(sk)),
-            [&](const KeyNation& e) { return e.key == sk; });
-        if (s == nullptr) continue;
-        const int32_t dk = lo_orderdate[i];
-        const DateEntry* d = ht_date.Lookup(
-            HashCrc32(static_cast<uint32_t>(dk)),
-            [&](const DateEntry& e) { return e.datekey == dk; });
-        if (d == nullptr) continue;
-        const uint64_t gh = HashCrc32(
-            runtime::HashBytes(c->nation.data, 15) ^
-            (runtime::HashBytes(s->nation.data, 15) << 1) ^
-            static_cast<uint32_t>(d->year));
-        Q31Group* g = local.FindOrCreate(
-            gh,
-            [&](const Q31Group& e) {
-              return e.year == d->year && e.c_nation == c->nation &&
-                     e.s_nation == s->nation;
-            },
-            [&](Q31Group* e) {
-              e->c_nation = c->nation;
-              e->s_nation = s->nation;
-              e->year = d->year;
-              e->revenue = 0;
-            });
-        g->revenue += lo_revenue[i];
+      if (opt.rof) {
+        JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
+        JoinTable<KeyNation>::StagedLookup supp_probe(ht_supp);
+        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
+        for (size_t block = begin; block < end; block += kRofBlock) {
+          const size_t n = std::min(kRofBlock, end - block);
+          cust_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_custkey[block + k]));
+          });
+          supp_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
+          });
+          date_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
+          });
+          cust_probe.PrefetchEntries(n);
+          supp_probe.PrefetchEntries(n);
+          date_probe.PrefetchEntries(n);
+          for (size_t k = 0; k < n; ++k) {
+            resolve(
+                block + k, [&] { return cust_probe.hash(k); },
+                [&] { return supp_probe.hash(k); },
+                [&] { return date_probe.hash(k); });
+          }
+        }
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          resolve(
+              i,
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_custkey[i])); },
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_suppkey[i])); },
+              [&] {
+                return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+              });
+        }
       }
     }
   });
@@ -401,9 +490,9 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_nation = customer.Col<Char<15>>("c_nation");
   const auto c_region = customer.Col<Char<12>>("c_region");
-  JoinTable<KeyNation> ht_cust(opt.threads);
+  JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
-      ht_cust, customer.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_cust, customer.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return c_region[i] == america; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
@@ -413,9 +502,9 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
 
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_region = supplier.Col<Char<12>>("s_region");
-  JoinTable<KeyOnly> ht_supp(opt.threads);
+  JoinTable<KeyOnly> ht_supp(opt);
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_supp, supplier.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return s_region[i] == america; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
@@ -424,11 +513,11 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
 
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_mfgr = part.Col<Char<6>>("p_mfgr");
-  JoinTable<KeyOnly> ht_part(opt.threads);
+  JoinTable<KeyOnly> ht_part(opt);
   const Char<6> mfgr1 = Char<6>::From("MFGR#1");
   const Char<6> mfgr2 = Char<6>::From("MFGR#2");
   BuildDimension(
-      ht_part, part.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_part, part.tuple_count(), opt.morsel_grain,
       [&](size_t i) { return p_mfgr[i] == mfgr1 || p_mfgr[i] == mfgr2; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
@@ -437,9 +526,9 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
 
   const auto d_datekey = date.Col<int32_t>("d_datekey");
   const auto d_year = date.Col<int32_t>("d_year");
-  JoinTable<DateEntry> ht_date(opt.threads);
+  JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.threads, opt.morsel_grain,
+      ht_date, date.tuple_count(), opt.morsel_grain,
       [&](size_t) { return true; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -459,45 +548,87 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
   WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>();
     LocalGroupTable<Q41Group>& local = *locals[wid];
+    auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& ph,
+                       auto&& dh) {
+      const int32_t ck = lo_custkey[i];
+      const KeyNation* c = ht_cust.Lookup(
+          ch(), [&](const KeyNation& e) { return e.key == ck; });
+      if (c == nullptr) return;
+      const int32_t sk = lo_suppkey[i];
+      if (ht_supp.Lookup(sh(), [&](const KeyOnly& e) {
+            return e.key == sk;
+          }) == nullptr) {
+        return;
+      }
+      const int32_t pk = lo_partkey[i];
+      if (ht_part.Lookup(ph(), [&](const KeyOnly& e) {
+            return e.key == pk;
+          }) == nullptr) {
+        return;
+      }
+      const int32_t dk = lo_orderdate[i];
+      const DateEntry* d = ht_date.Lookup(
+          dh(), [&](const DateEntry& e) { return e.datekey == dk; });
+      const int64_t profit = lo_revenue[i] - lo_supplycost[i];
+      const uint64_t gh = HashCrc32(
+          runtime::HashBytes(c->nation.data, 15) ^
+          static_cast<uint32_t>(d->year));
+      Q41Group* g = local.FindOrCreate(
+          gh,
+          [&](const Q41Group& e) {
+            return e.year == d->year && e.c_nation == c->nation;
+          },
+          [&](Q41Group* e) {
+            e->year = d->year;
+            e->c_nation = c->nation;
+            e->profit = 0;
+          });
+      g->profit += profit;
+    };
     size_t begin, end;
     while (morsels.Next(begin, end)) {
-      for (size_t i = begin; i < end; ++i) {
-        const int32_t ck = lo_custkey[i];
-        const KeyNation* c = ht_cust.Lookup(
-            HashCrc32(static_cast<uint32_t>(ck)),
-            [&](const KeyNation& e) { return e.key == ck; });
-        if (c == nullptr) continue;
-        const int32_t sk = lo_suppkey[i];
-        if (ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
-                           [&](const KeyOnly& e) { return e.key == sk; }) ==
-            nullptr) {
-          continue;
+      if (opt.rof) {
+        JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
+        JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);
+        JoinTable<KeyOnly>::StagedLookup part_probe(ht_part);
+        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
+        for (size_t block = begin; block < end; block += kRofBlock) {
+          const size_t n = std::min(kRofBlock, end - block);
+          cust_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_custkey[block + k]));
+          });
+          supp_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
+          });
+          part_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_partkey[block + k]));
+          });
+          date_probe.Hash(n, [&](size_t k) {
+            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
+          });
+          cust_probe.PrefetchEntries(n);
+          supp_probe.PrefetchEntries(n);
+          part_probe.PrefetchEntries(n);
+          date_probe.PrefetchEntries(n);
+          for (size_t k = 0; k < n; ++k) {
+            resolve(
+                block + k, [&] { return cust_probe.hash(k); },
+                [&] { return supp_probe.hash(k); },
+                [&] { return part_probe.hash(k); },
+                [&] { return date_probe.hash(k); });
+          }
         }
-        const int32_t pk = lo_partkey[i];
-        if (ht_part.Lookup(HashCrc32(static_cast<uint32_t>(pk)),
-                           [&](const KeyOnly& e) { return e.key == pk; }) ==
-            nullptr) {
-          continue;
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          resolve(
+              i,
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_custkey[i])); },
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_suppkey[i])); },
+              [&] { return HashCrc32(static_cast<uint32_t>(lo_partkey[i])); },
+              [&] {
+                return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+              });
         }
-        const int32_t dk = lo_orderdate[i];
-        const DateEntry* d = ht_date.Lookup(
-            HashCrc32(static_cast<uint32_t>(dk)),
-            [&](const DateEntry& e) { return e.datekey == dk; });
-        const int64_t profit = lo_revenue[i] - lo_supplycost[i];
-        const uint64_t gh = HashCrc32(
-            runtime::HashBytes(c->nation.data, 15) ^
-            static_cast<uint32_t>(d->year));
-        Q41Group* g = local.FindOrCreate(
-            gh,
-            [&](const Q41Group& e) {
-              return e.year == d->year && e.c_nation == c->nation;
-            },
-            [&](Q41Group* e) {
-              e->year = d->year;
-              e->c_nation = c->nation;
-              e->profit = 0;
-            });
-        g->profit += profit;
       }
     }
   });

@@ -205,10 +205,10 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
   // Pipeline 1: build customer hash table (BUILDING segment).
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
-  JoinTable<Q3Cust> ht_cust(opt.threads);
+  JoinTable<Q3Cust> ht_cust(opt);
   {
     MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
-    ht_cust.Build(opt.threads, [&](size_t, auto emit) {
+    ht_cust.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -227,10 +227,10 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
   const auto o_custkey = orders.Col<int32_t>("o_custkey");
   const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
   const auto o_shipprio = orders.Col<int32_t>("o_shippriority");
-  JoinTable<Q3Order> ht_ord(opt.threads);
+  JoinTable<Q3Order> ht_ord(opt);
   {
     MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
-    ht_ord.Build(opt.threads, [&](size_t, auto emit) {
+    ht_ord.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -253,7 +253,10 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
     });
   }
 
-  // Pipeline 3: probe with lineitem, aggregate revenue per order.
+  // Pipeline 3: probe with lineitem, aggregate revenue per order. Under
+  // opt.rof the loop runs block-staged (paper §9.1): qualifying tuples are
+  // gathered per block, the orders-table hashes staged with prefetches,
+  // and the probes resolved a block behind with the latency hidden.
   const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
   const auto l_shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
@@ -264,24 +267,44 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
     WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>();
       LocalGroupTable<Q3Group>& local = *locals[wid];
+      auto resolve = [&](size_t i, uint64_t h) {
+        const int32_t ok = l_orderkey[i];
+        const Q3Order* o = ht_ord.Lookup(
+            h, [&](const Q3Order& e) { return e.orderkey == ok; });
+        if (o == nullptr) return;
+        Q3Group* g = local.FindOrCreate(
+            h, [&](const Q3Group& e) { return e.orderkey == ok; },
+            [&](Q3Group* e) {
+              e->orderkey = o->orderkey;
+              e->orderdate = o->orderdate;
+              e->shippriority = o->shippriority;
+              e->revenue = 0;
+            });
+        g->revenue += l_extprice[i] * (100 - l_discount[i]);
+      };
       size_t begin, end;
       while (morsels.Next(begin, end)) {
-        for (size_t i = begin; i < end; ++i) {
-          if (l_shipdate[i] <= date) continue;
-          const int32_t ok = l_orderkey[i];
-          const uint64_t h = HashCrc32(static_cast<uint32_t>(ok));
-          const Q3Order* o = ht_ord.Lookup(
-              h, [&](const Q3Order& e) { return e.orderkey == ok; });
-          if (o == nullptr) continue;
-          Q3Group* g = local.FindOrCreate(
-              h, [&](const Q3Group& e) { return e.orderkey == ok; },
-              [&](Q3Group* e) {
-                e->orderkey = o->orderkey;
-                e->orderdate = o->orderdate;
-                e->shippriority = o->shippriority;
-                e->revenue = 0;
-              });
-          g->revenue += l_extprice[i] * (100 - l_discount[i]);
+        if (opt.rof) {
+          JoinTable<Q3Order>::StagedLookup ord(ht_ord);
+          size_t idx[kRofBlock];
+          for (size_t block = begin; block < end; block += kRofBlock) {
+            const size_t block_end = std::min(block + kRofBlock, end);
+            size_t n = 0;
+            for (size_t i = block; i < block_end; ++i) {
+              idx[n] = i;
+              n += (l_shipdate[i] > date) ? 1 : 0;
+            }
+            ord.Hash(n, [&](size_t k) {
+              return HashCrc32(static_cast<uint32_t>(l_orderkey[idx[k]]));
+            });
+            ord.PrefetchEntries(n);
+            for (size_t k = 0; k < n; ++k) resolve(idx[k], ord.hash(k));
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            if (l_shipdate[i] <= date) continue;
+            resolve(i, HashCrc32(static_cast<uint32_t>(l_orderkey[i])));
+          }
         }
       }
     });
@@ -354,10 +377,10 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   // Green parts.
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_name = part.Col<Varchar<55>>("p_name");
-  JoinTable<Q9Part> ht_part(opt.threads);
+  JoinTable<Q9Part> ht_part(opt);
   {
     MorselQueue morsels(part.tuple_count(), opt.morsel_grain);
-    ht_part.Build(opt.threads, [&](size_t, auto emit) {
+    ht_part.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -375,10 +398,10 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   const auto ps_partkey = partsupp.Col<int32_t>("ps_partkey");
   const auto ps_suppkey = partsupp.Col<int32_t>("ps_suppkey");
   const auto ps_cost = partsupp.Col<int64_t>("ps_supplycost");
-  JoinTable<Q9PartSupp> ht_ps(opt.threads);
+  JoinTable<Q9PartSupp> ht_ps(opt);
   {
     MorselQueue morsels(partsupp.tuple_count(), opt.morsel_grain);
-    ht_ps.Build(opt.threads, [&](size_t, auto emit) {
+    ht_ps.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -403,10 +426,10 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   // Suppliers.
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_nationkey = supplier.Col<int32_t>("s_nationkey");
-  JoinTable<Q9Supp> ht_supp(opt.threads);
+  JoinTable<Q9Supp> ht_supp(opt);
   {
     MorselQueue morsels(supplier.tuple_count(), opt.morsel_grain);
-    ht_supp.Build(opt.threads, [&](size_t, auto emit) {
+    ht_supp.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -423,10 +446,10 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   // Orders (year extracted at build time).
   const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
   const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
-  JoinTable<Q9Order> ht_ord(opt.threads);
+  JoinTable<Q9Order> ht_ord(opt);
   {
     MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
-    ht_ord.Build(opt.threads, [&](size_t, auto emit) {
+    ht_ord.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -448,117 +471,85 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   const auto l_discount = lineitem.Col<int64_t>("l_discount");
   const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
   std::vector<std::unique_ptr<LocalGroupTable<Q9Group>>> locals(opt.threads);
-  if (opt.rof) {
-    // Relaxed operator fusion (paper §9.1): the fused probe loop is split
-    // at an explicit materialization boundary. Stage 1 computes the
-    // composite-key hashes for a block of tuples and prefetches their
-    // partsupp buckets; stage 2 probes with the latency already hidden —
-    // Peloton's staged-pipeline idea grafted onto the compiled engine.
-    constexpr size_t kStage = 512;
+  {
     MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
     WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
       LocalGroupTable<Q9Group>& local = *locals[wid];
-      uint64_t ps_hashes[kStage];
-      uint64_t ord_hashes[kStage];
+      // One resolve body for both paths; the hash providers keep the fused
+      // path lazy (hashes after the partsupp hit) while the ROF path reads
+      // the staged buffers.
+      auto resolve = [&](size_t i, auto&& ps_h, auto&& supp_h,
+                         auto&& ord_h) {
+        const uint64_t pskey = PackPartSupp(l_partkey[i], l_suppkey[i]);
+        const Q9PartSupp* ps =
+            ht_ps.Lookup(ps_h(), [&](const Q9PartSupp& e) {
+              return PackPartSupp(e.partkey, e.suppkey) == pskey;
+            });
+        if (ps == nullptr) return;
+        const int32_t sk = l_suppkey[i];
+        const Q9Supp* s = ht_supp.Lookup(
+            supp_h(), [&](const Q9Supp& e) { return e.suppkey == sk; });
+        const int32_t ok = l_orderkey[i];
+        const Q9Order* o = ht_ord.Lookup(
+            ord_h(), [&](const Q9Order& e) { return e.orderkey == ok; });
+        const int64_t amount = l_extprice[i] * (100 - l_discount[i]) -
+                               ps->supplycost * l_quantity[i];
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(s->nationkey))
+             << 32) |
+            static_cast<uint32_t>(o->year);
+        Q9Group* g = local.FindOrCreate(
+            HashCrc32(key), [&](const Q9Group& e) { return e.key == key; },
+            [&](Q9Group* e) {
+              e->key = key;
+              e->profit = 0;
+            });
+        g->profit += amount;
+      };
       size_t begin, end;
       while (morsels.Next(begin, end)) {
-        for (size_t block = begin; block < end; block += kStage) {
-          const size_t block_end = std::min(block + kStage, end);
-          const size_t n = block_end - block;
-          for (size_t k = 0; k < n; ++k) {
-            const size_t i = block + k;
-            ps_hashes[k] =
-                HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
-            __builtin_prefetch(
-                ht_ps.ht.buckets() + ht_ps.ht.BucketOf(ps_hashes[k]), 0, 1);
-            // The orders directory is the memory-bound structure (1.5M
-            // entries per SF): prefetching it is what pays.
-            ord_hashes[k] =
-                HashCrc32(static_cast<uint32_t>(l_orderkey[i]));
-            __builtin_prefetch(
-                ht_ord.ht.buckets() + ht_ord.ht.BucketOf(ord_hashes[k]), 0,
-                1);
-          }
-          // Second boundary: the directory words are now cached; resolve
-          // the chain heads and prefetch the entry nodes themselves (the
-          // second dependent miss of a chaining table).
-          for (size_t k = 0; k < n; ++k) {
-            if (Hashmap::EntryHeader* e =
-                    ht_ord.ht.FindChainTagged(ord_hashes[k])) {
-              __builtin_prefetch(e, 0, 1);
+        if (opt.rof) {
+          // Relaxed operator fusion (paper §9.1): the fused loop is split
+          // at block boundaries; all three probe tables are staged (the
+          // orders directory — 1.5M entries per SF — is the memory-bound
+          // one, and the partsupp/supplier stages ride along for free).
+          JoinTable<Q9PartSupp>::StagedLookup ps(ht_ps);
+          JoinTable<Q9Supp>::StagedLookup supp(ht_supp);
+          JoinTable<Q9Order>::StagedLookup ord(ht_ord);
+          for (size_t block = begin; block < end; block += kRofBlock) {
+            const size_t n = std::min(kRofBlock, end - block);
+            ps.Hash(n, [&](size_t k) {
+              const size_t i = block + k;
+              return HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
+            });
+            supp.Hash(n, [&](size_t k) {
+              return HashCrc32(static_cast<uint32_t>(l_suppkey[block + k]));
+            });
+            ord.Hash(n, [&](size_t k) {
+              return HashCrc32(static_cast<uint32_t>(l_orderkey[block + k]));
+            });
+            ps.PrefetchEntries(n);
+            supp.PrefetchEntries(n);
+            ord.PrefetchEntries(n);
+            for (size_t k = 0; k < n; ++k) {
+              resolve(
+                  block + k, [&] { return ps.hash(k); },
+                  [&] { return supp.hash(k); }, [&] { return ord.hash(k); });
             }
           }
-          for (size_t k = 0; k < n; ++k) {
-            const size_t i = block + k;
-            const uint64_t pskey =
-                PackPartSupp(l_partkey[i], l_suppkey[i]);
-            const Q9PartSupp* ps =
-                ht_ps.Lookup(ps_hashes[k], [&](const Q9PartSupp& e) {
-                  return PackPartSupp(e.partkey, e.suppkey) == pskey;
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            resolve(
+                i,
+                [&] {
+                  return HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
+                },
+                [&] { return HashCrc32(static_cast<uint32_t>(l_suppkey[i])); },
+                [&] {
+                  return HashCrc32(static_cast<uint32_t>(l_orderkey[i]));
                 });
-            if (ps == nullptr) continue;
-            const int32_t sk = l_suppkey[i];
-            const Q9Supp* s = ht_supp.Lookup(
-                HashCrc32(static_cast<uint32_t>(sk)),
-                [&](const Q9Supp& e) { return e.suppkey == sk; });
-            const int32_t ok = l_orderkey[i];
-            const Q9Order* o = ht_ord.Lookup(
-                ord_hashes[k],
-                [&](const Q9Order& e) { return e.orderkey == ok; });
-            const int64_t amount = l_extprice[i] * (100 - l_discount[i]) -
-                                   ps->supplycost * l_quantity[i];
-            const uint64_t key =
-                (static_cast<uint64_t>(static_cast<uint32_t>(s->nationkey))
-                 << 32) |
-                static_cast<uint32_t>(o->year);
-            Q9Group* g = local.FindOrCreate(
-                HashCrc32(key),
-                [&](const Q9Group& e) { return e.key == key; },
-                [&](Q9Group* e) {
-                  e->key = key;
-                  e->profit = 0;
-                });
-            g->profit += amount;
           }
-        }
-      }
-    });
-  } else {
-    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-      locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
-      LocalGroupTable<Q9Group>& local = *locals[wid];
-      size_t begin, end;
-      while (morsels.Next(begin, end)) {
-        for (size_t i = begin; i < end; ++i) {
-          const uint64_t pskey = PackPartSupp(l_partkey[i], l_suppkey[i]);
-          const Q9PartSupp* ps = ht_ps.Lookup(
-              HashCrc32(pskey), [&](const Q9PartSupp& e) {
-                return PackPartSupp(e.partkey, e.suppkey) == pskey;
-              });
-          if (ps == nullptr) continue;
-          const int32_t sk = l_suppkey[i];
-          const Q9Supp* s =
-              ht_supp.Lookup(HashCrc32(static_cast<uint32_t>(sk)),
-                             [&](const Q9Supp& e) { return e.suppkey == sk; });
-          const int32_t ok = l_orderkey[i];
-          const Q9Order* o = ht_ord.Lookup(
-              HashCrc32(static_cast<uint32_t>(ok)),
-              [&](const Q9Order& e) { return e.orderkey == ok; });
-          const int64_t amount = l_extprice[i] * (100 - l_discount[i]) -
-                                 ps->supplycost * l_quantity[i];
-          const uint64_t key =
-              (static_cast<uint64_t>(static_cast<uint32_t>(s->nationkey))
-               << 32) |
-              static_cast<uint32_t>(o->year);
-          Q9Group* g = local.FindOrCreate(
-              HashCrc32(key), [&](const Q9Group& e) { return e.key == key; },
-              [&](Q9Group* e) {
-                e->key = key;
-                e->profit = 0;
-              });
-          g->profit += amount;
         }
       }
     });
@@ -647,10 +638,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
   std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt.threads);
 
   // Having-filter + hash table over qualifying orderkeys.
-  JoinTable<Q18Order> ht_big(opt.threads);
+  JoinTable<Q18Order> ht_big(opt);
   {
     MorselQueue morsels(groups.size(), opt.morsel_grain);
-    ht_big.Build(opt.threads, [&](size_t, auto emit) {
+    ht_big.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -669,10 +660,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
   // Customer hash table (name lookup).
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_name = customer.Col<Char<25>>("c_name");
-  JoinTable<Q18Cust> ht_cust(opt.threads);
+  JoinTable<Q18Cust> ht_cust(opt);
   {
     MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
-    ht_cust.Build(opt.threads, [&](size_t, auto emit) {
+    ht_cust.Build([&](size_t, auto emit) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
@@ -702,20 +693,45 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
     MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
     WorkerPool::Global().Run(opt.threads, [&](size_t) {
       std::vector<Row> local;
+      auto resolve = [&](size_t i, auto&& big_h, auto&& cust_h) {
+        const int32_t ok = o_orderkey[i];
+        const Q18Order* b = ht_big.Lookup(
+            big_h(), [&](const Q18Order& e) { return e.orderkey == ok; });
+        if (b == nullptr) return;
+        const int32_t ck = o_custkey[i];
+        const Q18Cust* c = ht_cust.Lookup(
+            cust_h(), [&](const Q18Cust& e) { return e.custkey == ck; });
+        local.push_back(Row{c->name, ck, ok, o_orderdate[i],
+                            o_totalprice[i], b->sum_qty});
+      };
       size_t begin, end;
       while (morsels.Next(begin, end)) {
-        for (size_t i = begin; i < end; ++i) {
-          const int32_t ok = o_orderkey[i];
-          const Q18Order* b = ht_big.Lookup(
-              HashCrc32(static_cast<uint32_t>(ok)),
-              [&](const Q18Order& e) { return e.orderkey == ok; });
-          if (b == nullptr) continue;
-          const int32_t ck = o_custkey[i];
-          const Q18Cust* c = ht_cust.Lookup(
-              HashCrc32(static_cast<uint32_t>(ck)),
-              [&](const Q18Cust& e) { return e.custkey == ck; });
-          local.push_back(Row{c->name, ck, ok, o_orderdate[i],
-                              o_totalprice[i], b->sum_qty});
+        if (opt.rof) {
+          JoinTable<Q18Order>::StagedLookup big(ht_big);
+          JoinTable<Q18Cust>::StagedLookup cust(ht_cust);
+          for (size_t block = begin; block < end; block += kRofBlock) {
+            const size_t n = std::min(kRofBlock, end - block);
+            big.Hash(n, [&](size_t k) {
+              return HashCrc32(static_cast<uint32_t>(o_orderkey[block + k]));
+            });
+            cust.Hash(n, [&](size_t k) {
+              return HashCrc32(static_cast<uint32_t>(o_custkey[block + k]));
+            });
+            big.PrefetchEntries(n);
+            cust.PrefetchEntries(n);
+            for (size_t k = 0; k < n; ++k) {
+              resolve(
+                  block + k, [&] { return big.hash(k); },
+                  [&] { return cust.hash(k); });
+            }
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            resolve(
+                i,
+                [&] { return HashCrc32(static_cast<uint32_t>(o_orderkey[i])); },
+                [&] { return HashCrc32(static_cast<uint32_t>(o_custkey[i])); });
+          }
         }
       }
       std::lock_guard<std::mutex> lock(mu);

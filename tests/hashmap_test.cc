@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/hash.h"
 #include "runtime/mem_pool.h"
+#include "runtime/worker_pool.h"
 
 namespace vcq::runtime {
 namespace {
@@ -131,6 +135,136 @@ TEST(HashmapTest, CapacityIsPowerOfTwoAndAmple) {
   EXPECT_GE(ht.capacity(), 2000u);
   EXPECT_EQ(ht.capacity() & (ht.capacity() - 1), 0u);
 }
+
+// --- JoinBuild: CAS vs partitioned build equivalence ------------------------
+
+/// Materializes `total` entries (keys 0..total-1, every 7th key duplicated)
+/// into per-worker chunk lists carved from `pool`.
+std::vector<EntryChunkList> MakeChunkLists(MemPool& pool, size_t total,
+                                           size_t workers) {
+  constexpr size_t kRows = 64;  // small chunks: exercise chunk boundaries
+  std::vector<EntryChunkList> lists(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * total / workers;
+    const size_t end = (w + 1) * total / workers;
+    for (size_t at = begin; at < end; at += kRows) {
+      const size_t rows = std::min(kRows, end - at);
+      auto* block = static_cast<TestEntry*>(
+          pool.Allocate(rows * sizeof(TestEntry)));
+      for (size_t k = 0; k < rows; ++k) {
+        const size_t i = at + k;
+        const int64_t key =
+            static_cast<int64_t>(i % 7 == 0 ? i / 7 : i);  // some duplicates
+        block[k].header.next = nullptr;
+        block[k].header.hash = HashMurmur2(static_cast<uint64_t>(key));
+        block[k].key = key;
+        block[k].value = static_cast<int64_t>(i);
+      }
+      lists[w].Add(reinterpret_cast<std::byte*>(block), rows);
+    }
+  }
+  return lists;
+}
+
+/// Per-bucket multiset of (hash, key, value) plus the tag bits — everything
+/// a probe can observe, independent of chain order and entry placement.
+std::map<size_t, std::vector<std::tuple<uint64_t, int64_t, int64_t>>>
+BucketContents(const Hashmap& ht) {
+  std::map<size_t, std::vector<std::tuple<uint64_t, int64_t, int64_t>>> out;
+  for (size_t b = 0; b < ht.capacity(); ++b) {
+    for (auto* e = Hashmap::Ptr(ht.buckets()[b].load()); e != nullptr;
+         e = e->next) {
+      const auto* te = reinterpret_cast<const TestEntry*>(e);
+      out[b].emplace_back(e->hash, te->key, te->value);
+    }
+    if (out.count(b)) std::sort(out[b].begin(), out[b].end());
+  }
+  return out;
+}
+
+std::vector<uintptr_t> BucketTags(const Hashmap& ht) {
+  std::vector<uintptr_t> tags(ht.capacity());
+  for (size_t b = 0; b < ht.capacity(); ++b)
+    tags[b] = ht.buckets()[b].load() & ~Hashmap::kPtrMask;
+  return tags;
+}
+
+class JoinBuildTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JoinBuildTest, PartitionedMatchesCasChains) {
+  const size_t threads = GetParam();
+  constexpr size_t kTotal = 5000;
+  MemPool pool;
+  const auto lists = MakeChunkLists(pool, kTotal, threads);
+
+  Hashmap cas_ht;
+  JoinBuild cas_build(&cas_ht, threads);
+  Hashmap part_ht;
+  JoinBuild part_build(&part_ht, threads);
+  // Partitioned first: it only reads the source rows, while the CAS build
+  // relinks them in place.
+  WorkerPool::Global().Run(threads, [&](size_t wid) {
+    part_build.Run(BuildMode::kPartitioned, lists[wid], sizeof(TestEntry));
+  });
+  WorkerPool::Global().Run(threads, [&](size_t wid) {
+    cas_build.Run(BuildMode::kCas, lists[wid], sizeof(TestEntry));
+  });
+
+  ASSERT_EQ(cas_ht.capacity(), part_ht.capacity());
+  EXPECT_EQ(cas_build.entry_count(), kTotal);
+  EXPECT_EQ(part_build.entry_count(), kTotal);
+  EXPECT_EQ(BucketContents(cas_ht), BucketContents(part_ht));
+  EXPECT_EQ(BucketTags(cas_ht), BucketTags(part_ht));
+}
+
+TEST_P(JoinBuildTest, PartitionedChainsAreContiguousArenaRuns) {
+  const size_t threads = GetParam();
+  constexpr size_t kTotal = 3000;
+  MemPool pool;
+  const auto lists = MakeChunkLists(pool, kTotal, threads);
+  Hashmap ht;
+  JoinBuild build(&ht, threads);
+  WorkerPool::Global().Run(threads, [&](size_t wid) {
+    build.Run(BuildMode::kPartitioned, lists[wid], sizeof(TestEntry));
+  });
+  // Every chain must be a sequential run of arena rows — the contiguity
+  // the partitioned build exists to provide.
+  const std::byte* arena = build.arena();
+  ASSERT_NE(arena, nullptr);
+  size_t seen = 0;
+  for (size_t b = 0; b < ht.capacity(); ++b) {
+    for (auto* e = Hashmap::Ptr(ht.buckets()[b].load()); e != nullptr;
+         e = e->next) {
+      ++seen;
+      const auto* p = reinterpret_cast<const std::byte*>(e);
+      ASSERT_GE(p, arena);
+      ASSERT_LT(p, arena + kTotal * sizeof(TestEntry));
+      if (e->next != nullptr) {
+        EXPECT_EQ(reinterpret_cast<const std::byte*>(e->next),
+                  p + sizeof(TestEntry));
+      }
+    }
+  }
+  EXPECT_EQ(seen, kTotal);
+}
+
+TEST_P(JoinBuildTest, EmptyBuildSide) {
+  const size_t threads = GetParam();
+  for (const BuildMode mode : {BuildMode::kCas, BuildMode::kPartitioned}) {
+    Hashmap ht;
+    JoinBuild build(&ht, threads);
+    WorkerPool::Global().Run(threads, [&](size_t) {
+      build.Run(mode, EntryChunkList{}, sizeof(TestEntry));
+    });
+    EXPECT_EQ(build.entry_count(), 0u);
+    EXPECT_EQ(ht.FindChainTagged(HashMurmur2(7)), nullptr);
+  }
+}
+
+// 7 exercises non-power-of-two bucket-range splits against the power-of-two
+// capacity.
+INSTANTIATE_TEST_SUITE_P(Threads, JoinBuildTest,
+                         ::testing::Values(size_t{1}, size_t{4}, size_t{7}));
 
 TEST(MemPoolTest, AllocationsAlignedAndDistinct) {
   MemPool pool(1024);

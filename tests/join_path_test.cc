@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/vcq.h"
+#include "datagen/ssb.h"
+#include "datagen/tpch.h"
+
+// The join build/probe memory path (ISSUE 3), audited end to end:
+//
+//  * Probe-output accumulation under multi-threaded collectors (ROADMAP
+//    open item): batch compaction makes HashJoin accumulate hits across
+//    probe batches, which changes the batch boundaries every collector
+//    sees; with several workers the collector interleaving changes too.
+//    The matrix pins byte-identity at threads {1, 8} x vector sizes
+//    {64, 1024} across all nine queries.
+//
+//  * Build-mode x prefetch equivalence: {CAS, partitioned} builds and
+//    {staged, unstaged} probes must be unobservable in results for both
+//    engines at threads {1, 4} — the acceptance matrix of the
+//    partition-parallel build + ROF generalization.
+
+namespace vcq {
+namespace {
+
+using runtime::BuildMode;
+using runtime::CompactionMode;
+using runtime::Database;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+
+const Database& TpchDb() {
+  static const Database* db = new Database(datagen::GenerateTpch(0.02));
+  return *db;
+}
+
+const Database& SsbDb() {
+  static const Database* db = new Database(datagen::GenerateSsb(0.02));
+  return *db;
+}
+
+const Database& DbFor(Query q) { return IsSsbQuery(q) ? SsbDb() : TpchDb(); }
+
+std::vector<Query> AllQueries() {
+  std::vector<Query> all = TpchQueries();
+  for (Query q : SsbQueries()) all.push_back(q);
+  return all;
+}
+
+/// Single-threaded Typer with the seed's CAS protocol: the anchor every
+/// configuration must reproduce byte-identically.
+const QueryResult& Expected(Query q) {
+  static std::map<Query, QueryResult>* cache =
+      new std::map<Query, QueryResult>();
+  auto it = cache->find(q);
+  if (it == cache->end()) {
+    QueryOptions opt;
+    opt.threads = 1;
+    opt.build_mode = BuildMode::kCas;
+    it = cache->emplace(q, RunQuery(DbFor(q), Engine::kTyper, q, opt)).first;
+  }
+  return it->second;
+}
+
+class JoinPathTest : public ::testing::TestWithParam<Query> {};
+
+TEST_P(JoinPathTest, ProbeAccumulationMultiThreadedCollectors) {
+  const Query q = GetParam();
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    for (const size_t vecsize : {size_t{64}, size_t{1024}}) {
+      for (const CompactionMode policy :
+           {CompactionMode::kAlways, CompactionMode::kAdaptive}) {
+        QueryOptions opt;
+        opt.threads = threads;
+        opt.vector_size = vecsize;
+        opt.compaction = policy;
+        EXPECT_EQ(RunQuery(DbFor(q), Engine::kTectorwise, q, opt),
+                  Expected(q))
+            << "threads=" << threads << " vecsize=" << vecsize
+            << " policy=" << static_cast<int>(policy);
+      }
+    }
+  }
+}
+
+TEST_P(JoinPathTest, BuildModeAndPrefetchAreResultInvariant) {
+  const Query q = GetParam();
+  for (const Engine engine : {Engine::kTyper, Engine::kTectorwise}) {
+    for (const BuildMode mode : {BuildMode::kCas, BuildMode::kPartitioned}) {
+      for (const bool rof : {false, true}) {
+        for (const size_t threads : {size_t{1}, size_t{4}}) {
+          // simd additionally routes staged probes through the AVX-512
+          // JoinCandidatesStaged variant (no-op where unsupported).
+          for (const bool simd : {false, true}) {
+            if (simd && engine != Engine::kTectorwise) continue;
+            QueryOptions opt;
+            opt.threads = threads;
+            opt.build_mode = mode;
+            opt.rof = rof;
+            opt.simd = simd;
+            EXPECT_EQ(RunQuery(DbFor(q), engine, q, opt), Expected(q))
+                << EngineName(engine) << " mode="
+                << (mode == BuildMode::kCas ? "cas" : "partitioned")
+                << " rof=" << rof << " threads=" << threads
+                << " simd=" << simd;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, JoinPathTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<Query>& info) {
+                           std::string name;
+                           for (const char c : std::string(
+                                    QueryName(info.param))) {
+                             if (std::isalnum(static_cast<unsigned char>(c)))
+                               name += c;
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vcq
