@@ -1,0 +1,160 @@
+// Ablation (paper §8.1 flavor): what the Session API buys. Compilation's
+// edge is repeated execution of prepared statements — HyPer and Vectorwise
+// both separate a prepare phase from many cheap executes over a resident
+// server process. Two measurements:
+//
+//  1. per-query: one-shot RunQuery (validate + build the plan + execute,
+//     every call) vs Execute() on a warm PreparedQuery (plan built once at
+//     prepare time), at threads {1, 8}. Prepared execution must be no
+//     slower than one-shot anywhere; the win concentrates where plan
+//     construction is a visible fraction of a short query.
+//
+//  2. mixed stream: a fixed round-robin stream over the TPC-H subset,
+//     serial one-shot vs prepared handles kept in flight (4 concurrent
+//     ExecuteAsync) on one shared Session — the QPS uplift from pool reuse
+//     plus morsel-level interleaving of concurrent queries.
+//
+// Env: VCQ_SF (default 0.5; VCQ_QUICK=1 shrinks to 0.05), VCQ_REPS.
+
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "api/vcq.h"
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+
+namespace {
+
+using vcq::Engine;
+using vcq::Query;
+
+/// The mixed stream: every TPC-H query on both multi-threaded engines.
+struct StreamItem {
+  Engine engine;
+  Query query;
+};
+
+std::vector<StreamItem> MakeStream(size_t length) {
+  std::vector<StreamItem> mix;
+  for (Query q : vcq::TpchQueries()) {
+    mix.push_back({Engine::kTyper, q});
+    mix.push_back({Engine::kTectorwise, q});
+  }
+  std::vector<StreamItem> stream;
+  for (size_t i = 0; i < length; ++i) stream.push_back(mix[i % mix.size()]);
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vcq;
+  const bool quick = benchutil::Quick();
+  const double sf = benchutil::EnvSf(quick ? 0.05 : 0.5);
+  const int reps = benchutil::EnvReps(quick ? 2 : 5);
+  benchutil::PrintHeader(
+      "Ablation: prepared-query reuse on a warm Session (paper Sec. 8.1)",
+      "compilation's edge is repeated execution of prepared statements",
+      "SF=" + benchutil::Fmt(sf, 2) + ", reps=" + std::to_string(reps));
+
+  runtime::Database db = datagen::GenerateTpch(sf);
+  Session session(db);
+
+  // --- 1. per-query: one-shot vs warm prepared --------------------------
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    std::printf("\n-- per-query, %zu thread(s) --\n", threads);
+    benchutil::Table table({"query", "engine", "one-shot ms", "prepared ms",
+                            "speedup"});
+    for (Query q : TpchQueries()) {
+      for (Engine e : {Engine::kTyper, Engine::kTectorwise}) {
+        runtime::QueryOptions opt;
+        opt.threads = threads;
+        const auto one_shot = benchutil::Measure(
+            [&] { RunQuery(db, e, q, opt); }, reps);
+        PreparedQuery prepared = session.Prepare(e, q, opt);
+        const auto warm =
+            benchutil::Measure([&] { prepared.Execute(); }, reps);
+        table.AddRow({QueryName(q), EngineName(e),
+                      benchutil::Fmt(one_shot.ms, 2),
+                      benchutil::Fmt(warm.ms, 2),
+                      benchutil::Fmt(one_shot.ms / warm.ms, 2) + "x"});
+      }
+    }
+    table.Print();
+  }
+
+  // --- 2. mixed stream: serial one-shot vs in-flight prepared -----------
+  const size_t stream_len = quick ? 20 : 60;
+  const std::vector<StreamItem> stream = MakeStream(stream_len);
+  runtime::QueryOptions opt;
+  opt.threads = quick ? 2 : 4;
+
+  // Each mode is measured reps times with the shared median machinery —
+  // single passes over the stream are too noisy to compare.
+  std::vector<PreparedQuery> prepared;
+  for (Query q : TpchQueries()) {
+    prepared.push_back(session.Prepare(Engine::kTyper, q, opt));
+    prepared.push_back(session.Prepare(Engine::kTectorwise, q, opt));
+  }
+
+  const auto serial = benchutil::Measure(
+      [&] {
+        for (const StreamItem& item : stream)
+          RunQuery(db, item.engine, item.query, opt);
+      },
+      reps);
+  const auto warm_serial = benchutil::Measure(
+      [&] {
+        for (size_t i = 0; i < stream.size(); ++i)
+          prepared[i % prepared.size()].Execute();
+      },
+      reps);
+  constexpr size_t kInFlight = 4;
+  const auto concurrent = benchutil::Measure(
+      [&] {
+        std::deque<ExecutionHandle> inflight;
+        for (size_t i = 0; i < stream.size(); ++i) {
+          if (inflight.size() == kInFlight) {
+            inflight.front().Wait();
+            inflight.pop_front();
+          }
+          inflight.push_back(prepared[i % prepared.size()].ExecuteAsync());
+        }
+        while (!inflight.empty()) {
+          inflight.front().Wait();
+          inflight.pop_front();
+        }
+      },
+      reps);
+  const double serial_ms = serial.ms;
+  const double warm_serial_ms = warm_serial.ms;
+  const double concurrent_ms = concurrent.ms;
+
+  std::printf("\n-- mixed stream: %zu executions over %zu prepared queries, "
+              "%zu worker threads each, %u hardware threads --\n",
+              stream.size(), prepared.size(), opt.threads,
+              std::thread::hardware_concurrency());
+  benchutil::Table table({"mode", "ms", "QPS", "uplift"});
+  const auto qps = [&](double ms) {
+    return benchutil::Fmt(1000.0 * static_cast<double>(stream.size()) / ms, 1);
+  };
+  table.AddRow({"one-shot RunQuery, serial", benchutil::Fmt(serial_ms, 1),
+                qps(serial_ms), "1.00x"});
+  table.AddRow({"prepared Execute, serial", benchutil::Fmt(warm_serial_ms, 1),
+                qps(warm_serial_ms),
+                benchutil::Fmt(serial_ms / warm_serial_ms, 2) + "x"});
+  table.AddRow({"prepared, 4 in flight", benchutil::Fmt(concurrent_ms, 1),
+                qps(concurrent_ms),
+                benchutil::Fmt(serial_ms / concurrent_ms, 2) + "x"});
+  table.Print();
+  std::printf(
+      "\npaper shape: a resident session amortizes preparation and keeps "
+      "the pool warm; overlapping executions then fill scheduling gaps the "
+      "serial loop leaves on the table (Sec. 8.1's prepared-statement "
+      "serving model). The in-flight uplift needs spare hardware threads — "
+      "on a single-core host it degenerates to scheduling overhead.\n");
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/query_catalog.h"
 #include "api/vcq.h"
 #include "datagen/ssb.h"
 #include "datagen/tpch.h"
@@ -46,16 +47,20 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--explain")) explain = true;
   }
 
+  // The QueryCatalog is the single registry of the workload: name lookup
+  // and the sweep list both come from it (the PR 3 explorer crash came
+  // from a hand-rolled duplicate of this list).
   std::vector<vcq::Query> queries;
   if (!query_name.empty()) {
-    for (vcq::Query q : vcq::TpchQueries())
-      if (query_name == vcq::QueryName(q)) queries.push_back(q);
-    for (vcq::Query q : vcq::SsbQueries())
-      if (query_name == vcq::QueryName(q)) queries.push_back(q);
-    if (queries.empty()) {
-      std::fprintf(stderr, "unknown query '%s'\n", query_name.c_str());
+    const vcq::QueryInfo* info = vcq::FindQuery(query_name);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown query '%s'; known:", query_name.c_str());
+      for (const vcq::QueryInfo& known : vcq::QueryCatalog())
+        std::fprintf(stderr, " %s", known.name.c_str());
+      std::fprintf(stderr, "\n");
       return 1;
     }
+    queries.push_back(info->query);
   } else {
     queries = vcq::TpchQueries();
   }
@@ -66,10 +71,20 @@ int main(int argc, char** argv) {
                                        : vcq::datagen::GenerateTpch(sf);
 
   for (vcq::Query q : queries) {
-    std::printf("\n=== %s ===\n", vcq::QueryName(q));
+    const vcq::QueryInfo& info = vcq::CatalogEntry(q);
+    std::printf("\n=== %s — %s ===\n", info.name.c_str(),
+                info.description.c_str());
 
     if (explain) {
       std::printf("%s", vcq::ExplainQuery(db, q).c_str());
+      if (!info.params.empty()) {
+        std::printf("  parameters:\n");
+        for (const vcq::ParamSpec& p : info.params) {
+          std::printf("    :%-14s %-7s %s\n", p.name.c_str(),
+                      vcq::runtime::ParamTypeName(p.type),
+                      p.description.c_str());
+        }
+      }
     }
 
     // Engine comparison, single thread.

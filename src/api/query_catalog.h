@@ -1,0 +1,67 @@
+#ifndef VCQ_API_QUERY_CATALOG_H_
+#define VCQ_API_QUERY_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/vcq.h"
+#include "runtime/params.h"
+
+// The single registry of the studied workload: one QueryInfo per query
+// holding its display name, workload, engine support, and parameter
+// specification (names, types, and the paper/spec default bindings).
+// TpchQueries()/SsbQueries()/EngineSupports()/QueryName() and every bench,
+// example, and test query list derive from this table — hand-rolled
+// duplicates of it are exactly what caused the engine_explorer crash PR 3
+// fixed, so don't reintroduce them.
+
+namespace vcq {
+
+enum class Workload { kTpch, kSsb };
+
+/// One declared parameter of a query: the name the engines resolve at
+/// execution time, its type, and the spec-constant default that reproduces
+/// the paper's workload byte-identically.
+struct ParamSpec {
+  std::string name;
+  runtime::ParamType type;
+  /// Default for kString (the value) and kDate (ISO "YYYY-MM-DD").
+  std::string default_string;
+  /// Default for kInt — fixed-point columns keep their schema scale (a
+  /// discount of 0.05 is 5 at scale 2), matching the engines' arithmetic.
+  int64_t default_int = 0;
+  std::string description;
+};
+
+struct QueryInfo {
+  Query query;
+  std::string name;
+  Workload workload;
+  /// Engines implementing the query; Volcano covers TPC-H only and always
+  /// runs the default bindings.
+  bool volcano = false;
+  std::vector<ParamSpec> params;
+  std::string description;
+};
+
+/// All studied queries in workload order (TPC-H subset, then SSB).
+const std::vector<QueryInfo>& QueryCatalog();
+
+/// Catalog row for `query`.
+const QueryInfo& CatalogEntry(Query query);
+
+/// Lookup by display name ("Q1", "SSB-Q4.1"); nullptr when unknown.
+const QueryInfo* FindQuery(std::string_view name);
+
+/// The spec-default bindings for every declared parameter of `query` —
+/// executing with these reproduces the unparameterized workload
+/// byte-identically.
+runtime::QueryParams DefaultParams(Query query);
+
+/// Queries of one workload, in catalog order.
+std::vector<Query> QueriesFor(Workload workload);
+
+}  // namespace vcq
+
+#endif  // VCQ_API_QUERY_CATALOG_H_

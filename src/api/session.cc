@@ -1,0 +1,268 @@
+#include "api/session.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/worker_pool.h"
+#include "tectorwise/queries.h"
+#include "typer/queries.h"
+#include "volcano/queries.h"
+
+namespace vcq {
+
+using runtime::Database;
+using runtime::QueryOptions;
+using runtime::QueryParams;
+using runtime::QueryResult;
+
+namespace {
+
+using TyperFn = QueryResult (*)(const Database&, const QueryOptions&,
+                                const QueryParams&);
+using VolcanoFn = QueryResult (*)(const Database&, const QueryOptions&);
+
+TyperFn TyperRunner(Query query) {
+  switch (query) {
+    case Query::kQ1: return &typer::RunQ1;
+    case Query::kQ6: return &typer::RunQ6;
+    case Query::kQ3: return &typer::RunQ3;
+    case Query::kQ9: return &typer::RunQ9;
+    case Query::kQ18: return &typer::RunQ18;
+    case Query::kSsbQ11: return &typer::RunSsbQ11;
+    case Query::kSsbQ21: return &typer::RunSsbQ21;
+    case Query::kSsbQ31: return &typer::RunSsbQ31;
+    case Query::kSsbQ41: return &typer::RunSsbQ41;
+  }
+  VCQ_CHECK_MSG(false, "unreachable");
+  return nullptr;
+}
+
+VolcanoFn VolcanoRunner(Query query) {
+  switch (query) {
+    case Query::kQ1: return &volcano::RunQ1;
+    case Query::kQ6: return &volcano::RunQ6;
+    case Query::kQ3: return &volcano::RunQ3;
+    case Query::kQ9: return &volcano::RunQ9;
+    case Query::kQ18: return &volcano::RunQ18;
+    default: break;
+  }
+  VCQ_CHECK_MSG(false, "Volcano does not implement this query");
+  return nullptr;
+}
+
+const ParamSpec* FindSpec(const QueryInfo& info, std::string_view name) {
+  for (const ParamSpec& spec : info.params) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+struct PreparedQuery::Impl {
+  const Database* db;
+  Engine engine;
+  Query query;
+  QueryOptions opt;
+  const QueryInfo* info;
+  /// Tectorwise only: the plan built at prepare time; per-execution state
+  /// is created by each Run, so one plan serves concurrent executions.
+  std::optional<tectorwise::Prepared> tw;
+  /// Typer only: the (ahead-of-time compiled) parameterized pipeline.
+  TyperFn typer = nullptr;
+  /// Volcano only.
+  VolcanoFn volcano = nullptr;
+
+  mutable std::mutex params_mu;
+  QueryParams bound;  // guarded by params_mu
+
+  QueryResult ExecuteWith(const QueryParams& params) const {
+    switch (engine) {
+      case Engine::kTyper: return typer(*db, opt, params);
+      case Engine::kTectorwise: return tw->Run(opt, params);
+      case Engine::kVolcano:
+        // The interpreter predates parameterization and always evaluates
+        // the spec constants; reject bindings it would silently ignore.
+        VCQ_CHECK_MSG(params == DefaultParams(query),
+                      "Volcano supports only the default parameter bindings");
+        return volcano(*db, opt);
+    }
+    VCQ_CHECK_MSG(false, "unreachable");
+    return {};
+  }
+};
+
+PreparedQuery& PreparedQuery::Set(std::string_view name, int64_t value) {
+  const ParamSpec* spec = FindSpec(*impl_->info, name);
+  VCQ_CHECK_MSG(spec != nullptr,
+                "unknown parameter for this query (see the QueryCatalog "
+                "entry's ParamSpecs)");
+  VCQ_CHECK_MSG(spec->type == runtime::ParamType::kInt,
+                "parameter is not an integer; bind strings and ISO dates "
+                "with the string overload");
+  std::lock_guard<std::mutex> lock(impl_->params_mu);
+  impl_->bound.SetInt(name, value);
+  return *this;
+}
+
+PreparedQuery& PreparedQuery::Set(std::string_view name,
+                                  std::string_view value) {
+  const ParamSpec* spec = FindSpec(*impl_->info, name);
+  VCQ_CHECK_MSG(spec != nullptr,
+                "unknown parameter for this query (see the QueryCatalog "
+                "entry's ParamSpecs)");
+  VCQ_CHECK_MSG(spec->type != runtime::ParamType::kInt,
+                "parameter is an integer; bind it with the int64 overload");
+  std::lock_guard<std::mutex> lock(impl_->params_mu);
+  if (spec->type == runtime::ParamType::kDate) {
+    impl_->bound.SetDate(name, value);
+  } else {
+    impl_->bound.SetString(name, value);
+  }
+  return *this;
+}
+
+PreparedQuery& PreparedQuery::ResetParams() {
+  QueryParams defaults = DefaultParams(impl_->query);
+  std::lock_guard<std::mutex> lock(impl_->params_mu);
+  impl_->bound = std::move(defaults);
+  return *this;
+}
+
+QueryParams PreparedQuery::params() const {
+  std::lock_guard<std::mutex> lock(impl_->params_mu);
+  return impl_->bound;
+}
+
+QueryResult PreparedQuery::Execute() const {
+  return impl_->ExecuteWith(params());
+}
+
+QueryResult PreparedQuery::Execute(const QueryParams& params) const {
+  // Same contract as Set(): a binding this query never declared is a bug
+  // at the caller, not something to silently run without.
+  for (const std::string& name : params.Names()) {
+    VCQ_CHECK_MSG(FindSpec(*impl_->info, name) != nullptr,
+                  "unknown parameter for this query (see the QueryCatalog "
+                  "entry's ParamSpecs)");
+  }
+  // Layer the explicit bindings over the defaults so partial binding works
+  // and every parameter the engines read resolves.
+  runtime::QueryParams merged = DefaultParams(impl_->query);
+  for (const ParamSpec& spec : impl_->info->params) {
+    if (!params.Has(spec.name)) continue;
+    switch (spec.type) {
+      case runtime::ParamType::kInt:
+        merged.SetInt(spec.name, params.Int(spec.name));
+        break;
+      case runtime::ParamType::kDate:
+        merged.SetDateDays(spec.name, params.Date(spec.name));
+        break;
+      case runtime::ParamType::kString:
+        merged.SetString(spec.name, params.Str(spec.name));
+        break;
+    }
+  }
+  return impl_->ExecuteWith(merged);
+}
+
+Engine PreparedQuery::engine() const { return impl_->engine; }
+Query PreparedQuery::query() const { return impl_->query; }
+const QueryInfo& PreparedQuery::info() const { return *impl_->info; }
+const QueryOptions& PreparedQuery::options() const { return impl_->opt; }
+
+// ---------------------------------------------------------------------------
+// ExecutionHandle
+// ---------------------------------------------------------------------------
+
+struct ExecutionHandle::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool taken = false;  // the result was surrendered to some handle copy
+  QueryResult result;
+};
+
+QueryResult ExecutionHandle::Wait() {
+  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle already waited on");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  // The taken flag lives in the shared State so a second Wait through a
+  // *copy* of the handle fails loudly instead of returning the moved-from
+  // (empty) result.
+  VCQ_CHECK_MSG(!state_->taken, "ExecutionHandle already waited on");
+  state_->taken = true;
+  QueryResult result = std::move(state_->result);
+  lock.unlock();
+  state_.reset();
+  return result;
+}
+
+bool ExecutionHandle::Done() const {
+  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle already waited on");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+ExecutionHandle PreparedQuery::ExecuteAsync() const {
+  ExecutionHandle handle;
+  handle.state_ = std::make_shared<ExecutionHandle::State>();
+  // Snapshot the bindings now: the async execution reflects the handle's
+  // state at submit time, not at whatever point the pool schedules it.
+  QueryParams snapshot = params();
+  runtime::PoolFor(impl_->opt)
+      .Submit([impl = impl_, state = handle.state_,
+               snapshot = std::move(snapshot)] {
+        QueryResult result = impl->ExecuteWith(snapshot);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->result = std::move(result);
+          state->done = true;
+        }
+        state->cv.notify_all();
+      });
+  return handle;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(const Database& db)
+    : db_(&db), pool_(&runtime::WorkerPool::Global()) {}
+
+Session::Session(const Database& db, runtime::WorkerPool& pool)
+    : db_(&db), pool_(&pool) {}
+
+PreparedQuery Session::Prepare(Engine engine, Query query,
+                               const QueryOptions& options) const {
+  VCQ_CHECK_MSG(EngineSupports(engine, query),
+                "engine does not implement this query");
+  auto impl = std::make_shared<PreparedQuery::Impl>();
+  impl->db = db_;
+  impl->engine = engine;
+  impl->query = query;
+  impl->opt = options;
+  if (impl->opt.pool == nullptr) impl->opt.pool = pool_;
+  impl->info = &CatalogEntry(query);
+  impl->bound = DefaultParams(query);
+  switch (engine) {
+    case Engine::kTyper: impl->typer = TyperRunner(query); break;
+    case Engine::kTectorwise:
+      impl->tw.emplace(tectorwise::Prepare(*db_, impl->info->name, impl->opt));
+      break;
+    case Engine::kVolcano: impl->volcano = VolcanoRunner(query); break;
+  }
+  PreparedQuery prepared;
+  prepared.impl_ = std::move(impl);
+  return prepared;
+}
+
+}  // namespace vcq

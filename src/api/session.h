@@ -1,0 +1,122 @@
+#ifndef VCQ_API_SESSION_H_
+#define VCQ_API_SESSION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "api/query_catalog.h"
+#include "api/vcq.h"
+#include "runtime/options.h"
+#include "runtime/params.h"
+#include "runtime/query_result.h"
+#include "runtime/relation.h"
+
+// The serving API (paper §8.1: compilation's edge is repeated execution of
+// prepared statements; HyPer and Vectorwise both separate a prepare phase
+// from many cheap executes over a resident server process).
+//
+//   vcq::Session session(db);                       // long-lived
+//   vcq::PreparedQuery q6 = session.Prepare(
+//       vcq::Engine::kTectorwise, vcq::Query::kQ6, {.threads = 8});
+//   q6.Set("discount_lo", 4).Set("shipdate_lo", "1995-01-01");
+//   vcq::runtime::QueryResult r = q6.Execute();     // re-execute at will
+//
+// Prepare validates the query/engine pair and builds the Tectorwise plan
+// DAG (with its derived compaction registrations) exactly once; Execute
+// only does per-run work and is safe to call concurrently — in-flight
+// executions of one session interleave at morsel granularity on its shared
+// runtime::WorkerPool. ExecuteAsync returns a waitable handle for driving
+// a query mix. Parameters default to the QueryCatalog's spec constants;
+// bindings are validated against the query's ParamSpecs at Set time.
+
+namespace vcq {
+
+class PreparedQuery;
+
+/// A waitable in-flight execution started by PreparedQuery::ExecuteAsync.
+/// Handles are cheap shared references; Wait() may be called once to take
+/// the result.
+class ExecutionHandle {
+ public:
+  /// Blocks until the execution finishes and surrenders its result.
+  runtime::QueryResult Wait();
+  /// Non-blocking completion probe.
+  bool Done() const;
+
+ private:
+  friend class PreparedQuery;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// A validated, plan-built query handle. Copies share the underlying plan
+/// and bindings. Execute() and ExecuteAsync() may be called concurrently
+/// from any thread (each execution snapshots the bindings and creates its
+/// own run state); Set() interleaved with concurrent executions is defined
+/// — each execution sees a consistent snapshot — but which snapshot an
+/// in-flight execution sees is unspecified.
+class PreparedQuery {
+ public:
+  /// Binds an integer parameter (fixed-point values keep their schema
+  /// scale). Check-fails on unknown names or non-int parameters.
+  PreparedQuery& Set(std::string_view name, int64_t value);
+  /// Binds a string or date parameter (dates as ISO "YYYY-MM-DD").
+  PreparedQuery& Set(std::string_view name, std::string_view value);
+  /// Restores the catalog's spec-default bindings.
+  PreparedQuery& ResetParams();
+  /// Current bindings snapshot.
+  runtime::QueryParams params() const;
+
+  /// Runs the prepared plan with the current bindings and blocks for the
+  /// result. Callable concurrently with itself and other queries of the
+  /// same session.
+  runtime::QueryResult Execute() const;
+  /// Runs with explicit bindings layered over the catalog defaults (the
+  /// handle's own bindings are ignored).
+  runtime::QueryResult Execute(const runtime::QueryParams& params) const;
+  /// Starts the execution on the session's worker pool and returns
+  /// immediately; the handle's Wait() yields the result.
+  ExecutionHandle ExecuteAsync() const;
+
+  Engine engine() const;
+  Query query() const;
+  /// Catalog row: name, workload, declared parameters.
+  const QueryInfo& info() const;
+  const runtime::QueryOptions& options() const;
+
+ private:
+  friend class Session;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Long-lived serving handle: owns the database reference and the worker
+/// pool its queries execute on. By default sessions share the process-wide
+/// pool (one set of threads no matter how many sessions exist); pass an
+/// explicit pool for isolation. The database — and an explicit pool — must
+/// outlive the session and every PreparedQuery it produced.
+class Session {
+ public:
+  explicit Session(const runtime::Database& db);
+  Session(const runtime::Database& db, runtime::WorkerPool& pool);
+
+  /// Validates that `engine` implements `query`, builds the plan once
+  /// (Tectorwise; Typer pipelines are ahead-of-time compiled, so prepare
+  /// is validation + parameter setup), and returns the reusable handle
+  /// with the catalog's default bindings. `options.threads` etc. are fixed
+  /// at prepare time; the session's pool is stamped into them unless the
+  /// caller already set one.
+  PreparedQuery Prepare(Engine engine, Query query,
+                        const runtime::QueryOptions& options = {}) const;
+
+  const runtime::Database& db() const { return *db_; }
+  runtime::WorkerPool& pool() const { return *pool_; }
+
+ private:
+  const runtime::Database* db_;
+  runtime::WorkerPool* pool_;
+};
+
+}  // namespace vcq
+
+#endif  // VCQ_API_SESSION_H_

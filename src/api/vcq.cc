@@ -1,10 +1,10 @@
 #include "api/vcq.h"
 
+#include "api/query_catalog.h"
+#include "api/session.h"
 #include "common/check.h"
 #include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
-#include "typer/queries.h"
-#include "volcano/queries.h"
 
 namespace vcq {
 
@@ -14,48 +14,9 @@ using runtime::QueryResult;
 
 QueryResult RunQuery(const Database& db, Engine engine, Query query,
                      const QueryOptions& options) {
-  VCQ_CHECK_MSG(EngineSupports(engine, query),
-                "engine does not implement this query");
-  switch (engine) {
-    case Engine::kTyper:
-      switch (query) {
-        case Query::kQ1: return typer::RunQ1(db, options);
-        case Query::kQ6: return typer::RunQ6(db, options);
-        case Query::kQ3: return typer::RunQ3(db, options);
-        case Query::kQ9: return typer::RunQ9(db, options);
-        case Query::kQ18: return typer::RunQ18(db, options);
-        case Query::kSsbQ11: return typer::RunSsbQ11(db, options);
-        case Query::kSsbQ21: return typer::RunSsbQ21(db, options);
-        case Query::kSsbQ31: return typer::RunSsbQ31(db, options);
-        case Query::kSsbQ41: return typer::RunSsbQ41(db, options);
-      }
-      break;
-    case Engine::kTectorwise:
-      switch (query) {
-        case Query::kQ1: return tectorwise::RunQ1(db, options);
-        case Query::kQ6: return tectorwise::RunQ6(db, options);
-        case Query::kQ3: return tectorwise::RunQ3(db, options);
-        case Query::kQ9: return tectorwise::RunQ9(db, options);
-        case Query::kQ18: return tectorwise::RunQ18(db, options);
-        case Query::kSsbQ11: return tectorwise::RunSsbQ11(db, options);
-        case Query::kSsbQ21: return tectorwise::RunSsbQ21(db, options);
-        case Query::kSsbQ31: return tectorwise::RunSsbQ31(db, options);
-        case Query::kSsbQ41: return tectorwise::RunSsbQ41(db, options);
-      }
-      break;
-    case Engine::kVolcano:
-      switch (query) {
-        case Query::kQ1: return volcano::RunQ1(db, options);
-        case Query::kQ6: return volcano::RunQ6(db, options);
-        case Query::kQ3: return volcano::RunQ3(db, options);
-        case Query::kQ9: return volcano::RunQ9(db, options);
-        case Query::kQ18: return volcano::RunQ18(db, options);
-        default: break;
-      }
-      break;
-  }
-  VCQ_CHECK_MSG(false, "unreachable");
-  return {};
+  // A Session over the process-global pool is cheap to stand up: prepare
+  // does exactly the plan building the old per-call entry points did.
+  return Session(db).Prepare(engine, query, options).Execute();
 }
 
 std::string ExplainQuery(const Database& db, Query query) {
@@ -71,41 +32,18 @@ const char* EngineName(Engine engine) {
   return "?";
 }
 
-const char* QueryName(Query query) {
-  switch (query) {
-    case Query::kQ1: return "Q1";
-    case Query::kQ6: return "Q6";
-    case Query::kQ3: return "Q3";
-    case Query::kQ9: return "Q9";
-    case Query::kQ18: return "Q18";
-    case Query::kSsbQ11: return "SSB-Q1.1";
-    case Query::kSsbQ21: return "SSB-Q2.1";
-    case Query::kSsbQ31: return "SSB-Q3.1";
-    case Query::kSsbQ41: return "SSB-Q4.1";
-  }
-  return "?";
-}
+const char* QueryName(Query query) { return CatalogEntry(query).name.c_str(); }
 
 bool IsSsbQuery(Query query) {
-  switch (query) {
-    case Query::kSsbQ11:
-    case Query::kSsbQ21:
-    case Query::kSsbQ31:
-    case Query::kSsbQ41: return true;
-    default: return false;
-  }
+  return CatalogEntry(query).workload == Workload::kSsb;
 }
 
-std::vector<Query> TpchQueries() {
-  return {Query::kQ1, Query::kQ6, Query::kQ3, Query::kQ9, Query::kQ18};
-}
+std::vector<Query> TpchQueries() { return QueriesFor(Workload::kTpch); }
 
-std::vector<Query> SsbQueries() {
-  return {Query::kSsbQ11, Query::kSsbQ21, Query::kSsbQ31, Query::kSsbQ41};
-}
+std::vector<Query> SsbQueries() { return QueriesFor(Workload::kSsb); }
 
 bool EngineSupports(Engine engine, Query query) {
-  if (engine == Engine::kVolcano) return !IsSsbQuery(query);
+  if (engine == Engine::kVolcano) return CatalogEntry(query).volcano;
   return true;
 }
 

@@ -8,16 +8,33 @@
 #include "runtime/query_result.h"
 #include "runtime/relation.h"
 
-// Public entry point of the VCQ library: one call runs any studied query on
-// any engine. Typical use:
+// Public entry points of the VCQ library.
+//
+// The serving API is vcq::Session (api/session.h): a long-lived object
+// owning the database reference and a persistent worker pool. Prepare a
+// query once — validation, plan building, and compaction-registration
+// derivation all happen at prepare time — then execute it as often as you
+// like, with parameter bindings, concurrently with other in-flight
+// queries of the same session:
 //
 //   vcq::runtime::Database db = vcq::datagen::GenerateTpch(1.0);
-//   vcq::runtime::QueryOptions opt{.threads = 8};
-//   auto result = vcq::RunQuery(db, vcq::Engine::kTyper, vcq::Query::kQ1,
-//                               opt);
-//   std::cout << result.ToString();
+//   vcq::Session session(db);
+//   vcq::PreparedQuery q6 = session.Prepare(
+//       vcq::Engine::kTyper, vcq::Query::kQ6, {.threads = 8});
+//   std::cout << q6.Execute().ToString();          // spec-default bindings
+//   q6.Set("discount_lo", 4).Set("shipdate_lo", "1995-01-01");
+//   std::cout << q6.Execute().ToString();          // rebound, same plan
+//   vcq::ExecutionHandle h = q6.ExecuteAsync();    // overlap a query mix
 //
-// See examples/quickstart.cpp for a complete program.
+// The query list, engine support, and per-query parameter specifications
+// (names, types, spec defaults) live in the vcq::QueryCatalog
+// (api/query_catalog.h) — the single registry behind TpchQueries(),
+// SsbQueries(), EngineSupports(), and every bench/example query list.
+//
+// RunQuery below survives as a one-shot convenience wrapper over a
+// temporary Session with default bindings. See examples/quickstart.cpp
+// for a complete program and examples/pricing_report.cpp for parameter
+// binding on a warm session.
 
 namespace vcq {
 
@@ -39,15 +56,18 @@ enum class Query {
   kSsbQ41,
 };
 
-/// Runs `query` on `engine`; the database must come from the matching
-/// generator (GenerateTpch for kQ*, GenerateSsb for kSsb*).
+/// One-shot compatibility wrapper: prepares `query` on a temporary Session
+/// (sharing the process-global worker pool) and executes it once with the
+/// catalog's spec-default parameter bindings. The database must come from
+/// the matching generator (GenerateTpch for kQ*, GenerateSsb for kSsb*).
 runtime::QueryResult RunQuery(const runtime::Database& db, Engine engine,
                               Query query,
                               const runtime::QueryOptions& options = {});
 
 /// EXPLAIN-style dump of the Tectorwise declarative plan for `query`:
-/// nodes, steps, consumed columns, and the compaction registrations the
-/// plan builder derived from slot usage (see tectorwise/plan.h).
+/// nodes, steps, consumed columns, parameterized predicates (":name"), and
+/// the compaction registrations the plan builder derived from slot usage
+/// (see tectorwise/plan.h).
 std::string ExplainQuery(const runtime::Database& db, Query query);
 
 const char* EngineName(Engine engine);

@@ -231,7 +231,21 @@ class JoinBuild {
     barrier_.Wait([&] {
       JoinBuildTelemetry::Global().Add(JoinBuildTelemetry::NowNs() -
                                        start_ns_);
+      // After a partitioned build every entry lives in the arena, so the
+      // published chunk lists are dead; drop them so the engines can free
+      // the materialize-phase MemPool chunks they point into (ROADMAP:
+      // ~2x transient build-side memory otherwise).
+      if (mode == BuildMode::kPartitioned) {
+        for (EntryChunkList& list : published_) list = EntryChunkList{};
+      }
     });
+  }
+
+  /// True when probes only ever walk the contiguous arena, i.e. the
+  /// materialize-phase chunks handed to Run() are no longer referenced and
+  /// their memory can be released by the owning engine.
+  static bool ReleasesChunks(BuildMode mode) {
+    return mode == BuildMode::kPartitioned;
   }
 
   /// Total build-side rows (valid after Run returns).

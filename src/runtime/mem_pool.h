@@ -1,6 +1,7 @@
 #ifndef VCQ_RUNTIME_MEM_POOL_H_
 #define VCQ_RUNTIME_MEM_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -13,17 +14,39 @@ namespace vcq::runtime {
 
 /// Arena allocator for hash-table entries. Each worker thread owns a pool,
 /// so entry allocation during parallel builds is contention-free; the pools
-/// are kept alive by the operator that owns the hash table. Memory is only
-/// reclaimed wholesale when the pool dies — exactly the lifetime of a query
-/// operator, which is all an execution engine needs.
+/// are kept alive by the operator that owns the hash table. Memory is
+/// reclaimed wholesale — when the pool dies, or early via Release() once
+/// the rows have been relocated elsewhere (the partitioned join build
+/// copies every entry into its contiguous arena, after which the
+/// materialize-phase chunks here are dead weight).
 class MemPool {
  public:
   explicit MemPool(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {}
 
   MemPool(const MemPool&) = delete;
   MemPool& operator=(const MemPool&) = delete;
-  MemPool(MemPool&&) = default;
-  MemPool& operator=(MemPool&&) = default;
+  MemPool(MemPool&& other) noexcept { *this = std::move(other); }
+  MemPool& operator=(MemPool&& other) noexcept {
+    if (this != &other) {
+      Release();
+      chunk_bytes_ = other.chunk_bytes_;
+      chunks_ = std::move(other.chunks_);
+      current_ = other.current_;
+      current_size_ = other.current_size_;
+      used_ = other.used_;
+      total_allocated_ = other.total_allocated_;
+      owned_bytes_ = other.owned_bytes_;
+      other.chunks_.clear();
+      other.current_ = nullptr;
+      other.current_size_ = 0;
+      other.used_ = 0;
+      other.total_allocated_ = 0;
+      other.owned_bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~MemPool() { Release(); }
 
   /// Returns 8-byte-aligned storage; never fails (aborts on OOM).
   void* Allocate(size_t bytes) {
@@ -41,8 +64,28 @@ class MemPool {
     return new (Allocate(sizeof(T))) T(std::forward<Args>(args)...);
   }
 
-  /// Total bytes handed out (diagnostics / working-set reporting).
+  /// Frees every chunk now (all handed-out pointers become dangling); the
+  /// pool stays usable for new allocations. Called by the join builds once
+  /// a partitioned insert has relocated all entries into its arena.
+  void Release() {
+    live_bytes_.fetch_sub(owned_bytes_, std::memory_order_relaxed);
+    owned_bytes_ = 0;
+    chunks_.clear();
+    current_ = nullptr;
+    current_size_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes handed out over the pool's lifetime (diagnostics).
   size_t bytes_allocated() const { return total_allocated_; }
+
+  /// Process-wide bytes currently held by all live MemPool chunks — the
+  /// transient-build-memory counter hashmap_test asserts on: after a
+  /// partitioned build releases its materialize chunks this drops back,
+  /// while a CAS build (whose chains live in the chunks) keeps them.
+  static size_t live_bytes() {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Grow(size_t min_bytes) {
@@ -52,6 +95,8 @@ class MemPool {
     current_size_ = size;
     used_ = 0;
     total_allocated_ += size;
+    owned_bytes_ += size;
+    live_bytes_.fetch_add(size, std::memory_order_relaxed);
   }
 
   size_t chunk_bytes_;
@@ -60,6 +105,9 @@ class MemPool {
   size_t current_size_ = 0;
   size_t used_ = 0;
   size_t total_allocated_ = 0;
+  size_t owned_bytes_ = 0;
+
+  inline static std::atomic<size_t> live_bytes_{0};
 };
 
 }  // namespace vcq::runtime

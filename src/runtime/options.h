@@ -5,6 +5,8 @@
 
 namespace vcq::runtime {
 
+class WorkerPool;
+
 /// Engine-independent spelling of the Tectorwise batch-compaction policy
 /// (mapped onto tectorwise::CompactionPolicy by the plan builders).
 enum class CompactionMode { kNever, kAlways, kAdaptive };
@@ -28,6 +30,11 @@ enum class BuildMode { kCas, kPartitioned };
 struct QueryOptions {
   /// Worker threads (morsel-driven parallelism, paper §6).
   size_t threads = 1;
+  /// Worker pool the run executes on; nullptr means the process-global
+  /// pool. vcq::Session stamps its pool here at Prepare time so every
+  /// execution of the session shares one persistent set of threads (see
+  /// runtime::PoolFor in worker_pool.h).
+  WorkerPool* pool = nullptr;
   /// Tectorwise vector size in tuples (Fig. 5 sweep); ignored by Typer and
   /// Volcano.
   size_t vector_size = 1024;

@@ -1,0 +1,104 @@
+#include "runtime/params.h"
+
+#include "common/check.h"
+#include "runtime/types.h"
+
+namespace vcq::runtime {
+
+const char* ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kInt: return "int";
+    case ParamType::kDate: return "date";
+    case ParamType::kString: return "string";
+  }
+  return "?";
+}
+
+QueryParams& QueryParams::SetInt(std::string_view name, int64_t value) {
+  Value& v = values_[std::string(name)];
+  v = Value{ParamType::kInt, value, {}};
+  return *this;
+}
+
+QueryParams& QueryParams::SetDate(std::string_view name,
+                                  std::string_view iso_date) {
+  Value& v = values_[std::string(name)];
+  v = Value{ParamType::kDate, DateFromString(iso_date), {}};
+  return *this;
+}
+
+QueryParams& QueryParams::SetDateDays(std::string_view name, int32_t days) {
+  Value& v = values_[std::string(name)];
+  v = Value{ParamType::kDate, days, {}};
+  return *this;
+}
+
+QueryParams& QueryParams::SetString(std::string_view name,
+                                    std::string_view value) {
+  Value& v = values_[std::string(name)];
+  v = Value{ParamType::kString, 0, std::string(value)};
+  return *this;
+}
+
+bool QueryParams::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+const QueryParams::Value& QueryParams::Find(std::string_view name) const {
+  const auto it = values_.find(name);
+  VCQ_CHECK_MSG(it != values_.end(),
+                "query parameter is not bound (prepared queries resolve "
+                "every parameter a plan reads; bind it or go through "
+                "vcq::Session, which merges the catalog defaults)");
+  return it->second;
+}
+
+ParamType QueryParams::TypeOf(std::string_view name) const {
+  return Find(name).type;
+}
+
+int64_t QueryParams::Int(std::string_view name) const {
+  const Value& v = Find(name);
+  VCQ_CHECK_MSG(v.type == ParamType::kInt || v.type == ParamType::kDate,
+                "query parameter is bound as a string, not a number");
+  return v.i;
+}
+
+int32_t QueryParams::Date(std::string_view name) const {
+  const Value& v = Find(name);
+  VCQ_CHECK_MSG(v.type == ParamType::kDate,
+                "query parameter is not bound as a date");
+  return static_cast<int32_t>(v.i);
+}
+
+const std::string& QueryParams::Str(std::string_view name) const {
+  const Value& v = Find(name);
+  VCQ_CHECK_MSG(v.type == ParamType::kString,
+                "query parameter is not bound as a string");
+  return v.s;
+}
+
+std::vector<std::string> QueryParams::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, v] : values_) names.push_back(name);
+  return names;
+}
+
+std::string QueryParams::ToString() const {
+  std::string out;
+  for (const auto& [name, v] : values_) {
+    if (!out.empty()) out += " ";
+    out += name + "=";
+    switch (v.type) {
+      case ParamType::kInt: out += std::to_string(v.i); break;
+      case ParamType::kDate:
+        out += DateToString(static_cast<int32_t>(v.i));
+        break;
+      case ParamType::kString: out += "'" + v.s + "'"; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vcq::runtime

@@ -1,0 +1,71 @@
+#ifndef VCQ_RUNTIME_PARAMS_H_
+#define VCQ_RUNTIME_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcq::runtime {
+
+/// Value kinds a query parameter can take. Dates are stored as the day
+/// number the engines compare against (runtime::DateFromString); integers
+/// cover the fixed-point columns at their schema scale (e.g. a discount of
+/// 0.05 is the int 5 at scale 2 — the same representation the engines use
+/// everywhere, so bindings never round).
+enum class ParamType { kInt, kDate, kString };
+
+const char* ParamTypeName(ParamType type);
+
+/// An ordered bag of named parameter bindings, shared by every engine: the
+/// prepared plans read predicate constants from here at execution time
+/// instead of baking them in at plan-build time. The bag itself is dumb —
+/// validation against a query's declared parameters happens in
+/// vcq::PreparedQuery (api/session.h), which also merges in the catalog
+/// defaults so engines can require every parameter they read to be bound.
+class QueryParams {
+ public:
+  QueryParams& SetInt(std::string_view name, int64_t value);
+  /// Parses an ISO date ("YYYY-MM-DD") to the engines' day-number form.
+  QueryParams& SetDate(std::string_view name, std::string_view iso_date);
+  /// Binds an already-converted day number (copying a validated binding
+  /// without the format/parse round trip).
+  QueryParams& SetDateDays(std::string_view name, int32_t days);
+  QueryParams& SetString(std::string_view name, std::string_view value);
+
+  bool Has(std::string_view name) const;
+  /// Check-fails when `name` is unbound.
+  ParamType TypeOf(std::string_view name) const;
+
+  /// Integer value of a kInt or kDate binding; check-fails otherwise.
+  int64_t Int(std::string_view name) const;
+  /// Day number of a kDate binding; check-fails otherwise.
+  int32_t Date(std::string_view name) const;
+  /// String value of a kString binding; check-fails otherwise.
+  const std::string& Str(std::string_view name) const;
+
+  size_t size() const { return values_.size(); }
+  /// Bound names in name order (validation / introspection).
+  std::vector<std::string> Names() const;
+  /// "name=value name=value ..." in name order (bench/debug output).
+  std::string ToString() const;
+
+  friend bool operator==(const QueryParams&, const QueryParams&) = default;
+
+ private:
+  struct Value {
+    ParamType type = ParamType::kInt;
+    int64_t i = 0;
+    std::string s;
+    friend bool operator==(const Value&, const Value&) = default;
+  };
+
+  const Value& Find(std::string_view name) const;
+
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_PARAMS_H_

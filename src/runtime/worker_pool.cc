@@ -22,9 +22,24 @@ WorkerPool::~WorkerPool() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::EnsureThreads(size_t needed) {
+size_t WorkerPool::spawned_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+void WorkerPool::EnsureThreadsLocked(size_t needed) {
   while (threads_.size() < needed)
-    threads_.emplace_back(&WorkerPool::WorkerLoop, this, threads_.size());
+    threads_.emplace_back(&WorkerPool::WorkerLoop, this);
+}
+
+void WorkerPool::EnqueueLocked(std::shared_ptr<Job> job) {
+  pending_slots_ += job->slots;
+  // Coverage invariant: every unclaimed slot across all in-flight jobs has
+  // a thread that is idle or will become idle without depending on any
+  // active worker finishing — active workers may be blocked in a barrier
+  // waiting for exactly these slots to start.
+  EnsureThreadsLocked(active_ + pending_slots_);
+  queue_.push_back(std::move(job));
 }
 
 void WorkerPool::Run(size_t thread_count,
@@ -34,50 +49,59 @@ void WorkerPool::Run(size_t thread_count,
     fn(0);
     return;
   }
-  // One parallel region at a time; concurrent queries queue up here.
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
-  const size_t helpers = thread_count - 1;  // caller acts as worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  EnsureThreads(helpers);
-  job_ = &fn;
-  job_threads_ = helpers;
-  job_remaining_ = helpers;
-  ++job_generation_;
-  const size_t my_generation = job_generation_;
-  lock.unlock();
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->slots = thread_count - 1;  // caller acts as worker 0
+  job->remaining = job->slots;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnqueueLocked(job);
+  }
   work_cv_.notify_all();
 
   fn(0);
 
-  lock.lock();
-  done_cv_.wait(lock, [&] {
-    return job_generation_ == my_generation && job_remaining_ == 0;
-  });
-  job_ = nullptr;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job->remaining == 0; });
 }
 
-void WorkerPool::WorkerLoop(size_t pool_index) {
-  size_t seen_generation = 0;
+void WorkerPool::Submit(std::function<void()> task) {
+  auto job = std::make_shared<Job>();
+  job->task = std::move(task);
+  job->slots = 1;
+  job->remaining = 1;
+  job->detached = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnqueueLocked(std::move(job));
+  }
+  work_cv_.notify_all();
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t my_id = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr &&
-                             job_generation_ != seen_generation &&
-                             pool_index < job_threads_);
-      });
-      if (shutdown_) return;
-      seen_generation = job_generation_;
-      fn = job_;
-      my_id = pool_index + 1;  // caller is worker 0
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    // Drain before exiting: a job enqueued just before shutdown still has
+    // waiters (a blocked Run caller, an ExecutionHandle) that must be
+    // released — dropping it would strand them on a dying pool.
+    if (shutdown_ && queue_.empty()) return;
+    std::shared_ptr<Job> job = queue_.front();
+    const size_t slot = job->next_slot++;
+    if (job->next_slot == job->slots) queue_.pop_front();
+    --pending_slots_;
+    ++active_;
+    lock.unlock();
+
+    if (job->fn != nullptr) {
+      (*job->fn)(slot + 1);  // the Run caller is worker 0
+    } else {
+      job->task();
     }
-    (*fn)(my_id);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--job_remaining_ == 0) done_cv_.notify_all();
-    }
+
+    lock.lock();
+    --active_;
+    if (--job->remaining == 0 && !job->detached) done_cv_.notify_all();
   }
 }
 

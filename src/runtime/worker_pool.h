@@ -4,10 +4,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/options.h"
 
 namespace vcq::runtime {
 
@@ -43,9 +47,25 @@ class MorselQueue {
   const size_t grain_;
 };
 
-/// Persistent thread pool that broadcasts one job to N workers and joins
-/// them. Queries run as a sequence of such parallel regions (one per
-/// pipeline), with Barrier ordering the phases inside a region.
+/// Persistent thread pool shared by every query of a vcq::Session (and,
+/// through the process-global instance, by every one-shot RunQuery call).
+/// Threads are created once and reused across queries.
+///
+/// A query executes as a sequence of parallel regions (one per pipeline):
+/// Run(n, fn) hands out n worker slots, the caller fills slot 0 and pool
+/// threads fill the rest, and Barrier orders the phases inside a region.
+/// Multiple regions may be in flight at once — concurrent PreparedQuery
+/// executions each drain their own MorselQueues while the OS interleaves
+/// their workers, so a query mix shares the machine at morsel granularity
+/// instead of queueing whole queries behind each other.
+///
+/// Deadlock safety: regions contain barriers, so every slot of a submitted
+/// region must eventually run on a distinct thread even while other
+/// regions' workers are blocked in their own barriers. The pool maintains
+/// the invariant threads >= active workers + unclaimed slots: submitting
+/// work spawns any missing threads, which means the thread count grows to
+/// the peak concurrent demand and then stays for reuse. Callers bound the
+/// number of in-flight executions, not the pool.
 class WorkerPool {
  public:
   /// Process-wide pool (threads are created lazily, reused across queries).
@@ -57,31 +77,56 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Runs fn(worker_id) on `thread_count` workers and blocks until all
-  /// return. worker_id is dense in [0, thread_count). With thread_count == 1
-  /// the job runs inline on the caller (clean single-threaded measurements:
-  /// no handoff, no wakeup latency). Concurrent Run calls from different
-  /// threads are serialized: queries issued in parallel execute one after
-  /// another on the pool, each with correct results.
+  /// return. worker_id is dense in [0, thread_count); the caller acts as
+  /// worker 0. With thread_count == 1 the job runs inline on the caller
+  /// (clean single-threaded measurements: no handoff, no wakeup latency).
+  /// Concurrent Run calls from different threads execute concurrently on
+  /// the shared pool, each with correct results.
   void Run(size_t thread_count, const std::function<void(size_t)>& fn);
 
+  /// Enqueues a detached one-shot task on the pool (the coordination body
+  /// of PreparedQuery::ExecuteAsync). The task may itself call Run(); the
+  /// thread-coverage invariant above still holds.
+  void Submit(std::function<void()> task);
+
+  /// Advisory hardware parallelism (not a pool limit).
   size_t max_threads() const { return max_threads_; }
+  /// Threads spawned so far (grows to peak demand; introspection only).
+  size_t spawned_threads() const;
 
  private:
-  void WorkerLoop(size_t pool_index);
-  void EnsureThreads(size_t needed);
+  /// One parallel region (Run) or detached task (Submit). `fn` points into
+  /// the Run caller's frame, which outlives the job because the caller
+  /// blocks until `remaining` hits zero; Submit jobs own their body.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    std::function<void()> task;
+    size_t slots = 0;      // pool-side slots to hand out
+    size_t next_slot = 0;  // slots claimed so far
+    size_t remaining = 0;  // claimed-or-not slots still unfinished
+    bool detached = false;
+  };
+
+  void WorkerLoop();
+  void EnsureThreadsLocked(size_t needed);
+  void EnqueueLocked(std::shared_ptr<Job> job);
 
   std::vector<std::thread> threads_;
-  std::mutex run_mutex_;  // serializes concurrent Run() callers
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t job_threads_ = 0;     // workers participating in current job
-  size_t job_generation_ = 0;  // bumped per job
-  size_t job_remaining_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for queued slots
+  std::condition_variable done_cv_;  // Run callers wait for their job
+  std::deque<std::shared_ptr<Job>> queue_;  // jobs with unclaimed slots
+  size_t active_ = 0;         // workers currently executing a slot
+  size_t pending_slots_ = 0;  // unclaimed slots across queued jobs
   bool shutdown_ = false;
   size_t max_threads_;
 };
+
+/// The pool a run should execute on: the options' session pool when set,
+/// the process-global pool otherwise.
+inline WorkerPool& PoolFor(const QueryOptions& opt) {
+  return opt.pool != nullptr ? *opt.pool : WorkerPool::Global();
+}
 
 }  // namespace vcq::runtime
 

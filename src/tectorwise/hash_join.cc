@@ -45,6 +45,11 @@ void HashJoin::BuildPhase() {
     chunks_.Add(base, n);
   }
   shared_->build.Run(build_mode_, std::move(chunks_), stride);
+  // Under the partitioned protocol every entry was relinked into the
+  // shared contiguous arena, so this worker's materialize-phase chunks are
+  // unreachable from any chain — free them instead of carrying ~2x the
+  // build side through the probe phase.
+  if (runtime::JoinBuild::ReleasesChunks(build_mode_)) pool_.Release();
   built_ = true;
 }
 

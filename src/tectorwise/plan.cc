@@ -381,6 +381,7 @@ Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result) {
 // ---------------------------------------------------------------------------
 
 void Plan::Run(const runtime::QueryOptions& opt,
+               const runtime::QueryParams& params,
                const Collector& collect) const {
   const ExecContext ctx = MakeContext(opt);
   std::vector<std::shared_ptr<void>> shared(nodes_.size());
@@ -395,9 +396,9 @@ void Plan::Run(const runtime::QueryOptions& opt,
   // Trees stay alive until every worker has finished: probe pipelines read
   // hash-table entries owned by other workers' operators.
   std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-  runtime::WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
-    plan_internal::Workspace ws{ctx,      wid,     opt.threads, &columns_,
-                                &shared,  {}};
+  runtime::PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+    plan_internal::Workspace ws{ctx,     wid,     opt.threads, &columns_,
+                                &shared, &params, {}};
     ws.slots.resize(columns_.size(), nullptr);
     auto root = nodes_[root_]->Instantiate(ws);
     size_t n;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/options.h"
+#include "runtime/params.h"
 #include "runtime/relation.h"
 #include "tectorwise/hash_group.h"
 #include "tectorwise/hash_join.h"
@@ -112,16 +113,40 @@ struct ColumnInfo {
   CompactRegistrar compact;
 };
 
-/// Per-worker instantiation state: slot wiring (indexed by column id) plus
-/// the run-wide shared-state table (indexed by node index).
+/// Per-worker instantiation state: slot wiring (indexed by column id), the
+/// run-wide shared-state table (indexed by node index), and the run's
+/// parameter bindings (resolved by parameterized steps at instantiate
+/// time — this is what lets one built Plan serve many executions).
 struct Workspace {
   const ExecContext& ctx;
   size_t worker_id;
   size_t worker_count;
   const std::vector<ColumnInfo>* columns;
   const std::vector<std::shared_ptr<void>>* shared;
+  const runtime::QueryParams* params;
   std::vector<Slot*> slots;
 };
+
+/// The run's validated parameter bindings; the single check (and message)
+/// every parameterized step goes through.
+inline const runtime::QueryParams& Params(const Workspace& ws) {
+  VCQ_CHECK_MSG(ws.params != nullptr,
+                "parameterized plan executed without QueryParams (use the "
+                "three-argument Plan::Run or go through vcq::Session)");
+  return *ws.params;
+}
+
+/// Resolves the predicate constant for a parameterized step: numbers (and
+/// dates, stored as day numbers) through Int, fixed-width strings through
+/// the type's From.
+template <typename T>
+T ParamAs(const Workspace& ws, const std::string& name) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    return static_cast<T>(Params(ws).Int(name));
+  } else {
+    return T::From(Params(ws).Str(name));
+  }
+}
 
 inline std::string CmpOpName(CmpOp op) {
   switch (op) {
@@ -290,6 +315,68 @@ class SelectNode : public PlanNode {
     steps_.push_back(
         [col, needle](const ExecContext&, plan_internal::Workspace& ws) {
           return MakeSelContains<V>(ws.slots[col.id], needle);
+        });
+    return *this;
+  }
+
+  // --- parameterized predicates (paper §8.1: prepared statements) ---------
+  // The constant is a named parameter resolved from the execution's
+  // QueryParams when the per-worker operators are instantiated, so the plan
+  // is built once and every Execute may bind different values.
+
+  /// col OP :param.
+  template <typename T>
+  SelectNode& CmpParam(ColumnRef col, CmpOp op, std::string param) {
+    Consume(col);
+    Detail(ColName(col) + " " + plan_internal::CmpOpName(op) + " :" + param);
+    steps_.push_back([col, op, param](const ExecContext& ctx,
+                                      plan_internal::Workspace& ws) {
+      return MakeSelCmp<T>(ctx, ws.slots[col.id], op,
+                           plan_internal::ParamAs<T>(ws, param));
+    });
+    return *this;
+  }
+
+  /// :lo_param <= col <= :hi_param.
+  template <typename T>
+  SelectNode& BetweenParam(ColumnRef col, std::string lo_param,
+                           std::string hi_param) {
+    Consume(col);
+    Detail(ColName(col) + " in [:" + lo_param + ", :" + hi_param + "]");
+    steps_.push_back([col, lo_param, hi_param](
+                         const ExecContext& ctx,
+                         plan_internal::Workspace& ws) {
+      return MakeSelBetween<T>(ctx, ws.slots[col.id],
+                               plan_internal::ParamAs<T>(ws, lo_param),
+                               plan_internal::ParamAs<T>(ws, hi_param));
+    });
+    return *this;
+  }
+
+  /// col == :a_param || col == :b_param.
+  template <typename T>
+  SelectNode& EqOr2Param(ColumnRef col, std::string a_param,
+                         std::string b_param) {
+    Consume(col);
+    Detail(ColName(col) + " == :" + a_param + " || :" + b_param);
+    steps_.push_back([col, a_param, b_param](const ExecContext&,
+                                             plan_internal::Workspace& ws) {
+      return MakeSelEqOr2<T>(ws.slots[col.id],
+                             plan_internal::ParamAs<T>(ws, a_param),
+                             plan_internal::ParamAs<T>(ws, b_param));
+    });
+    return *this;
+  }
+
+  /// Substring containment with the needle bound as :param.
+  template <typename V>
+  SelectNode& ContainsParam(ColumnRef col, std::string param) {
+    Consume(col);
+    Detail(ColName(col) + " contains :" + param);
+    steps_.push_back(
+        [col, param](const ExecContext&, plan_internal::Workspace& ws) {
+          return MakeSelContains<V>(ws.slots[col.id],
+                                    plan_internal::Params(ws).Str(param));
         });
     return *this;
   }
@@ -715,10 +802,19 @@ class Plan {
   };
   using Collector = std::function<void(const Batch&)>;
 
-  /// Executes the plan: creates shared state, instantiates one operator
-  /// tree per worker, drains the root on every worker and invokes
-  /// `collect` for each non-empty root batch under an internal mutex.
-  void Run(const runtime::QueryOptions& opt, const Collector& collect) const;
+  /// Executes the plan: creates per-run shared state, instantiates one
+  /// operator tree per worker on the run's pool, drains the root on every
+  /// worker and invokes `collect` for each non-empty root batch under an
+  /// internal mutex. All mutable state is per-run, so concurrent Run calls
+  /// on one Plan are safe — this is the prepare-once/execute-many split
+  /// vcq::PreparedQuery builds on. `params` supplies the values of any
+  /// parameterized predicates (CmpParam etc.); plans without parameters
+  /// may use the two-argument overload.
+  void Run(const runtime::QueryOptions& opt,
+           const runtime::QueryParams& params, const Collector& collect) const;
+  void Run(const runtime::QueryOptions& opt, const Collector& collect) const {
+    Run(opt, runtime::QueryParams{}, collect);
+  }
 
   /// EXPLAIN-style dump: nodes, steps, consumed columns, derived
   /// compaction registrations, result columns.

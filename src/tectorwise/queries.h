@@ -1,51 +1,104 @@
 #ifndef VCQ_TECTORWISE_QUERIES_H_
 #define VCQ_TECTORWISE_QUERIES_H_
 
+#include <functional>
 #include <string_view>
+#include <utility>
 
 #include "runtime/options.h"
+#include "runtime/params.h"
 #include "runtime/query_result.h"
 #include "runtime/relation.h"
+#include "tectorwise/plan.h"
 
 // Tectorwise implementations of the studied workload (paper §3.3): the
 // representative TPC-H subset Q1/Q6/Q3/Q9/Q18 and SSB Q1.1/Q2.1/Q3.1/Q4.1.
 // Each query is a declarative PlanBuilder description (see plan.h) plus a
 // small collector; compaction-column registration is derived from slot
 // usage by the builder.
+//
+// The prepare/run split (paper §8.1): Prepare() validates and builds the
+// plan DAG once — including the derived compaction registrations — and
+// returns a Prepared whose Run() only does per-execution work (shared
+// state, per-worker operator trees, collection). Predicate constants are
+// named parameters resolved from the QueryParams of each Run, so one
+// prepared plan serves any binding; every parameter the vcq::QueryCatalog
+// declares for the query must be bound (vcq::Session merges the defaults).
 
 namespace vcq::tectorwise {
 
-class Plan;
+/// A query plan built once plus the collector that turns its root batches
+/// into a QueryResult. Run() is safe to call concurrently: the plan is
+/// read-only after construction and every execution's mutable state
+/// (shared operator state, accumulators) is created per call.
+class Prepared {
+ public:
+  using Runner = std::function<runtime::QueryResult(
+      const Plan&, const runtime::QueryOptions&,
+      const runtime::QueryParams&)>;
+
+  Prepared(Plan plan, Runner run)
+      : plan_(std::move(plan)), run_(std::move(run)) {}
+
+  runtime::QueryResult Run(const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params) const {
+    return run_(plan_, opt, params);
+  }
+
+  const Plan& plan() const { return plan_; }
+  /// Surrenders the plan (EXPLAIN paths that only want the DAG).
+  Plan TakePlan() && { return std::move(plan_); }
+
+ private:
+  Plan plan_;
+  Runner run_;
+};
+
+/// Builds (without running) the prepared form of the named query — "Q1",
+/// "Q6", "Q3", "Q9", "Q18", "SSB-Q1.1", "SSB-Q2.1", "SSB-Q3.1",
+/// "SSB-Q4.1". For "Q1", opt.adaptive selects the §8.4 micro-adaptive
+/// ordered-aggregation variant (a prepare-time plan choice). The database
+/// must hold the matching schema. Check-fails on unknown names.
+Prepared Prepare(const runtime::Database& db, std::string_view query_name,
+                 const runtime::QueryOptions& opt);
 
 runtime::QueryResult RunQ1(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ6(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ3(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ9(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ18(const runtime::Database& db,
-                            const runtime::QueryOptions& opt);
+                            const runtime::QueryOptions& opt,
+                            const runtime::QueryParams& params);
 
 runtime::QueryResult RunSsbQ11(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ21(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ31(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ41(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 
-/// Builds (without running) the declarative plan for the named query —
-/// "Q1", "Q1-adaptive", "Q6", "Q3", "Q9", "Q18", "SSB-Q1.1", "SSB-Q2.1",
-/// "SSB-Q3.1", "SSB-Q4.1" — for EXPLAIN dumps and compaction-registration
-/// introspection. The database must hold the matching schema. Check-fails
-/// on unknown names.
+/// Builds (without running) the declarative plan for the named query
+/// (including "Q1-adaptive") — for EXPLAIN dumps and
+/// compaction-registration introspection. Parameterized predicates print
+/// as ":name". Check-fails on unknown names.
 Plan PlanFor(const runtime::Database& db, std::string_view query_name);
 
 namespace detail {
-Plan SsbPlanFor(const runtime::Database& db, std::string_view query_name);
+Prepared SsbPrepare(const runtime::Database& db, std::string_view query_name);
 }
 
 }  // namespace vcq::tectorwise

@@ -11,35 +11,33 @@
 // lineorder probes filtered dimension hash tables — the workload that made
 // the SSB results "quite similar to TPC-H Q3 and Q9". Described with the
 // PlanBuilder (plan.h); compaction registrations are derived from slot
-// usage.
+// usage. Dimension predicates (year bands, regions, categories) are named
+// parameters resolved per execution, so each query is built once by
+// Prepare() and serves any binding (see queries.h).
 
 namespace vcq::tectorwise {
 
 using runtime::Char;
 using runtime::Database;
 using runtime::QueryOptions;
+using runtime::QueryParams;
 using runtime::QueryResult;
 using runtime::ResultBuilder;
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Q1.1: date join + tight selections, single aggregate
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct SsbQ11Plan {
-  Plan plan;
-  ColumnRef revenue;
-};
-
-SsbQ11Plan MakeSsbQ11(const Database& db) {
+Prepared PrepareSsbQ11(const Database& db) {
   PlanBuilder pb("SSB-Q1.1");
 
   auto& dscan = pb.Scan(db["date"], "date");
   const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
   const ColumnRef d_year = dscan.Col<int32_t>("d_year");
   auto& dsel = pb.Select(dscan);
-  dsel.Cmp<int32_t>(d_year, CmpOp::kEq, 1993);
+  dsel.CmpParam<int32_t>(d_year, CmpOp::kEq, "year");
 
   auto& loscan = pb.Scan(db["lineorder"], "lineorder");
   const ColumnRef lo_orderdate = loscan.Col<int32_t>("lo_orderdate");
@@ -47,8 +45,8 @@ SsbQ11Plan MakeSsbQ11(const Database& db) {
   const ColumnRef lo_quantity = loscan.Col<int64_t>("lo_quantity");
   const ColumnRef lo_extprice = loscan.Col<int64_t>("lo_extendedprice");
   auto& losel = pb.Select(loscan);
-  losel.Between<int64_t>(lo_discount, 1, 3);
-  losel.Cmp<int64_t>(lo_quantity, CmpOp::kLess, 25);
+  losel.BetweenParam<int64_t>(lo_discount, "discount_lo", "discount_hi");
+  losel.CmpParam<int64_t>(lo_quantity, CmpOp::kLess, "quantity_max");
 
   auto& hj = pb.HashJoin(dsel, losel);
   hj.Key<int32_t>(lo_orderdate, d_datekey);
@@ -61,34 +59,24 @@ SsbQ11Plan MakeSsbQ11(const Database& db) {
 
   auto& agg = pb.FixedAgg(map);
   const ColumnRef total = agg.Sum(revenue, "revenue");
-  return SsbQ11Plan{pb.Build(agg, {total}), total};
-}
-
-}  // namespace
-
-QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
-  const SsbQ11Plan q = MakeSsbQ11(db);
-  int64_t total = 0;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    total += b.Column<int64_t>(q.revenue)[0];
-  });
-  ResultBuilder rb({"revenue"});
-  rb.BeginRow().Numeric(total, 4);
-  return rb.Finish();
+  return Prepared(pb.Build(agg, {total}),
+                  [total](const Plan& plan, const QueryOptions& opt,
+                          const QueryParams& params) {
+                    int64_t sum = 0;
+                    plan.Run(opt, params, [&](const Plan::Batch& b) {
+                      sum += b.Column<int64_t>(total)[0];
+                    });
+                    ResultBuilder rb({"revenue"});
+                    rb.BeginRow().Numeric(sum, 4);
+                    return rb.Finish();
+                  });
 }
 
 // ---------------------------------------------------------------------------
 // Q2.1: part + supplier + date joins, group by (year, brand)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct SsbQ21Plan {
-  Plan plan;
-  ColumnRef year, brand, revenue;
-};
-
-SsbQ21Plan MakeSsbQ21(const Database& db) {
+Prepared PrepareSsbQ21(const Database& db) {
   PlanBuilder pb("SSB-Q2.1");
 
   auto& pscan = pb.Scan(db["part"], "part");
@@ -96,13 +84,13 @@ SsbQ21Plan MakeSsbQ21(const Database& db) {
   const ColumnRef p_category = pscan.Col<Char<7>>("p_category");
   const ColumnRef p_brand1 = pscan.Col<Char<9>>("p_brand1");
   auto& psel = pb.Select(pscan);
-  psel.Cmp<Char<7>>(p_category, CmpOp::kEq, Char<7>::From("MFGR#12"));
+  psel.CmpParam<Char<7>>(p_category, CmpOp::kEq, "category");
 
   auto& sscan = pb.Scan(db["supplier"], "supplier");
   const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
   const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
   auto& ssel = pb.Select(sscan);
-  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, Char<12>::From("AMERICA"));
+  ssel.CmpParam<Char<12>>(s_region, CmpOp::kEq, "region");
 
   auto& dscan = pb.Scan(db["date"], "date");
   const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
@@ -139,71 +127,61 @@ SsbQ21Plan MakeSsbQ21(const Database& db) {
   const ColumnRef g_rev = group.Sum(jd_revenue);
 
   Plan plan = pb.Build(group, {g_year, g_brand, g_rev});
-  return SsbQ21Plan{std::move(plan), g_year, g_brand, g_rev};
-}
+  return Prepared(
+      std::move(plan),
+      [g_year, g_brand, g_rev](const Plan& plan, const QueryOptions& opt,
+                               const QueryParams& params) {
+        struct Row {
+          int32_t year;
+          Char<9> brand;
+          int64_t revenue;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<int32_t>(g_year)[k],
+                               b.Column<Char<9>>(g_brand)[k],
+                               b.Column<int64_t>(g_rev)[k]});
+          }
+        });
 
-}  // namespace
-
-QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
-  const SsbQ21Plan q = MakeSsbQ21(db);
-  struct Row {
-    int32_t year;
-    Char<9> brand;
-    int64_t revenue;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<int32_t>(q.year)[k],
-                         b.Column<Char<9>>(q.brand)[k],
-                         b.Column<int64_t>(q.revenue)[k]});
-    }
-  });
-
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.year != b.year) return a.year < b.year;
-    return a.brand < b.brand;
-  });
-  ResultBuilder rb({"d_year", "p_brand1", "revenue"});
-  for (const Row& r : rows)
-    rb.BeginRow().Int(r.year).Str(r.brand.View()).Numeric(r.revenue, 2);
-  return rb.Finish();
+        std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+          if (a.year != b.year) return a.year < b.year;
+          return a.brand < b.brand;
+        });
+        ResultBuilder rb({"d_year", "p_brand1", "revenue"});
+        for (const Row& r : rows)
+          rb.BeginRow().Int(r.year).Str(r.brand.View()).Numeric(r.revenue, 2);
+        return rb.Finish();
+      });
 }
 
 // ---------------------------------------------------------------------------
 // Q3.1: customer + supplier + date joins, group by (c_nation, s_nation, year)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct SsbQ31Plan {
-  Plan plan;
-  ColumnRef c_nation, s_nation, year, revenue;
-};
-
-SsbQ31Plan MakeSsbQ31(const Database& db) {
+Prepared PrepareSsbQ31(const Database& db) {
   PlanBuilder pb("SSB-Q3.1");
-  const Char<12> asia = Char<12>::From("ASIA");
 
   auto& cscan = pb.Scan(db["customer"], "customer");
   const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
   const ColumnRef c_nation = cscan.Col<Char<15>>("c_nation");
   const ColumnRef c_region = cscan.Col<Char<12>>("c_region");
   auto& csel = pb.Select(cscan);
-  csel.Cmp<Char<12>>(c_region, CmpOp::kEq, asia);
+  csel.CmpParam<Char<12>>(c_region, CmpOp::kEq, "region");
 
   auto& sscan = pb.Scan(db["supplier"], "supplier");
   const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
   const ColumnRef s_nation = sscan.Col<Char<15>>("s_nation");
   const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
   auto& ssel = pb.Select(sscan);
-  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, asia);
+  ssel.CmpParam<Char<12>>(s_region, CmpOp::kEq, "region");
 
   auto& dscan = pb.Scan(db["date"], "date");
   const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
   const ColumnRef d_year = dscan.Col<int32_t>("d_year");
   auto& dsel = pb.Select(dscan);
-  dsel.Between<int32_t>(d_year, 1992, 1997);
+  dsel.BetweenParam<int32_t>(d_year, "year_lo", "year_hi");
 
   auto& loscan = pb.Scan(db["lineorder"], "lineorder");
   const ColumnRef lo_custkey = loscan.Col<int32_t>("lo_custkey");
@@ -239,77 +217,69 @@ SsbQ31Plan MakeSsbQ31(const Database& db) {
   const ColumnRef g_rev = group.Sum(jd_revenue);
 
   Plan plan = pb.Build(group, {g_cnation, g_snation, g_year, g_rev});
-  return SsbQ31Plan{std::move(plan), g_cnation, g_snation, g_year, g_rev};
-}
+  return Prepared(
+      std::move(plan),
+      [g_cnation, g_snation, g_year, g_rev](const Plan& plan,
+                                            const QueryOptions& opt,
+                                            const QueryParams& params) {
+        struct Row {
+          Char<15> c_nation, s_nation;
+          int32_t year;
+          int64_t revenue;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<Char<15>>(g_cnation)[k],
+                               b.Column<Char<15>>(g_snation)[k],
+                               b.Column<int32_t>(g_year)[k],
+                               b.Column<int64_t>(g_rev)[k]});
+          }
+        });
 
-}  // namespace
-
-QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
-  const SsbQ31Plan q = MakeSsbQ31(db);
-  struct Row {
-    Char<15> c_nation, s_nation;
-    int32_t year;
-    int64_t revenue;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<Char<15>>(q.c_nation)[k],
-                         b.Column<Char<15>>(q.s_nation)[k],
-                         b.Column<int32_t>(q.year)[k],
-                         b.Column<int64_t>(q.revenue)[k]});
-    }
-  });
-
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.year != b.year) return a.year < b.year;
-    if (a.revenue != b.revenue) return a.revenue > b.revenue;
-    return std::tie(a.c_nation, a.s_nation) < std::tie(b.c_nation, b.s_nation);
-  });
-  ResultBuilder rb({"c_nation", "s_nation", "d_year", "revenue"});
-  for (const Row& r : rows) {
-    rb.BeginRow()
-        .Str(r.c_nation.View())
-        .Str(r.s_nation.View())
-        .Int(r.year)
-        .Numeric(r.revenue, 2);
-  }
-  return rb.Finish();
+        std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+          if (a.year != b.year) return a.year < b.year;
+          if (a.revenue != b.revenue) return a.revenue > b.revenue;
+          return std::tie(a.c_nation, a.s_nation) <
+                 std::tie(b.c_nation, b.s_nation);
+        });
+        ResultBuilder rb({"c_nation", "s_nation", "d_year", "revenue"});
+        for (const Row& r : rows) {
+          rb.BeginRow()
+              .Str(r.c_nation.View())
+              .Str(r.s_nation.View())
+              .Int(r.year)
+              .Numeric(r.revenue, 2);
+        }
+        return rb.Finish();
+      });
 }
 
 // ---------------------------------------------------------------------------
 // Q4.1: four-dimension join, group by (year, c_nation), profit
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct SsbQ41Plan {
-  Plan plan;
-  ColumnRef year, c_nation, profit;
-};
-
-SsbQ41Plan MakeSsbQ41(const Database& db) {
+Prepared PrepareSsbQ41(const Database& db) {
   PlanBuilder pb("SSB-Q4.1");
-  const Char<12> america = Char<12>::From("AMERICA");
 
   auto& cscan = pb.Scan(db["customer"], "customer");
   const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
   const ColumnRef c_nation = cscan.Col<Char<15>>("c_nation");
   const ColumnRef c_region = cscan.Col<Char<12>>("c_region");
   auto& csel = pb.Select(cscan);
-  csel.Cmp<Char<12>>(c_region, CmpOp::kEq, america);
+  csel.CmpParam<Char<12>>(c_region, CmpOp::kEq, "region");
 
   auto& sscan = pb.Scan(db["supplier"], "supplier");
   const ColumnRef s_suppkey = sscan.Col<int32_t>("s_suppkey");
   const ColumnRef s_region = sscan.Col<Char<12>>("s_region");
   auto& ssel = pb.Select(sscan);
-  ssel.Cmp<Char<12>>(s_region, CmpOp::kEq, america);
+  ssel.CmpParam<Char<12>>(s_region, CmpOp::kEq, "region");
 
   auto& pscan = pb.Scan(db["part"], "part");
   const ColumnRef p_partkey = pscan.Col<int32_t>("p_partkey");
   const ColumnRef p_mfgr = pscan.Col<Char<6>>("p_mfgr");
   auto& psel = pb.Select(pscan);
-  psel.EqOr2<Char<6>>(p_mfgr, Char<6>::From("MFGR#1"), Char<6>::From("MFGR#2"));
+  psel.EqOr2Param<Char<6>>(p_mfgr, "mfgr_a", "mfgr_b");
 
   auto& dscan = pb.Scan(db["date"], "date");
   const ColumnRef d_datekey = dscan.Col<int32_t>("d_datekey");
@@ -364,49 +334,73 @@ SsbQ41Plan MakeSsbQ41(const Database& db) {
   const ColumnRef g_profit = group.Sum(profit);
 
   Plan plan = pb.Build(group, {g_year, g_cnation, g_profit});
-  return SsbQ41Plan{std::move(plan), g_year, g_cnation, g_profit};
+  return Prepared(
+      std::move(plan),
+      [g_year, g_cnation, g_profit](const Plan& plan, const QueryOptions& opt,
+                                    const QueryParams& params) {
+        struct Row {
+          int32_t year;
+          Char<15> c_nation;
+          int64_t profit;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<int32_t>(g_year)[k],
+                               b.Column<Char<15>>(g_cnation)[k],
+                               b.Column<int64_t>(g_profit)[k]});
+          }
+        });
+
+        std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+          if (a.year != b.year) return a.year < b.year;
+          return a.c_nation < b.c_nation;
+        });
+        ResultBuilder rb({"d_year", "c_nation", "profit"});
+        for (const Row& r : rows) {
+          rb.BeginRow()
+              .Int(r.year)
+              .Str(r.c_nation.View())
+              .Numeric(r.profit, 2);
+        }
+        return rb.Finish();
+      });
 }
 
 }  // namespace
 
-QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
-  const SsbQ41Plan q = MakeSsbQ41(db);
-  struct Row {
-    int32_t year;
-    Char<15> c_nation;
-    int64_t profit;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<int32_t>(q.year)[k],
-                         b.Column<Char<15>>(q.c_nation)[k],
-                         b.Column<int64_t>(q.profit)[k]});
-    }
-  });
+// ---------------------------------------------------------------------------
+// Entry points (SSB half; see queries_tpch.cc for the dispatchers)
+// ---------------------------------------------------------------------------
 
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.year != b.year) return a.year < b.year;
-    return a.c_nation < b.c_nation;
-  });
-  ResultBuilder rb({"d_year", "c_nation", "profit"});
-  for (const Row& r : rows)
-    rb.BeginRow().Int(r.year).Str(r.c_nation.View()).Numeric(r.profit, 2);
-  return rb.Finish();
+QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
+                      const QueryParams& params) {
+  return PrepareSsbQ11(db).Run(opt, params);
 }
 
-// ---------------------------------------------------------------------------
-// EXPLAIN entry point (SSB half; see queries_tpch.cc for the dispatcher)
-// ---------------------------------------------------------------------------
+QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
+                      const QueryParams& params) {
+  return PrepareSsbQ21(db).Run(opt, params);
+}
+
+QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
+                      const QueryParams& params) {
+  return PrepareSsbQ31(db).Run(opt, params);
+}
+
+QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
+                      const QueryParams& params) {
+  return PrepareSsbQ41(db).Run(opt, params);
+}
 
 namespace detail {
 
-Plan SsbPlanFor(const Database& db, std::string_view query_name) {
-  if (query_name == "SSB-Q1.1") return MakeSsbQ11(db).plan;
-  if (query_name == "SSB-Q2.1") return MakeSsbQ21(db).plan;
-  if (query_name == "SSB-Q3.1") return MakeSsbQ31(db).plan;
-  if (query_name == "SSB-Q4.1") return MakeSsbQ41(db).plan;
-  VCQ_CHECK_MSG(false, "unknown query name for PlanFor");
+Prepared SsbPrepare(const Database& db, std::string_view query_name) {
+  if (query_name == "SSB-Q1.1") return PrepareSsbQ11(db);
+  if (query_name == "SSB-Q2.1") return PrepareSsbQ21(db);
+  if (query_name == "SSB-Q3.1") return PrepareSsbQ31(db);
+  if (query_name == "SSB-Q4.1") return PrepareSsbQ41(db);
+  VCQ_CHECK_MSG(false, "unknown query name for Prepare");
   std::abort();  // unreachable: the check above never returns
 }
 

@@ -13,13 +13,18 @@
 // collector; the builder wires the per-worker operator trees, the shared
 // state, and the derived compaction registrations. Collectors merge the
 // tiny root cardinalities under the plan's mutex.
+//
+// Every query is split prepare/run (queries.h): MakeQ* builds the plan DAG
+// once with predicate constants declared as named parameters (CmpParam et
+// al.), PrepareQ* pairs it with a collector closure, and the Run entry
+// points are one-shot conveniences over a throwaway Prepared.
 
 namespace vcq::tectorwise {
 
 using runtime::Char;
 using runtime::Database;
-using runtime::DateFromString;
 using runtime::QueryOptions;
+using runtime::QueryParams;
 using runtime::QueryResult;
 using runtime::ResultBuilder;
 using runtime::Varchar;
@@ -53,7 +58,7 @@ Q1Front MakeQ1Front(PlanBuilder& pb, const Database& db) {
   const ColumnRef tax = scan.Col<int64_t>("l_tax");
 
   auto& sel = pb.Select(scan);
-  sel.Cmp<int32_t>(shipdate, CmpOp::kLessEq, DateFromString("1998-09-02"));
+  sel.CmpParam<int32_t>(shipdate, CmpOp::kLessEq, "shipdate");
 
   auto& map = pb.Map(sel);
   // Fused steps: the (1 - discount) / (1 + tax) intermediates are never
@@ -137,62 +142,44 @@ QueryResult FormatQ1(
   return rb.Finish();
 }
 
-QueryResult RunQ1Adaptive(const Database& db, const QueryOptions& opt) {
-  const Q1Plan q = MakeQ1Adaptive(db);
-  // Workers emit their local groups; merge them by key here.
-  std::map<std::pair<char, char>, Q1Agg> merged;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      Q1Agg& agg = merged[{b.Column<Char<1>>(q.rf)[k].data[0],
-                           b.Column<Char<1>>(q.ls)[k].data[0]}];
-      agg.qty += b.Column<int64_t>(q.qty)[k];
-      agg.base += b.Column<int64_t>(q.base)[k];
-      agg.disc_price += b.Column<int64_t>(q.disc_price)[k];
-      agg.charge += b.Column<int64_t>(q.charge)[k];
-      agg.disc += b.Column<int64_t>(q.disc)[k];
-      agg.count += b.Column<int64_t>(q.count)[k];
-    }
-  });
-  std::vector<std::pair<std::pair<char, char>, Q1Agg>> rows(merged.begin(),
-                                                            merged.end());
-  return FormatQ1(rows);
+// The hash variant's workers emit each group once; the adaptive variant
+// emits per-worker partial groups, so both collectors merge by key.
+Prepared MakePreparedQ1(Q1Plan q) {
+  const ColumnRef rf = q.rf, ls = q.ls, qty = q.qty, base = q.base;
+  const ColumnRef dp = q.disc_price, ch = q.charge, disc = q.disc;
+  const ColumnRef cnt = q.count;
+  return Prepared(
+      std::move(q.plan),
+      [=](const Plan& plan, const QueryOptions& opt,
+          const QueryParams& params) {
+        std::map<std::pair<char, char>, Q1Agg> merged;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            Q1Agg& agg = merged[{b.Column<Char<1>>(rf)[k].data[0],
+                                 b.Column<Char<1>>(ls)[k].data[0]}];
+            agg.qty += b.Column<int64_t>(qty)[k];
+            agg.base += b.Column<int64_t>(base)[k];
+            agg.disc_price += b.Column<int64_t>(dp)[k];
+            agg.charge += b.Column<int64_t>(ch)[k];
+            agg.disc += b.Column<int64_t>(disc)[k];
+            agg.count += b.Column<int64_t>(cnt)[k];
+          }
+        });
+        std::vector<std::pair<std::pair<char, char>, Q1Agg>> rows(
+            merged.begin(), merged.end());
+        return FormatQ1(rows);
+      });
 }
 
-}  // namespace
-
-QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
-  if (opt.adaptive) return RunQ1Adaptive(db, opt);
-  const Q1Plan q = MakeQ1(db);
-  std::vector<std::pair<std::pair<char, char>, Q1Agg>> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back({{b.Column<Char<1>>(q.rf)[k].data[0],
-                       b.Column<Char<1>>(q.ls)[k].data[0]},
-                      Q1Agg{b.Column<int64_t>(q.qty)[k],
-                            b.Column<int64_t>(q.base)[k],
-                            b.Column<int64_t>(q.disc_price)[k],
-                            b.Column<int64_t>(q.charge)[k],
-                            b.Column<int64_t>(q.disc)[k],
-                            b.Column<int64_t>(q.count)[k]}});
-    }
-  });
-  std::sort(rows.begin(), rows.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  return FormatQ1(rows);
+Prepared PrepareQ1(const Database& db, const QueryOptions& opt) {
+  return MakePreparedQ1(opt.adaptive ? MakeQ1Adaptive(db) : MakeQ1(db));
 }
 
 // ---------------------------------------------------------------------------
 // Q6: selective scan
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Q6Plan {
-  Plan plan;
-  ColumnRef revenue;
-};
-
-Q6Plan MakeQ6(const Database& db) {
+Prepared PrepareQ6(const Database& db) {
   PlanBuilder pb("Q6");
   auto& scan = pb.Scan(db["lineitem"], "lineitem");
   const ColumnRef shipdate = scan.Col<int32_t>("l_shipdate");
@@ -201,10 +188,9 @@ Q6Plan MakeQ6(const Database& db) {
   const ColumnRef extprice = scan.Col<int64_t>("l_extendedprice");
 
   auto& sel = pb.Select(scan);
-  sel.Between<int32_t>(shipdate, DateFromString("1994-01-01"),
-                       DateFromString("1995-01-01") - 1);
-  sel.Between<int64_t>(discount, 5, 7);
-  sel.Cmp<int64_t>(quantity, CmpOp::kLess, 2400);
+  sel.BetweenParam<int32_t>(shipdate, "shipdate_lo", "shipdate_hi");
+  sel.BetweenParam<int64_t>(discount, "discount_lo", "discount_hi");
+  sel.CmpParam<int64_t>(quantity, CmpOp::kLess, "quantity_max");
 
   auto& map = pb.Map(sel);
   const ColumnRef revenue =
@@ -212,43 +198,33 @@ Q6Plan MakeQ6(const Database& db) {
 
   auto& agg = pb.FixedAgg(map);
   const ColumnRef total = agg.Sum(revenue, "revenue");
-  return Q6Plan{pb.Build(agg, {total}), total};
-}
 
-}  // namespace
-
-QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
-  const Q6Plan q = MakeQ6(db);
-  int64_t total = 0;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    total += b.Column<int64_t>(q.revenue)[0];
-  });
-  ResultBuilder rb({"revenue"});
-  rb.BeginRow().Numeric(total, 4);
-  return rb.Finish();
+  return Prepared(pb.Build(agg, {total}),
+                  [total](const Plan& plan, const QueryOptions& opt,
+                          const QueryParams& params) {
+                    int64_t sum = 0;
+                    plan.Run(opt, params, [&](const Plan::Batch& b) {
+                      sum += b.Column<int64_t>(total)[0];
+                    });
+                    ResultBuilder rb({"revenue"});
+                    rb.BeginRow().Numeric(sum, 4);
+                    return rb.Finish();
+                  });
 }
 
 // ---------------------------------------------------------------------------
 // Q3: two joins feeding a group-by, top-10
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Q3Plan {
-  Plan plan;
-  ColumnRef orderkey, orderdate, shippriority, revenue;
-};
-
-Q3Plan MakeQ3(const Database& db) {
+Prepared PrepareQ3(const Database& db) {
   PlanBuilder pb("Q3");
-  const int32_t date = DateFromString("1995-03-15");
 
-  // Build side 1: customers in the BUILDING segment.
+  // Build side 1: customers in the requested segment.
   auto& cscan = pb.Scan(db["customer"], "customer");
   const ColumnRef c_custkey = cscan.Col<int32_t>("c_custkey");
   const ColumnRef c_mkt = cscan.Col<Char<10>>("c_mktsegment");
   auto& csel = pb.Select(cscan);
-  csel.Cmp<Char<10>>(c_mkt, CmpOp::kEq, Char<10>::From("BUILDING"));
+  csel.CmpParam<Char<10>>(c_mkt, CmpOp::kEq, "segment");
 
   // Probe side 1: orders before the date.
   auto& oscan = pb.Scan(db["orders"], "orders");
@@ -257,7 +233,7 @@ Q3Plan MakeQ3(const Database& db) {
   const ColumnRef o_orderdate = oscan.Col<int32_t>("o_orderdate");
   const ColumnRef o_shipprio = oscan.Col<int32_t>("o_shippriority");
   auto& osel = pb.Select(oscan);
-  osel.Cmp<int32_t>(o_orderdate, CmpOp::kLess, date);
+  osel.CmpParam<int32_t>(o_orderdate, CmpOp::kLess, "date");
 
   auto& hj1 = pb.HashJoin(csel, osel);
   hj1.Key<int32_t>(o_custkey, c_custkey);
@@ -272,7 +248,7 @@ Q3Plan MakeQ3(const Database& db) {
   const ColumnRef l_extprice = lscan.Col<int64_t>("l_extendedprice");
   const ColumnRef l_discount = lscan.Col<int64_t>("l_discount");
   auto& lsel = pb.Select(lscan);
-  lsel.Cmp<int32_t>(l_shipdate, CmpOp::kGreater, date);
+  lsel.CmpParam<int32_t>(l_shipdate, CmpOp::kGreater, "date");
 
   auto& hj2 = pb.HashJoin(hj1, lsel);
   hj2.Key<int32_t>(l_orderkey, j1_orderkey);
@@ -295,66 +271,58 @@ Q3Plan MakeQ3(const Database& db) {
   const ColumnRef g_rev = group.Sum(revenue);
 
   Plan plan = pb.Build(group, {g_okey, g_odate, g_prio, g_rev});
-  return Q3Plan{std::move(plan), g_okey, g_odate, g_prio, g_rev};
-}
+  return Prepared(
+      std::move(plan),
+      [g_okey, g_odate, g_prio, g_rev](const Plan& plan,
+                                       const QueryOptions& opt,
+                                       const QueryParams& params) {
+        struct Row {
+          int32_t orderkey, orderdate, shippriority;
+          int64_t revenue;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<int32_t>(g_okey)[k],
+                               b.Column<int32_t>(g_odate)[k],
+                               b.Column<int32_t>(g_prio)[k],
+                               b.Column<int64_t>(g_rev)[k]});
+          }
+        });
 
-}  // namespace
-
-QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
-  const Q3Plan q = MakeQ3(db);
-  struct Row {
-    int32_t orderkey, orderdate, shippriority;
-    int64_t revenue;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<int32_t>(q.orderkey)[k],
-                         b.Column<int32_t>(q.orderdate)[k],
-                         b.Column<int32_t>(q.shippriority)[k],
-                         b.Column<int64_t>(q.revenue)[k]});
-    }
-  });
-
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return std::tie(b.revenue, a.orderdate, a.orderkey) <
-           std::tie(a.revenue, b.orderdate, b.orderkey);
-  });
-  if (rows.size() > 10) rows.resize(10);
-  ResultBuilder rb(
-      {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
-  for (const Row& r : rows) {
-    rb.BeginRow()
-        .Int(r.orderkey)
-        .Numeric(r.revenue, 4)
-        .Date(r.orderdate)
-        .Int(r.shippriority);
-  }
-  return rb.Finish();
+        std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+          return std::tie(b.revenue, a.orderdate, a.orderkey) <
+                 std::tie(a.revenue, b.orderdate, b.orderkey);
+        });
+        if (rows.size() > 10) rows.resize(10);
+        ResultBuilder rb(
+            {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+        for (const Row& r : rows) {
+          rb.BeginRow()
+              .Int(r.orderkey)
+              .Numeric(r.revenue, 4)
+              .Date(r.orderdate)
+              .Int(r.shippriority);
+        }
+        return rb.Finish();
+      });
 }
 
 // ---------------------------------------------------------------------------
 // Q9: four joins (one composite-key) into a group-by
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Q9Plan {
-  Plan plan;
-  ColumnRef nationkey, year, profit;
-};
-
-Q9Plan MakeQ9(const Database& db) {
+Prepared PrepareQ9(const Database& db) {
   PlanBuilder pb("Q9");
 
-  // Green parts.
+  // Parts of the requested color.
   auto& pscan = pb.Scan(db["part"], "part");
   const ColumnRef p_partkey = pscan.Col<int32_t>("p_partkey");
   const ColumnRef p_name = pscan.Col<Varchar<55>>("p_name");
   auto& psel = pb.Select(pscan);
-  psel.Contains<Varchar<55>>(p_name, "green");
+  psel.ContainsParam<Varchar<55>>(p_name, "color");
 
-  // partsupp semi-joined with green parts, then built as a composite HT.
+  // partsupp semi-joined with those parts, then built as a composite HT.
   auto& psscan = pb.Scan(db["partsupp"], "partsupp");
   const ColumnRef ps_partkey = psscan.Col<int32_t>("ps_partkey");
   const ColumnRef ps_suppkey = psscan.Col<int32_t>("ps_suppkey");
@@ -431,55 +399,48 @@ Q9Plan MakeQ9(const Database& db) {
   const ColumnRef g_profit = group.Sum(amount);
 
   Plan plan = pb.Build(group, {g_nation, g_year, g_profit});
-  return Q9Plan{std::move(plan), g_nation, g_year, g_profit};
-}
+  const runtime::Database* dbp = &db;
+  return Prepared(
+      std::move(plan),
+      [g_nation, g_year, g_profit, dbp](const Plan& plan,
+                                        const QueryOptions& opt,
+                                        const QueryParams& params) {
+        struct Row {
+          int32_t nationkey, year;
+          int64_t profit;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<int32_t>(g_nation)[k],
+                               b.Column<int32_t>(g_year)[k],
+                               b.Column<int64_t>(g_profit)[k]});
+          }
+        });
 
-}  // namespace
-
-QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
-  const Q9Plan q = MakeQ9(db);
-  struct Row {
-    int32_t nationkey, year;
-    int64_t profit;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<int32_t>(q.nationkey)[k],
-                         b.Column<int32_t>(q.year)[k],
-                         b.Column<int64_t>(q.profit)[k]});
-    }
-  });
-
-  const auto n_name = db["nation"].Col<Char<25>>("n_name");
-  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
-    const auto an = n_name[a.nationkey].View();
-    const auto bn = n_name[b.nationkey].View();
-    if (an != bn) return an < bn;
-    return a.year > b.year;
-  });
-  ResultBuilder rb({"nation", "o_year", "sum_profit"});
-  for (const Row& r : rows) {
-    rb.BeginRow()
-        .Str(n_name[r.nationkey].View())
-        .Int(r.year)
-        .Numeric(r.profit, 4);
-  }
-  return rb.Finish();
+        const auto n_name = (*dbp)["nation"].Col<Char<25>>("n_name");
+        std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+          const auto an = n_name[a.nationkey].View();
+          const auto bn = n_name[b.nationkey].View();
+          if (an != bn) return an < bn;
+          return a.year > b.year;
+        });
+        ResultBuilder rb({"nation", "o_year", "sum_profit"});
+        for (const Row& r : rows) {
+          rb.BeginRow()
+              .Str(n_name[r.nationkey].View())
+              .Int(r.year)
+              .Numeric(r.profit, 4);
+        }
+        return rb.Finish();
+      });
 }
 
 // ---------------------------------------------------------------------------
 // Q18: high-cardinality aggregation, having-filter, two joins, top-100
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Q18Plan {
-  Plan plan;
-  ColumnRef name, custkey, orderkey, orderdate, totalprice, sum_qty;
-};
-
-Q18Plan MakeQ18(const Database& db) {
+Prepared PrepareQ18(const Database& db) {
   PlanBuilder pb("Q18");
 
   // 1.5M-group aggregation of lineitem by orderkey.
@@ -490,9 +451,9 @@ Q18Plan MakeQ18(const Database& db) {
   const ColumnRef g_okey = group.Key<int32_t>(l_orderkey);
   const ColumnRef g_qty = group.Sum(l_quantity);
 
-  // having sum(l_quantity) > 300 (scale 2).
+  // having sum(l_quantity) > :quantity_min (scale 2).
   auto& having = pb.Select(group);
-  having.Cmp<int64_t>(g_qty, CmpOp::kGreater, 30000);
+  having.CmpParam<int64_t>(g_qty, CmpOp::kGreater, "quantity_min");
 
   // Join the qualifying orderkeys with orders.
   auto& oscan = pb.Scan(db["orders"], "orders");
@@ -525,62 +486,96 @@ Q18Plan MakeQ18(const Database& db) {
 
   Plan plan = pb.Build(hj_c, {out_name, out_custkey, out_orderkey,
                               out_orderdate, out_total, out_qty});
-  return Q18Plan{std::move(plan), out_name,      out_custkey, out_orderkey,
-                 out_orderdate,   out_total,     out_qty};
+  return Prepared(
+      std::move(plan),
+      [out_name, out_custkey, out_orderkey, out_orderdate, out_total,
+       out_qty](const Plan& plan, const QueryOptions& opt,
+                const QueryParams& params) {
+        struct Row {
+          Char<25> name;
+          int32_t custkey, orderkey, orderdate;
+          int64_t totalprice, sum_qty;
+        };
+        std::vector<Row> rows;
+        plan.Run(opt, params, [&](const Plan::Batch& b) {
+          for (size_t k = 0; k < b.size(); ++k) {
+            rows.push_back(Row{b.Column<Char<25>>(out_name)[k],
+                               b.Column<int32_t>(out_custkey)[k],
+                               b.Column<int32_t>(out_orderkey)[k],
+                               b.Column<int32_t>(out_orderdate)[k],
+                               b.Column<int64_t>(out_total)[k],
+                               b.Column<int64_t>(out_qty)[k]});
+          }
+        });
+
+        std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+          return std::tie(b.totalprice, a.orderdate, a.orderkey) <
+                 std::tie(a.totalprice, b.orderdate, b.orderkey);
+        });
+        if (rows.size() > 100) rows.resize(100);
+        ResultBuilder rb({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                          "o_totalprice", "sum_qty"});
+        for (const Row& r : rows) {
+          rb.BeginRow()
+              .Str(r.name.View())
+              .Int(r.custkey)
+              .Int(r.orderkey)
+              .Date(r.orderdate)
+              .Numeric(r.totalprice, 2)
+              .Numeric(r.sum_qty, 2);
+        }
+        return rb.Finish();
+      });
 }
 
 }  // namespace
 
-QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
-  const Q18Plan q = MakeQ18(db);
-  struct Row {
-    Char<25> name;
-    int32_t custkey, orderkey, orderdate;
-    int64_t totalprice, sum_qty;
-  };
-  std::vector<Row> rows;
-  q.plan.Run(opt, [&](const Plan::Batch& b) {
-    for (size_t k = 0; k < b.size(); ++k) {
-      rows.push_back(Row{b.Column<Char<25>>(q.name)[k],
-                         b.Column<int32_t>(q.custkey)[k],
-                         b.Column<int32_t>(q.orderkey)[k],
-                         b.Column<int32_t>(q.orderdate)[k],
-                         b.Column<int64_t>(q.totalprice)[k],
-                         b.Column<int64_t>(q.sum_qty)[k]});
-    }
-  });
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
 
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return std::tie(b.totalprice, a.orderdate, a.orderkey) <
-           std::tie(a.totalprice, b.orderdate, b.orderkey);
-  });
-  if (rows.size() > 100) rows.resize(100);
-  ResultBuilder rb({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
-                    "o_totalprice", "sum_qty"});
-  for (const Row& r : rows) {
-    rb.BeginRow()
-        .Str(r.name.View())
-        .Int(r.custkey)
-        .Int(r.orderkey)
-        .Date(r.orderdate)
-        .Numeric(r.totalprice, 2)
-        .Numeric(r.sum_qty, 2);
-  }
-  return rb.Finish();
+QueryResult RunQ1(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
+  return PrepareQ1(db, opt).Run(opt, params);
 }
 
-// ---------------------------------------------------------------------------
-// EXPLAIN entry point
-// ---------------------------------------------------------------------------
+QueryResult RunQ6(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
+  return PrepareQ6(db).Run(opt, params);
+}
+
+QueryResult RunQ3(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
+  return PrepareQ3(db).Run(opt, params);
+}
+
+QueryResult RunQ9(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
+  return PrepareQ9(db).Run(opt, params);
+}
+
+QueryResult RunQ18(const Database& db, const QueryOptions& opt,
+                   const QueryParams& params) {
+  return PrepareQ18(db).Run(opt, params);
+}
+
+Prepared Prepare(const Database& db, std::string_view query_name,
+                 const QueryOptions& opt) {
+  if (query_name == "Q1") return PrepareQ1(db, opt);
+  if (query_name == "Q6") return PrepareQ6(db);
+  if (query_name == "Q3") return PrepareQ3(db);
+  if (query_name == "Q9") return PrepareQ9(db);
+  if (query_name == "Q18") return PrepareQ18(db);
+  return detail::SsbPrepare(db, query_name);
+}
 
 Plan PlanFor(const Database& db, std::string_view query_name) {
-  if (query_name == "Q1") return MakeQ1(db).plan;
-  if (query_name == "Q1-adaptive") return MakeQ1Adaptive(db).plan;
-  if (query_name == "Q6") return MakeQ6(db).plan;
-  if (query_name == "Q3") return MakeQ3(db).plan;
-  if (query_name == "Q9") return MakeQ9(db).plan;
-  if (query_name == "Q18") return MakeQ18(db).plan;
-  return detail::SsbPlanFor(db, query_name);
+  if (query_name == "Q1-adaptive") {
+    QueryOptions opt;
+    opt.adaptive = true;
+    return Prepare(db, "Q1", opt).TakePlan();
+  }
+  return Prepare(db, query_name, QueryOptions{}).TakePlan();
 }
 
 }  // namespace vcq::tectorwise

@@ -71,9 +71,10 @@ class LocalGroupTable {
 template <typename Entry>
 std::vector<Entry*> MergeLocalGroups(
     std::vector<std::unique_ptr<LocalGroupTable<Entry>>>& locals,
-    size_t threads) {
+    const runtime::QueryOptions& opt) {
+  const size_t threads = opt.threads;
   std::array<std::vector<Entry*>, kGroupPartitions> merged;
-  runtime::WorkerPool::Global().Run(threads, [&](size_t wid) {
+  runtime::PoolFor(opt).Run(threads, [&](size_t wid) {
     for (size_t p = wid; p < kGroupPartitions; p += threads) {
       size_t total = 0;
       for (const auto& local : locals) total += local->parts[p].size();

@@ -38,6 +38,7 @@ class JoinTable {
   explicit JoinTable(const runtime::QueryOptions& opt)
       : threads_(opt.threads),
         mode_(opt.build_mode),
+        pool_(&runtime::PoolFor(opt)),
         build_(&ht, opt.threads),
         pools_(opt.threads) {}
 
@@ -45,7 +46,7 @@ class JoinTable {
   /// runs one parallel region covering materialize + insert.
   template <typename ProduceFn>
   void Build(ProduceFn&& produce) {
-    runtime::WorkerPool::Global().Run(threads_, [&](size_t wid) {
+    pool_->Run(threads_, [&](size_t wid) {
       runtime::EntryChunkList list;
       Entry* block = nullptr;
       size_t used = kChunkRows;
@@ -62,6 +63,10 @@ class JoinTable {
       };
       produce(wid, emit);
       build_.Run(mode_, std::move(list), sizeof(Entry));
+      // The partitioned protocol copied every entry into the contiguous
+      // arena (no one reads the chunks after Run's final barrier), so the
+      // materialize-phase memory is pure overhead from here on.
+      if (runtime::JoinBuild::ReleasesChunks(mode_)) pools_[wid].Release();
     });
   }
 
@@ -128,6 +133,7 @@ class JoinTable {
 
   size_t threads_;
   runtime::BuildMode mode_;
+  runtime::WorkerPool* pool_;
   runtime::JoinBuild build_;
   std::vector<runtime::MemPool> pools_;
 };

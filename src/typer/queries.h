@@ -2,6 +2,7 @@
 #define VCQ_TYPER_QUERIES_H_
 
 #include "runtime/options.h"
+#include "runtime/params.h"
 #include "runtime/query_result.h"
 #include "runtime/relation.h"
 
@@ -12,28 +13,44 @@
 // measurements (§3, footnote 1). Predicates, arithmetic, hash-table probes
 // and aggregate updates of one pipeline all live in a single loop whose
 // intermediate values stay in registers.
+//
+// Every pipeline is parameterized (paper §8.1: compilation's edge is
+// repeated execution of prepared statements): predicate constants are read
+// from `params` at the top of the run, so one compiled pipeline serves any
+// binding. Each query requires every parameter the vcq::QueryCatalog
+// declares for it to be bound — go through vcq::Session (which merges the
+// catalog defaults) or bind them all explicitly.
 
 namespace vcq::typer {
 
 runtime::QueryResult RunQ1(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ6(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ3(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ9(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ18(const runtime::Database& db,
-                            const runtime::QueryOptions& opt);
+                            const runtime::QueryOptions& opt,
+                            const runtime::QueryParams& params);
 
 runtime::QueryResult RunSsbQ11(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ21(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ31(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 runtime::QueryResult RunSsbQ41(const runtime::Database& db,
-                               const runtime::QueryOptions& opt);
+                               const runtime::QueryOptions& opt,
+                               const runtime::QueryParams& params);
 
 }  // namespace vcq::typer
 

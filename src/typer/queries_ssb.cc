@@ -19,11 +19,12 @@ using runtime::Database;
 using runtime::HashCrc32;
 using runtime::Hashmap;
 using runtime::MorselQueue;
+using runtime::PoolFor;
 using runtime::QueryOptions;
+using runtime::QueryParams;
 using runtime::QueryResult;
 using runtime::Relation;
 using runtime::ResultBuilder;
-using runtime::WorkerPool;
 
 namespace {
 
@@ -70,7 +71,8 @@ void BuildDimension(JoinTable<Entry>& table, size_t tuple_count, size_t grain,
 // ---------------------------------------------------------------------------
 // Q1.1
 // ---------------------------------------------------------------------------
-QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
+QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
+                     const QueryParams& params) {
   const Relation& lineorder = db["lineorder"];
   const Relation& date = db["date"];
   const auto d_datekey = date.Col<int32_t>("d_datekey");
@@ -80,10 +82,14 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
   const auto lo_quantity = lineorder.Col<int64_t>("lo_quantity");
   const auto lo_extprice = lineorder.Col<int64_t>("lo_extendedprice");
 
+  const int32_t year = static_cast<int32_t>(params.Int("year"));
+  const int64_t disc_lo = params.Int("discount_lo");
+  const int64_t disc_hi = params.Int("discount_hi");
+  const int64_t qty_max = params.Int("quantity_max");
   JoinTable<KeyOnly> ht_date(opt);
   BuildDimension(
       ht_date, date.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return d_year[i] == 1993; },
+      [&](size_t i) { return d_year[i] == year; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
         e->key = d_datekey[i];
@@ -92,7 +98,7 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
   int64_t total = 0;
   std::mutex mu;
   MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t) {
+  PoolFor(opt).Run(opt.threads, [&](size_t) {
     int64_t local = 0;
     auto resolve = [&](size_t i, uint64_t dh) {
       const int32_t dk = lo_orderdate[i];
@@ -103,8 +109,8 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt) {
       local += lo_extprice[i] * lo_discount[i];
     };
     auto pass = [&](size_t i) {
-      return lo_discount[i] >= 1 && lo_discount[i] <= 3 &&
-             lo_quantity[i] < 25;
+      return lo_discount[i] >= disc_lo && lo_discount[i] <= disc_hi &&
+             lo_quantity[i] < qty_max;
     };
     size_t begin, end;
     while (morsels.Next(begin, end)) {
@@ -159,7 +165,8 @@ struct Q21Group {
 
 }  // namespace
 
-QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
+QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
+                     const QueryParams& params) {
   const Relation& lineorder = db["lineorder"];
   const Relation& date = db["date"];
   const Relation& part = db["part"];
@@ -169,10 +176,10 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
   const auto p_category = part.Col<Char<7>>("p_category");
   const auto p_brand1 = part.Col<Char<9>>("p_brand1");
   JoinTable<BrandEntry> ht_part(opt);
-  const Char<7> mfgr12 = Char<7>::From("MFGR#12");
+  const Char<7> category = Char<7>::From(params.Str("category"));
   BuildDimension(
       ht_part, part.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return p_category[i] == mfgr12; },
+      [&](size_t i) { return p_category[i] == category; },
       [&](size_t i, BrandEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
         e->partkey = p_partkey[i];
@@ -182,10 +189,10 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_region = supplier.Col<Char<12>>("s_region");
   JoinTable<KeyOnly> ht_supp(opt);
-  const Char<12> america = Char<12>::From("AMERICA");
+  const Char<12> region = Char<12>::From(params.Str("region"));
   BuildDimension(
       ht_supp, supplier.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return s_region[i] == america; },
+      [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
         e->key = s_suppkey[i];
@@ -210,7 +217,7 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
 
   std::vector<std::unique_ptr<LocalGroupTable<Q21Group>>> locals(opt.threads);
   MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>();
     LocalGroupTable<Q21Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ph, auto&& sh, auto&& dh) {
@@ -285,7 +292,7 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt) {
     }
   });
 
-  std::vector<Q21Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q21Group*> groups = MergeLocalGroups(locals, opt);
   std::sort(groups.begin(), groups.end(), [](Q21Group* a, Q21Group* b) {
     if (a->year != b->year) return a->year < b->year;
     return a->brand < b->brand;
@@ -315,12 +322,15 @@ struct Q31Group {
 
 }  // namespace
 
-QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
+QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
+                     const QueryParams& params) {
   const Relation& lineorder = db["lineorder"];
   const Relation& date = db["date"];
   const Relation& customer = db["customer"];
   const Relation& supplier = db["supplier"];
-  const Char<12> asia = Char<12>::From("ASIA");
+  const Char<12> region = Char<12>::From(params.Str("region"));
+  const int32_t year_lo = static_cast<int32_t>(params.Int("year_lo"));
+  const int32_t year_hi = static_cast<int32_t>(params.Int("year_hi"));
 
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_nation = customer.Col<Char<15>>("c_nation");
@@ -328,7 +338,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
       ht_cust, customer.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return c_region[i] == asia; },
+      [&](size_t i) { return c_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
         e->key = c_custkey[i];
@@ -341,7 +351,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   JoinTable<KeyNation> ht_supp(opt);
   BuildDimension(
       ht_supp, supplier.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return s_region[i] == asia; },
+      [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
         e->key = s_suppkey[i];
@@ -353,7 +363,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
   JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
       ht_date, date.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return d_year[i] >= 1992 && d_year[i] <= 1997; },
+      [&](size_t i) { return d_year[i] >= year_lo && d_year[i] <= year_hi; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
         e->datekey = d_datekey[i];
@@ -367,7 +377,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
 
   std::vector<std::unique_ptr<LocalGroupTable<Q31Group>>> locals(opt.threads);
   MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>();
     LocalGroupTable<Q31Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& dh) {
@@ -442,7 +452,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt) {
     }
   });
 
-  std::vector<Q31Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q31Group*> groups = MergeLocalGroups(locals, opt);
   std::sort(groups.begin(), groups.end(), [](Q31Group* a, Q31Group* b) {
     if (a->year != b->year) return a->year < b->year;
     if (a->revenue != b->revenue) return a->revenue > b->revenue;
@@ -479,13 +489,14 @@ struct Q41Group {
 
 }  // namespace
 
-QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
+QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
+                     const QueryParams& params) {
   const Relation& lineorder = db["lineorder"];
   const Relation& date = db["date"];
   const Relation& customer = db["customer"];
   const Relation& supplier = db["supplier"];
   const Relation& part = db["part"];
-  const Char<12> america = Char<12>::From("AMERICA");
+  const Char<12> region = Char<12>::From(params.Str("region"));
 
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_nation = customer.Col<Char<15>>("c_nation");
@@ -493,7 +504,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
   JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
       ht_cust, customer.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return c_region[i] == america; },
+      [&](size_t i) { return c_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
         e->key = c_custkey[i];
@@ -505,7 +516,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
   JoinTable<KeyOnly> ht_supp(opt);
   BuildDimension(
       ht_supp, supplier.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return s_region[i] == america; },
+      [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
         e->key = s_suppkey[i];
@@ -514,11 +525,11 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_mfgr = part.Col<Char<6>>("p_mfgr");
   JoinTable<KeyOnly> ht_part(opt);
-  const Char<6> mfgr1 = Char<6>::From("MFGR#1");
-  const Char<6> mfgr2 = Char<6>::From("MFGR#2");
+  const Char<6> mfgr_a = Char<6>::From(params.Str("mfgr_a"));
+  const Char<6> mfgr_b = Char<6>::From(params.Str("mfgr_b"));
   BuildDimension(
       ht_part, part.tuple_count(), opt.morsel_grain,
-      [&](size_t i) { return p_mfgr[i] == mfgr1 || p_mfgr[i] == mfgr2; },
+      [&](size_t i) { return p_mfgr[i] == mfgr_a || p_mfgr[i] == mfgr_b; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
         e->key = p_partkey[i];
@@ -545,7 +556,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
 
   std::vector<std::unique_ptr<LocalGroupTable<Q41Group>>> locals(opt.threads);
   MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>();
     LocalGroupTable<Q41Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& ph,
@@ -633,7 +644,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt) {
     }
   });
 
-  std::vector<Q41Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q41Group*> groups = MergeLocalGroups(locals, opt);
   std::sort(groups.begin(), groups.end(), [](Q41Group* a, Q41Group* b) {
     if (a->year != b->year) return a->year < b->year;
     return a->c_nation < b->c_nation;

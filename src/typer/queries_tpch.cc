@@ -14,22 +14,24 @@
 // (scan + select + arithmetic + probe + aggregate), the code shape that
 // data-centric produce/consume generation emits (paper Fig. 2a). Typer uses
 // the low-latency CRC hash (paper §4.1: "the CRC hash function improves
-// [Typer's] performance up to 40%").
+// [Typer's] performance up to 40%"). Predicate constants are parameters
+// (vcq::QueryCatalog declares names and spec defaults), read once at the
+// top of each run so one pipeline serves every binding.
 
 namespace vcq::typer {
 
 using runtime::Char;
 using runtime::Database;
-using runtime::DateFromString;
 using runtime::HashCrc32;
 using runtime::Hashmap;
 using runtime::MorselQueue;
+using runtime::PoolFor;
 using runtime::QueryOptions;
+using runtime::QueryParams;
 using runtime::QueryResult;
 using runtime::Relation;
 using runtime::ResultBuilder;
 using runtime::Varchar;
-using runtime::WorkerPool;
 using runtime::YearOf;
 
 // ---------------------------------------------------------------------------
@@ -55,7 +57,8 @@ struct Q1Group {
 
 }  // namespace
 
-QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ1(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto rf = lineitem.Col<Char<1>>("l_returnflag");
@@ -64,11 +67,11 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
   const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
   const auto discount = lineitem.Col<int64_t>("l_discount");
   const auto tax = lineitem.Col<int64_t>("l_tax");
-  const int32_t cutoff = DateFromString("1998-09-02");
+  const int32_t cutoff = params.Date("shipdate");
 
   std::vector<std::unique_ptr<LocalGroupTable<Q1Group>>> locals(opt.threads);
   MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q1Group>>();
     LocalGroupTable<Q1Group>& local = *locals[wid];
     size_t begin, end;
@@ -96,7 +99,7 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
     }
   });
 
-  std::vector<Q1Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q1Group*> groups = MergeLocalGroups(locals, opt);
   std::sort(groups.begin(), groups.end(), [](Q1Group* a, Q1Group* b) {
     return std::make_pair(a->key & 0xff, a->key >> 8) <
            std::make_pair(b->key & 0xff, b->key >> 8);
@@ -125,19 +128,23 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
 // ---------------------------------------------------------------------------
 // Q6
 // ---------------------------------------------------------------------------
-QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ6(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto discount = lineitem.Col<int64_t>("l_discount");
   const auto quantity = lineitem.Col<int64_t>("l_quantity");
   const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
-  const int32_t lo = DateFromString("1994-01-01");
-  const int32_t hi = DateFromString("1995-01-01") - 1;
+  const int32_t lo = params.Date("shipdate_lo");
+  const int32_t hi = params.Date("shipdate_hi");
+  const int64_t disc_lo = params.Int("discount_lo");
+  const int64_t disc_hi = params.Int("discount_hi");
+  const int64_t qty_max = params.Int("quantity_max");
 
   int64_t total = 0;
   std::mutex mu;
   MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-  WorkerPool::Global().Run(opt.threads, [&](size_t) {
+  PoolFor(opt).Run(opt.threads, [&](size_t) {
     // Branch-free predicated evaluation (paper footnote 8: Typer's Q6 is
     // branch-free), with two accumulators so the conditional add is not one
     // long loop-carried dependency chain.
@@ -147,18 +154,19 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
       size_t i = begin;
       for (; i + 2 <= end; i += 2) {
         const bool p0 = (shipdate[i] >= lo) & (shipdate[i] <= hi) &
-                        (discount[i] >= 5) & (discount[i] <= 7) &
-                        (quantity[i] < 2400);
+                        (discount[i] >= disc_lo) & (discount[i] <= disc_hi) &
+                        (quantity[i] < qty_max);
         const bool p1 = (shipdate[i + 1] >= lo) & (shipdate[i + 1] <= hi) &
-                        (discount[i + 1] >= 5) & (discount[i + 1] <= 7) &
-                        (quantity[i + 1] < 2400);
+                        (discount[i + 1] >= disc_lo) &
+                        (discount[i + 1] <= disc_hi) &
+                        (quantity[i + 1] < qty_max);
         acc0 += p0 ? extprice[i] * discount[i] : 0;
         acc1 += p1 ? extprice[i + 1] * discount[i + 1] : 0;
       }
       for (; i < end; ++i) {
         const bool pass = (shipdate[i] >= lo) & (shipdate[i] <= hi) &
-                          (discount[i] >= 5) & (discount[i] <= 7) &
-                          (quantity[i] < 2400);
+                          (discount[i] >= disc_lo) &
+                          (discount[i] <= disc_hi) & (quantity[i] < qty_max);
         acc0 += pass ? extprice[i] * discount[i] : 0;
       }
     }
@@ -195,14 +203,15 @@ struct Q3Group {
 
 }  // namespace
 
-QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ3(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
   const Relation& customer = db["customer"];
   const Relation& orders = db["orders"];
   const Relation& lineitem = db["lineitem"];
-  const int32_t date = DateFromString("1995-03-15");
-  const Char<10> building = Char<10>::From("BUILDING");
+  const int32_t date = params.Date("date");
+  const Char<10> segment = Char<10>::From(params.Str("segment"));
 
-  // Pipeline 1: build customer hash table (BUILDING segment).
+  // Pipeline 1: build customer hash table (the bound market segment).
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
   JoinTable<Q3Cust> ht_cust(opt);
@@ -212,7 +221,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
-          if (!(c_mkt[i] == building)) continue;
+          if (!(c_mkt[i] == segment)) continue;
           Q3Cust e;
           e.header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
           e.custkey = c_custkey[i];
@@ -264,7 +273,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
   std::vector<std::unique_ptr<LocalGroupTable<Q3Group>>> locals(opt.threads);
   {
     MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>();
       LocalGroupTable<Q3Group>& local = *locals[wid];
       auto resolve = [&](size_t i, uint64_t h) {
@@ -310,7 +319,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
     });
   }
 
-  std::vector<Q3Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q3Group*> groups = MergeLocalGroups(locals, opt);
   std::sort(groups.begin(), groups.end(), [](Q3Group* a, Q3Group* b) {
     return std::tie(b->revenue, a->orderdate, a->orderkey) <
            std::tie(a->revenue, b->orderdate, b->orderkey);
@@ -366,7 +375,8 @@ uint64_t PackPartSupp(int32_t partkey, int32_t suppkey) {
 
 }  // namespace
 
-QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ9(const Database& db, const QueryOptions& opt,
+                  const QueryParams& params) {
   const Relation& part = db["part"];
   const Relation& supplier = db["supplier"];
   const Relation& partsupp = db["partsupp"];
@@ -374,7 +384,8 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   const Relation& lineitem = db["lineitem"];
   const Relation& nation = db["nation"];
 
-  // Green parts.
+  // Parts of the requested color.
+  const std::string& color = params.Str("color");
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_name = part.Col<Varchar<55>>("p_name");
   JoinTable<Q9Part> ht_part(opt);
@@ -384,7 +395,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
       size_t begin, end;
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
-          if (!p_name[i].Contains("green")) continue;
+          if (!p_name[i].Contains(color)) continue;
           Q9Part e;
           e.header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
           e.partkey = p_partkey[i];
@@ -473,7 +484,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   std::vector<std::unique_ptr<LocalGroupTable<Q9Group>>> locals(opt.threads);
   {
     MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
       LocalGroupTable<Q9Group>& local = *locals[wid];
       // One resolve body for both paths; the hash providers keep the fused
@@ -555,7 +566,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
     });
   }
 
-  std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt);
   const auto n_name = nation.Col<Char<25>>("n_name");
   auto nation_of = [](const Q9Group* g) {
     return static_cast<int32_t>(g->key >> 32);
@@ -605,7 +616,8 @@ struct Q18Cust {
 
 }  // namespace
 
-QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ18(const Database& db, const QueryOptions& opt,
+                   const QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const Relation& orders = db["orders"];
   const Relation& customer = db["customer"];
@@ -616,7 +628,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
   std::vector<std::unique_ptr<LocalGroupTable<Q18Group>>> locals(opt.threads);
   {
     MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    WorkerPool::Global().Run(opt.threads, [&](size_t wid) {
+    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q18Group>>();
       LocalGroupTable<Q18Group>& local = *locals[wid];
       size_t begin, end;
@@ -635,9 +647,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
       }
     });
   }
-  std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt.threads);
+  std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt);
 
   // Having-filter + hash table over qualifying orderkeys.
+  const int64_t qty_min = params.Int("quantity_min");
   JoinTable<Q18Order> ht_big(opt);
   {
     MorselQueue morsels(groups.size(), opt.morsel_grain);
@@ -646,7 +659,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
       while (morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           const Q18Group* g = groups[i];
-          if (g->sum_qty <= 30000) continue;
+          if (g->sum_qty <= qty_min) continue;
           Q18Order e;
           e.header.hash = g->header.hash;
           e.orderkey = g->orderkey;
@@ -691,7 +704,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
   std::mutex mu;
   {
     MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
-    WorkerPool::Global().Run(opt.threads, [&](size_t) {
+    PoolFor(opt).Run(opt.threads, [&](size_t) {
       std::vector<Row> local;
       auto resolve = [&](size_t i, auto&& big_h, auto&& cust_h) {
         const int32_t ok = o_orderkey[i];

@@ -6,12 +6,15 @@
 
 #include "api/vcq.h"
 #include "datagen/tpch.h"
+#include "runtime/barrier.h"
 #include "runtime/worker_pool.h"
 
-// Concurrent top-level queries: a downstream user will issue RunQuery from
-// several application threads at once. The worker pool serializes parallel
-// regions, so every concurrently-issued query must still produce the exact
-// result.
+// Concurrent top-level queries: a downstream user issues RunQuery (or
+// PreparedQuery::Execute, see session_test.cc) from several application
+// threads at once. The shared worker pool runs the parallel regions
+// concurrently — queries interleave at morsel granularity instead of
+// queueing whole queries behind each other — and every concurrently-issued
+// query must still produce the exact result.
 
 namespace vcq {
 namespace {
@@ -52,30 +55,46 @@ TEST(ConcurrencyTest, ParallelRunQueryCallsAreCorrect) {
   EXPECT_EQ(failures.load(), 0);
 }
 
-TEST(ConcurrencyTest, ConcurrentPoolRunsSerializeCleanly) {
-  std::atomic<int> concurrent{0};
-  std::atomic<int> max_concurrent{0};
+TEST(ConcurrencyTest, ConcurrentPoolRunsExecuteEveryWorkerExactlyOnce) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 10;
+  constexpr int kWidth = 4;
   std::atomic<int> total{0};
   std::vector<std::thread> clients;
-  for (int t = 0; t < 4; ++t) {
+  for (int t = 0; t < kClients; ++t) {
     clients.emplace_back([&] {
-      for (int round = 0; round < 10; ++round) {
-        runtime::WorkerPool::Global().Run(4, [&](size_t) {
-          const int now = concurrent.fetch_add(1) + 1;
-          int seen = max_concurrent.load();
-          while (seen < now &&
-                 !max_concurrent.compare_exchange_weak(seen, now)) {
-          }
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> mine{0};
+        runtime::WorkerPool::Global().Run(kWidth, [&](size_t) {
+          mine.fetch_add(1);
           total.fetch_add(1);
-          concurrent.fetch_sub(1);
         });
+        // Run is a barrier for its own region: all of this job's workers
+        // finished before it returned, regardless of other in-flight jobs.
+        EXPECT_EQ(mine.load(), kWidth);
       }
     });
   }
   for (auto& c : clients) c.join();
-  EXPECT_EQ(total.load(), 4 * 10 * 4);
-  // One region at a time: never more than one job's workers active.
-  EXPECT_LE(max_concurrent.load(), 4);
+  EXPECT_EQ(total.load(), kClients * kRounds * kWidth);
+}
+
+TEST(ConcurrencyTest, IndependentRunsOverlapOnThePool) {
+  // Two parallel regions submitted from different threads must be able to
+  // be in flight simultaneously — region A's workers block on a barrier
+  // that only releases once region B has started. Under the old
+  // one-region-at-a-time pool this deadlocks; the concurrent pool grows
+  // its thread set to cover both.
+  runtime::Barrier rendezvous(2 * 2);  // both regions, 2 workers each
+  std::thread a([&] {
+    runtime::WorkerPool::Global().Run(2, [&](size_t) { rendezvous.Wait(); });
+  });
+  std::thread b([&] {
+    runtime::WorkerPool::Global().Run(2, [&](size_t) { rendezvous.Wait(); });
+  });
+  a.join();
+  b.join();
+  SUCCEED();  // reaching here proves the regions overlapped
 }
 
 }  // namespace

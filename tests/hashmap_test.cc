@@ -12,7 +12,9 @@
 
 #include "runtime/hash.h"
 #include "runtime/mem_pool.h"
+#include "runtime/options.h"
 #include "runtime/worker_pool.h"
+#include "typer/join_table.h"
 
 namespace vcq::runtime {
 namespace {
@@ -265,6 +267,56 @@ TEST_P(JoinBuildTest, EmptyBuildSide) {
 // capacity.
 INSTANTIATE_TEST_SUITE_P(Threads, JoinBuildTest,
                          ::testing::Values(size_t{1}, size_t{4}, size_t{7}));
+
+// --- materialize-chunk release after partitioned builds ---------------------
+
+TEST(JoinBuildChunkReleaseTest, PartitionedBuildReleasesMaterializeChunks) {
+  // ROADMAP item: the partitioned build relinks every entry into the
+  // contiguous arena, so keeping the per-worker MemPool chunks alive
+  // doubles transient build-side memory. Assert via the process-wide
+  // byte-size counter that the engines free them — and that the CAS mode,
+  // whose chains live in those chunks, keeps them.
+  constexpr size_t kEntries = 200000;
+  constexpr size_t kThreads = 4;
+  const auto produce = [](size_t wid, auto emit) {
+    for (size_t i = wid; i < kEntries; i += kThreads) {
+      TestEntry e;
+      e.header.next = nullptr;
+      e.header.hash = HashMurmur2(static_cast<uint64_t>(i));
+      e.key = static_cast<int64_t>(i);
+      e.value = static_cast<int64_t>(i) * 3;
+      emit(e);
+    }
+  };
+
+  QueryOptions opt;
+  opt.threads = kThreads;
+  opt.build_mode = BuildMode::kPartitioned;
+  const size_t before = MemPool::live_bytes();
+  typer::JoinTable<TestEntry> partitioned(opt);
+  partitioned.Build(produce);
+  EXPECT_EQ(MemPool::live_bytes(), before)
+      << "partitioned build must release its materialize-phase chunks";
+  // The entries moved to the arena and stay probeable.
+  EXPECT_EQ(partitioned.size(), kEntries);
+  for (int64_t key : {int64_t{0}, int64_t{12345}, int64_t{199999}}) {
+    const TestEntry* e = partitioned.Lookup(
+        HashMurmur2(static_cast<uint64_t>(key)),
+        [&](const TestEntry& t) { return t.key == key; });
+    ASSERT_NE(e, nullptr) << "key " << key;
+    EXPECT_EQ(e->value, key * 3);
+  }
+
+  opt.build_mode = BuildMode::kCas;
+  typer::JoinTable<TestEntry> cas(opt);
+  cas.Build(produce);
+  EXPECT_GE(MemPool::live_bytes() - before, kEntries * sizeof(TestEntry))
+      << "CAS chains live in the materialize chunks; they must survive";
+  const TestEntry* e = cas.Lookup(
+      HashMurmur2(uint64_t{77}), [](const TestEntry& t) { return t.key == 77; });
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 77 * 3);
+}
 
 TEST(MemPoolTest, AllocationsAlignedAndDistinct) {
   MemPool pool(1024);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -75,6 +77,27 @@ TEST(WorkerPoolTest, SingleThreadRunsInline) {
   std::thread::id seen;
   WorkerPool::Global().Run(1, [&](size_t) { seen = std::this_thread::get_id(); });
   EXPECT_EQ(seen, caller);
+}
+
+TEST(WorkerPoolTest, SubmittedTasksRunAndMayUseParallelRegions) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::atomic<int> inner{0};
+  constexpr int kTasks = 5;
+  for (int t = 0; t < kTasks; ++t) {
+    WorkerPool::Global().Submit([&] {
+      // A detached task coordinating its own parallel region — the shape
+      // of PreparedQuery::ExecuteAsync.
+      WorkerPool::Global().Run(3, [&](size_t) { inner.fetch_add(1); });
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(inner.load(), kTasks * 3);
 }
 
 TEST(BarrierTest, OnLastRunsExactlyOnce) {
