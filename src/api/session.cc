@@ -1,27 +1,34 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/scheduler.h"
 #include "runtime/worker_pool.h"
+#include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
 #include "typer/queries.h"
 #include "volcano/queries.h"
 
 namespace vcq {
 
+using runtime::CancelToken;
 using runtime::Database;
+using runtime::ExecStatus;
 using runtime::QueryOptions;
 using runtime::QueryParams;
 using runtime::QueryResult;
+using runtime::Scheduler;
 
 namespace {
 
 using TyperFn = QueryResult (*)(const Database&, const QueryOptions&,
-                                const QueryParams&);
+                                const QueryParams&,
+                                const typer::ColumnCache&);
 using VolcanoFn = QueryResult (*)(const Database&, const QueryOptions&);
 
 TyperFn TyperRunner(Query query) {
@@ -63,6 +70,25 @@ const ParamSpec* FindSpec(const QueryInfo& info, std::string_view name) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Plan parameter cross-check
+// ---------------------------------------------------------------------------
+
+void ValidatePlanParams(const tectorwise::Plan& plan, const QueryInfo& info) {
+  for (const tectorwise::ParamUse& use : plan.param_uses()) {
+    const ParamSpec* spec = FindSpec(info, use.name);
+    VCQ_CHECK_MSG(spec != nullptr,
+                  "plan reads a parameter the catalog does not declare for "
+                  "this query — the plan and its QueryCatalog entry drifted");
+    const bool spec_is_string = spec->type == runtime::ParamType::kString;
+    VCQ_CHECK_MSG(use.string_access == spec_is_string,
+                  "plan parameter access disagrees with the catalog's "
+                  "declared ParamType (numeric reads cover kInt/kDate, "
+                  "string reads cover kString) — fix the plan step's type "
+                  "or the catalog entry");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // PreparedQuery
 // ---------------------------------------------------------------------------
 
@@ -75,27 +101,50 @@ struct PreparedQuery::Impl {
   /// Tectorwise only: the plan built at prepare time; per-execution state
   /// is created by each Run, so one plan serves concurrent executions.
   std::optional<tectorwise::Prepared> tw;
-  /// Typer only: the (ahead-of-time compiled) parameterized pipeline.
+  /// Typer only: the (ahead-of-time compiled) parameterized pipeline plus
+  /// the per-PreparedQuery resolved-column cache (populated on the first
+  /// Execute; later ones skip the per-run accessor derivation).
   TyperFn typer = nullptr;
+  typer::ColumnCache typer_cache;
   /// Volcano only.
   VolcanoFn volcano = nullptr;
 
   mutable std::mutex params_mu;
   QueryParams bound;  // guarded by params_mu
 
-  QueryResult ExecuteWith(const QueryParams& params) const {
+  QueryResult ExecuteWith(const QueryParams& params,
+                          const CancelToken* token) const {
+    // Admission control bounds in-flight executions per scheduler; an
+    // overloaded server answers with backpressure instead of queueing
+    // unboundedly (the wait itself honors the token's deadline/cancel).
+    Scheduler::Admission admission =
+        runtime::PoolFor(opt).scheduler().Admit(token);
+    if (!admission.ok()) return QueryResult::Failed(admission.status());
+
+    QueryOptions run_opt = opt;
+    run_opt.cancel = token;
+    QueryResult result;
     switch (engine) {
-      case Engine::kTyper: return typer(*db, opt, params);
-      case Engine::kTectorwise: return tw->Run(opt, params);
+      case Engine::kTyper:
+        result = typer(*db, run_opt, params, typer_cache);
+        break;
+      case Engine::kTectorwise:
+        result = tw->Run(run_opt, params);
+        break;
       case Engine::kVolcano:
         // The interpreter predates parameterization and always evaluates
         // the spec constants; reject bindings it would silently ignore.
+        // (It ignores the cancel token too: single-threaded legacy.)
         VCQ_CHECK_MSG(params == DefaultParams(query),
                       "Volcano supports only the default parameter bindings");
-        return volcano(*db, opt);
+        result = volcano(*db, run_opt);
+        break;
     }
-    VCQ_CHECK_MSG(false, "unreachable");
-    return {};
+    // An interrupted run drained early: its rows are partial garbage, so
+    // surface the status on an empty result instead.
+    if (token != nullptr && token->Interrupted())
+      return QueryResult::Failed(token->status());
+    return result;
   }
 };
 
@@ -142,7 +191,7 @@ QueryParams PreparedQuery::params() const {
 }
 
 QueryResult PreparedQuery::Execute() const {
-  return impl_->ExecuteWith(params());
+  return impl_->ExecuteWith(params(), nullptr);
 }
 
 QueryResult PreparedQuery::Execute(const QueryParams& params) const {
@@ -170,7 +219,16 @@ QueryResult PreparedQuery::Execute(const QueryParams& params) const {
         break;
     }
   }
-  return impl_->ExecuteWith(merged);
+  return impl_->ExecuteWith(merged, nullptr);
+}
+
+QueryResult PreparedQuery::Execute(Deadline deadline) const {
+  const CancelToken token(deadline);
+  return impl_->ExecuteWith(params(), &token);
+}
+
+QueryResult PreparedQuery::Execute(std::chrono::milliseconds timeout) const {
+  return Execute(CancelToken::Clock::now() + timeout);
 }
 
 Engine PreparedQuery::engine() const { return impl_->engine; }
@@ -188,39 +246,48 @@ struct ExecutionHandle::State {
   bool done = false;
   bool taken = false;  // the result was surrendered to some handle copy
   QueryResult result;
+  /// The execution's cancellation token; kept in the shared State so any
+  /// handle copy can Cancel() while the coordinator runs.
+  std::shared_ptr<CancelToken> token;
 };
 
 QueryResult ExecutionHandle::Wait() {
-  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle already waited on");
+  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle is empty");
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] { return state_->done; });
-  // The taken flag lives in the shared State so a second Wait through a
-  // *copy* of the handle fails loudly instead of returning the moved-from
-  // (empty) result.
+  // The taken flag lives in the shared State so a second Wait — through
+  // this handle or a copy — fails loudly instead of returning the
+  // moved-from (empty) result. state_ itself is deliberately NOT reset:
+  // Cancel()/Done() are documented safe from any thread, and clearing the
+  // member here would race their concurrent reads of it.
   VCQ_CHECK_MSG(!state_->taken, "ExecutionHandle already waited on");
   state_->taken = true;
-  QueryResult result = std::move(state_->result);
-  lock.unlock();
-  state_.reset();
-  return result;
+  return std::move(state_->result);
 }
 
 bool ExecutionHandle::Done() const {
-  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle already waited on");
+  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle is empty");
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->done;
 }
 
-ExecutionHandle PreparedQuery::ExecuteAsync() const {
+void ExecutionHandle::Cancel() {
+  VCQ_CHECK_MSG(state_ != nullptr, "ExecutionHandle is empty");
+  state_->token->Cancel();
+}
+
+ExecutionHandle PreparedQuery::StartAsync(
+    std::shared_ptr<CancelToken> token) const {
   ExecutionHandle handle;
   handle.state_ = std::make_shared<ExecutionHandle::State>();
+  handle.state_->token = std::move(token);
   // Snapshot the bindings now: the async execution reflects the handle's
   // state at submit time, not at whatever point the pool schedules it.
   QueryParams snapshot = params();
   runtime::PoolFor(impl_->opt)
       .Submit([impl = impl_, state = handle.state_,
                snapshot = std::move(snapshot)] {
-        QueryResult result = impl->ExecuteWith(snapshot);
+        QueryResult result = impl->ExecuteWith(snapshot, state->token.get());
         {
           std::lock_guard<std::mutex> lock(state->mu);
           state->result = std::move(result);
@@ -231,15 +298,40 @@ ExecutionHandle PreparedQuery::ExecuteAsync() const {
   return handle;
 }
 
+ExecutionHandle PreparedQuery::ExecuteAsync() const {
+  return StartAsync(std::make_shared<CancelToken>());
+}
+
+ExecutionHandle PreparedQuery::ExecuteAsync(Deadline deadline) const {
+  return StartAsync(std::make_shared<CancelToken>(deadline));
+}
+
 // ---------------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------------
 
 Session::Session(const Database& db)
-    : db_(&db), pool_(&runtime::WorkerPool::Global()) {}
+    : Session(db, runtime::WorkerPool::Global()) {}
 
 Session::Session(const Database& db, runtime::WorkerPool& pool)
-    : db_(&db), pool_(&pool) {}
+    : db_(&db), pool_(&pool) {
+  stream_ = pool_->scheduler().CreateStream();
+}
+
+Session::~Session() {
+  // Prepared queries may outlive the session: their stale stream id then
+  // falls back to the scheduler's default stream (see Scheduler).
+  pool_->scheduler().DestroyStream(stream_);
+}
+
+Session& Session::SetWeight(double weight) {
+  pool_->scheduler().SetStreamWeight(stream_, weight);
+  return *this;
+}
+
+double Session::weight() const {
+  return pool_->scheduler().StreamWeight(stream_);
+}
 
 PreparedQuery Session::Prepare(Engine engine, Query query,
                                const QueryOptions& options) const {
@@ -251,12 +343,28 @@ PreparedQuery Session::Prepare(Engine engine, Query query,
   impl->query = query;
   impl->opt = options;
   if (impl->opt.pool == nullptr) impl->opt.pool = pool_;
+  // The session's stream id only names a stream on the session pool's own
+  // scheduler; on a caller-supplied foreign pool it could collide with
+  // some other session's stream there, so such runs use that scheduler's
+  // default stream (a stale caller-supplied id must not leak through
+  // either).
+  impl->opt.sched_stream = impl->opt.pool == pool_ ? stream_ : 0;
+  // Clamp the region width to what the gang set can admit: the scheduler
+  // hands out a region's slots all-or-nothing, and the executing thread
+  // itself acts as worker 0, so a query is at most capacity + 1 wide
+  // (scheduler_threads is an explicit per-query cap below that).
+  size_t cap = impl->opt.pool->scheduler().thread_count() + 1;
+  if (impl->opt.scheduler_threads > 0)
+    cap = std::min(cap, impl->opt.scheduler_threads);
+  impl->opt.threads = std::max<size_t>(1, std::min(impl->opt.threads, cap));
   impl->info = &CatalogEntry(query);
   impl->bound = DefaultParams(query);
   switch (engine) {
     case Engine::kTyper: impl->typer = TyperRunner(query); break;
     case Engine::kTectorwise:
       impl->tw.emplace(tectorwise::Prepare(*db_, impl->info->name, impl->opt));
+      // Fail query/catalog drift here, not at the first Execute.
+      ValidatePlanParams(impl->tw->plan(), *impl->info);
       break;
     case Engine::kVolcano: impl->volcano = VolcanoRunner(query); break;
   }

@@ -1,11 +1,13 @@
 #ifndef VCQ_API_SESSION_H_
 #define VCQ_API_SESSION_H_
 
+#include <chrono>
 #include <memory>
 #include <string_view>
 
 #include "api/query_catalog.h"
 #include "api/vcq.h"
+#include "runtime/cancel.h"
 #include "runtime/options.h"
 #include "runtime/params.h"
 #include "runtime/query_result.h"
@@ -16,32 +18,51 @@
 // from many cheap executes over a resident server process).
 //
 //   vcq::Session session(db);                       // long-lived
+//   session.SetWeight(2.0);                         // fair-queueing weight
 //   vcq::PreparedQuery q6 = session.Prepare(
 //       vcq::Engine::kTectorwise, vcq::Query::kQ6, {.threads = 8});
 //   q6.Set("discount_lo", 4).Set("shipdate_lo", "1995-01-01");
 //   vcq::runtime::QueryResult r = q6.Execute();     // re-execute at will
+//   r = q6.Execute(vcq::runtime::CancelToken::Clock::now() + 50ms);
+//   vcq::ExecutionHandle h = q6.ExecuteAsync();
+//   h.Cancel();                                     // cooperative cancel
 //
-// Prepare validates the query/engine pair and builds the Tectorwise plan
-// DAG (with its derived compaction registrations) exactly once; Execute
-// only does per-run work and is safe to call concurrently — in-flight
-// executions of one session interleave at morsel granularity on its shared
-// runtime::WorkerPool. ExecuteAsync returns a waitable handle for driving
-// a query mix. Parameters default to the QueryCatalog's spec constants;
-// bindings are validated against the query's ParamSpecs at Set time.
+// Prepare validates the query/engine pair, builds the Tectorwise plan DAG
+// exactly once, cross-checks the plan's parameter reads against the
+// catalog's declared types (ValidatePlanParams), and clamps threads to the
+// session scheduler's gang capacity. Execute only does per-run work and is
+// safe to call concurrently; in-flight executions are gang-scheduled on
+// the session pool's fixed worker set with per-session weighted fairness
+// (runtime/scheduler.h). Every execution passes admission control first —
+// an overloaded scheduler answers ExecStatus::kRejected instead of
+// queueing unboundedly — and carries a CancelToken both engines poll at
+// morsel boundaries, so deadlines and Cancel() take effect mid-query.
+// Non-kOk executions return an empty result carrying the status; partial
+// rows are never surfaced.
 
 namespace vcq {
+
+namespace tectorwise {
+class Plan;
+}  // namespace tectorwise
 
 class PreparedQuery;
 
 /// A waitable in-flight execution started by PreparedQuery::ExecuteAsync.
 /// Handles are cheap shared references; Wait() may be called once to take
-/// the result.
+/// the result. Cancel() requests cooperative cancellation: the engines
+/// stop claiming morsels, every pool slot is freed, run-local memory is
+/// released, and Wait() returns an empty result with status kCancelled
+/// (or kOk if the execution won the race and finished first).
 class ExecutionHandle {
  public:
   /// Blocks until the execution finishes and surrenders its result.
   runtime::QueryResult Wait();
   /// Non-blocking completion probe.
   bool Done() const;
+  /// Requests cancellation; idempotent, safe from any thread, does not
+  /// consume the handle.
+  void Cancel();
 
  private:
   friend class PreparedQuery;
@@ -57,6 +78,8 @@ class ExecutionHandle {
 /// in-flight execution sees is unspecified.
 class PreparedQuery {
  public:
+  using Deadline = runtime::CancelToken::Clock::time_point;
+
   /// Binds an integer parameter (fixed-point values keep their schema
   /// scale). Check-fails on unknown names or non-int parameters.
   PreparedQuery& Set(std::string_view name, int64_t value);
@@ -69,14 +92,24 @@ class PreparedQuery {
 
   /// Runs the prepared plan with the current bindings and blocks for the
   /// result. Callable concurrently with itself and other queries of the
-  /// same session.
+  /// same session. Check result.status: admission control may reject
+  /// (kRejected) under load.
   runtime::QueryResult Execute() const;
   /// Runs with explicit bindings layered over the catalog defaults (the
   /// handle's own bindings are ignored).
   runtime::QueryResult Execute(const runtime::QueryParams& params) const;
-  /// Starts the execution on the session's worker pool and returns
-  /// immediately; the handle's Wait() yields the result.
+  /// Runs with a deadline: once it passes — while waiting for admission or
+  /// mid-query at a morsel boundary — the execution stops and returns an
+  /// empty result with status kDeadlineExceeded.
+  runtime::QueryResult Execute(Deadline deadline) const;
+  /// Convenience: deadline = now + timeout.
+  runtime::QueryResult Execute(std::chrono::milliseconds timeout) const;
+  /// Starts the execution on the session scheduler's coordinator threads
+  /// and returns immediately; the handle's Wait() yields the result and
+  /// its Cancel() stops the query cooperatively.
   ExecutionHandle ExecuteAsync() const;
+  /// Async with a deadline (see Execute(Deadline)).
+  ExecutionHandle ExecuteAsync(Deadline deadline) const;
 
   Engine engine() const;
   Query query() const;
@@ -87,35 +120,69 @@ class PreparedQuery {
  private:
   friend class Session;
   struct Impl;
+  ExecutionHandle StartAsync(std::shared_ptr<runtime::CancelToken> token)
+      const;
   std::shared_ptr<Impl> impl_;
 };
 
-/// Long-lived serving handle: owns the database reference and the worker
-/// pool its queries execute on. By default sessions share the process-wide
-/// pool (one set of threads no matter how many sessions exist); pass an
-/// explicit pool for isolation. The database — and an explicit pool — must
-/// outlive the session and every PreparedQuery it produced.
+/// Long-lived serving handle: owns the database reference, the worker pool
+/// its queries execute on, and a scheduling stream on that pool's
+/// scheduler (the weighted-fair-queueing unit — SetWeight() biases how
+/// this session's pending regions compete with other sessions'). By
+/// default sessions share the process-wide pool (one fixed set of gang
+/// workers no matter how many sessions exist); pass an explicit pool for
+/// isolation or a different thread bound. The database — and an explicit
+/// pool — must outlive the session and every PreparedQuery it produced;
+/// prepared queries may outlive the session itself (their executions then
+/// fall back to the scheduler's default stream).
 class Session {
  public:
   explicit Session(const runtime::Database& db);
   Session(const runtime::Database& db, runtime::WorkerPool& pool);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   /// Validates that `engine` implements `query`, builds the plan once
   /// (Tectorwise; Typer pipelines are ahead-of-time compiled, so prepare
-  /// is validation + parameter setup), and returns the reusable handle
-  /// with the catalog's default bindings. `options.threads` etc. are fixed
-  /// at prepare time; the session's pool is stamped into them unless the
-  /// caller already set one.
+  /// is validation + parameter setup + column-accessor cache creation),
+  /// cross-checks plan parameter reads against the catalog
+  /// (ValidatePlanParams), and returns the reusable handle with the
+  /// catalog's default bindings. `options.threads` is clamped to the
+  /// session pool's gang capacity + 1 — the executing thread acts as
+  /// worker 0 — and to options.scheduler_threads when set, so regions
+  /// always fit the fixed worker set; the session's pool and scheduling
+  /// stream are stamped into the options.
   PreparedQuery Prepare(Engine engine, Query query,
                         const runtime::QueryOptions& options = {}) const;
 
+  /// Weighted-fair-queueing weight of this session's stream (default 1.0):
+  /// with every session backlogged, region dispatches are proportional to
+  /// the weights. Takes effect on the next dispatch, including for
+  /// already-prepared queries.
+  Session& SetWeight(double weight);
+  double weight() const;
+
   const runtime::Database& db() const { return *db_; }
   runtime::WorkerPool& pool() const { return *pool_; }
+  /// The session's scheduling stream id (introspection).
+  uint64_t stream() const { return stream_; }
 
  private:
   const runtime::Database* db_;
   runtime::WorkerPool* pool_;
+  uint64_t stream_ = 0;
 };
+
+/// Prepare-time cross-check of a built Tectorwise plan's parameter reads
+/// (CmpParam/BetweenParam/EqOr2Param/ContainsParam) against the catalog's
+/// declared ParamSpecs: every read must name a declared parameter and
+/// access it the way its ParamType is stored (kInt/kDate numerically,
+/// kString as a string) — so query/catalog drift fails at Prepare with a
+/// clear message instead of producing garbage at the first Execute.
+/// Called by Session::Prepare for every Tectorwise plan; exposed for
+/// custom PlanBuilder plans and tests.
+void ValidatePlanParams(const tectorwise::Plan& plan, const QueryInfo& info);
 
 }  // namespace vcq
 

@@ -11,20 +11,34 @@
 // Public entry points of the VCQ library.
 //
 // The serving API is vcq::Session (api/session.h): a long-lived object
-// owning the database reference and a persistent worker pool. Prepare a
-// query once — validation, plan building, and compaction-registration
-// derivation all happen at prepare time — then execute it as often as you
-// like, with parameter bindings, concurrently with other in-flight
-// queries of the same session:
+// owning the database reference, a worker pool, and a scheduling stream
+// on that pool's query scheduler (runtime/scheduler.h). Prepare a query
+// once — validation, plan building, compaction-registration derivation,
+// the catalog parameter cross-check, and the Typer column-accessor cache
+// all happen at prepare time — then execute it as often as you like, with
+// parameter bindings, concurrently with other in-flight queries:
 //
 //   vcq::runtime::Database db = vcq::datagen::GenerateTpch(1.0);
 //   vcq::Session session(db);
+//   session.SetWeight(2.0);        // weighted fairness vs other sessions
 //   vcq::PreparedQuery q6 = session.Prepare(
 //       vcq::Engine::kTyper, vcq::Query::kQ6, {.threads = 8});
 //   std::cout << q6.Execute().ToString();          // spec-default bindings
 //   q6.Set("discount_lo", 4).Set("shipdate_lo", "1995-01-01");
 //   std::cout << q6.Execute().ToString();          // rebound, same plan
 //   vcq::ExecutionHandle h = q6.ExecuteAsync();    // overlap a query mix
+//   h.Cancel();                                    // cooperative cancel
+//   auto r = q6.Execute(std::chrono::milliseconds(50));  // with deadline
+//   if (!r.ok()) { /* kCancelled / kDeadlineExceeded / kRejected */ }
+//
+// Scheduling model: parallel regions of all in-flight queries are
+// gang-scheduled onto the pool's FIXED worker set (thread count is a
+// configuration, not a function of load), ordered by per-session weighted
+// fair queueing; executions beyond the scheduler's admission limit get
+// ExecStatus::kRejected backpressure instead of queueing unboundedly.
+// Cancellation and deadlines are cooperative: both engines poll at morsel
+// boundaries, and a stopped execution frees its slots and memory and
+// returns an empty result carrying the status.
 //
 // The query list, engine support, and per-query parameter specifications
 // (names, types, spec defaults) live in the vcq::QueryCatalog

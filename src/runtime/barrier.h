@@ -13,6 +13,13 @@ namespace vcq::runtime {
 /// The callable passed to Wait runs exactly once, on the last arriving
 /// thread, while the others are blocked — the natural place for
 /// finalize-build work such as sizing the hash table.
+///
+/// Deadlock-safety contract: a barrier of width N only releases once all N
+/// threads arrive, so every participant must be running concurrently. The
+/// runtime guarantees this by gang-scheduling parallel regions
+/// (runtime::Scheduler): a region's worker slots are admitted
+/// all-or-nothing onto the fixed worker set, never piecemeal — size
+/// barriers to the region's thread_count and nothing else.
 class Barrier {
  public:
   explicit Barrier(size_t thread_count) : threads_(thread_count) {}

@@ -1,0 +1,100 @@
+#ifndef VCQ_RUNTIME_CANCEL_H_
+#define VCQ_RUNTIME_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace vcq::runtime {
+
+/// How an execution ended. Everything except kOk means the result rows were
+/// discarded: a query that stops early produces partial garbage, so the API
+/// returns an empty QueryResult carrying the status instead.
+enum class ExecStatus : uint8_t {
+  kOk,
+  kCancelled,         ///< ExecutionHandle::Cancel() / CancelToken::Cancel().
+  kDeadlineExceeded,  ///< The execution's deadline passed (distinct from an
+                      ///< explicit cancel so callers can retry vs. drop).
+  kRejected,          ///< Admission control: the scheduler's in-flight limit
+                      ///< and its bounded wait queue are both full.
+};
+
+inline const char* StatusName(ExecStatus status) {
+  switch (status) {
+    case ExecStatus::kOk: return "ok";
+    case ExecStatus::kCancelled: return "cancelled";
+    case ExecStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ExecStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// Cooperative cancellation + deadline for one execution. The API layer
+/// creates one token per Execute; both engines poll it at morsel
+/// boundaries (Typer pipeline loops, the Tectorwise Scan) and stop pulling
+/// work once it trips. Interruption is sticky and monotone: once
+/// Interrupted() returns true it stays true, which is what makes partial
+/// state safe — a pipeline that observes the trip before its region starts
+/// does no work at all, so a partially built hash table is never probed
+/// (the building region completes, drained, before the probing region
+/// begins).
+///
+/// Workers still run every phase of their region after the trip (barriers
+/// stay balanced, per-worker state is still constructed); they just see no
+/// morsels. All run-local memory is released exactly as on the normal
+/// path when the run state unwinds.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; safe from any thread, idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once the token is cancelled or its deadline has passed. Cheap on
+  /// the hot path: one relaxed load, plus a clock read only while a
+  /// deadline is pending (memoized once it expires).
+  bool Interrupted() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (Clock::now() < deadline_) return false;
+    expired_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// The status an interrupted execution should surface; kOk when the
+  /// token never tripped. An explicit Cancel() wins over an expired
+  /// deadline (the caller asked first).
+  ExecStatus status() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return ExecStatus::kCancelled;
+    }
+    if (Interrupted()) return ExecStatus::kDeadlineExceeded;
+    return ExecStatus::kOk;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> expired_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Null-tolerant poll helper — the spelling the engine morsel loops use
+/// (`opt.cancel` is nullptr for un-cancellable runs).
+inline bool Interrupted(const CancelToken* token) {
+  return token != nullptr && token->Interrupted();
+}
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_CANCEL_H_

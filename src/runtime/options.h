@@ -2,9 +2,11 @@
 #define VCQ_RUNTIME_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace vcq::runtime {
 
+class CancelToken;
 class WorkerPool;
 
 /// Engine-independent spelling of the Tectorwise batch-compaction policy
@@ -35,6 +37,22 @@ struct QueryOptions {
   /// execution of the session shares one persistent set of threads (see
   /// runtime::PoolFor in worker_pool.h).
   WorkerPool* pool = nullptr;
+  /// Bound on the gang width of this query's parallel regions: at Prepare
+  /// time vcq::Session clamps `threads` to
+  /// min(pool's scheduler capacity + 1, scheduler_threads) — the caller
+  /// acts as worker 0 — so regions always fit the fixed gang worker set
+  /// and the pool's worker thread count stays bounded no matter how many
+  /// prepared queries are in flight (see runtime::Scheduler).
+  /// 0 = no per-query cap beyond the pool's.
+  size_t scheduler_threads = 0;
+  /// Scheduling stream this run's regions are charged to (weighted fair
+  /// queueing between sessions; see Scheduler::CreateStream). Stamped by
+  /// vcq::Session at Prepare time; 0 = the shared default stream.
+  uint64_t sched_stream = 0;
+  /// Cooperative cancellation/deadline token for this run; both engines
+  /// poll it at morsel boundaries (see runtime/cancel.h). Stamped per
+  /// execution by vcq::PreparedQuery; nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
   /// Tectorwise vector size in tuples (Fig. 5 sweep); ignored by Typer and
   /// Volcano.
   size_t vector_size = 1024;

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/cancel.h"
+
 namespace vcq::runtime {
 
 /// Materialized, normalized query result. All engines produce one of these
@@ -15,6 +17,19 @@ namespace vcq::runtime {
 struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<std::vector<std::string>> rows;
+  /// How the execution ended. Anything but kOk (cancelled, deadline
+  /// exceeded, rejected by admission control) means the execution produced
+  /// no rows — partial output is discarded, never surfaced.
+  ExecStatus status = ExecStatus::kOk;
+
+  bool ok() const { return status == ExecStatus::kOk; }
+
+  /// An empty result carrying a non-kOk status.
+  static QueryResult Failed(ExecStatus status) {
+    QueryResult result;
+    result.status = status;
+    return result;
+  }
 
   /// Lexicographic row sort for order-insensitive comparison.
   void SortRows();

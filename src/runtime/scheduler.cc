@@ -1,0 +1,361 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vcq::runtime {
+
+namespace {
+
+size_t DefaultCapacity() {
+  // The floor covers the studied workload's widest region (tests and
+  // benches go up to 16-wide) on small CI hosts; real deployments size
+  // the scheduler explicitly.
+  return std::max<size_t>(std::thread::hardware_concurrency(), 16);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(size_t thread_count)
+    : capacity_(thread_count == 0 ? DefaultCapacity() : thread_count) {
+  streams_.emplace(0, Stream{});  // the shared default stream, weight 1
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::scoped_lock lock(mutex_, coord_mutex_, adm_mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  coord_cv_.notify_all();
+  adm_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  for (auto& t : coordinators_) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------------
+
+uint64_t Scheduler::CreateStream(double weight) {
+  VCQ_CHECK_MSG(weight > 0.0, "stream weight must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_stream_++;
+  Stream stream;
+  stream.weight = weight;
+  // A new stream starts at the current virtual time, not 0 — otherwise a
+  // freshly created (or long-idle) stream would monopolize dispatch until
+  // its pass caught up with everyone else's.
+  stream.pass = virtual_time_;
+  streams_.emplace(id, std::move(stream));
+  return id;
+}
+
+void Scheduler::SetStreamWeight(uint64_t stream, double weight) {
+  VCQ_CHECK_MSG(weight > 0.0, "stream weight must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  if (it != streams_.end()) it->second.weight = weight;
+}
+
+void Scheduler::DestroyStream(uint64_t stream) {
+  if (stream == 0) return;  // the default stream is permanent
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  // Pending regions have blocked Run callers; move them to the default
+  // stream rather than stranding them. Insert by arrival seq (both queues
+  // are seq-monotone) so kFifo's global-arrival-order contract survives
+  // the move.
+  Stream& fallback = StreamForLocked(0);
+  for (auto& region : it->second.queue) {
+    auto pos = fallback.queue.begin();
+    while (pos != fallback.queue.end() && (*pos)->seq < region->seq) ++pos;
+    fallback.queue.insert(pos, std::move(region));
+  }
+  streams_.erase(it);
+}
+
+double Scheduler::StreamWeight(uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  return it != streams_.end() ? it->second.weight : 1.0;
+}
+
+Scheduler::Stream& Scheduler::StreamForLocked(uint64_t id) {
+  const auto it = streams_.find(id);
+  if (it != streams_.end()) return it->second;
+  return streams_.find(0)->second;  // stale/unknown ids share the default
+}
+
+// ---------------------------------------------------------------------------
+// Gang dispatch
+// ---------------------------------------------------------------------------
+
+void Scheduler::TryDispatchLocked() {
+  // No dispatch (and in particular no worker spawn) once teardown began:
+  // the destructor joins workers_ after setting shutdown_, so the vector
+  // must be stable from that point on. Already-dispatched regions still
+  // drain; destroying a scheduler while Run callers are queued is caller
+  // misuse (their regions would never start).
+  if (shutdown_) return;
+  while (true) {
+    // Pick the next region strictly by policy order. No backfill: if the
+    // chosen region does not fit the free capacity, nothing behind it is
+    // dispatched either — backfilling would let narrow regions starve a
+    // wide one indefinitely.
+    Stream* best = nullptr;
+    uint64_t best_id = 0;
+    for (auto& [id, stream] : streams_) {
+      if (stream.queue.empty()) continue;
+      if (best == nullptr) {
+        best = &stream;
+        best_id = id;
+        continue;
+      }
+      const Region& cand = *stream.queue.front();
+      const Region& lead = *best->queue.front();
+      bool better;
+      if (policy_ == SchedPolicy::kFifo) {
+        better = cand.seq < lead.seq;
+      } else if (stream.pass != best->pass) {
+        better = stream.pass < best->pass;
+      } else if (cand.work != lead.work) {
+        better = cand.work < lead.work;  // shortest-remaining-region
+      } else {
+        better = id < best_id;
+      }
+      if (better) {
+        best = &stream;
+        best_id = id;
+      }
+    }
+    if (best == nullptr) return;
+    std::shared_ptr<Region>& head = best->queue.front();
+    if (head->slots > capacity_ - busy_ - reserved_) return;
+
+    std::shared_ptr<Region> region = std::move(head);
+    best->queue.pop_front();
+    --queued_;
+    ++best->dispatched;
+    if (policy_ == SchedPolicy::kWeightedFair) {
+      virtual_time_ = std::max(virtual_time_, best->pass);
+      best->pass += 1.0 / best->weight;
+    }
+    region->dispatched = true;
+    reserved_ += region->slots;
+    while (workers_.size() < busy_ + reserved_)
+      workers_.emplace_back(&Scheduler::WorkerLoop, this);
+    if (region->slots > 0) ready_.push_back(std::move(region));
+    dispatch_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+}
+
+void Scheduler::Run(size_t thread_count, const std::function<void(size_t)>& fn,
+                    const RegionInfo& info) {
+  VCQ_CHECK(thread_count >= 1);
+  if (thread_count == 1) {
+    // Inline fast path: single-threaded runs never touch the scheduler
+    // (clean measurements — no handoff, no wakeup latency, no queueing).
+    fn(0);
+    return;
+  }
+  VCQ_CHECK_MSG(
+      thread_count - 1 <= capacity_,
+      "parallel region wider than the scheduler's gang capacity; size "
+      "QueryOptions::threads <= the pool's scheduler_threads (vcq::Session "
+      "clamps this at Prepare time)");
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->slots = thread_count - 1;  // the caller acts as worker 0
+  region->remaining = region->slots;
+  region->work = info.work;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Stream& stream = StreamForLocked(info.stream);
+    // A stream going from idle to backlogged re-anchors at the virtual
+    // time so its stale-low pass cannot monopolize dispatch.
+    if (stream.queue.empty()) stream.pass = std::max(stream.pass, virtual_time_);
+    region->seq = next_seq_++;
+    stream.queue.push_back(region);
+    ++queued_;
+    TryDispatchLocked();
+    // Gang admission: worker 0 (the caller) starts together with the
+    // reserved slots, not before — the region runs as a unit.
+    dispatch_cv_.wait(lock, [&] { return region->dispatched; });
+  }
+
+  fn(0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return region->remaining == 0; });
+}
+
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+    // Drain before exiting: a dispatched region has a blocked Run caller
+    // that must be released even during teardown.
+    if (shutdown_ && ready_.empty()) return;
+    std::shared_ptr<Region> region = ready_.front();
+    const size_t slot = region->next_slot++;
+    if (region->next_slot == region->slots) ready_.pop_front();
+    --reserved_;
+    ++busy_;
+    lock.unlock();
+
+    (*region->fn)(slot + 1);  // the Run caller is worker 0
+
+    lock.lock();
+    --busy_;
+    if (--region->remaining == 0) done_cv_.notify_all();
+    TryDispatchLocked();  // this worker is free again: admit the next gang
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinators
+// ---------------------------------------------------------------------------
+
+void Scheduler::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(coord_mutex_);
+    VCQ_CHECK_MSG(!shutdown_, "Submit on a shut-down scheduler");
+    coord_queue_.push_back(std::move(task));
+    // Keep one coordinator per pending task: an idle coordinator that has
+    // not woken up yet must not absorb two queued tasks (it would run
+    // them serially, collapsing supposedly concurrent ExecuteAsyncs).
+    if (coord_queue_.size() > coord_idle_)
+      coordinators_.emplace_back(&Scheduler::CoordinatorLoop, this);
+  }
+  coord_cv_.notify_one();
+}
+
+void Scheduler::CoordinatorLoop() {
+  std::unique_lock<std::mutex> lock(coord_mutex_);
+  while (true) {
+    ++coord_idle_;
+    coord_cv_.wait(lock, [&] { return shutdown_ || !coord_queue_.empty(); });
+    --coord_idle_;
+    if (coord_queue_.empty()) return;  // shutdown with nothing left
+    std::function<void()> task = std::move(coord_queue_.front());
+    coord_queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+void Scheduler::SetAdmissionLimit(size_t max_inflight, size_t max_queue) {
+  {
+    std::lock_guard<std::mutex> lock(adm_mutex_);
+    max_inflight_ = max_inflight;
+    max_adm_queue_ = max_queue;
+  }
+  adm_cv_.notify_all();
+}
+
+Scheduler::Admission Scheduler::Admit(const CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(adm_mutex_);
+  if (cancel != nullptr && cancel->Interrupted())
+    return Admission(cancel->status());
+  const auto has_capacity = [&] {
+    return max_inflight_ == 0 || inflight_ < max_inflight_;
+  };
+  if (has_capacity() && adm_waiting_ == 0) {  // no queue-jumping
+    ++inflight_;
+    return Admission(this);
+  }
+  if (adm_waiting_ >= max_adm_queue_)
+    return Admission(ExecStatus::kRejected);
+  ++adm_waiting_;
+  while (!has_capacity() || shutdown_) {
+    if (shutdown_) {
+      --adm_waiting_;
+      return Admission(ExecStatus::kRejected);
+    }
+    if (cancel != nullptr && cancel->Interrupted()) {
+      --adm_waiting_;
+      adm_cv_.notify_one();  // hand the wake-up on
+      return Admission(cancel->status());
+    }
+    if (cancel == nullptr) {
+      // Nothing to poll: sleep until a release/limit-change/shutdown
+      // notification.
+      adm_cv_.wait(lock, [&] { return has_capacity() || shutdown_; });
+    } else {
+      // The wait polls the token: Cancel() has no hook into this cv, and
+      // a deadline must also fire while queued. 2ms granularity is far
+      // below any query's runtime.
+      adm_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+  }
+  --adm_waiting_;
+  ++inflight_;
+  return Admission(this);
+}
+
+void Scheduler::ReleaseAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(adm_mutex_);
+    VCQ_CHECK(inflight_ > 0);
+    --inflight_;
+  }
+  adm_cv_.notify_one();
+}
+
+void Scheduler::Admission::Release() {
+  if (sched_ != nullptr) {
+    sched_->ReleaseAdmission();
+    sched_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t Scheduler::worker_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+size_t Scheduler::coordinator_threads() const {
+  std::lock_guard<std::mutex> lock(coord_mutex_);
+  return coordinators_.size();
+}
+
+size_t Scheduler::queued_regions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+uint64_t Scheduler::regions_dispatched(uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  return it != streams_.end() ? it->second.dispatched : 0;
+}
+
+size_t Scheduler::inflight() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return inflight_;
+}
+
+size_t Scheduler::admission_waiting() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return adm_waiting_;
+}
+
+void Scheduler::SetPolicy(SchedPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+}
+
+}  // namespace vcq::runtime

@@ -1,0 +1,234 @@
+#ifndef VCQ_RUNTIME_SCHEDULER_H_
+#define VCQ_RUNTIME_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cancel.h"
+
+// The query scheduler: gang-scheduled parallel regions over a FIXED worker
+// set, weighted fair queueing between sessions, and admission control for
+// whole executions.
+//
+// Why gang scheduling. A query executes as a sequence of parallel regions
+// (one per pipeline); regions contain barriers, so every worker slot of a
+// region must run on a distinct thread before any of them can finish. The
+// previous WorkerPool kept that invariant by *growing* its thread set to
+// peak concurrent demand — unbounded threads under load. The Scheduler
+// instead admits a region's slot bundle all-or-nothing: a region is
+// dispatched only when enough workers are free to cover every slot at
+// once, so barriers can never deadlock and the thread count stays at the
+// configured capacity no matter how many executions are in flight.
+// Undispatched regions wait in per-stream queues; the submitting thread
+// itself acts as worker 0 once the region is admitted.
+//
+// Fairness. Pending regions are ordered by weighted fair queueing over
+// streams (one stream per vcq::Session): each stream carries a virtual
+// pass that advances by 1/weight per dispatched region, and dispatch picks
+// the backlogged stream with the smallest pass — so a stream of weight w
+// receives region dispatches in proportion w when everything is
+// backlogged, and a short query's regions no longer wait behind a long
+// analytical query's FIFO backlog. Ties break toward the smaller
+// remaining-work hint (shortest-remaining-region), then stream id.
+// SchedPolicy::kFifo restores global arrival order (the seed behavior,
+// kept as the ablation baseline for bench/ablation_scheduler).
+//
+// Admission. Admit() bounds in-flight executions: beyond the limit,
+// callers wait in a bounded queue; beyond the queue, they get an
+// immediate ExecStatus::kRejected (backpressure instead of unbounded
+// queueing). The wait honors the execution's CancelToken.
+
+namespace vcq::runtime {
+
+/// Scheduling metadata of one parallel region, carried from QueryOptions
+/// by the WorkerPool facade.
+struct RegionInfo {
+  /// Scheduling stream (weighted fair queueing unit; one per
+  /// vcq::Session). 0 — or a destroyed stream's stale id — falls back to
+  /// the shared default stream of weight 1.
+  uint64_t stream = 0;
+  /// Remaining-work hint in tuples (the region's scan size); used as the
+  /// shortest-remaining-region tie-break between equal-pass streams.
+  /// 0 = unknown (sorts first).
+  size_t work = 0;
+};
+
+enum class SchedPolicy {
+  kWeightedFair,  ///< Per-stream WFQ + shortest-remaining tie-break.
+  kFifo,          ///< Global arrival order (seed behavior; ablation base).
+};
+
+class Scheduler {
+ public:
+  /// `thread_count` fixes the gang worker set (threads are spawned lazily
+  /// but never beyond it). 0 picks the hardware default:
+  /// max(hardware_concurrency, 16) — the floor covers the studied
+  /// workload's widest region on small CI hosts.
+  explicit Scheduler(size_t thread_count = 0);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- streams (weighted fair queueing) ---------------------------------
+
+  /// Registers a scheduling stream with the given weight; returns its id.
+  uint64_t CreateStream(double weight = 1.0);
+  /// Updates a stream's weight (takes effect on the next dispatch).
+  void SetStreamWeight(uint64_t stream, double weight);
+  /// Removes a stream. Pending regions already queued on it drain first;
+  /// later Run() calls naming the id fall back to the default stream.
+  void DestroyStream(uint64_t stream);
+  /// Current weight (default-stream weight for unknown ids).
+  double StreamWeight(uint64_t stream) const;
+
+  // --- parallel regions -------------------------------------------------
+
+  /// Runs fn(worker_id) on `thread_count` workers and blocks until all
+  /// return; worker ids are dense in [0, thread_count) and the caller acts
+  /// as worker 0. thread_count == 1 runs inline (no handoff). Wider
+  /// regions are gang-admitted: the caller blocks until thread_count - 1
+  /// workers are reserved, then every slot runs concurrently — which is
+  /// what makes in-region barriers safe. Check-fails when
+  /// thread_count - 1 exceeds the scheduler's capacity (size the region
+  /// with QueryOptions::threads <= capacity; vcq::Session clamps this at
+  /// Prepare time).
+  void Run(size_t thread_count, const std::function<void(size_t)>& fn,
+           const RegionInfo& info = {});
+
+  /// Enqueues a detached coordination task (the body of
+  /// PreparedQuery::ExecuteAsync). Coordinators run on a separate cached
+  /// thread set — NOT on gang workers: a coordinator blocks in Run()
+  /// waiting for gang admission, and parking it on a gang worker would
+  /// shrink the very set it is waiting for (deadlock once every worker
+  /// coordinates). Coordinator threads grow to peak concurrent Submit()s
+  /// and are reused; bound them by bounding in-flight executions
+  /// (SetAdmissionLimit).
+  void Submit(std::function<void()> task);
+
+  // --- admission control ------------------------------------------------
+
+  /// RAII grant for one in-flight execution (released on destruction).
+  class Admission {
+   public:
+    Admission() = default;
+    ~Admission() { Release(); }
+    Admission(Admission&& other) noexcept { *this = std::move(other); }
+    Admission& operator=(Admission&& other) noexcept {
+      if (this != &other) {
+        Release();
+        sched_ = other.sched_;
+        status_ = other.status_;
+        other.sched_ = nullptr;
+      }
+      return *this;
+    }
+
+    /// True when the execution was admitted; false carries the rejection
+    /// status (kRejected, or kCancelled / kDeadlineExceeded when the
+    /// token tripped while waiting in the admission queue).
+    bool ok() const { return sched_ != nullptr; }
+    ExecStatus status() const { return status_; }
+    void Release();
+
+   private:
+    friend class Scheduler;
+    explicit Admission(ExecStatus rejection) : status_(rejection) {}
+    explicit Admission(Scheduler* sched) : sched_(sched) {}
+    Scheduler* sched_ = nullptr;
+    ExecStatus status_ = ExecStatus::kOk;
+  };
+
+  /// Bounds in-flight executions: up to `max_inflight` admitted at once,
+  /// up to `max_queue` callers waiting; anything beyond is rejected
+  /// immediately. max_inflight == 0 disables the limit (the default).
+  void SetAdmissionLimit(size_t max_inflight, size_t max_queue);
+
+  /// Admits one execution, waiting in the bounded queue if needed. The
+  /// wait honors `cancel` (nullptr = wait indefinitely for a slot).
+  Admission Admit(const CancelToken* cancel);
+
+  // --- policy / introspection -------------------------------------------
+
+  void SetPolicy(SchedPolicy policy);
+
+  /// The fixed gang capacity (upper bound on worker threads, ever).
+  size_t thread_count() const { return capacity_; }
+  /// Gang worker threads spawned so far (<= thread_count()).
+  size_t worker_threads() const;
+  /// Coordinator threads spawned so far (Submit bodies; see Submit()).
+  size_t coordinator_threads() const;
+  /// Regions waiting for gang admission across all streams.
+  size_t queued_regions() const;
+  /// Regions ever dispatched from `stream` (fairness tests).
+  uint64_t regions_dispatched(uint64_t stream) const;
+  /// Currently admitted executions / callers waiting for admission.
+  size_t inflight() const;
+  size_t admission_waiting() const;
+
+ private:
+  struct Region {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t slots = 0;      // pool-side slots (width - 1)
+    size_t next_slot = 0;  // slots claimed so far
+    size_t remaining = 0;  // claimed-or-not slots still unfinished
+    bool dispatched = false;
+    size_t work = 0;
+    uint64_t seq = 0;  // global arrival order (kFifo, same-stream FIFO)
+  };
+
+  struct Stream {
+    double weight = 1.0;
+    double pass = 0.0;
+    uint64_t dispatched = 0;
+    std::deque<std::shared_ptr<Region>> queue;
+  };
+
+  void WorkerLoop();
+  void CoordinatorLoop();
+  void TryDispatchLocked();
+  Stream& StreamForLocked(uint64_t id);
+  void ReleaseAdmission();
+
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;      // workers wait for ready slots
+  std::condition_variable dispatch_cv_;  // Run callers wait for admission
+  std::condition_variable done_cv_;      // Run callers wait for completion
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Region>> ready_;  // dispatched, unclaimed slots
+  std::unordered_map<uint64_t, Stream> streams_;
+  SchedPolicy policy_ = SchedPolicy::kWeightedFair;
+  double virtual_time_ = 0.0;
+  uint64_t next_stream_ = 1;
+  uint64_t next_seq_ = 0;
+  size_t busy_ = 0;      // workers currently executing a slot
+  size_t reserved_ = 0;  // dispatched-but-unclaimed slots
+  size_t queued_ = 0;    // regions waiting for admission
+  bool shutdown_ = false;
+
+  mutable std::mutex coord_mutex_;
+  std::condition_variable coord_cv_;
+  std::vector<std::thread> coordinators_;
+  std::deque<std::function<void()>> coord_queue_;
+  size_t coord_idle_ = 0;
+
+  mutable std::mutex adm_mutex_;
+  std::condition_variable adm_cv_;
+  size_t max_inflight_ = 0;  // 0 = unlimited
+  size_t max_adm_queue_ = 0;
+  size_t inflight_ = 0;
+  size_t adm_waiting_ = 0;
+};
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_SCHEDULER_H_

@@ -1,108 +1,11 @@
 #include "runtime/worker_pool.h"
 
-#include "common/check.h"
-
 namespace vcq::runtime {
 
 WorkerPool& WorkerPool::Global() {
   // Leaked on purpose: workers may outlive main() teardown order otherwise.
   static WorkerPool* pool = new WorkerPool();
   return *pool;
-}
-
-WorkerPool::WorkerPool()
-    : max_threads_(std::max(1u, std::thread::hardware_concurrency())) {}
-
-WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
-
-size_t WorkerPool::spawned_threads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return threads_.size();
-}
-
-void WorkerPool::EnsureThreadsLocked(size_t needed) {
-  while (threads_.size() < needed)
-    threads_.emplace_back(&WorkerPool::WorkerLoop, this);
-}
-
-void WorkerPool::EnqueueLocked(std::shared_ptr<Job> job) {
-  pending_slots_ += job->slots;
-  // Coverage invariant: every unclaimed slot across all in-flight jobs has
-  // a thread that is idle or will become idle without depending on any
-  // active worker finishing — active workers may be blocked in a barrier
-  // waiting for exactly these slots to start.
-  EnsureThreadsLocked(active_ + pending_slots_);
-  queue_.push_back(std::move(job));
-}
-
-void WorkerPool::Run(size_t thread_count,
-                     const std::function<void(size_t)>& fn) {
-  VCQ_CHECK(thread_count >= 1);
-  if (thread_count == 1) {
-    fn(0);
-    return;
-  }
-  auto job = std::make_shared<Job>();
-  job->fn = &fn;
-  job->slots = thread_count - 1;  // caller acts as worker 0
-  job->remaining = job->slots;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    EnqueueLocked(job);
-  }
-  work_cv_.notify_all();
-
-  fn(0);
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return job->remaining == 0; });
-}
-
-void WorkerPool::Submit(std::function<void()> task) {
-  auto job = std::make_shared<Job>();
-  job->task = std::move(task);
-  job->slots = 1;
-  job->remaining = 1;
-  job->detached = true;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    EnqueueLocked(std::move(job));
-  }
-  work_cv_.notify_all();
-}
-
-void WorkerPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-    // Drain before exiting: a job enqueued just before shutdown still has
-    // waiters (a blocked Run caller, an ExecutionHandle) that must be
-    // released — dropping it would strand them on a dying pool.
-    if (shutdown_ && queue_.empty()) return;
-    std::shared_ptr<Job> job = queue_.front();
-    const size_t slot = job->next_slot++;
-    if (job->next_slot == job->slots) queue_.pop_front();
-    --pending_slots_;
-    ++active_;
-    lock.unlock();
-
-    if (job->fn != nullptr) {
-      (*job->fn)(slot + 1);  // the Run caller is worker 0
-    } else {
-      job->task();
-    }
-
-    lock.lock();
-    --active_;
-    if (--job->remaining == 0 && !job->detached) done_cv_.notify_all();
-  }
 }
 
 }  // namespace vcq::runtime

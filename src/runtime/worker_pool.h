@@ -1,17 +1,14 @@
 #ifndef VCQ_RUNTIME_WORKER_POOL_H_
 #define VCQ_RUNTIME_WORKER_POOL_H_
 
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "runtime/options.h"
+#include "runtime/scheduler.h"
 
 namespace vcq::runtime {
 
@@ -47,32 +44,24 @@ class MorselQueue {
   const size_t grain_;
 };
 
-/// Persistent thread pool shared by every query of a vcq::Session (and,
-/// through the process-global instance, by every one-shot RunQuery call).
-/// Threads are created once and reused across queries.
-///
-/// A query executes as a sequence of parallel regions (one per pipeline):
-/// Run(n, fn) hands out n worker slots, the caller fills slot 0 and pool
-/// threads fill the rest, and Barrier orders the phases inside a region.
-/// Multiple regions may be in flight at once — concurrent PreparedQuery
-/// executions each drain their own MorselQueues while the OS interleaves
-/// their workers, so a query mix shares the machine at morsel granularity
-/// instead of queueing whole queries behind each other.
-///
-/// Deadlock safety: regions contain barriers, so every slot of a submitted
-/// region must eventually run on a distinct thread even while other
-/// regions' workers are blocked in their own barriers. The pool maintains
-/// the invariant threads >= active workers + unclaimed slots: submitting
-/// work spawns any missing threads, which means the thread count grows to
-/// the peak concurrent demand and then stays for reuse. Callers bound the
-/// number of in-flight executions, not the pool.
+/// Thin facade over runtime::Scheduler, keeping the pool-shaped surface
+/// every engine call site uses. A WorkerPool owns one Scheduler with a
+/// FIXED gang worker set: parallel regions are gang-admitted all-or-nothing
+/// (barriers can never deadlock) and the worker thread count is bounded at
+/// the construction capacity no matter how many prepared queries are in
+/// flight — the old pool's grow-to-peak-demand coverage invariant is gone.
+/// Queued regions are ordered by per-session weighted fair queueing; see
+/// scheduler.h for the full model (fairness, admission control,
+/// cancellation all live there).
 class WorkerPool {
  public:
-  /// Process-wide pool (threads are created lazily, reused across queries).
+  /// Process-wide pool (lazily spawned, reused across queries; capacity
+  /// max(hardware_concurrency, 16) — see Scheduler).
   static WorkerPool& Global();
 
-  WorkerPool();
-  ~WorkerPool();
+  WorkerPool() : sched_(0) {}
+  /// A pool whose gang worker set is fixed at `scheduler_threads`.
+  explicit WorkerPool(size_t scheduler_threads) : sched_(scheduler_threads) {}
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
@@ -80,46 +69,45 @@ class WorkerPool {
   /// return. worker_id is dense in [0, thread_count); the caller acts as
   /// worker 0. With thread_count == 1 the job runs inline on the caller
   /// (clean single-threaded measurements: no handoff, no wakeup latency).
-  /// Concurrent Run calls from different threads execute concurrently on
-  /// the shared pool, each with correct results.
-  void Run(size_t thread_count, const std::function<void(size_t)>& fn);
+  /// The region is charged to the scheduler's default stream.
+  void Run(size_t thread_count, const std::function<void(size_t)>& fn) {
+    sched_.Run(thread_count, fn);
+  }
 
-  /// Enqueues a detached one-shot task on the pool (the coordination body
-  /// of PreparedQuery::ExecuteAsync). The task may itself call Run(); the
-  /// thread-coverage invariant above still holds.
-  void Submit(std::function<void()> task);
+  /// As above with explicit scheduling metadata (stream + work hint).
+  void Run(size_t thread_count, const std::function<void(size_t)>& fn,
+           const RegionInfo& info) {
+    sched_.Run(thread_count, fn, info);
+  }
 
-  /// Advisory hardware parallelism (not a pool limit).
-  size_t max_threads() const { return max_threads_; }
-  /// Threads spawned so far (grows to peak demand; introspection only).
-  size_t spawned_threads() const;
+  /// The engine spelling: a parallel region of opt.threads workers,
+  /// charged to opt.sched_stream (the owning vcq::Session) with `work` as
+  /// its remaining-work hint in tuples (the shortest-remaining-region
+  /// tie-break between equal-weight sessions).
+  void Run(const QueryOptions& opt, size_t work,
+           const std::function<void(size_t)>& fn) {
+    sched_.Run(opt.threads, fn, RegionInfo{opt.sched_stream, work});
+  }
+
+  /// Enqueues a detached one-shot task (the coordination body of
+  /// PreparedQuery::ExecuteAsync) on the scheduler's coordinator threads —
+  /// never on gang workers (see Scheduler::Submit).
+  void Submit(std::function<void()> task) { sched_.Submit(std::move(task)); }
+
+  /// The scheduler behind this pool (streams, admission, policy).
+  Scheduler& scheduler() { return sched_; }
+  const Scheduler& scheduler() const { return sched_; }
+
+  /// Advisory hardware parallelism (not the gang capacity — see
+  /// scheduler().thread_count() for the bound).
+  size_t max_threads() const {
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  /// Gang worker threads spawned so far (<= scheduler().thread_count()).
+  size_t spawned_threads() const { return sched_.worker_threads(); }
 
  private:
-  /// One parallel region (Run) or detached task (Submit). `fn` points into
-  /// the Run caller's frame, which outlives the job because the caller
-  /// blocks until `remaining` hits zero; Submit jobs own their body.
-  struct Job {
-    const std::function<void(size_t)>* fn = nullptr;
-    std::function<void()> task;
-    size_t slots = 0;      // pool-side slots to hand out
-    size_t next_slot = 0;  // slots claimed so far
-    size_t remaining = 0;  // claimed-or-not slots still unfinished
-    bool detached = false;
-  };
-
-  void WorkerLoop();
-  void EnsureThreadsLocked(size_t needed);
-  void EnqueueLocked(std::shared_ptr<Job> job);
-
-  std::vector<std::thread> threads_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers wait for queued slots
-  std::condition_variable done_cv_;  // Run callers wait for their job
-  std::deque<std::shared_ptr<Job>> queue_;  // jobs with unclaimed slots
-  size_t active_ = 0;         // workers currently executing a slot
-  size_t pending_slots_ = 0;  // unclaimed slots across queued jobs
-  bool shutdown_ = false;
-  size_t max_threads_;
+  Scheduler sched_;
 };
 
 /// The pool a run should execute on: the options' session pool when set,

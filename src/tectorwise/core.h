@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "runtime/cancel.h"
 #include "runtime/options.h"
 
 // Tectorwise execution core (paper §2): pull-based operators exchanging
@@ -77,6 +78,11 @@ struct ExecContext {
   /// Relaxed operator fusion (paper §9.1): HashJoin probes use the
   /// prefetch-staged findCandidates variant (JoinCandidatesStaged).
   bool rof = false;
+  /// Cooperative cancellation/deadline token, polled at morsel boundaries
+  /// by Scan (every pipeline bottoms out at one, so an interrupted run
+  /// drains with barriers balanced; see runtime/cancel.h). nullptr = not
+  /// cancellable.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Pull-based operator: Next() produces the next batch and returns the

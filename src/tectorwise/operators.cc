@@ -5,9 +5,15 @@
 namespace vcq::tectorwise {
 
 size_t Scan::Next() {
-  if (morsel_begin_ >= morsel_end_ &&
-      !shared_->morsels.Next(morsel_begin_, morsel_end_)) {
-    return kEndOfStream;
+  if (morsel_begin_ >= morsel_end_) {
+    // Cancellation polls at morsel boundaries: an interrupted scan stops
+    // claiming work and reports end-of-stream, so the pipeline above
+    // drains normally (barriers stay balanced, partial hash tables are
+    // never probed — the trip is sticky and phases are ordered).
+    if (runtime::Interrupted(cancel_) ||
+        !shared_->morsels.Next(morsel_begin_, morsel_end_)) {
+      return kEndOfStream;
+    }
   }
   const size_t n = std::min(vector_size_, morsel_end_ - morsel_begin_);
   for (Column& c : columns_)

@@ -42,8 +42,12 @@ class Scan : public Operator {
     runtime::MorselQueue morsels;
   };
 
-  Scan(Shared* shared, const runtime::Relation* relation, size_t vector_size)
-      : shared_(shared), relation_(relation), vector_size_(vector_size) {}
+  Scan(Shared* shared, const runtime::Relation* relation, size_t vector_size,
+       const runtime::CancelToken* cancel = nullptr)
+      : shared_(shared),
+        relation_(relation),
+        vector_size_(vector_size),
+        cancel_(cancel) {}
 
   /// Registers a column; the returned Slot tracks the current batch.
   template <typename T>
@@ -66,6 +70,7 @@ class Scan : public Operator {
   Shared* shared_;
   const runtime::Relation* relation_;
   size_t vector_size_;
+  const runtime::CancelToken* cancel_;
   std::vector<Column> columns_;
   size_t morsel_begin_ = 0;
   size_t morsel_end_ = 0;

@@ -16,6 +16,7 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.compaction_threshold = opt.compaction_threshold;
   ctx.build_mode = opt.build_mode;
   ctx.rof = opt.rof;
+  ctx.cancel = opt.cancel;
   return ctx;
 }
 
@@ -38,6 +39,12 @@ void PlanNode::Consume(ColumnRef ref) {
   consumed_.push_back(ref.id);
 }
 
+void PlanNode::UseParam(std::string name, bool string_access) {
+  VCQ_CHECK_MSG(builder_ != nullptr,
+                "plan node declared after Build() consumed its builder");
+  builder_->param_uses_.push_back(ParamUse{std::move(name), string_access});
+}
+
 std::string PlanNode::ColName(ColumnRef ref) const {
   VCQ_CHECK_MSG(builder_ != nullptr,
                 "plan node declared after Build() consumed its builder");
@@ -58,7 +65,8 @@ std::shared_ptr<void> ScanNode::MakeShared(
 std::unique_ptr<Operator> ScanNode::Instantiate(
     plan_internal::Workspace& ws) const {
   auto* shared = static_cast<Scan::Shared*>((*ws.shared)[index_].get());
-  auto scan = std::make_unique<Scan>(shared, relation_, ws.ctx.vector_size);
+  auto scan = std::make_unique<Scan>(shared, relation_, ws.ctx.vector_size,
+                                     ws.ctx.cancel);
   for (const auto& add : cols_) add(*scan, ws);
   return scan;
 }
@@ -370,6 +378,14 @@ Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result) {
   plan.root_ = root.index_;
   plan.result_.reserve(result.size());
   for (const ColumnRef ref : result) plan.result_.push_back(ref.id);
+  plan.param_uses_ = std::move(param_uses_);
+  // The scheduler's shortest-remaining-region hint: total scan input.
+  for (const auto& node : plan.nodes_) {
+    if (node->kind_ == NodeKind::kScan) {
+      plan.work_hint_ +=
+          static_cast<const ScanNode*>(node.get())->relation_->tuple_count();
+    }
+  }
   // The builder is consumed; declaration calls on retained node references
   // must fail cleanly instead of dereferencing a dead builder.
   for (const auto& node : plan.nodes_) node->builder_ = nullptr;
@@ -396,7 +412,7 @@ void Plan::Run(const runtime::QueryOptions& opt,
   // Trees stay alive until every worker has finished: probe pipelines read
   // hash-table entries owned by other workers' operators.
   std::vector<std::unique_ptr<Operator>> roots(opt.threads);
-  runtime::PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+  runtime::PoolFor(opt).Run(opt, work_hint_, [&](size_t wid) {
     plan_internal::Workspace ws{ctx,     wid,     opt.threads, &columns_,
                                 &shared, &params, {}};
     ws.slots.resize(columns_.size(), nullptr);

@@ -92,6 +92,20 @@ enum class NodeKind {
   kOrderedAgg,
 };
 
+/// One parameter read declared by a plan step (CmpParam, BetweenParam,
+/// EqOr2Param, ContainsParam): the binding name and how the step accesses
+/// it at instantiate time. Recorded by the builder so prepare can
+/// cross-check every read against the catalog's declared ParamTypes
+/// (vcq::ValidatePlanParams) — a query/catalog drift then fails at Prepare
+/// instead of producing garbage at the first Execute.
+struct ParamUse {
+  std::string name;
+  /// true: resolved through QueryParams::Str (strings); false: through
+  /// QueryParams::Int (integers and dates, which share the numeric
+  /// representation — see runtime/params.h).
+  bool string_access = false;
+};
+
 namespace plan_internal {
 
 /// Registers a column with a Compactor; bound to the column's static type
@@ -192,6 +206,9 @@ class PlanNode {
                    plan_internal::CompactRegistrar registrar);
   /// Records that one of this node's steps reads `ref`.
   void Consume(ColumnRef ref);
+  /// Records that one of this node's steps resolves parameter `name` at
+  /// instantiate time (see ParamUse).
+  void UseParam(std::string name, bool string_access);
   std::string ColName(ColumnRef ref) const;
   /// Adds an EXPLAIN detail line for this node.
   void Detail(std::string text) { details_.push_back(std::move(text)); }
@@ -328,6 +345,7 @@ class SelectNode : public PlanNode {
   template <typename T>
   SelectNode& CmpParam(ColumnRef col, CmpOp op, std::string param) {
     Consume(col);
+    UseParam(param, !std::is_arithmetic_v<T>);
     Detail(ColName(col) + " " + plan_internal::CmpOpName(op) + " :" + param);
     steps_.push_back([col, op, param](const ExecContext& ctx,
                                       plan_internal::Workspace& ws) {
@@ -342,6 +360,8 @@ class SelectNode : public PlanNode {
   SelectNode& BetweenParam(ColumnRef col, std::string lo_param,
                            std::string hi_param) {
     Consume(col);
+    UseParam(lo_param, !std::is_arithmetic_v<T>);
+    UseParam(hi_param, !std::is_arithmetic_v<T>);
     Detail(ColName(col) + " in [:" + lo_param + ", :" + hi_param + "]");
     steps_.push_back([col, lo_param, hi_param](
                          const ExecContext& ctx,
@@ -358,6 +378,8 @@ class SelectNode : public PlanNode {
   SelectNode& EqOr2Param(ColumnRef col, std::string a_param,
                          std::string b_param) {
     Consume(col);
+    UseParam(a_param, !std::is_arithmetic_v<T>);
+    UseParam(b_param, !std::is_arithmetic_v<T>);
     Detail(ColName(col) + " == :" + a_param + " || :" + b_param);
     steps_.push_back([col, a_param, b_param](const ExecContext&,
                                              plan_internal::Workspace& ws) {
@@ -372,6 +394,7 @@ class SelectNode : public PlanNode {
   template <typename V>
   SelectNode& ContainsParam(ColumnRef col, std::string param) {
     Consume(col);
+    UseParam(param, /*string_access=*/true);
     Detail(ColName(col) + " contains :" + param);
     steps_.push_back(
         [col, param](const ExecContext&, plan_internal::Workspace& ws) {
@@ -834,6 +857,15 @@ class Plan {
 
   const std::string& name() const { return name_; }
 
+  /// Every parameter read the plan's steps declared (in declaration
+  /// order), for the prepare-time catalog cross-check
+  /// (vcq::ValidatePlanParams).
+  const std::vector<ParamUse>& param_uses() const { return param_uses_; }
+
+  /// Total tuples across the plan's scans — the remaining-work hint the
+  /// scheduler's shortest-remaining-region tie-break uses.
+  size_t work_hint() const { return work_hint_; }
+
  private:
   friend class PlanBuilder;
   Plan() = default;
@@ -843,6 +875,8 @@ class Plan {
   std::vector<plan_internal::ColumnInfo> columns_;
   uint32_t root_ = 0;
   std::vector<uint32_t> result_;
+  std::vector<ParamUse> param_uses_;
+  size_t work_hint_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -877,6 +911,7 @@ class PlanBuilder {
   std::string name_;
   std::vector<std::unique_ptr<PlanNode>> nodes_;
   std::vector<plan_internal::ColumnInfo> columns_;
+  std::vector<ParamUse> param_uses_;
 };
 
 }  // namespace vcq::tectorwise

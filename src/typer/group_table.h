@@ -74,7 +74,13 @@ std::vector<Entry*> MergeLocalGroups(
     const runtime::QueryOptions& opt) {
   const size_t threads = opt.threads;
   std::array<std::vector<Entry*>, kGroupPartitions> merged;
-  runtime::PoolFor(opt).Run(threads, [&](size_t wid) {
+  // Work hint in tuples, like every other region: the groups this merge
+  // reads across all local tables.
+  size_t total_groups = 0;
+  for (const auto& local : locals) {
+    if (local != nullptr) total_groups += local->size();
+  }
+  runtime::PoolFor(opt).Run(opt, total_groups, [&](size_t wid) {
     for (size_t p = wid; p < kGroupPartitions; p += threads) {
       size_t total = 0;
       for (const auto& local : locals) total += local->parts[p].size();

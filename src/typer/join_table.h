@@ -39,13 +39,18 @@ class JoinTable {
       : threads_(opt.threads),
         mode_(opt.build_mode),
         pool_(&runtime::PoolFor(opt)),
+        region_{opt.sched_stream, 0},
         build_(&ht, opt.threads),
         pools_(opt.threads) {}
 
   /// produce(worker_id, emit) appends build tuples via emit(const Entry&);
-  /// runs one parallel region covering materialize + insert.
+  /// runs one parallel region covering materialize + insert. `work` is the
+  /// region's input size in tuples — the scheduler's
+  /// shortest-remaining-region hint (0 = unknown).
   template <typename ProduceFn>
-  void Build(ProduceFn&& produce) {
+  void Build(ProduceFn&& produce, size_t work = 0) {
+    runtime::RegionInfo region = region_;
+    region.work = work;
     pool_->Run(threads_, [&](size_t wid) {
       runtime::EntryChunkList list;
       Entry* block = nullptr;
@@ -67,7 +72,7 @@ class JoinTable {
       // arena (no one reads the chunks after Run's final barrier), so the
       // materialize-phase memory is pure overhead from here on.
       if (runtime::JoinBuild::ReleasesChunks(mode_)) pools_[wid].Release();
-    });
+    }, region);
   }
 
   /// Primary-key lookup: first entry with matching hash passing `eq`.
@@ -134,6 +139,7 @@ class JoinTable {
   size_t threads_;
   runtime::BuildMode mode_;
   runtime::WorkerPool* pool_;
+  runtime::RegionInfo region_;  // the owning session's scheduling stream
   runtime::JoinBuild build_;
   std::vector<runtime::MemPool> pools_;
 };

@@ -1,6 +1,10 @@
 #ifndef VCQ_TYPER_QUERIES_H_
 #define VCQ_TYPER_QUERIES_H_
 
+#include <memory>
+#include <mutex>
+
+#include "runtime/cancel.h"
 #include "runtime/options.h"
 #include "runtime/params.h"
 #include "runtime/query_result.h"
@@ -20,37 +24,79 @@
 // binding. Each query requires every parameter the vcq::QueryCatalog
 // declares for it to be bound — go through vcq::Session (which merges the
 // catalog defaults) or bind them all explicitly.
+//
+// Column resolution is cached per prepared query: Relation::Col<T> does a
+// name lookup plus a type check per call, which one-shot runs pay once but
+// a warm PreparedQuery used to re-pay on every Execute. Each pipeline
+// resolves its columns into a query-specific struct through the
+// ColumnCache below — the first Execute populates it, later ones reuse the
+// spans (one atomic call_once fast path; visible on Q6 at threads=1).
 
 namespace vcq::typer {
 
+/// Per-PreparedQuery cache of resolved column accessors. One cache serves
+/// exactly one query, so it holds a single type-erased slot: the query's
+/// resolved-columns struct, created on first use. Get() is safe to call
+/// from concurrent Execute()s; the cached spans point into the Database,
+/// which outlives the session (Session API contract).
+class ColumnCache {
+ public:
+  template <typename Cols, typename MakeFn>
+  const Cols& Get(MakeFn&& make) const {
+    std::call_once(once_, [&] { cols_ = std::make_shared<Cols>(make()); });
+    return *static_cast<const Cols*>(cols_.get());
+  }
+
+ private:
+  mutable std::once_flag once_;
+  mutable std::shared_ptr<void> cols_;
+};
+
+/// The per-morsel cancellation poll every Typer pipeline loop uses:
+/// checked before each morsel claim, so a cancelled or deadline-expired
+/// run stops at the next morsel boundary (see runtime/cancel.h for why
+/// the before-claim ordering keeps partially built hash tables unprobed).
+inline bool Stop(const runtime::QueryOptions& opt) {
+  return runtime::Interrupted(opt.cancel);
+}
+
 runtime::QueryResult RunQ1(const runtime::Database& db,
                            const runtime::QueryOptions& opt,
-                           const runtime::QueryParams& params);
+                           const runtime::QueryParams& params,
+                           const ColumnCache& cache);
 runtime::QueryResult RunQ6(const runtime::Database& db,
                            const runtime::QueryOptions& opt,
-                           const runtime::QueryParams& params);
+                           const runtime::QueryParams& params,
+                           const ColumnCache& cache);
 runtime::QueryResult RunQ3(const runtime::Database& db,
                            const runtime::QueryOptions& opt,
-                           const runtime::QueryParams& params);
+                           const runtime::QueryParams& params,
+                           const ColumnCache& cache);
 runtime::QueryResult RunQ9(const runtime::Database& db,
                            const runtime::QueryOptions& opt,
-                           const runtime::QueryParams& params);
+                           const runtime::QueryParams& params,
+                           const ColumnCache& cache);
 runtime::QueryResult RunQ18(const runtime::Database& db,
                             const runtime::QueryOptions& opt,
-                            const runtime::QueryParams& params);
+                            const runtime::QueryParams& params,
+                            const ColumnCache& cache);
 
 runtime::QueryResult RunSsbQ11(const runtime::Database& db,
                                const runtime::QueryOptions& opt,
-                               const runtime::QueryParams& params);
+                               const runtime::QueryParams& params,
+                               const ColumnCache& cache);
 runtime::QueryResult RunSsbQ21(const runtime::Database& db,
                                const runtime::QueryOptions& opt,
-                               const runtime::QueryParams& params);
+                               const runtime::QueryParams& params,
+                               const ColumnCache& cache);
 runtime::QueryResult RunSsbQ31(const runtime::Database& db,
                                const runtime::QueryOptions& opt,
-                               const runtime::QueryParams& params);
+                               const runtime::QueryParams& params,
+                               const ColumnCache& cache);
 runtime::QueryResult RunSsbQ41(const runtime::Database& db,
                                const runtime::QueryOptions& opt,
-                               const runtime::QueryParams& params);
+                               const runtime::QueryParams& params,
+                               const ColumnCache& cache);
 
 }  // namespace vcq::typer
 

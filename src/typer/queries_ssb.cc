@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <mutex>
+#include <span>
 #include <tuple>
 
+#include "runtime/cancel.h"
 #include "runtime/hash.h"
 #include "runtime/types.h"
 #include "runtime/worker_pool.h"
@@ -10,7 +12,10 @@
 #include "typer/queries.h"
 
 // Star Schema Benchmark pipelines for Typer (paper §4.4): one fused probe
-// loop over lineorder against filtered dimension hash tables.
+// loop over lineorder against filtered dimension hash tables. Column
+// accessors resolve once per prepared query (ColumnCache, queries.h) and
+// every morsel loop polls opt.cancel — see queries_tpch.cc for the
+// cancellation ordering argument.
 
 namespace vcq::typer {
 
@@ -50,12 +55,12 @@ struct BrandEntry {
 /// Builds a dimension hash table from rows passing `pred`, with the entry
 /// payload produced by `fill`.
 template <typename Entry, typename PredFn, typename FillFn>
-void BuildDimension(JoinTable<Entry>& table, size_t tuple_count, size_t grain,
-                    PredFn&& pred, FillFn&& fill) {
-  MorselQueue morsels(tuple_count, grain);
+void BuildDimension(JoinTable<Entry>& table, size_t tuple_count,
+                    const QueryOptions& opt, PredFn&& pred, FillFn&& fill) {
+  MorselQueue morsels(tuple_count, opt.morsel_grain);
   table.Build([&](size_t, auto emit) {
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       for (size_t i = begin; i < end; ++i) {
         if (!pred(i)) continue;
         Entry e;
@@ -63,7 +68,7 @@ void BuildDimension(JoinTable<Entry>& table, size_t tuple_count, size_t grain,
         emit(e);
       }
     }
-  });
+  }, tuple_count);
 }
 
 }  // namespace
@@ -71,16 +76,31 @@ void BuildDimension(JoinTable<Entry>& table, size_t tuple_count, size_t grain,
 // ---------------------------------------------------------------------------
 // Q1.1
 // ---------------------------------------------------------------------------
+namespace {
+
+struct Q11Cols {
+  std::span<const int32_t> d_datekey, d_year;
+  std::span<const int32_t> lo_orderdate;
+  std::span<const int64_t> lo_discount, lo_quantity, lo_extprice;
+
+  static Q11Cols Resolve(const Database& db) {
+    const Relation& d = db["date"];
+    const Relation& lo = db["lineorder"];
+    return {d.Col<int32_t>("d_datekey"),    d.Col<int32_t>("d_year"),
+            lo.Col<int32_t>("lo_orderdate"), lo.Col<int64_t>("lo_discount"),
+            lo.Col<int64_t>("lo_quantity"),
+            lo.Col<int64_t>("lo_extendedprice")};
+  }
+};
+
+}  // namespace
+
 QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
-                     const QueryParams& params) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const auto d_datekey = date.Col<int32_t>("d_datekey");
-  const auto d_year = date.Col<int32_t>("d_year");
-  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
-  const auto lo_discount = lineorder.Col<int64_t>("lo_discount");
-  const auto lo_quantity = lineorder.Col<int64_t>("lo_quantity");
-  const auto lo_extprice = lineorder.Col<int64_t>("lo_extendedprice");
+                     const QueryParams& params, const ColumnCache& cache) {
+  const Q11Cols& cols =
+      cache.Get<Q11Cols>([&] { return Q11Cols::Resolve(db); });
+  const auto& [d_datekey, d_year, lo_orderdate, lo_discount, lo_quantity,
+               lo_extprice] = cols;
 
   const int32_t year = static_cast<int32_t>(params.Int("year"));
   const int64_t disc_lo = params.Int("discount_lo");
@@ -88,7 +108,7 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
   const int64_t qty_max = params.Int("quantity_max");
   JoinTable<KeyOnly> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.morsel_grain,
+      ht_date, d_datekey.size(), opt,
       [&](size_t i) { return d_year[i] == year; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -97,8 +117,8 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
 
   int64_t total = 0;
   std::mutex mu;
-  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t) {
+  MorselQueue morsels(lo_orderdate.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t) {
     int64_t local = 0;
     auto resolve = [&](size_t i, uint64_t dh) {
       const int32_t dk = lo_orderdate[i];
@@ -113,7 +133,7 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
              lo_quantity[i] < qty_max;
     };
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
         JoinTable<KeyOnly>::StagedLookup date_probe(ht_date);
         size_t idx[kRofBlock];
@@ -163,22 +183,44 @@ struct Q21Group {
   void Combine(const Q21Group& o) { revenue += o.revenue; }
 };
 
+struct Q21Cols {
+  std::span<const int32_t> p_partkey;
+  std::span<const Char<7>> p_category;
+  std::span<const Char<9>> p_brand1;
+  std::span<const int32_t> s_suppkey;
+  std::span<const Char<12>> s_region;
+  std::span<const int32_t> d_datekey, d_year;
+  std::span<const int32_t> lo_partkey, lo_suppkey, lo_orderdate;
+  std::span<const int64_t> lo_revenue;
+
+  static Q21Cols Resolve(const Database& db) {
+    const Relation& p = db["part"];
+    const Relation& s = db["supplier"];
+    const Relation& d = db["date"];
+    const Relation& lo = db["lineorder"];
+    return {p.Col<int32_t>("p_partkey"),    p.Col<Char<7>>("p_category"),
+            p.Col<Char<9>>("p_brand1"),     s.Col<int32_t>("s_suppkey"),
+            s.Col<Char<12>>("s_region"),    d.Col<int32_t>("d_datekey"),
+            d.Col<int32_t>("d_year"),       lo.Col<int32_t>("lo_partkey"),
+            lo.Col<int32_t>("lo_suppkey"),  lo.Col<int32_t>("lo_orderdate"),
+            lo.Col<int64_t>("lo_revenue")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
-                     const QueryParams& params) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& part = db["part"];
-  const Relation& supplier = db["supplier"];
+                     const QueryParams& params, const ColumnCache& cache) {
+  const Q21Cols& cols =
+      cache.Get<Q21Cols>([&] { return Q21Cols::Resolve(db); });
+  const auto& [p_partkey, p_category, p_brand1, s_suppkey, s_region,
+               d_datekey, d_year, lo_partkey, lo_suppkey, lo_orderdate,
+               lo_revenue] = cols;
 
-  const auto p_partkey = part.Col<int32_t>("p_partkey");
-  const auto p_category = part.Col<Char<7>>("p_category");
-  const auto p_brand1 = part.Col<Char<9>>("p_brand1");
   JoinTable<BrandEntry> ht_part(opt);
   const Char<7> category = Char<7>::From(params.Str("category"));
   BuildDimension(
-      ht_part, part.tuple_count(), opt.morsel_grain,
+      ht_part, p_partkey.size(), opt,
       [&](size_t i) { return p_category[i] == category; },
       [&](size_t i, BrandEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
@@ -186,23 +228,19 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
         e->brand = p_brand1[i];
       });
 
-  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
-  const auto s_region = supplier.Col<Char<12>>("s_region");
   JoinTable<KeyOnly> ht_supp(opt);
   const Char<12> region = Char<12>::From(params.Str("region"));
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.morsel_grain,
+      ht_supp, s_suppkey.size(), opt,
       [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
         e->key = s_suppkey[i];
       });
 
-  const auto d_datekey = date.Col<int32_t>("d_datekey");
-  const auto d_year = date.Col<int32_t>("d_year");
   JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.morsel_grain,
+      ht_date, d_datekey.size(), opt,
       [&](size_t) { return true; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -210,14 +248,9 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
         e->year = d_year[i];
       });
 
-  const auto lo_partkey = lineorder.Col<int32_t>("lo_partkey");
-  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
-  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
-  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
-
   std::vector<std::unique_ptr<LocalGroupTable<Q21Group>>> locals(opt.threads);
-  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+  MorselQueue morsels(lo_partkey.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>();
     LocalGroupTable<Q21Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ph, auto&& sh, auto&& dh) {
@@ -252,7 +285,7 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
       g->revenue += lo_revenue[i];
     };
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
         JoinTable<BrandEntry>::StagedLookup part_probe(ht_part);
         JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);
@@ -320,24 +353,48 @@ struct Q31Group {
   void Combine(const Q31Group& o) { revenue += o.revenue; }
 };
 
+struct Q31Cols {
+  std::span<const int32_t> c_custkey;
+  std::span<const Char<15>> c_nation;
+  std::span<const Char<12>> c_region;
+  std::span<const int32_t> s_suppkey;
+  std::span<const Char<15>> s_nation;
+  std::span<const Char<12>> s_region;
+  std::span<const int32_t> d_datekey, d_year;
+  std::span<const int32_t> lo_custkey, lo_suppkey, lo_orderdate;
+  std::span<const int64_t> lo_revenue;
+
+  static Q31Cols Resolve(const Database& db) {
+    const Relation& c = db["customer"];
+    const Relation& s = db["supplier"];
+    const Relation& d = db["date"];
+    const Relation& lo = db["lineorder"];
+    return {c.Col<int32_t>("c_custkey"),   c.Col<Char<15>>("c_nation"),
+            c.Col<Char<12>>("c_region"),   s.Col<int32_t>("s_suppkey"),
+            s.Col<Char<15>>("s_nation"),   s.Col<Char<12>>("s_region"),
+            d.Col<int32_t>("d_datekey"),   d.Col<int32_t>("d_year"),
+            lo.Col<int32_t>("lo_custkey"), lo.Col<int32_t>("lo_suppkey"),
+            lo.Col<int32_t>("lo_orderdate"),
+            lo.Col<int64_t>("lo_revenue")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
-                     const QueryParams& params) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& customer = db["customer"];
-  const Relation& supplier = db["supplier"];
+                     const QueryParams& params, const ColumnCache& cache) {
+  const Q31Cols& cols =
+      cache.Get<Q31Cols>([&] { return Q31Cols::Resolve(db); });
+  const auto& [c_custkey, c_nation, c_region, s_suppkey, s_nation, s_region,
+               d_datekey, d_year, lo_custkey, lo_suppkey, lo_orderdate,
+               lo_revenue] = cols;
   const Char<12> region = Char<12>::From(params.Str("region"));
   const int32_t year_lo = static_cast<int32_t>(params.Int("year_lo"));
   const int32_t year_hi = static_cast<int32_t>(params.Int("year_hi"));
 
-  const auto c_custkey = customer.Col<int32_t>("c_custkey");
-  const auto c_nation = customer.Col<Char<15>>("c_nation");
-  const auto c_region = customer.Col<Char<12>>("c_region");
   JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
-      ht_cust, customer.tuple_count(), opt.morsel_grain,
+      ht_cust, c_custkey.size(), opt,
       [&](size_t i) { return c_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
@@ -345,12 +402,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
         e->nation = c_nation[i];
       });
 
-  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
-  const auto s_nation = supplier.Col<Char<15>>("s_nation");
-  const auto s_region = supplier.Col<Char<12>>("s_region");
   JoinTable<KeyNation> ht_supp(opt);
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.morsel_grain,
+      ht_supp, s_suppkey.size(), opt,
       [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
@@ -358,11 +412,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
         e->nation = s_nation[i];
       });
 
-  const auto d_datekey = date.Col<int32_t>("d_datekey");
-  const auto d_year = date.Col<int32_t>("d_year");
   JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.morsel_grain,
+      ht_date, d_datekey.size(), opt,
       [&](size_t i) { return d_year[i] >= year_lo && d_year[i] <= year_hi; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -370,14 +422,9 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
         e->year = d_year[i];
       });
 
-  const auto lo_custkey = lineorder.Col<int32_t>("lo_custkey");
-  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
-  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
-  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
-
   std::vector<std::unique_ptr<LocalGroupTable<Q31Group>>> locals(opt.threads);
-  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+  MorselQueue morsels(lo_custkey.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>();
     LocalGroupTable<Q31Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& dh) {
@@ -412,7 +459,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
       g->revenue += lo_revenue[i];
     };
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
         JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
         JoinTable<KeyNation>::StagedLookup supp_probe(ht_supp);
@@ -487,23 +534,50 @@ struct Q41Group {
   void Combine(const Q41Group& o) { profit += o.profit; }
 };
 
+struct Q41Cols {
+  std::span<const int32_t> c_custkey;
+  std::span<const Char<15>> c_nation;
+  std::span<const Char<12>> c_region;
+  std::span<const int32_t> s_suppkey;
+  std::span<const Char<12>> s_region;
+  std::span<const int32_t> p_partkey;
+  std::span<const Char<6>> p_mfgr;
+  std::span<const int32_t> d_datekey, d_year;
+  std::span<const int32_t> lo_custkey, lo_suppkey, lo_partkey, lo_orderdate;
+  std::span<const int64_t> lo_revenue, lo_supplycost;
+
+  static Q41Cols Resolve(const Database& db) {
+    const Relation& c = db["customer"];
+    const Relation& s = db["supplier"];
+    const Relation& p = db["part"];
+    const Relation& d = db["date"];
+    const Relation& lo = db["lineorder"];
+    return {c.Col<int32_t>("c_custkey"),   c.Col<Char<15>>("c_nation"),
+            c.Col<Char<12>>("c_region"),   s.Col<int32_t>("s_suppkey"),
+            s.Col<Char<12>>("s_region"),   p.Col<int32_t>("p_partkey"),
+            p.Col<Char<6>>("p_mfgr"),      d.Col<int32_t>("d_datekey"),
+            d.Col<int32_t>("d_year"),      lo.Col<int32_t>("lo_custkey"),
+            lo.Col<int32_t>("lo_suppkey"), lo.Col<int32_t>("lo_partkey"),
+            lo.Col<int32_t>("lo_orderdate"),
+            lo.Col<int64_t>("lo_revenue"),
+            lo.Col<int64_t>("lo_supplycost")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
-                     const QueryParams& params) {
-  const Relation& lineorder = db["lineorder"];
-  const Relation& date = db["date"];
-  const Relation& customer = db["customer"];
-  const Relation& supplier = db["supplier"];
-  const Relation& part = db["part"];
+                     const QueryParams& params, const ColumnCache& cache) {
+  const Q41Cols& cols =
+      cache.Get<Q41Cols>([&] { return Q41Cols::Resolve(db); });
+  const auto& [c_custkey, c_nation, c_region, s_suppkey, s_region, p_partkey,
+               p_mfgr, d_datekey, d_year, lo_custkey, lo_suppkey, lo_partkey,
+               lo_orderdate, lo_revenue, lo_supplycost] = cols;
   const Char<12> region = Char<12>::From(params.Str("region"));
 
-  const auto c_custkey = customer.Col<int32_t>("c_custkey");
-  const auto c_nation = customer.Col<Char<15>>("c_nation");
-  const auto c_region = customer.Col<Char<12>>("c_region");
   JoinTable<KeyNation> ht_cust(opt);
   BuildDimension(
-      ht_cust, customer.tuple_count(), opt.morsel_grain,
+      ht_cust, c_custkey.size(), opt,
       [&](size_t i) { return c_region[i] == region; },
       [&](size_t i, KeyNation* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
@@ -511,35 +585,29 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
         e->nation = c_nation[i];
       });
 
-  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
-  const auto s_region = supplier.Col<Char<12>>("s_region");
   JoinTable<KeyOnly> ht_supp(opt);
   BuildDimension(
-      ht_supp, supplier.tuple_count(), opt.morsel_grain,
+      ht_supp, s_suppkey.size(), opt,
       [&](size_t i) { return s_region[i] == region; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
         e->key = s_suppkey[i];
       });
 
-  const auto p_partkey = part.Col<int32_t>("p_partkey");
-  const auto p_mfgr = part.Col<Char<6>>("p_mfgr");
   JoinTable<KeyOnly> ht_part(opt);
   const Char<6> mfgr_a = Char<6>::From(params.Str("mfgr_a"));
   const Char<6> mfgr_b = Char<6>::From(params.Str("mfgr_b"));
   BuildDimension(
-      ht_part, part.tuple_count(), opt.morsel_grain,
+      ht_part, p_partkey.size(), opt,
       [&](size_t i) { return p_mfgr[i] == mfgr_a || p_mfgr[i] == mfgr_b; },
       [&](size_t i, KeyOnly* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(p_partkey[i]));
         e->key = p_partkey[i];
       });
 
-  const auto d_datekey = date.Col<int32_t>("d_datekey");
-  const auto d_year = date.Col<int32_t>("d_year");
   JoinTable<DateEntry> ht_date(opt);
   BuildDimension(
-      ht_date, date.tuple_count(), opt.morsel_grain,
+      ht_date, d_datekey.size(), opt,
       [&](size_t) { return true; },
       [&](size_t i, DateEntry* e) {
         e->header.hash = HashCrc32(static_cast<uint32_t>(d_datekey[i]));
@@ -547,16 +615,9 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
         e->year = d_year[i];
       });
 
-  const auto lo_custkey = lineorder.Col<int32_t>("lo_custkey");
-  const auto lo_suppkey = lineorder.Col<int32_t>("lo_suppkey");
-  const auto lo_partkey = lineorder.Col<int32_t>("lo_partkey");
-  const auto lo_orderdate = lineorder.Col<int32_t>("lo_orderdate");
-  const auto lo_revenue = lineorder.Col<int64_t>("lo_revenue");
-  const auto lo_supplycost = lineorder.Col<int64_t>("lo_supplycost");
-
   std::vector<std::unique_ptr<LocalGroupTable<Q41Group>>> locals(opt.threads);
-  MorselQueue morsels(lineorder.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+  MorselQueue morsels(lo_custkey.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>();
     LocalGroupTable<Q41Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& ph,
@@ -597,7 +658,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
       g->profit += profit;
     };
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
         JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
         JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <span>
 #include <tuple>
 
+#include "runtime/cancel.h"
 #include "runtime/hash.h"
 #include "runtime/types.h"
 #include "runtime/worker_pool.h"
@@ -16,7 +18,12 @@
 // the low-latency CRC hash (paper §4.1: "the CRC hash function improves
 // [Typer's] performance up to 40%"). Predicate constants are parameters
 // (vcq::QueryCatalog declares names and spec defaults), read once at the
-// top of each run so one pipeline serves every binding.
+// top of each run so one pipeline serves every binding; column accessors
+// are resolved once per prepared query (ColumnCache, queries.h). Every
+// morsel loop polls opt.cancel so a cancelled or deadline-expired run
+// stops claiming work at the next morsel boundary — the poll comes before
+// the claim, which (with sticky interruption and sequential regions)
+// guarantees a partially built hash table is never probed.
 
 namespace vcq::typer {
 
@@ -55,27 +62,35 @@ struct Q1Group {
   }
 };
 
+struct Q1Cols {
+  std::span<const int32_t> shipdate;
+  std::span<const Char<1>> rf, ls;
+  std::span<const int64_t> qty, extprice, discount, tax;
+
+  static Q1Cols Resolve(const Database& db) {
+    const Relation& l = db["lineitem"];
+    return {l.Col<int32_t>("l_shipdate"),    l.Col<Char<1>>("l_returnflag"),
+            l.Col<Char<1>>("l_linestatus"),  l.Col<int64_t>("l_quantity"),
+            l.Col<int64_t>("l_extendedprice"), l.Col<int64_t>("l_discount"),
+            l.Col<int64_t>("l_tax")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunQ1(const Database& db, const QueryOptions& opt,
-                  const QueryParams& params) {
-  const Relation& lineitem = db["lineitem"];
-  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
-  const auto rf = lineitem.Col<Char<1>>("l_returnflag");
-  const auto ls = lineitem.Col<Char<1>>("l_linestatus");
-  const auto qty = lineitem.Col<int64_t>("l_quantity");
-  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
-  const auto discount = lineitem.Col<int64_t>("l_discount");
-  const auto tax = lineitem.Col<int64_t>("l_tax");
+                  const QueryParams& params, const ColumnCache& cache) {
+  const Q1Cols& c = cache.Get<Q1Cols>([&] { return Q1Cols::Resolve(db); });
+  const auto& [shipdate, rf, ls, qty, extprice, discount, tax] = c;
   const int32_t cutoff = params.Date("shipdate");
 
   std::vector<std::unique_ptr<LocalGroupTable<Q1Group>>> locals(opt.threads);
-  MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+  MorselQueue morsels(shipdate.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
     locals[wid] = std::make_unique<LocalGroupTable<Q1Group>>();
     LocalGroupTable<Q1Group>& local = *locals[wid];
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       for (size_t i = begin; i < end; ++i) {
         if (shipdate[i] > cutoff) continue;
         const uint16_t key = static_cast<uint16_t>(
@@ -128,13 +143,26 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt,
 // ---------------------------------------------------------------------------
 // Q6
 // ---------------------------------------------------------------------------
+namespace {
+
+struct Q6Cols {
+  std::span<const int32_t> shipdate;
+  std::span<const int64_t> discount, quantity, extprice;
+
+  static Q6Cols Resolve(const Database& db) {
+    const Relation& l = db["lineitem"];
+    return {l.Col<int32_t>("l_shipdate"), l.Col<int64_t>("l_discount"),
+            l.Col<int64_t>("l_quantity"),
+            l.Col<int64_t>("l_extendedprice")};
+  }
+};
+
+}  // namespace
+
 QueryResult RunQ6(const Database& db, const QueryOptions& opt,
-                  const QueryParams& params) {
-  const Relation& lineitem = db["lineitem"];
-  const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
-  const auto discount = lineitem.Col<int64_t>("l_discount");
-  const auto quantity = lineitem.Col<int64_t>("l_quantity");
-  const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
+                  const QueryParams& params, const ColumnCache& cache) {
+  const Q6Cols& c = cache.Get<Q6Cols>([&] { return Q6Cols::Resolve(db); });
+  const auto& [shipdate, discount, quantity, extprice] = c;
   const int32_t lo = params.Date("shipdate_lo");
   const int32_t hi = params.Date("shipdate_hi");
   const int64_t disc_lo = params.Int("discount_lo");
@@ -143,14 +171,14 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt,
 
   int64_t total = 0;
   std::mutex mu;
-  MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-  PoolFor(opt).Run(opt.threads, [&](size_t) {
+  MorselQueue morsels(shipdate.size(), opt.morsel_grain);
+  PoolFor(opt).Run(opt, morsels.total(), [&](size_t) {
     // Branch-free predicated evaluation (paper footnote 8: Typer's Q6 is
     // branch-free), with two accumulators so the conditional add is not one
     // long loop-carried dependency chain.
     int64_t acc0 = 0, acc1 = 0;
     size_t begin, end;
-    while (morsels.Next(begin, end)) {
+    while (!Stop(opt) && morsels.Next(begin, end)) {
       size_t i = begin;
       for (; i + 2 <= end; i += 2) {
         const bool p0 = (shipdate[i] >= lo) & (shipdate[i] <= hi) &
@@ -201,25 +229,44 @@ struct Q3Group {
   void Combine(const Q3Group& o) { revenue += o.revenue; }
 };
 
+struct Q3Cols {
+  std::span<const int32_t> c_custkey;
+  std::span<const Char<10>> c_mkt;
+  std::span<const int32_t> o_orderkey, o_custkey, o_orderdate, o_shipprio;
+  std::span<const int32_t> l_orderkey, l_shipdate;
+  std::span<const int64_t> l_extprice, l_discount;
+
+  static Q3Cols Resolve(const Database& db) {
+    const Relation& c = db["customer"];
+    const Relation& o = db["orders"];
+    const Relation& l = db["lineitem"];
+    return {c.Col<int32_t>("c_custkey"),   c.Col<Char<10>>("c_mktsegment"),
+            o.Col<int32_t>("o_orderkey"),  o.Col<int32_t>("o_custkey"),
+            o.Col<int32_t>("o_orderdate"), o.Col<int32_t>("o_shippriority"),
+            l.Col<int32_t>("l_orderkey"),  l.Col<int32_t>("l_shipdate"),
+            l.Col<int64_t>("l_extendedprice"),
+            l.Col<int64_t>("l_discount")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunQ3(const Database& db, const QueryOptions& opt,
-                  const QueryParams& params) {
-  const Relation& customer = db["customer"];
-  const Relation& orders = db["orders"];
-  const Relation& lineitem = db["lineitem"];
+                  const QueryParams& params, const ColumnCache& cache) {
+  const Q3Cols& cols =
+      cache.Get<Q3Cols>([&] { return Q3Cols::Resolve(db); });
   const int32_t date = params.Date("date");
   const Char<10> segment = Char<10>::From(params.Str("segment"));
 
   // Pipeline 1: build customer hash table (the bound market segment).
-  const auto c_custkey = customer.Col<int32_t>("c_custkey");
-  const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
+  const auto& c_custkey = cols.c_custkey;
+  const auto& c_mkt = cols.c_mkt;
   JoinTable<Q3Cust> ht_cust(opt);
   {
-    MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(c_custkey.size(), opt.morsel_grain);
     ht_cust.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           if (!(c_mkt[i] == segment)) continue;
           Q3Cust e;
@@ -228,20 +275,20 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, c_custkey.size());
   }
 
   // Pipeline 2: orders semi-joined with those customers.
-  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
-  const auto o_custkey = orders.Col<int32_t>("o_custkey");
-  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
-  const auto o_shipprio = orders.Col<int32_t>("o_shippriority");
+  const auto& o_orderkey = cols.o_orderkey;
+  const auto& o_custkey = cols.o_custkey;
+  const auto& o_orderdate = cols.o_orderdate;
+  const auto& o_shipprio = cols.o_shipprio;
   JoinTable<Q3Order> ht_ord(opt);
   {
-    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(o_orderkey.size(), opt.morsel_grain);
     ht_ord.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           if (o_orderdate[i] >= date) continue;
           const int32_t ck = o_custkey[i];
@@ -259,21 +306,21 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, o_orderkey.size());
   }
 
   // Pipeline 3: probe with lineitem, aggregate revenue per order. Under
   // opt.rof the loop runs block-staged (paper §9.1): qualifying tuples are
   // gathered per block, the orders-table hashes staged with prefetches,
   // and the probes resolved a block behind with the latency hidden.
-  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
-  const auto l_shipdate = lineitem.Col<int32_t>("l_shipdate");
-  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
-  const auto l_discount = lineitem.Col<int64_t>("l_discount");
+  const auto& l_orderkey = cols.l_orderkey;
+  const auto& l_shipdate = cols.l_shipdate;
+  const auto& l_extprice = cols.l_extprice;
+  const auto& l_discount = cols.l_discount;
   std::vector<std::unique_ptr<LocalGroupTable<Q3Group>>> locals(opt.threads);
   {
-    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+    MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
+    PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>();
       LocalGroupTable<Q3Group>& local = *locals[wid];
       auto resolve = [&](size_t i, uint64_t h) {
@@ -292,7 +339,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
         g->revenue += l_extprice[i] * (100 - l_discount[i]);
       };
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         if (opt.rof) {
           JoinTable<Q3Order>::StagedLookup ord(ht_ord);
           size_t idx[kRofBlock];
@@ -373,27 +420,53 @@ uint64_t PackPartSupp(int32_t partkey, int32_t suppkey) {
          (static_cast<uint64_t>(static_cast<uint32_t>(suppkey)) << 32);
 }
 
+struct Q9Cols {
+  std::span<const int32_t> p_partkey;
+  std::span<const Varchar<55>> p_name;
+  std::span<const int32_t> ps_partkey, ps_suppkey;
+  std::span<const int64_t> ps_cost;
+  std::span<const int32_t> s_suppkey, s_nationkey;
+  std::span<const int32_t> o_orderkey, o_orderdate;
+  std::span<const int32_t> l_orderkey, l_partkey, l_suppkey;
+  std::span<const int64_t> l_extprice, l_discount, l_quantity;
+  std::span<const Char<25>> n_name;
+
+  static Q9Cols Resolve(const Database& db) {
+    const Relation& p = db["part"];
+    const Relation& ps = db["partsupp"];
+    const Relation& s = db["supplier"];
+    const Relation& o = db["orders"];
+    const Relation& l = db["lineitem"];
+    const Relation& n = db["nation"];
+    return {p.Col<int32_t>("p_partkey"),   p.Col<Varchar<55>>("p_name"),
+            ps.Col<int32_t>("ps_partkey"), ps.Col<int32_t>("ps_suppkey"),
+            ps.Col<int64_t>("ps_supplycost"),
+            s.Col<int32_t>("s_suppkey"),   s.Col<int32_t>("s_nationkey"),
+            o.Col<int32_t>("o_orderkey"),  o.Col<int32_t>("o_orderdate"),
+            l.Col<int32_t>("l_orderkey"),  l.Col<int32_t>("l_partkey"),
+            l.Col<int32_t>("l_suppkey"),   l.Col<int64_t>("l_extendedprice"),
+            l.Col<int64_t>("l_discount"),  l.Col<int64_t>("l_quantity"),
+            n.Col<Char<25>>("n_name")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunQ9(const Database& db, const QueryOptions& opt,
-                  const QueryParams& params) {
-  const Relation& part = db["part"];
-  const Relation& supplier = db["supplier"];
-  const Relation& partsupp = db["partsupp"];
-  const Relation& orders = db["orders"];
-  const Relation& lineitem = db["lineitem"];
-  const Relation& nation = db["nation"];
+                  const QueryParams& params, const ColumnCache& cache) {
+  const Q9Cols& cols =
+      cache.Get<Q9Cols>([&] { return Q9Cols::Resolve(db); });
 
   // Parts of the requested color.
   const std::string& color = params.Str("color");
-  const auto p_partkey = part.Col<int32_t>("p_partkey");
-  const auto p_name = part.Col<Varchar<55>>("p_name");
+  const auto& p_partkey = cols.p_partkey;
+  const auto& p_name = cols.p_name;
   JoinTable<Q9Part> ht_part(opt);
   {
-    MorselQueue morsels(part.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(p_partkey.size(), opt.morsel_grain);
     ht_part.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           if (!p_name[i].Contains(color)) continue;
           Q9Part e;
@@ -402,19 +475,19 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, p_partkey.size());
   }
 
   // partsupp filtered by green parts, keyed by the composite key.
-  const auto ps_partkey = partsupp.Col<int32_t>("ps_partkey");
-  const auto ps_suppkey = partsupp.Col<int32_t>("ps_suppkey");
-  const auto ps_cost = partsupp.Col<int64_t>("ps_supplycost");
+  const auto& ps_partkey = cols.ps_partkey;
+  const auto& ps_suppkey = cols.ps_suppkey;
+  const auto& ps_cost = cols.ps_cost;
   JoinTable<Q9PartSupp> ht_ps(opt);
   {
-    MorselQueue morsels(partsupp.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(ps_partkey.size(), opt.morsel_grain);
     ht_ps.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           const int32_t pk = ps_partkey[i];
           const uint64_t h = HashCrc32(static_cast<uint32_t>(pk));
@@ -431,18 +504,18 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, ps_partkey.size());
   }
 
   // Suppliers.
-  const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
-  const auto s_nationkey = supplier.Col<int32_t>("s_nationkey");
+  const auto& s_suppkey = cols.s_suppkey;
+  const auto& s_nationkey = cols.s_nationkey;
   JoinTable<Q9Supp> ht_supp(opt);
   {
-    MorselQueue morsels(supplier.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(s_suppkey.size(), opt.morsel_grain);
     ht_supp.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           Q9Supp e;
           e.header.hash = HashCrc32(static_cast<uint32_t>(s_suppkey[i]));
@@ -451,18 +524,18 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, s_suppkey.size());
   }
 
   // Orders (year extracted at build time).
-  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
-  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
+  const auto& o_orderkey = cols.o_orderkey;
+  const auto& o_orderdate = cols.o_orderdate;
   JoinTable<Q9Order> ht_ord(opt);
   {
-    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(o_orderkey.size(), opt.morsel_grain);
     ht_ord.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           Q9Order e;
           e.header.hash = HashCrc32(static_cast<uint32_t>(o_orderkey[i]));
@@ -471,20 +544,20 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, o_orderkey.size());
   }
 
   // Probe pipeline over lineitem.
-  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
-  const auto l_partkey = lineitem.Col<int32_t>("l_partkey");
-  const auto l_suppkey = lineitem.Col<int32_t>("l_suppkey");
-  const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
-  const auto l_discount = lineitem.Col<int64_t>("l_discount");
-  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  const auto& l_orderkey = cols.l_orderkey;
+  const auto& l_partkey = cols.l_partkey;
+  const auto& l_suppkey = cols.l_suppkey;
+  const auto& l_extprice = cols.l_extprice;
+  const auto& l_discount = cols.l_discount;
+  const auto& l_quantity = cols.l_quantity;
   std::vector<std::unique_ptr<LocalGroupTable<Q9Group>>> locals(opt.threads);
   {
-    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+    MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
+    PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
       LocalGroupTable<Q9Group>& local = *locals[wid];
       // One resolve body for both paths; the hash providers keep the fused
@@ -519,7 +592,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
         g->profit += amount;
       };
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         if (opt.rof) {
           // Relaxed operator fusion (paper §9.1): the fused loop is split
           // at block boundaries; all three probe tables are staged (the
@@ -567,7 +640,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
   }
 
   std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt);
-  const auto n_name = nation.Col<Char<25>>("n_name");
+  const auto& n_name = cols.n_name;
   auto nation_of = [](const Q9Group* g) {
     return static_cast<int32_t>(g->key >> 32);
   };
@@ -614,25 +687,44 @@ struct Q18Cust {
   Char<25> name;
 };
 
+struct Q18Cols {
+  std::span<const int32_t> l_orderkey;
+  std::span<const int64_t> l_quantity;
+  std::span<const int32_t> c_custkey;
+  std::span<const Char<25>> c_name;
+  std::span<const int32_t> o_orderkey, o_custkey, o_orderdate;
+  std::span<const int64_t> o_totalprice;
+
+  static Q18Cols Resolve(const Database& db) {
+    const Relation& l = db["lineitem"];
+    const Relation& c = db["customer"];
+    const Relation& o = db["orders"];
+    return {l.Col<int32_t>("l_orderkey"),  l.Col<int64_t>("l_quantity"),
+            c.Col<int32_t>("c_custkey"),  c.Col<Char<25>>("c_name"),
+            o.Col<int32_t>("o_orderkey"), o.Col<int32_t>("o_custkey"),
+            o.Col<int32_t>("o_orderdate"),
+            o.Col<int64_t>("o_totalprice")};
+  }
+};
+
 }  // namespace
 
 QueryResult RunQ18(const Database& db, const QueryOptions& opt,
-                   const QueryParams& params) {
-  const Relation& lineitem = db["lineitem"];
-  const Relation& orders = db["orders"];
-  const Relation& customer = db["customer"];
+                   const QueryParams& params, const ColumnCache& cache) {
+  const Q18Cols& cols =
+      cache.Get<Q18Cols>([&] { return Q18Cols::Resolve(db); });
 
   // Pipeline 1: high-cardinality aggregation of lineitem by orderkey.
-  const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
-  const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
+  const auto& l_orderkey = cols.l_orderkey;
+  const auto& l_quantity = cols.l_quantity;
   std::vector<std::unique_ptr<LocalGroupTable<Q18Group>>> locals(opt.threads);
   {
-    MorselQueue morsels(lineitem.tuple_count(), opt.morsel_grain);
-    PoolFor(opt).Run(opt.threads, [&](size_t wid) {
+    MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
+    PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
       locals[wid] = std::make_unique<LocalGroupTable<Q18Group>>();
       LocalGroupTable<Q18Group>& local = *locals[wid];
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           const int32_t ok = l_orderkey[i];
           Q18Group* g = local.FindOrCreate(
@@ -656,7 +748,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
     MorselQueue morsels(groups.size(), opt.morsel_grain);
     ht_big.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           const Q18Group* g = groups[i];
           if (g->sum_qty <= qty_min) continue;
@@ -667,18 +759,18 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, groups.size());
   }
 
   // Customer hash table (name lookup).
-  const auto c_custkey = customer.Col<int32_t>("c_custkey");
-  const auto c_name = customer.Col<Char<25>>("c_name");
+  const auto& c_custkey = cols.c_custkey;
+  const auto& c_name = cols.c_name;
   JoinTable<Q18Cust> ht_cust(opt);
   {
-    MorselQueue morsels(customer.tuple_count(), opt.morsel_grain);
+    MorselQueue morsels(c_custkey.size(), opt.morsel_grain);
     ht_cust.Build([&](size_t, auto emit) {
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         for (size_t i = begin; i < end; ++i) {
           Q18Cust e;
           e.header.hash = HashCrc32(static_cast<uint32_t>(c_custkey[i]));
@@ -687,14 +779,14 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
           emit(e);
         }
       }
-    });
+    }, c_custkey.size());
   }
 
   // Final pipeline: probe orders against the qualifying set, join customer.
-  const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
-  const auto o_custkey = orders.Col<int32_t>("o_custkey");
-  const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
-  const auto o_totalprice = orders.Col<int64_t>("o_totalprice");
+  const auto& o_orderkey = cols.o_orderkey;
+  const auto& o_custkey = cols.o_custkey;
+  const auto& o_orderdate = cols.o_orderdate;
+  const auto& o_totalprice = cols.o_totalprice;
   struct Row {
     Char<25> name;
     int32_t custkey, orderkey, orderdate;
@@ -703,8 +795,8 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
   std::vector<Row> rows;
   std::mutex mu;
   {
-    MorselQueue morsels(orders.tuple_count(), opt.morsel_grain);
-    PoolFor(opt).Run(opt.threads, [&](size_t) {
+    MorselQueue morsels(o_orderkey.size(), opt.morsel_grain);
+    PoolFor(opt).Run(opt, morsels.total(), [&](size_t) {
       std::vector<Row> local;
       auto resolve = [&](size_t i, auto&& big_h, auto&& cust_h) {
         const int32_t ok = o_orderkey[i];
@@ -718,7 +810,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
                             o_totalprice[i], b->sum_qty});
       };
       size_t begin, end;
-      while (morsels.Next(begin, end)) {
+      while (!Stop(opt) && morsels.Next(begin, end)) {
         if (opt.rof) {
           JoinTable<Q18Order>::StagedLookup big(ht_big);
           JoinTable<Q18Cust>::StagedLookup cust(ht_cust);

@@ -1,0 +1,583 @@
+#include "runtime/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "api/vcq.h"
+#include "datagen/tpch.h"
+#include "runtime/barrier.h"
+#include "runtime/cancel.h"
+#include "runtime/mem_pool.h"
+#include "runtime/worker_pool.h"
+
+// The scheduler contract:
+//  - gang admission: a parallel region's slots are handed out
+//    all-or-nothing on a FIXED worker set, so in-region barriers are safe
+//    and the worker thread count never exceeds the configured capacity no
+//    matter how many queries are in flight;
+//  - weighted fair queueing: backlogged streams receive region dispatches
+//    in weight proportion, ties broken by the shortest remaining-work
+//    hint; kFifo restores arrival order;
+//  - admission control: in-flight executions beyond the limit wait in a
+//    bounded queue, anything beyond that is rejected immediately;
+//  - cancellation/deadlines: both engines stop at morsel boundaries, free
+//    every pool slot and all run-local MemPool bytes, and never corrupt a
+//    concurrently running query.
+
+namespace vcq {
+namespace {
+
+using runtime::Barrier;
+using runtime::CancelToken;
+using runtime::Database;
+using runtime::ExecStatus;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::RegionInfo;
+using runtime::Scheduler;
+using runtime::SchedPolicy;
+
+// ---------------------------------------------------------------------------
+// Gang scheduling on a fixed worker set
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, GangRegionWithBarrierCompletesOnExactCapacity) {
+  // A 5-wide region (4 pool slots + the caller) with an internal barrier
+  // needs all five workers live at once; gang admission guarantees it even
+  // when the capacity is exactly the slot count.
+  Scheduler sched(4);
+  Barrier barrier(5);
+  std::atomic<int> after{0};
+  sched.Run(5, [&](size_t) {
+    barrier.Wait();
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 5);
+  EXPECT_LE(sched.worker_threads(), 4u);
+}
+
+TEST(SchedulerTest, WorkerThreadsStayBoundedUnderConcurrentRegions) {
+  // Six clients keep submitting 3-wide barrier regions to a 2-slot
+  // scheduler: the old pool grew its thread set to peak demand (12+);
+  // the gang scheduler must serialize regions instead and never spawn a
+  // third worker.
+  Scheduler sched(2);
+  std::atomic<int> regions_done{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        Barrier barrier(3);
+        std::atomic<int> mine{0};
+        sched.Run(3, [&](size_t) {
+          barrier.Wait();
+          mine.fetch_add(1);
+        });
+        EXPECT_EQ(mine.load(), 3);
+        regions_done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(regions_done.load(), 30);
+  EXPECT_LE(sched.worker_threads(), 2u);
+}
+
+TEST(SchedulerTest, IndependentRegionsOverlapWhenCapacityAllows) {
+  // Two 2-wide regions rendezvous across regions: both must be dispatched
+  // concurrently (2 slots on a 2-slot scheduler) or neither finishes.
+  Scheduler sched(2);
+  Barrier rendezvous(4);
+  std::thread a([&] { sched.Run(2, [&](size_t) { rendezvous.Wait(); }); });
+  std::thread b([&] { sched.Run(2, [&](size_t) { rendezvous.Wait(); }); });
+  a.join();
+  b.join();
+  SUCCEED();
+}
+
+TEST(SchedulerTest, SingleThreadRunsInlineWithoutWorkers) {
+  Scheduler sched(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  sched.Run(1, [&](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+  EXPECT_EQ(sched.worker_threads(), 0u);
+}
+
+TEST(SchedulerDeathTest, RegionWiderThanCapacityIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Scheduler sched(2);
+  EXPECT_DEATH(sched.Run(4, [](size_t) {}), "gang capacity");
+}
+
+// ---------------------------------------------------------------------------
+// Fairness
+// ---------------------------------------------------------------------------
+
+/// Builds a backlog of 2-wide regions on a capacity-1 scheduler while a
+/// blocker region holds the only worker, then releases the blocker and
+/// records the order in which the worker executes the queued regions'
+/// slots — the dispatch order, serialized by the single worker.
+class DispatchOrderHarness {
+ public:
+  explicit DispatchOrderHarness(Scheduler& sched) : sched_(sched) {
+    blocker_ = std::thread([&] {
+      sched_.Run(2, [&](size_t) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return released_; });
+      });
+    });
+    // Both blocker participants (caller + the worker) are now parked; the
+    // worker is busy, so everything enqueued next just queues.
+    while (sched_.regions_dispatched(0) < 1) std::this_thread::yield();
+  }
+
+  /// Enqueues one region on `stream` from its own client thread.
+  void Enqueue(uint64_t stream, char tag, size_t work) {
+    clients_.emplace_back([this, stream, tag, work] {
+      sched_.Run(2,
+                 [&](size_t wid) {
+                   if (wid == 1) {  // the single worker = dispatch order
+                     std::lock_guard<std::mutex> lock(order_mu_);
+                     order_.push_back(tag);
+                   }
+                 },
+                 RegionInfo{stream, work});
+    });
+  }
+
+  /// Waits until `count` regions are queued, releases the blocker, joins
+  /// everything, and returns the recorded dispatch order.
+  std::vector<char> Release(size_t count) {
+    while (sched_.queued_regions() < count) std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+    blocker_.join();
+    for (auto& t : clients_) t.join();
+    std::lock_guard<std::mutex> lock(order_mu_);
+    return order_;
+  }
+
+ private:
+  Scheduler& sched_;
+  std::thread blocker_;
+  std::vector<std::thread> clients_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  std::mutex order_mu_;
+  std::vector<char> order_;
+};
+
+TEST(SchedulerTest, WeightedStreamsDispatchInWeightProportion) {
+  Scheduler sched(1);
+  const uint64_t heavy = sched.CreateStream(3.0);
+  const uint64_t light = sched.CreateStream(1.0);
+  DispatchOrderHarness harness(sched);
+  for (int i = 0; i < 6; ++i) harness.Enqueue(heavy, 'A', 10);
+  for (int i = 0; i < 6; ++i) harness.Enqueue(light, 'B', 10);
+  const std::vector<char> order = harness.Release(12);
+
+  ASSERT_EQ(order.size(), 12u);
+  // Weighted fair queueing at weights 3:1 with both streams backlogged:
+  // the first eight dispatches serve the heavy stream six times.
+  int heavy_first8 = 0;
+  for (int i = 0; i < 8; ++i) heavy_first8 += order[i] == 'A';
+  EXPECT_EQ(heavy_first8, 6) << std::string(order.begin(), order.end());
+  EXPECT_EQ(sched.regions_dispatched(heavy), 6u);
+  EXPECT_EQ(sched.regions_dispatched(light), 6u);
+}
+
+TEST(SchedulerTest, ShortestRemainingRegionBreaksTies) {
+  // Equal-weight, equal-pass streams: the region with the smaller
+  // remaining-work hint goes first even though it arrived second.
+  Scheduler sched(1);
+  const uint64_t s1 = sched.CreateStream();
+  const uint64_t s2 = sched.CreateStream();
+  DispatchOrderHarness harness(sched);
+  harness.Enqueue(s1, 'L', 100000);  // long region, queued first
+  while (sched.queued_regions() < 1) std::this_thread::yield();
+  harness.Enqueue(s2, 'S', 10);  // short region, queued second
+  const std::vector<char> order = harness.Release(2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'S');
+  EXPECT_EQ(order[1], 'L');
+}
+
+TEST(SchedulerTest, FifoPolicyRestoresArrivalOrder) {
+  Scheduler sched(1);
+  sched.SetPolicy(SchedPolicy::kFifo);
+  const uint64_t s1 = sched.CreateStream();
+  const uint64_t s2 = sched.CreateStream();
+  DispatchOrderHarness harness(sched);
+  harness.Enqueue(s1, 'L', 100000);
+  while (sched.queued_regions() < 1) std::this_thread::yield();
+  harness.Enqueue(s2, 'S', 10);
+  const std::vector<char> order = harness.Release(2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'L');  // arrival order, work hint ignored
+  EXPECT_EQ(order[1], 'S');
+}
+
+TEST(SchedulerTest, DestroyedStreamFallsBackToDefault) {
+  Scheduler sched(2);
+  const uint64_t stream = sched.CreateStream(2.0);
+  sched.DestroyStream(stream);
+  std::atomic<int> ran{0};
+  sched.Run(2, [&](size_t) { ran.fetch_add(1); }, RegionInfo{stream, 0});
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(sched.StreamWeight(stream), 1.0);  // default-stream weight
+}
+
+TEST(SchedulerTest, StreamWeightIntrospection) {
+  Scheduler sched(2);
+  const uint64_t stream = sched.CreateStream(2.5);
+  EXPECT_EQ(sched.StreamWeight(stream), 2.5);
+  sched.SetStreamWeight(stream, 0.5);
+  EXPECT_EQ(sched.StreamWeight(stream), 0.5);
+  sched.DestroyStream(stream);
+}
+
+TEST(SchedulerTest, SubmittedCoordinatorsMayRunParallelRegions) {
+  Scheduler sched(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::atomic<int> inner{0};
+  constexpr int kTasks = 5;
+  for (int t = 0; t < kTasks; ++t) {
+    sched.Submit([&] {
+      // A detached coordinator driving its own gang region — the shape of
+      // PreparedQuery::ExecuteAsync. Coordinators do not occupy gang
+      // workers, so this cannot starve the regions it waits for.
+      sched.Run(3, [&](size_t) { inner.fetch_add(1); });
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(inner.load(), kTasks * 3);
+  EXPECT_LE(sched.worker_threads(), 2u);
+}
+
+TEST(SchedulerTest, RapidSubmitsRunOnConcurrentCoordinators) {
+  // Two back-to-back Submits while a coordinator is parked idle: the
+  // second task must get its own coordinator, not queue serially behind
+  // the first (which here blocks until the second runs).
+  Scheduler sched(1);
+  {
+    // Park one idle coordinator.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool warm = false;
+    sched.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      warm = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return warm; });
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool second_ran = false;
+  std::atomic<bool> first_done{false};
+  sched.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    // Would deadlock on a single shared coordinator; bounded so a
+    // regression fails instead of hanging.
+    cv.wait_for(lock, std::chrono::seconds(60), [&] { return second_ran; });
+    first_done.store(second_ran);
+  });
+  sched.Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    second_ran = true;
+    cv.notify_all();
+  });
+  const auto deadline = CancelToken::Clock::now() + std::chrono::seconds(90);
+  while (!first_done.load() && CancelToken::Clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(first_done.load());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, AdmissionRejectsBeyondLimitAndQueue) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(1, 0);  // one in flight, no wait queue
+  Scheduler::Admission first = sched.Admit(nullptr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(sched.inflight(), 1u);
+
+  Scheduler::Admission second = sched.Admit(nullptr);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status(), ExecStatus::kRejected);
+
+  first.Release();
+  Scheduler::Admission third = sched.Admit(nullptr);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(SchedulerTest, AdmissionQueueAdmitsInTurnAndBoundsWaiters) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(1, 1);  // one in flight, one waiter
+  Scheduler::Admission first = sched.Admit(nullptr);
+  ASSERT_TRUE(first.ok());
+
+  std::atomic<bool> queued_ok{false};
+  std::thread waiter([&] {
+    Scheduler::Admission queued = sched.Admit(nullptr);
+    queued_ok.store(queued.ok());
+  });
+  while (sched.admission_waiting() < 1) std::this_thread::yield();
+
+  // The wait queue is full: a third caller gets backpressure immediately.
+  Scheduler::Admission third = sched.Admit(nullptr);
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status(), ExecStatus::kRejected);
+
+  first.Release();  // hands the slot to the queued waiter
+  waiter.join();
+  EXPECT_TRUE(queued_ok.load());
+}
+
+TEST(SchedulerTest, AdmissionWaitHonorsCancelAndDeadline) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(1, 4);
+  Scheduler::Admission holder = sched.Admit(nullptr);
+  ASSERT_TRUE(holder.ok());
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  Scheduler::Admission c = sched.Admit(&cancelled);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status(), ExecStatus::kCancelled);
+
+  CancelToken expired(CancelToken::Clock::now() -
+                      std::chrono::milliseconds(1));
+  Scheduler::Admission d = sched.Admit(&expired);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status(), ExecStatus::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken semantics
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, FlagDeadlineAndStatusPrecedence) {
+  CancelToken plain;
+  EXPECT_FALSE(plain.Interrupted());
+  EXPECT_EQ(plain.status(), ExecStatus::kOk);
+  plain.Cancel();
+  EXPECT_TRUE(plain.Interrupted());        // sticky
+  EXPECT_TRUE(plain.Interrupted());
+  EXPECT_EQ(plain.status(), ExecStatus::kCancelled);
+
+  CancelToken expired(CancelToken::Clock::now() -
+                      std::chrono::milliseconds(1));
+  EXPECT_TRUE(expired.Interrupted());
+  EXPECT_EQ(expired.status(), ExecStatus::kDeadlineExceeded);
+  expired.Cancel();  // an explicit cancel wins over the expired deadline
+  EXPECT_EQ(expired.status(), ExecStatus::kCancelled);
+
+  CancelToken future(CancelToken::Clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(future.Interrupted());
+  EXPECT_EQ(future.status(), ExecStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query coverage: bounded threads, cancellation, deadlines,
+// admission through the Session API
+// ---------------------------------------------------------------------------
+
+const Database& TestDb() {
+  static const Database* db = new Database(datagen::GenerateTpch(0.05));
+  return *db;
+}
+
+TEST(SchedulerQueryTest, EightConcurrentQueriesOnFourThreadSchedulerStayBoundedAndCorrect) {
+  // The acceptance shape: 8 concurrent prepared queries on a 4-thread
+  // scheduler — worker threads never exceed the bound, results stay
+  // byte-identical to the serial reference.
+  runtime::WorkerPool pool(4);
+  Session session(TestDb(), pool);
+  QueryOptions opt;
+  opt.threads = 4;
+
+  struct Cell {
+    PreparedQuery prepared;
+    QueryResult expected;
+  };
+  std::vector<Cell> cells;
+  for (Query q : {Query::kQ1, Query::kQ6, Query::kQ3, Query::kQ18}) {
+    for (Engine e : {Engine::kTyper, Engine::kTectorwise}) {
+      PreparedQuery p = session.Prepare(e, q, opt);
+      QueryResult expected = RunQuery(TestDb(), e, q, QueryOptions{});
+      cells.push_back(Cell{std::move(p), std::move(expected)});
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < cells.size(); ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < 2; ++round) {
+        const QueryResult got = cells[t].prepared.Execute();
+        if (!got.ok() || !(got == cells[t].expected)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(pool.spawned_threads(), 4u);
+  EXPECT_LE(pool.scheduler().thread_count(), 4u);
+}
+
+TEST(SchedulerQueryTest, PrepareClampsThreadsToSchedulerCapacity) {
+  runtime::WorkerPool pool(2);
+  Session session(TestDb(), pool);
+  // The caller acts as worker 0, so a 2-slot scheduler admits regions up
+  // to 3 wide; anything wider is clamped at Prepare time.
+  PreparedQuery wide =
+      session.Prepare(Engine::kTyper, Query::kQ6, {.threads = 16});
+  EXPECT_EQ(wide.options().threads, 3u);
+  // scheduler_threads caps below the pool capacity.
+  PreparedQuery capped = session.Prepare(
+      Engine::kTyper, Query::kQ6, {.threads = 16, .scheduler_threads = 1});
+  EXPECT_EQ(capped.options().threads, 1u);
+  EXPECT_TRUE(wide.Execute().ok());
+}
+
+TEST(SchedulerQueryTest, CancelMidQueryFreesSlotsAndMemPoolBytes) {
+  runtime::WorkerPool pool(2);
+  Session session(TestDb(), pool);
+  PreparedQuery q9 =
+      session.Prepare(Engine::kTyper, Query::kQ9, {.threads = 2});
+  const size_t baseline = runtime::MemPool::live_bytes();
+
+  ExecutionHandle handle = q9.ExecuteAsync();
+  // Wait until the query is observably mid-run (its join builds hold
+  // MemPool chunks), then cancel. If the query wins the race and
+  // finishes first, the status is kOk — both outcomes are asserted.
+  const auto deadline =
+      CancelToken::Clock::now() + std::chrono::seconds(30);
+  while (runtime::MemPool::live_bytes() == baseline && !handle.Done() &&
+         CancelToken::Clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  handle.Cancel();
+  const QueryResult result = handle.Wait();
+  if (result.status == ExecStatus::kCancelled) {
+    EXPECT_TRUE(result.rows.empty());
+  } else {
+    EXPECT_EQ(result.status, ExecStatus::kOk);
+  }
+  // Mid-query cancel released every run-local MemPool byte...
+  EXPECT_EQ(runtime::MemPool::live_bytes(), baseline);
+  // ...and every pool slot: the same pool immediately runs a full query.
+  PreparedQuery q6 =
+      session.Prepare(Engine::kTyper, Query::kQ6, {.threads = 2});
+  const QueryResult after = q6.Execute();
+  EXPECT_TRUE(after.ok());
+  EXPECT_EQ(after, RunQuery(TestDb(), Engine::kTyper, Query::kQ6, {}));
+}
+
+TEST(SchedulerQueryTest, ExpiredDeadlineReturnsDistinctStatus) {
+  Session session(TestDb());
+  PreparedQuery q9 = session.Prepare(Engine::kTyper, Query::kQ9);
+  // Already-expired deadline: trips before any work starts.
+  const QueryResult pre =
+      q9.Execute(CancelToken::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_EQ(pre.status, ExecStatus::kDeadlineExceeded);
+  EXPECT_TRUE(pre.rows.empty());
+  // A deadline far too short for Q9: trips at a morsel boundary mid-run.
+  const QueryResult mid = q9.Execute(std::chrono::milliseconds(1));
+  EXPECT_EQ(mid.status, ExecStatus::kDeadlineExceeded);
+  EXPECT_TRUE(mid.rows.empty());
+  // Distinct from an explicit cancel, and a clean run still works.
+  EXPECT_NE(ExecStatus::kDeadlineExceeded, ExecStatus::kCancelled);
+  EXPECT_TRUE(q9.Execute().ok());
+}
+
+TEST(SchedulerQueryTest, CancelledQueryNeverCorruptsConcurrentOne) {
+  runtime::WorkerPool pool(4);
+  Session victim_session(TestDb(), pool);
+  Session cancel_session(TestDb(), pool);
+  PreparedQuery q6 =
+      victim_session.Prepare(Engine::kTectorwise, Query::kQ6, {.threads = 2});
+  PreparedQuery q9 =
+      cancel_session.Prepare(Engine::kTyper, Query::kQ9, {.threads = 2});
+  const QueryResult expected_q6 = q6.Execute();
+  ASSERT_TRUE(expected_q6.ok());
+
+  for (int round = 0; round < 5; ++round) {
+    ExecutionHandle doomed = q9.ExecuteAsync();
+    doomed.Cancel();
+    const QueryResult got = q6.Execute();
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(got, expected_q6) << "round " << round;
+    const QueryResult cancelled = doomed.Wait();
+    EXPECT_TRUE(cancelled.status == ExecStatus::kCancelled ||
+                cancelled.status == ExecStatus::kOk);
+  }
+  // The cancelled handle's query still runs clean afterwards.
+  const QueryResult q9_clean = q9.Execute();
+  EXPECT_TRUE(q9_clean.ok());
+  EXPECT_EQ(q9_clean, RunQuery(TestDb(), Engine::kTyper, Query::kQ9, {}));
+}
+
+TEST(SchedulerQueryTest, OverAdmissionReturnsBackpressureNotUnboundedQueueing) {
+  runtime::WorkerPool pool(2);
+  pool.scheduler().SetAdmissionLimit(1, 0);
+  Session session(TestDb(), pool);
+  PreparedQuery q6 =
+      session.Prepare(Engine::kTyper, Query::kQ6, {.threads = 2});
+
+  {
+    // Hold the only admission slot: the next Execute is rejected, not
+    // queued.
+    Scheduler::Admission held = pool.scheduler().Admit(nullptr);
+    ASSERT_TRUE(held.ok());
+    const QueryResult rejected = q6.Execute();
+    EXPECT_EQ(rejected.status, ExecStatus::kRejected);
+    EXPECT_TRUE(rejected.rows.empty());
+  }
+  // Slot released: execution proceeds and stays correct.
+  const QueryResult ok = q6.Execute();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok, RunQuery(TestDb(), Engine::kTyper, Query::kQ6, {}));
+}
+
+TEST(SchedulerQueryTest, SessionWeightsPlumbToSchedulerStreams) {
+  runtime::WorkerPool pool(2);
+  Session a(TestDb(), pool);
+  Session b(TestDb(), pool);
+  EXPECT_NE(a.stream(), b.stream());
+  EXPECT_EQ(a.weight(), 1.0);
+  a.SetWeight(3.0);
+  EXPECT_EQ(a.weight(), 3.0);
+  EXPECT_EQ(pool.scheduler().StreamWeight(a.stream()), 3.0);
+  EXPECT_EQ(b.weight(), 1.0);
+  // Weighted sessions still execute correctly.
+  PreparedQuery q6 = a.Prepare(Engine::kTyper, Query::kQ6, {.threads = 2});
+  EXPECT_EQ(q6.options().sched_stream, a.stream());
+  EXPECT_TRUE(q6.Execute().ok());
+}
+
+}  // namespace
+}  // namespace vcq

@@ -12,6 +12,8 @@
 #include "datagen/tpch.h"
 #include "runtime/params.h"
 #include "runtime/types.h"
+#include "tectorwise/plan.h"
+#include "tectorwise/queries.h"
 
 // The Session API contract:
 //  - prepared re-execution identity: Execute() x3 on one PreparedQuery is
@@ -254,6 +256,53 @@ TEST(SessionTest, CatalogDeclaresEveryParameterTheEnginesRead) {
           << QueryName(q) << " on " << EngineName(e);
     }
   }
+}
+
+TEST(SessionTest, EveryCatalogPlanPassesTheParamCrossCheck) {
+  // Prepare runs ValidatePlanParams on every Tectorwise plan: the shipped
+  // catalog and query files must agree (this is the prepare-time guard
+  // against query/catalog drift).
+  for (Query q : AllQueries()) {
+    const tectorwise::Plan plan =
+        tectorwise::PlanFor(DbFor(q), QueryName(q));
+    EXPECT_FALSE(plan.param_uses().empty()) << QueryName(q);
+    ValidatePlanParams(plan, CatalogEntry(q));  // must not check-fail
+  }
+}
+
+TEST(SessionDeathTest, PlanParamDriftFailsAtPrepareTime) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Database& db = TpchDb();
+
+  // A plan reading a parameter the catalog never declared.
+  const auto undeclared = [&db] {
+    tectorwise::PlanBuilder pb("drift-name");
+    auto& scan = pb.Scan(db["lineitem"], "lineitem");
+    const auto qty = scan.Col<int64_t>("l_quantity");
+    auto& sel = pb.Select(scan);
+    sel.CmpParam<int64_t>(qty, tectorwise::CmpOp::kLess, "bogus_param");
+    auto& agg = pb.FixedAgg(sel);
+    const auto total = agg.Sum(qty, "total");
+    return pb.Build(agg, {total});
+  };
+  EXPECT_DEATH(ValidatePlanParams(undeclared(), CatalogEntry(Query::kQ6)),
+               "does not declare");
+
+  // A plan reading a declared kString parameter numerically (Q3 declares
+  // "segment" as kString) — the garbage-producing drift the cross-check
+  // exists for.
+  const auto mismatched = [&db] {
+    tectorwise::PlanBuilder pb("drift-type");
+    auto& scan = pb.Scan(db["lineitem"], "lineitem");
+    const auto qty = scan.Col<int64_t>("l_quantity");
+    auto& sel = pb.Select(scan);
+    sel.CmpParam<int64_t>(qty, tectorwise::CmpOp::kLess, "segment");
+    auto& agg = pb.FixedAgg(sel);
+    const auto total = agg.Sum(qty, "total");
+    return pb.Build(agg, {total});
+  };
+  EXPECT_DEATH(ValidatePlanParams(mismatched(), CatalogEntry(Query::kQ3)),
+               "disagrees with the catalog");
 }
 
 TEST(SessionDeathTest, MisuseIsRejected) {
