@@ -1,0 +1,189 @@
+// Randomized fault-injection stress (PR 6, CI job): each iteration draws a
+// random (engine, thread count, fault point, hit ordinal, action) from a
+// seed-driven stream and runs Q3 with the fault armed, asserting the
+// drain-clean contract every time:
+//   - a fired bad_alloc  => kResourceExhausted, zero rows;
+//   - a fired cancel     => kCancelled, zero rows;
+//   - a fired delay      => byte-identical kOk result;
+//   - fault never fired  => byte-identical kOk result;
+//   - always: MemPool::live_bytes() and the process governor back at their
+//     pre-run baselines, and a clean rerun byte-identical.
+// The seed comes from VCQ_FAULT_SEED (else the clock) and is printed up
+// front AND on any violation, so a failing CI run replays locally with
+//   VCQ_FAULT_SEED=<seed> ./stress_fault_injection
+// VCQ_QUICK=1 shrinks the iteration count to CI size.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "api/vcq.h"
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+#include "runtime/fault_injector.h"
+#include "runtime/mem_pool.h"
+#include "runtime/resource_governor.h"
+
+namespace {
+
+using namespace vcq;
+using runtime::ExecStatus;
+using runtime::FaultAction;
+using runtime::FaultInjector;
+using runtime::FaultSpec;
+using runtime::MemPool;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::ResourceGovernor;
+
+struct Draw {
+  Engine engine;
+  size_t threads;
+  const char* point;
+  uint64_t ordinal;
+  uint64_t hits;
+  FaultAction action;
+};
+
+std::string Describe(const Draw& d) {
+  const char* action = d.action == FaultAction::kThrowBadAlloc ? "badalloc"
+                       : d.action == FaultAction::kCancel      ? "cancel"
+                                                               : "delay";
+  return std::string(EngineName(d.engine)) +
+         " threads=" + std::to_string(d.threads) + " point=" + d.point +
+         ":" + std::to_string(d.ordinal) + "/" + std::to_string(d.hits) +
+         " action=" + action;
+}
+
+}  // namespace
+
+int main() {
+  uint64_t seed = 0;
+  if (const char* env = std::getenv("VCQ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  if (seed == 0)
+    seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  const int iterations = benchutil::Quick() ? 60 : 500;
+  std::printf("stress_fault_injection: seed=%llu iterations=%d\n",
+              static_cast<unsigned long long>(seed), iterations);
+  std::printf("(replay a failure with VCQ_FAULT_SEED=%llu)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  const runtime::Database db = datagen::GenerateTpch(0.01);
+  Session session(db);
+  FaultInjector rng(seed);
+
+  const Engine engines[] = {Engine::kTyper, Engine::kTectorwise};
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  // Reference results and per-configuration hit counts, measured once.
+  QueryResult expected[2];
+  // hits[engine][threads index][point index]
+  std::vector<std::vector<std::vector<uint64_t>>> hits(
+      2, std::vector<std::vector<uint64_t>>(4));
+  const auto& points = FaultInjector::KnownPoints();
+  for (int e = 0; e < 2; ++e) {
+    QueryOptions opt;
+    opt.threads = 1;
+    expected[e] = session.Prepare(engines[e], Query::kQ3, opt).Execute();
+    if (!expected[e].ok()) {
+      std::fprintf(stderr, "FAIL: clean %s run failed: %s\n",
+                   EngineName(engines[e]),
+                   runtime::StatusName(expected[e].status));
+      return 1;
+    }
+    for (int t = 0; t < 4; ++t) {
+      FaultInjector counter;
+      QueryOptions copt;
+      copt.threads = thread_counts[t];
+      copt.fault = &counter;
+      PreparedQuery probe = session.Prepare(engines[e], Query::kQ3, copt);
+      if (!(probe.Execute() == expected[e])) {
+        std::fprintf(stderr, "FAIL: dry run diverged (%s threads=%zu)\n",
+                     EngineName(engines[e]), thread_counts[t]);
+        return 1;
+      }
+      for (const char* point : points)
+        hits[e][t].push_back(counter.HitCount(point));
+    }
+  }
+
+  uint64_t fired_total = 0;
+  int failures = 0;
+  for (int iter = 0; iter < iterations && failures == 0; ++iter) {
+    Draw d;
+    const int e = static_cast<int>(rng.NextRand() % 2);
+    const int t = static_cast<int>(rng.NextRand() % 4);
+    d.engine = engines[e];
+    d.threads = thread_counts[t];
+    // Draw a point the configuration actually crosses.
+    size_t p;
+    do {
+      p = static_cast<size_t>(rng.NextRand() % points.size());
+    } while (hits[e][t][p] == 0);
+    d.point = points[p];
+    d.hits = hits[e][t][p];
+    d.ordinal = rng.RandOrdinal(d.hits);
+    const uint64_t a = rng.NextRand() % 10;
+    // Weight toward the interesting unwind path.
+    d.action = a < 7   ? FaultAction::kThrowBadAlloc
+               : a < 9 ? FaultAction::kCancel
+                       : FaultAction::kDelay;
+
+    FaultInjector armed;
+    FaultSpec spec;
+    spec.action = d.action;
+    spec.fire_on_hit = d.ordinal;
+    spec.delay_us = 100;
+    armed.Arm(d.point, spec);
+    QueryOptions opt;
+    opt.threads = d.threads;
+    opt.fault = &armed;
+    PreparedQuery q = session.Prepare(d.engine, Query::kQ3, opt);
+
+    const size_t live_before = MemPool::live_bytes();
+    const size_t gov_before = ResourceGovernor::Global().in_use();
+    const QueryResult got = q.Execute();
+    fired_total += armed.FiredCount();
+
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr,
+                   "FAIL iter=%d seed=%llu: %s\n  draw: %s\n  status: %s "
+                   "rows=%zu fired=%llu\n",
+                   iter, static_cast<unsigned long long>(seed), what,
+                   Describe(d).c_str(), runtime::StatusName(got.status),
+                   got.rows.size(),
+                   static_cast<unsigned long long>(armed.FiredCount()));
+      ++failures;
+    };
+
+    if (armed.FiredCount() > 0 && d.action != FaultAction::kDelay) {
+      const ExecStatus want = d.action == FaultAction::kCancel
+                                  ? ExecStatus::kCancelled
+                                  : ExecStatus::kResourceExhausted;
+      if (got.status != want) fail("fired fault: wrong status");
+      if (!got.rows.empty()) fail("fired fault: partial rows surfaced");
+    } else {
+      if (!(got == expected[e])) fail("un-fired/delay run diverged");
+    }
+    if (MemPool::live_bytes() != live_before) fail("live bytes leaked");
+    if (ResourceGovernor::Global().in_use() != gov_before)
+      fail("governor bytes leaked");
+    if (failures == 0) {
+      QueryOptions clean_opt;
+      clean_opt.threads = d.threads;
+      const QueryResult rerun =
+          session.Prepare(d.engine, Query::kQ3, clean_opt).Execute();
+      if (!(rerun == expected[e])) fail("clean rerun diverged");
+    }
+  }
+
+  if (failures > 0) return 1;
+  std::printf("OK: %d iterations, %llu faults fired, zero violations\n",
+              iterations, static_cast<unsigned long long>(fired_total));
+  return 0;
+}

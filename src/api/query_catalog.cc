@@ -1,6 +1,7 @@
 #include "api/query_catalog.h"
 
 #include "common/check.h"
+#include "runtime/relation.h"
 
 namespace vcq {
 
@@ -163,6 +164,38 @@ std::vector<Query> QueriesFor(Workload workload) {
     if (info.workload == workload) out.push_back(info.query);
   }
   return out;
+}
+
+size_t EstimatedBuildBytes(const runtime::Database& db, Query query) {
+  // Per-entry cost covering the materialized entry (header + key +
+  // payload), its directory word, and the partitioned protocol's relink
+  // arena (which briefly doubles the entries). Deliberately generous:
+  // admission that queues a query which would have fit is a latency cost;
+  // admission that lets a query overcommit defeats the budget.
+  constexpr size_t kBytesPerBuildTuple = 64;
+  // Build-side relations per query, selectivity ignored. Q1/Q6 build no
+  // join tables; their group tables are a few hundred groups — noise.
+  const auto tuples = [&](std::initializer_list<const char*> names) {
+    size_t total = 0;
+    for (const char* name : names) total += db[name].tuple_count();
+    return total * kBytesPerBuildTuple;
+  };
+  switch (query) {
+    case Query::kQ1:
+    case Query::kQ6: return 0;
+    case Query::kQ3: return tuples({"customer", "orders"});
+    case Query::kQ9: return tuples({"part", "partsupp", "supplier", "orders"});
+    // Q18 pre-aggregates lineitem into per-order groups that feed a join
+    // build, so the whole scan side counts as build footprint.
+    case Query::kQ18: return tuples({"lineitem", "orders", "customer"});
+    case Query::kSsbQ11: return tuples({"date"});
+    case Query::kSsbQ21: return tuples({"part", "supplier", "date"});
+    case Query::kSsbQ31: return tuples({"customer", "supplier", "date"});
+    case Query::kSsbQ41:
+      return tuples({"customer", "supplier", "part", "date"});
+  }
+  VCQ_CHECK_MSG(false, "query missing from the catalog");
+  std::abort();  // unreachable
 }
 
 }  // namespace vcq

@@ -18,6 +18,10 @@
 
 namespace vcq {
 
+namespace runtime {
+class Database;
+}  // namespace runtime
+
 enum class Workload { kTpch, kSsb };
 
 /// One declared parameter of a query: the name the engines resolve at
@@ -61,6 +65,16 @@ runtime::QueryParams DefaultParams(Query query);
 
 /// Queries of one workload, in catalog order.
 std::vector<Query> QueriesFor(Workload workload);
+
+/// Conservative estimate of the query's hash-table build footprint against
+/// `db`, in bytes: every build-side relation's tuple count (selectivity
+/// ignored — overestimating is the safe direction for admission) times a
+/// nominal per-entry cost covering the materialized entry, the directory
+/// word, and the partitioned build's relink arena. Session executions pass
+/// this to Scheduler::Admit so memory-aware admission queues or rejects a
+/// query whose build would overcommit the scheduler's memory budget
+/// instead of letting the ledger trip it mid-build.
+size_t EstimatedBuildBytes(const runtime::Database& db, Query query);
 
 }  // namespace vcq
 

@@ -4,9 +4,12 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/fault_injector.h"
+#include "runtime/resource_governor.h"
 #include "runtime/scheduler.h"
 #include "runtime/worker_pool.h"
 #include "tectorwise/plan.h"
@@ -112,38 +115,72 @@ struct PreparedQuery::Impl {
   mutable std::mutex params_mu;
   QueryParams bound;  // guarded by params_mu
 
+  /// Catalog-derived build-side footprint (EstimatedBuildBytes, stamped at
+  /// Prepare): what memory-aware admission charges against the scheduler's
+  /// in-flight memory budget for the duration of the run.
+  size_t est_bytes = 0;
+
   QueryResult ExecuteWith(const QueryParams& params,
                           const CancelToken* token) const {
-    // Admission control bounds in-flight executions per scheduler; an
-    // overloaded server answers with backpressure instead of queueing
-    // unboundedly (the wait itself honors the token's deadline/cancel).
+    // Every execution runs with a token even when the caller asked for no
+    // deadline/cancel handle: budget trips and the exception backstop need
+    // somewhere to record the failure.
+    const CancelToken local;
+    if (token == nullptr) token = &local;
+
+    // Admission control bounds in-flight executions per scheduler — by
+    // count and, when a memory budget is set, by estimated build bytes: a
+    // query that would overcommit waits its turn (honoring the token's
+    // deadline/cancel), one that could never fit is rejected with
+    // kResourceExhausted. An overloaded server answers with backpressure
+    // instead of queueing unboundedly.
     Scheduler::Admission admission =
-        runtime::PoolFor(opt).scheduler().Admit(token);
+        runtime::PoolFor(opt).scheduler().Admit(token, est_bytes);
     if (!admission.ok()) return QueryResult::Failed(admission.status());
 
     QueryOptions run_opt = opt;
     run_opt.cancel = token;
+    // The per-execution memory ledger: every pool the engines bind charges
+    // it, the governor aggregates across concurrent queries, and a breach
+    // soft-trips the token with kResourceExhausted (see
+    // runtime/resource_governor.h). Destroyed on every exit path, so the
+    // process-wide accounting returns to baseline even after a failure.
+    runtime::QueryLedger ledger(run_opt.memory_budget, token);
+    run_opt.ledger = &ledger;
+    // Explicit per-query injector wins; otherwise the process-wide one
+    // (VCQ_FAULT env) applies, so the stress harness reaches sessions it
+    // never constructed.
+    if (run_opt.fault == nullptr)
+      run_opt.fault = runtime::FaultInjector::ProcessWide();
     QueryResult result;
-    switch (engine) {
-      case Engine::kTyper:
-        result = typer(*db, run_opt, params, typer_cache);
-        break;
-      case Engine::kTectorwise:
-        result = tw->Run(run_opt, params);
-        break;
-      case Engine::kVolcano:
-        // The interpreter predates parameterization and always evaluates
-        // the spec constants; reject bindings it would silently ignore.
-        // (It ignores the cancel token too: single-threaded legacy.)
-        VCQ_CHECK_MSG(params == DefaultParams(query),
-                      "Volcano supports only the default parameter bindings");
-        result = volcano(*db, run_opt);
-        break;
+    try {
+      switch (engine) {
+        case Engine::kTyper:
+          result = typer(*db, run_opt, params, typer_cache);
+          break;
+        case Engine::kTectorwise:
+          result = tw->Run(run_opt, params);
+          break;
+        case Engine::kVolcano:
+          // The interpreter predates parameterization and always evaluates
+          // the spec constants; reject bindings it would silently ignore.
+          VCQ_CHECK_MSG(params == DefaultParams(query),
+                        "Volcano supports only the default parameter "
+                        "bindings");
+          result = volcano(*db, run_opt);
+          break;
+      }
+    } catch (...) {
+      // Serial-phase backstop: parallel-region exceptions are already
+      // contained by the scheduler (RunSlot), but an allocation failure in
+      // a serial tail — result building, Volcano's materializing operators
+      // — unwinds to here. Same translation, same contract: sticky trip,
+      // empty result, no process abort.
+      runtime::FailCurrentException(token);
     }
     // An interrupted run drained early: its rows are partial garbage, so
     // surface the status on an empty result instead.
-    if (token != nullptr && token->Interrupted())
-      return QueryResult::Failed(token->status());
+    if (token->Interrupted()) return QueryResult::Failed(token->status());
     return result;
   }
 };
@@ -229,6 +266,35 @@ QueryResult PreparedQuery::Execute(Deadline deadline) const {
 
 QueryResult PreparedQuery::Execute(std::chrono::milliseconds timeout) const {
   return Execute(CancelToken::Clock::now() + timeout);
+}
+
+QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
+  VCQ_CHECK_MSG(policy.max_attempts >= 1, "RetryPolicy needs >= 1 attempt");
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  uint64_t rng = policy.jitter_seed;
+  QueryResult result;
+  for (size_t attempt = 1;; ++attempt) {
+    // ExecuteWith creates a fresh CancelToken per call, so a previous
+    // attempt's sticky kResourceExhausted/kRejected never carries over.
+    result = impl_->ExecuteWith(params(), nullptr);
+    const bool transient = result.status == ExecStatus::kRejected ||
+                           result.status == ExecStatus::kResourceExhausted;
+    if (!transient || attempt >= policy.max_attempts) return result;
+    // Deterministic jitter (SplitMix64 finalizer over the seeded counter):
+    // scale the nominal backoff into [0.5, 1.0) so synchronized retries
+    // de-correlate while a fixed seed replays the identical schedule.
+    rng += 0x9e3779b97f4a7c15ull;
+    uint64_t z = rng;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double frac = 0.5 + 0.5 * static_cast<double>(z >> 40) /
+                                  static_cast<double>(uint64_t{1} << 24);
+    const auto delay = std::chrono::milliseconds(
+        static_cast<int64_t>(static_cast<double>(backoff.count()) * frac));
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    backoff = std::min(policy.max_backoff, backoff * 2);
+  }
 }
 
 Engine PreparedQuery::engine() const { return impl_->engine; }
@@ -359,6 +425,9 @@ PreparedQuery Session::Prepare(Engine engine, Query query,
   impl->opt.threads = std::max<size_t>(1, std::min(impl->opt.threads, cap));
   impl->info = &CatalogEntry(query);
   impl->bound = DefaultParams(query);
+  // Stamped once: the footprint depends only on the database and query, and
+  // Prepare is the only place with both in hand before the hot path.
+  impl->est_bytes = EstimatedBuildBytes(*db_, query);
   switch (engine) {
     case Engine::kTyper: impl->typer = TyperRunner(query); break;
     case Engine::kTectorwise:

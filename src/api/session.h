@@ -48,6 +48,25 @@ class Plan;
 
 class PreparedQuery;
 
+/// Retry schedule for PreparedQuery::ExecuteWithRetry: transient failures —
+/// admission backpressure (kRejected) and memory-budget trips
+/// (kResourceExhausted) — are retried with capped exponential backoff plus
+/// deterministic jitter; every other status (including kOk) returns
+/// immediately. Each attempt is a fresh execution with a fresh token, so a
+/// previous attempt's sticky trip never bleeds into the next.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1).
+  size_t max_attempts = 3;
+  /// Backoff before the second attempt; doubled per retry up to the cap.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Jitter is derived from this seed (attempt-indexed), so a given policy
+  /// replays the identical schedule — tests and the fault harness stay
+  /// deterministic. Each backoff is scaled into [0.5, 1.0) of its nominal
+  /// value.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
 /// A waitable in-flight execution started by PreparedQuery::ExecuteAsync.
 /// Handles are cheap shared references; Wait() may be called once to take
 /// the result. Cancel() requests cooperative cancellation: the engines
@@ -104,6 +123,12 @@ class PreparedQuery {
   runtime::QueryResult Execute(Deadline deadline) const;
   /// Convenience: deadline = now + timeout.
   runtime::QueryResult Execute(std::chrono::milliseconds timeout) const;
+  /// Execute() with automatic retry of transient failures (admission
+  /// kRejected, budget kResourceExhausted) per `policy`: capped exponential
+  /// backoff with deterministic jitter between attempts, fresh CancelToken
+  /// per attempt. Returns the first non-transient result, or the last
+  /// transient failure once attempts are exhausted.
+  runtime::QueryResult ExecuteWithRetry(const RetryPolicy& policy = {}) const;
   /// Starts the execution on the session scheduler's coordinator threads
   /// and returns immediately; the handle's Wait() yields the result and
   /// its Cancel() stops the query cooperatively.

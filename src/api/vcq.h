@@ -40,6 +40,39 @@
 // boundaries, and a stopped execution frees its slots and memory and
 // returns an empty result carrying the status.
 //
+// Error-handling model: every execution resolves to exactly one
+// runtime::ExecStatus, and a non-kOk result is always EMPTY — partial rows
+// are never surfaced. The taxonomy:
+//   kOk                 complete result.
+//   kCancelled          ExecutionHandle::Cancel() or a pre-tripped token.
+//   kDeadlineExceeded   the execution's deadline passed (while queued for
+//                       admission or mid-query at a poll point).
+//   kRejected           admission backpressure: the scheduler's in-flight
+//                       or queue limit was hit. Transient — retry later.
+//   kResourceExhausted  a memory-budget trip (per-query
+//                       QueryOptions::memory_budget or the process-wide
+//                       runtime::ResourceGovernor), a memory-aware
+//                       admission rejection (the catalog's build-size
+//                       estimate cannot ever fit the scheduler's byte
+//                       budget), or a real std::bad_alloc from a worker.
+//   kInternalError      any other exception escaping a worker; the query
+//                       drains and the process survives.
+// Budget trips are SOFT: crossing a budget never throws — it trips the
+// run's CancelToken (first cause wins, sticky) and every worker drains at
+// its next poll point, so overshoot is bounded by one pool chunk per
+// worker. Hard allocation failure (std::bad_alloc) unwinds instead; the
+// scheduler's run-slot backstop converts it to the same sticky trip, so
+// barriers never deadlock on a dead worker and partially built hash
+// tables are never probed. After ANY failed execution the run's pools are
+// fully released (runtime::MemPool::live_bytes() returns to its pre-query
+// baseline) and an immediate re-execution of the same prepared query is
+// byte-identical to a never-failed run. Transient statuses (kRejected,
+// kResourceExhausted) can be retried automatically with
+// PreparedQuery::ExecuteWithRetry (api/session.h: capped exponential
+// backoff, deterministic jitter). The failure paths themselves are
+// testable deterministically via runtime::FaultInjector
+// (runtime/fault_injector.h; env: VCQ_FAULT / VCQ_FAULT_SEED).
+//
 // The query list, engine support, and per-query parameter specifications
 // (names, types, spec defaults) live in the vcq::QueryCatalog
 // (api/query_catalog.h) — the single registry behind TpchQueries(),

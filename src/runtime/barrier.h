@@ -1,11 +1,23 @@
 #ifndef VCQ_RUNTIME_BARRIER_H_
 #define VCQ_RUNTIME_BARRIER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 
+#include "runtime/cancel.h"
+
 namespace vcq::runtime {
+
+/// Outcome of one token-aware barrier wait (Barrier::WaitOrAbort).
+enum class BarrierStatus {
+  kLeader,    ///< This thread arrived last and ran `on_last`.
+  kFollower,  ///< Released normally after the leader's `on_last`.
+  kAborted,   ///< The token tripped before the generation completed; this
+              ///< thread withdrew its arrival and must skip the phase the
+              ///< barrier guards (the leader's `on_last` did not run for it).
+};
 
 /// Reusable barrier for pipeline-phase ordering (paper §6.1: "pipeline
 /// breaking operators use a barrier to enforce a global order of
@@ -20,6 +32,16 @@ namespace vcq::runtime {
 /// (runtime::Scheduler): a region's worker slots are admitted
 /// all-or-nothing onto the fixed worker set, never piecemeal — size
 /// barriers to the region's thread_count and nothing else.
+///
+/// Gang scheduling cannot help when a participant *dies*: a worker whose
+/// phase body threw never arrives, and the plain Wait() would block its
+/// siblings forever. WaitOrAbort() closes that hole — the scheduler's
+/// exception backstop trips the region's CancelToken, every waiter polls
+/// the token while blocked, withdraws its arrival on a trip, and returns
+/// kAborted so the caller skips the guarded phase and drains. Use the
+/// token-aware form at every barrier a failure-containable run crosses;
+/// plain Wait() remains for unmanaged (token-less) runs, where an escaped
+/// exception is a caller bug and the seed's fail-fast behavior stands.
 class Barrier {
  public:
   explicit Barrier(size_t thread_count) : threads_(thread_count) {}
@@ -34,17 +56,51 @@ class Barrier {
   /// Returns true on the thread that executed `on_last`.
   template <typename F>
   bool Wait(F&& on_last) {
+    return WaitOrAbort(std::forward<F>(on_last), nullptr) ==
+           BarrierStatus::kLeader;
+  }
+
+  BarrierStatus WaitOrAbort(const CancelToken* token) {
+    return WaitOrAbort([] {}, token);
+  }
+
+  /// Token-aware wait. A tripped token makes the wait abort instead of
+  /// blocking on participants that may never arrive: the thread withdraws
+  /// its own arrival (so a later generation still balances) and returns
+  /// kAborted. Already-tripped tokens abort before arrival is recorded,
+  /// which keeps all post-trip arrivals consistent. `on_last` only ever
+  /// runs when the full gang arrived; with a nullptr token this is exactly
+  /// the classic blocking barrier.
+  template <typename F>
+  BarrierStatus WaitOrAbort(F&& on_last, const CancelToken* token) {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (Interrupted(token)) return BarrierStatus::kAborted;
     const size_t generation = generation_;
     if (++arrived_ == threads_) {
       on_last();
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
-      return true;
+      return BarrierStatus::kLeader;
     }
-    cv_.wait(lock, [&] { return generation != generation_; });
-    return false;
+    if (token == nullptr) {
+      cv_.wait(lock, [&] { return generation != generation_; });
+      return BarrierStatus::kFollower;
+    }
+    // Poll granularity trades abort latency against idle wakeups; 1ms is
+    // far below any studied query's phase time and only paid while a
+    // deadline/cancel/failure is actually possible (token != nullptr).
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return generation != generation_; })) {
+      if (token->Interrupted()) {
+        // The generation did not complete; take back this arrival so the
+        // barrier stays balanced for participants that abort later (they
+        // see the trip themselves) and for any future generation.
+        --arrived_;
+        return BarrierStatus::kAborted;
+      }
+    }
+    return BarrierStatus::kFollower;
   }
 
  private:

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <new>
 
 namespace vcq::runtime {
 
@@ -11,11 +13,19 @@ namespace vcq::runtime {
 /// returns an empty QueryResult carrying the status instead.
 enum class ExecStatus : uint8_t {
   kOk,
-  kCancelled,         ///< ExecutionHandle::Cancel() / CancelToken::Cancel().
-  kDeadlineExceeded,  ///< The execution's deadline passed (distinct from an
-                      ///< explicit cancel so callers can retry vs. drop).
-  kRejected,          ///< Admission control: the scheduler's in-flight limit
-                      ///< and its bounded wait queue are both full.
+  kCancelled,          ///< ExecutionHandle::Cancel() / CancelToken::Cancel().
+  kDeadlineExceeded,   ///< The execution's deadline passed (distinct from an
+                       ///< explicit cancel so callers can retry vs. drop).
+  kRejected,           ///< Admission control: the scheduler's in-flight limit
+                       ///< and its bounded wait queue are both full.
+  kResourceExhausted,  ///< A memory budget tripped (per-query or process
+                       ///< governor), the scheduler's in-flight byte budget
+                       ///< cannot ever fit the query, or an allocation threw
+                       ///< bad_alloc mid-build. Retryable: the same query may
+                       ///< succeed once concurrent builds release memory.
+  kInternalError,      ///< A worker thread threw something unexpected; the
+                       ///< query drained cleanly but the failure is not
+                       ///< load-dependent, so retrying is unlikely to help.
 };
 
 inline const char* StatusName(ExecStatus status) {
@@ -24,24 +34,38 @@ inline const char* StatusName(ExecStatus status) {
     case ExecStatus::kCancelled: return "cancelled";
     case ExecStatus::kDeadlineExceeded: return "deadline-exceeded";
     case ExecStatus::kRejected: return "rejected";
+    case ExecStatus::kResourceExhausted: return "resource-exhausted";
+    case ExecStatus::kInternalError: return "internal-error";
   }
   return "?";
 }
 
-/// Cooperative cancellation + deadline for one execution. The API layer
-/// creates one token per Execute; both engines poll it at morsel
-/// boundaries (Typer pipeline loops, the Tectorwise Scan) and stop pulling
-/// work once it trips. Interruption is sticky and monotone: once
-/// Interrupted() returns true it stays true, which is what makes partial
-/// state safe — a pipeline that observes the trip before its region starts
-/// does no work at all, so a partially built hash table is never probed
-/// (the building region completes, drained, before the probing region
-/// begins).
+/// Cooperative cancellation + deadline + failure propagation for one
+/// execution. The API layer creates one token per Execute; all engines poll
+/// it at morsel boundaries (Typer pipeline loops, the Tectorwise Scan, the
+/// Volcano ScanOp) and stop pulling work once it trips. Interruption is
+/// sticky and monotone: once Interrupted() returns true it stays true, which
+/// is what makes partial state safe — a pipeline that observes the trip
+/// before its region starts does no work at all, so a partially built hash
+/// table is never probed (the building region completes, drained, before the
+/// probing region begins).
 ///
 /// Workers still run every phase of their region after the trip (barriers
 /// stay balanced, per-worker state is still constructed); they just see no
-/// morsels. All run-local memory is released exactly as on the normal
-/// path when the run state unwinds.
+/// morsels. All run-local memory is released exactly as on the normal path
+/// when the run state unwinds. The one exception is a worker that *died*
+/// (threw) mid-phase: it can never meet its barriers, so barrier waits are
+/// token-aware (Barrier::WaitOrAbort) and the scheduler's backstop converts
+/// the escaped exception into Fail() on this token — every surviving waiter
+/// then aborts its wait and drains.
+///
+/// The failure reason is written exactly once (first writer wins, CAS), so
+/// concurrent trips — an explicit Cancel racing a budget trip racing a
+/// worker bad_alloc — settle deterministically on whichever landed first.
+/// A deadline never occupies the reason slot: it is evaluated on read,
+/// which preserves the precedence callers rely on (an explicit Cancel()
+/// after the deadline already expired still reports kCancelled — the
+/// caller asked first).
 class CancelToken {
  public:
   using Clock = std::chrono::steady_clock;
@@ -54,13 +78,21 @@ class CancelToken {
   CancelToken& operator=(const CancelToken&) = delete;
 
   /// Requests cancellation; safe from any thread, idempotent.
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void Cancel() const { Trip(ExecStatus::kCancelled); }
 
-  /// True once the token is cancelled or its deadline has passed. Cheap on
-  /// the hot path: one relaxed load, plus a clock read only while a
-  /// deadline is pending (memoized once it expires).
+  /// Trips the token with a failure status (kResourceExhausted,
+  /// kInternalError). Safe from any thread; the first trip — Fail or
+  /// Cancel — wins and later ones are no-ops. Const because workers hold
+  /// the token through `const CancelToken*` (polling is logically const;
+  /// failing is the same sticky one-way transition).
+  void Fail(ExecStatus reason) const { Trip(reason); }
+
+  /// True once the token is tripped (cancelled / failed) or its deadline
+  /// has passed. Cheap on the hot path: one relaxed load, plus a clock read
+  /// only while a deadline is pending (memoized once it expires).
   bool Interrupted() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (reason_.load(std::memory_order_relaxed) != ExecStatus::kOk)
+      return true;
     if (!has_deadline_) return false;
     if (expired_.load(std::memory_order_relaxed)) return true;
     if (Clock::now() < deadline_) return false;
@@ -69,12 +101,11 @@ class CancelToken {
   }
 
   /// The status an interrupted execution should surface; kOk when the
-  /// token never tripped. An explicit Cancel() wins over an expired
-  /// deadline (the caller asked first).
+  /// token never tripped. An explicit trip (Cancel/Fail) wins over an
+  /// expired deadline regardless of wall-clock order.
   ExecStatus status() const {
-    if (cancelled_.load(std::memory_order_relaxed)) {
-      return ExecStatus::kCancelled;
-    }
+    const ExecStatus reason = reason_.load(std::memory_order_relaxed);
+    if (reason != ExecStatus::kOk) return reason;
     if (Interrupted()) return ExecStatus::kDeadlineExceeded;
     return ExecStatus::kOk;
   }
@@ -83,7 +114,13 @@ class CancelToken {
   Clock::time_point deadline() const { return deadline_; }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  void Trip(ExecStatus reason) const {
+    ExecStatus expected = ExecStatus::kOk;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<ExecStatus> reason_{ExecStatus::kOk};
   mutable std::atomic<bool> expired_{false};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
@@ -93,6 +130,22 @@ class CancelToken {
 /// (`opt.cancel` is nullptr for un-cancellable runs).
 inline bool Interrupted(const CancelToken* token) {
   return token != nullptr && token->Interrupted();
+}
+
+/// Converts the in-flight exception into a sticky token trip: bad_alloc —
+/// real or injected — becomes kResourceExhausted (load-dependent,
+/// retryable), anything else kInternalError. Must be called from inside a
+/// catch block. This is the scheduler backstop's translation step: the
+/// exception itself is swallowed and the failure travels as status.
+inline void FailCurrentException(const CancelToken* token) {
+  if (token == nullptr) return;
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    token->Fail(ExecStatus::kResourceExhausted);
+  } catch (...) {
+    token->Fail(ExecStatus::kInternalError);
+  }
 }
 
 }  // namespace vcq::runtime

@@ -1,0 +1,114 @@
+#ifndef VCQ_RUNTIME_FAULT_INJECTOR_H_
+#define VCQ_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cancel.h"
+
+// Deterministic fault injection for the failure-containment layer. Both
+// engines call VCQ_FAULT_POINT-style hooks (runtime::FaultHit) at every
+// allocation and barrier site; a FaultInjector armed on one of those named
+// points fires on a chosen hit ordinal and injects an allocation failure
+// (std::bad_alloc), a cooperative cancellation, or a delay. Hits are
+// counted even when nothing is armed, so a test can dry-run a query to
+// learn how often each point is crossed, then replay with the fault armed
+// at the first / last / an arbitrary in-between hit — the substrate the
+// fault-injection sweep (tests/fault_injection_test.cc) uses to prove that
+// a failure at *every* site drains cleanly, not just the sites we thought
+// of. Determinism comes from the seed-driven Rng (choosing hit ordinals)
+// plus ordinal-based firing: the same seed and site produce the same
+// injected failure across runs.
+
+namespace vcq::runtime {
+
+enum class FaultAction : uint8_t {
+  kThrowBadAlloc,  ///< Throw std::bad_alloc from the site (the scheduler
+                   ///< backstop converts it to kResourceExhausted).
+  kCancel,         ///< Trip the run's CancelToken (as if the user cancelled
+                   ///< at exactly this site).
+  kDelay,          ///< Sleep delay_us at the site (latency fault; the query
+                   ///< must still produce byte-identical results).
+};
+
+struct FaultSpec {
+  FaultAction action = FaultAction::kThrowBadAlloc;
+  /// 1-based hit ordinal the fault fires on. With parallel workers the
+  /// ordinal is over the global (cross-worker) hit count of the point.
+  uint64_t fire_on_hit = 1;
+  /// Fire on every hit >= fire_on_hit instead of exactly once.
+  bool repeat = false;
+  /// kDelay only.
+  uint32_t delay_us = 200;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(uint64_t seed) : rng_state_(seed ? seed : 1) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `spec` on the named point (replacing any previous spec there).
+  void Arm(std::string_view point, FaultSpec spec);
+  void DisarmAll();
+  /// Resets hit and fired counters (armed specs stay armed).
+  void ResetCounters();
+
+  /// Times the named point was crossed since the last ResetCounters.
+  uint64_t HitCount(std::string_view point) const;
+  /// Times any armed fault actually fired (a fire_on_hit beyond the run's
+  /// hit count never fires; sweep assertions are conditional on this).
+  uint64_t FiredCount() const;
+
+  /// Site hook: counts the hit and fires the armed fault when the ordinal
+  /// matches. May throw std::bad_alloc (kThrowBadAlloc) — every site must
+  /// be unwind-safe, which is precisely what the sweep test verifies.
+  void Hit(const char* point, const CancelToken* token);
+
+  /// Deterministic stream for choosing hit ordinals etc. (SplitMix64).
+  uint64_t NextRand();
+  /// Uniform in [1, bound] (bound >= 1); the natural spelling for picking
+  /// a 1-based hit ordinal.
+  uint64_t RandOrdinal(uint64_t bound);
+
+  /// Every point name the engines currently invoke Hit() with — the sweep
+  /// test iterates this registry, and a dry-run asserting each point was
+  /// actually crossed keeps the list honest when sites move.
+  static const std::vector<const char*>& KnownPoints();
+
+  /// Process-wide injector configured from the environment, or nullptr
+  /// when unset. VCQ_FAULT="point[:hit[:action]]" arms one point (action:
+  /// "badalloc" | "cancel" | "delay", default badalloc; hit default 1);
+  /// VCQ_FAULT_SEED seeds the Rng. Parsed once, first use.
+  static FaultInjector* ProcessWide();
+
+ private:
+  struct PointState {
+    uint64_t hits = 0;
+    bool armed = false;
+    FaultSpec spec;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+  uint64_t fired_ = 0;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+/// Null-tolerant site spelling, mirroring runtime::Interrupted: engines
+/// carry a FaultInjector* that is nullptr on every non-test run, so the
+/// hook is one branch on the hot path.
+inline void FaultHit(FaultInjector* fi, const char* point,
+                     const CancelToken* token) {
+  if (fi != nullptr) fi->Hit(point, token);
+}
+
+}  // namespace vcq::runtime
+
+#endif  // VCQ_RUNTIME_FAULT_INJECTOR_H_

@@ -13,7 +13,10 @@
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "runtime/barrier.h"
+#include "runtime/cancel.h"
+#include "runtime/fault_injector.h"
 #include "runtime/options.h"
+#include "runtime/resource_governor.h"
 
 namespace vcq::runtime {
 
@@ -42,13 +45,18 @@ class Hashmap {
   Hashmap& operator=(const Hashmap&) = delete;
 
   /// Sizes the bucket array for `entry_count` entries (load factor <= 0.5).
-  /// Not thread-safe; call once before the parallel build phase.
+  /// Not thread-safe; call once before the parallel build phase. Strong
+  /// exception guarantee: a bad_alloc leaves the previous directory (and
+  /// capacity/mask) intact, so a failed build never publishes a
+  /// capacity/mask pair that disagrees with the live bucket array.
   void SetSize(size_t entry_count) {
-    capacity_ = NextPow2(entry_count * 2);
+    const size_t capacity = NextPow2(entry_count * 2);
+    auto buckets = std::make_unique<std::atomic<uintptr_t>[]>(capacity);
+    for (size_t i = 0; i < capacity; ++i)
+      buckets[i].store(0, std::memory_order_relaxed);
+    buckets_ = std::move(buckets);
+    capacity_ = capacity;
     mask_ = capacity_ - 1;
-    buckets_ = std::make_unique<std::atomic<uintptr_t>[]>(capacity_);
-    for (size_t i = 0; i < capacity_; ++i)
-      buckets_[i].store(0, std::memory_order_relaxed);
   }
 
   void Clear() {
@@ -172,6 +180,17 @@ class JoinBuildTelemetry {
   std::atomic<uint64_t> build_ns_{0};
 };
 
+/// Failure-containment context of one JoinBuild (all optional): the run's
+/// CancelToken (barrier aborts, failure propagation), FaultInjector (the
+/// build's named fault points), and QueryLedger (directory + arena bytes
+/// are charged to the query's memory budget). Default-constructed = the
+/// ungoverned seed behavior.
+struct JoinBuildEnv {
+  const CancelToken* cancel = nullptr;
+  FaultInjector* fault = nullptr;
+  QueryLedger* ledger = nullptr;
+};
+
 /// Shared join-build protocol of both engines (one instance per hash table,
 /// one Run() call per worker). The materialize phase stays engine-specific;
 /// from the sizing barrier on, the path is common:
@@ -192,11 +211,26 @@ class JoinBuildTelemetry {
 /// the JoinBuild alive for the query). Chain contents are identical across
 /// modes (same entries per bucket, same tag bits); only chain order and
 /// entry placement differ, which no studied query observes.
+///
+/// Failure containment (JoinBuildEnv with a token): a worker whose phase
+/// throws — injected fault, real bad_alloc from the directory/arena — marks
+/// the build poisoned, Fail()s the token, and the exception never crosses a
+/// barrier: the sizing/offset/final waits are token-aware
+/// (Barrier::WaitOrAbort), so surviving workers abort instead of blocking
+/// on the dead one, skip the guarded phases, and drain. The poisoned table
+/// is never probed (the probing region observes the sticky trip before
+/// claiming any morsel) and all charged bytes return on destruction.
+/// Without a token the seed contract stands: an exception propagates and
+/// the run fails fast.
 class JoinBuild {
  public:
-  JoinBuild(Hashmap* ht, size_t threads)
-      : ht_(ht), threads_(threads), barrier_(threads), published_(threads),
-        seg_counts_(threads), seg_offsets_(threads + 1) {}
+  JoinBuild(Hashmap* ht, size_t threads, JoinBuildEnv env = {})
+      : ht_(ht), threads_(threads), env_(env), barrier_(threads),
+        published_(threads), seg_counts_(threads), seg_offsets_(threads + 1) {}
+
+  ~JoinBuild() {
+    if (env_.ledger != nullptr && charged_ > 0) env_.ledger->Uncharge(charged_);
+  }
 
   /// Executes the insert protocol for one worker: publishes `chunks`, meets
   /// the barrier that sizes the table, and inserts according to `mode`.
@@ -207,39 +241,85 @@ class JoinBuild {
                                   "thread count it was built for");
     published_[wid] = std::move(chunks);
 
-    barrier_.Wait([&] {
-      start_ns_ = JoinBuildTelemetry::NowNs();
-      stride_ = stride;
-      total_ = 0;
-      for (const EntryChunkList& list : published_) total_ += list.total;
-      ht_->SetSize(total_);
-      if (mode == BuildMode::kPartitioned)
-        arena_.reset(new std::byte[total_ * stride_]);
-    });
+    const BarrierStatus sizing = barrier_.WaitOrAbort(
+        [&] {
+          // The on_last body must not leak an exception through the
+          // barrier on managed runs: followers would be released believing
+          // the table was sized. Poison instead, so every worker skips the
+          // insert phase, and re-raise only on unmanaged builds.
+          try {
+            FaultHit(env_.fault, "join_build.size", env_.cancel);
+            start_ns_ = JoinBuildTelemetry::NowNs();
+            stride_ = stride;
+            total_ = 0;
+            for (const EntryChunkList& list : published_) total_ += list.total;
+            // Budget-aware sizing: the directory and arena are the build's
+            // big allocations, so re-check the token between them — a
+            // budget already tripped by the materialize phase (or by the
+            // directory charge itself) must not be overshot by the arena.
+            if (Interrupted(env_.cancel)) {
+              poisoned_.store(true, std::memory_order_release);
+              return;
+            }
+            ht_->SetSize(total_);
+            Charge(ht_->capacity() * sizeof(uintptr_t));
+            if (mode == BuildMode::kPartitioned) {
+              if (Interrupted(env_.cancel)) {
+                poisoned_.store(true, std::memory_order_release);
+                return;
+              }
+              arena_.reset(new std::byte[total_ * stride_]);
+              Charge(total_ * stride_);
+            }
+          } catch (...) {
+            poisoned_.store(true, std::memory_order_release);
+            FailCurrentException(env_.cancel);
+            if (env_.cancel == nullptr) throw;
+          }
+        },
+        env_.cancel);
 
-    if (mode == BuildMode::kCas) {
-      for (const auto& [base, rows] : published_[wid].chunks) {
-        for (size_t k = 0; k < rows; ++k) {
-          ht_->Insert(
-              reinterpret_cast<Hashmap::EntryHeader*>(base + k * stride_));
+    if (sizing != BarrierStatus::kAborted &&
+        !poisoned_.load(std::memory_order_acquire)) {
+      try {
+        FaultHit(env_.fault, "join_build.insert", env_.cancel);
+        if (mode == BuildMode::kCas) {
+          for (const auto& [base, rows] : published_[wid].chunks) {
+            for (size_t k = 0; k < rows; ++k) {
+              ht_->Insert(
+                  reinterpret_cast<Hashmap::EntryHeader*>(base + k * stride_));
+            }
+          }
+        } else {
+          InsertPartition(wid);
         }
+        FaultHit(env_.fault, "join_build.finish", env_.cancel);
+      } catch (...) {
+        poisoned_.store(true, std::memory_order_release);
+        FailCurrentException(env_.cancel);
+        if (env_.cancel == nullptr) throw;
       }
-    } else {
-      InsertPartition(wid);
     }
 
-    barrier_.Wait([&] {
-      JoinBuildTelemetry::Global().Add(JoinBuildTelemetry::NowNs() -
-                                       start_ns_);
-      // After a partitioned build every entry lives in the arena, so the
-      // published chunk lists are dead; drop them so the engines can free
-      // the materialize-phase MemPool chunks they point into (ROADMAP:
-      // ~2x transient build-side memory otherwise).
-      if (mode == BuildMode::kPartitioned) {
-        for (EntryChunkList& list : published_) list = EntryChunkList{};
-      }
-    });
+    barrier_.WaitOrAbort(
+        [&] {
+          JoinBuildTelemetry::Global().Add(JoinBuildTelemetry::NowNs() -
+                                           start_ns_);
+          // After a partitioned build every entry lives in the arena, so
+          // the published chunk lists are dead; drop them so the engines
+          // can free the materialize-phase MemPool chunks they point into
+          // (ROADMAP: ~2x transient build-side memory otherwise).
+          if (mode == BuildMode::kPartitioned) {
+            for (EntryChunkList& list : published_) list = EntryChunkList{};
+          }
+        },
+        env_.cancel);
   }
+
+  /// True once any worker's build phase failed; the table contents are
+  /// undefined and must not be probed (the sticky token trip guarantees
+  /// the probing region never starts).
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
   /// True when probes only ever walk the contiguous arena, i.e. the
   /// materialize-phase chunks handed to Run() are no longer referenced and
@@ -282,11 +362,21 @@ class JoinBuild {
       }
     }
     seg_counts_[wid] = mine;
-    barrier_.Wait([&] {
-      seg_offsets_[0] = 0;
-      for (size_t w = 0; w < threads_; ++w)
-        seg_offsets_[w + 1] = seg_offsets_[w] + seg_counts_[w];
-    });
+    const BarrierStatus offsets = barrier_.WaitOrAbort(
+        [&] {
+          seg_offsets_[0] = 0;
+          for (size_t w = 0; w < threads_; ++w)
+            seg_offsets_[w + 1] = seg_offsets_[w] + seg_counts_[w];
+        },
+        env_.cancel);
+    // An abort here means some sibling died before arriving (its histogram
+    // never landed in seg_counts_): the offsets were never computed, so
+    // writing the arena would scribble over other workers' segments. Bail;
+    // the caller's final barrier also aborts on the same sticky trip.
+    if (offsets == BarrierStatus::kAborted ||
+        poisoned_.load(std::memory_order_acquire)) {
+      return;
+    }
 
     // Per-bucket arena row offsets (exclusive prefix over the histogram,
     // starting at this worker's segment); each non-empty bucket's word is
@@ -329,8 +419,20 @@ class JoinBuild {
     }
   }
 
+  /// Books `bytes` against the run's memory budget (sizing on_last only —
+  /// single-threaded by construction, so the plain charged_ accumulation
+  /// is safe); the destructor returns the total.
+  void Charge(size_t bytes) {
+    if (env_.ledger == nullptr) return;
+    charged_ += bytes;
+    env_.ledger->Charge(bytes);
+  }
+
   Hashmap* ht_;
   const size_t threads_;
+  JoinBuildEnv env_;
+  std::atomic<bool> poisoned_{false};
+  size_t charged_ = 0;  // written only under the sizing barrier's on_last
   Barrier barrier_;
   std::atomic<size_t> arrivals_{0};
   std::vector<EntryChunkList> published_;

@@ -9,6 +9,8 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "runtime/fault_injector.h"
+#include "runtime/resource_governor.h"
 
 namespace vcq::runtime {
 
@@ -19,6 +21,16 @@ namespace vcq::runtime {
 /// the rows have been relocated elsewhere (the partitioned join build
 /// copies every entry into its contiguous arena, after which the
 /// materialize-phase chunks here are dead weight).
+///
+/// Resource governance: Bind() attaches the run's QueryLedger and
+/// FaultInjector. Every chunk the pool grows by is charged to the ledger
+/// (and through it to the process ResourceGovernor) and uncharged on
+/// Release/destruction, so `in_use()` tracks exactly the bytes
+/// live_bytes() counts for this run. Growth order is fault point, then
+/// allocation, then accounting — a throw from either of the first two
+/// leaves the pool and all counters exactly as they were (strong
+/// guarantee), which is what keeps live_bytes()/ledger balanced across
+/// any injected or real allocation failure.
 class MemPool {
  public:
   explicit MemPool(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {}
@@ -36,19 +48,39 @@ class MemPool {
       used_ = other.used_;
       total_allocated_ = other.total_allocated_;
       owned_bytes_ = other.owned_bytes_;
+      ledger_charged_ = other.ledger_charged_;
+      ledger_ = other.ledger_;
+      fault_ = other.fault_;
+      fault_site_ = other.fault_site_;
       other.chunks_.clear();
       other.current_ = nullptr;
       other.current_size_ = 0;
       other.used_ = 0;
       other.total_allocated_ = 0;
       other.owned_bytes_ = 0;
+      other.ledger_charged_ = 0;
+      other.ledger_ = nullptr;
+      other.fault_ = nullptr;
     }
     return *this;
   }
 
   ~MemPool() { Release(); }
 
-  /// Returns 8-byte-aligned storage; never fails (aborts on OOM).
+  /// Attaches the run's memory ledger and fault injector; `site` names the
+  /// fault point growth fires (see FaultInjector::KnownPoints). Either may
+  /// be nullptr; call before the first Allocate of the phase being
+  /// governed (bytes grown while unbound are only counted by live_bytes).
+  void Bind(QueryLedger* ledger, FaultInjector* fault, const char* site) {
+    ledger_ = ledger;
+    fault_ = fault;
+    fault_site_ = site;
+  }
+
+  /// Returns 8-byte-aligned storage. May throw std::bad_alloc — from the
+  /// system allocator or an armed fault point — with all accounting
+  /// untouched; governed runs convert that to kResourceExhausted via the
+  /// scheduler backstop.
   void* Allocate(size_t bytes) {
     bytes = AlignUp(bytes, 8);
     if (used_ + bytes > current_size_) Grow(bytes);
@@ -65,10 +97,19 @@ class MemPool {
   }
 
   /// Frees every chunk now (all handed-out pointers become dangling); the
-  /// pool stays usable for new allocations. Called by the join builds once
+  /// pool stays usable for new allocations. Idempotent — a second Release
+  /// (or Release after the unwind of a failed build already ran it) is a
+  /// no-op: owned_bytes_ is zeroed with the chunks, so neither
+  /// live_bytes() nor the ledger can be double-decremented, and the next
+  /// Grow() re-charges from a clean slate. Called by the join builds once
   /// a partitioned insert has relocated all entries into its arena.
   void Release() {
     live_bytes_.fetch_sub(owned_bytes_, std::memory_order_relaxed);
+    // Only bytes grown while bound were charged — a pool can grow before
+    // Bind(), and those bytes must not be uncharged against the ledger.
+    if (ledger_ != nullptr && ledger_charged_ > 0)
+      ledger_->Uncharge(ledger_charged_);
+    ledger_charged_ = 0;
     owned_bytes_ = 0;
     chunks_.clear();
     current_ = nullptr;
@@ -78,17 +119,23 @@ class MemPool {
 
   /// Total bytes handed out over the pool's lifetime (diagnostics).
   size_t bytes_allocated() const { return total_allocated_; }
+  /// Bytes currently held in chunks by this pool.
+  size_t owned_bytes() const { return owned_bytes_; }
 
   /// Process-wide bytes currently held by all live MemPool chunks — the
   /// transient-build-memory counter hashmap_test asserts on: after a
   /// partitioned build releases its materialize chunks this drops back,
-  /// while a CAS build (whose chains live in the chunks) keeps them.
+  /// while a CAS build (whose chains live in the chunks) keeps them. The
+  /// fault-injection sweep asserts it returns to baseline after every
+  /// failed query.
   static size_t live_bytes() {
     return live_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
   void Grow(size_t min_bytes) {
+    FaultHit(fault_, fault_site_, ledger_ != nullptr ? ledger_->token()
+                                                     : nullptr);
     const size_t size = std::max(chunk_bytes_, NextPow2(min_bytes));
     chunks_.push_back(std::make_unique<std::byte[]>(size));
     current_ = chunks_.back().get();
@@ -97,6 +144,10 @@ class MemPool {
     total_allocated_ += size;
     owned_bytes_ += size;
     live_bytes_.fetch_add(size, std::memory_order_relaxed);
+    if (ledger_ != nullptr) {
+      ledger_charged_ += size;
+      ledger_->Charge(size);
+    }
   }
 
   size_t chunk_bytes_;
@@ -106,6 +157,10 @@ class MemPool {
   size_t used_ = 0;
   size_t total_allocated_ = 0;
   size_t owned_bytes_ = 0;
+  size_t ledger_charged_ = 0;
+  QueryLedger* ledger_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  const char* fault_site_ = "pool.grow";
 
   inline static std::atomic<size_t> live_bytes_{0};
 };

@@ -7,6 +7,8 @@
 namespace vcq::runtime {
 
 class CancelToken;
+class FaultInjector;
+class QueryLedger;
 class WorkerPool;
 
 /// Engine-independent spelling of the Tectorwise batch-compaction policy
@@ -49,10 +51,25 @@ struct QueryOptions {
   /// queueing between sessions; see Scheduler::CreateStream). Stamped by
   /// vcq::Session at Prepare time; 0 = the shared default stream.
   uint64_t sched_stream = 0;
-  /// Cooperative cancellation/deadline token for this run; both engines
+  /// Cooperative cancellation/deadline token for this run; all engines
   /// poll it at morsel boundaries (see runtime/cancel.h). Stamped per
   /// execution by vcq::PreparedQuery; nullptr = not cancellable.
   const CancelToken* cancel = nullptr;
+  /// Per-query memory budget in bytes for the run's pools and build
+  /// arenas; crossing it trips `cancel` with kResourceExhausted and the
+  /// query drains (see runtime/resource_governor.h for the soft-trip
+  /// model). 0 = unlimited. Queries also count against the process-wide
+  /// ResourceGovernor budget regardless of this setting.
+  size_t memory_budget = 0;
+  /// The execution's memory ledger; created per run by vcq::PreparedQuery
+  /// (from memory_budget) and bound to every MemPool/JoinBuild the run
+  /// creates. nullptr = ungoverned (standalone engine calls).
+  QueryLedger* ledger = nullptr;
+  /// Fault injector for this run (tests); engines call FaultHit at every
+  /// allocation and barrier site. nullptr = no injection. When unset,
+  /// vcq::PreparedQuery falls back to FaultInjector::ProcessWide() so the
+  /// env-driven stress harness reaches release binaries.
+  FaultInjector* fault = nullptr;
   /// Tectorwise vector size in tuples (Fig. 5 sweep); ignored by Typer and
   /// Volcano.
   size_t vector_size = 1024;

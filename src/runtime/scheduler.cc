@@ -153,13 +153,44 @@ void Scheduler::TryDispatchLocked() {
   }
 }
 
+void Scheduler::RunSlot(Region* region, size_t worker_id) {
+  // The exception backstop: nothing a region slot throws may escape onto a
+  // pool worker thread (std::terminate) or past a barrier its siblings
+  // are waiting at. A managed region (cancel != nullptr) converts the
+  // exception to a sticky token trip — bad_alloc to kResourceExhausted,
+  // anything else to kInternalError — and the surviving slots abort their
+  // barrier waits (Barrier::WaitOrAbort) and drain; the query fails, the
+  // process lives. An unmanaged region stashes the first exception and
+  // Run() rethrows it on the caller after the region drains.
+  try {
+    (*region->fn)(worker_id);
+  } catch (...) {
+    if (region->cancel != nullptr) {
+      FailCurrentException(region->cancel);
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!region->error) region->error = std::current_exception();
+    }
+  }
+}
+
 void Scheduler::Run(size_t thread_count, const std::function<void(size_t)>& fn,
                     const RegionInfo& info) {
   VCQ_CHECK(thread_count >= 1);
   if (thread_count == 1) {
     // Inline fast path: single-threaded runs never touch the scheduler
     // (clean measurements — no handoff, no wakeup latency, no queueing).
-    fn(0);
+    // The backstop still applies for managed runs: a throw mid-pipeline
+    // must surface as a failed-status result, not an escaped exception.
+    if (info.cancel == nullptr) {
+      fn(0);
+      return;
+    }
+    try {
+      fn(0);
+    } catch (...) {
+      FailCurrentException(info.cancel);
+    }
     return;
   }
   VCQ_CHECK_MSG(
@@ -172,6 +203,7 @@ void Scheduler::Run(size_t thread_count, const std::function<void(size_t)>& fn,
   region->slots = thread_count - 1;  // the caller acts as worker 0
   region->remaining = region->slots;
   region->work = info.work;
+  region->cancel = info.cancel;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     Stream& stream = StreamForLocked(info.stream);
@@ -187,10 +219,20 @@ void Scheduler::Run(size_t thread_count, const std::function<void(size_t)>& fn,
     dispatch_cv_.wait(lock, [&] { return region->dispatched; });
   }
 
-  fn(0);
+  // Worker 0 runs under the same backstop as the pool slots — and must
+  // NOT unwind before the region drains: `fn` lives on this stack frame,
+  // and a still-running slot would call through a destroyed function.
+  RunSlot(region.get(), 0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return region->remaining == 0; });
+  if (region->error) {
+    // Unmanaged region, some slot threw: fail fast on the caller, after
+    // the drain above made the stack-held `fn` safe to destroy.
+    std::exception_ptr error = region->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void Scheduler::WorkerLoop() {
@@ -207,7 +249,7 @@ void Scheduler::WorkerLoop() {
     ++busy_;
     lock.unlock();
 
-    (*region->fn)(slot + 1);  // the Run caller is worker 0
+    RunSlot(region.get(), slot + 1);  // the Run caller is worker 0
 
     lock.lock();
     --busy_;
@@ -262,17 +304,37 @@ void Scheduler::SetAdmissionLimit(size_t max_inflight, size_t max_queue) {
   adm_cv_.notify_all();
 }
 
-Scheduler::Admission Scheduler::Admit(const CancelToken* cancel) {
+void Scheduler::SetMemoryBudget(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(adm_mutex_);
+    mem_budget_ = bytes;
+  }
+  adm_cv_.notify_all();
+}
+
+Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
+                                      size_t estimated_bytes) {
   std::unique_lock<std::mutex> lock(adm_mutex_);
   if (cancel != nullptr && cancel->Interrupted())
     return Admission(cancel->status());
+  // Memory-aware admission: an execution whose estimate can NEVER fit the
+  // byte budget is rejected up front — waiting would deadlock it behind
+  // releases that can't help. kResourceExhausted (not kRejected) so
+  // callers can tell "shrink the query or raise the budget" from
+  // transient queue pressure.
+  if (mem_budget_ != 0 && estimated_bytes > mem_budget_)
+    return Admission(ExecStatus::kResourceExhausted);
   const auto has_capacity = [&] {
-    return max_inflight_ == 0 || inflight_ < max_inflight_;
+    if (max_inflight_ != 0 && inflight_ >= max_inflight_) return false;
+    return mem_budget_ == 0 ||
+           mem_inflight_ + estimated_bytes <= mem_budget_;
   };
-  if (has_capacity() && adm_waiting_ == 0) {  // no queue-jumping
+  const auto admit = [&] {
     ++inflight_;
-    return Admission(this);
-  }
+    mem_inflight_ += estimated_bytes;
+    return Admission(this, estimated_bytes);
+  };
+  if (has_capacity() && adm_waiting_ == 0) return admit();  // no queue-jumping
   if (adm_waiting_ >= max_adm_queue_)
     return Admission(ExecStatus::kRejected);
   ++adm_waiting_;
@@ -298,22 +360,25 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel) {
     }
   }
   --adm_waiting_;
-  ++inflight_;
-  return Admission(this);
+  return admit();
 }
 
-void Scheduler::ReleaseAdmission() {
+void Scheduler::ReleaseAdmission(size_t bytes) {
   {
     std::lock_guard<std::mutex> lock(adm_mutex_);
     VCQ_CHECK(inflight_ > 0);
     --inflight_;
+    VCQ_CHECK(mem_inflight_ >= bytes);
+    mem_inflight_ -= bytes;
   }
-  adm_cv_.notify_one();
+  // A byte release can unblock several queued waiters at once (and the
+  // count release exactly one); waking all is cheap at admission rates.
+  adm_cv_.notify_all();
 }
 
 void Scheduler::Admission::Release() {
   if (sched_ != nullptr) {
-    sched_->ReleaseAdmission();
+    sched_->ReleaseAdmission(bytes_);
     sched_ = nullptr;
   }
 }
@@ -351,6 +416,16 @@ size_t Scheduler::inflight() const {
 size_t Scheduler::admission_waiting() const {
   std::lock_guard<std::mutex> lock(adm_mutex_);
   return adm_waiting_;
+}
+
+size_t Scheduler::memory_budget() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return mem_budget_;
+}
+
+size_t Scheduler::memory_inflight() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return mem_inflight_;
 }
 
 void Scheduler::SetPolicy(SchedPolicy policy) {

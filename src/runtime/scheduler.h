@@ -59,6 +59,16 @@ struct RegionInfo {
   /// shortest-remaining-region tie-break between equal-pass streams.
   /// 0 = unknown (sorts first).
   size_t work = 0;
+  /// The owning execution's CancelToken. This is what makes the region
+  /// failure-containable: an exception escaping any worker slot (bad_alloc,
+  /// injected fault) is caught by the scheduler's backstop, converted to a
+  /// sticky Fail() on this token (kResourceExhausted / kInternalError), and
+  /// rethrown nowhere — surviving slots abort their barrier waits
+  /// (Barrier::WaitOrAbort polls the same token), drain at the next morsel
+  /// poll, and the region completes normally. nullptr = unmanaged: a
+  /// worker-slot exception is stashed and rethrown from the Run() caller
+  /// after the region drains (fail-fast for non-API entry points).
+  const CancelToken* cancel = nullptr;
 };
 
 enum class SchedPolicy {
@@ -125,6 +135,7 @@ class Scheduler {
       if (this != &other) {
         Release();
         sched_ = other.sched_;
+        bytes_ = other.bytes_;
         status_ = other.status_;
         other.sched_ = nullptr;
       }
@@ -132,7 +143,8 @@ class Scheduler {
     }
 
     /// True when the execution was admitted; false carries the rejection
-    /// status (kRejected, or kCancelled / kDeadlineExceeded when the
+    /// status (kRejected; kResourceExhausted when the estimate can never
+    /// fit the byte budget; or kCancelled / kDeadlineExceeded when the
     /// token tripped while waiting in the admission queue).
     bool ok() const { return sched_ != nullptr; }
     ExecStatus status() const { return status_; }
@@ -141,8 +153,10 @@ class Scheduler {
    private:
     friend class Scheduler;
     explicit Admission(ExecStatus rejection) : status_(rejection) {}
-    explicit Admission(Scheduler* sched) : sched_(sched) {}
+    Admission(Scheduler* sched, size_t bytes)
+        : sched_(sched), bytes_(bytes) {}
     Scheduler* sched_ = nullptr;
+    size_t bytes_ = 0;
     ExecStatus status_ = ExecStatus::kOk;
   };
 
@@ -151,9 +165,23 @@ class Scheduler {
   /// immediately. max_inflight == 0 disables the limit (the default).
   void SetAdmissionLimit(size_t max_inflight, size_t max_queue);
 
+  /// Bounds the estimated build bytes of concurrently admitted executions
+  /// (memory-aware admission): an execution whose `estimated_bytes` would
+  /// push the in-flight sum past the budget waits in the same bounded
+  /// queue instead of overcommitting; one whose estimate exceeds the
+  /// budget outright is rejected immediately with kResourceExhausted (it
+  /// can never fit). 0 disables (the default). Estimates come from the
+  /// query catalog's build-side footprints (vcq::EstimatedBuildBytes).
+  void SetMemoryBudget(size_t bytes);
+  size_t memory_budget() const;
+  /// Estimated bytes of currently admitted executions (introspection).
+  size_t memory_inflight() const;
+
   /// Admits one execution, waiting in the bounded queue if needed. The
   /// wait honors `cancel` (nullptr = wait indefinitely for a slot).
-  Admission Admit(const CancelToken* cancel);
+  /// `estimated_bytes` counts against the memory budget until the
+  /// returned Admission is released.
+  Admission Admit(const CancelToken* cancel, size_t estimated_bytes = 0);
 
   // --- policy / introspection -------------------------------------------
 
@@ -182,6 +210,8 @@ class Scheduler {
     bool dispatched = false;
     size_t work = 0;
     uint64_t seq = 0;  // global arrival order (kFifo, same-stream FIFO)
+    const CancelToken* cancel = nullptr;  // failure-containment token
+    std::exception_ptr error;  // first unmanaged slot failure (mutex_)
   };
 
   struct Stream {
@@ -195,7 +225,9 @@ class Scheduler {
   void CoordinatorLoop();
   void TryDispatchLocked();
   Stream& StreamForLocked(uint64_t id);
-  void ReleaseAdmission();
+  void ReleaseAdmission(size_t bytes);
+  /// Runs one region slot with the exception backstop (see RegionInfo).
+  void RunSlot(Region* region, size_t worker_id);
 
   const size_t capacity_;
 
@@ -227,6 +259,8 @@ class Scheduler {
   size_t max_adm_queue_ = 0;
   size_t inflight_ = 0;
   size_t adm_waiting_ = 0;
+  size_t mem_budget_ = 0;    // 0 = unlimited (estimated bytes)
+  size_t mem_inflight_ = 0;  // estimated bytes of admitted executions
 };
 
 }  // namespace vcq::runtime

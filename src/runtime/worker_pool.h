@@ -83,10 +83,13 @@ class WorkerPool {
   /// The engine spelling: a parallel region of opt.threads workers,
   /// charged to opt.sched_stream (the owning vcq::Session) with `work` as
   /// its remaining-work hint in tuples (the shortest-remaining-region
-  /// tie-break between equal-weight sessions).
+  /// tie-break between equal-weight sessions). The run's CancelToken rides
+  /// along as the region's failure-containment token: a worker exception
+  /// becomes a sticky Fail() on it instead of a process abort (see
+  /// RegionInfo::cancel).
   void Run(const QueryOptions& opt, size_t work,
            const std::function<void(size_t)>& fn) {
-    sched_.Run(opt.threads, fn, RegionInfo{opt.sched_stream, work});
+    sched_.Run(opt.threads, fn, RegionInfo{opt.sched_stream, work, opt.cancel});
   }
 
   /// Enqueues a detached one-shot task (the coordination body of

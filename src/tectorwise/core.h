@@ -83,6 +83,14 @@ struct ExecContext {
   /// drains with barriers balanced; see runtime/cancel.h). nullptr = not
   /// cancellable.
   const runtime::CancelToken* cancel = nullptr;
+  /// Per-query memory ledger: operator arenas (join materialize, group
+  /// entries) Bind() their pools to it so allocation is charged against the
+  /// run's budget; a breach soft-trips `cancel` with kResourceExhausted.
+  /// nullptr = ungoverned.
+  runtime::QueryLedger* ledger = nullptr;
+  /// Deterministic fault injector; nullptr = fault points compiled to a
+  /// single null check.
+  runtime::FaultInjector* fault = nullptr;
 };
 
 /// Pull-based operator: Next() produces the next batch and returns the

@@ -11,6 +11,9 @@ HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
       worker_count_(worker_count),
       child_(std::move(child)),
       ctx_(ctx) {
+  // Governed runs charge group-entry chunks to the query ledger and expose
+  // the allocation as a named fault point.
+  pool_.Bind(ctx_.ledger, ctx_.fault, "tw.group.alloc");
   const size_t v = ctx_.vector_size;
   hashes_.Reset(v * sizeof(uint64_t));
   pos_.Reset(v * sizeof(pos_t));
@@ -184,11 +187,18 @@ void HashGroup::ConsumeChild() {
   }
   stats_.FlushToGlobal();
 
-  shared_->barrier.Wait();
-  MergePartitions();
-  shared_->barrier.Wait();
+  // Token-aware phase barriers: a worker that died mid-scan (exception
+  // backstop) never arrives, so waiters poll the tripped token, withdraw
+  // and skip the merge. An aborted worker emits nothing — the run's result
+  // is discarded once the sticky trip surfaces.
+  if (shared_->barrier.WaitOrAbort(ctx_.cancel) !=
+      runtime::BarrierStatus::kAborted) {
+    MergePartitions();
+    shared_->barrier.WaitOrAbort(ctx_.cancel);
+  }
   consumed_ = true;
-  emit_partition_ = worker_id_;
+  emit_partition_ =
+      runtime::Interrupted(ctx_.cancel) ? kPartitions : worker_id_;
   emit_index_ = 0;
 }
 
@@ -197,6 +207,10 @@ void HashGroup::MergePartitions() {
   const size_t key_len = key_end_ - key_offset;
 
   for (size_t p = worker_id_; p < kPartitions; p += worker_count_) {
+    // Poll per partition: a deadline/budget trip mid-merge drains promptly
+    // instead of merging groups nobody will read.
+    if (runtime::Interrupted(ctx_.cancel)) return;
+    runtime::FaultHit(ctx_.fault, "tw.group.merge", ctx_.cancel);
     std::vector<std::byte*>& out = shared_->merged[p];
     if (worker_count_ == 1) {
       out = std::move(shared_->spills[0].parts[p]);

@@ -15,6 +15,9 @@ HashJoin::HashJoin(Shared* shared, std::unique_ptr<Operator> build,
       probe_(std::move(probe)),
       ctx_(ctx),
       build_mode_(ctx.build_mode) {
+  // Governed runs charge materialize-phase chunks to the query ledger and
+  // expose the allocation as a named fault point.
+  pool_.Bind(ctx_.ledger, ctx_.fault, "tw.join.materialize");
   const size_t v = ctx_.vector_size;
   hashes_.Reset(v * sizeof(uint64_t));
   pos_.Reset(v * sizeof(pos_t));

@@ -34,7 +34,11 @@ namespace vcq::tectorwise {
 class HashJoin : public Operator {
  public:
   struct Shared {
-    explicit Shared(size_t thread_count) : build(&ht, thread_count) {}
+    /// `env` carries the run's failure-containment token, fault injector
+    /// and memory ledger into the shared build protocol (empty = the
+    /// ungoverned seed behavior; standalone tests construct it that way).
+    explicit Shared(size_t thread_count, runtime::JoinBuildEnv env = {})
+        : build(&ht, thread_count, env) {}
     runtime::Hashmap ht;
     runtime::JoinBuild build;
   };

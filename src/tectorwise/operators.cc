@@ -9,7 +9,9 @@ size_t Scan::Next() {
     // Cancellation polls at morsel boundaries: an interrupted scan stops
     // claiming work and reports end-of-stream, so the pipeline above
     // drains normally (barriers stay balanced, partial hash tables are
-    // never probed — the trip is sticky and phases are ordered).
+    // never probed — the trip is sticky and phases are ordered). The poll
+    // doubles as this engine's densest fault point.
+    runtime::FaultHit(fault_, "scan.morsel", cancel_);
     if (runtime::Interrupted(cancel_) ||
         !shared_->morsels.Next(morsel_begin_, morsel_end_)) {
       return kEndOfStream;

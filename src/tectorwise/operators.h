@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault_injector.h"
 #include "runtime/relation.h"
 #include "runtime/worker_pool.h"
 #include "tectorwise/compaction.h"
@@ -43,11 +44,13 @@ class Scan : public Operator {
   };
 
   Scan(Shared* shared, const runtime::Relation* relation, size_t vector_size,
-       const runtime::CancelToken* cancel = nullptr)
+       const runtime::CancelToken* cancel = nullptr,
+       runtime::FaultInjector* fault = nullptr)
       : shared_(shared),
         relation_(relation),
         vector_size_(vector_size),
-        cancel_(cancel) {}
+        cancel_(cancel),
+        fault_(fault) {}
 
   /// Registers a column; the returned Slot tracks the current batch.
   template <typename T>
@@ -71,6 +74,7 @@ class Scan : public Operator {
   const runtime::Relation* relation_;
   size_t vector_size_;
   const runtime::CancelToken* cancel_;
+  runtime::FaultInjector* fault_;
   std::vector<Column> columns_;
   size_t morsel_begin_ = 0;
   size_t morsel_end_ = 0;

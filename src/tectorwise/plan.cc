@@ -17,6 +17,8 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.build_mode = opt.build_mode;
   ctx.rof = opt.rof;
   ctx.cancel = opt.cancel;
+  ctx.ledger = opt.ledger;
+  ctx.fault = opt.fault;
   return ctx;
 }
 
@@ -66,7 +68,7 @@ std::unique_ptr<Operator> ScanNode::Instantiate(
     plan_internal::Workspace& ws) const {
   auto* shared = static_cast<Scan::Shared*>((*ws.shared)[index_].get());
   auto scan = std::make_unique<Scan>(shared, relation_, ws.ctx.vector_size,
-                                     ws.ctx.cancel);
+                                     ws.ctx.cancel, ws.ctx.fault);
   for (const auto& add : cols_) add(*scan, ws);
   return scan;
 }
@@ -94,7 +96,8 @@ std::unique_ptr<Operator> MapNode::Instantiate(
 
 std::shared_ptr<void> JoinNode::MakeShared(
     const runtime::QueryOptions& opt) const {
-  return std::make_shared<HashJoin::Shared>(opt.threads);
+  return std::make_shared<HashJoin::Shared>(
+      opt.threads, runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger});
 }
 
 std::unique_ptr<Operator> JoinNode::Instantiate(

@@ -29,6 +29,15 @@ class LocalGroupTable {
  public:
   LocalGroupTable() { ht_.SetSize(2048); }
 
+  /// Governed construction: group-entry allocations are charged to the
+  /// run's memory ledger and exposed as the "typer.group.alloc" fault
+  /// point. The pipelines construct their local tables with this overload;
+  /// the default ctor stays for ungoverned/standalone use.
+  explicit LocalGroupTable(const runtime::QueryOptions& opt) {
+    pool_.Bind(opt.ledger, opt.fault, "typer.group.alloc");
+    ht_.SetSize(2048);
+  }
+
   /// Returns the group for `hash`, creating it with `init(Entry*)` when
   /// absent. `eq(const Entry&)` decides key equality against the probe key
   /// held in the caller's registers.
@@ -82,10 +91,20 @@ std::vector<Entry*> MergeLocalGroups(
   }
   runtime::PoolFor(opt).Run(opt, total_groups, [&](size_t wid) {
     for (size_t p = wid; p < kGroupPartitions; p += threads) {
+      // The merge is the query's serial-phase tail: poll the token per
+      // partition so a deadline/budget trip after the scan phase still
+      // drains promptly instead of merging groups nobody will see.
+      if (runtime::Interrupted(opt.cancel)) return;
+      runtime::FaultHit(opt.fault, "typer.group.merge", opt.cancel);
       size_t total = 0;
-      for (const auto& local : locals) total += local->parts[p].size();
+      // A worker that died mid-scan (exception backstop) never created its
+      // local table; merge what the survivors produced — the result is
+      // discarded anyway once the tripped token surfaces.
+      for (const auto& local : locals) {
+        if (local != nullptr) total += local->parts[p].size();
+      }
       if (total == 0) continue;
-      if (locals.size() == 1) {
+      if (locals.size() == 1 && locals[0] != nullptr) {
         merged[p] = std::move(locals[0]->parts[p]);
         continue;
       }
@@ -94,6 +113,7 @@ std::vector<Entry*> MergeLocalGroups(
       std::vector<Entry*>& out = merged[p];
       out.reserve(total);
       for (const auto& local : locals) {
+        if (local == nullptr) continue;
         for (Entry* e : local->parts[p]) {
           Entry* existing = nullptr;
           for (auto* c = ht.FindChain(e->header.hash); c != nullptr;

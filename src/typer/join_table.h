@@ -39,9 +39,16 @@ class JoinTable {
       : threads_(opt.threads),
         mode_(opt.build_mode),
         pool_(&runtime::PoolFor(opt)),
-        region_{opt.sched_stream, 0},
-        build_(&ht, opt.threads),
-        pools_(opt.threads) {}
+        region_{opt.sched_stream, 0, opt.cancel},
+        build_(&ht, opt.threads,
+               runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger}),
+        pools_(opt.threads) {
+    // Governed runs charge materialize-phase chunks to the query ledger
+    // and expose the allocation as a named fault point; ungoverned runs
+    // bind nothing and behave exactly as the seed.
+    for (runtime::MemPool& pool : pools_)
+      pool.Bind(opt.ledger, opt.fault, "typer.join.materialize");
+  }
 
   /// produce(worker_id, emit) appends build tuples via emit(const Entry&);
   /// runs one parallel region covering materialize + insert. `work` is the

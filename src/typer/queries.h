@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "runtime/cancel.h"
+#include "runtime/fault_injector.h"
 #include "runtime/options.h"
 #include "runtime/params.h"
 #include "runtime/query_result.h"
@@ -56,7 +57,11 @@ class ColumnCache {
 /// checked before each morsel claim, so a cancelled or deadline-expired
 /// run stops at the next morsel boundary (see runtime/cancel.h for why
 /// the before-claim ordering keeps partially built hash tables unprobed).
+/// Doubles as the engine's densest fault point ("scan.morsel"): an
+/// injected failure here exercises the exception backstop at every morsel
+/// boundary of every pipeline.
 inline bool Stop(const runtime::QueryOptions& opt) {
+  runtime::FaultHit(opt.fault, "scan.morsel", opt.cancel);
   return runtime::Interrupted(opt.cancel);
 }
 

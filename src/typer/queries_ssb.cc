@@ -161,6 +161,10 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
     total += local;
   });
 
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   ResultBuilder rb({"revenue"});
   rb.BeginRow().Numeric(total, 4);
   return rb.Finish();
@@ -251,7 +255,7 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
   std::vector<std::unique_ptr<LocalGroupTable<Q21Group>>> locals(opt.threads);
   MorselQueue morsels(lo_partkey.size(), opt.morsel_grain);
   PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-    locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>();
+    locals[wid] = std::make_unique<LocalGroupTable<Q21Group>>(opt);
     LocalGroupTable<Q21Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ph, auto&& sh, auto&& dh) {
       const int32_t pk = lo_partkey[i];
@@ -326,6 +330,10 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
   });
 
   std::vector<Q21Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   std::sort(groups.begin(), groups.end(), [](Q21Group* a, Q21Group* b) {
     if (a->year != b->year) return a->year < b->year;
     return a->brand < b->brand;
@@ -425,7 +433,7 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
   std::vector<std::unique_ptr<LocalGroupTable<Q31Group>>> locals(opt.threads);
   MorselQueue morsels(lo_custkey.size(), opt.morsel_grain);
   PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-    locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>();
+    locals[wid] = std::make_unique<LocalGroupTable<Q31Group>>(opt);
     LocalGroupTable<Q31Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& dh) {
       const int32_t ck = lo_custkey[i];
@@ -500,6 +508,10 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
   });
 
   std::vector<Q31Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   std::sort(groups.begin(), groups.end(), [](Q31Group* a, Q31Group* b) {
     if (a->year != b->year) return a->year < b->year;
     if (a->revenue != b->revenue) return a->revenue > b->revenue;
@@ -618,7 +630,7 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
   std::vector<std::unique_ptr<LocalGroupTable<Q41Group>>> locals(opt.threads);
   MorselQueue morsels(lo_custkey.size(), opt.morsel_grain);
   PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-    locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>();
+    locals[wid] = std::make_unique<LocalGroupTable<Q41Group>>(opt);
     LocalGroupTable<Q41Group>& local = *locals[wid];
     auto resolve = [&](size_t i, auto&& ch, auto&& sh, auto&& ph,
                        auto&& dh) {
@@ -706,6 +718,10 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
   });
 
   std::vector<Q41Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   std::sort(groups.begin(), groups.end(), [](Q41Group* a, Q41Group* b) {
     if (a->year != b->year) return a->year < b->year;
     return a->c_nation < b->c_nation;

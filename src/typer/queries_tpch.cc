@@ -87,7 +87,7 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt,
   std::vector<std::unique_ptr<LocalGroupTable<Q1Group>>> locals(opt.threads);
   MorselQueue morsels(shipdate.size(), opt.morsel_grain);
   PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-    locals[wid] = std::make_unique<LocalGroupTable<Q1Group>>();
+    locals[wid] = std::make_unique<LocalGroupTable<Q1Group>>(opt);
     LocalGroupTable<Q1Group>& local = *locals[wid];
     size_t begin, end;
     while (!Stop(opt) && morsels.Next(begin, end)) {
@@ -115,6 +115,10 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt,
   });
 
   std::vector<Q1Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   std::sort(groups.begin(), groups.end(), [](Q1Group* a, Q1Group* b) {
     return std::make_pair(a->key & 0xff, a->key >> 8) <
            std::make_pair(b->key & 0xff, b->key >> 8);
@@ -202,6 +206,10 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt,
     total += acc0 + acc1;
   });
 
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   ResultBuilder rb({"revenue"});
   rb.BeginRow().Numeric(total, 4);
   return rb.Finish();
@@ -321,7 +329,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
   {
     MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
     PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-      locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>();
+      locals[wid] = std::make_unique<LocalGroupTable<Q3Group>>(opt);
       LocalGroupTable<Q3Group>& local = *locals[wid];
       auto resolve = [&](size_t i, uint64_t h) {
         const int32_t ok = l_orderkey[i];
@@ -367,6 +375,10 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
   }
 
   std::vector<Q3Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   std::sort(groups.begin(), groups.end(), [](Q3Group* a, Q3Group* b) {
     return std::tie(b->revenue, a->orderdate, a->orderkey) <
            std::tie(a->revenue, b->orderdate, b->orderkey);
@@ -558,7 +570,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
   {
     MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
     PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-      locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>();
+      locals[wid] = std::make_unique<LocalGroupTable<Q9Group>>(opt);
       LocalGroupTable<Q9Group>& local = *locals[wid];
       // One resolve body for both paths; the hash providers keep the fused
       // path lazy (hashes after the partsupp hit) while the ROF path reads
@@ -640,6 +652,10 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
   }
 
   std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
   const auto& n_name = cols.n_name;
   auto nation_of = [](const Q9Group* g) {
     return static_cast<int32_t>(g->key >> 32);
@@ -721,7 +737,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
   {
     MorselQueue morsels(l_orderkey.size(), opt.morsel_grain);
     PoolFor(opt).Run(opt, morsels.total(), [&](size_t wid) {
-      locals[wid] = std::make_unique<LocalGroupTable<Q18Group>>();
+      locals[wid] = std::make_unique<LocalGroupTable<Q18Group>>(opt);
       LocalGroupTable<Q18Group>& local = *locals[wid];
       size_t begin, end;
       while (!Stop(opt) && morsels.Next(begin, end)) {
@@ -740,6 +756,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
     });
   }
   std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt);
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the parallel phase instead of sorting and
+  // building a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
 
   // Having-filter + hash table over qualifying orderkeys.
   const int64_t qty_min = params.Int("quantity_min");
@@ -843,6 +863,11 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
       rows.insert(rows.end(), local.begin(), local.end());
     });
   }
+
+  // Serial tail: surface a trip (deadline, budget, injected fault) that
+  // landed during or after the probe phase instead of sorting and building
+  // a result nobody will see.
+  if (Stop(opt)) return QueryResult::Failed(opt.cancel->status());
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return std::tie(b.totalprice, a.orderdate, a.orderkey) <

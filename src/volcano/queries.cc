@@ -27,7 +27,7 @@ int64_t PackKeys(int64_t a, int64_t b) {
 
 }  // namespace
 
-QueryResult RunQ1(const Database& db, const QueryOptions&) {
+QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto rf = lineitem.Col<Char<1>>("l_returnflag");
@@ -38,7 +38,7 @@ QueryResult RunQ1(const Database& db, const QueryOptions&) {
   const auto tax = lineitem.Col<int64_t>("l_tax");
   const int32_t cutoff = DateFromString("1998-09-02");
 
-  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t s_date = scan->AddAccessor([&](size_t i) { return shipdate[i]; });
   const size_t s_rf = scan->AddAccessor([&](size_t i) { return rf[i].data[0]; });
   const size_t s_ls = scan->AddAccessor([&](size_t i) { return ls[i].data[0]; });
@@ -93,10 +93,14 @@ QueryResult RunQ1(const Database& db, const QueryOptions&) {
         .Avg(r[6], r[7], 2, 2)
         .Int(r[7]);
   }
+  // A tripped token (cancel or expired deadline) drained the scans early:
+  // discard the partial rows and surface the trip's status.
+  if (runtime::Interrupted(opt.cancel))
+    return QueryResult::Failed(opt.cancel->status());
   return rb.Finish();
 }
 
-QueryResult RunQ6(const Database& db, const QueryOptions&) {
+QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto discount = lineitem.Col<int64_t>("l_discount");
@@ -105,7 +109,7 @@ QueryResult RunQ6(const Database& db, const QueryOptions&) {
   const int32_t lo = DateFromString("1994-01-01");
   const int32_t hi = DateFromString("1995-01-01") - 1;
 
-  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  auto scan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t s_date =
       scan->AddAccessor([&](size_t i) { return shipdate[i]; });
   const size_t s_disc =
@@ -131,10 +135,14 @@ QueryResult RunQ6(const Database& db, const QueryOptions&) {
 
   ResultBuilder rb({"revenue"});
   rb.BeginRow().Numeric(total, 4);
+  // A tripped token (cancel or expired deadline) drained the scans early:
+  // discard the partial rows and surface the trip's status.
+  if (runtime::Interrupted(opt.cancel))
+    return QueryResult::Failed(opt.cancel->status());
   return rb.Finish();
 }
 
-QueryResult RunQ3(const Database& db, const QueryOptions&) {
+QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
   const Relation& customer = db["customer"];
   const Relation& orders = db["orders"];
   const Relation& lineitem = db["lineitem"];
@@ -143,7 +151,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions&) {
 
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
-  auto cscan = std::make_unique<ScanOp>(customer.tuple_count());
+  auto cscan = std::make_unique<ScanOp>(customer.tuple_count(), opt.cancel);
   const size_t sc_key =
       cscan->AddAccessor([&](size_t i) { return c_custkey[i]; });
   const size_t sc_flag = cscan->AddAccessor(
@@ -155,7 +163,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions&) {
   const auto o_custkey = orders.Col<int32_t>("o_custkey");
   const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
   const auto o_shipprio = orders.Col<int32_t>("o_shippriority");
-  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count(), opt.cancel);
   const size_t so_key =
       oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
   const size_t so_cust =
@@ -176,7 +184,7 @@ QueryResult RunQ3(const Database& db, const QueryOptions&) {
   const auto l_shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
   const auto l_discount = lineitem.Col<int64_t>("l_discount");
-  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t sl_key =
       lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
   const size_t sl_date =
@@ -227,10 +235,14 @@ QueryResult RunQ3(const Database& db, const QueryOptions&) {
         .Date(static_cast<int32_t>(r.orderdate))
         .Int(r.prio);
   }
+  // A tripped token (cancel or expired deadline) drained the scans early:
+  // discard the partial rows and surface the trip's status.
+  if (runtime::Interrupted(opt.cancel))
+    return QueryResult::Failed(opt.cancel->status());
   return rb.Finish();
 }
 
-QueryResult RunQ9(const Database& db, const QueryOptions&) {
+QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   const Relation& part = db["part"];
   const Relation& supplier = db["supplier"];
   const Relation& partsupp = db["partsupp"];
@@ -240,7 +252,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
 
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_name = part.Col<Varchar<55>>("p_name");
-  auto pscan = std::make_unique<ScanOp>(part.tuple_count());
+  auto pscan = std::make_unique<ScanOp>(part.tuple_count(), opt.cancel);
   const size_t sp_key =
       pscan->AddAccessor([&](size_t i) { return p_partkey[i]; });
   const size_t sp_green = pscan->AddAccessor(
@@ -251,7 +263,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
   const auto ps_partkey = partsupp.Col<int32_t>("ps_partkey");
   const auto ps_suppkey = partsupp.Col<int32_t>("ps_suppkey");
   const auto ps_cost = partsupp.Col<int64_t>("ps_supplycost");
-  auto psscan = std::make_unique<ScanOp>(partsupp.tuple_count());
+  auto psscan = std::make_unique<ScanOp>(partsupp.tuple_count(), opt.cancel);
   const size_t sps_part =
       psscan->AddAccessor([&](size_t i) { return ps_partkey[i]; });
   const size_t sps_packed = psscan->AddAccessor(
@@ -270,7 +282,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
   const auto l_extprice = lineitem.Col<int64_t>("l_extendedprice");
   const auto l_discount = lineitem.Col<int64_t>("l_discount");
   const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
-  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t sl_order =
       lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
   const size_t sl_supp =
@@ -292,7 +304,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
 
   const auto s_suppkey = supplier.Col<int32_t>("s_suppkey");
   const auto s_nationkey = supplier.Col<int32_t>("s_nationkey");
-  auto sscan = std::make_unique<ScanOp>(supplier.tuple_count());
+  auto sscan = std::make_unique<ScanOp>(supplier.tuple_count(), opt.cancel);
   const size_t ss_key =
       sscan->AddAccessor([&](size_t i) { return s_suppkey[i]; });
   const size_t ss_nation =
@@ -305,7 +317,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
 
   const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
   const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
-  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count(), opt.cancel);
   const size_t so_key =
       oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
   const size_t so_year =
@@ -346,17 +358,21 @@ QueryResult RunQ9(const Database& db, const QueryOptions&) {
         .Int(r.year)
         .Numeric(r.profit, 4);
   }
+  // A tripped token (cancel or expired deadline) drained the scans early:
+  // discard the partial rows and surface the trip's status.
+  if (runtime::Interrupted(opt.cancel))
+    return QueryResult::Failed(opt.cancel->status());
   return rb.Finish();
 }
 
-QueryResult RunQ18(const Database& db, const QueryOptions&) {
+QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
   const Relation& lineitem = db["lineitem"];
   const Relation& orders = db["orders"];
   const Relation& customer = db["customer"];
 
   const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
   const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
-  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count());
+  auto lscan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t sl_key =
       lscan->AddAccessor([&](size_t i) { return l_orderkey[i]; });
   const size_t sl_qty =
@@ -372,7 +388,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions&) {
   const auto o_custkey = orders.Col<int32_t>("o_custkey");
   const auto o_orderdate = orders.Col<int32_t>("o_orderdate");
   const auto o_totalprice = orders.Col<int64_t>("o_totalprice");
-  auto oscan = std::make_unique<ScanOp>(orders.tuple_count());
+  auto oscan = std::make_unique<ScanOp>(orders.tuple_count(), opt.cancel);
   const size_t so_key =
       oscan->AddAccessor([&](size_t i) { return o_orderkey[i]; });
   const size_t so_cust =
@@ -390,7 +406,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions&) {
 
   // ⋈ customer (FK integrity filter; the name is derived from custkey).
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
-  auto cscan = std::make_unique<ScanOp>(customer.tuple_count());
+  auto cscan = std::make_unique<ScanOp>(customer.tuple_count(), opt.cancel);
   const size_t sc_key =
       cscan->AddAccessor([&](size_t i) { return c_custkey[i]; });
   auto hj_c = std::make_unique<HashJoinOp>(std::move(cscan), std::move(hj_o),
@@ -429,6 +445,10 @@ QueryResult RunQ18(const Database& db, const QueryOptions&) {
         .Numeric(r.totalprice, 2)
         .Numeric(r.qty, 2);
   }
+  // A tripped token (cancel or expired deadline) drained the scans early:
+  // discard the partial rows and surface the trip's status.
+  if (runtime::Interrupted(opt.cancel))
+    return QueryResult::Failed(opt.cancel->status());
   return rb.Finish();
 }
 

@@ -7,7 +7,9 @@
 
 // Volcano implementations of the TPC-H subset. Single-threaded (classic
 // Volcano has no intra-query parallelism without exchange operators); the
-// options' thread count is ignored.
+// options' thread count is ignored. The options' CancelToken is honored:
+// scans poll it every ScanOp::kCancelPollRows tuples, and a tripped run
+// returns QueryResult::Failed with the trip's status and zero rows.
 
 namespace vcq::volcano {
 

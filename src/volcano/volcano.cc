@@ -6,6 +6,13 @@ namespace vcq::volcano {
 
 bool ScanOp::Next(Row* out) {
   if (next_ >= count_) return false;
+  // Poll the token at a coarse row granularity (and on the first tuple, so
+  // an already-tripped token produces zero rows): a trip turns the rest of
+  // the scan into end-of-stream and the pipeline drains tuple-by-tuple.
+  if (next_ % kCancelPollRows == 0 && runtime::Interrupted(cancel_)) {
+    next_ = count_;
+    return false;
+  }
   out->resize(accessors_.size());
   for (size_t k = 0; k < accessors_.size(); ++k)
     (*out)[k] = accessors_[k](next_);

@@ -19,6 +19,15 @@
 //
 // Rows are arrays of int64 value slots; scans translate columns (including
 // string predicates) into slots via accessor closures.
+//
+// Cancellation: every pipeline bottoms out in one or more ScanOps, which
+// poll an optional CancelToken every kCancelPollRows tuples and report
+// end-of-stream on a trip. Blocking operators (HashJoinOp::Open,
+// GroupByOp::Open) drain a cancelled child quickly because the child's
+// scans stop producing; the query runner then surfaces the token's status
+// instead of the partial result.
+
+#include "runtime/cancel.h"
 
 namespace vcq::volcano {
 
@@ -37,7 +46,14 @@ class Operator {
 /// the per-tuple type dispatch vectorization amortizes away (paper §4.2).
 class ScanOp : public Operator {
  public:
-  explicit ScanOp(size_t tuple_count) : count_(tuple_count) {}
+  /// Tuples between CancelToken polls: frequent enough that even this
+  /// engine's slow per-tuple pace reacts to a trip within microseconds,
+  /// rare enough that the atomic load never shows up in Table 2.
+  static constexpr size_t kCancelPollRows = 1024;
+
+  explicit ScanOp(size_t tuple_count,
+                  const runtime::CancelToken* cancel = nullptr)
+      : count_(tuple_count), cancel_(cancel) {}
 
   /// Returns the slot index of the added column/derived value.
   size_t AddAccessor(std::function<int64_t(size_t)> fn) {
@@ -51,6 +67,7 @@ class ScanOp : public Operator {
 
  private:
   size_t count_;
+  const runtime::CancelToken* cancel_;
   size_t next_ = 0;
   std::vector<std::function<int64_t(size_t)>> accessors_;
 };

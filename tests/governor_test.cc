@@ -1,0 +1,317 @@
+#include "runtime/resource_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/query_catalog.h"
+#include "api/session.h"
+#include "api/vcq.h"
+#include "datagen/tpch.h"
+#include "runtime/mem_pool.h"
+#include "runtime/scheduler.h"
+#include "runtime/worker_pool.h"
+
+// The resource-governor contract (PR 6 acceptance):
+//  - a query whose build side exceeds QueryOptions::memory_budget returns
+//    kResourceExhausted with ZERO rows, no partial output, no process
+//    abort;
+//  - after the failure, MemPool::live_bytes() and the process governor's
+//    in_use() are back at their pre-query baselines (nothing leaked, and
+//    nothing was double-released);
+//  - concurrent in-budget queries on the same pool are byte-identical to
+//    their serial results while the over-budget one fails;
+//  - the process-wide ResourceGovernor budget trips queries even when each
+//    is within its own per-query budget;
+//  - memory-aware admission (Scheduler::Admit with estimated bytes)
+//    rejects-or-queues instead of overcommitting;
+//  - ExecuteWithRetry retries transient kResourceExhausted/kRejected and
+//    gives up after max_attempts.
+
+namespace vcq {
+namespace {
+
+using runtime::CancelToken;
+using runtime::Database;
+using runtime::ExecStatus;
+using runtime::MemPool;
+using runtime::QueryLedger;
+using runtime::QueryOptions;
+using runtime::QueryResult;
+using runtime::ResourceGovernor;
+using runtime::Scheduler;
+
+const Database& TpchDb() {
+  static const Database* db = new Database(datagen::GenerateTpch(0.01));
+  return *db;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger / governor unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(QueryLedgerTest, TripsTokenOnPerQueryBudget) {
+  const CancelToken token;
+  QueryLedger ledger(1 << 20, &token);
+  ledger.Charge(512 << 10);
+  EXPECT_FALSE(token.Interrupted());
+  ledger.Charge(768 << 10);  // crosses 1 MiB
+  EXPECT_TRUE(token.Interrupted());
+  EXPECT_EQ(token.status(), ExecStatus::kResourceExhausted);
+  EXPECT_EQ(ledger.peak(), (512u << 10) + (768u << 10));
+  ledger.Uncharge(ledger.in_use());
+}
+
+TEST(QueryLedgerTest, TripsTokenOnProcessGovernorBudget) {
+  ResourceGovernor governor;
+  governor.SetBudget(1 << 20);
+  const CancelToken a_token;
+  const CancelToken b_token;
+  // Two ledgers, each unlimited per-query: only the shared governor can
+  // trip them.
+  QueryLedger a(0, &a_token, &governor);
+  QueryLedger b(0, &b_token, &governor);
+  a.Charge(768 << 10);
+  EXPECT_FALSE(a_token.Interrupted());
+  b.Charge(768 << 10);  // collectively over the process budget
+  EXPECT_TRUE(b_token.Interrupted());
+  EXPECT_EQ(b_token.status(), ExecStatus::kResourceExhausted);
+  a.Uncharge(768 << 10);
+  b.Uncharge(768 << 10);
+  EXPECT_EQ(governor.in_use(), 0u);
+}
+
+TEST(QueryLedgerTest, DestructorReturnsResidueToGovernor) {
+  ResourceGovernor governor;
+  {
+    QueryLedger ledger(0, nullptr, &governor);
+    ledger.Charge(3 << 20);
+    EXPECT_EQ(governor.in_use(), size_t{3} << 20);
+    // No Uncharge: simulate a pool whose unwind skipped it.
+  }
+  EXPECT_EQ(governor.in_use(), 0u);
+}
+
+TEST(MemPoolLedgerTest, ChargesOnGrowUnchargesOnReleaseIdempotently) {
+  ResourceGovernor governor;
+  const CancelToken token;
+  QueryLedger ledger(0, &token, &governor);
+  MemPool pool(1 << 16);
+  // Grow BEFORE Bind: those bytes must never be uncharged from the ledger.
+  pool.Allocate(100);
+  const size_t unbound = pool.owned_bytes();
+  EXPECT_GT(unbound, 0u);
+  EXPECT_EQ(ledger.in_use(), 0u);
+
+  pool.Bind(&ledger, nullptr, "pool.grow");
+  pool.Allocate(1 << 17);  // forces a bound grow
+  const size_t bound = ledger.in_use();
+  EXPECT_GT(bound, 0u);
+  EXPECT_EQ(governor.in_use(), bound);
+
+  pool.Release();
+  EXPECT_EQ(ledger.in_use(), 0u);
+  EXPECT_EQ(governor.in_use(), 0u);
+  EXPECT_EQ(pool.owned_bytes(), 0u);
+  pool.Release();  // idempotent: must not underflow anything
+  EXPECT_EQ(ledger.in_use(), 0u);
+  EXPECT_EQ(governor.in_use(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: over-budget queries fail clean, in-budget neighbors don't
+// ---------------------------------------------------------------------------
+
+TEST(GovernorEndToEndTest, OverBudgetJoinBuildFailsWithZeroRowsAndNoLeak) {
+  const Database& db = TpchDb();
+  Session session(db);
+  for (Engine e : {Engine::kTyper, Engine::kTectorwise}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      QueryOptions opt;
+      opt.threads = threads;
+      opt.memory_budget = 64 << 10;  // far below Q3's build side
+      PreparedQuery q3 = session.Prepare(e, Query::kQ3, opt);
+      const size_t live_before = MemPool::live_bytes();
+      const size_t gov_before = ResourceGovernor::Global().in_use();
+      const QueryResult result = q3.Execute();
+      EXPECT_EQ(result.status, ExecStatus::kResourceExhausted)
+          << EngineName(e) << " threads=" << threads;
+      EXPECT_EQ(result.rows.size(), 0u);
+      EXPECT_EQ(MemPool::live_bytes(), live_before)
+          << "build memory leaked (or double-released) after the trip";
+      EXPECT_EQ(ResourceGovernor::Global().in_use(), gov_before);
+    }
+  }
+}
+
+TEST(GovernorEndToEndTest, InBudgetQueriesUnaffectedByOverBudgetNeighbor) {
+  const Database& db = TpchDb();
+  Session session(db);
+  QueryOptions ok_opt;
+  ok_opt.threads = 2;
+  PreparedQuery q6 = session.Prepare(Engine::kTyper, Query::kQ6, ok_opt);
+  PreparedQuery q1 = session.Prepare(Engine::kTectorwise, Query::kQ1, ok_opt);
+  const QueryResult q6_expected = q6.Execute();
+  const QueryResult q1_expected = q1.Execute();
+  ASSERT_TRUE(q6_expected.ok());
+  ASSERT_TRUE(q1_expected.ok());
+
+  QueryOptions bad_opt;
+  bad_opt.threads = 2;
+  bad_opt.memory_budget = 64 << 10;
+  PreparedQuery q3 = session.Prepare(Engine::kTyper, Query::kQ3, bad_opt);
+
+  for (int round = 0; round < 3; ++round) {
+    ExecutionHandle bad = q3.ExecuteAsync();
+    ExecutionHandle a = q6.ExecuteAsync();
+    ExecutionHandle b = q1.ExecuteAsync();
+    EXPECT_EQ(bad.Wait().status, ExecStatus::kResourceExhausted);
+    EXPECT_EQ(a.Wait(), q6_expected) << "round " << round;
+    EXPECT_EQ(b.Wait(), q1_expected) << "round " << round;
+  }
+}
+
+TEST(GovernorEndToEndTest, RerunAfterTripIsByteIdentical) {
+  // A failed run must leave no residue that changes a later unbudgeted run.
+  const Database& db = TpchDb();
+  Session session(db);
+  QueryOptions opt;
+  opt.threads = 4;
+  PreparedQuery good = session.Prepare(Engine::kTectorwise, Query::kQ3, opt);
+  const QueryResult expected = good.Execute();
+  ASSERT_TRUE(expected.ok());
+
+  QueryOptions bad_opt = opt;
+  bad_opt.memory_budget = 64 << 10;
+  PreparedQuery bad = session.Prepare(Engine::kTectorwise, Query::kQ3,
+                                      bad_opt);
+  EXPECT_EQ(bad.Execute().status, ExecStatus::kResourceExhausted);
+  EXPECT_EQ(good.Execute(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-aware admission
+// ---------------------------------------------------------------------------
+
+TEST(MemoryAdmissionTest, EstimateBeyondBudgetIsRejectedImmediately) {
+  Scheduler sched(2);
+  sched.SetMemoryBudget(1 << 20);
+  const CancelToken token;
+  Scheduler::Admission a = sched.Admit(&token, 2 << 20);
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status(), ExecStatus::kResourceExhausted);
+  EXPECT_EQ(sched.memory_inflight(), 0u);
+}
+
+TEST(MemoryAdmissionTest, AdmissionsQueueUntilBytesRelease) {
+  Scheduler sched(2);
+  sched.SetMemoryBudget(1 << 20);
+  sched.SetAdmissionLimit(0, 4);  // allow waiters to queue for bytes
+  const CancelToken token;
+  Scheduler::Admission first = sched.Admit(&token, 768 << 10);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(sched.memory_inflight(), size_t{768} << 10);
+
+  // The second admission cannot fit until the first releases; give it a
+  // deadline so the test cannot hang if release never unblocks it.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    first.Release();
+  });
+  const CancelToken waiter(CancelToken::Clock::now() +
+                           std::chrono::seconds(10));
+  Scheduler::Admission second = sched.Admit(&waiter, 768 << 10);
+  releaser.join();
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(sched.memory_inflight(), size_t{768} << 10);
+  second.Release();
+  EXPECT_EQ(sched.memory_inflight(), 0u);
+}
+
+TEST(MemoryAdmissionTest, SessionExecutionRejectsWhenEstimateCannotFit) {
+  // A dedicated pool so the budget does not affect other tests' queries on
+  // the global scheduler.
+  const Database& db = TpchDb();
+  runtime::WorkerPool pool(2);
+  pool.scheduler().SetMemoryBudget(1 << 20);  // Q3's estimate is far bigger
+  Session session(db, pool);
+  QueryOptions opt;
+  opt.threads = 2;
+  PreparedQuery q3 = session.Prepare(Engine::kTyper, Query::kQ3, opt);
+  EXPECT_EQ(q3.Execute().status, ExecStatus::kResourceExhausted);
+  // Q6 builds nothing (estimate 0) and still fits.
+  PreparedQuery q6 = session.Prepare(Engine::kTyper, Query::kQ6, opt);
+  EXPECT_TRUE(q6.Execute().ok());
+  EXPECT_GT(EstimatedBuildBytes(db, Query::kQ3),
+            pool.scheduler().memory_budget());
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteWithRetry
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, GivesUpAfterMaxAttemptsOnPersistentExhaustion) {
+  const Database& db = TpchDb();
+  Session session(db);
+  QueryOptions opt;
+  opt.threads = 2;
+  opt.memory_budget = 64 << 10;  // every attempt trips
+  PreparedQuery q3 = session.Prepare(Engine::kTyper, Query::kQ3, opt);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(4);
+  const QueryResult result = q3.ExecuteWithRetry(policy);
+  EXPECT_EQ(result.status, ExecStatus::kResourceExhausted);
+}
+
+TEST(RetryTest, SucceedsOnceContentionDrains) {
+  // Admission-rejection shape: a scheduler with a tiny in-flight cap and a
+  // long-running occupant. The retry loop's backoff outlives the occupant,
+  // so a later attempt is admitted and succeeds.
+  const Database& db = TpchDb();
+  runtime::WorkerPool pool(2);
+  pool.scheduler().SetAdmissionLimit(1, 0);  // 1 in flight, no queue
+  Session session(db, pool);
+  QueryOptions opt;
+  opt.threads = 1;
+  PreparedQuery q6 = session.Prepare(Engine::kTyper, Query::kQ6, opt);
+
+  const CancelToken occupant_token;
+  Scheduler::Admission occupant =
+      pool.scheduler().Admit(&occupant_token);
+  ASSERT_TRUE(occupant.ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    occupant.Release();
+  });
+
+  // Immediate execute is rejected while the slot is held.
+  EXPECT_EQ(q6.Execute().status, ExecStatus::kRejected);
+
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff = std::chrono::milliseconds(10);
+  policy.max_backoff = std::chrono::milliseconds(20);
+  const QueryResult result = q6.ExecuteWithRetry(policy);
+  releaser.join();
+  EXPECT_TRUE(result.ok()) << runtime::StatusName(result.status);
+}
+
+TEST(RetryTest, NonTransientStatusIsNotRetried) {
+  const Database& db = TpchDb();
+  Session session(db);
+  QueryOptions opt;
+  opt.threads = 1;
+  PreparedQuery q6 = session.Prepare(Engine::kTyper, Query::kQ6, opt);
+  // A successful run returns immediately with the rows.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const QueryResult result = q6.ExecuteWithRetry(policy);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vcq

@@ -334,6 +334,30 @@ TEST(MemPoolTest, LargeAllocationExceedingChunk) {
   std::memset(big, 0xCD, 1 << 20);  // must be writable end to end
 }
 
+TEST(MemPoolTest, ReleaseIsIdempotent) {
+  // The failure-containment invariant: Release() is called from both the
+  // normal drain path and the unwind backstop, so calling it any number of
+  // times must release the pool's bytes exactly once — live_bytes() lands
+  // on the baseline and stays there, never underflowing.
+  const size_t baseline = MemPool::live_bytes();
+  MemPool pool(1024);
+  pool.Allocate(4096);
+  EXPECT_GT(pool.owned_bytes(), 0u);
+  EXPECT_GT(MemPool::live_bytes(), baseline);
+  pool.Release();
+  EXPECT_EQ(pool.owned_bytes(), 0u);
+  EXPECT_EQ(MemPool::live_bytes(), baseline);
+  pool.Release();  // second (unwind-path) release: a no-op
+  pool.Release();
+  EXPECT_EQ(pool.owned_bytes(), 0u);
+  EXPECT_EQ(MemPool::live_bytes(), baseline);
+  // The pool is still usable after a release cycle.
+  void* p = pool.Allocate(16);
+  EXPECT_NE(p, nullptr);
+  pool.Release();
+  EXPECT_EQ(MemPool::live_bytes(), baseline);
+}
+
 TEST(MemPoolTest, ManySmallAllocationsDoNotOverlap) {
   MemPool pool(4096);
   std::vector<int64_t*> ptrs;

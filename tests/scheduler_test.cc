@@ -541,6 +541,43 @@ TEST(SchedulerQueryTest, CancelledQueryNeverCorruptsConcurrentOne) {
   EXPECT_EQ(q9_clean, RunQuery(TestDb(), Engine::kTyper, Query::kQ9, {}));
 }
 
+TEST(SchedulerQueryTest, VolcanoHonorsCancellation) {
+  // The interpreter is part of the cancellation matrix too: its scans poll
+  // the token every ScanOp::kCancelPollRows tuples, so Cancel() and
+  // deadlines take effect mid-query, not just between queries.
+  Session session(TestDb());
+  PreparedQuery q9 = session.Prepare(Engine::kVolcano, Query::kQ9);
+  const QueryResult expected = q9.Execute();
+  ASSERT_TRUE(expected.ok());
+
+  // A pre-tripped token stops the run before it starts.
+  ExecutionHandle doomed = q9.ExecuteAsync();
+  doomed.Cancel();
+  const QueryResult cancelled = doomed.Wait();
+  if (cancelled.status == ExecStatus::kCancelled) {
+    EXPECT_TRUE(cancelled.rows.empty());
+  } else {
+    EXPECT_EQ(cancelled.status, ExecStatus::kOk);
+  }
+  // The same prepared handle still runs clean and byte-identical.
+  EXPECT_EQ(q9.Execute(), expected);
+}
+
+TEST(SchedulerQueryTest, VolcanoHonorsDeadlines) {
+  Session session(TestDb());
+  PreparedQuery q9 = session.Prepare(Engine::kVolcano, Query::kQ9);
+  // Already expired: trips before any work.
+  const QueryResult pre =
+      q9.Execute(CancelToken::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_EQ(pre.status, ExecStatus::kDeadlineExceeded);
+  EXPECT_TRUE(pre.rows.empty());
+  // Far too short for tuple-at-a-time Q9: trips at a scan poll mid-run.
+  const QueryResult mid = q9.Execute(std::chrono::milliseconds(1));
+  EXPECT_EQ(mid.status, ExecStatus::kDeadlineExceeded);
+  EXPECT_TRUE(mid.rows.empty());
+  EXPECT_TRUE(q9.Execute().ok());
+}
+
 TEST(SchedulerQueryTest, OverAdmissionReturnsBackpressureNotUnboundedQueueing) {
   runtime::WorkerPool pool(2);
   pool.scheduler().SetAdmissionLimit(1, 0);
