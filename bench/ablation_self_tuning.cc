@@ -1,0 +1,248 @@
+// Ablation (paper §9.1 / PR 7): self-tuned execution. Every
+// data-dependent knob the paper sweeps by hand — compaction policy,
+// join-build protocol, ROF staged probes and their block size, vector
+// size — is learned per prepared query by runtime::Tuner (bounded
+// seed-deterministic exploration, then UCB1). This bench measures the
+// learned configuration against every static arm across selectivities
+// (Tectorwise Q6 via parameter bindings) and scale factors (Typer Q9),
+// checks byte-identity of results across all arms, and reports how close
+// the learned arm lands to the best static arm (target: within 5%).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "benchutil/bench.h"
+#include "datagen/tpch.h"
+#include "runtime/tuner.h"
+
+namespace {
+
+using vcq::Engine;
+using vcq::PreparedQuery;
+using vcq::Query;
+using vcq::Session;
+using vcq::runtime::BuildMode;
+using vcq::runtime::CompactionMode;
+using vcq::runtime::QueryOptions;
+using vcq::runtime::QueryResult;
+using vcq::runtime::TuningMode;
+
+struct StaticVariant {
+  std::string label;
+  QueryOptions opt;
+};
+
+double TimedExecMs(const PreparedQuery& q) {
+  const auto start = std::chrono::steady_clock::now();
+  const QueryResult result = q.Execute();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!result.ok()) {
+    std::fprintf(stderr, "execution failed mid-measurement\n");
+    std::exit(1);
+  }
+  return ms;
+}
+
+// Per-variant aggregate: the minimum, not the median — these queries are
+// deterministic, so machine noise is purely additive and the best
+// observation is the honest cost estimate (same reasoning as the tuner's
+// own min-cost arm statistic).
+double Best(const std::vector<double>& times) {
+  return *std::min_element(times.begin(), times.end());
+}
+
+// One cell of the sweep: time every static arm and the learned-then-frozen
+// configuration, byte-check all of them against the default-config result,
+// and append the rows. Returns learned_ms / best_static_ms.
+double RunCell(Session& session, Engine engine, Query query,
+               const std::vector<StaticVariant>& statics, int reps,
+               const std::function<void(PreparedQuery&)>& bind,
+               const std::string& cell, vcq::benchutil::Table& table,
+               bool& identical) {
+  QueryResult reference;
+  std::vector<PreparedQuery> handles;
+  for (size_t v = 0; v < statics.size(); ++v) {
+    PreparedQuery q = session.Prepare(engine, query, statics[v].opt);
+    bind(q);
+    const QueryResult result = q.Execute();  // warm + identity check
+    if (v == 0) {
+      reference = result;
+    } else if (!(result == reference)) {
+      identical = false;
+      std::fprintf(stderr, "MISMATCH: %s %s vs %s\n", cell.c_str(),
+                   statics[v].label.c_str(), statics[0].label.c_str());
+    }
+    handles.push_back(q);
+  }
+
+  // Learn on the same prepared handle shape, then freeze.
+  QueryOptions learn_opt = statics[0].opt;
+  learn_opt.tuning = TuningMode::kLearn;
+  PreparedQuery learned = session.Prepare(engine, query, learn_opt);
+  bind(learned);
+  int learn_execs = 0;
+  while (!learned.TuningConverged() && learn_execs < 128) {
+    if (!(learned.Execute() == reference)) {
+      identical = false;
+      std::fprintf(stderr, "MISMATCH: %s learned exec %d\n", cell.c_str(),
+                   learn_execs);
+    }
+    ++learn_execs;
+  }
+  // UCB-driven refinement rounds: exploration visits each arm only
+  // explore_reps times, so the means are noisy when arms sit within a few
+  // percent of each other; refinement revisits the contenders before the
+  // freeze.
+  for (int i = 0, n = 2 * learn_execs; i < n; ++i, ++learn_execs) {
+    if (!(learned.Execute() == reference)) {
+      identical = false;
+      std::fprintf(stderr, "MISMATCH: %s refine exec %d\n", cell.c_str(), i);
+    }
+  }
+  learned.FreezeTuning();
+  handles.push_back(learned);
+
+  // Interleaved timing rounds — every variant (statics + learned) runs
+  // once per round, so slow machine drift hits all of them equally
+  // instead of penalizing whichever phase ran last.
+  std::vector<std::vector<double>> times(handles.size());
+  for (int r = 0; r < reps; ++r) {
+    for (size_t v = 0; v < handles.size(); ++v) {
+      times[v].push_back(TimedExecMs(handles[v]));
+    }
+  }
+  std::vector<double> ms(handles.size());
+  for (size_t v = 0; v < handles.size(); ++v) ms[v] = Best(times[v]);
+
+  const double learned_ms = ms.back();
+  const size_t best = static_cast<size_t>(
+      std::min_element(ms.begin(), ms.end() - 1) - ms.begin());
+  for (size_t v = 0; v < statics.size(); ++v) {
+    table.AddRow({cell, statics[v].label, vcq::benchutil::Fmt(ms[v], 2),
+                  vcq::benchutil::Fmt(ms[v] / ms[best], 2) + "x",
+                  v == best ? "best static" : ""});
+  }
+  const double ratio = learned_ms / ms[best];
+  table.AddRow({cell, "learned (" + std::to_string(learn_execs) + " execs)",
+                vcq::benchutil::Fmt(learned_ms, 2),
+                vcq::benchutil::Fmt(ratio, 2) + "x",
+                ratio <= 1.05 ? "within 5%" : "OFF TARGET"});
+  return ratio;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vcq;
+  const int reps = benchutil::EnvReps(3);
+  const bool quick = benchutil::Quick();
+  const std::vector<double> sfs =
+      quick ? std::vector<double>{0.05}
+            : std::vector<double>{0.1, benchutil::EnvSf(1.0)};
+  benchutil::PrintHeader(
+      "Ablation: self-tuned execution knobs (paper Sec. 9.1)",
+      "the optimizer, not the engineer, should pick execution strategies",
+      "seed=" + std::to_string(runtime::Tuner::ResolveSeed(0)) +
+          " (VCQ_TUNER_SEED replays the arm sequence), 1 thread");
+
+  bool identical = true;
+  double worst_ratio = 0;
+
+  // --- Tectorwise Q6: compaction/vector arms across selectivities -----------
+  // shipdate_hi widens the qualifying window; compaction pays off at low
+  // density and costs pure overhead at high density, so the best static
+  // arm moves with the binding — exactly what a per-query tuner exploits.
+  std::vector<StaticVariant> tw;
+  {
+    QueryOptions base;
+    base.threads = 1;
+    tw.push_back({"compaction=never vec=1024", base});
+    QueryOptions o = base;
+    o.compaction = CompactionMode::kAlways;
+    tw.push_back({"compaction=always", o});
+    for (int denom : {16, 64, 256}) {
+      o = base;
+      o.compaction = CompactionMode::kAdaptive;
+      o.compaction_threshold = 1.0 / denom;
+      tw.push_back({"compaction=adaptive(1/" + std::to_string(denom) + ")",
+                    o});
+    }
+    for (size_t vec : {size_t{256}, size_t{2048}}) {
+      o = base;
+      o.vector_size = vec;
+      tw.push_back({"vec=" + std::to_string(vec), o});
+    }
+  }
+  const std::vector<std::pair<std::string, std::string>> selectivities =
+      quick ? std::vector<std::pair<std::string, std::string>>{
+                  {"mid", "1994-12-31"}}
+            : std::vector<std::pair<std::string, std::string>>{
+                  {"low", "1994-01-31"},
+                  {"mid", "1994-12-31"},
+                  {"high", "1998-12-31"}};
+
+  benchutil::Table table(
+      {"cell", "config", "ms", "vs best static", "note"});
+  for (double sf : sfs) {
+    runtime::Database db = datagen::GenerateTpch(sf);
+    Session session(db);
+    for (const auto& [name, shipdate_hi] : selectivities) {
+      const std::string cell =
+          "TW Q6 sf=" + benchutil::Fmt(sf, 2) + " sel=" + name;
+      const std::string hi = shipdate_hi;
+      worst_ratio = std::max(
+          worst_ratio,
+          RunCell(
+              session, Engine::kTectorwise, Query::kQ6, tw, reps,
+              [&hi](PreparedQuery& q) { q.Set("shipdate_hi", hi); }, cell,
+              table, identical));
+    }
+
+    // --- Typer Q9: build mode × ROF × block size across scale factors ------
+    // The staged-probe payoff grows with the hash tables' working set, so
+    // the best arm flips between fused and ROF as SF scales.
+    std::vector<StaticVariant> ty;
+    {
+      QueryOptions base;
+      base.threads = 1;
+      for (BuildMode bm : {BuildMode::kPartitioned, BuildMode::kCas}) {
+        const std::string bml =
+            bm == BuildMode::kCas ? "cas" : "partitioned";
+        QueryOptions o = base;
+        o.build_mode = bm;
+        ty.push_back({"fused build=" + bml, o});
+        for (size_t block : {size_t{128}, size_t{512}, size_t{1024}}) {
+          o.rof = true;
+          o.rof_block = block;
+          ty.push_back(
+              {"rof(" + std::to_string(block) + ") build=" + bml, o});
+        }
+      }
+    }
+    const std::string cell = "Typer Q9 sf=" + benchutil::Fmt(sf, 2);
+    worst_ratio =
+        std::max(worst_ratio,
+                 RunCell(session, Engine::kTyper, Query::kQ9, ty, reps,
+                         [](PreparedQuery&) {}, cell, table, identical));
+  }
+  table.Print();
+
+  std::printf(
+      "\nresults byte-identical across all arms/executions: %s\n"
+      "worst learned-vs-best-static ratio: %.2fx (target <= 1.05x)%s\n",
+      identical ? "yes" : "NO — see stderr", worst_ratio,
+      reps < 3 ? " [reps<3: medians are noise-dominated, raise VCQ_REPS]"
+               : "");
+  std::printf(
+      "paper shape: no single static arm wins every cell; the learned "
+      "configuration tracks the per-cell winner without hand-tuning "
+      "(Sec. 9.1's self-adapting engine argument).\n");
+  return identical ? 0 : 1;
+}

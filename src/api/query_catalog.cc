@@ -198,4 +198,31 @@ size_t EstimatedBuildBytes(const runtime::Database& db, Query query) {
   std::abort();  // unreachable
 }
 
+size_t ScannedTuples(const runtime::Database& db, Query query) {
+  const auto count = [&](const char* name) { return db[name].tuple_count(); };
+  switch (query) {
+    case Query::kQ1:
+    case Query::kQ6: return count("lineitem");
+    case Query::kQ3:
+      return count("customer") + count("orders") + count("lineitem");
+    case Query::kQ9:
+      return count("part") + count("supplier") + count("partsupp") +
+             count("orders") + count("lineitem");
+    case Query::kQ18:
+      return count("lineitem") + count("orders") + count("customer");
+    case Query::kSsbQ11: return count("lineorder") + count("date");
+    case Query::kSsbQ21:
+      return count("lineorder") + count("date") + count("part") +
+             count("supplier");
+    case Query::kSsbQ31:
+      return count("lineorder") + count("date") + count("customer") +
+             count("supplier");
+    case Query::kSsbQ41:
+      return count("lineorder") + count("date") + count("customer") +
+             count("supplier") + count("part");
+  }
+  VCQ_CHECK_MSG(false, "query missing from the catalog");
+  std::abort();  // unreachable
+}
+
 }  // namespace vcq

@@ -76,6 +76,11 @@ std::vector<Query> QueriesFor(Workload workload);
 /// instead of letting the ledger trip it mid-build.
 size_t EstimatedBuildBytes(const runtime::Database& db, Query query);
 
+/// Total input tuples the query scans against `db` (every referenced
+/// relation's tuple count) — the normalization constant for per-query
+/// cost reporting (the tuner's ns/tuple, the benches' throughput rows).
+size_t ScannedTuples(const runtime::Database& db, Query query);
+
 }  // namespace vcq
 
 #endif  // VCQ_API_QUERY_CATALOG_H_

@@ -1,6 +1,8 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -9,8 +11,10 @@
 
 #include "common/check.h"
 #include "runtime/fault_injector.h"
+#include "runtime/hashmap.h"
 #include "runtime/resource_governor.h"
 #include "runtime/scheduler.h"
+#include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
 #include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
@@ -70,6 +74,62 @@ const ParamSpec* FindSpec(const QueryInfo& info, std::string_view name) {
   return nullptr;
 }
 
+using runtime::KnobChoices;
+using runtime::KnobKind;
+using runtime::kQueryKnob;
+using runtime::TuningMode;
+
+/// Encodes the static QueryOptions compaction config as a tuner arm value
+/// (see runtime/tuner.h: 0 = never, 1 = always, k >= 2 = adaptive 1/k).
+int64_t CompactionArmOf(const QueryOptions& opt) {
+  switch (opt.compaction) {
+    case runtime::CompactionMode::kNever: return runtime::kCompactionNever;
+    case runtime::CompactionMode::kAlways: return runtime::kCompactionAlways;
+    case runtime::CompactionMode::kAdaptive: {
+      if (opt.compaction_threshold >= 1.0) return runtime::kCompactionAlways;
+      if (opt.compaction_threshold <= 0.0) return runtime::kCompactionNever;
+      const int64_t k = std::llround(1.0 / opt.compaction_threshold);
+      return std::max<int64_t>(2, k);
+    }
+  }
+  return runtime::kCompactionNever;
+}
+
+/// Registers `value` as a member of `arms` and returns its index, appending
+/// it when the sweep grid does not already contain it — the default arm
+/// must always be selectable (kOff/kFrozen-without-history semantics).
+size_t ArmIndexOf(std::vector<int64_t>& arms, int64_t value) {
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (arms[i] == value) return i;
+  }
+  arms.push_back(value);
+  return arms.size() - 1;
+}
+
+/// Overlays the execution's query-level knob choices onto the options the
+/// engines read (Typer's build mode / ROF settings, Tectorwise's vector
+/// size). Per-plan-node choices flow separately through
+/// QueryOptions::knobs -> ExecContext.
+void ApplyQueryKnobs(const KnobChoices& choices, QueryOptions& opt) {
+  if (const int64_t v = choices.Get(kQueryKnob, KnobKind::kBuildMode);
+      v != KnobChoices::kUnset) {
+    opt.build_mode = v == 0 ? runtime::BuildMode::kCas
+                            : runtime::BuildMode::kPartitioned;
+  }
+  if (const int64_t v = choices.Get(kQueryKnob, KnobKind::kRof);
+      v != KnobChoices::kUnset) {
+    opt.rof = v != 0;
+  }
+  if (const int64_t v = choices.Get(kQueryKnob, KnobKind::kRofBlock);
+      v != KnobChoices::kUnset) {
+    opt.rof_block = static_cast<size_t>(v);
+  }
+  if (const int64_t v = choices.Get(kQueryKnob, KnobKind::kVectorSize);
+      v != KnobChoices::kUnset) {
+    opt.vector_size = static_cast<size_t>(v);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -117,8 +177,21 @@ struct PreparedQuery::Impl {
 
   /// Catalog-derived build-side footprint (EstimatedBuildBytes, stamped at
   /// Prepare): what memory-aware admission charges against the scheduler's
-  /// in-flight memory budget for the duration of the run.
+  /// in-flight memory budget until the first successful execution replaces
+  /// it with the measured peak below.
   size_t est_bytes = 0;
+  /// Peak ledger bytes across this handle's successful executions (the
+  /// QueryLedger tracks it per run; max-merged here). Once nonzero, it is
+  /// what admission charges — the measured footprint replaces the static
+  /// 64 B/build-tuple guess on prepared-query re-execution.
+  mutable std::atomic<size_t> measured_peak{0};
+  /// Scan-input tuple count (ScannedTuples, stamped at Prepare): the
+  /// tuner's cost normalization constant.
+  size_t work_tuples = 1;
+  /// The per-PreparedQuery bandit over execution knobs; non-null iff the
+  /// query was prepared with tuning != kOff on a tunable engine. Shared by
+  /// concurrent executions (internally synchronized).
+  std::unique_ptr<runtime::Tuner> tuner;
 
   QueryResult ExecuteWith(const QueryParams& params,
                           const CancelToken* token) const {
@@ -134,8 +207,9 @@ struct PreparedQuery::Impl {
     // deadline/cancel), one that could never fit is rejected with
     // kResourceExhausted. An overloaded server answers with backpressure
     // instead of queueing unboundedly.
-    Scheduler::Admission admission =
-        runtime::PoolFor(opt).scheduler().Admit(token, est_bytes);
+    const size_t peak_seen = measured_peak.load(std::memory_order_relaxed);
+    Scheduler::Admission admission = runtime::PoolFor(opt).scheduler().Admit(
+        token, peak_seen != 0 ? peak_seen : est_bytes);
     if (!admission.ok()) return QueryResult::Failed(admission.status());
 
     QueryOptions run_opt = opt;
@@ -152,8 +226,26 @@ struct PreparedQuery::Impl {
     // never constructed.
     if (run_opt.fault == nullptr)
       run_opt.fault = runtime::FaultInjector::ProcessWide();
+    // Tuned executions draw one arm per knob from the bandit, overlay the
+    // query-level arms onto the run options (Typer build mode / ROF,
+    // Tectorwise vector size), and hand the per-node arms + telemetry sink
+    // to the engines. The draw is inside the try: the tuner's bookkeeping
+    // allocates, so it is a named fault point of the managed run.
+    KnobChoices choices;
+    runtime::NodeTelemetry telemetry;
+    const bool tuned =
+        tuner != nullptr && run_opt.tuning != TuningMode::kOff;
+    uint64_t start_ns = 0;
     QueryResult result;
     try {
+      if (tuned) {
+        runtime::FaultHit(run_opt.fault, "session.tuner", token);
+        tuner->Resolve(run_opt.tuning, &choices);
+        ApplyQueryKnobs(choices, run_opt);
+        run_opt.knobs = &choices;
+        run_opt.telemetry = &telemetry;
+        start_ns = runtime::JoinBuildTelemetry::NowNs();
+      }
       switch (engine) {
         case Engine::kTyper:
           result = typer(*db, run_opt, params, typer_cache);
@@ -181,6 +273,18 @@ struct PreparedQuery::Impl {
     // An interrupted run drained early: its rows are partial garbage, so
     // surface the status on an empty result instead.
     if (token->Interrupted()) return QueryResult::Failed(token->status());
+    // Feedback from a clean run only — an interrupted run's spans and peak
+    // are partial and would poison both loops.
+    if (tuned && run_opt.tuning == TuningMode::kLearn) {
+      tuner->Observe(choices, telemetry,
+                     runtime::JoinBuildTelemetry::NowNs() - start_ns,
+                     work_tuples);
+    }
+    size_t prev = measured_peak.load(std::memory_order_relaxed);
+    const size_t peak = ledger.peak();
+    while (peak > prev && !measured_peak.compare_exchange_weak(
+                              prev, peak, std::memory_order_relaxed)) {
+    }
     return result;
   }
 };
@@ -301,6 +405,24 @@ Engine PreparedQuery::engine() const { return impl_->engine; }
 Query PreparedQuery::query() const { return impl_->query; }
 const QueryInfo& PreparedQuery::info() const { return *impl_->info; }
 const QueryOptions& PreparedQuery::options() const { return impl_->opt; }
+
+std::string PreparedQuery::ExplainTuning() const {
+  if (impl_->tuner == nullptr) return "tuning: off\n";
+  return impl_->tuner->Describe();
+}
+
+PreparedQuery& PreparedQuery::FreezeTuning() {
+  if (impl_->tuner != nullptr) impl_->tuner->Freeze();
+  return *this;
+}
+
+bool PreparedQuery::TuningConverged() const {
+  return impl_->tuner == nullptr || impl_->tuner->Converged();
+}
+
+size_t PreparedQuery::measured_peak_bytes() const {
+  return impl_->measured_peak.load(std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // ExecutionHandle
@@ -436,6 +558,63 @@ PreparedQuery Session::Prepare(Engine engine, Query query,
       ValidatePlanParams(impl->tw->plan(), *impl->info);
       break;
     case Engine::kVolcano: impl->volcano = VolcanoRunner(query); break;
+  }
+  // Self-tuning (runtime/tuner.h): every tunable decision of this query
+  // becomes a bandit knob, with the prepared options as the default arms —
+  // an untrained/frozen tuner reproduces today's static behavior exactly.
+  // Volcano has no knobs (it exists as the differential-test reference).
+  if (options.tuning != TuningMode::kOff && engine != Engine::kVolcano) {
+    impl->work_tuples = std::max<size_t>(1, ScannedTuples(*db_, query));
+    auto tuner = std::make_unique<runtime::Tuner>(
+        runtime::Tuner::ResolveSeed(options.tuner_seed));
+    const QueryOptions& opt = impl->opt;
+    if (engine == Engine::kTyper) {
+      tuner->RegisterKnob(
+          "typer.build_mode", kQueryKnob, KnobKind::kBuildMode, {0, 1},
+          opt.build_mode == runtime::BuildMode::kCas ? 0 : 1);
+      tuner->RegisterKnob("typer.rof", kQueryKnob, KnobKind::kRof, {0, 1},
+                          opt.rof ? 1 : 0);
+      std::vector<int64_t> blocks{128, 256, 512, 1024};
+      const size_t def =
+          ArmIndexOf(blocks, static_cast<int64_t>(opt.rof_block));
+      tuner->RegisterKnob("typer.rof_block", kQueryKnob, KnobKind::kRofBlock,
+                          std::move(blocks), def);
+    } else {
+      std::vector<int64_t> sizes{256, 512, 1024, 2048};
+      const size_t size_def =
+          ArmIndexOf(sizes, static_cast<int64_t>(opt.vector_size));
+      tuner->RegisterKnob("tw.vector_size", kQueryKnob,
+                          KnobKind::kVectorSize, std::move(sizes), size_def);
+      const auto infos = impl->tw->plan().Describe();
+      for (uint32_t i = 0; i < infos.size(); ++i) {
+        using tectorwise::NodeKind;
+        switch (infos[i].kind) {
+          case NodeKind::kSelect:
+          case NodeKind::kHashGroup: {
+            // Compaction arm encoding: never / always / adaptive(1/k).
+            std::vector<int64_t> arms{0, 1, 16, 64, 256};
+            const size_t def = ArmIndexOf(arms, CompactionArmOf(opt));
+            const char* at =
+                infos[i].kind == NodeKind::kSelect ? "tw.select#"
+                                                   : "tw.group#";
+            tuner->RegisterKnob(at + std::to_string(i) + ".compaction", i,
+                                KnobKind::kCompaction, std::move(arms), def);
+            break;
+          }
+          case NodeKind::kHashJoin:
+            tuner->RegisterKnob(
+                "tw.join#" + std::to_string(i) + ".build_mode", i,
+                KnobKind::kBuildMode, {0, 1},
+                opt.build_mode == runtime::BuildMode::kCas ? 0 : 1);
+            tuner->RegisterKnob("tw.join#" + std::to_string(i) + ".rof", i,
+                                KnobKind::kRof, {0, 1}, opt.rof ? 1 : 0);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    impl->tuner = std::move(tuner);
   }
   PreparedQuery prepared;
   prepared.impl_ = std::move(impl);

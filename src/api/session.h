@@ -142,6 +142,23 @@ class PreparedQuery {
   const QueryInfo& info() const;
   const runtime::QueryOptions& options() const;
 
+  /// EXPLAIN surface of the self-tuning state (runtime/tuner.h): per knob,
+  /// the arm set with visit counts and mean measured cost, and the arm a
+  /// frozen execution would choose. Returns "tuning: off\n" when the query
+  /// was prepared with TuningMode::kOff.
+  std::string ExplainTuning() const;
+  /// Pins every knob to its current best learned arm: subsequent
+  /// executions behave as TuningMode::kFrozen regardless of the prepared
+  /// mode. No-op under kOff.
+  PreparedQuery& FreezeTuning();
+  /// True once the tuner's bounded exploration phase has completed (every
+  /// arm of every knob visited); always true under kOff.
+  bool TuningConverged() const;
+  /// Peak ledger bytes measured across this handle's successful
+  /// executions; 0 until the first one completes. Once nonzero it replaces
+  /// the catalog's static build estimate in memory-aware admission.
+  size_t measured_peak_bytes() const;
+
  private:
   friend class Session;
   struct Impl;

@@ -73,6 +73,43 @@
 // testable deterministically via runtime::FaultInjector
 // (runtime/fault_injector.h; env: VCQ_FAULT / VCQ_FAULT_SEED).
 //
+// Self-tuning model (paper §9.1: the optimizer, not the engineer, should
+// pick execution strategies): every data- and machine-dependent execution
+// knob — compaction policy/threshold at each registered Tectorwise
+// Select/group point, join-build protocol per build, Typer's ROF staged
+// probes and their block size, the vector size — can be learned per
+// prepared query instead of set statically, by a per-PreparedQuery
+// multi-armed bandit (runtime/tuner.h). Opt in per query:
+//
+//   vcq::runtime::QueryOptions opt;
+//   opt.tuning = vcq::runtime::TuningMode::kLearn;   // default: kOff
+//   opt.tuner_seed = 42;            // 0 = VCQ_TUNER_SEED env, else fixed
+//   vcq::PreparedQuery q = session.Prepare(engine, query, opt);
+//   while (!q.TuningConverged()) q.Execute();        // bounded exploration
+//   std::cout << q.ExplainTuning();  // arms, visit counts, measured costs
+//   q.FreezeTuning();                // pin the learned configuration
+//
+// Knob lifecycle: knobs are registered at Prepare (one per tunable
+// decision the query's plan actually contains), each with a discrete arm
+// set whose default arm is exactly the static QueryOptions configuration.
+// Every kLearn execution draws one arm per knob (bounded exploration in a
+// seed-shuffled order, then UCB1 on measured ns/tuple — per-node spans
+// where telemetry exists, the query span otherwise) and feeds the
+// measured cost back; failed executions are never charged. kFrozen (or
+// FreezeTuning()) resolves every knob to its best learned arm without
+// further exploration or state updates; kOff bypasses the tuner entirely
+// and behaves exactly like the pre-tuner statics — as does an untrained
+// frozen tuner, whose best arm is the default arm.
+//
+// Determinism: arms change performance, never results — every arm of
+// every knob produces byte-identical output (tests/tuner_test.cc sweeps
+// them). The exploration arm sequence is a pure function of the resolved
+// seed and the number of kLearn executions; measured costs only influence
+// post-exploration choices. Set VCQ_TUNER_SEED (or tuner_seed) to replay
+// a sequence exactly. bench/ablation_self_tuning.cc measures the learned
+// configuration against every static arm across selectivities and scale
+// factors.
+//
 // The query list, engine support, and per-query parameter specifications
 // (names, types, spec defaults) live in the vcq::QueryCatalog
 // (api/query_catalog.h) — the single registry behind TpchQueries(),

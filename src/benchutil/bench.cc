@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "api/query_catalog.h"
 #include "common/env_util.h"
 #include "runtime/hashmap.h"
 #include "tectorwise/compaction.h"
@@ -60,29 +61,7 @@ Measurement Measure(const std::function<void()>& fn, int reps) {
 }
 
 size_t TuplesScanned(const runtime::Database& db, Query query) {
-  auto count = [&](const char* name) { return db[name].tuple_count(); };
-  switch (query) {
-    case Query::kQ1:
-    case Query::kQ6: return count("lineitem");
-    case Query::kQ3:
-      return count("customer") + count("orders") + count("lineitem");
-    case Query::kQ9:
-      return count("part") + count("supplier") + count("partsupp") +
-             count("orders") + count("lineitem");
-    case Query::kQ18:
-      return count("lineitem") + count("orders") + count("customer");
-    case Query::kSsbQ11: return count("lineorder") + count("date");
-    case Query::kSsbQ21:
-      return count("lineorder") + count("date") + count("part") +
-             count("supplier");
-    case Query::kSsbQ31:
-      return count("lineorder") + count("date") + count("customer") +
-             count("supplier");
-    case Query::kSsbQ41:
-      return count("lineorder") + count("date") + count("customer") +
-             count("supplier") + count("part");
-  }
-  return 1;
+  return ScannedTuples(db, query);
 }
 
 Measurement MeasureQuery(const runtime::Database& db, Engine engine,

@@ -94,6 +94,7 @@ const std::vector<const char*>& FaultInjector::KnownPoints() {
       "tw.join.materialize",     // Tectorwise build-side row scatter
       "tw.group.alloc",          // Tectorwise group-entry alloc
       "tw.group.merge",          // Tectorwise spill-partition merge
+      "session.tuner",           // tuned executions: bandit arm draw
   };
   return kPoints;
 }

@@ -17,6 +17,7 @@
 #include "runtime/fault_injector.h"
 #include "runtime/options.h"
 #include "runtime/resource_governor.h"
+#include "runtime/tuner.h"
 
 namespace vcq::runtime {
 
@@ -182,13 +183,17 @@ class JoinBuildTelemetry {
 
 /// Failure-containment context of one JoinBuild (all optional): the run's
 /// CancelToken (barrier aborts, failure propagation), FaultInjector (the
-/// build's named fault points), and QueryLedger (directory + arena bytes
-/// are charged to the query's memory budget). Default-constructed = the
-/// ungoverned seed behavior.
+/// build's named fault points), QueryLedger (directory + arena bytes are
+/// charged to the query's memory budget), and NodeTelemetry sink + site id
+/// (the build's wall span is recorded per plan node as the tuner's reward
+/// signal; see runtime/tuner.h). Default-constructed = the ungoverned seed
+/// behavior.
 struct JoinBuildEnv {
   const CancelToken* cancel = nullptr;
   FaultInjector* fault = nullptr;
   QueryLedger* ledger = nullptr;
+  NodeTelemetry* telemetry = nullptr;
+  uint32_t site = 0;
 };
 
 /// Shared join-build protocol of both engines (one instance per hash table,
@@ -303,8 +308,11 @@ class JoinBuild {
 
     barrier_.WaitOrAbort(
         [&] {
-          JoinBuildTelemetry::Global().Add(JoinBuildTelemetry::NowNs() -
-                                           start_ns_);
+          const uint64_t span = JoinBuildTelemetry::NowNs() - start_ns_;
+          JoinBuildTelemetry::Global().Add(span);
+          if (env_.telemetry != nullptr && total_ > 0) {
+            env_.telemetry->RecordSpan(env_.site, span, total_);
+          }
           // After a partitioned build every entry lives in the arena, so
           // the published chunk lists are dead; drop them so the engines
           // can free the materialize-phase MemPool chunks they point into

@@ -8,6 +8,8 @@ namespace vcq::runtime {
 
 class CancelToken;
 class FaultInjector;
+class KnobChoices;
+class NodeTelemetry;
 class QueryLedger;
 class WorkerPool;
 
@@ -29,6 +31,17 @@ enum class CompactionMode { kNever, kAlways, kAdaptive };
 /// extra scan of the materialized rows per worker for contention-free
 /// inserts and cache-friendly chains.
 enum class BuildMode { kCas, kPartitioned };
+
+/// Whether prepared-query executions consult the per-PreparedQuery
+/// runtime::Tuner for execution knobs (see runtime/tuner.h):
+///   kOff     every knob comes from the static QueryOptions fields below —
+///            exactly the pre-tuner behavior.
+///   kLearn   each execution draws knob arms from the bandit (bounded
+///            seed-deterministic exploration, then UCB1) and feeds the
+///            measured cost back.
+///   kFrozen  every knob resolves to the current best learned arm; no
+///            exploration, no state updates.
+enum class TuningMode { kOff, kLearn, kFrozen };
 
 /// Per-run execution settings, honored by all engines where meaningful.
 struct QueryOptions {
@@ -104,6 +117,27 @@ struct QueryOptions {
   CompactionMode compaction = CompactionMode::kNever;
   /// Density below which kAdaptive compacts (count / vector_size).
   double compaction_threshold = 1.0 / 64;
+  /// Typer staged-probe (ROF) block size in tuples when `rof` is set;
+  /// clamped to [1, typer::kRofMaxBlock]. The tuner sweeps
+  /// {128, 256, 512, 1024}.
+  size_t rof_block = 512;
+  /// Self-tuning mode for prepared-query execution (see TuningMode and
+  /// runtime/tuner.h). Session-level setting; standalone engine calls
+  /// ignore it.
+  TuningMode tuning = TuningMode::kOff;
+  /// Seed for the tuner's arm-exploration order. 0 = take VCQ_TUNER_SEED
+  /// from the environment, falling back to a fixed default; arm sequences
+  /// are reproducible from the resolved seed either way.
+  uint64_t tuner_seed = 0;
+  /// Resolved per-execution knob choices (written by runtime::Tuner,
+  /// stamped by vcq::PreparedQuery per run). Engines overlay these on the
+  /// static fields above: Tectorwise reads per-plan-node arms through
+  /// ExecContext, Typer reads the per-query arms before entering the
+  /// pipeline. nullptr = no overlay.
+  const KnobChoices* knobs = nullptr;
+  /// Per-node wall-span sink for this execution (reward signal for the
+  /// tuner; see runtime::NodeTelemetry). nullptr = not sampled.
+  NodeTelemetry* telemetry = nullptr;
 };
 
 }  // namespace vcq::runtime

@@ -91,6 +91,14 @@ struct ExecContext {
   /// Deterministic fault injector; nullptr = fault points compiled to a
   /// single null check.
   runtime::FaultInjector* fault = nullptr;
+  /// Per-execution knob choices from the session's runtime::Tuner,
+  /// keyed by plan-node index (see runtime/tuner.h). The plan nodes
+  /// overlay matching choices onto the static fields above when
+  /// instantiating their operators; nullptr = statics only.
+  const runtime::KnobChoices* knobs = nullptr;
+  /// Per-node wall-span sink for this execution (the tuner's reward
+  /// signal); nullptr = not sampled.
+  runtime::NodeTelemetry* telemetry = nullptr;
 };
 
 /// Pull-based operator: Next() produces the next batch and returns the

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <set>
 
+#include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
 
 namespace vcq::tectorwise {
@@ -19,8 +20,47 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.cancel = opt.cancel;
   ctx.ledger = opt.ledger;
   ctx.fault = opt.fault;
+  ctx.knobs = opt.knobs;
+  ctx.telemetry = opt.telemetry;
   return ctx;
 }
+
+namespace {
+
+/// The plan context with node `index`'s tuner choices overlaid (see
+/// runtime/tuner.h). Every operator that reads these fields copies the
+/// context at construction, so a per-node local is safe — and required:
+/// all workers derive the same overlay from the shared KnobChoices, which
+/// keeps per-Shared agreement (e.g. HashJoin build mode) intact.
+ExecContext NodeContext(const ExecContext& base, uint32_t index) {
+  if (base.knobs == nullptr) return base;
+  using runtime::KnobChoices;
+  using runtime::KnobKind;
+  ExecContext ctx = base;
+  if (const int64_t v = base.knobs->Get(index, KnobKind::kCompaction);
+      v != KnobChoices::kUnset) {
+    if (v == runtime::kCompactionNever) {
+      ctx.compaction = CompactionPolicy::kNever;
+    } else if (v == runtime::kCompactionAlways) {
+      ctx.compaction = CompactionPolicy::kAlways;
+    } else {
+      ctx.compaction = CompactionPolicy::kAdaptive;
+      ctx.compaction_threshold = 1.0 / static_cast<double>(v);
+    }
+  }
+  if (const int64_t v = base.knobs->Get(index, KnobKind::kBuildMode);
+      v != KnobChoices::kUnset) {
+    ctx.build_mode = v == 0 ? runtime::BuildMode::kCas
+                            : runtime::BuildMode::kPartitioned;
+  }
+  if (const int64_t v = base.knobs->Get(index, KnobKind::kRof);
+      v != KnobChoices::kUnset) {
+    ctx.rof = v != 0;
+  }
+  return ctx;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PlanNode declaration helpers
@@ -75,13 +115,14 @@ std::unique_ptr<Operator> ScanNode::Instantiate(
 
 std::unique_ptr<Operator> SelectNode::Instantiate(
     plan_internal::Workspace& ws) const {
+  const ExecContext ctx = NodeContext(ws.ctx, index_);
   auto select =
-      std::make_unique<Select>(InstantiateNode(*children_[0], ws), ws.ctx);
-  for (const auto& make : steps_) select->AddStep(make(ws.ctx, ws));
+      std::make_unique<Select>(InstantiateNode(*children_[0], ws), ctx);
+  for (const auto& make : steps_) select->AddStep(make(ctx, ws));
   // The derived compaction registrations: every column produced at or
   // below this Select and consumed above it.
   for (const uint32_t id : compact_) {
-    (*ws.columns)[id].compact(ws.ctx, select->compactor(), ws.slots[id]);
+    (*ws.columns)[id].compact(ctx, select->compactor(), ws.slots[id]);
   }
   return select;
 }
@@ -96,20 +137,24 @@ std::unique_ptr<Operator> MapNode::Instantiate(
 
 std::shared_ptr<void> JoinNode::MakeShared(
     const runtime::QueryOptions& opt) const {
+  // The build's wall span is recorded under this node's index — the
+  // per-node reward for the join's build-mode knob.
   return std::make_shared<HashJoin::Shared>(
-      opt.threads, runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger});
+      opt.threads, runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger,
+                                         opt.telemetry, index_});
 }
 
 std::unique_ptr<Operator> JoinNode::Instantiate(
     plan_internal::Workspace& ws) const {
+  const ExecContext ctx = NodeContext(ws.ctx, index_);
   auto build = InstantiateNode(*children_[0], ws);
   auto probe = InstantiateNode(*children_[1], ws);
   auto* shared = static_cast<HashJoin::Shared*>((*ws.shared)[index_].get());
   auto join = std::make_unique<HashJoin>(shared, std::move(build),
-                                         std::move(probe), ws.ctx);
+                                         std::move(probe), ctx);
   FieldMap fields;
   for (const auto& configure : config_)
-    configure(ws.ctx, *join, ws, fields);
+    configure(ctx, *join, ws, fields);
   return join;
 }
 
@@ -120,14 +165,15 @@ std::shared_ptr<void> GroupNode::MakeShared(
 
 std::unique_ptr<Operator> GroupNode::Instantiate(
     plan_internal::Workspace& ws) const {
+  const ExecContext ctx = NodeContext(ws.ctx, index_);
   auto* shared = static_cast<HashGroup::Shared*>((*ws.shared)[index_].get());
   auto group = std::make_unique<HashGroup>(shared, ws.worker_id,
                                            ws.worker_count,
                                            InstantiateNode(*children_[0], ws),
-                                           ws.ctx);
+                                           ctx);
   for (const auto& configure : config_) configure(*group, ws);
   group->SetDenseOutput(dense_output_.value_or(
-      ws.ctx.compaction != CompactionPolicy::kNever));
+      ctx.compaction != CompactionPolicy::kNever));
   return group;
 }
 

@@ -13,10 +13,14 @@
 
 namespace vcq::typer {
 
-/// Block size for relaxed-operator-fusion staged probes (paper §9.1): large
-/// enough that the block's independent prefetches cover DRAM latency, small
-/// enough that the staged hash buffers stay L1-resident.
+/// Default block size for relaxed-operator-fusion staged probes (paper
+/// §9.1): large enough that the block's independent prefetches cover DRAM
+/// latency, small enough that the staged hash buffers stay L1-resident.
+/// The actual block size is per-run (QueryOptions::rof_block, swept by the
+/// tuner over {128, 256, 512, 1024}).
 inline constexpr size_t kRofBlock = 512;
+/// Upper bound on QueryOptions::rof_block; sizes the staged hash buffers.
+inline constexpr size_t kRofMaxBlock = 1024;
 
 /// Shared join hash table for Typer pipelines: a morsel-parallel producer
 /// materializes entries into worker-local chunk arenas, then hands them to
@@ -35,13 +39,16 @@ class JoinTable {
                 "the partitioned build relocates entries bytewise");
 
  public:
-  explicit JoinTable(const runtime::QueryOptions& opt)
+  /// `site` is this build's NodeTelemetry slot (a per-query build ordinal);
+  /// only meaningful on tuned runs where opt.telemetry is set.
+  explicit JoinTable(const runtime::QueryOptions& opt, uint32_t site = 0)
       : threads_(opt.threads),
         mode_(opt.build_mode),
         pool_(&runtime::PoolFor(opt)),
         region_{opt.sched_stream, 0, opt.cancel},
         build_(&ht, opt.threads,
-               runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger}),
+               runtime::JoinBuildEnv{opt.cancel, opt.fault, opt.ledger,
+                                     opt.telemetry, site}),
         pools_(opt.threads) {
     // Governed runs charge materialize-phase chunks to the query ledger
     // and expose the allocation as a named fault point; ungoverned runs
@@ -133,7 +140,7 @@ class JoinTable {
 
    private:
     const JoinTable& table_;
-    uint64_t hashes_[kRofBlock];
+    uint64_t hashes_[kRofMaxBlock];
   };
 
   size_t size() const { return build_.entry_count(); }

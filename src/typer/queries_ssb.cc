@@ -10,6 +10,7 @@
 #include "typer/group_table.h"
 #include "typer/join_table.h"
 #include "typer/queries.h"
+#include "typer/rof.h"
 
 // Star Schema Benchmark pipelines for Typer (paper §4.4): one fused probe
 // loop over lineorder against filtered dimension hash tables. Column
@@ -135,21 +136,10 @@ QueryResult RunSsbQ11(const Database& db, const QueryOptions& opt,
     size_t begin, end;
     while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
-        JoinTable<KeyOnly>::StagedLookup date_probe(ht_date);
-        size_t idx[kRofBlock];
-        for (size_t block = begin; block < end; block += kRofBlock) {
-          const size_t block_end = std::min(block + kRofBlock, end);
-          size_t n = 0;
-          for (size_t i = block; i < block_end; ++i) {
-            idx[n] = i;
-            n += pass(i) ? 1 : 0;
-          }
-          date_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_orderdate[idx[k]]));
-          });
-          date_probe.PrefetchEntries(n);
-          for (size_t k = 0; k < n; ++k) resolve(idx[k], date_probe.hash(k));
-        }
+        StagedProbe date_probe(ht_date, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+        });
+        StagedProbeLoop(begin, end, opt.rof_block, pass, resolve, date_probe);
       } else {
         for (size_t i = begin; i < end; ++i) {
           if (!pass(i)) continue;
@@ -291,30 +281,23 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
     size_t begin, end;
     while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
-        JoinTable<BrandEntry>::StagedLookup part_probe(ht_part);
-        JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);
-        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
-        for (size_t block = begin; block < end; block += kRofBlock) {
-          const size_t n = std::min(kRofBlock, end - block);
-          part_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_partkey[block + k]));
-          });
-          supp_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
-          });
-          date_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
-          });
-          part_probe.PrefetchEntries(n);
-          supp_probe.PrefetchEntries(n);
-          date_probe.PrefetchEntries(n);
-          for (size_t k = 0; k < n; ++k) {
-            resolve(
-                block + k, [&] { return part_probe.hash(k); },
-                [&] { return supp_probe.hash(k); },
-                [&] { return date_probe.hash(k); });
-          }
-        }
+        StagedProbe part_probe(ht_part, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_partkey[i]));
+        });
+        StagedProbe supp_probe(ht_supp, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_suppkey[i]));
+        });
+        StagedProbe date_probe(ht_date, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+        });
+        StagedProbeLoop(
+            begin, end, opt.rof_block, kRofAll,
+            [&](size_t i, uint64_t ph, uint64_t sh, uint64_t dh) {
+              resolve(
+                  i, [&] { return ph; }, [&] { return sh; },
+                  [&] { return dh; });
+            },
+            part_probe, supp_probe, date_probe);
       } else {
         for (size_t i = begin; i < end; ++i) {
           resolve(
@@ -469,30 +452,23 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
     size_t begin, end;
     while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
-        JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
-        JoinTable<KeyNation>::StagedLookup supp_probe(ht_supp);
-        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
-        for (size_t block = begin; block < end; block += kRofBlock) {
-          const size_t n = std::min(kRofBlock, end - block);
-          cust_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_custkey[block + k]));
-          });
-          supp_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
-          });
-          date_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
-          });
-          cust_probe.PrefetchEntries(n);
-          supp_probe.PrefetchEntries(n);
-          date_probe.PrefetchEntries(n);
-          for (size_t k = 0; k < n; ++k) {
-            resolve(
-                block + k, [&] { return cust_probe.hash(k); },
-                [&] { return supp_probe.hash(k); },
-                [&] { return date_probe.hash(k); });
-          }
-        }
+        StagedProbe cust_probe(ht_cust, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_custkey[i]));
+        });
+        StagedProbe supp_probe(ht_supp, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_suppkey[i]));
+        });
+        StagedProbe date_probe(ht_date, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+        });
+        StagedProbeLoop(
+            begin, end, opt.rof_block, kRofAll,
+            [&](size_t i, uint64_t ch, uint64_t sh, uint64_t dh) {
+              resolve(
+                  i, [&] { return ch; }, [&] { return sh; },
+                  [&] { return dh; });
+            },
+            cust_probe, supp_probe, date_probe);
       } else {
         for (size_t i = begin; i < end; ++i) {
           resolve(
@@ -672,36 +648,27 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
     size_t begin, end;
     while (!Stop(opt) && morsels.Next(begin, end)) {
       if (opt.rof) {
-        JoinTable<KeyNation>::StagedLookup cust_probe(ht_cust);
-        JoinTable<KeyOnly>::StagedLookup supp_probe(ht_supp);
-        JoinTable<KeyOnly>::StagedLookup part_probe(ht_part);
-        JoinTable<DateEntry>::StagedLookup date_probe(ht_date);
-        for (size_t block = begin; block < end; block += kRofBlock) {
-          const size_t n = std::min(kRofBlock, end - block);
-          cust_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_custkey[block + k]));
-          });
-          supp_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_suppkey[block + k]));
-          });
-          part_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_partkey[block + k]));
-          });
-          date_probe.Hash(n, [&](size_t k) {
-            return HashCrc32(static_cast<uint32_t>(lo_orderdate[block + k]));
-          });
-          cust_probe.PrefetchEntries(n);
-          supp_probe.PrefetchEntries(n);
-          part_probe.PrefetchEntries(n);
-          date_probe.PrefetchEntries(n);
-          for (size_t k = 0; k < n; ++k) {
-            resolve(
-                block + k, [&] { return cust_probe.hash(k); },
-                [&] { return supp_probe.hash(k); },
-                [&] { return part_probe.hash(k); },
-                [&] { return date_probe.hash(k); });
-          }
-        }
+        StagedProbe cust_probe(ht_cust, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_custkey[i]));
+        });
+        StagedProbe supp_probe(ht_supp, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_suppkey[i]));
+        });
+        StagedProbe part_probe(ht_part, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_partkey[i]));
+        });
+        StagedProbe date_probe(ht_date, [&](size_t i) {
+          return HashCrc32(static_cast<uint32_t>(lo_orderdate[i]));
+        });
+        StagedProbeLoop(
+            begin, end, opt.rof_block, kRofAll,
+            [&](size_t i, uint64_t ch, uint64_t sh, uint64_t ph,
+                uint64_t dh) {
+              resolve(
+                  i, [&] { return ch; }, [&] { return sh; },
+                  [&] { return ph; }, [&] { return dh; });
+            },
+            cust_probe, supp_probe, part_probe, date_probe);
       } else {
         for (size_t i = begin; i < end; ++i) {
           resolve(

@@ -11,6 +11,7 @@
 #include "typer/group_table.h"
 #include "typer/join_table.h"
 #include "typer/queries.h"
+#include "typer/rof.h"
 
 // TPC-H pipelines for the Typer engine. Every pipeline is one fused loop
 // (scan + select + arithmetic + probe + aggregate), the code shape that
@@ -349,21 +350,12 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
       size_t begin, end;
       while (!Stop(opt) && morsels.Next(begin, end)) {
         if (opt.rof) {
-          JoinTable<Q3Order>::StagedLookup ord(ht_ord);
-          size_t idx[kRofBlock];
-          for (size_t block = begin; block < end; block += kRofBlock) {
-            const size_t block_end = std::min(block + kRofBlock, end);
-            size_t n = 0;
-            for (size_t i = block; i < block_end; ++i) {
-              idx[n] = i;
-              n += (l_shipdate[i] > date) ? 1 : 0;
-            }
-            ord.Hash(n, [&](size_t k) {
-              return HashCrc32(static_cast<uint32_t>(l_orderkey[idx[k]]));
-            });
-            ord.PrefetchEntries(n);
-            for (size_t k = 0; k < n; ++k) resolve(idx[k], ord.hash(k));
-          }
+          StagedProbe ord(ht_ord, [&](size_t i) {
+            return HashCrc32(static_cast<uint32_t>(l_orderkey[i]));
+          });
+          StagedProbeLoop(
+              begin, end, opt.rof_block,
+              [&](size_t i) { return l_shipdate[i] > date; }, resolve, ord);
         } else {
           for (size_t i = begin; i < end; ++i) {
             if (l_shipdate[i] <= date) continue;
@@ -610,30 +602,23 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
           // at block boundaries; all three probe tables are staged (the
           // orders directory — 1.5M entries per SF — is the memory-bound
           // one, and the partsupp/supplier stages ride along for free).
-          JoinTable<Q9PartSupp>::StagedLookup ps(ht_ps);
-          JoinTable<Q9Supp>::StagedLookup supp(ht_supp);
-          JoinTable<Q9Order>::StagedLookup ord(ht_ord);
-          for (size_t block = begin; block < end; block += kRofBlock) {
-            const size_t n = std::min(kRofBlock, end - block);
-            ps.Hash(n, [&](size_t k) {
-              const size_t i = block + k;
-              return HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
-            });
-            supp.Hash(n, [&](size_t k) {
-              return HashCrc32(static_cast<uint32_t>(l_suppkey[block + k]));
-            });
-            ord.Hash(n, [&](size_t k) {
-              return HashCrc32(static_cast<uint32_t>(l_orderkey[block + k]));
-            });
-            ps.PrefetchEntries(n);
-            supp.PrefetchEntries(n);
-            ord.PrefetchEntries(n);
-            for (size_t k = 0; k < n; ++k) {
-              resolve(
-                  block + k, [&] { return ps.hash(k); },
-                  [&] { return supp.hash(k); }, [&] { return ord.hash(k); });
-            }
-          }
+          StagedProbe ps(ht_ps, [&](size_t i) {
+            return HashCrc32(PackPartSupp(l_partkey[i], l_suppkey[i]));
+          });
+          StagedProbe supp(ht_supp, [&](size_t i) {
+            return HashCrc32(static_cast<uint32_t>(l_suppkey[i]));
+          });
+          StagedProbe ord(ht_ord, [&](size_t i) {
+            return HashCrc32(static_cast<uint32_t>(l_orderkey[i]));
+          });
+          StagedProbeLoop(
+              begin, end, opt.rof_block, kRofAll,
+              [&](size_t i, uint64_t ps_h, uint64_t supp_h, uint64_t ord_h) {
+                resolve(
+                    i, [&] { return ps_h; }, [&] { return supp_h; },
+                    [&] { return ord_h; });
+              },
+              ps, supp, ord);
         } else {
           for (size_t i = begin; i < end; ++i) {
             resolve(
@@ -832,24 +817,19 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
       size_t begin, end;
       while (!Stop(opt) && morsels.Next(begin, end)) {
         if (opt.rof) {
-          JoinTable<Q18Order>::StagedLookup big(ht_big);
-          JoinTable<Q18Cust>::StagedLookup cust(ht_cust);
-          for (size_t block = begin; block < end; block += kRofBlock) {
-            const size_t n = std::min(kRofBlock, end - block);
-            big.Hash(n, [&](size_t k) {
-              return HashCrc32(static_cast<uint32_t>(o_orderkey[block + k]));
-            });
-            cust.Hash(n, [&](size_t k) {
-              return HashCrc32(static_cast<uint32_t>(o_custkey[block + k]));
-            });
-            big.PrefetchEntries(n);
-            cust.PrefetchEntries(n);
-            for (size_t k = 0; k < n; ++k) {
-              resolve(
-                  block + k, [&] { return big.hash(k); },
-                  [&] { return cust.hash(k); });
-            }
-          }
+          StagedProbe big(ht_big, [&](size_t i) {
+            return HashCrc32(static_cast<uint32_t>(o_orderkey[i]));
+          });
+          StagedProbe cust(ht_cust, [&](size_t i) {
+            return HashCrc32(static_cast<uint32_t>(o_custkey[i]));
+          });
+          StagedProbeLoop(
+              begin, end, opt.rof_block, kRofAll,
+              [&](size_t i, uint64_t big_h, uint64_t cust_h) {
+                resolve(
+                    i, [&] { return big_h; }, [&] { return cust_h; });
+              },
+              big, cust);
         } else {
           for (size_t i = begin; i < end; ++i) {
             resolve(

@@ -8,6 +8,7 @@
 #include "api/query_catalog.h"
 #include "api/session.h"
 #include "api/vcq.h"
+#include "datagen/ssb.h"
 #include "datagen/tpch.h"
 #include "runtime/mem_pool.h"
 #include "runtime/resource_governor.h"
@@ -17,9 +18,12 @@
 // last, and a seed-chosen in-between hit of the point and prove the query
 // drains clean — failed status, zero rows, MemPool::live_bytes() and the
 // process governor back at their pre-run baselines, and a clean rerun on
-// the same session byte-identical to the reference. Q3 is the sweep
-// workload because its plan (two joins into a group-by) crosses every
-// registered point of each engine.
+// the same session byte-identical to the reference. Sweep workloads: Q3
+// (two joins into a group-by — crosses every engine-side point), Q9
+// (four builds, composite keys — the deepest join stack in the catalog),
+// and SSB Q4.1 (four dimension builds on the denormalized schema). The
+// session-side "session.tuner" point only exists on tuned executions and
+// is swept separately below with TuningMode::kLearn.
 //
 // Determinism contract: at threads=1 hit counts are exact, so the armed
 // ordinal always fires and the assertions are unconditional. At threads=8
@@ -45,21 +49,28 @@ const Database& TpchDb() {
   return *db;
 }
 
+const Database& SsbDb() {
+  static const Database* db = new Database(datagen::GenerateSsb(0.01));
+  return *db;
+}
+
 constexpr ExecStatus ExpectedStatus(FaultAction action) {
   return action == FaultAction::kCancel ? ExecStatus::kCancelled
                                         : ExecStatus::kResourceExhausted;
 }
 
-// One armed execution plus the full drain-clean assertion set.
-void RunArmed(Session& session, Engine engine, size_t threads,
+// One armed execution plus the full drain-clean assertion set. `base`
+// carries everything but threads/fault (e.g. a tuning mode for the
+// session.tuner sweep).
+void RunArmed(Session& session, Engine engine, Query query, size_t threads,
               const char* point, FaultSpec spec, const QueryResult& expected,
-              PreparedQuery& clean) {
+              PreparedQuery& clean, QueryOptions base = {}) {
   FaultInjector armed;
   armed.Arm(point, spec);
-  QueryOptions opt;
+  QueryOptions opt = base;
   opt.threads = threads;
   opt.fault = &armed;
-  PreparedQuery q = session.Prepare(engine, Query::kQ3, opt);
+  PreparedQuery q = session.Prepare(engine, query, opt);
 
   const size_t live_before = MemPool::live_bytes();
   const size_t gov_before = ResourceGovernor::Global().in_use();
@@ -87,52 +98,100 @@ void RunArmed(Session& session, Engine engine, size_t threads,
 }
 
 TEST(FaultSweepTest, EveryPointBothEnginesFirstLastRandomHitDrainsClean) {
-  const Database& db = TpchDb();
-  Session session(db);
   // Seed-driven ordinal chooser: the whole sweep replays identically.
   FaultInjector rng(0x5eed5eed);
   std::set<std::string> crossed;
 
-  for (Engine engine : {Engine::kTyper, Engine::kTectorwise}) {
-    QueryOptions clean_opt;
-    clean_opt.threads = 1;
-    PreparedQuery clean = session.Prepare(engine, Query::kQ3, clean_opt);
-    const QueryResult expected = clean.Execute();
-    ASSERT_TRUE(expected.ok()) << EngineName(engine);
-    ASSERT_GT(expected.rows.size(), 0u);
+  struct Workload {
+    const Database* db;
+    Query query;
+  };
+  const Workload workloads[] = {
+      {&TpchDb(), Query::kQ3},
+      {&TpchDb(), Query::kQ9},
+      {&SsbDb(), Query::kSsbQ41},
+  };
 
-    for (size_t threads : {size_t{1}, size_t{8}}) {
-      // Dry-run with a counting (unarmed) injector to learn how often each
-      // point is crossed at this thread count.
-      FaultInjector counter;
-      QueryOptions opt;
-      opt.threads = threads;
-      opt.fault = &counter;
-      PreparedQuery probe = session.Prepare(engine, Query::kQ3, opt);
-      ASSERT_EQ(probe.Execute(), expected)
-          << EngineName(engine) << " threads=" << threads;
+  for (const Workload& wl : workloads) {
+    Session session(*wl.db);
+    for (Engine engine : {Engine::kTyper, Engine::kTectorwise}) {
+      QueryOptions clean_opt;
+      clean_opt.threads = 1;
+      PreparedQuery clean = session.Prepare(engine, wl.query, clean_opt);
+      const QueryResult expected = clean.Execute();
+      ASSERT_TRUE(expected.ok())
+          << EngineName(engine) << " " << QueryName(wl.query);
+      ASSERT_GT(expected.rows.size(), 0u);
 
-      for (const char* point : FaultInjector::KnownPoints()) {
-        const uint64_t hits = counter.HitCount(point);
-        if (hits == 0) continue;  // not on this engine's path
-        crossed.insert(point);
-        const uint64_t ordinals[] = {1, hits, rng.RandOrdinal(hits)};
-        for (uint64_t ordinal : ordinals) {
-          SCOPED_TRACE(std::string(EngineName(engine)) + " threads=" +
-                       std::to_string(threads) + " point=" + point +
-                       " hit=" + std::to_string(ordinal) + "/" +
-                       std::to_string(hits));
-          RunArmed(session, engine, threads, point,
-                   FaultSpec{FaultAction::kThrowBadAlloc, ordinal}, expected,
-                   clean);
+      for (size_t threads : {size_t{1}, size_t{8}}) {
+        // Dry-run with a counting (unarmed) injector to learn how often
+        // each point is crossed at this thread count.
+        FaultInjector counter;
+        QueryOptions opt;
+        opt.threads = threads;
+        opt.fault = &counter;
+        PreparedQuery probe = session.Prepare(engine, wl.query, opt);
+        ASSERT_EQ(probe.Execute(), expected)
+            << EngineName(engine) << " " << QueryName(wl.query)
+            << " threads=" << threads;
+
+        for (const char* point : FaultInjector::KnownPoints()) {
+          const uint64_t hits = counter.HitCount(point);
+          if (hits == 0) continue;  // not on this engine's path
+          crossed.insert(point);
+          const uint64_t ordinals[] = {1, hits, rng.RandOrdinal(hits)};
+          for (uint64_t ordinal : ordinals) {
+            SCOPED_TRACE(std::string(QueryName(wl.query)) + " " +
+                         EngineName(engine) + " threads=" +
+                         std::to_string(threads) + " point=" + point +
+                         " hit=" + std::to_string(ordinal) + "/" +
+                         std::to_string(hits));
+            RunArmed(session, engine, wl.query, threads, point,
+                     FaultSpec{FaultAction::kThrowBadAlloc, ordinal},
+                     expected, clean);
+          }
         }
       }
     }
   }
 
+  // The bandit arm draw only exists on tuned executions: sweep it with a
+  // learning tuner. The point is crossed exactly once per execution on the
+  // coordinating thread, so ordinal 1 is exact at any thread count — and
+  // the clean reruns double as byte-identity checks for arms the learning
+  // tuner happens to draw.
+  for (Engine engine : {Engine::kTyper, Engine::kTectorwise}) {
+    Session session(TpchDb());
+    QueryOptions tuned;
+    tuned.threads = 1;
+    tuned.tuning = runtime::TuningMode::kLearn;
+    tuned.tuner_seed = 7;
+    PreparedQuery clean = session.Prepare(engine, Query::kQ3, tuned);
+    const QueryResult expected = clean.Execute();
+    ASSERT_TRUE(expected.ok()) << EngineName(engine);
+
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      FaultInjector counter;
+      QueryOptions opt = tuned;
+      opt.threads = threads;
+      opt.fault = &counter;
+      PreparedQuery probe = session.Prepare(engine, Query::kQ3, opt);
+      ASSERT_EQ(probe.Execute(), expected)
+          << EngineName(engine) << " threads=" << threads;
+      ASSERT_EQ(counter.HitCount("session.tuner"), 1u);
+      crossed.insert("session.tuner");
+
+      SCOPED_TRACE(std::string("tuned ") + EngineName(engine) +
+                   " threads=" + std::to_string(threads));
+      RunArmed(session, engine, Query::kQ3, threads, "session.tuner",
+               FaultSpec{FaultAction::kThrowBadAlloc, 1}, expected, clean,
+               tuned);
+    }
+  }
+
   // Registry honesty: every listed point was actually crossed by at least
-  // one engine — a renamed or dropped site fails here instead of silently
-  // shrinking the sweep.
+  // one workload/engine — a renamed or dropped site fails here instead of
+  // silently shrinking the sweep.
   for (const char* point : FaultInjector::KnownPoints()) {
     EXPECT_TRUE(crossed.count(point) > 0)
         << "registered point never crossed by the sweep workload: " << point;
@@ -153,7 +212,7 @@ TEST(FaultSweepTest, InjectedCancelSurfacesAsCancelled) {
     for (size_t threads : {size_t{1}, size_t{8}}) {
       SCOPED_TRACE(std::string(EngineName(engine)) + " threads=" +
                    std::to_string(threads));
-      RunArmed(session, engine, threads, "join_build.size",
+      RunArmed(session, engine, Query::kQ3, threads, "join_build.size",
                FaultSpec{FaultAction::kCancel, 1}, expected, clean);
     }
   }
