@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -14,6 +15,7 @@
 #include "runtime/hashmap.h"
 #include "runtime/resource_governor.h"
 #include "runtime/scheduler.h"
+#include "runtime/spill.h"
 #include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
 #include "tectorwise/plan.h"
@@ -193,8 +195,31 @@ struct PreparedQuery::Impl {
   /// concurrent executions (internally synchronized).
   std::unique_ptr<runtime::Tuner> tuner;
 
+  /// Degradation-ladder telemetry (ExplainDegradation): per rung, how many
+  /// ExecuteWithDegradation attempts ran there and how many succeeded.
+  static constexpr size_t kRungs = 4;
+  mutable std::array<std::atomic<uint64_t>, kRungs> rung_runs{};
+  mutable std::array<std::atomic<uint64_t>, kRungs> rung_ok{};
+
+  /// Per-execution overrides of the prepared options, used by the
+  /// degradation ladder (0 = keep the prepared value). They win over the
+  /// tuner's arms: a degraded retry exists to shrink the footprint, not to
+  /// explore.
+  struct RunTweaks {
+    bool spill = false;
+    size_t threads = 0;
+    size_t vector_size = 0;
+  };
+
+  /// No-tweaks overload (a default argument would need RunTweaks' member
+  /// initializers before Impl is complete, which the compiler rejects).
   QueryResult ExecuteWith(const QueryParams& params,
                           const CancelToken* token) const {
+    return ExecuteWith(params, token, RunTweaks());
+  }
+
+  QueryResult ExecuteWith(const QueryParams& params, const CancelToken* token,
+                          const RunTweaks& tweaks) const {
     // Every execution runs with a token even when the caller asked for no
     // deadline/cancel handle: budget trips and the exception backstop need
     // somewhere to record the failure.
@@ -209,11 +234,14 @@ struct PreparedQuery::Impl {
     // instead of queueing unboundedly.
     const size_t peak_seen = measured_peak.load(std::memory_order_relaxed);
     Scheduler::Admission admission = runtime::PoolFor(opt).scheduler().Admit(
-        token, peak_seen != 0 ? peak_seen : est_bytes);
+        token, peak_seen != 0 ? peak_seen : est_bytes, opt.sched_stream);
     if (!admission.ok()) return QueryResult::Failed(admission.status());
 
     QueryOptions run_opt = opt;
     run_opt.cancel = token;
+    if (tweaks.threads != 0)
+      run_opt.threads = std::min(run_opt.threads, tweaks.threads);
+    if (tweaks.vector_size != 0) run_opt.vector_size = tweaks.vector_size;
     // The per-execution memory ledger: every pool the engines bind charges
     // it, the governor aggregates across concurrent queries, and a breach
     // soft-trips the token with kResourceExhausted (see
@@ -226,6 +254,18 @@ struct PreparedQuery::Impl {
     // never constructed.
     if (run_opt.fault == nullptr)
       run_opt.fault = runtime::FaultInjector::ProcessWide();
+    // Spill-enabled runs (prepared with spill, or degraded onto rung 1+)
+    // get a per-execution SpillManager and put the ledger in spill mode:
+    // a budget overage then reads as live pressure the operators relieve
+    // by staging state to disk, instead of a sticky kResourceExhausted
+    // trip. Destroyed with this frame, which unlinks every spill file —
+    // success or failure, the disk returns to baseline.
+    std::optional<runtime::SpillManager> spill_mgr;
+    if (tweaks.spill || run_opt.spill) {
+      spill_mgr.emplace(run_opt.spill_limit, run_opt.fault, token);
+      run_opt.spill_manager = &*spill_mgr;
+      ledger.EnableSpillMode();
+    }
     // Tuned executions draw one arm per knob from the bandit, overlay the
     // query-level arms onto the run options (Typer build mode / ROF,
     // Tectorwise vector size), and hand the per-node arms + telemetry sink
@@ -242,6 +282,8 @@ struct PreparedQuery::Impl {
         runtime::FaultHit(run_opt.fault, "session.tuner", token);
         tuner->Resolve(run_opt.tuning, &choices);
         ApplyQueryKnobs(choices, run_opt);
+        // Degradation overrides beat the tuner's arms (see RunTweaks).
+        if (tweaks.vector_size != 0) run_opt.vector_size = tweaks.vector_size;
         run_opt.knobs = &choices;
         run_opt.telemetry = &telemetry;
         start_ns = runtime::JoinBuildTelemetry::NowNs();
@@ -271,8 +313,17 @@ struct PreparedQuery::Impl {
       runtime::FailCurrentException(token);
     }
     // An interrupted run drained early: its rows are partial garbage, so
-    // surface the status on an empty result instead.
-    if (token->Interrupted()) return QueryResult::Failed(token->status());
+    // surface the status on an empty result instead. The spill volume is
+    // stamped even on failures — introspection of how far a degraded run
+    // got before the plug was pulled.
+    const uint64_t spilled =
+        spill_mgr.has_value() ? spill_mgr->spilled_bytes() : 0;
+    if (token->Interrupted()) {
+      QueryResult failed = QueryResult::Failed(token->status());
+      failed.spilled_bytes = spilled;
+      return failed;
+    }
+    result.spilled_bytes = spilled;
     // Feedback from a clean run only — an interrupted run's spans and peak
     // are partial and would poison both loops.
     if (tuned && run_opt.tuning == TuningMode::kLearn) {
@@ -374,13 +425,26 @@ QueryResult PreparedQuery::Execute(std::chrono::milliseconds timeout) const {
 
 QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
   VCQ_CHECK_MSG(policy.max_attempts >= 1, "RetryPolicy needs >= 1 attempt");
+  // The overall budget covers attempts AND the sleeps between them: every
+  // attempt runs against the same deadline and no sleep may outlive it, so
+  // a bounded policy returns within total_timeout (plus one attempt's
+  // morsel-poll granularity) no matter how the attempts fail.
+  const bool bounded = policy.total_timeout.count() > 0;
+  const PreparedQuery::Deadline deadline =
+      runtime::CancelToken::Clock::now() + policy.total_timeout;
   std::chrono::milliseconds backoff = policy.initial_backoff;
   uint64_t rng = policy.jitter_seed;
   QueryResult result;
   for (size_t attempt = 1;; ++attempt) {
-    // ExecuteWith creates a fresh CancelToken per call, so a previous
-    // attempt's sticky kResourceExhausted/kRejected never carries over.
-    result = impl_->ExecuteWith(params(), nullptr);
+    // Fresh CancelToken per attempt (local here or inside ExecuteWith), so
+    // a previous attempt's sticky kResourceExhausted/kRejected never
+    // carries over.
+    if (bounded) {
+      const CancelToken token(deadline);
+      result = impl_->ExecuteWith(params(), &token);
+    } else {
+      result = impl_->ExecuteWith(params(), nullptr);
+    }
     const bool transient = result.status == ExecStatus::kRejected ||
                            result.status == ExecStatus::kResourceExhausted;
     if (!transient || attempt >= policy.max_attempts) return result;
@@ -394,11 +458,91 @@ QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
     z ^= z >> 31;
     const double frac = 0.5 + 0.5 * static_cast<double>(z >> 40) /
                                   static_cast<double>(uint64_t{1} << 24);
-    const auto delay = std::chrono::milliseconds(
+    auto delay = std::chrono::milliseconds(
         static_cast<int64_t>(static_cast<double>(backoff.count()) * frac));
+    if (bounded) {
+      // Clamp the sleep to the remaining budget; an exhausted budget means
+      // this transient failure IS the final answer.
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     runtime::CancelToken::Clock::now());
+      if (remaining.count() <= 0) return result;
+      delay = std::min(delay, remaining);
+    }
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
     backoff = std::min(policy.max_backoff, backoff * 2);
   }
+}
+
+QueryResult PreparedQuery::ExecuteWithDegradation(
+    const DegradationPolicy& policy, Deadline deadline) const {
+  // One rung of the ladder: its fixed id (stamped into
+  // QueryResult::degraded_rung) and the run overrides it applies.
+  struct Rung {
+    uint8_t id;
+    Impl::RunTweaks tweaks;
+  };
+  // Build the enabled rung sequence. Rung ids are fixed (0..3) regardless
+  // of which rungs the policy enables, so degraded_rung always names the
+  // same resource profile. Rung 2 is skipped for single-threaded prepares
+  // (halving 1 thread changes nothing — it would burn an attempt).
+  const size_t prepared_threads = impl_->opt.threads;
+  const bool spill = policy.allow_spill;  // rungs below 1 keep spilling
+  std::vector<Rung> ladder;
+  ladder.push_back(Rung{0, {}});
+  if (policy.allow_spill) ladder.push_back(Rung{1, {.spill = true}});
+  if (policy.allow_reduced_threads && prepared_threads > 1) {
+    ladder.push_back(
+        Rung{2, {.spill = spill, .threads = prepared_threads / 2}});
+  }
+  if (policy.allow_small_vectors) {
+    ladder.push_back(
+        Rung{3, {.spill = spill, .threads = 1, .vector_size = 256}});
+  }
+  const QueryParams bound = params();
+  QueryResult result;
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const Rung& rung = ladder[i];
+    // Fresh token per attempt (sticky trips must not carry over), same
+    // deadline across the whole descent.
+    const CancelToken token(deadline);
+    result = impl_->ExecuteWith(bound, &token, rung.tweaks);
+    result.degraded_rung = rung.id;
+    impl_->rung_runs[rung.id].fetch_add(1, std::memory_order_relaxed);
+    if (result.ok()) {
+      impl_->rung_ok[rung.id].fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    // Only memory exhaustion descends the ladder; every other failure
+    // (cancel, deadline, rejection, internal error) would fail the same
+    // way one rung down — or already consumed the caller's budget.
+    if (result.status != ExecStatus::kResourceExhausted) return result;
+  }
+  return result;  // out of rungs: the last (most degraded) failure
+}
+
+QueryResult PreparedQuery::ExecuteWithDegradation(
+    const DegradationPolicy& policy) const {
+  return ExecuteWithDegradation(policy, Deadline::max());
+}
+
+std::string PreparedQuery::ExplainDegradation() const {
+  static constexpr const char* kRungNames[PreparedQuery::Impl::kRungs] = {
+      "as prepared",
+      "spill",
+      "spill + half threads",
+      "spill + 1 thread + small vectors",
+  };
+  std::string out = "degradation ladder:\n";
+  for (size_t r = 0; r < PreparedQuery::Impl::kRungs; ++r) {
+    const uint64_t runs =
+        impl_->rung_runs[r].load(std::memory_order_relaxed);
+    const uint64_t ok = impl_->rung_ok[r].load(std::memory_order_relaxed);
+    out += "  rung " + std::to_string(r) + " (" + kRungNames[r] +
+           "): runs=" + std::to_string(runs) + " ok=" + std::to_string(ok) +
+           "\n";
+  }
+  return out;
 }
 
 Engine PreparedQuery::engine() const { return impl_->engine; }
@@ -508,12 +652,20 @@ Session::Session(const Database& db, runtime::WorkerPool& pool)
 
 Session::~Session() {
   // Prepared queries may outlive the session: their stale stream id then
-  // falls back to the scheduler's default stream (see Scheduler).
+  // falls back to the scheduler's default stream (see Scheduler). Clear
+  // the admission quota too — its entry is keyed by this id and would
+  // otherwise outlive the session it throttled.
+  pool_->scheduler().SetStreamQuota(stream_, 0, 0);
   pool_->scheduler().DestroyStream(stream_);
 }
 
 Session& Session::SetWeight(double weight) {
   pool_->scheduler().SetStreamWeight(stream_, weight);
+  return *this;
+}
+
+Session& Session::SetQuota(size_t max_inflight, size_t max_bytes) {
+  pool_->scheduler().SetStreamQuota(stream_, max_inflight, max_bytes);
   return *this;
 }
 

@@ -65,6 +65,35 @@ struct RetryPolicy {
   /// deterministic. Each backoff is scaled into [0.5, 1.0) of its nominal
   /// value.
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Overall wall-clock budget across ALL attempts and the sleeps between
+  /// them (0 = unbounded). Every attempt runs with a deadline at the
+  /// budget's end, backoff sleeps are clamped to the remaining budget, and
+  /// no new attempt starts once it is exhausted — a caller asking for "3
+  /// tries within 200 ms" gets exactly that, not 3 tries plus unbounded
+  /// sleeps. The final attempt's result is returned either way.
+  std::chrono::milliseconds total_timeout{0};
+};
+
+/// Which rungs PreparedQuery::ExecuteWithDegradation may descend to when an
+/// execution fails with kResourceExhausted. The ladder trades speed for
+/// survival, one rung at a time:
+///
+///   rung 0  as prepared (in-memory, full parallelism)
+///   rung 1  + spill: operators stage build/group state to temp files
+///           under memory pressure instead of failing (runtime/spill.h)
+///   rung 2  + half the prepared thread count (fewer concurrent
+///           worker-local tables and materialize pools)
+///   rung 3  + single-threaded, minimal vectors (Tectorwise vector_size
+///           256) — the smallest footprint this engine can run at
+///
+/// Results are byte-identical across rungs (the spill and merge paths
+/// preserve the in-memory visit order); only the resource profile changes.
+/// Disabling a rung skips it — the ladder tries the remaining ones in
+/// order.
+struct DegradationPolicy {
+  bool allow_spill = true;
+  bool allow_reduced_threads = true;
+  bool allow_small_vectors = true;
 };
 
 /// A waitable in-flight execution started by PreparedQuery::ExecuteAsync.
@@ -129,6 +158,18 @@ class PreparedQuery {
   /// per attempt. Returns the first non-transient result, or the last
   /// transient failure once attempts are exhausted.
   runtime::QueryResult ExecuteWithRetry(const RetryPolicy& policy = {}) const;
+  /// Execute() with graceful degradation instead of failure: on
+  /// kResourceExhausted the query is re-run one rung down the ladder
+  /// (spill -> fewer threads -> minimal vectors; see DegradationPolicy)
+  /// until it succeeds, fails for a non-memory reason, or runs out of
+  /// enabled rungs. The returned result's `degraded_rung` records where it
+  /// ran and `spilled_bytes` how much hit disk; rows are byte-identical to
+  /// an in-memory run at any rung. An optional deadline bounds the whole
+  /// descent.
+  runtime::QueryResult ExecuteWithDegradation(
+      const DegradationPolicy& policy = {}) const;
+  runtime::QueryResult ExecuteWithDegradation(const DegradationPolicy& policy,
+                                              Deadline deadline) const;
   /// Starts the execution on the session scheduler's coordinator threads
   /// and returns immediately; the handle's Wait() yields the result and
   /// its Cancel() stops the query cooperatively.
@@ -158,6 +199,11 @@ class PreparedQuery {
   /// executions; 0 until the first one completes. Once nonzero it replaces
   /// the catalog's static build estimate in memory-aware admission.
   size_t measured_peak_bytes() const;
+  /// EXPLAIN surface of the degradation ladder (mirrors ExplainTuning):
+  /// per rung, how many ExecuteWithDegradation attempts ran there and how
+  /// many succeeded — the operational record of how often this query needs
+  /// to shed which resource to survive.
+  std::string ExplainDegradation() const;
 
  private:
   friend class Session;
@@ -204,6 +250,14 @@ class Session {
   /// already-prepared queries.
   Session& SetWeight(double weight);
   double weight() const;
+
+  /// Per-session admission quota (tenant isolation, runtime/scheduler.h):
+  /// at most `max_inflight` of this session's executions admitted at once
+  /// (0 = unlimited) and at most `max_bytes` of their estimated/measured
+  /// memory in flight (0 = unlimited). Excess executions wait their turn —
+  /// honoring deadlines — instead of starving other sessions; a query that
+  /// could never fit the byte quota fails fast with kResourceExhausted.
+  Session& SetQuota(size_t max_inflight, size_t max_bytes);
 
   const runtime::Database& db() const { return *db_; }
   runtime::WorkerPool& pool() const { return *pool_; }

@@ -69,9 +69,41 @@
 // byte-identical to a never-failed run. Transient statuses (kRejected,
 // kResourceExhausted) can be retried automatically with
 // PreparedQuery::ExecuteWithRetry (api/session.h: capped exponential
-// backoff, deterministic jitter). The failure paths themselves are
+// backoff, deterministic jitter, and an optional RetryPolicy::total_timeout
+// wall-clock budget across all attempts). The failure paths themselves are
 // testable deterministically via runtime::FaultInjector
 // (runtime/fault_injector.h; env: VCQ_FAULT / VCQ_FAULT_SEED).
+//
+// Degrade-don't-die model (PR 8): a budget trip no longer has to kill the
+// query — three nested mechanisms trade speed for survival, and every one
+// of them preserves byte-identical results:
+//   1. Spill (QueryOptions::spill): under ledger pressure the memory-
+//      intensive operators — hash-join builds and aggregation tables, both
+//      engines — partition their state Grace-style to temp files
+//      (runtime/spill.h) instead of tripping, then stream it back for the
+//      merge/probe. Spill files live under VCQ_SPILL_DIR (else TMPDIR, else
+//      /tmp) in a per-execution subdirectory that is always removed, even
+//      on failure; total spill disk is capped by QueryOptions::spill_limit
+//      (else the VCQ_SPILL_LIMIT env; 0 = unlimited) — exceeding the cap is
+//      a normal kResourceExhausted trip. Bytes written are reported in
+//      QueryResult::spilled_bytes, and every spill I/O site is a registered
+//      fault point (spill.open/write/read/unlink).
+//   2. Degraded retry ladder (PreparedQuery::ExecuteWithDegradation): on
+//      kResourceExhausted — and only then — the prepared query is re-run
+//      down a fixed ladder of cheaper configurations: as prepared -> spill
+//      -> spill + half the threads -> spill + 1 thread + minimal vectors.
+//      The first surviving rung's result is returned with its rung id in
+//      QueryResult::degraded_rung; rungs are individually gated by
+//      DegradationPolicy and per-rung outcomes are visible via
+//      ExplainDegradation(). Non-transient failures stop the descent.
+//   3. Tenant-fair brown-out (the scheduler): each Session can be bounded
+//      by Session::SetQuota (max in-flight executions and bytes) — a
+//      session at its quota WAITS for its own releases instead of starving
+//      neighbors. When the admission queue itself fills past a configured
+//      pressure threshold (Scheduler::SetBrownout), NEW arrivals from the
+//      heaviest session (most admitted bytes in flight) are shed with
+//      kRejected while lighter tenants keep queueing — overload degrades
+//      the tenant causing it, not the whole process.
 //
 // Self-tuning model (paper §9.1: the optimizer, not the engineer, should
 // pick execution strategies): every data- and machine-dependent execution

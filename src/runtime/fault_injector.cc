@@ -95,6 +95,10 @@ const std::vector<const char*>& FaultInjector::KnownPoints() {
       "tw.group.alloc",          // Tectorwise group-entry alloc
       "tw.group.merge",          // Tectorwise spill-partition merge
       "session.tuner",           // tuned executions: bandit arm draw
+      "spill.open",              // spill-file create (SpillManager::Create)
+      "spill.write",             // spill-segment append (SpillFile::Append)
+      "spill.read",              // spill-segment readback (SpillFile::Read)
+      "spill.unlink",            // spill-file cleanup (absorbed, not fatal)
   };
   return kPoints;
 }

@@ -17,6 +17,7 @@
 #include "runtime/fault_injector.h"
 #include "runtime/options.h"
 #include "runtime/resource_governor.h"
+#include "runtime/spill.h"
 #include "runtime/tuner.h"
 
 namespace vcq::runtime {
@@ -139,13 +140,36 @@ class Hashmap {
 /// One worker's materialized build-side rows: contiguous `stride`-byte rows,
 /// each beginning with an EntryHeader whose hash is already set. Produced by
 /// the materialize phase of either engine, consumed by JoinBuild.
+///
+/// Under spill pressure (runtime/spill.h) the owning engine may evict
+/// completed chunks to a SpillFile and release their memory: `spill` then
+/// holds the evicted rows (same stride, write order) and `total` counts
+/// only the live in-memory rows. JoinBuild streams the spilled segments
+/// back during the insert phase — spilling forces the kPartitioned
+/// protocol, whose two passes re-read the input anyway.
 struct EntryChunkList {
   std::vector<std::pair<std::byte*, size_t>> chunks;  // (base, row count)
-  size_t total = 0;
+  size_t total = 0;             // live rows (in the chunks above)
+  SpillFile* spill = nullptr;   // rows evicted under memory pressure
+  size_t spilled_rows = 0;
 
   void Add(std::byte* base, size_t rows) {
     chunks.emplace_back(base, rows);
     total += rows;
+  }
+
+  /// Moves every live chunk's rows into `file` (one segment per chunk,
+  /// write order = creation order) and forgets them; the caller releases
+  /// the backing memory. `stride` is the row size.
+  void SpillTo(SpillFile* file, size_t stride) {
+    for (const auto& [base, rows] : chunks) {
+      if (rows == 0) continue;
+      file->Append(0, base, rows * stride, rows);
+      spilled_rows += rows;
+    }
+    spill = file;
+    chunks.clear();
+    total = 0;
   }
 };
 
@@ -257,7 +281,18 @@ class JoinBuild {
             start_ns_ = JoinBuildTelemetry::NowNs();
             stride_ = stride;
             total_ = 0;
-            for (const EntryChunkList& list : published_) total_ += list.total;
+            bool any_spilled = false;
+            for (const EntryChunkList& list : published_) {
+              total_ += list.total + list.spilled_rows;
+              any_spilled |= list.spilled_rows > 0;
+            }
+            // Spilled rows force the partitioned protocol: kCas inserts
+            // entries in place in the worker chunks, which spilled rows no
+            // longer have — the partitioned passes stream every row (live
+            // or spilled) into the arena regardless of where it lives.
+            effective_mode_.store(
+                any_spilled ? BuildMode::kPartitioned : mode,
+                std::memory_order_release);
             // Budget-aware sizing: the directory and arena are the build's
             // big allocations, so re-check the token between them — a
             // budget already tripped by the materialize phase (or by the
@@ -268,7 +303,8 @@ class JoinBuild {
             }
             ht_->SetSize(total_);
             Charge(ht_->capacity() * sizeof(uintptr_t));
-            if (mode == BuildMode::kPartitioned) {
+            if (effective_mode_.load(std::memory_order_relaxed) ==
+                BuildMode::kPartitioned) {
               if (Interrupted(env_.cancel)) {
                 poisoned_.store(true, std::memory_order_release);
                 return;
@@ -288,7 +324,8 @@ class JoinBuild {
         !poisoned_.load(std::memory_order_acquire)) {
       try {
         FaultHit(env_.fault, "join_build.insert", env_.cancel);
-        if (mode == BuildMode::kCas) {
+        if (effective_mode_.load(std::memory_order_acquire) ==
+            BuildMode::kCas) {
           for (const auto& [base, rows] : published_[wid].chunks) {
             for (size_t k = 0; k < rows; ++k) {
               ht_->Insert(
@@ -317,7 +354,8 @@ class JoinBuild {
           // the published chunk lists are dead; drop them so the engines
           // can free the materialize-phase MemPool chunks they point into
           // (ROADMAP: ~2x transient build-side memory otherwise).
-          if (mode == BuildMode::kPartitioned) {
+          if (effective_mode_.load(std::memory_order_relaxed) ==
+              BuildMode::kPartitioned) {
             for (EntryChunkList& list : published_) list = EntryChunkList{};
           }
         },
@@ -336,6 +374,18 @@ class JoinBuild {
     return mode == BuildMode::kPartitioned;
   }
 
+  /// Instance flavor of ReleasesChunks, reflecting the EFFECTIVE protocol
+  /// of this build: a kCas request is upgraded to kPartitioned when any
+  /// worker spilled (decided under the sizing barrier), so engines must
+  /// consult the build, not the requested mode, before freeing their
+  /// materialize pools. Valid after Run returns; a build that failed
+  /// before sizing reports kPartitioned (releasing is safe — a poisoned
+  /// table is never probed).
+  bool releases_chunks() const {
+    return effective_mode_.load(std::memory_order_acquire) ==
+           BuildMode::kPartitioned;
+  }
+
   /// Total build-side rows (valid after Run returns).
   size_t entry_count() const { return total_; }
   /// Bucket-ordered entry arena (kPartitioned only; nullptr for kCas).
@@ -348,26 +398,44 @@ class JoinBuild {
     return {wid * cap / threads_, (wid + 1) * cap / threads_};
   }
 
+  /// Streams every row of `list` — spilled segments first (re-read through
+  /// `scratch` in write order), then the live chunks — through `fn`. Both
+  /// partition passes already re-scan the whole input, so spilled rows just
+  /// add a sequential file read per pass; each worker reads every file
+  /// (O(T·N), same complexity as the existing chunk-list scans).
+  template <typename Fn>
+  void ForEachRow(const EntryChunkList& list, std::vector<std::byte>& scratch,
+                  Fn&& fn) const {
+    if (list.spill != nullptr && list.spilled_rows > 0) {
+      for (const SpillFile::Segment& seg : list.spill->segments()) {
+        scratch.resize(seg.bytes);
+        list.spill->Read(seg, scratch.data());
+        for (size_t k = 0; k < seg.rows; ++k) fn(scratch.data() + k * stride_);
+      }
+    }
+    for (const auto& [base, rows] : list.chunks) {
+      for (size_t k = 0; k < rows; ++k) fn(base + k * stride_);
+    }
+  }
+
   void InsertPartition(size_t wid) {
     const auto [lo, hi] = RangeOf(wid);
+    std::vector<std::byte> scratch;
     // Pass 1: histogram this worker's bucket range over the whole input,
     // accumulating each bucket's tag bits along the way.
     std::vector<uint32_t> hist(hi - lo, 0);
     std::vector<uintptr_t> tags(hi - lo, 0);
     size_t mine = 0;
     for (const EntryChunkList& list : published_) {
-      for (const auto& [base, rows] : list.chunks) {
-        for (size_t k = 0; k < rows; ++k) {
-          const auto* e =
-              reinterpret_cast<const Hashmap::EntryHeader*>(base + k * stride_);
-          const size_t b = ht_->BucketOf(e->hash);
-          if (b - lo < hi - lo) {
-            ++hist[b - lo];
-            tags[b - lo] |= Hashmap::TagOf(e->hash);
-            ++mine;
-          }
+      ForEachRow(list, scratch, [&](const std::byte* row) {
+        const auto* e = reinterpret_cast<const Hashmap::EntryHeader*>(row);
+        const size_t b = ht_->BucketOf(e->hash);
+        if (b - lo < hi - lo) {
+          ++hist[b - lo];
+          tags[b - lo] |= Hashmap::TagOf(e->hash);
+          ++mine;
         }
-      }
+      });
     }
     seg_counts_[wid] = mine;
     const BarrierStatus offsets = barrier_.WaitOrAbort(
@@ -406,24 +474,21 @@ class JoinBuild {
     // entry's successor is simply the next arena row.
     std::vector<uint32_t> filled(hi - lo, 0);
     for (const EntryChunkList& list : published_) {
-      for (const auto& [base, rows] : list.chunks) {
-        for (size_t k = 0; k < rows; ++k) {
-          const std::byte* src = base + k * stride_;
-          const uint64_t hash =
-              reinterpret_cast<const Hashmap::EntryHeader*>(src)->hash;
-          const size_t b = ht_->BucketOf(hash);
-          if (b - lo >= hi - lo) continue;
-          const size_t j = b - lo;
-          const size_t slot = start[j] + filled[j]++;
-          std::byte* dst = arena_.get() + slot * stride_;
-          std::memcpy(dst, src, stride_);
-          auto* header = reinterpret_cast<Hashmap::EntryHeader*>(dst);
-          header->next =
-              filled[j] < hist[j]
-                  ? reinterpret_cast<Hashmap::EntryHeader*>(dst + stride_)
-                  : nullptr;
-        }
-      }
+      ForEachRow(list, scratch, [&](const std::byte* src) {
+        const uint64_t hash =
+            reinterpret_cast<const Hashmap::EntryHeader*>(src)->hash;
+        const size_t b = ht_->BucketOf(hash);
+        if (b - lo >= hi - lo) return;
+        const size_t j = b - lo;
+        const size_t slot = start[j] + filled[j]++;
+        std::byte* dst = arena_.get() + slot * stride_;
+        std::memcpy(dst, src, stride_);
+        auto* header = reinterpret_cast<Hashmap::EntryHeader*>(dst);
+        header->next =
+            filled[j] < hist[j]
+                ? reinterpret_cast<Hashmap::EntryHeader*>(dst + stride_)
+                : nullptr;
+      });
     }
   }
 
@@ -440,6 +505,9 @@ class JoinBuild {
   const size_t threads_;
   JoinBuildEnv env_;
   std::atomic<bool> poisoned_{false};
+  // Effective protocol: the requested mode, upgraded to kPartitioned when
+  // any worker spilled (written once under the sizing barrier's on_last).
+  std::atomic<BuildMode> effective_mode_{BuildMode::kPartitioned};
   size_t charged_ = 0;  // written only under the sizing barrier's on_last
   Barrier barrier_;
   std::atomic<size_t> arrivals_{0};

@@ -11,6 +11,7 @@ class FaultInjector;
 class KnobChoices;
 class NodeTelemetry;
 class QueryLedger;
+class SpillManager;
 class WorkerPool;
 
 /// Engine-independent spelling of the Tectorwise batch-compaction policy
@@ -78,6 +79,21 @@ struct QueryOptions {
   /// (from memory_budget) and bound to every MemPool/JoinBuild the run
   /// creates. nullptr = ungoverned (standalone engine calls).
   QueryLedger* ledger = nullptr;
+  /// Degrade instead of dying: when set, a memory-budget overage becomes
+  /// spill PRESSURE instead of a kResourceExhausted trip — the ledger's
+  /// UnderPressure() signal — and spill-capable operators (both engines'
+  /// join-build materialize phases and worker-local group tables) evict
+  /// state to temp files Grace-style until usage drops back under budget
+  /// (see runtime/spill.h). Results stay byte-identical to in-memory runs.
+  bool spill = false;
+  /// Total spilled-bytes bound for one execution when `spill` is set
+  /// (0 = VCQ_SPILL_LIMIT env, else unlimited); exceeding it fails the run
+  /// with kResourceExhausted — disk is a budget too.
+  size_t spill_limit = 0;
+  /// The execution's spill state; created per run by vcq::PreparedQuery
+  /// when `spill` is set and passed to the operators. nullptr = spill
+  /// disabled (standalone engine calls can stamp their own).
+  SpillManager* spill_manager = nullptr;
   /// Fault injector for this run (tests); engines call FaultHit at every
   /// allocation and barrier site. nullptr = no injection. When unset,
   /// vcq::PreparedQuery falls back to FaultInjector::ProcessWide() so the

@@ -21,6 +21,13 @@ struct QueryResult {
   /// exceeded, rejected by admission control) means the execution produced
   /// no rows — partial output is discarded, never surfaced.
   ExecStatus status = ExecStatus::kOk;
+  /// Degradation-ladder rung this result came from (see
+  /// vcq::PreparedQuery::ExecuteWithDegradation): 0 = as prepared, 1 =
+  /// spill enabled, 2 = + reduced threads, 3 = + minimal vectors. Always 0
+  /// for plain Execute.
+  uint8_t degraded_rung = 0;
+  /// Bytes this execution spilled to disk (0 on in-memory runs).
+  uint64_t spilled_bytes = 0;
 
   bool ok() const { return status == ExecStatus::kOk; }
 
@@ -37,7 +44,14 @@ struct QueryResult {
   /// Renders up to `limit` rows as an aligned table (0 = all).
   std::string ToString(size_t limit = 0) const;
 
-  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+  /// Equality is over the RESULT — names, rows, status — deliberately
+  /// excluding the execution-path introspection above: a degraded run that
+  /// spilled is equal to its in-memory reference (the byte-identity
+  /// contract every spill/degradation test asserts with ==).
+  friend bool operator==(const QueryResult& a, const QueryResult& b) {
+    return a.status == b.status && a.column_names == b.column_names &&
+           a.rows == b.rows;
+  }
 };
 
 /// Row-at-a-time builder with shared formatting, so every engine renders

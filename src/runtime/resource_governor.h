@@ -26,6 +26,16 @@
 // balanced, and the caller gets QueryResult::Failed(kResourceExhausted).
 // Hard std::bad_alloc (real OOM, injected faults) is the separate,
 // exception-based path handled by the scheduler's backstop.
+//
+// Spill mode (PR 8) turns the trip into PRESSURE: a spill-enabled run
+// (QueryOptions::spill → QueryLedger::EnableSpillMode) treats a budget
+// overage as a signal, not a verdict — Charge() leaves the token alone and
+// UnderPressure() starts returning true, and spill-capable operators (the
+// join builds' materialize phase, the worker-local group tables) poll it
+// at chunk/batch boundaries and evict state to runtime::SpillManager temp
+// files until usage drops back under the budget. The pressure signal is
+// computed live from current usage, so relieving memory clears it without
+// any reset call. bad_alloc remains the hard backstop in both modes.
 
 namespace vcq::runtime {
 
@@ -67,6 +77,13 @@ class ResourceGovernor {
     in_use_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
+  /// True while current usage exceeds a nonzero process budget — the
+  /// process-wide half of the spill pressure signal.
+  bool OverBudget() const {
+    const size_t budget = budget_.load(std::memory_order_relaxed);
+    return budget != 0 && in_use_.load(std::memory_order_relaxed) > budget;
+  }
+
   /// Bytes currently charged across all live ledgers; the sweep test
   /// asserts this returns to its pre-query baseline after every failure.
   size_t in_use() const { return in_use_.load(std::memory_order_relaxed); }
@@ -105,7 +122,8 @@ class QueryLedger {
   }
 
   /// Soft charge: accounts the bytes, trips the token on overage, never
-  /// throws (see file comment for why).
+  /// throws (see file comment for why). In spill mode overage becomes
+  /// pressure instead of a trip — see UnderPressure().
   void Charge(size_t bytes) {
     const size_t now =
         in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -115,8 +133,25 @@ class QueryLedger {
     }
     bool over = budget_ != 0 && now > budget_;
     if (!governor_->Charge(bytes)) over = true;
-    if (over && token_ != nullptr)
+    if (over && !spill_mode_ && token_ != nullptr)
       token_->Fail(ExecStatus::kResourceExhausted);
+  }
+
+  /// Switches budget overages from token trips to the UnderPressure()
+  /// signal. Called once before the run's parallel phase (not thread-safe
+  /// against concurrent charges; it doesn't need to be).
+  void EnableSpillMode() { spill_mode_ = true; }
+  bool spill_mode() const { return spill_mode_; }
+
+  /// True while this ledger (or the process governor) is over a nonzero
+  /// budget in spill mode. Computed live from current usage: spilling
+  /// memory back under the budget clears the pressure with no reset.
+  bool UnderPressure() const {
+    if (!spill_mode_) return false;
+    if (budget_ != 0 &&
+        in_use_.load(std::memory_order_relaxed) > budget_)
+      return true;
+    return governor_->OverBudget();
   }
 
   void Uncharge(size_t bytes) {
@@ -133,6 +168,7 @@ class QueryLedger {
   const size_t budget_;
   const CancelToken* token_;
   ResourceGovernor* governor_;
+  bool spill_mode_ = false;
   std::atomic<size_t> in_use_{0};
   std::atomic<size_t> peak_{0};
 };

@@ -312,8 +312,32 @@ void Scheduler::SetMemoryBudget(size_t bytes) {
   adm_cv_.notify_all();
 }
 
+void Scheduler::SetStreamQuota(uint64_t stream, size_t max_inflight,
+                               size_t max_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(adm_mutex_);
+    AdmStream& s = adm_streams_[stream];
+    s.max_inflight = max_inflight;
+    s.max_bytes = max_bytes;
+    // Clearing the quota may leave a dead entry; drop it so the map only
+    // holds streams with a quota or something in flight.
+    if (s.max_inflight == 0 && s.max_bytes == 0 && s.inflight == 0 &&
+        s.bytes == 0) {
+      adm_streams_.erase(stream);
+    }
+  }
+  adm_cv_.notify_all();  // raising a quota can unblock waiters
+}
+
+void Scheduler::SetBrownout(double threshold) {
+  VCQ_CHECK_MSG(threshold >= 0.0, "brown-out threshold must be >= 0");
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  brownout_threshold_ = threshold;
+}
+
 Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
-                                      size_t estimated_bytes) {
+                                      size_t estimated_bytes,
+                                      uint64_t stream) {
   std::unique_lock<std::mutex> lock(adm_mutex_);
   if (cancel != nullptr && cancel->Interrupted())
     return Admission(cancel->status());
@@ -324,15 +348,53 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
   // transient queue pressure.
   if (mem_budget_ != 0 && estimated_bytes > mem_budget_)
     return Admission(ExecStatus::kResourceExhausted);
+  // Same never-fits reasoning against the stream's own byte quota.
+  if (const auto it = adm_streams_.find(stream); it != adm_streams_.end()) {
+    if (it->second.max_bytes != 0 && estimated_bytes > it->second.max_bytes)
+      return Admission(ExecStatus::kResourceExhausted);
+  }
+  // Brown-out: with the admission queue past the pressure threshold, shed
+  // new arrivals of the heaviest tenant (most in-flight bytes, ties by
+  // count; must actually have something admitted) instead of queueing
+  // them. Checked before the queue-capacity check so the heaviest tenant
+  // cannot consume the queue's last slots under pressure.
+  if (brownout_threshold_ > 0.0 && max_adm_queue_ != 0 &&
+      static_cast<double>(adm_waiting_) >=
+          brownout_threshold_ * static_cast<double>(max_adm_queue_)) {
+    const AdmStream* heaviest = nullptr;
+    uint64_t heaviest_id = 0;
+    for (const auto& [id, s] : adm_streams_) {
+      if (s.inflight == 0) continue;
+      if (heaviest == nullptr || s.bytes > heaviest->bytes ||
+          (s.bytes == heaviest->bytes && s.inflight > heaviest->inflight)) {
+        heaviest = &s;
+        heaviest_id = id;
+      }
+    }
+    if (heaviest != nullptr && heaviest_id == stream) {
+      ++shed_count_;
+      return Admission(ExecStatus::kRejected);
+    }
+  }
   const auto has_capacity = [&] {
     if (max_inflight_ != 0 && inflight_ >= max_inflight_) return false;
+    if (const auto it = adm_streams_.find(stream);
+        it != adm_streams_.end()) {
+      const AdmStream& s = it->second;
+      if (s.max_inflight != 0 && s.inflight >= s.max_inflight) return false;
+      if (s.max_bytes != 0 && s.bytes + estimated_bytes > s.max_bytes)
+        return false;
+    }
     return mem_budget_ == 0 ||
            mem_inflight_ + estimated_bytes <= mem_budget_;
   };
   const auto admit = [&] {
     ++inflight_;
     mem_inflight_ += estimated_bytes;
-    return Admission(this, estimated_bytes);
+    AdmStream& s = adm_streams_[stream];
+    ++s.inflight;
+    s.bytes += estimated_bytes;
+    return Admission(this, estimated_bytes, stream);
   };
   if (has_capacity() && adm_waiting_ == 0) return admit();  // no queue-jumping
   if (adm_waiting_ >= max_adm_queue_)
@@ -363,13 +425,24 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
   return admit();
 }
 
-void Scheduler::ReleaseAdmission(size_t bytes) {
+void Scheduler::ReleaseAdmission(size_t bytes, uint64_t stream) {
   {
     std::lock_guard<std::mutex> lock(adm_mutex_);
     VCQ_CHECK(inflight_ > 0);
     --inflight_;
     VCQ_CHECK(mem_inflight_ >= bytes);
     mem_inflight_ -= bytes;
+    const auto it = adm_streams_.find(stream);
+    VCQ_CHECK(it != adm_streams_.end() && it->second.inflight > 0 &&
+              it->second.bytes >= bytes);
+    AdmStream& s = it->second;
+    --s.inflight;
+    s.bytes -= bytes;
+    // Keep only streams with a configured quota or live admissions.
+    if (s.max_inflight == 0 && s.max_bytes == 0 && s.inflight == 0 &&
+        s.bytes == 0) {
+      adm_streams_.erase(it);
+    }
   }
   // A byte release can unblock several queued waiters at once (and the
   // count release exactly one); waking all is cheap at admission rates.
@@ -378,7 +451,7 @@ void Scheduler::ReleaseAdmission(size_t bytes) {
 
 void Scheduler::Admission::Release() {
   if (sched_ != nullptr) {
-    sched_->ReleaseAdmission(bytes_);
+    sched_->ReleaseAdmission(bytes_, stream_);
     sched_ = nullptr;
   }
 }
@@ -416,6 +489,23 @@ size_t Scheduler::inflight() const {
 size_t Scheduler::admission_waiting() const {
   std::lock_guard<std::mutex> lock(adm_mutex_);
   return adm_waiting_;
+}
+
+size_t Scheduler::stream_inflight(uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  const auto it = adm_streams_.find(stream);
+  return it != adm_streams_.end() ? it->second.inflight : 0;
+}
+
+size_t Scheduler::stream_inflight_bytes(uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  const auto it = adm_streams_.find(stream);
+  return it != adm_streams_.end() ? it->second.bytes : 0;
+}
+
+uint64_t Scheduler::shed_count() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return shed_count_;
 }
 
 size_t Scheduler::memory_budget() const {

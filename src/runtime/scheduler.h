@@ -45,6 +45,18 @@
 // callers wait in a bounded queue; beyond the queue, they get an
 // immediate ExecStatus::kRejected (backpressure instead of unbounded
 // queueing). The wait honors the execution's CancelToken.
+//
+// Tenant isolation and brown-out. Admission is stream-aware: each stream
+// (session) may carry its own quota — a cap on its concurrently admitted
+// executions and on their in-flight estimated bytes (SetStreamQuota) — so
+// one tenant saturating the server queues behind its own quota instead of
+// starving everyone else. Under sustained overload the scheduler browns
+// out rather than failing uniformly: when the admission queue's occupancy
+// crosses SetBrownout's threshold, NEW arrivals from the stream holding
+// the most in-flight memory (the heaviest tenant, ties by in-flight
+// count) are shed with kRejected while lighter tenants still queue — the
+// heaviest load source absorbs the backpressure first, which is both the
+// fairest place to shed and the fastest way to relieve pressure.
 
 namespace vcq::runtime {
 
@@ -136,6 +148,7 @@ class Scheduler {
         Release();
         sched_ = other.sched_;
         bytes_ = other.bytes_;
+        stream_ = other.stream_;
         status_ = other.status_;
         other.sched_ = nullptr;
       }
@@ -153,10 +166,11 @@ class Scheduler {
    private:
     friend class Scheduler;
     explicit Admission(ExecStatus rejection) : status_(rejection) {}
-    Admission(Scheduler* sched, size_t bytes)
-        : sched_(sched), bytes_(bytes) {}
+    Admission(Scheduler* sched, size_t bytes, uint64_t stream)
+        : sched_(sched), bytes_(bytes), stream_(stream) {}
     Scheduler* sched_ = nullptr;
     size_t bytes_ = 0;
+    uint64_t stream_ = 0;
     ExecStatus status_ = ExecStatus::kOk;
   };
 
@@ -177,11 +191,30 @@ class Scheduler {
   /// Estimated bytes of currently admitted executions (introspection).
   size_t memory_inflight() const;
 
+  /// Per-stream admission quota (tenant isolation): at most `max_inflight`
+  /// of `stream`'s executions admitted at once and at most `max_bytes` of
+  /// their estimated bytes in flight (0 disables either bound). Excess
+  /// executions wait in the shared bounded queue; one whose estimate
+  /// exceeds the byte quota outright fails fast with kResourceExhausted.
+  void SetStreamQuota(uint64_t stream, size_t max_inflight, size_t max_bytes);
+
+  /// Overload brown-out: when the admission queue's occupancy reaches
+  /// `threshold` (fraction of the bounded queue, e.g. 0.75) and the
+  /// admission queue is bounded, new arrivals from the heaviest stream —
+  /// most in-flight estimated bytes, ties by in-flight count; only streams
+  /// with at least one admitted execution qualify — are shed with
+  /// kRejected instead of queueing. 0 disables (the default).
+  void SetBrownout(double threshold);
+  /// Executions shed by the brown-out policy so far.
+  uint64_t shed_count() const;
+
   /// Admits one execution, waiting in the bounded queue if needed. The
   /// wait honors `cancel` (nullptr = wait indefinitely for a slot).
-  /// `estimated_bytes` counts against the memory budget until the
-  /// returned Admission is released.
-  Admission Admit(const CancelToken* cancel, size_t estimated_bytes = 0);
+  /// `estimated_bytes` counts against the memory budget — and against
+  /// `stream`'s quota, when one is set — until the returned Admission is
+  /// released.
+  Admission Admit(const CancelToken* cancel, size_t estimated_bytes = 0,
+                  uint64_t stream = 0);
 
   // --- policy / introspection -------------------------------------------
 
@@ -200,6 +233,10 @@ class Scheduler {
   /// Currently admitted executions / callers waiting for admission.
   size_t inflight() const;
   size_t admission_waiting() const;
+  /// Currently admitted executions / in-flight estimated bytes of one
+  /// stream (0 for streams with nothing admitted and no quota).
+  size_t stream_inflight(uint64_t stream) const;
+  size_t stream_inflight_bytes(uint64_t stream) const;
 
  private:
   struct Region {
@@ -221,11 +258,21 @@ class Scheduler {
     std::deque<std::shared_ptr<Region>> queue;
   };
 
+  /// Admission-side per-stream accounting (guarded by adm_mutex_; distinct
+  /// from the dispatch-side Stream above, which is guarded by mutex_).
+  /// Entries exist while a quota is configured or something is in flight.
+  struct AdmStream {
+    size_t inflight = 0;
+    size_t bytes = 0;         // in-flight estimated bytes
+    size_t max_inflight = 0;  // 0 = unlimited
+    size_t max_bytes = 0;     // 0 = unlimited
+  };
+
   void WorkerLoop();
   void CoordinatorLoop();
   void TryDispatchLocked();
   Stream& StreamForLocked(uint64_t id);
-  void ReleaseAdmission(size_t bytes);
+  void ReleaseAdmission(size_t bytes, uint64_t stream);
   /// Runs one region slot with the exception backstop (see RegionInfo).
   void RunSlot(Region* region, size_t worker_id);
 
@@ -261,6 +308,9 @@ class Scheduler {
   size_t adm_waiting_ = 0;
   size_t mem_budget_ = 0;    // 0 = unlimited (estimated bytes)
   size_t mem_inflight_ = 0;  // estimated bytes of admitted executions
+  std::unordered_map<uint64_t, AdmStream> adm_streams_;
+  double brownout_threshold_ = 0.0;  // 0 = brown-out disabled
+  uint64_t shed_count_ = 0;          // executions shed by brown-out
 };
 
 }  // namespace vcq::runtime

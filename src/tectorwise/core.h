@@ -91,6 +91,11 @@ struct ExecContext {
   /// Deterministic fault injector; nullptr = fault points compiled to a
   /// single null check.
   runtime::FaultInjector* fault = nullptr;
+  /// Per-execution spill state (runtime/spill.h): when set (and `ledger`
+  /// reports pressure), HashJoin's build materialize and HashGroup's local
+  /// tables evict completed state to temp files instead of letting the
+  /// budget trip the run. nullptr = spill disabled.
+  runtime::SpillManager* spill = nullptr;
   /// Per-execution knob choices from the session's runtime::Tuner,
   /// keyed by plan-node index (see runtime/tuner.h). The plan nodes
   /// overlay matching choices onto the static fields above when

@@ -14,6 +14,7 @@ HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
   // Governed runs charge group-entry chunks to the query ledger and expose
   // the allocation as a named fault point.
   pool_.Bind(ctx_.ledger, ctx_.fault, "tw.group.alloc");
+  merge_pool_.Bind(ctx_.ledger, ctx_.fault, "tw.group.merge");
   const size_t v = ctx_.vector_size;
   hashes_.Reset(v * sizeof(uint64_t));
   pos_.Reset(v * sizeof(pos_t));
@@ -134,7 +135,37 @@ void HashGroup::FindGroups(size_t n) {
   }
 }
 
+void HashGroup::MaybeSpillLocal() {
+  // Batch boundary is the one safe point to evict: FindGroups/aggregate
+  // updates hold group pointers only within a batch. Evict the whole local
+  // table — partition-segmented, creation order per partition — and start
+  // empty; a spilled key that reappears pre-aggregates into a fresh entry
+  // and MergePartitions combines the duplicates.
+  if (ctx_.spill == nullptr || local_count_ < kSpillMinGroups ||
+      ctx_.ledger == nullptr || !ctx_.ledger->UnderPressure())
+    return;
+  runtime::SpillFile*& file = shared_->spill_files[worker_id_];
+  if (file == nullptr) file = ctx_.spill->Create("tw.group");
+  const size_t stride = entry_size();
+  std::vector<std::byte> buf;
+  auto& parts = shared_->spills[worker_id_].parts;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    std::vector<std::byte*>& part = parts[p];
+    if (part.empty()) continue;
+    buf.resize(part.size() * stride);
+    for (size_t i = 0; i < part.size(); ++i)
+      std::memcpy(buf.data() + i * stride, part[i], stride);
+    file->Append(static_cast<uint32_t>(p), buf.data(), buf.size(),
+                 part.size());
+    part.clear();
+  }
+  pool_.Release();
+  local_ht_.Clear();
+  local_count_ = 0;
+}
+
 void HashGroup::ProcessBatch(size_t n, const pos_t* sel) {
+  MaybeSpillLocal();
   uint64_t* hashes = hashes_.As<uint64_t>();
   pos_t* pos = pos_.As<pos_t>();
   std::byte** groups = groups_.As<std::byte*>();
@@ -205,6 +236,11 @@ void HashGroup::ConsumeChild() {
 void HashGroup::MergePartitions() {
   const size_t key_offset = sizeof(Hashmap::EntryHeader);
   const size_t key_len = key_end_ - key_offset;
+  const size_t stride = entry_size();
+  bool any_spilled = false;
+  for (runtime::SpillFile* f : shared_->spill_files)
+    any_spilled |= (f != nullptr);
+  std::vector<std::byte> buf;
 
   for (size_t p = worker_id_; p < kPartitions; p += worker_count_) {
     // Poll per partition: a deadline/budget trip mid-merge drains promptly
@@ -212,40 +248,68 @@ void HashGroup::MergePartitions() {
     if (runtime::Interrupted(ctx_.cancel)) return;
     runtime::FaultHit(ctx_.fault, "tw.group.merge", ctx_.cancel);
     std::vector<std::byte*>& out = shared_->merged[p];
-    if (worker_count_ == 1) {
+    // The move fast path is only valid when nothing spilled: spilled
+    // segments can duplicate live keys, which need the dedup below.
+    if (worker_count_ == 1 && !any_spilled) {
       out = std::move(shared_->spills[0].parts[p]);
       continue;
     }
     size_t total = 0;
-    for (const auto& spill : shared_->spills) total += spill.parts[p].size();
+    for (size_t w = 0; w < shared_->spills.size(); ++w) {
+      total += shared_->spills[w].parts[p].size();
+      if (const runtime::SpillFile* f = shared_->spill_files[w])
+        total += f->rows_in_partition(static_cast<uint32_t>(p));
+    }
     if (total == 0) continue;
     Hashmap merge_ht;
     merge_ht.SetSize(total);
     out.reserve(total);
-    for (const auto& spill : shared_->spills) {
-      for (std::byte* entry : spill.parts[p]) {
-        auto* header = reinterpret_cast<Hashmap::EntryHeader*>(entry);
-        Hashmap::EntryHeader* existing = nullptr;
-        for (Hashmap::EntryHeader* e = merge_ht.FindChain(header->hash);
-             e != nullptr; e = e->next) {
-          if (e->hash == header->hash &&
-              std::memcmp(reinterpret_cast<std::byte*>(e) + key_offset,
-                          entry + key_offset, key_len) == 0) {
-            existing = e;
-            break;
-          }
-        }
-        if (existing == nullptr) {
-          merge_ht.InsertUnlocked(header);
-          out.push_back(entry);
-        } else {
-          auto* dst = reinterpret_cast<std::byte*>(existing);
-          for (size_t off : sum_offsets_) {
-            *reinterpret_cast<int64_t*>(dst + off) +=
-                *reinterpret_cast<const int64_t*>(entry + off);
-          }
+    // `owned` entries live in a worker pool and can be linked in place;
+    // spilled rows live in the read buffer and are copied into merge_pool_
+    // when they turn out to be a partition-first occurrence.
+    auto merge_one = [&](std::byte* entry, bool owned) {
+      auto* header = reinterpret_cast<Hashmap::EntryHeader*>(entry);
+      Hashmap::EntryHeader* existing = nullptr;
+      for (Hashmap::EntryHeader* e = merge_ht.FindChain(header->hash);
+           e != nullptr; e = e->next) {
+        if (e->hash == header->hash &&
+            std::memcmp(reinterpret_cast<std::byte*>(e) + key_offset,
+                        entry + key_offset, key_len) == 0) {
+          existing = e;
+          break;
         }
       }
+      if (existing == nullptr) {
+        std::byte* keep = entry;
+        if (!owned) {
+          keep = static_cast<std::byte*>(merge_pool_.Allocate(stride));
+          std::memcpy(keep, entry, stride);
+        }
+        merge_ht.InsertUnlocked(reinterpret_cast<Hashmap::EntryHeader*>(keep));
+        out.push_back(keep);
+      } else {
+        auto* dst = reinterpret_cast<std::byte*>(existing);
+        for (size_t off : sum_offsets_) {
+          *reinterpret_cast<int64_t*>(dst + off) +=
+              *reinterpret_cast<const int64_t*>(entry + off);
+        }
+      }
+    };
+    for (size_t w = 0; w < shared_->spills.size(); ++w) {
+      // Spilled rows first: they were created before anything still live
+      // in worker w's table, and first-seen order is the output order —
+      // this keeps merge output byte-identical to an in-memory run.
+      if (const runtime::SpillFile* f = shared_->spill_files[w]) {
+        for (const auto& seg : f->segments()) {
+          if (seg.partition != p) continue;
+          buf.resize(seg.bytes);
+          f->Read(seg, buf.data());
+          for (size_t k = 0; k < seg.rows; ++k)
+            merge_one(buf.data() + k * stride, /*owned=*/false);
+        }
+      }
+      for (std::byte* entry : shared_->spills[w].parts[p])
+        merge_one(entry, /*owned=*/true);
     }
   }
 }

@@ -37,7 +37,9 @@ class HashGroup : public Operator {
 
   struct Shared {
     explicit Shared(size_t thread_count)
-        : barrier(thread_count), spills(thread_count) {}
+        : barrier(thread_count),
+          spills(thread_count),
+          spill_files(thread_count, nullptr) {}
 
     struct Spill {
       std::array<std::vector<std::byte*>, kPartitions> parts;
@@ -45,6 +47,12 @@ class HashGroup : public Operator {
 
     runtime::Barrier barrier;
     std::vector<Spill> spills;                                // per worker
+    /// Per-worker disk-spill files (runtime/spill.h) holding group entries
+    /// evicted under memory pressure; written by the owning worker before
+    /// the phase barrier, read by the merge workers after it. All nullptr
+    /// on in-memory runs. (Distinct from `spills` above, which is the
+    /// paper's in-memory pointer partitioning.)
+    std::vector<runtime::SpillFile*> spill_files;
     std::array<std::vector<std::byte*>, kPartitions> merged;  // per partition
   };
 
@@ -143,6 +151,7 @@ class HashGroup : public Operator {
 
   size_t entry_size() const { return AlignUp(agg_end_, 8); }
   void ConsumeChild();
+  void MaybeSpillLocal();
   void ProcessBatch(size_t n, const pos_t* sel);
   void FindGroups(size_t n);
   std::byte* InsertGroup(uint64_t hash, pos_t p);
@@ -165,8 +174,14 @@ class HashGroup : public Operator {
   size_t agg_begin_ = 0;
   size_t agg_end_ = 0;
 
+  /// Don't bother spilling fewer groups than this: eviction must actually
+  /// relieve memory, and a near-empty table under pressure from elsewhere
+  /// would spill every new group one at a time.
+  static constexpr size_t kSpillMinGroups = 256;
+
   runtime::Hashmap local_ht_;
   runtime::MemPool pool_;
+  runtime::MemPool merge_pool_;  // owns entries rehydrated from spill files
   size_t local_count_ = 0;
   Compactor compactor_;  // input densification (batch compaction point)
   LocalBatchStats stats_;

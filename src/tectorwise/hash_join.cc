@@ -37,10 +37,20 @@ void HashJoin::BuildPhase() {
   pos_t* pos = pos_.As<pos_t>();
 
   size_t n;
+  runtime::SpillFile* spill_file = nullptr;
   while ((n = build_->Next()) != kEndOfStream) {
     if (n == 0) continue;
     build_hash_(n, build_->sel(), hashes, pos);
     for (const RehashStep& step : build_rehash_) step(n, pos, hashes);
+    // Batch boundary — every materialized chunk is complete, the one safe
+    // point to relieve spill pressure: evict the finished chunks to a temp
+    // file and release the pool before materializing the next batch.
+    if (ctx_.spill != nullptr && !chunks_.chunks.empty() &&
+        ctx_.ledger != nullptr && ctx_.ledger->UnderPressure()) {
+      if (spill_file == nullptr) spill_file = ctx_.spill->Create("tw.join");
+      chunks_.SpillTo(spill_file, stride);
+      pool_.Release();
+    }
     auto* base = static_cast<std::byte*>(pool_.Allocate(n * stride));
     ScatterHashes(n, hashes, base, stride);
     for (const ScatterStep& step : scatter_steps_)
@@ -51,8 +61,9 @@ void HashJoin::BuildPhase() {
   // Under the partitioned protocol every entry was relinked into the
   // shared contiguous arena, so this worker's materialize-phase chunks are
   // unreachable from any chain — free them instead of carrying ~2x the
-  // build side through the probe phase.
-  if (runtime::JoinBuild::ReleasesChunks(build_mode_)) pool_.Release();
+  // build side through the probe phase. Ask the build, not the requested
+  // mode: spilling upgrades kCas builds to the partitioned protocol.
+  if (shared_->build.releases_chunks()) pool_.Release();
   built_ = true;
 }
 

@@ -20,6 +20,7 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.cancel = opt.cancel;
   ctx.ledger = opt.ledger;
   ctx.fault = opt.fault;
+  ctx.spill = opt.spill_manager;
   ctx.knobs = opt.knobs;
   ctx.telemetry = opt.telemetry;
   return ctx;

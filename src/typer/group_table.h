@@ -2,11 +2,15 @@
 #define VCQ_TYPER_GROUP_TABLE_H_
 
 #include <array>
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/hashmap.h"
 #include "runtime/mem_pool.h"
+#include "runtime/resource_governor.h"
+#include "runtime/spill.h"
 #include "runtime/worker_pool.h"
 
 // Group-by support for the Typer engine. The aggregation algorithm is the
@@ -24,8 +28,20 @@ inline size_t GroupPartitionOf(uint64_t hash) { return (hash >> 52) & 63; }
 
 /// Worker-local aggregation table. Entry must begin with a
 /// runtime::Hashmap::EntryHeader member named `header`.
+///
+/// Spill-capable (runtime/spill.h): on governed spill-enabled runs,
+/// FindOrCreate polls the ledger's pressure signal at its entry — the one
+/// point where no caller holds a group pointer across the call — and under
+/// pressure evicts the whole local table to a hash-partitioned spill file
+/// and starts empty. A spilled key that reappears simply pre-aggregates
+/// into a fresh local entry; MergeLocalGroups re-reads the spilled
+/// segments and combines duplicates, so final aggregates (and the merge's
+/// first-seen output order) are byte-identical to in-memory runs.
 template <typename Entry>
 class LocalGroupTable {
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "group spill relocates entries bytewise");
+
  public:
   LocalGroupTable() { ht_.SetSize(2048); }
 
@@ -33,16 +49,19 @@ class LocalGroupTable {
   /// run's memory ledger and exposed as the "typer.group.alloc" fault
   /// point. The pipelines construct their local tables with this overload;
   /// the default ctor stays for ungoverned/standalone use.
-  explicit LocalGroupTable(const runtime::QueryOptions& opt) {
+  explicit LocalGroupTable(const runtime::QueryOptions& opt)
+      : ledger_(opt.ledger), spill_mgr_(opt.spill_manager) {
     pool_.Bind(opt.ledger, opt.fault, "typer.group.alloc");
     ht_.SetSize(2048);
   }
 
   /// Returns the group for `hash`, creating it with `init(Entry*)` when
   /// absent. `eq(const Entry&)` decides key equality against the probe key
-  /// held in the caller's registers.
+  /// held in the caller's registers. The returned pointer is valid until
+  /// the next FindOrCreate (which may spill the table).
   template <typename EqFn, typename InitFn>
   Entry* FindOrCreate(uint64_t hash, EqFn&& eq, InitFn&& init) {
+    if (spill_mgr_ != nullptr) MaybeSpill();
     for (auto* e = ht_.FindChainTagged(hash); e != nullptr; e = e->next) {
       if (e->hash == hash && eq(*reinterpret_cast<Entry*>(e)))
         return reinterpret_cast<Entry*>(e);
@@ -59,10 +78,40 @@ class LocalGroupTable {
   }
 
   size_t size() const { return count_; }
+  /// Spilled pre-aggregated entries of this worker (nullptr = none);
+  /// consumed by MergeLocalGroups.
+  const runtime::SpillFile* spill_file() const { return spill_; }
 
   std::array<std::vector<Entry*>, kGroupPartitions> parts;
 
  private:
+  /// Don't bother spilling fewer groups than this: eviction must actually
+  /// relieve memory, and a near-empty table under pressure from elsewhere
+  /// (e.g. a resident join arena) would otherwise spill every new group
+  /// one at a time.
+  static constexpr size_t kSpillMinGroups = 256;
+
+  void MaybeSpill() {
+    if (count_ < kSpillMinGroups || ledger_ == nullptr ||
+        !ledger_->UnderPressure())
+      return;
+    if (spill_ == nullptr) spill_ = spill_mgr_->Create("typer.group");
+    std::vector<std::byte> buf;
+    for (size_t p = 0; p < kGroupPartitions; ++p) {
+      std::vector<Entry*>& part = parts[p];
+      if (part.empty()) continue;
+      buf.resize(part.size() * sizeof(Entry));
+      for (size_t i = 0; i < part.size(); ++i)
+        std::memcpy(buf.data() + i * sizeof(Entry), part[i], sizeof(Entry));
+      spill_->Append(static_cast<uint32_t>(p), buf.data(), buf.size(),
+                     part.size());
+      part.clear();
+    }
+    pool_.Release();
+    ht_.Clear();
+    count_ = 0;
+  }
+
   void Grow() {
     ht_.SetSize(count_ * 4);
     for (auto& part : parts)
@@ -72,24 +121,52 @@ class LocalGroupTable {
   runtime::Hashmap ht_;
   runtime::MemPool pool_;
   size_t count_ = 0;
+  runtime::QueryLedger* ledger_ = nullptr;
+  runtime::SpillManager* spill_mgr_ = nullptr;
+  runtime::SpillFile* spill_ = nullptr;
 };
 
-/// Parallel partition-wise merge of all workers' local tables. Entry must
-/// provide `bool KeyEquals(const Entry&) const` and `void Combine(const
-/// Entry&)`. Returns the distinct merged groups (order unspecified).
+/// MergeLocalGroups result: the distinct merged groups plus the merge-side
+/// pools that own any entries rehydrated from spill files. Keep the struct
+/// alive as long as the group pointers are read (the pipelines hold it
+/// until the result rows are built).
 template <typename Entry>
-std::vector<Entry*> MergeLocalGroups(
+struct MergedGroups {
+  std::vector<Entry*> groups;
+  std::vector<runtime::MemPool> pools;  // one per merge worker
+};
+
+/// Parallel partition-wise merge of all workers' local tables — live
+/// entries plus any spilled segments (re-read partition-at-a-time, each
+/// worker's spilled rows before its live rows, i.e. creation order, so the
+/// first-seen output order is byte-identical to an in-memory run). Entry
+/// must provide `bool KeyEquals(const Entry&) const` and `void
+/// Combine(const Entry&)`. Group order across partitions is unspecified
+/// (the pipelines sort).
+template <typename Entry>
+MergedGroups<Entry> MergeLocalGroups(
     std::vector<std::unique_ptr<LocalGroupTable<Entry>>>& locals,
     const runtime::QueryOptions& opt) {
   const size_t threads = opt.threads;
   std::array<std::vector<Entry*>, kGroupPartitions> merged;
+  MergedGroups<Entry> result;
+  result.pools.resize(threads);
+  for (runtime::MemPool& pool : result.pools)
+    pool.Bind(opt.ledger, opt.fault, "typer.group.merge");
   // Work hint in tuples, like every other region: the groups this merge
   // reads across all local tables.
   size_t total_groups = 0;
+  bool any_spilled = false;
   for (const auto& local : locals) {
-    if (local != nullptr) total_groups += local->size();
+    if (local == nullptr) continue;
+    total_groups += local->size();
+    if (const runtime::SpillFile* f = local->spill_file()) {
+      any_spilled = true;
+      for (const auto& seg : f->segments()) total_groups += seg.rows;
+    }
   }
   runtime::PoolFor(opt).Run(opt, total_groups, [&](size_t wid) {
+    std::vector<std::byte> buf;
     for (size_t p = wid; p < kGroupPartitions; p += threads) {
       // The merge is the query's serial-phase tail: poll the token per
       // partition so a deadline/budget trip after the scan phase still
@@ -101,10 +178,13 @@ std::vector<Entry*> MergeLocalGroups(
       // local table; merge what the survivors produced — the result is
       // discarded anyway once the tripped token surfaces.
       for (const auto& local : locals) {
-        if (local != nullptr) total += local->parts[p].size();
+        if (local == nullptr) continue;
+        total += local->parts[p].size();
+        if (const runtime::SpillFile* f = local->spill_file())
+          total += f->rows_in_partition(static_cast<uint32_t>(p));
       }
       if (total == 0) continue;
-      if (locals.size() == 1 && locals[0] != nullptr) {
+      if (locals.size() == 1 && locals[0] != nullptr && !any_spilled) {
         merged[p] = std::move(locals[0]->parts[p]);
         continue;
       }
@@ -112,32 +192,53 @@ std::vector<Entry*> MergeLocalGroups(
       ht.SetSize(total);
       std::vector<Entry*>& out = merged[p];
       out.reserve(total);
-      for (const auto& local : locals) {
-        if (local == nullptr) continue;
-        for (Entry* e : local->parts[p]) {
-          Entry* existing = nullptr;
-          for (auto* c = ht.FindChain(e->header.hash); c != nullptr;
-               c = c->next) {
-            auto* ce = reinterpret_cast<Entry*>(c);
-            if (c->hash == e->header.hash && ce->KeyEquals(*e)) {
-              existing = ce;
-              break;
-            }
-          }
-          if (existing == nullptr) {
-            e->header.next = nullptr;
-            ht.InsertUnlocked(&e->header);
-            out.push_back(e);
-          } else {
-            existing->Combine(*e);
+      auto combine_or_insert = [&](const Entry& e, auto&& materialize) {
+        Entry* existing = nullptr;
+        for (auto* c = ht.FindChain(e.header.hash); c != nullptr;
+             c = c->next) {
+          auto* ce = reinterpret_cast<Entry*>(c);
+          if (c->hash == e.header.hash && ce->KeyEquals(e)) {
+            existing = ce;
+            break;
           }
         }
+        if (existing == nullptr) {
+          Entry* owned = materialize();
+          owned->header.next = nullptr;
+          ht.InsertUnlocked(&owned->header);
+          out.push_back(owned);
+        } else {
+          existing->Combine(e);
+        }
+      };
+      for (const auto& local : locals) {
+        if (local == nullptr) continue;
+        // Spilled rows first: they were created before anything still live
+        // in this worker's table, and first-seen order is the output order.
+        if (const runtime::SpillFile* f = local->spill_file()) {
+          for (const auto& seg : f->segments()) {
+            if (seg.partition != p) continue;
+            buf.resize(seg.bytes);
+            f->Read(seg, buf.data());
+            for (size_t k = 0; k < seg.rows; ++k) {
+              Entry tmp;
+              std::memcpy(&tmp, buf.data() + k * sizeof(Entry),
+                          sizeof(Entry));
+              combine_or_insert(tmp, [&]() {
+                Entry* owned = result.pools[wid].template Create<Entry>();
+                *owned = tmp;
+                return owned;
+              });
+            }
+          }
+        }
+        for (Entry* e : local->parts[p])
+          combine_or_insert(*e, [&]() { return e; });
       }
     }
   });
-  std::vector<Entry*> result;
   for (auto& part : merged)
-    result.insert(result.end(), part.begin(), part.end());
+    result.groups.insert(result.groups.end(), part.begin(), part.end());
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "runtime/hashmap.h"
 #include "runtime/mem_pool.h"
 #include "runtime/options.h"
+#include "runtime/resource_governor.h"
+#include "runtime/spill.h"
 #include "runtime/worker_pool.h"
 
 namespace vcq::typer {
@@ -44,6 +46,8 @@ class JoinTable {
   explicit JoinTable(const runtime::QueryOptions& opt, uint32_t site = 0)
       : threads_(opt.threads),
         mode_(opt.build_mode),
+        ledger_(opt.ledger),
+        spill_mgr_(opt.spill_manager),
         pool_(&runtime::PoolFor(opt)),
         region_{opt.sched_stream, 0, opt.cancel},
         build_(&ht, opt.threads,
@@ -69,8 +73,19 @@ class JoinTable {
       runtime::EntryChunkList list;
       Entry* block = nullptr;
       size_t used = kChunkRows;
+      runtime::SpillFile* spill_file = nullptr;
       auto emit = [&](const Entry& e) {
         if (used == kChunkRows) {
+          // Chunk boundary — every materialized chunk is complete, the one
+          // safe point to relieve memory pressure: spill the finished
+          // chunks and release the pool before growing it again.
+          if (spill_mgr_ != nullptr && !list.chunks.empty() &&
+              ledger_ != nullptr && ledger_->UnderPressure()) {
+            if (spill_file == nullptr)
+              spill_file = spill_mgr_->Create("typer.join");
+            list.SpillTo(spill_file, sizeof(Entry));
+            pools_[wid].Release();
+          }
           block = static_cast<Entry*>(
               pools_[wid].Allocate(kChunkRows * sizeof(Entry)));
           list.Add(reinterpret_cast<std::byte*>(block), 0);
@@ -84,8 +99,9 @@ class JoinTable {
       build_.Run(mode_, std::move(list), sizeof(Entry));
       // The partitioned protocol copied every entry into the contiguous
       // arena (no one reads the chunks after Run's final barrier), so the
-      // materialize-phase memory is pure overhead from here on.
-      if (runtime::JoinBuild::ReleasesChunks(mode_)) pools_[wid].Release();
+      // materialize-phase memory is pure overhead from here on. Ask the
+      // build, not the requested mode: spilling upgrades kCas builds.
+      if (build_.releases_chunks()) pools_[wid].Release();
     }, region);
   }
 
@@ -152,6 +168,8 @@ class JoinTable {
 
   size_t threads_;
   runtime::BuildMode mode_;
+  runtime::QueryLedger* ledger_;
+  runtime::SpillManager* spill_mgr_;
   runtime::WorkerPool* pool_;
   runtime::RegionInfo region_;  // the owning session's scheduling stream
   runtime::JoinBuild build_;

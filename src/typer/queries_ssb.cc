@@ -312,7 +312,8 @@ QueryResult RunSsbQ21(const Database& db, const QueryOptions& opt,
     }
   });
 
-  std::vector<Q21Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q21Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.
@@ -483,7 +484,8 @@ QueryResult RunSsbQ31(const Database& db, const QueryOptions& opt,
     }
   });
 
-  std::vector<Q31Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q31Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.
@@ -684,7 +686,8 @@ QueryResult RunSsbQ41(const Database& db, const QueryOptions& opt,
     }
   });
 
-  std::vector<Q41Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q41Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.

@@ -115,7 +115,8 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt,
     }
   });
 
-  std::vector<Q1Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q1Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.
@@ -366,7 +367,8 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt,
     });
   }
 
-  std::vector<Q3Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q3Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.
@@ -636,7 +638,8 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt,
     });
   }
 
-  std::vector<Q9Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q9Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.
@@ -740,7 +743,8 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt,
       }
     });
   }
-  std::vector<Q18Group*> groups = MergeLocalGroups(locals, opt);
+  auto merged = MergeLocalGroups(locals, opt);
+  std::vector<Q18Group*>& groups = merged.groups;
   // Serial tail: surface a trip (deadline, budget, injected fault) that
   // landed during or after the parallel phase instead of sorting and
   // building a result nobody will see.

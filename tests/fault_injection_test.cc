@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -186,6 +187,97 @@ TEST(FaultSweepTest, EveryPointBothEnginesFirstLastRandomHitDrainsClean) {
       RunArmed(session, engine, Query::kQ3, threads, "session.tuner",
                FaultSpec{FaultAction::kThrowBadAlloc, 1}, expected, clean,
                tuned);
+    }
+  }
+
+  // The spill-path points only exist on spill-enabled executions under
+  // memory pressure: sweep them with an over-budget spill run (budget =
+  // quarter of the measured in-memory peak, QueryOptions::spill on). The
+  // write/read/open points fail like any other site — drain clean,
+  // kResourceExhausted, baselines restored, partial spill files unlinked.
+  // spill.unlink is different by design: it fires inside the cleanup path
+  // (the SpillFile destructor absorbs it — cleanup is fault-TOLERANT), so
+  // the armed run must SUCCEED byte-identically, not fail.
+  {
+    const Workload spill_workloads[] = {
+        {&TpchDb(), Query::kQ3},
+        {&TpchDb(), Query::kQ9},
+    };
+    for (const Workload& wl : spill_workloads) {
+      Session session(*wl.db);
+      for (Engine engine : {Engine::kTyper, Engine::kTectorwise}) {
+        QueryOptions clean_opt;
+        clean_opt.threads = 1;
+        PreparedQuery clean = session.Prepare(engine, wl.query, clean_opt);
+        const QueryResult expected = clean.Execute();
+        ASSERT_TRUE(expected.ok())
+            << EngineName(engine) << " " << QueryName(wl.query);
+        const size_t peak = clean.measured_peak_bytes();
+        ASSERT_GT(peak, 0u);
+
+        QueryOptions base;
+        base.memory_budget = std::max<size_t>(1, peak / 4);
+        base.spill = true;
+
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          FaultInjector counter;
+          QueryOptions opt = base;
+          opt.threads = threads;
+          opt.fault = &counter;
+          PreparedQuery probe = session.Prepare(engine, wl.query, opt);
+          ASSERT_EQ(probe.Execute(), expected)
+              << EngineName(engine) << " " << QueryName(wl.query)
+              << " threads=" << threads;
+          if (threads == 1) {
+            // Serial pressure is deterministic: the over-budget run MUST
+            // have spilled, or the sub-sweep is sweeping nothing.
+            ASSERT_GT(counter.HitCount("spill.write"), 0u)
+                << EngineName(engine) << " " << QueryName(wl.query);
+          }
+
+          for (const char* point :
+               {"spill.open", "spill.write", "spill.read"}) {
+            const uint64_t hits = counter.HitCount(point);
+            if (hits == 0) continue;
+            crossed.insert(point);
+            const uint64_t ordinals[] = {1, hits, rng.RandOrdinal(hits)};
+            for (uint64_t ordinal : ordinals) {
+              SCOPED_TRACE(std::string(QueryName(wl.query)) + " spill " +
+                           EngineName(engine) + " threads=" +
+                           std::to_string(threads) + " point=" + point +
+                           " hit=" + std::to_string(ordinal) + "/" +
+                           std::to_string(hits));
+              RunArmed(session, engine, wl.query, threads, point,
+                       FaultSpec{FaultAction::kThrowBadAlloc, ordinal},
+                       expected, clean, base);
+            }
+          }
+
+          if (counter.HitCount("spill.unlink") > 0) {
+            crossed.insert("spill.unlink");
+            SCOPED_TRACE(std::string(QueryName(wl.query)) +
+                         " spill.unlink " + EngineName(engine) +
+                         " threads=" + std::to_string(threads));
+            FaultInjector armed;
+            armed.Arm("spill.unlink",
+                      FaultSpec{FaultAction::kThrowBadAlloc, 1});
+            QueryOptions opt2 = base;
+            opt2.threads = threads;
+            opt2.fault = &armed;
+            PreparedQuery q = session.Prepare(engine, wl.query, opt2);
+            const size_t live_before = MemPool::live_bytes();
+            const size_t gov_before = ResourceGovernor::Global().in_use();
+            const QueryResult got = q.Execute();
+            if (threads == 1) EXPECT_GE(armed.FiredCount(), 1u);
+            if (armed.FiredCount() > 0) {
+              // The absorbed cleanup fault must not leak into the result.
+              EXPECT_EQ(got, expected);
+            }
+            EXPECT_EQ(MemPool::live_bytes(), live_before);
+            EXPECT_EQ(ResourceGovernor::Global().in_use(), gov_before);
+          }
+        }
+      }
     }
   }
 

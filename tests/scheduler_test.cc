@@ -375,6 +375,103 @@ TEST(SchedulerTest, AdmissionWaitHonorsCancelAndDeadline) {
   EXPECT_EQ(d.status(), ExecStatus::kDeadlineExceeded);
 }
 
+TEST(SchedulerTest, StreamQuotaBoundsInflightPerTenant) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(8, 8);
+  sched.SetStreamQuota(7, 1, 0);  // tenant 7: one execution at a time
+
+  Scheduler::Admission a = sched.Admit(nullptr, 0, 7);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(sched.stream_inflight(7), 1u);
+
+  // Over its quota the tenant WAITS (kDeadlineExceeded when the token
+  // expires), it is not bounced with kRejected — quota pressure is its own
+  // backpressure, not global overload.
+  CancelToken deadline(CancelToken::Clock::now() +
+                       std::chrono::milliseconds(20));
+  Scheduler::Admission b = sched.Admit(&deadline, 0, 7);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status(), ExecStatus::kDeadlineExceeded);
+
+  // Other tenants are untouched by 7's quota.
+  Scheduler::Admission c = sched.Admit(nullptr, 0, 9);
+  EXPECT_TRUE(c.ok());
+
+  a.Release();
+  Scheduler::Admission d = sched.Admit(nullptr, 0, 7);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(SchedulerTest, StreamByteQuotaWaitsWhenFullFailsFastWhenNeverFits) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(8, 8);
+  sched.SetStreamQuota(7, 0, 1000);
+
+  // Could never fit the tenant's byte quota: immediate kResourceExhausted
+  // (same reasoning as the global memory budget's never-fits rejection).
+  Scheduler::Admission big = sched.Admit(nullptr, 2000, 7);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status(), ExecStatus::kResourceExhausted);
+
+  Scheduler::Admission a = sched.Admit(nullptr, 800, 7);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(sched.stream_inflight_bytes(7), 800u);
+
+  CancelToken deadline(CancelToken::Clock::now() +
+                       std::chrono::milliseconds(20));
+  Scheduler::Admission b = sched.Admit(&deadline, 800, 7);
+  EXPECT_EQ(b.status(), ExecStatus::kDeadlineExceeded);
+
+  a.Release();
+  Scheduler::Admission c = sched.Admit(nullptr, 800, 7);
+  EXPECT_TRUE(c.ok());
+  c.Release();
+  EXPECT_EQ(sched.stream_inflight_bytes(7), 0u);
+}
+
+TEST(SchedulerTest, BrownoutShedsHeaviestStreamWhileLightOnesQueue) {
+  Scheduler sched(1);
+  sched.SetAdmissionLimit(1, 4);
+  sched.SetBrownout(0.25);  // pressure at >= 1 of 4 queue slots occupied
+  EXPECT_EQ(sched.shed_count(), 0u);
+
+  // Tenant 7 holds the only slot with the largest in-flight footprint.
+  Scheduler::Admission heavy = sched.Admit(nullptr, 1000, 7);
+  ASSERT_TRUE(heavy.ok());
+
+  // A light tenant queues up, putting the admission queue at the brown-out
+  // threshold.
+  std::atomic<bool> waiter_ok{false};
+  std::thread waiter([&] {
+    Scheduler::Admission w = sched.Admit(nullptr, 0, 9);
+    waiter_ok.store(w.ok());
+  });
+  while (sched.admission_waiting() < 1) std::this_thread::yield();
+
+  // Under pressure, NEW arrivals from the heaviest tenant are shed...
+  Scheduler::Admission shed = sched.Admit(nullptr, 0, 7);
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status(), ExecStatus::kRejected);
+  EXPECT_EQ(sched.shed_count(), 1u);
+
+  // ...while another light tenant still gets to wait its turn (it times
+  // out here only because the slot is never freed while it waits).
+  CancelToken deadline(CancelToken::Clock::now() +
+                       std::chrono::milliseconds(20));
+  Scheduler::Admission light = sched.Admit(&deadline, 0, 10);
+  EXPECT_EQ(light.status(), ExecStatus::kDeadlineExceeded);
+
+  heavy.Release();  // pressure relieved: the queued light tenant admits
+  waiter.join();
+  EXPECT_TRUE(waiter_ok.load());
+
+  // With nothing in flight and the queue drained, brown-out no longer
+  // triggers even for former heavyweights.
+  Scheduler::Admission calm = sched.Admit(nullptr, 0, 7);
+  EXPECT_TRUE(calm.ok());
+  EXPECT_EQ(sched.shed_count(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // CancelToken semantics
 // ---------------------------------------------------------------------------
@@ -614,6 +711,35 @@ TEST(SchedulerQueryTest, SessionWeightsPlumbToSchedulerStreams) {
   PreparedQuery q6 = a.Prepare(Engine::kTyper, Query::kQ6, {.threads = 2});
   EXPECT_EQ(q6.options().sched_stream, a.stream());
   EXPECT_TRUE(q6.Execute().ok());
+}
+
+TEST(SchedulerQueryTest, SessionQuotaThrottlesItsOwnQueriesOnly) {
+  runtime::WorkerPool pool(2);
+  pool.scheduler().SetAdmissionLimit(8, 8);
+  Session throttled(TestDb(), pool);
+  Session other(TestDb(), pool);
+  throttled.SetQuota(1, 0);  // one in-flight execution for this tenant
+
+  PreparedQuery q6 =
+      throttled.Prepare(Engine::kTyper, Query::kQ6, {.threads = 1});
+  {
+    // Occupy the session's single quota slot: its next execution waits for
+    // the quota (deadline, not rejection), while the OTHER session's
+    // queries are unaffected.
+    Scheduler::Admission held =
+        pool.scheduler().Admit(nullptr, 0, throttled.stream());
+    ASSERT_TRUE(held.ok());
+    const QueryResult stalled = q6.Execute(std::chrono::milliseconds(30));
+    EXPECT_EQ(stalled.status, ExecStatus::kDeadlineExceeded);
+
+    PreparedQuery free_q =
+        other.Prepare(Engine::kTyper, Query::kQ6, {.threads = 1});
+    EXPECT_TRUE(free_q.Execute().ok());
+  }
+  // Quota slot freed: the throttled session proceeds, correctly.
+  const QueryResult ok = q6.Execute();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok, RunQuery(TestDb(), Engine::kTyper, Query::kQ6, {}));
 }
 
 }  // namespace
