@@ -5,11 +5,15 @@
 // Volcano = pull+interpretation).
 //
 //   ./engine_explorer [--sf 0.5] [--query Q1|Q6|Q3|Q9|Q18|SSB-Q1.1|...]
-//                     [--explain]
+//                     [--sql "SELECT ..."] [--ssb] [--explain]
 //
 // With no --query it sweeps the full TPC-H subset. --explain additionally
 // prints each query's declarative Tectorwise plan (nodes, consumed
 // columns, and the compaction registrations derived from slot usage).
+// --sql runs the same sweep on an ad-hoc statement through the SQL front
+// door (src/sql/) instead of a catalog query — Typer is skipped there
+// (its pipelines are ahead-of-time compiled per catalog query); --explain
+// then prints every compilation stage (ast/logical/optimized/physical).
 
 #include <chrono>
 #include <thread>
@@ -22,6 +26,7 @@
 #include "api/vcq.h"
 #include "datagen/ssb.h"
 #include "datagen/tpch.h"
+#include "sql/sql.h"
 #include "tectorwise/primitives_simd.h"
 
 namespace {
@@ -35,16 +40,77 @@ double Time(const vcq::runtime::Database& db, vcq::Engine e, vcq::Query q,
       .count();
 }
 
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The --sql path: one ad-hoc statement through the SQL front door, swept
+// over the same knobs as the catalog queries (minus Typer).
+int ExploreSql(const vcq::runtime::Database& db, const std::string& text,
+               bool explain) {
+  const vcq::sql::CompileResult compiled = vcq::sql::Compile(db, text);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.error->Format().c_str());
+    return 1;
+  }
+  const vcq::sql::CompiledQuery& q = *compiled.query;
+  if (!q.params().empty()) {
+    std::fprintf(stderr,
+                 "--sql statements must not declare $parameters here; "
+                 "inline the constants (or use the sql_shell \\set flow)\n");
+    return 1;
+  }
+  if (explain) std::printf("%s", vcq::sql::Explain(q).c_str());
+
+  const vcq::runtime::QueryParams no_params;
+  std::printf("  engines (1 thread):\n");
+  vcq::runtime::QueryOptions st;
+  std::printf("    %-11s %8.2f ms\n", "tectorwise",
+              TimeMs([&] { q.LowerTectorwise().Run(st, no_params); }));
+  std::printf("    %-11s %8.2f ms\n", "volcano",
+              TimeMs([&] { q.RunVolcano(st, no_params); }));
+
+  std::printf("  tectorwise vector sizes:\n");
+  for (size_t vs : {size_t{1}, size_t{64}, size_t{1024}, size_t{65536}}) {
+    vcq::runtime::QueryOptions opt;
+    opt.vector_size = vs;
+    std::printf("    %-8zu    %8.2f ms\n", vs,
+                TimeMs([&] { q.LowerTectorwise().Run(opt, no_params); }));
+  }
+  vcq::runtime::QueryOptions mt;
+  mt.threads = std::max(1u, std::thread::hardware_concurrency() / 2);
+  std::printf("  tectorwise x%-2zu threads:   %8.2f ms\n", mt.threads,
+              TimeMs([&] { q.LowerTectorwise().Run(mt, no_params); }));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double sf = 0.5;
   std::string query_name;
+  std::string sql_text;
+  bool ssb = false;
   bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sf") && i + 1 < argc) sf = std::atof(argv[++i]);
     if (!std::strcmp(argv[i], "--query") && i + 1 < argc) query_name = argv[++i];
+    if (!std::strcmp(argv[i], "--sql") && i + 1 < argc) sql_text = argv[++i];
+    if (!std::strcmp(argv[i], "--ssb")) ssb = true;
     if (!std::strcmp(argv[i], "--explain")) explain = true;
+  }
+
+  if (!sql_text.empty()) {
+    std::printf("Loading %s SF=%.2f ...\n", ssb ? "SSB" : "TPC-H", sf);
+    const vcq::runtime::Database sql_db =
+        ssb ? vcq::datagen::GenerateSsb(sf) : vcq::datagen::GenerateTpch(sf);
+    std::printf("\n=== SQL — %s ===\n", sql_text.c_str());
+    return ExploreSql(sql_db, sql_text, explain);
   }
 
   // The QueryCatalog is the single registry of the workload: name lookup

@@ -42,8 +42,9 @@ struct QueryInfo {
   Query query;
   std::string name;
   Workload workload;
-  /// Engines implementing the query; Volcano covers TPC-H only and always
-  /// runs the default bindings.
+  /// Engines implementing the query; Volcano covers TPC-H only in the
+  /// catalog (SQL-prepared queries lower onto it for both workloads) and
+  /// resolves the same named parameters as the other engines.
   bool volcano = false;
   std::vector<ParamSpec> params;
   std::string description;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -18,6 +19,10 @@
 #include "runtime/spill.h"
 #include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
+#include "sql/catalog.h"
+#include "sql/logical.h"
+#include "sql/optimizer.h"
+#include "sql/sql.h"
 #include "tectorwise/plan.h"
 #include "tectorwise/queries.h"
 #include "typer/queries.h"
@@ -38,7 +43,10 @@ namespace {
 using TyperFn = QueryResult (*)(const Database&, const QueryOptions&,
                                 const QueryParams&,
                                 const typer::ColumnCache&);
-using VolcanoFn = QueryResult (*)(const Database&, const QueryOptions&);
+/// A std::function, not a raw pointer: catalog queries bind the interpreter
+/// entry points below, SQL queries bind a closure over their compiled plan.
+using VolcanoFn = std::function<QueryResult(
+    const Database&, const QueryOptions&, const QueryParams&)>;
 
 TyperFn TyperRunner(Query query) {
   switch (query) {
@@ -132,6 +140,94 @@ void ApplyQueryKnobs(const KnobChoices& choices, QueryOptions& opt) {
   }
 }
 
+/// Registers the Tectorwise knob set — the global vector size plus one
+/// compaction/build-mode/ROF knob per eligible plan node — with the
+/// prepared options as the default arms. Shared by Prepare and PrepareSql:
+/// a SQL-compiled plan exposes exactly the same tunable decisions as a
+/// catalog one.
+void RegisterTectorwiseKnobs(runtime::Tuner& tuner,
+                             const tectorwise::Plan& plan,
+                             const QueryOptions& opt) {
+  std::vector<int64_t> sizes{256, 512, 1024, 2048};
+  const size_t size_def =
+      ArmIndexOf(sizes, static_cast<int64_t>(opt.vector_size));
+  tuner.RegisterKnob("tw.vector_size", kQueryKnob, KnobKind::kVectorSize,
+                     std::move(sizes), size_def);
+  const auto infos = plan.Describe();
+  for (uint32_t i = 0; i < infos.size(); ++i) {
+    using tectorwise::NodeKind;
+    switch (infos[i].kind) {
+      case NodeKind::kSelect:
+      case NodeKind::kHashGroup: {
+        // Compaction arm encoding: never / always / adaptive(1/k).
+        std::vector<int64_t> arms{0, 1, 16, 64, 256};
+        const size_t def = ArmIndexOf(arms, CompactionArmOf(opt));
+        const char* at = infos[i].kind == NodeKind::kSelect ? "tw.select#"
+                                                            : "tw.group#";
+        tuner.RegisterKnob(at + std::to_string(i) + ".compaction", i,
+                           KnobKind::kCompaction, std::move(arms), def);
+        break;
+      }
+      case NodeKind::kHashJoin:
+        tuner.RegisterKnob("tw.join#" + std::to_string(i) + ".build_mode", i,
+                           KnobKind::kBuildMode, {0, 1},
+                           opt.build_mode == runtime::BuildMode::kCas ? 0
+                                                                      : 1);
+        tuner.RegisterKnob("tw.join#" + std::to_string(i) + ".rof", i,
+                           KnobKind::kRof, {0, 1}, opt.rof ? 1 : 0);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Synthesizes the QueryInfo row of a SQL-compiled query: name "SQL", the
+/// workload inferred from the schema, one ParamSpec per $param declared in
+/// the text. There are no spec defaults — SQL parameters must be bound.
+QueryInfo SqlQueryInfo(const sql::CompiledQuery& q,
+                       const sql::Catalog& catalog) {
+  QueryInfo info;
+  info.query = Query::kQ1;  // sentinel; PreparedQuery::query() rejects SQL
+  info.name = "SQL";
+  info.workload = catalog.Find("lineorder") != nullptr ? Workload::kSsb
+                                                       : Workload::kTpch;
+  info.volcano = true;
+  info.description = q.text();
+  for (const sql::ParamDecl& p : q.params()) {
+    ParamSpec spec;
+    spec.name = p.name;
+    spec.type = p.type;
+    spec.description = "declared as $" + p.name + " in the SQL text";
+    info.params.push_back(std::move(spec));
+  }
+  return info;
+}
+
+/// SQL analogue of EstimatedBuildBytes (api/query_catalog.h): every join's
+/// build-side input tuples at the same nominal 64 B/tuple — selectivity
+/// ignored, overestimating being the safe direction for admission.
+size_t SqlEstimatedBuildBytes(const sql::PhysicalPlan& plan) {
+  constexpr size_t kBytesPerBuildTuple = 64;
+  const std::function<size_t(const sql::JoinTree&)> leaf_tuples =
+      [&](const sql::JoinTree& t) -> size_t {
+    if (t.IsLeaf()) {
+      return plan.query.Table(static_cast<uint32_t>(t.table)).tuple_count;
+    }
+    return leaf_tuples(*t.build) + leaf_tuples(*t.probe);
+  };
+  size_t bytes = 0;
+  const std::function<void(const sql::JoinTree&)> walk =
+      [&](const sql::JoinTree& t) {
+        if (t.IsLeaf()) return;
+        bytes += leaf_tuples(*t.build) * kBytesPerBuildTuple;
+        walk(*t.build);
+        walk(*t.probe);
+      };
+  walk(*plan.root);
+  return bytes;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -163,6 +259,15 @@ struct PreparedQuery::Impl {
   Query query;
   QueryOptions opt;
   const QueryInfo* info;
+  /// SQL-prepared handles only: the compiled query (kept alive for the
+  /// Volcano closure and introspection) and the synthesized catalog row
+  /// `info` points at.
+  bool is_sql = false;
+  std::shared_ptr<const sql::CompiledQuery> sql;
+  QueryInfo owned_info;
+  /// What ResetParams restores and Execute(params) layers under: the
+  /// catalog's spec defaults, or empty for SQL (no declared defaults).
+  QueryParams defaults;
   /// Tectorwise only: the plan built at prepare time; per-execution state
   /// is created by each Run, so one plan serves concurrent executions.
   std::optional<tectorwise::Prepared> tw;
@@ -296,12 +401,7 @@ struct PreparedQuery::Impl {
           result = tw->Run(run_opt, params);
           break;
         case Engine::kVolcano:
-          // The interpreter predates parameterization and always evaluates
-          // the spec constants; reject bindings it would silently ignore.
-          VCQ_CHECK_MSG(params == DefaultParams(query),
-                        "Volcano supports only the default parameter "
-                        "bindings");
-          result = volcano(*db, run_opt);
+          result = volcano(*db, run_opt, params);
           break;
       }
     } catch (...) {
@@ -371,9 +471,8 @@ PreparedQuery& PreparedQuery::Set(std::string_view name,
 }
 
 PreparedQuery& PreparedQuery::ResetParams() {
-  QueryParams defaults = DefaultParams(impl_->query);
   std::lock_guard<std::mutex> lock(impl_->params_mu);
-  impl_->bound = std::move(defaults);
+  impl_->bound = impl_->defaults;
   return *this;
 }
 
@@ -395,8 +494,9 @@ QueryResult PreparedQuery::Execute(const QueryParams& params) const {
                   "entry's ParamSpecs)");
   }
   // Layer the explicit bindings over the defaults so partial binding works
-  // and every parameter the engines read resolves.
-  runtime::QueryParams merged = DefaultParams(impl_->query);
+  // and every parameter the engines read resolves (SQL queries have no
+  // defaults: the explicit bindings must be complete).
+  runtime::QueryParams merged = impl_->defaults;
   for (const ParamSpec& spec : impl_->info->params) {
     if (!params.Has(spec.name)) continue;
     switch (spec.type) {
@@ -546,7 +646,13 @@ std::string PreparedQuery::ExplainDegradation() const {
 }
 
 Engine PreparedQuery::engine() const { return impl_->engine; }
-Query PreparedQuery::query() const { return impl_->query; }
+Query PreparedQuery::query() const {
+  VCQ_CHECK_MSG(!impl_->is_sql,
+                "SQL-prepared queries have no catalog Query id — use "
+                "info() / is_sql() to introspect them");
+  return impl_->query;
+}
+bool PreparedQuery::is_sql() const { return impl_->is_sql; }
 const QueryInfo& PreparedQuery::info() const { return *impl_->info; }
 const QueryOptions& PreparedQuery::options() const { return impl_->opt; }
 
@@ -698,7 +804,8 @@ PreparedQuery Session::Prepare(Engine engine, Query query,
     cap = std::min(cap, impl->opt.scheduler_threads);
   impl->opt.threads = std::max<size_t>(1, std::min(impl->opt.threads, cap));
   impl->info = &CatalogEntry(query);
-  impl->bound = DefaultParams(query);
+  impl->defaults = DefaultParams(query);
+  impl->bound = impl->defaults;
   // Stamped once: the footprint depends only on the database and query, and
   // Prepare is the only place with both in hand before the hot path.
   impl->est_bytes = EstimatedBuildBytes(*db_, query);
@@ -732,45 +839,83 @@ PreparedQuery Session::Prepare(Engine engine, Query query,
       tuner->RegisterKnob("typer.rof_block", kQueryKnob, KnobKind::kRofBlock,
                           std::move(blocks), def);
     } else {
-      std::vector<int64_t> sizes{256, 512, 1024, 2048};
-      const size_t size_def =
-          ArmIndexOf(sizes, static_cast<int64_t>(opt.vector_size));
-      tuner->RegisterKnob("tw.vector_size", kQueryKnob,
-                          KnobKind::kVectorSize, std::move(sizes), size_def);
-      const auto infos = impl->tw->plan().Describe();
-      for (uint32_t i = 0; i < infos.size(); ++i) {
-        using tectorwise::NodeKind;
-        switch (infos[i].kind) {
-          case NodeKind::kSelect:
-          case NodeKind::kHashGroup: {
-            // Compaction arm encoding: never / always / adaptive(1/k).
-            std::vector<int64_t> arms{0, 1, 16, 64, 256};
-            const size_t def = ArmIndexOf(arms, CompactionArmOf(opt));
-            const char* at =
-                infos[i].kind == NodeKind::kSelect ? "tw.select#"
-                                                   : "tw.group#";
-            tuner->RegisterKnob(at + std::to_string(i) + ".compaction", i,
-                                KnobKind::kCompaction, std::move(arms), def);
-            break;
-          }
-          case NodeKind::kHashJoin:
-            tuner->RegisterKnob(
-                "tw.join#" + std::to_string(i) + ".build_mode", i,
-                KnobKind::kBuildMode, {0, 1},
-                opt.build_mode == runtime::BuildMode::kCas ? 0 : 1);
-            tuner->RegisterKnob("tw.join#" + std::to_string(i) + ".rof", i,
-                                KnobKind::kRof, {0, 1}, opt.rof ? 1 : 0);
-            break;
-          default:
-            break;
-        }
-      }
+      RegisterTectorwiseKnobs(*tuner, impl->tw->plan(), opt);
     }
     impl->tuner = std::move(tuner);
   }
   PreparedQuery prepared;
   prepared.impl_ = std::move(impl);
   return prepared;
+}
+
+std::shared_ptr<const sql::Catalog> Session::SqlCatalog() const {
+  std::lock_guard<std::mutex> lock(sql_mu_);
+  if (sql_catalog_ == nullptr) sql_catalog_ = sql::MakeCatalog(*db_);
+  return sql_catalog_;
+}
+
+PreparedQuery Session::PrepareSql(std::string_view sql_text, Engine engine,
+                                  const QueryOptions& options) const {
+  VCQ_CHECK_MSG(engine != Engine::kTyper,
+                "SQL lowering targets Tectorwise and Volcano; Typer "
+                "pipelines are ahead-of-time compiled per catalog query");
+  std::shared_ptr<const sql::Catalog> catalog = SqlCatalog();
+  sql::CompileResult compiled = sql::Compile(catalog, sql_text);
+  // Malformed SQL is a caller bug at this API level and fails at prepare —
+  // never at Execute. Callers wanting a recoverable, positioned error
+  // (shells, fuzzers) call sql::Compile themselves.
+  VCQ_CHECK_MSG(compiled.ok(), compiled.error->Format().c_str());
+  auto impl = std::make_shared<PreparedQuery::Impl>();
+  impl->db = db_;
+  impl->engine = engine;
+  impl->is_sql = true;
+  impl->sql = compiled.query;
+  impl->opt = options;
+  if (impl->opt.pool == nullptr) impl->opt.pool = pool_;
+  // Same pool/stream/thread-clamp rules as Prepare (see there).
+  impl->opt.sched_stream = impl->opt.pool == pool_ ? stream_ : 0;
+  size_t cap = impl->opt.pool->scheduler().thread_count() + 1;
+  if (impl->opt.scheduler_threads > 0)
+    cap = std::min(cap, impl->opt.scheduler_threads);
+  impl->opt.threads = std::max<size_t>(1, std::min(impl->opt.threads, cap));
+  impl->owned_info = SqlQueryInfo(*compiled.query, *catalog);
+  impl->info = &impl->owned_info;
+  // No spec defaults: impl->defaults / impl->bound stay empty until Set.
+  impl->est_bytes = SqlEstimatedBuildBytes(compiled.query->plan());
+  switch (engine) {
+    case Engine::kTyper:
+      break;  // rejected above
+    case Engine::kTectorwise:
+      impl->tw.emplace(compiled.query->LowerTectorwise());
+      // The binder declared every $param the plan reads, but run the same
+      // drift cross-check Prepare does — it guards the lowering too.
+      ValidatePlanParams(impl->tw->plan(), impl->owned_info);
+      break;
+    case Engine::kVolcano:
+      impl->volcano = [q = compiled.query](const Database&,
+                                           const QueryOptions& opt,
+                                           const QueryParams& params) {
+        return q->RunVolcano(opt, params);
+      };
+      break;
+  }
+  if (options.tuning != TuningMode::kOff && engine == Engine::kTectorwise) {
+    impl->work_tuples =
+        std::max<size_t>(1, compiled.query->ScannedTuples());
+    auto tuner = std::make_unique<runtime::Tuner>(
+        runtime::Tuner::ResolveSeed(options.tuner_seed));
+    RegisterTectorwiseKnobs(*tuner, impl->tw->plan(), impl->opt);
+    impl->tuner = std::move(tuner);
+  }
+  PreparedQuery prepared;
+  prepared.impl_ = std::move(impl);
+  return prepared;
+}
+
+std::string Session::ExplainSql(std::string_view sql_text) const {
+  sql::CompileResult compiled = sql::Compile(SqlCatalog(), sql_text);
+  VCQ_CHECK_MSG(compiled.ok(), compiled.error->Format().c_str());
+  return sql::Explain(*compiled.query);
 }
 
 }  // namespace vcq

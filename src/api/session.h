@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
 
 #include "api/query_catalog.h"
@@ -45,6 +47,10 @@ namespace vcq {
 namespace tectorwise {
 class Plan;
 }  // namespace tectorwise
+
+namespace sql {
+class Catalog;
+}  // namespace sql
 
 class PreparedQuery;
 
@@ -133,7 +139,8 @@ class PreparedQuery {
   PreparedQuery& Set(std::string_view name, int64_t value);
   /// Binds a string or date parameter (dates as ISO "YYYY-MM-DD").
   PreparedQuery& Set(std::string_view name, std::string_view value);
-  /// Restores the catalog's spec-default bindings.
+  /// Restores the catalog's spec-default bindings (SQL-prepared handles
+  /// declare no defaults — their bindings are cleared).
   PreparedQuery& ResetParams();
   /// Current bindings snapshot.
   runtime::QueryParams params() const;
@@ -178,8 +185,14 @@ class PreparedQuery {
   ExecutionHandle ExecuteAsync(Deadline deadline) const;
 
   Engine engine() const;
+  /// Catalog query id; check-fails for SQL-prepared handles (they have no
+  /// catalog row — introspect via info() and is_sql() instead).
   Query query() const;
-  /// Catalog row: name, workload, declared parameters.
+  /// True when this handle came from Session::PrepareSql.
+  bool is_sql() const;
+  /// Catalog row: name, workload, declared parameters. SQL-prepared
+  /// handles get a synthesized row (name "SQL", one ParamSpec per $param
+  /// declared in the text, no defaults).
   const QueryInfo& info() const;
   const runtime::QueryOptions& options() const;
 
@@ -244,6 +257,27 @@ class Session {
   PreparedQuery Prepare(Engine engine, Query query,
                         const runtime::QueryOptions& options = {}) const;
 
+  /// The SQL front door (sql/sql.h): compiles `sql` — lexer, parser,
+  /// binder, optimizer — against a catalog derived from this session's
+  /// database schema, lowers it onto the requested engine, and returns an
+  /// ordinary PreparedQuery. `$name` placeholders in the text become named
+  /// parameters (Set/Execute exactly as for catalog queries) with NO
+  /// default bindings — every declared parameter must be bound before
+  /// Execute. Malformed SQL check-fails here with a 1-based line:column
+  /// position — never at Execute; callers wanting a recoverable error use
+  /// sql::Compile directly. Engines: kTectorwise (plan built once, fully
+  /// parallel) and kVolcano (tuple-at-a-time differential oracle); kTyper
+  /// pipelines are ahead-of-time compiled per catalog query and cannot run
+  /// arbitrary SQL — asking for it check-fails. Thread clamping, admission,
+  /// tuning knobs, retry/degradation ladders all behave as for Prepare.
+  PreparedQuery PrepareSql(std::string_view sql,
+                           Engine engine = Engine::kTectorwise,
+                           const runtime::QueryOptions& options = {}) const;
+
+  /// All EXPLAIN stages of `sql` (ast / logical / optimized / physical
+  /// Tectorwise DAG). Check-fails on malformed SQL, like PrepareSql.
+  std::string ExplainSql(std::string_view sql) const;
+
   /// Weighted-fair-queueing weight of this session's stream (default 1.0):
   /// with every session backlogged, region dispatches are proportional to
   /// the weights. Takes effect on the next dispatch, including for
@@ -265,9 +299,16 @@ class Session {
   uint64_t stream() const { return stream_; }
 
  private:
+  /// Lazily builds (and then shares) the SQL catalog — schema + column
+  /// statistics snapshot of db_ — across every PrepareSql/ExplainSql of
+  /// this session.
+  std::shared_ptr<const sql::Catalog> SqlCatalog() const;
+
   const runtime::Database* db_;
   runtime::WorkerPool* pool_;
   uint64_t stream_ = 0;
+  mutable std::mutex sql_mu_;
+  mutable std::shared_ptr<const sql::Catalog> sql_catalog_;  // guarded
 };
 
 /// Prepare-time cross-check of a built Tectorwise plan's parameter reads

@@ -142,6 +142,35 @@
 // configuration against every static arm across selectivities and scale
 // factors.
 //
+// SQL model (src/sql/): the catalog queries above are hand-built plans,
+// but a Session can also compile ad-hoc SQL text —
+//
+//   vcq::PreparedQuery q = session.PrepareSql(
+//       "SELECT o_orderkey, SUM(l_extendedprice) AS v"
+//       " FROM lineitem, orders"
+//       " WHERE l_orderkey = o_orderkey AND o_orderdate < $cutoff"
+//       " GROUP BY o_orderkey ORDER BY v DESC LIMIT 10");
+//   q.Set("cutoff", "1995-03-15");
+//   std::cout << q.Execute().ToString();
+//   std::cout << session.ExplainSql("SELECT ...");  // every stage
+//
+// The pipeline is lexer → recursive-descent parser → AST → binder (typed
+// logical plan against a sql::Catalog derived from the database schema,
+// with per-column min/max statistics) → optimizer (constant folding,
+// predicate pushdown, greedy smallest-intermediate join ordering) →
+// lowering onto the same tectorwise::PlanBuilder DAG the catalog queries
+// use — so SQL-prepared queries inherit the whole runtime stack above
+// (scheduler, governor, spill, degradation, tuning) unchanged. `$name`
+// placeholders become named parameters with NO defaults; every one must
+// be bound before Execute. Malformed SQL check-fails at PrepareSql with a
+// 1-based line:column diagnostic and never reaches Execute (sql::Compile
+// is the recoverable-error variant). Engines: kTectorwise, and kVolcano
+// as the single-threaded differential oracle — tests/sql_differential_
+// test.cc and the seeded fuzz harness (sql/fuzz.h, examples/sql_fuzz.cpp)
+// hold the two to byte-identical results; kTyper cannot run ad-hoc SQL
+// (its pipelines are ahead-of-time compiled per catalog query). Try
+// examples/sql_shell.cpp for an interactive front end.
+//
 // The query list, engine support, and per-query parameter specifications
 // (names, types, spec defaults) live in the vcq::QueryCatalog
 // (api/query_catalog.h) — the single registry behind TpchQueries(),
@@ -156,7 +185,9 @@ namespace vcq {
 
 /// The three execution paradigms (paper Table 6 cells):
 /// Typer = push + compilation, Tectorwise = pull + vectorization,
-/// Volcano = pull + interpretation (TPC-H only, single-threaded).
+/// Volcano = pull + interpretation (single-threaded; TPC-H only in the
+/// catalog, both workloads through PrepareSql — its role is the SQL
+/// differential oracle).
 enum class Engine { kTyper, kTectorwise, kVolcano };
 
 /// The studied workload (paper §3.3 and §4.4).

@@ -1,6 +1,7 @@
 #ifndef VCQ_RUNTIME_RELATION_H_
 #define VCQ_RUNTIME_RELATION_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -110,6 +111,18 @@ class Relation {
     return names;
   }
 
+  /// Physical metadata of one column (schema introspection for the SQL
+  /// catalog): the type tag plus the element width that disambiguates the
+  /// Char<N>/Varchar<N> instantiations sharing a tag.
+  struct ColumnMeta {
+    TypeTag tag;
+    size_t elem_size;
+  };
+  ColumnMeta Meta(std::string_view name) const {
+    const ColumnData& c = Lookup(name);
+    return ColumnMeta{c.tag, c.elem_size};
+  }
+
  private:
   struct ColumnData {
     std::string name;
@@ -150,6 +163,15 @@ class Database {
 
   bool Has(const std::string& name) const {
     return relations_.find(name) != relations_.end();
+  }
+
+  /// Relation names in sorted order (deterministic schema enumeration).
+  std::vector<std::string> RelationNames() const {
+    std::vector<std::string> names;
+    names.reserve(relations_.size());
+    for (const auto& [name, _] : relations_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
   }
 
   size_t byte_size() const {

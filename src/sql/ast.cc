@@ -1,0 +1,160 @@
+#include "sql/ast.h"
+
+#include <string>
+
+#include "runtime/types.h"
+
+namespace vcq::sql::ast {
+namespace {
+
+void Dump(const Expr& e, int indent, std::string* out);
+
+void Line(int indent, std::string_view text, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(text);
+  out->push_back('\n');
+}
+
+std::string NumLit(int64_t value, int scale) {
+  if (scale == 0) return std::to_string(value);
+  return runtime::NumericToString(value, scale);
+}
+
+void Dump(const Expr& e, int indent, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kIntLit:
+      Line(indent, "lit " + NumLit(e.int_val, e.scale), out);
+      return;
+    case Expr::Kind::kStrLit:
+      Line(indent, "lit '" + e.str + "'", out);
+      return;
+    case Expr::Kind::kDateLit:
+      Line(indent, "date '" + e.str + "'", out);
+      return;
+    case Expr::Kind::kParam:
+      Line(indent, "param $" + e.str, out);
+      return;
+    case Expr::Kind::kColumn:
+      Line(indent,
+           e.table.empty() ? "col " + e.str : "col " + e.table + "." + e.str,
+           out);
+      return;
+    case Expr::Kind::kBinary:
+      Line(indent, std::string(BinOpName(e.op)), out);
+      break;
+    case Expr::Kind::kNeg:
+      Line(indent, "neg", out);
+      break;
+    case Expr::Kind::kBetween:
+      Line(indent, "between", out);
+      break;
+    case Expr::Kind::kIn:
+      Line(indent, "in", out);
+      break;
+    case Expr::Kind::kLike:
+      Line(indent,
+           e.args.size() == 2 ? "like (param substring)"
+                              : "like '" + e.str + "'",
+           out);
+      break;
+    case Expr::Kind::kAgg:
+      Line(indent,
+           e.args.empty() ? std::string(AggFnName(e.agg)) + "(*)"
+                          : std::string(AggFnName(e.agg)),
+           out);
+      break;
+    case Expr::Kind::kYear:
+      Line(indent, "year", out);
+      break;
+  }
+  for (const ExprPtr& a : e.args) Dump(*a, indent + 1, out);
+}
+
+}  // namespace
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string ToString(const Expr& expr) {
+  std::string out;
+  Dump(expr, 0, &out);
+  return out;
+}
+
+std::string ToString(const Select& select) {
+  std::string out;
+  Line(0, "select", &out);
+  for (const SelectItem& item : select.items) {
+    Line(1, item.alias.empty() ? "item" : "item as " + item.alias, &out);
+    Dump(*item.expr, 2, &out);
+  }
+  std::string from = "from";
+  for (const TableRef& t : select.from) from += " " + t.name;
+  Line(1, from, &out);
+  if (select.where) {
+    Line(1, "where", &out);
+    Dump(*select.where, 2, &out);
+  }
+  if (!select.group_by.empty()) {
+    Line(1, "group by", &out);
+    for (const ExprPtr& g : select.group_by) Dump(*g, 2, &out);
+  }
+  if (select.having) {
+    Line(1, "having", &out);
+    Dump(*select.having, 2, &out);
+  }
+  if (!select.order_by.empty()) {
+    Line(1, "order by", &out);
+    for (const OrderItem& o : select.order_by) {
+      Line(2, o.desc ? "desc" : "asc", &out);
+      Dump(*o.expr, 3, &out);
+    }
+  }
+  if (select.limit >= 0) Line(1, "limit " + std::to_string(select.limit), &out);
+  return out;
+}
+
+}  // namespace vcq::sql::ast

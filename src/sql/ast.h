@@ -1,0 +1,104 @@
+#ifndef VCQ_SQL_AST_H_
+#define VCQ_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+// Abstract syntax for the supported SQL subset (see the grammar comment in
+// parser.h). The AST is deliberately loose — one Expr node kind carries
+// every operator — because the binder (binder.h) is where typing, column
+// resolution, and feature gating happen; the parser only records shape and
+// source positions. Positions are 1-based (line, column) and survive into
+// every later diagnostic.
+
+namespace vcq::sql::ast {
+
+struct Pos {
+  size_t line = 1;
+  size_t col = 1;
+};
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr
+};
+
+enum class AggFn : uint8_t { kSum, kMin, kMax, kCount, kAvg };
+
+const char* BinOpName(BinOp op);
+const char* AggFnName(AggFn fn);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kIntLit,     // int_val at `scale` (decimal literals pre-scaled: 1.00=100)
+    kStrLit,     // str
+    kDateLit,    // int_val = day number; str keeps the ISO spelling
+    kParam,      // str = name without the '$'
+    kColumn,     // str = column, table = optional qualifier
+    kBinary,     // op, args = {lhs, rhs}
+    kNeg,        // args = {operand}
+    kBetween,    // args = {value, lo, hi}
+    kIn,         // args = {value, list...}
+    kLike,       // args = {value}; str = pattern
+    kAgg,        // agg, args = {arg} (empty for COUNT(*))
+    kYear        // EXTRACT(YEAR FROM x), args = {x}
+  };
+
+  Kind kind;
+  Pos pos;
+  int64_t int_val = 0;
+  int scale = 0;
+  std::string str;
+  std::string table;
+  BinOp op = BinOp::kAdd;
+  AggFn agg = AggFn::kSum;
+  std::vector<ExprPtr> args;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty = unnamed
+};
+
+struct TableRef {
+  std::string name;
+  Pos pos;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct Select {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // JOIN ... ON conditions are folded in as conjuncts
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+/// Indented dump of the tree (the EXPLAIN "ast" stage).
+std::string ToString(const Select& select);
+std::string ToString(const Expr& expr);
+
+}  // namespace vcq::sql::ast
+
+#endif  // VCQ_SQL_AST_H_

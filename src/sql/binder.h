@@ -1,0 +1,24 @@
+#ifndef VCQ_SQL_BINDER_H_
+#define VCQ_SQL_BINDER_H_
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/logical.h"
+
+// Semantic analysis: resolves tables and columns against the catalog,
+// types every expression under the fixed-point model (unifying numeric
+// scales with power-of-ten rescales so lowering never converts), splits
+// the WHERE conjunction into single-/multi-table predicates and equi-join
+// edges, lowers AVG onto SUM plus a shared hidden COUNT, and validates
+// every feature gate (see the error-path tests in tests/sql_test.cc for
+// the full list). Everything a query can get wrong is diagnosed here, at
+// prepare time, with a source position — execution never fails on query
+// shape. Errors throw internal::SqlException.
+
+namespace vcq::sql {
+
+BoundQuery Bind(const Catalog& catalog, const ast::Select& select);
+
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_BINDER_H_

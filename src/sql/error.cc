@@ -1,0 +1,17 @@
+#include "sql/error.h"
+
+namespace vcq::sql {
+
+std::string SqlError::Format() const {
+  return "SQL error at " + std::to_string(line) + ":" + std::to_string(col) +
+         ": " + message;
+}
+
+namespace internal {
+
+void Fail(size_t line, size_t col, std::string message) {
+  throw SqlException{SqlError{line, col, std::move(message)}};
+}
+
+}  // namespace internal
+}  // namespace vcq::sql

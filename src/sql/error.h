@@ -1,0 +1,41 @@
+#ifndef VCQ_SQL_ERROR_H_
+#define VCQ_SQL_ERROR_H_
+
+#include <cstddef>
+#include <string>
+
+// User-facing SQL compilation errors. Unlike the rest of the library, which
+// treats bad input as a programming error (VCQ_CHECK aborts), SQL text comes
+// from outside the program: lexing, parsing, binding, and optimization
+// report malformed queries as positioned status values so shells, tests, and
+// fuzzers can observe them. Internally the compiler pipeline throws
+// internal::SqlException; sql::Compile is the only catch site and converts
+// it into CompileResult::error. Nothing escapes the sql:: boundary.
+
+namespace vcq::sql {
+
+/// One compile-time diagnostic, anchored at a 1-based source position.
+struct SqlError {
+  size_t line = 1;
+  size_t col = 1;
+  std::string message;
+
+  /// "SQL error at <line>:<col>: <message>" — the stable rendering the
+  /// shell, tests, and PrepareSql's abort message all use.
+  std::string Format() const;
+};
+
+namespace internal {
+
+/// Carrier for SqlError inside the compiler; never leaves sql::Compile.
+struct SqlException {
+  SqlError error;
+};
+
+/// Throws SqlException at the given position.
+[[noreturn]] void Fail(size_t line, size_t col, std::string message);
+
+}  // namespace internal
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_ERROR_H_

@@ -1,0 +1,200 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <limits>
+
+#include "sql/error.h"
+
+namespace vcq::sql {
+namespace {
+
+[[noreturn]] void FailAt(ast::Pos pos, std::string message) {
+  internal::Fail(pos.line, pos.col, std::move(message));
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+void Lexer::Advance() {
+  if (pos_ >= text_.size()) return;
+  if (text_[pos_] == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  ++pos_;
+}
+
+Token Lexer::Next() {
+  // Skip whitespace and -- line comments.
+  while (true) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (Peek() != '\n' && Peek() != '\0') Advance();
+    } else {
+      break;
+    }
+  }
+
+  Token tok;
+  tok.pos = Here();
+  const char c = Peek();
+  if (c == '\0') {
+    tok.kind = Tok::kEnd;
+    return tok;
+  }
+
+  if (IsIdentStart(c)) {
+    std::string s;
+    while (IsIdentChar(Peek())) {
+      s.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(Peek()))));
+      Advance();
+    }
+    tok.kind = Tok::kIdent;
+    tok.text = std::move(s);
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    int64_t value = 0;
+    auto digit = [&](char d) {
+      if (value > (std::numeric_limits<int64_t>::max() - (d - '0')) / 10)
+        FailAt(tok.pos, "numeric literal overflows int64");
+      value = value * 10 + (d - '0');
+    };
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digit(Peek());
+      Advance();
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      Advance();  // '.'
+      int scale = 0;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digit(Peek());
+        ++scale;
+        Advance();
+      }
+      tok.kind = Tok::kDecimal;
+      tok.value = value;
+      tok.scale = scale;
+      return tok;
+    }
+    tok.kind = Tok::kInt;
+    tok.value = value;
+    return tok;
+  }
+
+  if (c == '\'') {
+    Advance();
+    std::string s;
+    while (true) {
+      const char q = Peek();
+      if (q == '\0') FailAt(tok.pos, "unterminated string literal");
+      if (q == '\'') {
+        Advance();
+        if (Peek() == '\'') {  // '' escape
+          s.push_back('\'');
+          Advance();
+          continue;
+        }
+        break;
+      }
+      s.push_back(q);
+      Advance();
+    }
+    tok.kind = Tok::kString;
+    tok.text = std::move(s);
+    return tok;
+  }
+
+  if (c == '$') {
+    Advance();
+    if (!IsIdentStart(Peek()))
+      FailAt(tok.pos, "expected parameter name after '$'");
+    std::string s;
+    while (IsIdentChar(Peek())) {
+      s.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(Peek()))));
+      Advance();
+    }
+    tok.kind = Tok::kParam;
+    tok.text = std::move(s);
+    return tok;
+  }
+
+  Advance();
+  switch (c) {
+    case '(':
+      tok.kind = Tok::kLParen;
+      return tok;
+    case ')':
+      tok.kind = Tok::kRParen;
+      return tok;
+    case ',':
+      tok.kind = Tok::kComma;
+      return tok;
+    case '.':
+      tok.kind = Tok::kDot;
+      return tok;
+    case '+':
+      tok.kind = Tok::kPlus;
+      return tok;
+    case '-':
+      tok.kind = Tok::kMinus;
+      return tok;
+    case '*':
+      tok.kind = Tok::kStar;
+      return tok;
+    case '/':
+      tok.kind = Tok::kSlash;
+      return tok;
+    case '=':
+      tok.kind = Tok::kEq;
+      return tok;
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = Tok::kLe;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.kind = Tok::kNe;
+      } else {
+        tok.kind = Tok::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = Tok::kGe;
+      } else {
+        tok.kind = Tok::kGt;
+      }
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = Tok::kNe;
+        return tok;
+      }
+      break;
+    default:
+      break;
+  }
+  FailAt(tok.pos, std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace vcq::sql

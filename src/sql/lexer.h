@@ -1,0 +1,73 @@
+#ifndef VCQ_SQL_LEXER_H_
+#define VCQ_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sql/ast.h"
+
+// Hand-written lexer for the SQL subset. Identifiers are lowercased (the
+// subset is case-insensitive; keywords are recognized by the parser from
+// the lowercased spelling). Literals:
+//   123        integer              (kInt, value)
+//   1.07       fixed-point decimal  (kDecimal, value=107 scale=2)
+//   'text'     string, '' escapes a quote
+//   $name      named parameter
+// Errors (unterminated string, stray character, decimal overflow) throw
+// internal::SqlException with the offending position.
+
+namespace vcq::sql {
+
+enum class Tok : uint8_t {
+  kEnd,
+  kIdent,
+  kInt,
+  kDecimal,
+  kString,
+  kParam,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;     // ident (lowercased) / string value / param name
+  int64_t value = 0;    // kInt, kDecimal (pre-scaled)
+  int scale = 0;        // kDecimal
+  ast::Pos pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Produces the next token; kEnd forever once exhausted.
+  Token Next();
+
+ private:
+  char Peek(size_t ahead = 0) const;
+  void Advance();
+  ast::Pos Here() const { return {line_, col_}; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_LEXER_H_

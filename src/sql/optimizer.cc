@@ -1,0 +1,321 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vcq::sql {
+namespace {
+
+void FoldScalar(Scalar* s) {
+  for (Scalar& a : s->args) FoldScalar(&a);
+  if (s->op != ScalarOp::kAdd && s->op != ScalarOp::kSub &&
+      s->op != ScalarOp::kMul)
+    return;
+  if (!s->args[0].IsConst() || !s->args[1].IsConst()) return;
+  const int64_t a = s->args[0].value;
+  const int64_t b = s->args[1].value;
+  int64_t v = 0;
+  switch (s->op) {
+    case ScalarOp::kAdd:
+      v = a + b;
+      break;
+    case ScalarOp::kSub:
+      v = a - b;
+      break;
+    case ScalarOp::kMul:
+      v = a * b;
+      break;
+    default:
+      return;
+  }
+  s->op = ScalarOp::kConst;
+  s->value = v;
+  s->args.clear();
+}
+
+class Optimizer {
+ public:
+  Optimizer(BoundQuery query, const OptimizerOptions& options)
+      : plan_{std::move(query), options, nullptr, 0} {}
+
+  PhysicalPlan Run() {
+    BoundQuery& q = plan_.query;
+    if (plan_.options.fold_constants) {
+      for (Predicate& p : q.filters) FoldScalar(&p.lhs);
+      for (Scalar& v : q.values) FoldScalar(&v);
+      for (Aggregate& a : q.aggs)
+        if (a.has_arg) FoldScalar(&a.arg);
+    }
+    placed_.assign(q.filters.size(), false);
+
+    std::vector<std::unique_ptr<JoinTree>> items;
+    for (uint32_t t = 0; t < q.tables.size(); ++t)
+      items.push_back(MakeLeaf(t));
+
+    if (plan_.options.join_order) {
+      Greedy(&items);
+    } else {
+      FromOrder(&items);
+    }
+    VCQ_CHECK(items.size() == 1);
+    plan_.root = std::move(items[0]);
+
+    // Anything unplaced (all filters, when pushdown is off) lands above the
+    // last join.
+    for (uint32_t f = 0; f < q.filters.size(); ++f) {
+      if (placed_[f]) continue;
+      plan_.root->filters.push_back(f);
+      plan_.root->est_rows *= Selectivity(q.filters[f]);
+      placed_[f] = true;
+    }
+    return std::move(plan_);
+  }
+
+ private:
+  const BoundQuery& q() const { return plan_.query; }
+
+  double Ndv(ColumnId id) const {
+    const ColumnDef& c = plan_.query.Column(id);
+    const double rows =
+        std::max<double>(1, plan_.query.Table(id.table).tuple_count);
+    if (!c.stats.valid) return std::max(1.0, rows * 0.1);
+    const double width =
+        static_cast<double>(c.stats.max) - static_cast<double>(c.stats.min) +
+        1;
+    return std::clamp(width, 1.0, rows);
+  }
+
+  double Selectivity(const Predicate& p) const {
+    // Parameters are unknown at plan time.
+    const bool param =
+        std::any_of(p.rhs.begin(), p.rhs.end(),
+                    [](const Operand& o) { return o.is_param; });
+    if (p.kind == PredKind::kContains) return 0.05;
+    if (p.is_string) {
+      if (p.kind == PredKind::kEqOr2) return 0.2;
+      return p.cmp == CmpOp::kEq ? 0.1 : 0.3;
+    }
+    const bool plain = p.lhs.IsColumn();
+    const ColumnStats* stats =
+        plain ? &plan_.query.Column(p.lhs.col).stats : nullptr;
+    if (param || stats == nullptr || !stats->valid) {
+      if (p.kind == PredKind::kEqOr2) return 0.2;
+      return p.cmp == CmpOp::kEq ? 0.1 : 0.3;
+    }
+    const double lo = static_cast<double>(stats->min);
+    const double hi = static_cast<double>(stats->max);
+    const double width = hi - lo + 1;
+    const double v = static_cast<double>(p.rhs[0].num);
+    const double ndv = Ndv(p.lhs.col);
+    double sel;
+    switch (p.kind) {
+      case PredKind::kEqOr2:
+        sel = 2.0 / ndv;
+        break;
+      case PredKind::kCmp:
+        switch (p.cmp) {
+          case CmpOp::kEq:
+            sel = 1.0 / ndv;
+            break;
+          case CmpOp::kLt:
+            sel = (v - lo) / width;
+            break;
+          case CmpOp::kLe:
+            sel = (v - lo + 1) / width;
+            break;
+          case CmpOp::kGt:
+            sel = (hi - v) / width;
+            break;
+          case CmpOp::kGe:
+            sel = (hi - v + 1) / width;
+            break;
+        }
+        break;
+      default:
+        sel = 0.3;
+        break;
+    }
+    return std::clamp(sel, 0.0, 1.0);
+  }
+
+  std::unique_ptr<JoinTree> MakeLeaf(uint32_t t) {
+    auto leaf = std::make_unique<JoinTree>();
+    leaf->table = static_cast<int>(t);
+    leaf->mask = 1u << t;
+    leaf->est_rows =
+        std::max<double>(1, plan_.query.Table(t).tuple_count);
+    if (plan_.options.pushdown) {
+      for (uint32_t f = 0; f < q().filters.size(); ++f) {
+        if (q().filters[f].TableMask() == leaf->mask) {
+          leaf->filters.push_back(f);
+          leaf->est_rows *= Selectivity(q().filters[f]);
+          placed_[f] = true;
+        }
+      }
+    }
+    return leaf;
+  }
+
+  /// Joins two subtrees: smaller side becomes the hash-table build (unless
+  /// `keep_sides`, the join_order=off mode, which keeps `a` as build).
+  std::unique_ptr<JoinTree> Merge(std::unique_ptr<JoinTree> a,
+                                  std::unique_ptr<JoinTree> b,
+                                  bool keep_sides) {
+    double est = a->est_rows * b->est_rows;
+    std::vector<std::array<ColumnId, 2>> keys;  // {a col, b col}
+    for (const JoinEdge& e : q().joins) {
+      if ((e.mask & a->mask) == 0 || (e.mask & b->mask) == 0) continue;
+      if ((e.mask & ~(a->mask | b->mask)) != 0) continue;
+      for (auto key : e.keys) {
+        if ((1u << key[0].table) & b->mask) std::swap(key[0], key[1]);
+        est /= std::max(Ndv(key[0]), Ndv(key[1]));
+        keys.push_back(key);
+      }
+    }
+    VCQ_CHECK_MSG(!keys.empty(), "merging unconnected subtrees");
+    auto node = std::make_unique<JoinTree>();
+    node->mask = a->mask | b->mask;
+    if (!keep_sides && b->est_rows < a->est_rows) {
+      for (auto& key : keys) std::swap(key[0], key[1]);
+      std::swap(a, b);
+    }
+    node->keys = std::move(keys);
+    node->build = std::move(a);
+    node->probe = std::move(b);
+    node->est_rows = std::max(est, 1.0);
+    plan_.cost += node->est_rows;
+    if (plan_.options.pushdown) {
+      for (uint32_t f = 0; f < q().filters.size(); ++f) {
+        if (placed_[f]) continue;
+        const uint32_t m = q().filters[f].TableMask();
+        if ((m & ~node->mask) == 0) {
+          node->filters.push_back(f);
+          node->est_rows *= Selectivity(q().filters[f]);
+          placed_[f] = true;
+        }
+      }
+    }
+    return node;
+  }
+
+  bool Connected(const JoinTree& a, const JoinTree& b) const {
+    for (const JoinEdge& e : q().joins) {
+      if ((e.mask & a.mask) != 0 && (e.mask & b.mask) != 0 &&
+          (e.mask & ~(a.mask | b.mask)) == 0)
+        return true;
+    }
+    return false;
+  }
+
+  double JoinEstimate(const JoinTree& a, const JoinTree& b) const {
+    double est = a.est_rows * b.est_rows;
+    for (const JoinEdge& e : q().joins) {
+      if ((e.mask & a.mask) == 0 || (e.mask & b.mask) == 0) continue;
+      if ((e.mask & ~(a.mask | b.mask)) != 0) continue;
+      for (const auto& key : e.keys)
+        est /= std::max(Ndv(key[0]), Ndv(key[1]));
+    }
+    return std::max(est, 1.0);
+  }
+
+  void Greedy(std::vector<std::unique_ptr<JoinTree>>* items) {
+    while (items->size() > 1) {
+      size_t best_i = 0;
+      size_t best_j = 0;
+      double best = -1;
+      for (size_t i = 0; i < items->size(); ++i) {
+        for (size_t j = i + 1; j < items->size(); ++j) {
+          if (!Connected(*(*items)[i], *(*items)[j])) continue;
+          const double est = JoinEstimate(*(*items)[i], *(*items)[j]);
+          if (best < 0 || est < best) {
+            best = est;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+      VCQ_CHECK_MSG(best >= 0, "join graph disconnected");
+      auto merged = Merge(std::move((*items)[best_i]),
+                          std::move((*items)[best_j]),
+                          /*keep_sides=*/false);
+      (*items)[best_i] = std::move(merged);
+      items->erase(items->begin() + static_cast<ptrdiff_t>(best_j));
+    }
+  }
+
+  void FromOrder(std::vector<std::unique_ptr<JoinTree>>* items) {
+    std::unique_ptr<JoinTree> acc = std::move((*items)[0]);
+    items->erase(items->begin());
+    while (!items->empty()) {
+      size_t next = SIZE_MAX;
+      for (size_t i = 0; i < items->size(); ++i) {
+        if (Connected(*acc, *(*items)[i])) {
+          next = i;
+          break;
+        }
+      }
+      VCQ_CHECK_MSG(next != SIZE_MAX, "join graph disconnected");
+      acc = Merge(std::move(acc), std::move((*items)[next]),
+                  /*keep_sides=*/true);
+      items->erase(items->begin() + static_cast<ptrdiff_t>(next));
+    }
+    items->push_back(std::move(acc));
+  }
+
+  PhysicalPlan plan_;
+  std::vector<bool> placed_;
+};
+
+void Dump(const PhysicalPlan& p, const JoinTree& t, int indent,
+          std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  auto filters = [&](const JoinTree& n) {
+    std::string s;
+    for (uint32_t f : n.filters)
+      s += " [" + ToString(p.query, p.query.filters[f].lhs) + " " +
+           CmpOpName(p.query.filters[f].cmp) + " ...]";
+    return s;
+  };
+  char est[32];
+  std::snprintf(est, sizeof est, "%.0f", t.est_rows);
+  if (t.IsLeaf()) {
+    *out += pad + "scan " + p.query.Table(static_cast<uint32_t>(t.table)).name +
+            " est=" + est + filters(t) + "\n";
+    return;
+  }
+  std::string keys;
+  for (const auto& k : t.keys) {
+    keys += keys.empty() ? " on " : ", ";
+    keys +=
+        ToString(p.query, Scalar{.op = ScalarOp::kColumn, .col = k[0]}) +
+        " = " +
+        ToString(p.query, Scalar{.op = ScalarOp::kColumn, .col = k[1]});
+  }
+  *out += pad + "hashjoin est=" + est + keys + filters(t) + "\n";
+  Dump(p, *t.build, indent + 1, out);
+  Dump(p, *t.probe, indent + 1, out);
+}
+
+}  // namespace
+
+PhysicalPlan Optimize(BoundQuery query, const OptimizerOptions& options) {
+  Optimizer opt(std::move(query), options);
+  return opt.Run();
+}
+
+std::string ToString(const PhysicalPlan& plan) {
+  std::string out;
+  char cost[32];
+  std::snprintf(cost, sizeof cost, "%.0f", plan.cost);
+  out += "cost=" + std::string(cost) + " (estimated join output rows)\n";
+  Dump(plan, *plan.root, 0, &out);
+  if (plan.query.grouped || !plan.query.aggs.empty())
+    out += plan.query.grouped ? "group + aggregate\n" : "aggregate\n";
+  return out;
+}
+
+}  // namespace vcq::sql

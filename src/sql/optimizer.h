@@ -1,0 +1,75 @@
+#ifndef VCQ_SQL_OPTIMIZER_H_
+#define VCQ_SQL_OPTIMIZER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/logical.h"
+
+// The optimizer: turns a BoundQuery's table set + join edges into a
+// concrete binary join tree and places the filter conjuncts. Three
+// independently switchable rewrites (bench/ablation_sql_optimizer.cc
+// measures each):
+//
+//   fold_constants  evaluate constant subtrees of every scalar.
+//   pushdown        place each filter at the lowest subtree covering its
+//                   tables (single-table filters at the scan); off = all
+//                   filters above the last join.
+//   join_order      greedy smallest-intermediate ordering (GOO): repeatedly
+//                   join the connected pair with the smallest estimated
+//                   output, smaller side as hash-table build. Off =
+//                   left-deep in FROM order (skipping to the next connected
+//                   table), accumulated side as build.
+//
+// Cardinality model: per-column min/max stats from the catalog give
+// ndv ≈ clamp(max-min+1, 1, |T|); equality selects 1/ndv, ranges select
+// their fraction of [min, max], parameters a fixed 0.3; a join output is
+// |A|·|B| / Π max(ndv_build, ndv_probe) over its key pairs. Crude, but
+// monotone enough to order the catalog-shaped plans correctly.
+
+namespace vcq::sql {
+
+struct OptimizerOptions {
+  bool fold_constants = true;
+  bool pushdown = true;
+  bool join_order = true;
+};
+
+/// Binary join tree node. Leaves name a table (index into
+/// BoundQuery::tables); inner nodes join build × probe on `keys`
+/// ({build column, probe column} pairs). `filters` are indexes into
+/// BoundQuery::filters applied at this node — after the scan for leaves,
+/// after the probe for joins.
+struct JoinTree {
+  int table = -1;
+  std::unique_ptr<JoinTree> build;
+  std::unique_ptr<JoinTree> probe;
+  std::vector<std::array<ColumnId, 2>> keys;
+  std::vector<uint32_t> filters;
+  double est_rows = 0;  // after this node's filters
+  uint32_t mask = 0;    // bit per BoundQuery::tables index
+
+  bool IsLeaf() const { return table >= 0; }
+};
+
+struct PhysicalPlan {
+  BoundQuery query;
+  OptimizerOptions options;
+  std::unique_ptr<JoinTree> root;
+  /// Σ estimated join-output rows — the optimizer's plan cost (reported by
+  /// EXPLAIN and the ablation bench; intermediate materialization is what
+  /// the rewrites are trying to shrink).
+  double cost = 0;
+};
+
+PhysicalPlan Optimize(BoundQuery query, const OptimizerOptions& options);
+
+/// EXPLAIN "optimized" stage: the join tree with estimates and filter
+/// placement.
+std::string ToString(const PhysicalPlan& plan);
+
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_OPTIMIZER_H_

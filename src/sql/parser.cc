@@ -1,0 +1,487 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <utility>
+
+#include "runtime/types.h"
+#include "sql/error.h"
+#include "sql/lexer.h"
+
+namespace vcq::sql {
+namespace {
+
+using ast::Expr;
+using ast::ExprPtr;
+
+[[noreturn]] void FailAt(ast::Pos pos, std::string message) {
+  internal::Fail(pos.line, pos.col, std::move(message));
+}
+
+ExprPtr MakeExpr(Expr::Kind kind, ast::Pos pos) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->pos = pos;
+  return e;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {
+    cur_ = lexer_.Next();
+  }
+
+  ast::Select ParseQuery() {
+    ExpectKeyword("select");
+    ast::Select q;
+    q.items.push_back(ParseSelectItem());
+    while (Accept(Tok::kComma)) q.items.push_back(ParseSelectItem());
+    ExpectKeyword("from");
+    q.from.push_back(ParseTableRef());
+    std::vector<ExprPtr> join_conds;
+    while (true) {
+      if (Accept(Tok::kComma)) {
+        q.from.push_back(ParseTableRef());
+      } else if (AcceptKeyword("inner") || PeekKeyword("join")) {
+        ExpectKeyword("join");
+        q.from.push_back(ParseTableRef());
+        ExpectKeyword("on");
+        join_conds.push_back(ParseOr());
+      } else {
+        break;
+      }
+    }
+    if (AcceptKeyword("where")) q.where = ParseOr();
+    // Fold JOIN..ON conditions into the WHERE conjunction.
+    for (ExprPtr& cond : join_conds) {
+      if (!q.where) {
+        q.where = std::move(cond);
+      } else {
+        ExprPtr conj = MakeExpr(Expr::Kind::kBinary, cond->pos);
+        conj->op = ast::BinOp::kAnd;
+        conj->args.push_back(std::move(q.where));
+        conj->args.push_back(std::move(cond));
+        q.where = std::move(conj);
+      }
+    }
+    if (AcceptKeyword("group")) {
+      ExpectKeyword("by");
+      q.group_by.push_back(ParseAdd());
+      while (Accept(Tok::kComma)) q.group_by.push_back(ParseAdd());
+    }
+    if (AcceptKeyword("having")) q.having = ParseOr();
+    if (AcceptKeyword("order")) {
+      ExpectKeyword("by");
+      do {
+        ast::OrderItem item;
+        item.expr = ParseAdd();
+        if (AcceptKeyword("desc"))
+          item.desc = true;
+        else
+          AcceptKeyword("asc");
+        q.order_by.push_back(std::move(item));
+      } while (Accept(Tok::kComma));
+    }
+    if (AcceptKeyword("limit")) {
+      if (cur_.kind != Tok::kInt)
+        FailAt(cur_.pos, "expected integer after LIMIT");
+      q.limit = cur_.value;
+      Bump();
+    }
+    if (cur_.kind != Tok::kEnd)
+      FailAt(cur_.pos, "unexpected trailing input: '" + Spelling() + "'");
+    return q;
+  }
+
+ private:
+  void Bump() { cur_ = lexer_.Next(); }
+
+  std::string Spelling() const {
+    switch (cur_.kind) {
+      case Tok::kEnd:
+        return "<end>";
+      case Tok::kIdent:
+      case Tok::kString:
+        return cur_.text;
+      case Tok::kParam:
+        return "$" + cur_.text;
+      case Tok::kInt:
+      case Tok::kDecimal:
+        return std::to_string(cur_.value);
+      case Tok::kLParen:
+        return "(";
+      case Tok::kRParen:
+        return ")";
+      case Tok::kComma:
+        return ",";
+      case Tok::kDot:
+        return ".";
+      case Tok::kPlus:
+        return "+";
+      case Tok::kMinus:
+        return "-";
+      case Tok::kStar:
+        return "*";
+      case Tok::kSlash:
+        return "/";
+      case Tok::kLt:
+        return "<";
+      case Tok::kLe:
+        return "<=";
+      case Tok::kGt:
+        return ">";
+      case Tok::kGe:
+        return ">=";
+      case Tok::kEq:
+        return "=";
+      case Tok::kNe:
+        return "<>";
+    }
+    return "?";
+  }
+
+  bool Accept(Tok kind) {
+    if (cur_.kind != kind) return false;
+    Bump();
+    return true;
+  }
+
+  void Expect(Tok kind, const char* what) {
+    if (cur_.kind != kind)
+      FailAt(cur_.pos,
+             std::string("expected ") + what + ", got '" + Spelling() + "'");
+    Bump();
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return cur_.kind == Tok::kIdent && cur_.text == kw;
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Bump();
+    return true;
+  }
+
+  void ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw))
+      FailAt(cur_.pos, "expected " + std::string(kw) + ", got '" + Spelling() +
+                           "'");
+  }
+
+  ast::SelectItem ParseSelectItem() {
+    ast::SelectItem item;
+    item.expr = ParseAdd();
+    if (AcceptKeyword("as")) {
+      if (cur_.kind != Tok::kIdent)
+        FailAt(cur_.pos, "expected alias after AS");
+      item.alias = cur_.text;
+      Bump();
+    } else if (cur_.kind == Tok::kIdent && !IsClauseKeyword(cur_.text)) {
+      item.alias = cur_.text;
+      Bump();
+    }
+    return item;
+  }
+
+  static bool IsClauseKeyword(std::string_view s) {
+    return s == "from" || s == "where" || s == "group" || s == "having" ||
+           s == "order" || s == "limit" || s == "on" || s == "join" ||
+           s == "inner" || s == "and" || s == "or" || s == "as" ||
+           s == "asc" || s == "desc" || s == "between" || s == "in" ||
+           s == "like" || s == "by";
+  }
+
+  ast::TableRef ParseTableRef() {
+    if (cur_.kind != Tok::kIdent) FailAt(cur_.pos, "expected table name");
+    ast::TableRef t{cur_.text, cur_.pos};
+    Bump();
+    return t;
+  }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (PeekKeyword("or")) {
+      const ast::Pos pos = cur_.pos;
+      Bump();
+      ExprPtr node = MakeExpr(Expr::Kind::kBinary, pos);
+      node->op = ast::BinOp::kOr;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(ParseAnd());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseCmp();
+    while (PeekKeyword("and")) {
+      const ast::Pos pos = cur_.pos;
+      Bump();
+      ExprPtr node = MakeExpr(Expr::Kind::kBinary, pos);
+      node->op = ast::BinOp::kAnd;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(ParseCmp());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseCmp() {
+    ExprPtr lhs = ParseAdd();
+    const ast::Pos pos = cur_.pos;
+    ast::BinOp op;
+    switch (cur_.kind) {
+      case Tok::kLt:
+        op = ast::BinOp::kLt;
+        break;
+      case Tok::kLe:
+        op = ast::BinOp::kLe;
+        break;
+      case Tok::kGt:
+        op = ast::BinOp::kGt;
+        break;
+      case Tok::kGe:
+        op = ast::BinOp::kGe;
+        break;
+      case Tok::kEq:
+        op = ast::BinOp::kEq;
+        break;
+      case Tok::kNe:
+        op = ast::BinOp::kNe;
+        break;
+      default: {
+        if (PeekKeyword("between")) {
+          Bump();
+          ExprPtr node = MakeExpr(Expr::Kind::kBetween, pos);
+          node->args.push_back(std::move(lhs));
+          node->args.push_back(ParseAdd());
+          ExpectKeyword("and");
+          node->args.push_back(ParseAdd());
+          return node;
+        }
+        if (PeekKeyword("in")) {
+          Bump();
+          ExprPtr node = MakeExpr(Expr::Kind::kIn, pos);
+          node->args.push_back(std::move(lhs));
+          Expect(Tok::kLParen, "'('");
+          node->args.push_back(ParseAdd());
+          while (Accept(Tok::kComma)) node->args.push_back(ParseAdd());
+          Expect(Tok::kRParen, "')'");
+          return node;
+        }
+        if (PeekKeyword("like")) {
+          Bump();
+          ExprPtr node = MakeExpr(Expr::Kind::kLike, pos);
+          if (cur_.kind == Tok::kString) {
+            node->str = cur_.text;
+            Bump();
+            node->args.push_back(std::move(lhs));
+            return node;
+          }
+          if (cur_.kind == Tok::kParam) {
+            // LIKE $param: the binding is a raw substring needle (the
+            // engines' Contains primitive — no wildcard interpretation).
+            ExprPtr pat = MakeExpr(Expr::Kind::kParam, cur_.pos);
+            pat->str = cur_.text;
+            Bump();
+            node->args.push_back(std::move(lhs));
+            node->args.push_back(std::move(pat));
+            return node;
+          }
+          FailAt(cur_.pos, "LIKE pattern must be a string literal or $param");
+        }
+        return lhs;
+      }
+    }
+    Bump();
+    ExprPtr node = MakeExpr(Expr::Kind::kBinary, pos);
+    node->op = op;
+    node->args.push_back(std::move(lhs));
+    node->args.push_back(ParseAdd());
+    return node;
+  }
+
+  ExprPtr ParseAdd() {
+    ExprPtr lhs = ParseMul();
+    while (cur_.kind == Tok::kPlus || cur_.kind == Tok::kMinus) {
+      const ast::Pos pos = cur_.pos;
+      const ast::BinOp op =
+          cur_.kind == Tok::kPlus ? ast::BinOp::kAdd : ast::BinOp::kSub;
+      Bump();
+      ExprPtr node = MakeExpr(Expr::Kind::kBinary, pos);
+      node->op = op;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(ParseMul());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMul() {
+    ExprPtr lhs = ParseUnary();
+    while (cur_.kind == Tok::kStar || cur_.kind == Tok::kSlash) {
+      const ast::Pos pos = cur_.pos;
+      const ast::BinOp op =
+          cur_.kind == Tok::kStar ? ast::BinOp::kMul : ast::BinOp::kDiv;
+      Bump();
+      ExprPtr node = MakeExpr(Expr::Kind::kBinary, pos);
+      node->op = op;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(ParseUnary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (cur_.kind == Tok::kMinus) {
+      const ast::Pos pos = cur_.pos;
+      Bump();
+      ExprPtr node = MakeExpr(Expr::Kind::kNeg, pos);
+      node->args.push_back(ParseUnary());
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const ast::Pos pos = cur_.pos;
+    switch (cur_.kind) {
+      case Tok::kInt: {
+        ExprPtr e = MakeExpr(Expr::Kind::kIntLit, pos);
+        e->int_val = cur_.value;
+        Bump();
+        return e;
+      }
+      case Tok::kDecimal: {
+        ExprPtr e = MakeExpr(Expr::Kind::kIntLit, pos);
+        e->int_val = cur_.value;
+        e->scale = cur_.scale;
+        Bump();
+        return e;
+      }
+      case Tok::kString: {
+        ExprPtr e = MakeExpr(Expr::Kind::kStrLit, pos);
+        e->str = cur_.text;
+        Bump();
+        return e;
+      }
+      case Tok::kParam: {
+        ExprPtr e = MakeExpr(Expr::Kind::kParam, pos);
+        e->str = cur_.text;
+        Bump();
+        return e;
+      }
+      case Tok::kLParen: {
+        Bump();
+        ExprPtr e = ParseOr();
+        Expect(Tok::kRParen, "')'");
+        return e;
+      }
+      case Tok::kIdent:
+        return ParseIdentExpr();
+      default:
+        FailAt(pos, "expected expression, got '" + Spelling() + "'");
+    }
+  }
+
+  ExprPtr ParseIdentExpr() {
+    const ast::Pos pos = cur_.pos;
+    const std::string name = cur_.text;
+
+    // Aggregates.
+    ast::AggFn agg;
+    bool is_agg = true;
+    if (name == "sum")
+      agg = ast::AggFn::kSum;
+    else if (name == "min")
+      agg = ast::AggFn::kMin;
+    else if (name == "max")
+      agg = ast::AggFn::kMax;
+    else if (name == "avg")
+      agg = ast::AggFn::kAvg;
+    else if (name == "count")
+      agg = ast::AggFn::kCount;
+    else
+      is_agg = false;
+    if (is_agg) {
+      Bump();
+      Expect(Tok::kLParen, "'(' after aggregate");
+      ExprPtr e = MakeExpr(Expr::Kind::kAgg, pos);
+      e->agg = agg;
+      if (agg == ast::AggFn::kCount && Accept(Tok::kStar)) {
+        // COUNT(*) — no argument.
+      } else {
+        e->args.push_back(ParseAdd());
+      }
+      Expect(Tok::kRParen, "')'");
+      return e;
+    }
+
+    if (name == "extract") {
+      Bump();
+      Expect(Tok::kLParen, "'(' after EXTRACT");
+      ExpectKeyword("year");
+      ExpectKeyword("from");
+      ExprPtr e = MakeExpr(Expr::Kind::kYear, pos);
+      e->args.push_back(ParseAdd());
+      Expect(Tok::kRParen, "')'");
+      return e;
+    }
+
+    if (name == "date" && Peek2IsString()) {
+      Bump();
+      ExprPtr e = MakeExpr(Expr::Kind::kDateLit, pos);
+      e->str = cur_.text;
+      const int32_t days = ParseDateOrFail(cur_.text, cur_.pos);
+      e->int_val = days;
+      Bump();
+      return e;
+    }
+
+    // Column reference, optionally qualified.
+    Bump();
+    ExprPtr e = MakeExpr(Expr::Kind::kColumn, pos);
+    if (Accept(Tok::kDot)) {
+      if (cur_.kind != Tok::kIdent)
+        FailAt(cur_.pos, "expected column name after '.'");
+      e->table = name;
+      e->str = cur_.text;
+      Bump();
+    } else {
+      e->str = name;
+    }
+    return e;
+  }
+
+  // DATE 'lit' needs one token of lookahead ("date" is also a valid table
+  // name in SSB); the lexer is a cheap value (view + offsets), so peek on a
+  // copy.
+  bool Peek2IsString() const {
+    Lexer copy = lexer_;
+    return copy.Next().kind == Tok::kString;
+  }
+
+  static int32_t ParseDateOrFail(const std::string& iso, ast::Pos pos) {
+    // YYYY-MM-DD, strictly.
+    const auto bad = [&]() -> int32_t {
+      FailAt(pos, "invalid date literal '" + iso + "' (want YYYY-MM-DD)");
+    };
+    if (iso.size() != 10 || iso[4] != '-' || iso[7] != '-') return bad();
+    for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u})
+      if (!std::isdigit(static_cast<unsigned char>(iso[i]))) return bad();
+    return runtime::DateFromString(iso);
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+ast::Select Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseQuery();
+}
+
+}  // namespace vcq::sql

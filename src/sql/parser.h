@@ -1,0 +1,45 @@
+#ifndef VCQ_SQL_PARSER_H_
+#define VCQ_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+
+// Recursive-descent parser for the SQL subset. Grammar (keywords are
+// case-insensitive; [] optional, {} repeated):
+//
+//   query     := SELECT item {, item}
+//                FROM tref { , tref | [INNER] JOIN tref ON condition }
+//                [WHERE condition]
+//                [GROUP BY expr {, expr}]
+//                [HAVING condition]
+//                [ORDER BY expr [ASC|DESC] {, ...}]
+//                [LIMIT int]
+//   item      := expr [[AS] ident]
+//   tref      := ident
+//   condition := or-expr
+//   or        := and { OR and }
+//   and       := cmp { AND cmp }
+//   cmp       := add [ (< | <= | > | >= | = | <> | !=) add
+//                    | BETWEEN add AND add
+//                    | IN ( expr {, expr} )
+//                    | LIKE 'pattern' ]
+//   add       := mul { (+ | -) mul }
+//   mul       := unary { (* | /) unary }
+//   unary     := - unary | primary
+//   primary   := int | decimal | 'string' | DATE 'YYYY-MM-DD' | $param
+//              | ident [. ident] | ( or )
+//              | (SUM|MIN|MAX|AVG) ( expr ) | COUNT ( * | expr )
+//              | EXTRACT ( YEAR FROM expr )
+//
+// JOIN ... ON conditions are folded into the WHERE conjunction — the
+// binder treats comma-joins and explicit JOINs identically. Errors throw
+// internal::SqlException with the source position.
+
+namespace vcq::sql {
+
+ast::Select Parse(std::string_view text);
+
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_PARSER_H_

@@ -1,0 +1,154 @@
+#include "sql/reference_queries.h"
+
+namespace vcq::sql {
+namespace {
+
+// TPC-H Q1: scan-dominated multi-aggregate grouping. Decimal literals
+// carry scale 2 so the fused (1.00 - l_discount) / (1.00 + l_tax) terms
+// reproduce the engines' fixed-point arithmetic exactly (scales 4 and 6).
+constexpr const char* kQ1 = R"(
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1.00 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1.00 - l_discount) * (1.00 + l_tax))
+           AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= $shipdate
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+)";
+
+// TPC-H Q6: pure selection + one ungrouped aggregate.
+constexpr const char* kQ6 = R"(
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate BETWEEN $shipdate_lo AND $shipdate_hi
+  AND l_discount BETWEEN $discount_lo AND $discount_hi
+  AND l_quantity < $quantity_max
+)";
+
+// TPC-H Q3: two joins, grouped revenue, top-10.
+constexpr const char* kQ3 = R"(
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1.00 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = $segment
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < $date
+  AND l_shipdate > $date
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate, l_orderkey
+LIMIT 10
+)";
+
+// TPC-H Q9: five joins (one composite key), substring filter, grouping on
+// a string column and an extracted year. LIKE $color is the raw-substring
+// (Contains) form the catalog plan uses.
+constexpr const char* kQ9 = R"(
+SELECT n_name AS nation,
+       EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1.00 - l_discount)
+           - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE $color
+GROUP BY n_name, EXTRACT(YEAR FROM o_orderdate)
+ORDER BY nation, o_year DESC
+)";
+
+// TPC-H Q18: the flat formulation — grouping on the functionally-dependent
+// order/customer keys replaces the spec's IN-subquery; HAVING applies the
+// large-quantity threshold. Results are identical to the catalog plan's
+// pre-aggregated form.
+constexpr const char* kQ18 = R"(
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       SUM(l_quantity) AS sum_qty
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+HAVING SUM(l_quantity) > $quantity_min
+ORDER BY o_totalprice DESC, o_orderdate, o_orderkey
+LIMIT 100
+)";
+
+// SSB Q1.1: one dimension join + ungrouped aggregate.
+constexpr const char* kSsbQ11 = R"(
+SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND d_year = $year
+  AND lo_discount BETWEEN $discount_lo AND $discount_hi
+  AND lo_quantity < $quantity_max
+)";
+
+// SSB Q2.1.
+constexpr const char* kSsbQ21 = R"(
+SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue
+FROM lineorder, date, part, supplier
+WHERE lo_orderdate = d_datekey
+  AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey
+  AND p_category = $category
+  AND s_region = $region
+GROUP BY d_year, p_brand1
+ORDER BY d_year, p_brand1
+)";
+
+// SSB Q3.1: the same $region binding filters both dimensions.
+constexpr const char* kSsbQ31 = R"(
+SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+FROM lineorder, customer, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_region = $region
+  AND s_region = $region
+  AND d_year BETWEEN $year_lo AND $year_hi
+GROUP BY c_nation, s_nation, d_year
+ORDER BY d_year, revenue DESC
+)";
+
+// SSB Q4.1: four dimension joins plus a two-value IN.
+constexpr const char* kSsbQ41 = R"(
+SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+FROM lineorder, customer, supplier, part, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey
+  AND lo_orderdate = d_datekey
+  AND c_region = $region
+  AND s_region = $region
+  AND p_mfgr IN ($mfgr_a, $mfgr_b)
+GROUP BY d_year, c_nation
+ORDER BY d_year, c_nation
+)";
+
+}  // namespace
+
+const char* SqlTextFor(std::string_view name) {
+  if (name == "Q1") return kQ1;
+  if (name == "Q6") return kQ6;
+  if (name == "Q3") return kQ3;
+  if (name == "Q9") return kQ9;
+  if (name == "Q18") return kQ18;
+  if (name == "SSB-Q1.1") return kSsbQ11;
+  if (name == "SSB-Q2.1") return kSsbQ21;
+  if (name == "SSB-Q3.1") return kSsbQ31;
+  if (name == "SSB-Q4.1") return kSsbQ41;
+  return nullptr;
+}
+
+}  // namespace vcq::sql

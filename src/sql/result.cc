@@ -1,0 +1,141 @@
+#include "sql/result.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vcq::sql {
+namespace {
+
+RenderCol::Kind KindFor(const SqlType& t) {
+  switch (t.kind) {
+    case TypeKind::kString:
+      return RenderCol::Kind::kStr;
+    case TypeKind::kDate:
+      return RenderCol::Kind::kDate;
+    case TypeKind::kNumeric:
+      return t.scale == 0 ? RenderCol::Kind::kInt : RenderCol::Kind::kNumeric;
+  }
+  return RenderCol::Kind::kInt;
+}
+
+/// Three-way comparison of one rendered column.
+int Compare(const RenderCol& col, const SqlRow& a, const SqlRow& b) {
+  if (col.kind == RenderCol::Kind::kStr) {
+    const std::string& x = a[col.slot].str;
+    const std::string& y = b[col.slot].str;
+    if (x < y) return -1;
+    if (y < x) return 1;
+    return 0;
+  }
+  if (col.kind == RenderCol::Kind::kAvg) {
+    // sum_a/count_a vs sum_b/count_b without division: cross-multiply in
+    // 128 bits (counts are non-negative).
+    const __int128 lhs = static_cast<__int128>(a[col.slot].num) *
+                         b[col.count_slot].num;
+    const __int128 rhs = static_cast<__int128>(b[col.slot].num) *
+                         a[col.count_slot].num;
+    if (lhs < rhs) return -1;
+    if (rhs < lhs) return 1;
+    // Fall through to the raw pair so distinct (sum, count) with equal
+    // ratio still order deterministically.
+    if (a[col.slot].num != b[col.slot].num)
+      return a[col.slot].num < b[col.slot].num ? -1 : 1;
+    if (a[col.count_slot].num != b[col.count_slot].num)
+      return a[col.count_slot].num < b[col.count_slot].num ? -1 : 1;
+    return 0;
+  }
+  if (a[col.slot].num != b[col.slot].num)
+    return a[col.slot].num < b[col.slot].num ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+ResultSpec SpecFor(const BoundQuery& q) {
+  ResultSpec spec;
+  const uint32_t agg_base = static_cast<uint32_t>(q.values.size());
+  for (const Output& o : q.outputs) {
+    RenderCol col;
+    col.name = o.name;
+    switch (o.src) {
+      case Output::Src::kValue:
+        col.slot = o.index;
+        col.kind = KindFor(o.type);
+        col.scale = o.type.scale;
+        break;
+      case Output::Src::kAgg:
+        col.slot = agg_base + o.index;
+        col.kind = KindFor(o.type);
+        col.scale = o.type.scale;
+        break;
+      case Output::Src::kAvg:
+        col.slot = agg_base + o.index;
+        col.count_slot = agg_base + o.count_index;
+        col.kind = RenderCol::Kind::kAvg;
+        col.scale = q.aggs[o.index].type.scale;  // input (sum) scale
+        col.out_scale = std::max(2, col.scale);
+        break;
+    }
+    spec.columns.push_back(std::move(col));
+  }
+  spec.order = q.order_by;
+  spec.limit = q.limit;
+  return spec;
+}
+
+runtime::QueryResult Render(const ResultSpec& spec,
+                            std::vector<SqlRow> rows) {
+  // One deterministic total order: the ORDER BY keys, then every visible
+  // column left to right — so ties (and LIMIT cutoffs) never depend on the
+  // producing engine or its thread schedule.
+  auto less = [&spec](const SqlRow& a, const SqlRow& b) {
+    for (const auto& [idx, desc] : spec.order) {
+      const int c = Compare(spec.columns[idx], a, b);
+      if (c != 0) return desc ? c > 0 : c < 0;
+    }
+    for (const RenderCol& col : spec.columns) {
+      const int c = Compare(col, a, b);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::sort(rows.begin(), rows.end(), less);
+  if (rows.size() > spec.limit) rows.resize(spec.limit);
+
+  std::vector<std::string> names;
+  names.reserve(spec.columns.size());
+  for (const RenderCol& col : spec.columns) names.push_back(col.name);
+  runtime::ResultBuilder rb(names);
+  for (const SqlRow& row : rows) {
+    rb.BeginRow();
+    for (const RenderCol& col : spec.columns) {
+      switch (col.kind) {
+        case RenderCol::Kind::kInt:
+          rb.Int(row[col.slot].num);
+          break;
+        case RenderCol::Kind::kNumeric:
+          rb.Numeric(row[col.slot].num, col.scale);
+          break;
+        case RenderCol::Kind::kDate:
+          rb.Date(static_cast<int32_t>(row[col.slot].num));
+          break;
+        case RenderCol::Kind::kStr:
+          rb.Str(row[col.slot].str);
+          break;
+        case RenderCol::Kind::kAvg:
+          // AVG over zero rows renders as zero (this library has no NULL);
+          // only the ungrouped-aggregate path can produce count == 0.
+          if (row[col.count_slot].num == 0)
+            rb.Numeric(0, col.out_scale);
+          else
+            rb.Avg(row[col.slot].num, row[col.count_slot].num, col.scale,
+                   col.out_scale);
+          break;
+      }
+    }
+  }
+  return rb.Finish();
+}
+
+}  // namespace vcq::sql

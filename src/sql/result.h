@@ -1,0 +1,58 @@
+#ifndef VCQ_SQL_RESULT_H_
+#define VCQ_SQL_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/query_result.h"
+#include "sql/logical.h"
+
+// Shared result materialization for both SQL lowerings. Byte-identical
+// results across engines come from funneling every execution through one
+// writer: each engine produces untyped rows of SqlValue over the logical
+// slot layout (values first, then aggregates — see logical.h), and Render
+// applies one deterministic total order (ORDER BY keys, then every visible
+// column left to right as tiebreak), one LIMIT, and one ResultBuilder
+// rendering per column kind. Engines never touch ResultBuilder themselves.
+
+namespace vcq::sql {
+
+struct SqlValue {
+  int64_t num = 0;
+  std::string str;
+  bool is_str = false;
+
+  static SqlValue Num(int64_t v) { return SqlValue{v, {}, false}; }
+  static SqlValue Str(std::string s) {
+    return SqlValue{0, std::move(s), true};
+  }
+};
+
+using SqlRow = std::vector<SqlValue>;
+
+struct RenderCol {
+  enum class Kind : uint8_t { kInt, kNumeric, kDate, kStr, kAvg };
+  std::string name;
+  Kind kind = Kind::kInt;
+  int scale = 0;            // kNumeric: render scale; kAvg: input scale
+  int out_scale = 2;        // kAvg: quotient scale (max(2, input scale))
+  uint32_t slot = 0;        // row slot (kAvg: the SUM slot)
+  uint32_t count_slot = 0;  // kAvg: the COUNT slot
+};
+
+struct ResultSpec {
+  std::vector<RenderCol> columns;
+  std::vector<std::pair<uint32_t, bool>> order;  // (column index, desc)
+  uint64_t limit = UINT64_MAX;
+};
+
+/// Derives the spec (column kinds, slots, order, limit) from a bound query.
+ResultSpec SpecFor(const BoundQuery& q);
+
+/// Sorts, limits, and renders rows into the engine-independent result.
+runtime::QueryResult Render(const ResultSpec& spec, std::vector<SqlRow> rows);
+
+}  // namespace vcq::sql
+
+#endif  // VCQ_SQL_RESULT_H_

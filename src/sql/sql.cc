@@ -1,0 +1,65 @@
+#include "sql/sql.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sql/ast.h"
+#include "sql/binder.h"
+#include "sql/logical.h"
+#include "sql/parser.h"
+
+namespace vcq::sql {
+
+uint64_t CompiledQuery::ScannedTuples() const {
+  uint64_t total = 0;
+  const std::function<void(const JoinTree&)> walk = [&](const JoinTree& t) {
+    if (t.IsLeaf()) {
+      total += plan_.query.Table(static_cast<uint32_t>(t.table)).tuple_count;
+      return;
+    }
+    walk(*t.build);
+    walk(*t.probe);
+  };
+  walk(*plan_.root);
+  return total;
+}
+
+std::string CompiledQuery::ExplainPhysical() const {
+  return std::move(LowerTectorwise()).TakePlan().ToString();
+}
+
+CompileResult Compile(std::shared_ptr<const Catalog> catalog,
+                      std::string_view text,
+                      const OptimizerOptions& options) {
+  CompileResult result;
+  try {
+    const ast::Select select = Parse(text);
+    std::string ast_dump = ToString(select);
+    BoundQuery bound = Bind(*catalog, select);
+    std::string logical_dump = ToString(bound);
+    PhysicalPlan plan = Optimize(std::move(bound), options);
+    result.query = std::make_shared<CompiledQuery>(
+        std::move(catalog), std::string(text), std::move(plan),
+        std::move(ast_dump), std::move(logical_dump));
+  } catch (const internal::SqlException& e) {
+    result.error = e.error;
+  }
+  return result;
+}
+
+CompileResult Compile(const runtime::Database& db, std::string_view text,
+                      const OptimizerOptions& options) {
+  return Compile(MakeCatalog(db), text, options);
+}
+
+std::string Explain(const CompiledQuery& query) {
+  std::string out;
+  out += "-- ast --\n" + query.ExplainAst();
+  out += "-- logical --\n" + query.ExplainLogical();
+  out += "-- optimized --\n" + query.ExplainOptimized();
+  out += "-- physical (tectorwise) --\n" + query.ExplainPhysical();
+  return out;
+}
+
+}  // namespace vcq::sql

@@ -1,5 +1,7 @@
 #include "tectorwise/hash_group.h"
 
+#include <cstdint>
+
 namespace vcq::tectorwise {
 
 using runtime::Hashmap;
@@ -28,24 +30,22 @@ HashGroup::HashGroup(Shared* shared, size_t worker_id, size_t worker_count,
   compactor_.Configure(ctx_);
 }
 
-size_t HashGroup::AddSumAgg(Slot* col) {
+size_t HashGroup::AddAgg(Slot* col, AggKind kind) {
   if (agg_begin_ == 0) agg_begin_ = agg_end_ = AlignUp(key_end_, 8);
   const size_t offset = agg_end_;
   agg_end_ += sizeof(int64_t);
-  sum_offsets_.push_back(offset);
-  sum_cols_.push_back(col);
-  CompactColumn<int64_t>(ctx_, compactor_, col);
+  aggs_.push_back(AggDecl{offset, col, kind});
+  if (col != nullptr) CompactColumn<int64_t>(ctx_, compactor_, col);
   return offset;
 }
 
-size_t HashGroup::AddCountAgg() {
-  if (agg_begin_ == 0) agg_begin_ = agg_end_ = AlignUp(key_end_, 8);
-  const size_t offset = agg_end_;
-  agg_end_ += sizeof(int64_t);
-  sum_offsets_.push_back(offset);
-  sum_cols_.push_back(nullptr);
-  return offset;
-}
+size_t HashGroup::AddSumAgg(Slot* col) { return AddAgg(col, AggKind::kSum); }
+
+size_t HashGroup::AddCountAgg() { return AddAgg(nullptr, AggKind::kCount); }
+
+size_t HashGroup::AddMinAgg(Slot* col) { return AddAgg(col, AggKind::kMin); }
+
+size_t HashGroup::AddMaxAgg(Slot* col) { return AddAgg(col, AggKind::kMax); }
 
 void HashGroup::GrowLocalTable() {
   local_ht_.SetSize(local_count_ * 4);
@@ -78,9 +78,17 @@ std::byte* HashGroup::InsertGroup(uint64_t hash, pos_t p) {
   auto* header = reinterpret_cast<Hashmap::EntryHeader*>(entry);
   header->next = nullptr;
   header->hash = hash;
-  // Zero the key region (memcmp-comparable padding) and the aggregates.
+  // Zero the key region (memcmp-comparable padding) and the aggregates,
+  // then overwrite min/max accumulators with their fold identities.
   std::memset(entry + sizeof(Hashmap::EntryHeader), 0,
               entry_size() - sizeof(Hashmap::EntryHeader));
+  for (const AggDecl& agg : aggs_) {
+    if (agg.kind == AggKind::kMin) {
+      *reinterpret_cast<int64_t*>(entry + agg.offset) = INT64_MAX;
+    } else if (agg.kind == AggKind::kMax) {
+      *reinterpret_cast<int64_t*>(entry + agg.offset) = INT64_MIN;
+    }
+  }
   for (const KeySteps& key : key_steps_) key.init(entry, p);
   local_ht_.InsertUnlocked(header);
   shared_->spills[worker_id_].parts[PartitionOf(hash)].push_back(entry);
@@ -181,11 +189,20 @@ void HashGroup::ProcessBatch(size_t n, const pos_t* sel) {
   }
   FindGroups(n);
   // Aggregate updates (vectorized primitives over the group pointers).
-  for (size_t a = 0; a < sum_offsets_.size(); ++a) {
-    if (sum_cols_[a] == nullptr) {
-      AggCount(n, groups, sum_offsets_[a]);
-    } else {
-      AggSum(n, groups, sum_offsets_[a], pos, Get<int64_t>(sum_cols_[a]));
+  for (const AggDecl& agg : aggs_) {
+    switch (agg.kind) {
+      case AggKind::kCount:
+        AggCount(n, groups, agg.offset);
+        break;
+      case AggKind::kSum:
+        AggSum(n, groups, agg.offset, pos, Get<int64_t>(agg.col));
+        break;
+      case AggKind::kMin:
+        AggMin(n, groups, agg.offset, pos, Get<int64_t>(agg.col));
+        break;
+      case AggKind::kMax:
+        AggMax(n, groups, agg.offset, pos, Get<int64_t>(agg.col));
+        break;
     }
   }
 }
@@ -289,9 +306,22 @@ void HashGroup::MergePartitions() {
         out.push_back(keep);
       } else {
         auto* dst = reinterpret_cast<std::byte*>(existing);
-        for (size_t off : sum_offsets_) {
-          *reinterpret_cast<int64_t*>(dst + off) +=
-              *reinterpret_cast<const int64_t*>(entry + off);
+        for (const AggDecl& agg : aggs_) {
+          auto* acc = reinterpret_cast<int64_t*>(dst + agg.offset);
+          const int64_t v =
+              *reinterpret_cast<const int64_t*>(entry + agg.offset);
+          switch (agg.kind) {
+            case AggKind::kSum:
+            case AggKind::kCount:
+              *acc += v;
+              break;
+            case AggKind::kMin:
+              if (v < *acc) *acc = v;
+              break;
+            case AggKind::kMax:
+              if (v > *acc) *acc = v;
+              break;
+          }
         }
       }
     };

@@ -28,9 +28,9 @@ namespace vcq::tectorwise {
 /// tagged candidates -> per-key-column compare primitives -> advance loop;
 /// tuples without a group take a scalar insert path that re-checks the
 /// local table (the semantics of the paper's partition-then-insert trick
-/// without duplicate groups). Aggregates are int64 sums/counts — all the
-/// studied queries need — so the merge combine is a plain elementwise add
-/// and key equality is a memcmp over the zero-padded key region.
+/// without duplicate groups). Aggregates are int64-valued (sum, count,
+/// min, max) so the merge combine is a per-aggregate elementwise fold and
+/// key equality is a memcmp over the zero-padded key region.
 class HashGroup : public Operator {
  public:
   static constexpr size_t kPartitions = 64;
@@ -101,6 +101,10 @@ class HashGroup : public Operator {
   size_t AddSumAgg(Slot* col);
   /// Adds count(*); returns the aggregate's offset.
   size_t AddCountAgg();
+  /// Adds min(col) over an int64 column; returns the aggregate's offset.
+  size_t AddMinAgg(Slot* col);
+  /// Adds max(col) over an int64 column; returns the aggregate's offset.
+  size_t AddMaxAgg(Slot* col);
 
   // --- outputs (entry fields gathered into dense vectors) -----------------
 
@@ -164,10 +168,18 @@ class HashGroup : public Operator {
   std::unique_ptr<Operator> child_;
   ExecContext ctx_;
 
+  enum class AggKind : uint8_t { kSum, kCount, kMin, kMax };
+  struct AggDecl {
+    size_t offset;
+    const Slot* col;  // nullptr for count(*)
+    AggKind kind;
+  };
+
+  size_t AddAgg(Slot* col, AggKind kind);
+
   std::vector<KeyHashKind> hash_steps_;
   std::vector<KeySteps> key_steps_;
-  std::vector<size_t> sum_offsets_;  // includes counts (add-one columns)
-  std::vector<const Slot*> sum_cols_;  // nullptr => count
+  std::vector<AggDecl> aggs_;
   std::vector<Output> outputs_;
 
   size_t key_end_ = sizeof(runtime::Hashmap::EntryHeader);

@@ -104,6 +104,40 @@ size_t HashJoin::Next() {
   };
 
   while (true) {
+    // Drain the candidate set of the current probe batch first. Each round
+    // compares every candidate against its chain entry, gathers this
+    // round's matches, and advances all candidates along ->next — a build
+    // side with duplicate keys emits one output row per matching chain
+    // entry, so a single probe batch can produce more than vector_size
+    // rows. The candidate set survives emission (member buffers; the probe
+    // child's batch stays valid until its next Next), which keeps every
+    // per-round buffer bounded by vector_size.
+    while (cand_rem_ > 0) {
+      for (const CmpStep& step : compare_steps_)
+        step(cand_rem_, cand, cand_pos, match);
+      size_t hit_count = 0;
+      cand_rem_ = ExtractHitsAdvance(cand_rem_, cand, cand_pos, match, hits,
+                                     hit_pos, hit_count);
+      stats_.Record(hit_count, vsize);
+      if (hit_count == 0) continue;
+
+      // Gather this round's hits behind whatever is already pending (hit
+      // positions only stay valid while the probe batch is current).
+      for (const Output& o : outputs_) o.gather(hit_count, out_pending_);
+      out_pending_ += hit_count;
+      if (!accumulate) return emit(out_pending_);
+      if (ctx_.compaction == CompactionPolicy::kAdaptive &&
+          out_pending_ == hit_count &&
+          static_cast<double>(hit_count) >=
+              ctx_.compaction_threshold * static_cast<double>(vsize)) {
+        // Dense enough and nothing buffered: emit with no extra latency.
+        return emit(out_pending_);
+      }
+      if (out_pending_ >= vsize) {
+        CompactionTelemetry::Global().RecordCompaction(vsize);
+        return emit(vsize);
+      }
+    }
     if (probe_eos_) {
       if (out_pending_ > 0) {
         CompactionTelemetry::Global().RecordCompaction(out_pending_);
@@ -121,43 +155,17 @@ size_t HashJoin::Next() {
     probe_hash_(n, probe_->sel(), hashes, pos);
     for (const RehashStep& step : probe_rehash_) step(n, pos, hashes);
 
-    size_t m;
     if (use_simd) {
-      m = ctx_.rof ? simd::JoinCandidatesStaged(n, hashes, pos, shared_->ht,
-                                                cand, cand_pos)
-                   : simd::JoinCandidates(n, hashes, pos, shared_->ht, cand,
-                                          cand_pos);
+      cand_rem_ = ctx_.rof
+                      ? simd::JoinCandidatesStaged(n, hashes, pos,
+                                                   shared_->ht, cand, cand_pos)
+                      : simd::JoinCandidates(n, hashes, pos, shared_->ht, cand,
+                                             cand_pos);
     } else {
-      m = ctx_.rof ? JoinCandidatesStaged(n, hashes, pos, shared_->ht, cand,
-                                          cand_pos)
-                   : JoinCandidates(n, hashes, pos, shared_->ht, cand,
-                                    cand_pos);
-    }
-    size_t hit_count = 0;
-    while (m > 0) {
-      for (const CmpStep& step : compare_steps_)
-        step(m, cand, cand_pos, match);
-      m = ExtractHitsAdvance(m, cand, cand_pos, match, hits, hit_pos,
-                             hit_count);
-    }
-    stats_.Record(hit_count, vsize);
-    if (hit_count == 0) continue;
-
-    // Gather this batch's hits behind whatever is already pending (hit
-    // positions only stay valid while the probe batch is current).
-    for (const Output& o : outputs_) o.gather(hit_count, out_pending_);
-    out_pending_ += hit_count;
-    if (!accumulate) return emit(out_pending_);
-    if (ctx_.compaction == CompactionPolicy::kAdaptive &&
-        out_pending_ == hit_count &&
-        static_cast<double>(hit_count) >=
-            ctx_.compaction_threshold * static_cast<double>(vsize)) {
-      // Dense enough and nothing buffered: emit with no extra latency.
-      return emit(out_pending_);
-    }
-    if (out_pending_ >= vsize) {
-      CompactionTelemetry::Global().RecordCompaction(vsize);
-      return emit(vsize);
+      cand_rem_ = ctx_.rof ? JoinCandidatesStaged(n, hashes, pos, shared_->ht,
+                                                  cand, cand_pos)
+                           : JoinCandidates(n, hashes, pos, shared_->ht, cand,
+                                            cand_pos);
     }
   }
 }

@@ -16,7 +16,10 @@
 
 namespace vcq::tectorwise {
 
-/// Vectorized hash join (paper Fig. 2b, §2.2), primary-key build side.
+/// Vectorized hash join (paper Fig. 2b, §2.2). Duplicate build keys are
+/// supported: every matching chain entry yields an output row (N:M join),
+/// with the candidate set drained round by round so each round's hit batch
+/// stays within vector_size.
 ///
 /// Build: each worker drains its build child, materializes key+payload rows
 /// into arena-allocated entries (probeHash-style expressions compute the
@@ -173,6 +176,7 @@ class HashJoin : public Operator {
   runtime::EntryChunkList chunks_;
   bool built_ = false;
   bool probe_eos_ = false;
+  size_t cand_rem_ = 0;  // live candidates of the current probe batch
 
   // Probe-output accumulation state (batch compaction of the join result).
   size_t out_pending_ = 0;  // gathered rows not yet emitted

@@ -1,6 +1,7 @@
 #include "tectorwise/operators.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace vcq::tectorwise {
 
@@ -114,13 +115,40 @@ size_t Map::Next() {
   return n;
 }
 
+Slot* FixedAggregation::AddAgg(const Slot* input, AggKind kind) {
+  aggs_.push_back(std::make_unique<Agg>());
+  Agg& a = *aggs_.back();
+  a.input = input;
+  a.kind = kind;
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+      a.total = 0;
+      break;
+    case AggKind::kMin:
+      a.total = INT64_MAX;
+      break;
+    case AggKind::kMax:
+      a.total = INT64_MIN;
+      break;
+  }
+  a.slot = std::make_unique<Slot>();
+  a.slot->ptr = &a.total;
+  return a.slot.get();
+}
+
 Slot* FixedAggregation::AddSumI64(const Slot* input) {
-  sums_.push_back(std::make_unique<Sum>());
-  Sum& s = *sums_.back();
-  s.input = input;
-  s.slot = std::make_unique<Slot>();
-  s.slot->ptr = &s.total;
-  return s.slot.get();
+  return AddAgg(input, AggKind::kSum);
+}
+
+Slot* FixedAggregation::AddCount() { return AddAgg(nullptr, AggKind::kCount); }
+
+Slot* FixedAggregation::AddMinI64(const Slot* input) {
+  return AddAgg(input, AggKind::kMin);
+}
+
+Slot* FixedAggregation::AddMaxI64(const Slot* input) {
+  return AddAgg(input, AggKind::kMax);
 }
 
 size_t FixedAggregation::Next() {
@@ -128,15 +156,46 @@ size_t FixedAggregation::Next() {
   size_t n;
   while ((n = child_->Next()) != kEndOfStream) {
     const pos_t* sel = child_->sel();
-    for (auto& sum : sums_) {
-      const int64_t* col = Get<int64_t>(sum->input);
-      int64_t acc = 0;
-      if (sel == nullptr) {
-        for (size_t p = 0; p < n; ++p) acc += col[p];
-      } else {
-        for (size_t k = 0; k < n; ++k) acc += col[sel[k]];
+    for (auto& agg : aggs_) {
+      if (agg->kind == AggKind::kCount) {
+        agg->total += static_cast<int64_t>(n);
+        continue;
       }
-      sum->total += acc;
+      const int64_t* col = Get<int64_t>(agg->input);
+      switch (agg->kind) {
+        case AggKind::kSum: {
+          int64_t acc = 0;
+          if (sel == nullptr) {
+            for (size_t p = 0; p < n; ++p) acc += col[p];
+          } else {
+            for (size_t k = 0; k < n; ++k) acc += col[sel[k]];
+          }
+          agg->total += acc;
+          break;
+        }
+        case AggKind::kMin: {
+          int64_t acc = agg->total;
+          if (sel == nullptr) {
+            for (size_t p = 0; p < n; ++p) acc = std::min(acc, col[p]);
+          } else {
+            for (size_t k = 0; k < n; ++k) acc = std::min(acc, col[sel[k]]);
+          }
+          agg->total = acc;
+          break;
+        }
+        case AggKind::kMax: {
+          int64_t acc = agg->total;
+          if (sel == nullptr) {
+            for (size_t p = 0; p < n; ++p) acc = std::max(acc, col[p]);
+          } else {
+            for (size_t k = 0; k < n; ++k) acc = std::max(acc, col[sel[k]]);
+          }
+          agg->total = acc;
+          break;
+        }
+        case AggKind::kCount:
+          break;
+      }
     }
   }
   done_ = true;

@@ -166,26 +166,40 @@ class Map : public Operator {
 
 /// Group-less aggregation (Q1.1 / Q6 style "select sum(...)"): drains the
 /// child, accumulating into worker-local totals, then emits a single row.
-/// Cross-worker summation happens in the collector.
+/// Cross-worker combining (by the same aggregate kind) happens in the
+/// collector. A worker that saw no rows emits the fold identity (0 for
+/// sum/count, INT64_MAX/MIN for min/max) so collectors can fold partials
+/// unconditionally.
 class FixedAggregation : public Operator {
  public:
+  enum class AggKind : uint8_t { kSum, kCount, kMin, kMax };
+
   explicit FixedAggregation(std::unique_ptr<Operator> child)
       : child_(std::move(child)) {}
 
   /// Adds a sum over an int64 column; the returned slot exposes the total.
   Slot* AddSumI64(const Slot* input);
+  /// Adds count(*); the returned slot exposes the worker-local row count.
+  Slot* AddCount();
+  /// Adds min(col) over an int64 column.
+  Slot* AddMinI64(const Slot* input);
+  /// Adds max(col) over an int64 column.
+  Slot* AddMaxI64(const Slot* input);
 
   size_t Next() override;
 
  private:
-  struct Sum {
-    const Slot* input;
+  struct Agg {
+    const Slot* input;  // nullptr for count(*)
+    AggKind kind = AggKind::kSum;
     int64_t total = 0;
     std::unique_ptr<Slot> slot;
   };
 
+  Slot* AddAgg(const Slot* input, AggKind kind);
+
   std::unique_ptr<Operator> child_;
-  std::vector<std::unique_ptr<Sum>> sums_;
+  std::vector<std::unique_ptr<Agg>> aggs_;
   bool done_ = false;
 };
 

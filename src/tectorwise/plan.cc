@@ -203,6 +203,32 @@ ColumnRef GroupNode::Count() {
   return out;
 }
 
+ColumnRef GroupNode::Min(ColumnRef col) {
+  Consume(col);
+  const ColumnRef out = Define("min(" + ColName(col) + ")", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: min(" + ColName(col) + ")");
+  config_.push_back([col, id = out.id](HashGroup& group,
+                                       plan_internal::Workspace& ws) {
+    const size_t offset = group.AddMinAgg(ws.slots[col.id]);
+    ws.slots[id] = group.AddOutput<int64_t>(offset);
+  });
+  return out;
+}
+
+ColumnRef GroupNode::Max(ColumnRef col) {
+  Consume(col);
+  const ColumnRef out = Define("max(" + ColName(col) + ")", sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: max(" + ColName(col) + ")");
+  config_.push_back([col, id = out.id](HashGroup& group,
+                                       plan_internal::Workspace& ws) {
+    const size_t offset = group.AddMaxAgg(ws.slots[col.id]);
+    ws.slots[id] = group.AddOutput<int64_t>(offset);
+  });
+  return out;
+}
+
 GroupNode& GroupNode::DensePartitionOutput(bool on) {
   dense_output_ = on;
   Detail(std::string("dense partition output: ") + (on ? "on" : "off"));
@@ -214,7 +240,36 @@ ColumnRef FixedAggNode::Sum(ColumnRef col, std::string name) {
   const ColumnRef out = Define(std::move(name), sizeof(int64_t),
                                plan_internal::MakeRegistrar<int64_t>());
   Detail("agg: sum(" + ColName(col) + ")");
-  sums_.push_back(AggDecl{col.id, out.id});
+  sums_.push_back(
+      AggDecl{col.id, out.id, FixedAggregation::AggKind::kSum, true});
+  return out;
+}
+
+ColumnRef FixedAggNode::Count(std::string name) {
+  const ColumnRef out = Define(std::move(name), sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: count(*)");
+  sums_.push_back(AggDecl{0, out.id, FixedAggregation::AggKind::kCount, false});
+  return out;
+}
+
+ColumnRef FixedAggNode::Min(ColumnRef col, std::string name) {
+  Consume(col);
+  const ColumnRef out = Define(std::move(name), sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: min(" + ColName(col) + ")");
+  sums_.push_back(
+      AggDecl{col.id, out.id, FixedAggregation::AggKind::kMin, true});
+  return out;
+}
+
+ColumnRef FixedAggNode::Max(ColumnRef col, std::string name) {
+  Consume(col);
+  const ColumnRef out = Define(std::move(name), sizeof(int64_t),
+                               plan_internal::MakeRegistrar<int64_t>());
+  Detail("agg: max(" + ColName(col) + ")");
+  sums_.push_back(
+      AggDecl{col.id, out.id, FixedAggregation::AggKind::kMax, true});
   return out;
 }
 
@@ -222,8 +277,22 @@ std::unique_ptr<Operator> FixedAggNode::Instantiate(
     plan_internal::Workspace& ws) const {
   auto agg =
       std::make_unique<FixedAggregation>(InstantiateNode(*children_[0], ws));
-  for (const AggDecl& decl : sums_)
-    ws.slots[decl.out] = agg->AddSumI64(ws.slots[decl.in]);
+  for (const AggDecl& decl : sums_) {
+    switch (decl.kind) {
+      case FixedAggregation::AggKind::kSum:
+        ws.slots[decl.out] = agg->AddSumI64(ws.slots[decl.in]);
+        break;
+      case FixedAggregation::AggKind::kCount:
+        ws.slots[decl.out] = agg->AddCount();
+        break;
+      case FixedAggregation::AggKind::kMin:
+        ws.slots[decl.out] = agg->AddMinI64(ws.slots[decl.in]);
+        break;
+      case FixedAggregation::AggKind::kMax:
+        ws.slots[decl.out] = agg->AddMaxI64(ws.slots[decl.in]);
+        break;
+    }
+  }
   return agg;
 }
 
@@ -339,7 +408,8 @@ bool IsPassThrough(NodeKind kind) {
 
 }  // namespace
 
-Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result) {
+Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result,
+                        bool selection_aware_collector) {
   VCQ_CHECK_MSG(root.builder_ == this, "root belongs to another builder");
   VCQ_CHECK_MSG(root.parent_ == -1, "root is consumed by another node");
 
@@ -361,12 +431,17 @@ Plan PlanBuilder::Build(PlanNode& root, std::vector<ColumnRef> result) {
                     "hash-join node declares no Key()");
     }
   }
-  // Every shipped collector reads root batches densely (Batch::Column()[k]);
-  // a Select/Map root could emit selection vectors and silently misread.
-  // Rematerializing roots always publish dense batches.
-  VCQ_CHECK_MSG(!IsPassThrough(root.kind_) && root.kind_ != NodeKind::kScan,
-                "plan root must be a join/group/aggregation node (dense "
-                "batches); wrap streaming roots in an aggregation");
+  // Collectors reading root batches densely (Batch::Column()[k]) would
+  // silently misread a Select/Map root that emits selection vectors;
+  // rematerializing roots always publish dense batches. Collectors that go
+  // through Batch::Value exclusively opt out (Run hands them the root's
+  // selection vector).
+  if (!selection_aware_collector) {
+    VCQ_CHECK_MSG(!IsPassThrough(root.kind_) && root.kind_ != NodeKind::kScan,
+                  "plan root must be a join/group/aggregation node (dense "
+                  "batches); wrap streaming roots in an aggregation or pass "
+                  "selection_aware_collector");
+  }
 
   // Column visibility: a consumed column must come from the consumer's own
   // subtree, and every operator strictly between producer and consumer must

@@ -462,6 +462,57 @@ class MapNode : public PlanNode {
     return out;
   }
 
+  /// out = a + b.
+  template <typename T>
+  ColumnRef Add(ColumnRef a, ColumnRef b, std::string name) {
+    Consume(a);
+    Consume(b);
+    const ColumnRef out = Output<T>(std::move(name));
+    Detail(ColName(out) + " = " + ColName(a) + " + " + ColName(b));
+    steps_.push_back([a, b, id = out.id](Map& map,
+                                         plan_internal::Workspace& ws) {
+      Slot* slot = map.AddOutput<T>();
+      ws.slots[id] = slot;
+      map.AddStep(MakeMapAdd<T>(ws.slots[a.id], ws.slots[b.id],
+                                map.OutputData<T>(slot)));
+    });
+    return out;
+  }
+
+  /// out = a * konst.
+  template <typename T>
+  ColumnRef MulConst(ColumnRef a, T konst, std::string name) {
+    Consume(a);
+    const ColumnRef out = Output<T>(std::move(name));
+    Detail(ColName(out) + " = " + ColName(a) + " * " +
+           plan_internal::Display(konst));
+    steps_.push_back([a, konst, id = out.id](Map& map,
+                                             plan_internal::Workspace& ws) {
+      Slot* slot = map.AddOutput<T>();
+      ws.slots[id] = slot;
+      map.AddStep(
+          MakeMapMulConst<T>(ws.slots[a.id], konst, map.OutputData<T>(slot)));
+    });
+    return out;
+  }
+
+  /// out = (To)a — integer widening (e.g. int32 keys entering int64
+  /// arithmetic or aggregation).
+  template <typename From, typename To>
+  ColumnRef Widen(ColumnRef a, std::string name) {
+    Consume(a);
+    const ColumnRef out = Output<To>(std::move(name));
+    Detail(ColName(out) + " = widen(" + ColName(a) + ")");
+    steps_.push_back([a, id = out.id](Map& map,
+                                      plan_internal::Workspace& ws) {
+      Slot* slot = map.AddOutput<To>();
+      ws.slots[id] = slot;
+      map.AddStep(
+          MakeMapWiden<From, To>(ws.slots[a.id], map.OutputData<To>(slot)));
+    });
+    return out;
+  }
+
   /// out = konst - a.
   template <typename T>
   ColumnRef RSubConst(T konst, ColumnRef a, std::string name) {
@@ -697,6 +748,10 @@ class GroupNode : public PlanNode {
   ColumnRef Sum(ColumnRef col);
   /// Adds count(*); returns its output column.
   ColumnRef Count();
+  /// Adds min(col) over an int64 column; returns its output column.
+  ColumnRef Min(ColumnRef col);
+  /// Adds max(col) over an int64 column; returns its output column.
+  ColumnRef Max(ColumnRef col);
 
   /// Partition-emission compaction (ROADMAP follow-on): when enabled,
   /// Next() packs groups from consecutive merged partitions into full
@@ -729,6 +784,12 @@ class FixedAggNode : public PlanNode {
   /// Adds sum(col) over an int64 column; the output column exposes the
   /// worker-local total in the single row this node emits.
   ColumnRef Sum(ColumnRef col, std::string name);
+  /// Adds count(*); the output column exposes the worker-local row count.
+  ColumnRef Count(std::string name);
+  /// Adds min(col) over an int64 column (INT64_MAX identity on no rows).
+  ColumnRef Min(ColumnRef col, std::string name);
+  /// Adds max(col) over an int64 column (INT64_MIN identity on no rows).
+  ColumnRef Max(ColumnRef col, std::string name);
 
  private:
   friend class PlanBuilder;
@@ -739,8 +800,10 @@ class FixedAggNode : public PlanNode {
       plan_internal::Workspace& ws) const override;
 
   struct AggDecl {
-    uint32_t in;
+    uint32_t in;  // unused for count(*)
     uint32_t out;
+    FixedAggregation::AggKind kind = FixedAggregation::AggKind::kSum;
+    bool has_input = true;
   };
   std::vector<AggDecl> sums_;
 };
@@ -899,7 +962,16 @@ class PlanBuilder {
   /// rematerializing operators), derives every Select's compaction
   /// registrations from slot usage, and returns the executable Plan. The
   /// builder is consumed.
-  Plan Build(PlanNode& root, std::vector<ColumnRef> result_columns);
+  ///
+  /// By default the root must be a rematerializing node (join/group/
+  /// aggregation), because most collectors read root batches densely via
+  /// Batch::Column()[k]. A collector that reads exclusively through the
+  /// selection-vector-aware Batch::Value may pass
+  /// `selection_aware_collector = true` to allow streaming roots
+  /// (scan/select/map) — e.g. a projection or a HAVING filter as the top
+  /// operator.
+  Plan Build(PlanNode& root, std::vector<ColumnRef> result_columns,
+             bool selection_aware_collector = false);
 
  private:
   friend class PlanNode;

@@ -243,6 +243,46 @@ void MapSub(size_t n, const pos_t* sel, const T* a, const T* b, T* out) {
   }
 }
 
+/// out[p] = a[p] + b[p]
+template <typename T>
+void MapAdd(size_t n, const pos_t* sel, const T* a, const T* b, T* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = a[p] + b[p];
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = a[p] + b[p];
+    }
+  }
+}
+
+/// out[p] = a[p] * konst (fixed-point rescale / literal multiply)
+template <typename T>
+void MapMulConst(size_t n, const pos_t* sel, const T* a, T konst, T* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = a[p] * konst;
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = a[p] * konst;
+    }
+  }
+}
+
+/// out[p] = (To)a[p] — integer widening (int32 columns entering int64
+/// arithmetic or aggregation).
+template <typename From, typename To>
+void MapWiden(size_t n, const pos_t* sel, const From* a, To* out) {
+  if (sel == nullptr) {
+    for (size_t p = 0; p < n; ++p) out[p] = static_cast<To>(a[p]);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      const pos_t p = sel[k];
+      out[p] = static_cast<To>(a[p]);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hashing (join / group-by key expressions)
 // ---------------------------------------------------------------------------
@@ -364,11 +404,13 @@ void CmpEntryKeyAnd(size_t n, Hashmap::EntryHeader* const* cand,
   }
 }
 
-/// extractHits + chain advance for primary-key joins: matched candidates are
-/// appended to the hit buffers (at most one match per probe tuple — all
-/// studied joins are key/foreign-key); mismatches follow ->next and stay in
-/// the candidate set; exhausted chains drop out. Returns the new candidate
-/// count; `hit_count` grows by the number of hits.
+/// extractHits + chain advance: matched candidates are appended to the hit
+/// buffers AND stay in the candidate set (following ->next), because a
+/// build side with duplicate keys stores every duplicate on one chain and
+/// each entry is its own result row. Mismatches follow ->next as well
+/// (hash-bucket collisions); exhausted chains drop out. Returns the new
+/// candidate count; `hit_count` grows by the number of hits (at most n per
+/// call, so per-round hit buffers sized at vector_size never overflow).
 inline size_t ExtractHitsAdvance(size_t n, Hashmap::EntryHeader** cand,
                                  pos_t* cand_pos, const uint8_t* match,
                                  Hashmap::EntryHeader** hits, pos_t* hit_pos,
@@ -379,12 +421,11 @@ inline size_t ExtractHitsAdvance(size_t n, Hashmap::EntryHeader** cand,
       hits[hit_count] = cand[k];
       hit_pos[hit_count] = cand_pos[k];
       ++hit_count;
-    } else {
-      Hashmap::EntryHeader* next = cand[k]->next;
-      cand[survivors] = next;
-      cand_pos[survivors] = cand_pos[k];
-      survivors += (next != nullptr) ? 1 : 0;
     }
+    Hashmap::EntryHeader* next = cand[k]->next;
+    cand[survivors] = next;
+    cand_pos[survivors] = cand_pos[k];
+    survivors += (next != nullptr) ? 1 : 0;
   }
   return survivors;
 }
@@ -475,6 +516,26 @@ inline void AggSum(size_t n, std::byte* const* groups, size_t offset,
 inline void AggCount(size_t n, std::byte* const* groups, size_t offset) {
   for (size_t k = 0; k < n; ++k)
     *reinterpret_cast<int64_t*>(groups[k] + offset) += 1;
+}
+
+/// *(int64*)(groups[k]+offset) = min(current, col[pos[k]])
+inline void AggMin(size_t n, std::byte* const* groups, size_t offset,
+                   const pos_t* pos, const int64_t* col) {
+  for (size_t k = 0; k < n; ++k) {
+    auto* acc = reinterpret_cast<int64_t*>(groups[k] + offset);
+    const int64_t v = col[pos[k]];
+    if (v < *acc) *acc = v;
+  }
+}
+
+/// *(int64*)(groups[k]+offset) = max(current, col[pos[k]])
+inline void AggMax(size_t n, std::byte* const* groups, size_t offset,
+                   const pos_t* pos, const int64_t* col) {
+  for (size_t k = 0; k < n; ++k) {
+    auto* acc = reinterpret_cast<int64_t*>(groups[k] + offset);
+    const int64_t v = col[pos[k]];
+    if (v > *acc) *acc = v;
+  }
 }
 
 }  // namespace vcq::tectorwise

@@ -270,6 +270,27 @@ MapStep MakeMapSub(const Slot* a, const Slot* b, T* out) {
   };
 }
 
+template <typename T>
+MapStep MakeMapAdd(const Slot* a, const Slot* b, T* out) {
+  return [a, b, out](size_t n, const pos_t* sel) {
+    MapAdd<T>(n, sel, Get<T>(a), Get<T>(b), out);
+  };
+}
+
+template <typename T>
+MapStep MakeMapMulConst(const Slot* a, T konst, T* out) {
+  return [a, konst, out](size_t n, const pos_t* sel) {
+    MapMulConst<T>(n, sel, Get<T>(a), konst, out);
+  };
+}
+
+template <typename From, typename To>
+MapStep MakeMapWiden(const Slot* a, To* out) {
+  return [a, out](size_t n, const pos_t* sel) {
+    MapWiden<From, To>(n, sel, Get<From>(a), out);
+  };
+}
+
 // --- hash / key expression steps (joins, group-by) ---------------------------
 
 /// Computes (hashes, positions) compacted for the active tuples.

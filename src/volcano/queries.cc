@@ -27,7 +27,8 @@ int64_t PackKeys(int64_t a, int64_t b) {
 
 }  // namespace
 
-QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ1(const Database& db, const QueryOptions& opt,
+                  const runtime::QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto rf = lineitem.Col<Char<1>>("l_returnflag");
@@ -36,7 +37,7 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
   const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
   const auto discount = lineitem.Col<int64_t>("l_discount");
   const auto tax = lineitem.Col<int64_t>("l_tax");
-  const int32_t cutoff = DateFromString("1998-09-02");
+  const int32_t cutoff = params.Date("shipdate");
 
   auto scan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t s_date = scan->AddAccessor([&](size_t i) { return shipdate[i]; });
@@ -100,14 +101,18 @@ QueryResult RunQ1(const Database& db, const QueryOptions& opt) {
   return rb.Finish();
 }
 
-QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ6(const Database& db, const QueryOptions& opt,
+                  const runtime::QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const auto shipdate = lineitem.Col<int32_t>("l_shipdate");
   const auto discount = lineitem.Col<int64_t>("l_discount");
   const auto quantity = lineitem.Col<int64_t>("l_quantity");
   const auto extprice = lineitem.Col<int64_t>("l_extendedprice");
-  const int32_t lo = DateFromString("1994-01-01");
-  const int32_t hi = DateFromString("1995-01-01") - 1;
+  const int32_t lo = params.Date("shipdate_lo");
+  const int32_t hi = params.Date("shipdate_hi");
+  const int64_t disc_lo = params.Int("discount_lo");
+  const int64_t disc_hi = params.Int("discount_hi");
+  const int64_t qty_max = params.Int("quantity_max");
 
   auto scan = std::make_unique<ScanOp>(lineitem.tuple_count(), opt.cancel);
   const size_t s_date =
@@ -121,8 +126,8 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
 
   auto select = std::make_unique<SelectOp>(
       std::move(scan), [=](const Row& r) {
-        return r[s_date] >= lo && r[s_date] <= hi && r[s_disc] >= 5 &&
-               r[s_disc] <= 7 && r[s_qty] < 2400;
+        return r[s_date] >= lo && r[s_date] <= hi && r[s_disc] >= disc_lo &&
+               r[s_disc] <= disc_hi && r[s_qty] < qty_max;
       });
   auto project = std::make_unique<ProjectOp>(std::move(select));
   const size_t s_rev = project->AddExpr(
@@ -142,12 +147,13 @@ QueryResult RunQ6(const Database& db, const QueryOptions& opt) {
   return rb.Finish();
 }
 
-QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ3(const Database& db, const QueryOptions& opt,
+                  const runtime::QueryParams& params) {
   const Relation& customer = db["customer"];
   const Relation& orders = db["orders"];
   const Relation& lineitem = db["lineitem"];
-  const int32_t date = DateFromString("1995-03-15");
-  const Char<10> building = Char<10>::From("BUILDING");
+  const int32_t date = params.Date("date");
+  const Char<10> building = Char<10>::From(params.Str("segment"));
 
   const auto c_custkey = customer.Col<int32_t>("c_custkey");
   const auto c_mkt = customer.Col<Char<10>>("c_mktsegment");
@@ -242,13 +248,15 @@ QueryResult RunQ3(const Database& db, const QueryOptions& opt) {
   return rb.Finish();
 }
 
-QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ9(const Database& db, const QueryOptions& opt,
+                  const runtime::QueryParams& params) {
   const Relation& part = db["part"];
   const Relation& supplier = db["supplier"];
   const Relation& partsupp = db["partsupp"];
   const Relation& orders = db["orders"];
   const Relation& lineitem = db["lineitem"];
   const Relation& nation = db["nation"];
+  const std::string color(params.Str("color"));
 
   const auto p_partkey = part.Col<int32_t>("p_partkey");
   const auto p_name = part.Col<Varchar<55>>("p_name");
@@ -256,7 +264,7 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   const size_t sp_key =
       pscan->AddAccessor([&](size_t i) { return p_partkey[i]; });
   const size_t sp_green = pscan->AddAccessor(
-      [&](size_t i) { return p_name[i].Contains("green") ? 1 : 0; });
+      [&, color](size_t i) { return p_name[i].Contains(color) ? 1 : 0; });
   auto psel = std::make_unique<SelectOp>(
       std::move(pscan), [=](const Row& r) { return r[sp_green] != 0; });
 
@@ -365,10 +373,12 @@ QueryResult RunQ9(const Database& db, const QueryOptions& opt) {
   return rb.Finish();
 }
 
-QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
+QueryResult RunQ18(const Database& db, const QueryOptions& opt,
+                   const runtime::QueryParams& params) {
   const Relation& lineitem = db["lineitem"];
   const Relation& orders = db["orders"];
   const Relation& customer = db["customer"];
+  const int64_t qty_min = params.Int("quantity_min");
 
   const auto l_orderkey = lineitem.Col<int32_t>("l_orderkey");
   const auto l_quantity = lineitem.Col<int64_t>("l_quantity");
@@ -382,7 +392,7 @@ QueryResult RunQ18(const Database& db, const QueryOptions& opt) {
                                            std::vector<size_t>{sl_key});
   group->AddAgg(sl_qty);
   auto having = std::make_unique<SelectOp>(
-      std::move(group), [](const Row& r) { return r[1] > 30000; });
+      std::move(group), [qty_min](const Row& r) { return r[1] > qty_min; });
 
   const auto o_orderkey = orders.Col<int32_t>("o_orderkey");
   const auto o_custkey = orders.Col<int32_t>("o_custkey");

@@ -2,6 +2,7 @@
 #define VCQ_VOLCANO_QUERIES_H_
 
 #include "runtime/options.h"
+#include "runtime/params.h"
 #include "runtime/query_result.h"
 #include "runtime/relation.h"
 
@@ -10,19 +11,29 @@
 // options' thread count is ignored. The options' CancelToken is honored:
 // scans poll it every ScanOp::kCancelPollRows tuples, and a tripped run
 // returns QueryResult::Failed with the trip's status and zero rows.
+//
+// Predicate constants come from the catalog's named parameters (the same
+// QueryParams the other engines bind), so Volcano can serve as the
+// differential reference for non-default bindings and ad-hoc SQL plans
+// (src/sql/) instead of baking the spec values in.
 
 namespace vcq::volcano {
 
 runtime::QueryResult RunQ1(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ6(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ3(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ9(const runtime::Database& db,
-                           const runtime::QueryOptions& opt);
+                           const runtime::QueryOptions& opt,
+                           const runtime::QueryParams& params);
 runtime::QueryResult RunQ18(const runtime::Database& db,
-                            const runtime::QueryOptions& opt);
+                            const runtime::QueryOptions& opt,
+                            const runtime::QueryParams& params);
 
 }  // namespace vcq::volcano
 

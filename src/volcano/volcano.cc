@@ -1,5 +1,8 @@
 #include "volcano/volcano.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "runtime/hash.h"
 
 namespace vcq::volcano {
@@ -82,15 +85,34 @@ size_t GroupByOp::VecHash::operator()(const std::vector<int64_t>& v) const {
 void GroupByOp::Open() {
   child_->Open();
   groups_.clear();
+  // Fold identities so min/max work without per-group "seen" flags.
+  std::vector<int64_t> init(agg_slots_.size(), 0);
+  for (size_t a = 0; a < agg_ops_.size(); ++a) {
+    if (agg_ops_[a] == AggOp::kMin) init[a] = INT64_MAX;
+    if (agg_ops_[a] == AggOp::kMax) init[a] = INT64_MIN;
+  }
   Row row;
   std::vector<int64_t> key(key_slots_.size());
   while (child_->Next(&row)) {
     for (size_t k = 0; k < key_slots_.size(); ++k) key[k] = row[key_slots_[k]];
-    auto [it, inserted] =
-        groups_.try_emplace(key, std::vector<int64_t>(agg_slots_.size(), 0));
+    auto [it, inserted] = groups_.try_emplace(key, init);
     std::vector<int64_t>& aggs = it->second;
-    for (size_t a = 0; a < agg_slots_.size(); ++a)
-      aggs[a] += (agg_slots_[a] == SIZE_MAX) ? 1 : row[agg_slots_[a]];
+    for (size_t a = 0; a < agg_slots_.size(); ++a) {
+      switch (agg_ops_[a]) {
+        case AggOp::kSum:
+          aggs[a] += row[agg_slots_[a]];
+          break;
+        case AggOp::kCount:
+          aggs[a] += 1;
+          break;
+        case AggOp::kMin:
+          aggs[a] = std::min(aggs[a], row[agg_slots_[a]]);
+          break;
+        case AggOp::kMax:
+          aggs[a] = std::max(aggs[a], row[agg_slots_[a]]);
+          break;
+      }
+    }
   }
   emit_ = groups_.begin();
   materialized_ = true;

@@ -142,9 +142,11 @@ class HashJoinOp : public Operator {
   bool have_range_ = false;
 };
 
-/// Full-materialization hash aggregation: sums and counts over key slots.
+/// Full-materialization hash aggregation: sum/count/min/max over key slots.
 class GroupByOp : public Operator {
  public:
+  enum class AggOp : uint8_t { kSum, kCount, kMin, kMax };
+
   explicit GroupByOp(std::unique_ptr<Operator> child,
                      std::vector<size_t> key_slots)
       : child_(std::move(child)), key_slots_(std::move(key_slots)) {}
@@ -152,7 +154,15 @@ class GroupByOp : public Operator {
   /// Adds sum(child slot); pass SIZE_MAX for count(*). Returns the output
   /// slot (keys first, then aggregates).
   size_t AddAgg(size_t child_slot) {
+    return AddAggOp(child_slot == SIZE_MAX ? AggOp::kCount : AggOp::kSum,
+                    child_slot);
+  }
+
+  /// Adds an aggregate of the given kind over `child_slot` (ignored for
+  /// kCount). Returns the output slot (keys first, then aggregates).
+  size_t AddAggOp(AggOp op, size_t child_slot = SIZE_MAX) {
     agg_slots_.push_back(child_slot);
+    agg_ops_.push_back(op);
     return key_slots_.size() + agg_slots_.size() - 1;
   }
 
@@ -170,6 +180,7 @@ class GroupByOp : public Operator {
   std::unique_ptr<Operator> child_;
   std::vector<size_t> key_slots_;
   std::vector<size_t> agg_slots_;
+  std::vector<AggOp> agg_ops_;
   std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, VecHash>
       groups_;
   std::unordered_map<std::vector<int64_t>, std::vector<int64_t>,
