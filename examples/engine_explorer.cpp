@@ -5,7 +5,8 @@
 // Volcano = pull+interpretation).
 //
 //   ./engine_explorer [--sf 0.5] [--query Q1|Q6|Q3|Q9|Q18|SSB-Q1.1|...]
-//                     [--sql "SELECT ..."] [--ssb] [--explain]
+//                     [--sql "SELECT ..."] [--ssb] [--explain] [--analyze]
+//                     [--trace-json <path>] [--metrics]
 //
 // With no --query it sweeps the full TPC-H subset. --explain additionally
 // prints each query's declarative Tectorwise plan (nodes, consumed
@@ -14,6 +15,15 @@
 // door (src/sql/) instead of a catalog query — Typer is skipped there
 // (its pipelines are ahead-of-time compiled per catalog query); --explain
 // then prints every compilation stage (ast/logical/optimized/physical).
+//
+// Observability flags (runtime/trace.h, runtime/metrics.h):
+//   --analyze            run each query once traced on both engines and
+//                        print PreparedQuery::ExplainAnalyze()'s measured
+//                        plan (per node/pipeline: rows, ns/tuple, ...)
+//   --trace-json <path>  write a traced Tectorwise run of the (first)
+//                        query as chrome://tracing JSON to <path>
+//   --metrics            print the process metrics snapshot (JSON and
+//                        Prometheus text) after the sweep
 
 #include <chrono>
 #include <thread>
@@ -23,9 +33,12 @@
 #include <vector>
 
 #include "api/query_catalog.h"
+#include "api/session.h"
 #include "api/vcq.h"
 #include "datagen/ssb.h"
 #include "datagen/tpch.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
 #include "sql/sql.h"
 #include "tectorwise/primitives_simd.h"
 
@@ -95,14 +108,21 @@ int main(int argc, char** argv) {
   double sf = 0.5;
   std::string query_name;
   std::string sql_text;
+  std::string trace_json_path;
   bool ssb = false;
   bool explain = false;
+  bool analyze = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--sf") && i + 1 < argc) sf = std::atof(argv[++i]);
     if (!std::strcmp(argv[i], "--query") && i + 1 < argc) query_name = argv[++i];
     if (!std::strcmp(argv[i], "--sql") && i + 1 < argc) sql_text = argv[++i];
+    if (!std::strcmp(argv[i], "--trace-json") && i + 1 < argc)
+      trace_json_path = argv[++i];
     if (!std::strcmp(argv[i], "--ssb")) ssb = true;
     if (!std::strcmp(argv[i], "--explain")) explain = true;
+    if (!std::strcmp(argv[i], "--analyze")) analyze = true;
+    if (!std::strcmp(argv[i], "--metrics")) metrics = true;
   }
 
   if (!sql_text.empty()) {
@@ -110,7 +130,12 @@ int main(int argc, char** argv) {
     const vcq::runtime::Database sql_db =
         ssb ? vcq::datagen::GenerateSsb(sf) : vcq::datagen::GenerateTpch(sf);
     std::printf("\n=== SQL — %s ===\n", sql_text.c_str());
-    return ExploreSql(sql_db, sql_text, explain);
+    const int rc = ExploreSql(sql_db, sql_text, explain);
+    if (metrics && rc == 0) {
+      std::printf("\n=== metrics ===\n%s\n%s", vcq::metrics::RenderJson().c_str(),
+                  vcq::metrics::RenderPrometheus().c_str());
+    }
+    return rc;
   }
 
   // The QueryCatalog is the single registry of the workload: name lookup
@@ -135,6 +160,34 @@ int main(int argc, char** argv) {
   std::printf("Loading %s SF=%.2f ...\n", need_ssb ? "SSB" : "TPC-H", sf);
   vcq::runtime::Database db = need_ssb ? vcq::datagen::GenerateSsb(sf)
                                        : vcq::datagen::GenerateTpch(sf);
+  vcq::Session session(db);
+
+  if (!trace_json_path.empty() && !queries.empty()) {
+    // One traced Tectorwise run of the first query, exported for
+    // chrome://tracing / Perfetto.
+    vcq::runtime::QueryOptions opt;
+    opt.trace = vcq::runtime::TraceLevel::kSpans;
+    opt.threads = std::max(1u, std::thread::hardware_concurrency() / 2);
+    const vcq::PreparedQuery prepared =
+        session.Prepare(vcq::Engine::kTectorwise, queries.front(), opt);
+    const vcq::runtime::QueryResult result = prepared.Execute();
+    if (result.trace == nullptr) {
+      std::fprintf(stderr, "traced run produced no trace (status=%s)\n",
+                   vcq::runtime::StatusName(result.status));
+      return 1;
+    }
+    std::FILE* f = std::fopen(trace_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+      return 1;
+    }
+    const std::string json = result.trace->ToChromeJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes of chrome-trace JSON (%zu spans) to %s\n",
+                json.size(), result.trace->span_count(),
+                trace_json_path.c_str());
+  }
 
   for (vcq::Query q : queries) {
     const vcq::QueryInfo& info = vcq::CatalogEntry(q);
@@ -150,6 +203,18 @@ int main(int argc, char** argv) {
                       vcq::runtime::ParamTypeName(p.type),
                       p.description.c_str());
         }
+      }
+    }
+
+    if (analyze) {
+      // One traced run per engine through the serving API; the output is
+      // the measured plan (rows, ns/tuple per node — api/session.h).
+      for (vcq::Engine e : {vcq::Engine::kTyper, vcq::Engine::kTectorwise}) {
+        if (!vcq::EngineSupports(e, q)) continue;
+        vcq::runtime::QueryOptions opt;
+        opt.trace = vcq::runtime::TraceLevel::kSpans;
+        std::printf("%s",
+                    session.Prepare(e, q, opt).ExplainAnalyze().c_str());
       }
     }
 
@@ -185,6 +250,11 @@ int main(int argc, char** argv) {
                 Time(db, vcq::Engine::kTyper, q, mt));
     std::printf("  tectorwise x%-2zu threads:   %8.2f ms\n", mt.threads,
                 Time(db, vcq::Engine::kTectorwise, q, mt));
+  }
+  if (metrics) {
+    std::printf("\n=== metrics ===\n%s\n%s",
+                vcq::metrics::RenderJson().c_str(),
+                vcq::metrics::RenderPrometheus().c_str());
   }
   return 0;
 }

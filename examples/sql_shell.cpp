@@ -10,8 +10,14 @@
 // Commands:
 //   SELECT ...            compile and run on Tectorwise
 //   EXPLAIN SELECT ...    print every compilation stage instead of running
+//   EXPLAIN ANALYZE SELECT ...
+//                         run once with tracing on and print the measured
+//                         plan (per node: rows, batches, self time,
+//                         ns/tuple, density — tectorwise/plan.h)
 //   \set <name> <value>   bind $<name> for subsequent queries (integer if
 //                         the value parses as one, string otherwise)
+//   \timing on|off        print wall time after every query (off default)
+//   \metrics              process-wide metrics snapshot (runtime/metrics.h)
 //   \tables               list tables and columns with their SQL types
 //   \q                    quit
 
@@ -24,9 +30,12 @@
 
 #include "datagen/ssb.h"
 #include "datagen/tpch.h"
+#include "runtime/metrics.h"
 #include "runtime/options.h"
 #include "runtime/params.h"
+#include "runtime/trace.h"
 #include "sql/sql.h"
+#include "tectorwise/plan.h"
 
 namespace {
 
@@ -76,6 +85,7 @@ int main(int argc, char** argv) {
   vcq::runtime::QueryOptions opt;
   opt.threads = threads;
   vcq::runtime::QueryParams params;
+  bool timing = false;
 
   std::printf("sql shell — \\tables lists the schema, \\q quits.\n");
   std::string line;
@@ -95,6 +105,22 @@ int main(int argc, char** argv) {
           std::printf("  %-20s %s\n", c.name.c_str(),
                       vcq::sql::TypeName(c.type).c_str());
       }
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::printf("%s\n", vcq::metrics::RenderJson().c_str());
+      continue;
+    }
+    if (line.rfind("\\timing", 0) == 0) {
+      const std::string arg = line.size() > 8 ? line.substr(8) : "";
+      if (arg == "on") {
+        timing = true;
+      } else if (arg == "off") {
+        timing = false;
+      } else {
+        timing = !timing;
+      }
+      std::printf("timing %s\n", timing ? "on" : "off");
       continue;
     }
     if (line.rfind("\\set ", 0) == 0) {
@@ -117,11 +143,19 @@ int main(int argc, char** argv) {
     }
 
     bool explain = false;
+    bool analyze = false;
     std::string text = line;
     if (text.size() >= 8 && (std::strncmp(text.c_str(), "EXPLAIN ", 8) == 0 ||
                              std::strncmp(text.c_str(), "explain ", 8) == 0)) {
       explain = true;
       text = text.substr(8);
+      if (text.size() >= 8 &&
+          (std::strncmp(text.c_str(), "ANALYZE ", 8) == 0 ||
+           std::strncmp(text.c_str(), "analyze ", 8) == 0)) {
+        explain = false;
+        analyze = true;
+        text = text.substr(8);
+      }
     }
 
     const vcq::sql::CompileResult compiled =
@@ -134,6 +168,29 @@ int main(int argc, char** argv) {
       std::printf("%s", vcq::sql::Explain(*compiled.query).c_str());
       continue;
     }
+    if (analyze) {
+      // One traced execution, then the measured plan tree — the shell
+      // drives the engine directly (no Session), so it hands its own
+      // span sink in through the options.
+      const vcq::tectorwise::Prepared prepared =
+          compiled.query->LowerTectorwise();
+      vcq::runtime::QueryTrace trace;
+      vcq::runtime::QueryOptions traced = opt;
+      traced.trace = vcq::runtime::TraceLevel::kSpans;
+      traced.trace_sink = &trace;
+      traced.telemetry = &trace.node_telemetry();
+      const auto start = std::chrono::steady_clock::now();
+      const vcq::runtime::QueryResult result = prepared.Run(traced, params);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      std::printf("EXPLAIN ANALYZE (tectorwise): wall=%.2fms rows=%zu\n%s",
+                  ms, result.rows.size(),
+                  vcq::tectorwise::ExplainAnalyzeTree(prepared.plan(), trace,
+                                                      traced.vector_size)
+                      .c_str());
+      continue;
+    }
 
     const auto start = std::chrono::steady_clock::now();
     const vcq::runtime::QueryResult result =
@@ -144,6 +201,7 @@ int main(int argc, char** argv) {
     std::printf("%s", result.ToString(40).c_str());
     std::printf("(%zu rows, %.2f ms, %u thread%s)\n", result.rows.size(), ms,
                 threads, threads == 1 ? "" : "s");
+    if (timing) std::printf("Time: %.3f ms\n", ms);
   }
   return 0;
 }

@@ -5,7 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -14,9 +17,11 @@
 #include "common/check.h"
 #include "runtime/fault_injector.h"
 #include "runtime/hashmap.h"
+#include "runtime/metrics.h"
 #include "runtime/resource_governor.h"
 #include "runtime/scheduler.h"
 #include "runtime/spill.h"
+#include "runtime/trace.h"
 #include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
 #include "sql/catalog.h"
@@ -204,6 +209,86 @@ QueryInfo SqlQueryInfo(const sql::CompiledQuery& q,
   return info;
 }
 
+/// Per-execution outcome metrics, recorded on every ExecuteWith exit path
+/// (success and failure alike — the latency histogram is only honest if
+/// rejections and budget trips land in it too).
+void RecordQueryMetrics(const QueryResult& result) {
+  static metrics::Counter& queries =
+      metrics::Registry::Global().GetCounter("vcq.session.queries_total");
+  static metrics::Counter& failures =
+      metrics::Registry::Global().GetCounter("vcq.session.failures_total");
+  static metrics::Histogram& latency =
+      metrics::Registry::Global().GetHistogram("vcq.query.latency_us");
+  queries.Add();
+  if (!result.ok()) failures.Add();
+  latency.Observe(result.wall_ns / 1000);
+}
+
+/// Degradation-ladder outcome counters, one runs/ok pair per rung id —
+/// the fleet-wide complement of the per-handle ExplainDegradation table.
+void CountRung(uint8_t rung, bool ok) {
+  const std::string base = "vcq.ladder.rung" + std::to_string(rung);
+  metrics::Registry::Global().GetCounter(base + "_runs_total").Add();
+  if (ok) metrics::Registry::Global().GetCounter(base + "_ok_total").Add();
+}
+
+/// VCQ_SLOW_QUERY_MS: executions at or above this wall-clock threshold log
+/// one structured line to stderr. Unset/empty disables (-1); 0 logs every
+/// execution (handy when smoke-testing the hook).
+int64_t SlowQueryThresholdMs() {
+  static const int64_t ms = [] {
+    const char* env = std::getenv("VCQ_SLOW_QUERY_MS");
+    if (env == nullptr || *env == '\0') return int64_t{-1};
+    return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
+  }();
+  return ms;
+}
+
+void MaybeLogSlowQuery(const QueryResult& result, const QueryInfo& info,
+                       const QueryParams& params, uint8_t rung,
+                       const runtime::QueryTrace* trace) {
+  const int64_t threshold = SlowQueryThresholdMs();
+  if (threshold < 0) return;
+  const uint64_t wall_ms = result.wall_ns / 1'000'000;
+  if (wall_ms < static_cast<uint64_t>(threshold)) return;
+  std::string line = "[vcq] slow query name=" + info.name;
+  line += " wall_ms=" + std::to_string(wall_ms);
+  line += " status=";
+  line += runtime::StatusName(result.status);
+  line += " rung=" + std::to_string(rung);
+  for (const ParamSpec& spec : info.params) {
+    if (!params.Has(spec.name)) continue;
+    line += " $" + spec.name + "=";
+    switch (spec.type) {
+      case runtime::ParamType::kInt:
+        line += std::to_string(params.Int(spec.name));
+        break;
+      case runtime::ParamType::kDate:
+        line += std::to_string(params.Date(spec.name));
+        break;
+      case runtime::ParamType::kString:
+        line += "\"" + std::string(params.Str(spec.name)) + "\"";
+        break;
+    }
+  }
+  if (trace != nullptr) {
+    // The three widest spans point at where the time went without a full
+    // trace export.
+    std::vector<runtime::TraceSpan> spans = trace->Spans();
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const runtime::TraceSpan& a,
+                        const runtime::TraceSpan& b) {
+                       return a.duration_ns() > b.duration_ns();
+                     });
+    const size_t top = std::min<size_t>(3, spans.size());
+    for (size_t i = 0; i < top; ++i) {
+      line += " span=" + spans[i].name + ":" +
+              std::to_string(spans[i].duration_ns() / 1'000'000) + "ms";
+    }
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 /// SQL analogue of EstimatedBuildBytes (api/query_catalog.h): every join's
 /// build-side input tuples at the same nominal 64 B/tuple — selectivity
 /// ignored, overestimating being the safe direction for admission.
@@ -306,15 +391,47 @@ struct PreparedQuery::Impl {
   mutable std::array<std::atomic<uint64_t>, kRungs> rung_runs{};
   mutable std::array<std::atomic<uint64_t>, kRungs> rung_ok{};
 
+  /// SQL-prepared handles only: the prepare-time compile-stage spans
+  /// (sql.parse/bind/optimize/lower), prepended to every traced execution
+  /// of this handle so EXPLAIN ANALYZE and Chrome exports show compile
+  /// cost in context.
+  std::shared_ptr<const runtime::QueryTrace> prepare_trace;
+
   /// Per-execution overrides of the prepared options, used by the
   /// degradation ladder (0 = keep the prepared value). They win over the
   /// tuner's arms: a degraded retry exists to shrink the footprint, not to
-  /// explore.
+  /// explore. `trace` (when set) forces tracing onto this execution and
+  /// shares one span buffer across a retry/degradation ladder; `rung` is
+  /// the ladder rung id the run executes at (slow-query log context).
   struct RunTweaks {
     bool spill = false;
     size_t threads = 0;
     size_t vector_size = 0;
+    std::shared_ptr<runtime::QueryTrace> trace;
+    uint8_t rung = 0;
   };
+
+  /// A fresh execution trace, seeded with the handle's prepare-time SQL
+  /// stage spans when there are any.
+  std::shared_ptr<runtime::QueryTrace> NewTrace() const {
+    auto trace = std::make_shared<runtime::QueryTrace>();
+    if (prepare_trace != nullptr) trace->Append(*prepare_trace);
+    return trace;
+  }
+
+  /// The one exit path of ExecuteWith: stamps wall time and the trace
+  /// handle (success AND failure), records the outcome metrics, and logs
+  /// the slow-query line when the VCQ_SLOW_QUERY_MS hook is armed.
+  QueryResult Finish(QueryResult result,
+                     std::shared_ptr<runtime::QueryTrace> trace,
+                     uint64_t wall_start, const QueryParams& params,
+                     uint8_t rung) const {
+    result.wall_ns = runtime::QueryTrace::NowNs() - wall_start;
+    RecordQueryMetrics(result);
+    MaybeLogSlowQuery(result, *info, params, rung, trace.get());
+    result.trace = std::move(trace);
+    return result;
+  }
 
   /// No-tweaks overload (a default argument would need RunTweaks' member
   /// initializers before Impl is complete, which the compiler rejects).
@@ -325,11 +442,22 @@ struct PreparedQuery::Impl {
 
   QueryResult ExecuteWith(const QueryParams& params, const CancelToken* token,
                           const RunTweaks& tweaks) const {
+    // Wall clock starts before admission: the latency a caller observes
+    // includes the wait for a slot, so wall_ns must too.
+    const uint64_t wall_start = runtime::QueryTrace::NowNs();
     // Every execution runs with a token even when the caller asked for no
     // deadline/cancel handle: budget trips and the exception backstop need
     // somewhere to record the failure.
     const CancelToken local;
     if (token == nullptr) token = &local;
+
+    // The execution's span buffer: a ladder wrapper's shared trace wins;
+    // otherwise one is allocated iff the handle was prepared with tracing.
+    // kOff with no wrapper trace allocates NOTHING — every downstream
+    // instrumentation point keys off this pointer staying null.
+    std::shared_ptr<runtime::QueryTrace> trace = tweaks.trace;
+    if (trace == nullptr && opt.trace != runtime::TraceLevel::kOff)
+      trace = NewTrace();
 
     // Admission control bounds in-flight executions per scheduler — by
     // count and, when a memory budget is set, by estimated build bytes: a
@@ -338,12 +466,19 @@ struct PreparedQuery::Impl {
     // kResourceExhausted. An overloaded server answers with backpressure
     // instead of queueing unboundedly.
     const size_t peak_seen = measured_peak.load(std::memory_order_relaxed);
-    Scheduler::Admission admission = runtime::PoolFor(opt).scheduler().Admit(
-        token, peak_seen != 0 ? peak_seen : est_bytes, opt.sched_stream);
-    if (!admission.ok()) return QueryResult::Failed(admission.status());
+    Scheduler::Admission admission = [&] {
+      runtime::TraceScope wait(trace.get(), "sched", "admission.wait");
+      return runtime::PoolFor(opt).scheduler().Admit(
+          token, peak_seen != 0 ? peak_seen : est_bytes, opt.sched_stream);
+    }();
+    if (!admission.ok()) {
+      return Finish(QueryResult::Failed(admission.status()), std::move(trace),
+                    wall_start, params, tweaks.rung);
+    }
 
     QueryOptions run_opt = opt;
     run_opt.cancel = token;
+    run_opt.trace_sink = trace.get();
     if (tweaks.threads != 0)
       run_opt.threads = std::min(run_opt.threads, tweaks.threads);
     if (tweaks.vector_size != 0) run_opt.vector_size = tweaks.vector_size;
@@ -353,6 +488,7 @@ struct PreparedQuery::Impl {
     // runtime/resource_governor.h). Destroyed on every exit path, so the
     // process-wide accounting returns to baseline even after a failure.
     runtime::QueryLedger ledger(run_opt.memory_budget, token);
+    ledger.SetTrace(trace.get());
     run_opt.ledger = &ledger;
     // Explicit per-query injector wins; otherwise the process-wide one
     // (VCQ_FAULT env) applies, so the stress harness reaches sessions it
@@ -368,6 +504,7 @@ struct PreparedQuery::Impl {
     std::optional<runtime::SpillManager> spill_mgr;
     if (tweaks.spill || run_opt.spill) {
       spill_mgr.emplace(run_opt.spill_limit, run_opt.fault, token);
+      spill_mgr->SetTrace(trace.get());
       run_opt.spill_manager = &*spill_mgr;
       ledger.EnableSpillMode();
     }
@@ -377,7 +514,16 @@ struct PreparedQuery::Impl {
     // to the engines. The draw is inside the try: the tuner's bookkeeping
     // allocates, so it is a named fault point of the managed run.
     KnobChoices choices;
-    runtime::NodeTelemetry telemetry;
+    runtime::NodeTelemetry local_telemetry;
+    // The recording-path unification (runtime/trace.h): a traced run
+    // points the engines' per-site telemetry at the trace's embedded
+    // NodeTelemetry, so the join-build protocol records its build span
+    // once and BOTH consumers — the tuner's reward and ExplainAnalyze's
+    // build/probe split — read the same numbers. Untraced tuned runs keep
+    // a private sink; untraced untuned runs record nowhere, as before.
+    runtime::NodeTelemetry* telemetry =
+        trace != nullptr ? &trace->node_telemetry() : &local_telemetry;
+    if (trace != nullptr) run_opt.telemetry = telemetry;
     const bool tuned =
         tuner != nullptr && run_opt.tuning != TuningMode::kOff;
     uint64_t start_ns = 0;
@@ -390,7 +536,7 @@ struct PreparedQuery::Impl {
         // Degradation overrides beat the tuner's arms (see RunTweaks).
         if (tweaks.vector_size != 0) run_opt.vector_size = tweaks.vector_size;
         run_opt.knobs = &choices;
-        run_opt.telemetry = &telemetry;
+        run_opt.telemetry = telemetry;
         start_ns = runtime::JoinBuildTelemetry::NowNs();
       }
       switch (engine) {
@@ -421,13 +567,14 @@ struct PreparedQuery::Impl {
     if (token->Interrupted()) {
       QueryResult failed = QueryResult::Failed(token->status());
       failed.spilled_bytes = spilled;
-      return failed;
+      return Finish(std::move(failed), std::move(trace), wall_start, params,
+                    tweaks.rung);
     }
     result.spilled_bytes = spilled;
     // Feedback from a clean run only — an interrupted run's spans and peak
     // are partial and would poison both loops.
     if (tuned && run_opt.tuning == TuningMode::kLearn) {
-      tuner->Observe(choices, telemetry,
+      tuner->Observe(choices, *telemetry,
                      runtime::JoinBuildTelemetry::NowNs() - start_ns,
                      work_tuples);
     }
@@ -436,7 +583,8 @@ struct PreparedQuery::Impl {
     while (peak > prev && !measured_peak.compare_exchange_weak(
                               prev, peak, std::memory_order_relaxed)) {
     }
-    return result;
+    return Finish(std::move(result), std::move(trace), wall_start, params,
+                  tweaks.rung);
   }
 };
 
@@ -534,6 +682,12 @@ QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
       runtime::CancelToken::Clock::now() + policy.total_timeout;
   std::chrono::milliseconds backoff = policy.initial_backoff;
   uint64_t rng = policy.jitter_seed;
+  // One trace across the whole ladder (when the handle traces at all):
+  // the attempts' spans and the backoff sleeps between them land in one
+  // timeline, so the final result's trace shows the full retry story.
+  Impl::RunTweaks tweaks;
+  if (impl_->opt.trace != runtime::TraceLevel::kOff)
+    tweaks.trace = impl_->NewTrace();
   QueryResult result;
   for (size_t attempt = 1;; ++attempt) {
     // Fresh CancelToken per attempt (local here or inside ExecuteWith), so
@@ -541,9 +695,9 @@ QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
     // carries over.
     if (bounded) {
       const CancelToken token(deadline);
-      result = impl_->ExecuteWith(params(), &token);
+      result = impl_->ExecuteWith(params(), &token, tweaks);
     } else {
-      result = impl_->ExecuteWith(params(), nullptr);
+      result = impl_->ExecuteWith(params(), nullptr, tweaks);
     }
     const bool transient = result.status == ExecStatus::kRejected ||
                            result.status == ExecStatus::kResourceExhausted;
@@ -569,7 +723,12 @@ QueryResult PreparedQuery::ExecuteWithRetry(const RetryPolicy& policy) const {
       if (remaining.count() <= 0) return result;
       delay = std::min(delay, remaining);
     }
-    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (delay.count() > 0) {
+      runtime::TraceScope sleep_span(
+          tweaks.trace.get(), "session",
+          "retry.backoff#" + std::to_string(attempt));
+      std::this_thread::sleep_for(delay);
+    }
     backoff = std::min(policy.max_backoff, backoff * 2);
   }
 }
@@ -600,15 +759,27 @@ QueryResult PreparedQuery::ExecuteWithDegradation(
         Rung{3, {.spill = spill, .threads = 1, .vector_size = 256}});
   }
   const QueryParams bound = params();
+  // One trace across the descent (see ExecuteWithRetry): rung attempts
+  // show up as "ladder.rung#<id>" brackets around their execution spans.
+  std::shared_ptr<runtime::QueryTrace> ladder_trace;
+  if (impl_->opt.trace != runtime::TraceLevel::kOff)
+    ladder_trace = impl_->NewTrace();
   QueryResult result;
   for (size_t i = 0; i < ladder.size(); ++i) {
-    const Rung& rung = ladder[i];
+    Rung rung = ladder[i];
+    rung.tweaks.trace = ladder_trace;
+    rung.tweaks.rung = rung.id;
     // Fresh token per attempt (sticky trips must not carry over), same
     // deadline across the whole descent.
     const CancelToken token(deadline);
-    result = impl_->ExecuteWith(bound, &token, rung.tweaks);
+    {
+      runtime::TraceScope attempt(ladder_trace.get(), "session",
+                                  "ladder.rung#" + std::to_string(rung.id));
+      result = impl_->ExecuteWith(bound, &token, rung.tweaks);
+    }
     result.degraded_rung = rung.id;
     impl_->rung_runs[rung.id].fetch_add(1, std::memory_order_relaxed);
+    CountRung(rung.id, result.ok());
     if (result.ok()) {
       impl_->rung_ok[rung.id].fetch_add(1, std::memory_order_relaxed);
       return result;
@@ -641,6 +812,98 @@ std::string PreparedQuery::ExplainDegradation() const {
     out += "  rung " + std::to_string(r) + " (" + kRungNames[r] +
            "): runs=" + std::to_string(runs) + " ok=" + std::to_string(ok) +
            "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string FmtMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+/// The Typer/Volcano half of EXPLAIN ANALYZE: fused pipelines have no
+/// operator DAG, so the measured units are the parallel regions the
+/// worker-pool facade spanned ("pipeline#k", tuples = the region's morsel
+/// work hint) plus the per-site join-build times the engines recorded into
+/// the trace's NodeTelemetry.
+std::string FormatPipelineSummary(const runtime::QueryTrace& trace) {
+  struct Agg {
+    uint64_t busy_ns = 0;
+    uint64_t tuples = 0;
+    uint32_t workers = 0;
+  };
+  std::map<uint32_t, Agg> pipes;  // keyed by region ordinal
+  for (const runtime::TraceSpan& span : trace.Spans()) {
+    if (std::string_view(span.cat) != "pipeline") continue;
+    Agg& agg = pipes[span.site];
+    agg.busy_ns += span.duration_ns();
+    agg.tuples = std::max(agg.tuples, span.tuples);
+    ++agg.workers;
+  }
+  std::string out;
+  for (const auto& [region, agg] : pipes) {
+    const double per_tuple =
+        agg.tuples != 0
+            ? static_cast<double>(agg.busy_ns) / static_cast<double>(agg.tuples)
+            : 0.0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  pipeline#%u  workers=%u rows=%llu busy=%s (%.1f "
+                  "ns/tuple)\n",
+                  region, agg.workers,
+                  static_cast<unsigned long long>(agg.tuples),
+                  FmtMs(agg.busy_ns).c_str(), per_tuple);
+    out += buf;
+  }
+  const runtime::NodeTelemetry& telemetry = trace.node_telemetry();
+  for (uint32_t site = 0; site < runtime::NodeTelemetry::kMaxSites; ++site) {
+    const uint64_t ns = telemetry.SpanNs(site);
+    if (ns == 0) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "  build site#%u  tuples=%llu time=%s\n", site,
+                  static_cast<unsigned long long>(telemetry.SpanTuples(site)),
+                  FmtMs(ns).c_str());
+    out += buf;
+  }
+  if (out.empty()) out = "  (no pipeline spans recorded)\n";
+  return out;
+}
+
+}  // namespace
+
+std::string PreparedQuery::ExplainAnalyze() const {
+  // One real execution with tracing forced on via the tweaks trace — a
+  // handle prepared with TraceLevel::kOff can still be analyzed, and the
+  // prepared level still governs ordinary Execute() calls.
+  Impl::RunTweaks tweaks;
+  tweaks.trace = impl_->NewTrace();
+  const CancelToken token;
+  const QueryResult result = impl_->ExecuteWith(params(), &token, tweaks);
+  const runtime::QueryTrace& trace = *tweaks.trace;
+
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "EXPLAIN ANALYZE %s (%s): status=%s wall=%s rows=%zu\n",
+                impl_->info->name.c_str(), EngineName(impl_->engine),
+                runtime::StatusName(result.status), FmtMs(result.wall_ns).c_str(),
+                result.rows.size());
+  std::string out = buf;
+  if (result.spilled_bytes != 0) {
+    out += "  spilled=" + std::to_string(result.spilled_bytes / 1024) + "kB\n";
+  }
+  switch (impl_->engine) {
+    case Engine::kTectorwise:
+      out += tectorwise::ExplainAnalyzeTree(impl_->tw->plan(), trace,
+                                            impl_->opt.vector_size);
+      break;
+    case Engine::kTyper:
+    case Engine::kVolcano:
+      out += FormatPipelineSummary(trace);
+      break;
   }
   return out;
 }
@@ -860,12 +1123,18 @@ PreparedQuery Session::PrepareSql(std::string_view sql_text, Engine engine,
                 "SQL lowering targets Tectorwise and Volcano; Typer "
                 "pipelines are ahead-of-time compiled per catalog query");
   std::shared_ptr<const sql::Catalog> catalog = SqlCatalog();
-  sql::CompileResult compiled = sql::Compile(catalog, sql_text);
+  // Compile-stage spans are recorded once here and prepended to every
+  // traced execution of the handle (Impl::prepare_trace) — prepare cost is
+  // part of the query's observable story even though it is paid once.
+  auto prepare_trace = std::make_shared<runtime::QueryTrace>();
+  sql::CompileResult compiled =
+      sql::Compile(catalog, sql_text, {}, prepare_trace.get());
   // Malformed SQL is a caller bug at this API level and fails at prepare —
   // never at Execute. Callers wanting a recoverable, positioned error
   // (shells, fuzzers) call sql::Compile themselves.
   VCQ_CHECK_MSG(compiled.ok(), compiled.error->Format().c_str());
   auto impl = std::make_shared<PreparedQuery::Impl>();
+  impl->prepare_trace = prepare_trace;
   impl->db = db_;
   impl->engine = engine;
   impl->is_sql = true;
@@ -885,12 +1154,14 @@ PreparedQuery Session::PrepareSql(std::string_view sql_text, Engine engine,
   switch (engine) {
     case Engine::kTyper:
       break;  // rejected above
-    case Engine::kTectorwise:
+    case Engine::kTectorwise: {
+      runtime::TraceScope lower(prepare_trace.get(), "sql", "sql.lower");
       impl->tw.emplace(compiled.query->LowerTectorwise());
       // The binder declared every $param the plan reads, but run the same
       // drift cross-check Prepare does — it guards the lowering too.
       ValidatePlanParams(impl->tw->plan(), impl->owned_info);
       break;
+    }
     case Engine::kVolcano:
       impl->volcano = [q = compiled.query](const Database&,
                                            const QueryOptions& opt,
@@ -911,6 +1182,8 @@ PreparedQuery Session::PrepareSql(std::string_view sql_text, Engine engine,
   prepared.impl_ = std::move(impl);
   return prepared;
 }
+
+std::string Session::MetricsSnapshot() { return metrics::RenderJson(); }
 
 std::string Session::ExplainSql(std::string_view sql_text) const {
   sql::CompileResult compiled = sql::Compile(SqlCatalog(), sql_text);

@@ -217,6 +217,15 @@ class PreparedQuery {
   /// many succeeded — the operational record of how often this query needs
   /// to shed which resource to survive.
   std::string ExplainDegradation() const;
+  /// Runs the query ONCE with tracing forced on (current bindings) and
+  /// renders the measured plan: per node, output rows, batches, self time,
+  /// ns/tuple, batch density, the join build/probe split, and spill bytes
+  /// (Tectorwise — tectorwise::ExplainAnalyzeTree); per parallel region,
+  /// worker busy time and ns/tuple (Typer/Volcano pipelines). The header
+  /// carries status, wall time, and result cardinality; a failed run still
+  /// renders whatever spans it produced. Unlike EXPLAIN this executes the
+  /// query — expect full query cost.
+  std::string ExplainAnalyze() const;
 
  private:
   friend class Session;
@@ -297,6 +306,13 @@ class Session {
   runtime::WorkerPool& pool() const { return *pool_; }
   /// The session's scheduling stream id (introspection).
   uint64_t stream() const { return stream_; }
+
+  /// JSON snapshot of the process-wide metrics registry
+  /// (runtime/metrics.h): counters, gauges (probes refreshed first), and
+  /// histograms with p50/p95/p99. Process-scoped — every session sees the
+  /// same registry; exposed here because the session is the serving
+  /// surface an operator holds.
+  static std::string MetricsSnapshot();
 
  private:
   /// Lazily builds (and then shares) the SQL catalog — schema + column

@@ -171,6 +171,37 @@
 // (its pipelines are ahead-of-time compiled per catalog query). Try
 // examples/sql_shell.cpp for an interactive front end.
 //
+// Observability model (runtime/trace.h + runtime/metrics.h): two halves,
+// one recording path.
+//
+//   Per-execution TRACES. QueryOptions::trace == TraceLevel::kSpans makes
+//   the session allocate a QueryTrace and stamp it into
+//   QueryResult::trace on success AND failure. The trace holds spans for
+//   every stage of the query's life — SQL parse/bind/optimize/lower (from
+//   PrepareSql, prepended to each execution), admission wait, gang
+//   dispatch, per-pipeline and per-operator execution, spill I/O,
+//   governor trips, retry backoffs and degradation-rung attempts — all on
+//   one monotonic clock. kOff (the default) allocates nothing and costs a
+//   null check per instrumentation point (tests/trace_test.cc asserts
+//   ≤2% on a Q6 microbench, and byte-identical results either way).
+//   Render as chrome://tracing JSON (QueryTrace::ToChromeJson, also
+//   engine_explorer --trace-json) or as the measured plan tree
+//   (PreparedQuery::ExplainAnalyze — per node: rows, batches, self time,
+//   ns/tuple, batch density, build/probe split, spill bytes). Traced runs
+//   point the tuner's NodeTelemetry at the trace, so the bandit's reward
+//   signal, EXPLAIN ANALYZE, and the benches all read the same numbers.
+//
+//   Process-wide METRICS. A global registry of counters, gauges, and
+//   log2-bucketed histograms named vcq.<subsystem>.<what>[_total] —
+//   scheduler admission/shed/queue depth, governor live and peak bytes,
+//   spill bytes, degradation-ladder rung outcomes, tuner draws, and
+//   per-session query latency percentiles (vcq.query.latency_us
+//   p50/p95/p99). Snapshot as JSON via Session::MetricsSnapshot() (also
+//   sql_shell \metrics) or Prometheus text via metrics::
+//   RenderPrometheus() (engine_explorer --metrics prints both). Setting
+//   VCQ_SLOW_QUERY_MS=<n> additionally logs one stderr line per query
+//   slower than n ms: name, bindings, status, rung, and its top-3 spans.
+//
 // The query list, engine support, and per-query parameter specifications
 // (names, types, spec defaults) live in the vcq::QueryCatalog
 // (api/query_catalog.h) — the single registry behind TpchQueries(),

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/vcq.h"
 #include "runtime/perf_counters.h"
+#include "runtime/trace.h"
 
 // Measurement harness shared by all bench binaries (one binary per paper
 // table/figure; see DESIGN.md §3). Configuration via environment:
@@ -24,22 +26,27 @@ struct Measurement {
   runtime::PerfCounters::Values counters;  // from the median-adjacent run
   size_t tuples = 0;                    // normalization base (paper §3.4)
 
-  // Batch-density telemetry from the instrumented run (Tectorwise
-  // compaction points; see tectorwise/compaction.h). avg_density is NaN
-  // when the run never crossed a compaction point; compactions counts the
-  // dense batches the compactors emitted. These ride along in every bench
-  // table so BENCH_*.json trajectories can track density regressions next
-  // to runtime.
+  // Batch-density telemetry from the instrumented run. On the unified
+  // trace path (MeasureTraced/MeasureQuery) avg_density is output rows per
+  // batch slot across every traced Tectorwise operator — the same
+  // per-site aggregates EXPLAIN ANALYZE prints — and compactions counts
+  // the non-empty batches those operators emitted; NaN/0 when the run
+  // recorded no operator spans (Typer's fused pipelines). The legacy
+  // Measure(fn) path still reads the global CompactionTelemetry
+  // (compaction points only; see tectorwise/compaction.h).
   double avg_density = 0;
   double compactions = 0;
 
   // Build/probe phase split from the instrumented run: build_ms sums the
-  // join-build insert-protocol wall spans recorded by
-  // runtime::JoinBuildTelemetry (one span per hash table, sizing barrier to
-  // final barrier — spans of distinct builds never overlap, so nested
-  // build-side joins are not double-counted, and materialize-phase skew is
-  // excluded); probe_ms is the rest of that run — for queries without hash
-  // joins build_ms is 0 and probe_ms is simply the whole run.
+  // per-site join-build insert-protocol wall spans (one span per hash
+  // table, sizing barrier to final barrier — spans of distinct builds
+  // never overlap, so nested build-side joins are not double-counted, and
+  // materialize-phase skew is excluded); probe_ms is the rest of that run
+  // — for queries without hash joins build_ms is 0 and probe_ms is simply
+  // the whole run. On the unified path these come from the instrumented
+  // run's QueryTrace NodeTelemetry (the same recording the tuner's reward
+  // and ExplainAnalyze read); the legacy path drains the process-global
+  // JoinBuildTelemetry.
   double build_ms = 0;
   double probe_ms = 0;
 
@@ -48,8 +55,23 @@ struct Measurement {
 };
 
 /// Runs `fn` reps times, returns the median time plus counters captured on
-/// one additional instrumented run.
+/// one additional instrumented run (legacy global-counter telemetry — for
+/// closures that cannot thread a trace sink through).
 Measurement Measure(const std::function<void()>& fn, int reps);
+
+/// The unified observability path (runtime/trace.h): timing reps run `fn`
+/// untouched; the one instrumented run invokes `traced_fn`, which executes
+/// traced and returns the run's QueryTrace (QueryResult::trace for session
+/// paths, a caller-owned sink for direct engine calls) — build_ms/
+/// probe_ms/density are derived from its spans, so benches and production
+/// (EXPLAIN ANALYZE, the tuner) report from one recording path. A null
+/// trace (failed run) leaves the telemetry columns at their zero/NaN
+/// defaults. `vector_size` is the density denominator per batch.
+Measurement MeasureTraced(
+    const std::function<void()>& fn,
+    const std::function<std::shared_ptr<const runtime::QueryTrace>()>&
+        traced_fn,
+    size_t vector_size, int reps);
 
 /// Measures one query end to end. `tuples` normalization = sum of scanned
 /// table cardinalities for that query (paper §3.4).

@@ -11,8 +11,17 @@ class FaultInjector;
 class KnobChoices;
 class NodeTelemetry;
 class QueryLedger;
+class QueryTrace;
 class SpillManager;
 class WorkerPool;
+
+/// How much per-execution tracing the run records (see runtime/trace.h):
+///   kOff    no spans; every instrumentation point is a null check.
+///   kSpans  full span capture — SQL stages, admission wait, gang
+///           dispatch, per-pipeline/per-operator execution, spill I/O,
+///           governor trips, retry/degradation attempts — exported as
+///           Chrome-tracing JSON and EXPLAIN ANALYZE.
+enum class TraceLevel : uint8_t { kOff, kSpans };
 
 /// Engine-independent spelling of the Tectorwise batch-compaction policy
 /// (mapped onto tectorwise::CompactionPolicy by the plan builders).
@@ -152,8 +161,20 @@ struct QueryOptions {
   /// pipeline. nullptr = no overlay.
   const KnobChoices* knobs = nullptr;
   /// Per-node wall-span sink for this execution (reward signal for the
-  /// tuner; see runtime::NodeTelemetry). nullptr = not sampled.
+  /// tuner; see runtime::NodeTelemetry). nullptr = not sampled. When
+  /// tracing is on, vcq::PreparedQuery points this at the trace's
+  /// embedded NodeTelemetry so the tuner and the trace share one
+  /// recording path.
   NodeTelemetry* telemetry = nullptr;
+  /// Requested trace level. vcq::Session honors it by allocating a
+  /// QueryTrace per execution (stamped into QueryResult::trace on
+  /// success and failure); standalone engine calls must also set
+  /// `trace_sink` — the level alone allocates nothing.
+  TraceLevel trace = TraceLevel::kOff;
+  /// Span sink for this execution (see runtime/trace.h). Stamped per run
+  /// by vcq::PreparedQuery when `trace` != kOff; standalone callers may
+  /// stamp their own. nullptr = no span capture.
+  QueryTrace* trace_sink = nullptr;
 };
 
 }  // namespace vcq::runtime

@@ -2,12 +2,15 @@
 #define VCQ_RUNTIME_QUERY_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runtime/cancel.h"
 
 namespace vcq::runtime {
+
+class QueryTrace;
 
 /// Materialized, normalized query result. All engines produce one of these
 /// so cross-engine equivalence is a structural comparison. Values are
@@ -28,6 +31,15 @@ struct QueryResult {
   uint8_t degraded_rung = 0;
   /// Bytes this execution spilled to disk (0 on in-memory runs).
   uint64_t spilled_bytes = 0;
+  /// End-to-end wall time of the execution (admission wait included),
+  /// stamped by vcq::PreparedQuery on SUCCESS AND FAILURE paths — a
+  /// timed-out or tripped run reports how long it lived, not just its
+  /// status. 0 only for standalone engine calls.
+  uint64_t wall_ns = 0;
+  /// The execution's span trace when it ran with
+  /// QueryOptions::trace == TraceLevel::kSpans (see runtime/trace.h);
+  /// stamped on success and failure alike. nullptr when tracing was off.
+  std::shared_ptr<const QueryTrace> trace;
 
   bool ok() const { return status == ExecStatus::kOk; }
 
@@ -45,9 +57,10 @@ struct QueryResult {
   std::string ToString(size_t limit = 0) const;
 
   /// Equality is over the RESULT — names, rows, status — deliberately
-  /// excluding the execution-path introspection above: a degraded run that
-  /// spilled is equal to its in-memory reference (the byte-identity
-  /// contract every spill/degradation test asserts with ==).
+  /// excluding the execution-path introspection above (rung, spill bytes,
+  /// wall_ns, trace): a degraded, spilled, or traced run is equal to its
+  /// in-memory untraced reference (the byte-identity contract every
+  /// spill/degradation/trace test asserts with ==).
   friend bool operator==(const QueryResult& a, const QueryResult& b) {
     return a.status == b.status && a.column_names == b.column_names &&
            a.rows == b.rows;

@@ -133,8 +133,13 @@ class QueryLedger {
     }
     bool over = budget_ != 0 && now > budget_;
     if (!governor_->Charge(bytes)) over = true;
-    if (over && !spill_mode_ && token_ != nullptr)
+    if (over && !spill_mode_ && token_ != nullptr) {
+      // Observability before the sticky trip: only the FIRST overage of
+      // the run records (subsequent charges find the token interrupted),
+      // keeping the hot path one extra load in the already-failing case.
+      if (!token_->Interrupted()) RecordTrip(now);
       token_->Fail(ExecStatus::kResourceExhausted);
+    }
   }
 
   /// Switches budget overages from token trips to the UnderPressure()
@@ -164,10 +169,21 @@ class QueryLedger {
   size_t budget() const { return budget_; }
   const CancelToken* token() const { return token_; }
 
+  /// Attaches the execution's span sink so the run's first budget trip
+  /// becomes a "governor.trip" instant event (runtime/trace.h). Set by
+  /// vcq::PreparedQuery before the parallel phase; nullptr = untraced.
+  void SetTrace(class QueryTrace* trace) { trace_ = trace; }
+
  private:
+  /// Out-of-line (runtime/trace.cc) so this hot header needs no trace or
+  /// metrics includes: records the trip event and bumps
+  /// vcq.governor.trips_total.
+  void RecordTrip(size_t in_use_bytes);
+
   const size_t budget_;
   const CancelToken* token_;
   ResourceGovernor* governor_;
+  class QueryTrace* trace_ = nullptr;
   bool spill_mode_ = false;
   std::atomic<size_t> in_use_{0};
   std::atomic<size_t> peak_{0};

@@ -3,10 +3,26 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "runtime/metrics.h"
 
 namespace vcq::runtime {
 
 namespace {
+
+// Process-wide admission outcome counters (runtime/metrics.h) — summed
+// across every Scheduler instance, unlike the per-scheduler shed_count()
+// introspection the brown-out tests read.
+void CountReject() {
+  static metrics::Counter& rejects = metrics::Registry::Global().GetCounter(
+      "vcq.sched.admission_rejects_total");
+  rejects.Add();
+}
+
+void CountShed() {
+  static metrics::Counter& sheds =
+      metrics::Registry::Global().GetCounter("vcq.sched.shed_total");
+  sheds.Add();
+}
 
 size_t DefaultCapacity() {
   // The floor covers the studied workload's widest region (tests and
@@ -346,12 +362,17 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
   // releases that can't help. kResourceExhausted (not kRejected) so
   // callers can tell "shrink the query or raise the budget" from
   // transient queue pressure.
-  if (mem_budget_ != 0 && estimated_bytes > mem_budget_)
+  if (mem_budget_ != 0 && estimated_bytes > mem_budget_) {
+    CountReject();
     return Admission(ExecStatus::kResourceExhausted);
+  }
   // Same never-fits reasoning against the stream's own byte quota.
   if (const auto it = adm_streams_.find(stream); it != adm_streams_.end()) {
-    if (it->second.max_bytes != 0 && estimated_bytes > it->second.max_bytes)
+    if (it->second.max_bytes != 0 &&
+        estimated_bytes > it->second.max_bytes) {
+      CountReject();
       return Admission(ExecStatus::kResourceExhausted);
+    }
   }
   // Brown-out: with the admission queue past the pressure threshold, shed
   // new arrivals of the heaviest tenant (most in-flight bytes, ties by
@@ -373,6 +394,8 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
     }
     if (heaviest != nullptr && heaviest_id == stream) {
       ++shed_count_;
+      CountShed();
+      CountReject();
       return Admission(ExecStatus::kRejected);
     }
   }
@@ -397,12 +420,15 @@ Scheduler::Admission Scheduler::Admit(const CancelToken* cancel,
     return Admission(this, estimated_bytes, stream);
   };
   if (has_capacity() && adm_waiting_ == 0) return admit();  // no queue-jumping
-  if (adm_waiting_ >= max_adm_queue_)
+  if (adm_waiting_ >= max_adm_queue_) {
+    CountReject();
     return Admission(ExecStatus::kRejected);
+  }
   ++adm_waiting_;
   while (!has_capacity() || shutdown_) {
     if (shutdown_) {
       --adm_waiting_;
+      CountReject();
       return Admission(ExecStatus::kRejected);
     }
     if (cancel != nullptr && cancel->Interrupted()) {

@@ -12,6 +12,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
+
 namespace vcq::runtime {
 
 namespace {
@@ -32,6 +35,22 @@ size_t EnvSpillLimit() {
   const char* env = std::getenv("VCQ_SPILL_LIMIT");
   if (env == nullptr || *env == '\0') return 0;
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
+
+// Records one spill I/O span ("spill.write"/"spill.read"/"spill.open")
+// with the byte count in `tuples` and the owning node's site. Event-path
+// recording (mutex): spill I/O is milliseconds-scale, the lock is noise.
+void SpillSpan(QueryTrace* trace, const char* name, uint64_t start_ns,
+               uint32_t site, uint64_t bytes) {
+  if (trace == nullptr) return;
+  TraceSpan span;
+  span.cat = "spill";
+  span.name = name;
+  span.start_ns = start_ns;
+  span.end_ns = QueryTrace::NowNs();
+  span.site = site;
+  span.tuples = bytes;
+  trace->AddEvent(std::move(span));
 }
 
 }  // namespace
@@ -62,6 +81,7 @@ void SpillFile::Append(uint32_t partition, const void* data, size_t bytes,
   // and never records a segment it cannot read back.
   SpillFault(mgr_->fault_, "spill.write", mgr_->token_);
   mgr_->ChargeSpill(bytes);
+  const uint64_t start_ns = QueryTrace::NowNs();
   const char* src = static_cast<const char*>(data);
   size_t done = 0;
   while (done < bytes) {
@@ -75,10 +95,12 @@ void SpillFile::Append(uint32_t partition, const void* data, size_t bytes,
   }
   segments_.push_back(Segment{partition, write_offset_, bytes, rows});
   write_offset_ += bytes;
+  SpillSpan(mgr_->trace_, "spill.write", start_ns, site_, bytes);
 }
 
 void SpillFile::Read(const Segment& seg, void* out) const {
   SpillFault(mgr_->fault_, "spill.read", mgr_->token_);
+  const uint64_t start_ns = QueryTrace::NowNs();
   char* dst = static_cast<char*>(out);
   size_t done = 0;
   while (done < seg.bytes) {
@@ -91,6 +113,7 @@ void SpillFile::Read(const Segment& seg, void* out) const {
     if (n == 0) ThrowIo("read (truncated)", path_);
     done += static_cast<size_t>(n);
   }
+  SpillSpan(mgr_->trace_, "spill.read", start_ns, site_, seg.bytes);
 }
 
 size_t SpillFile::rows_in_partition(uint32_t partition) const {
@@ -121,8 +144,9 @@ std::string SpillManager::BaseDir() {
   return "/tmp";
 }
 
-SpillFile* SpillManager::Create(const char* label) {
+SpillFile* SpillManager::Create(const char* label, uint32_t site) {
   SpillFault(fault_, "spill.open", token_);
+  const uint64_t start_ns = QueryTrace::NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   if (dir_.empty()) {
     // One directory per execution so concurrent runs (and leftover-file
@@ -139,7 +163,8 @@ SpillFile* SpillManager::Create(const char* label) {
       dir_ + "/" + label + "-" + std::to_string(files_.size()) + ".spill";
   int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   if (fd < 0) ThrowIo("open", path);
-  files_.emplace_back(new SpillFile(this, fd, std::move(path)));
+  files_.emplace_back(new SpillFile(this, fd, std::move(path), site));
+  SpillSpan(trace_, "spill.open", start_ns, site, 0);
   return files_.back().get();
 }
 
@@ -162,6 +187,9 @@ void SpillManager::ChargeSpill(size_t bytes) {
     spilled_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
     throw std::bad_alloc();
   }
+  static metrics::Counter& spill_total =
+      metrics::Registry::Global().GetCounter("vcq.spill.bytes_total");
+  spill_total.Add(bytes);
 }
 
 }  // namespace vcq::runtime

@@ -80,12 +80,13 @@ class SpillFile {
 
  private:
   friend class SpillManager;
-  SpillFile(class SpillManager* mgr, int fd, std::string path)
-      : mgr_(mgr), fd_(fd), path_(std::move(path)) {}
+  SpillFile(class SpillManager* mgr, int fd, std::string path, uint32_t site)
+      : mgr_(mgr), fd_(fd), path_(std::move(path)), site_(site) {}
 
   class SpillManager* mgr_;
   int fd_;
   std::string path_;
+  uint32_t site_;  ///< Plan-node index for trace attribution.
   uint64_t write_offset_ = 0;
   std::vector<Segment> segments_;
 };
@@ -106,9 +107,18 @@ class SpillManager {
 
   /// Opens a new spill file (fault point "spill.open"); the returned file
   /// is owned by the manager and lives until the manager is destroyed.
-  /// `label` names the spilling site in the file name (diagnostics only).
-  /// Thread-safe: concurrent workers create their files independently.
-  SpillFile* Create(const char* label);
+  /// `label` names the spilling site in the file name (diagnostics only);
+  /// `site` is the plan-node index the file's I/O is attributed to in
+  /// trace spans (UINT32_MAX = not node-scoped, e.g. Typer's fused
+  /// pipelines). Thread-safe: concurrent workers create their files
+  /// independently.
+  SpillFile* Create(const char* label, uint32_t site = UINT32_MAX);
+
+  /// Attaches the execution's span sink (runtime/trace.h): every
+  /// spill.open/write/read becomes a trace span carrying the byte count
+  /// and the owning node's site. Set by vcq::PreparedQuery before the
+  /// run; nullptr (the default) records nothing.
+  void SetTrace(class QueryTrace* trace) { trace_ = trace; }
 
   /// Total bytes spilled by this execution so far.
   size_t spilled_bytes() const {
@@ -132,6 +142,7 @@ class SpillManager {
   const size_t limit_;
   FaultInjector* fault_;
   const CancelToken* token_;
+  class QueryTrace* trace_ = nullptr;
   std::atomic<size_t> spilled_bytes_{0};
 
   mutable std::mutex mu_;

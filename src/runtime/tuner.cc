@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/env_util.h"
+#include "runtime/metrics.h"
 
 namespace vcq::runtime {
 namespace {
@@ -153,6 +154,13 @@ size_t Tuner::UcbArmLocked(const Knob& knob) const {
 void Tuner::Resolve(TuningMode mode, KnobChoices* out) {
   std::lock_guard<std::mutex> lock(mu_);
   const bool learning = mode == TuningMode::kLearn && !frozen_;
+  if (learning) {
+    // Fleet-wide bandit activity (runtime/metrics.h): one draw per
+    // learning execution, across every tuner instance.
+    static metrics::Counter& draws =
+        metrics::Registry::Global().GetCounter("vcq.tuner.draws_total");
+    draws.Add();
+  }
   const size_t n = learning ? resolves_++ : 0;
   const size_t explore_total = ExploreTotalLocked();
   for (size_t k = 0; k < knobs_.size(); ++k) {

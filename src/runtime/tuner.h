@@ -119,6 +119,19 @@ class NodeTelemetry {
            sites_[site].tuples.load(std::memory_order_relaxed) > 0;
   }
 
+  /// Accumulated wall ns at `site` (0 when nothing was recorded) — read
+  /// by EXPLAIN ANALYZE's build/probe split as well as the tuner.
+  uint64_t SpanNs(uint32_t site) const {
+    return site < kMaxSites ? sites_[site].ns.load(std::memory_order_relaxed)
+                            : 0;
+  }
+  /// Accumulated tuples at `site`.
+  uint64_t SpanTuples(uint32_t site) const {
+    return site < kMaxSites
+               ? sites_[site].tuples.load(std::memory_order_relaxed)
+               : 0;
+  }
+
   /// ns per tuple at `site`; 0 when nothing was recorded there.
   double NsPerTuple(uint32_t site) const {
     if (!HasSpan(site)) return 0;

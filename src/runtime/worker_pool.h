@@ -9,6 +9,7 @@
 
 #include "runtime/options.h"
 #include "runtime/scheduler.h"
+#include "runtime/trace.h"
 
 namespace vcq::runtime {
 
@@ -89,6 +90,40 @@ class WorkerPool {
   /// RegionInfo::cancel).
   void Run(const QueryOptions& opt, size_t work,
            const std::function<void(size_t)>& fn) {
+    // Traced runs record one per-worker span per parallel region
+    // ("pipeline#k") plus worker 0's dispatch wait — this facade is the
+    // one choke point every engine's regions pass through, so Typer's
+    // fused pipelines get spans without per-query instrumentation.
+    if (QueryTrace* trace = opt.trace_sink; trace != nullptr) {
+      const uint32_t region = trace->BeginRegion();
+      const uint64_t enter_ns = QueryTrace::NowNs();
+      const auto traced = [&fn, trace, region, work,
+                           enter_ns](size_t worker_id) {
+        const uint64_t start_ns = QueryTrace::NowNs();
+        if (worker_id == 0 && start_ns > enter_ns) {
+          TraceSpan wait;
+          wait.cat = "sched";
+          wait.name = "gang.dispatch#" + std::to_string(region);
+          wait.start_ns = enter_ns;
+          wait.end_ns = start_ns;
+          wait.site = region;
+          trace->AddLaneSpan(0, std::move(wait));
+        }
+        fn(worker_id);
+        TraceSpan span;
+        span.cat = "pipeline";
+        span.name = "pipeline#" + std::to_string(region);
+        span.start_ns = start_ns;
+        span.end_ns = QueryTrace::NowNs();
+        span.site = region;
+        span.tuples = work;
+        trace->AddLaneSpan(static_cast<uint32_t>(worker_id),
+                           std::move(span));
+      };
+      sched_.Run(opt.threads, traced,
+                 RegionInfo{opt.sched_stream, work, opt.cancel});
+      return;
+    }
     sched_.Run(opt.threads, fn, RegionInfo{opt.sched_stream, work, opt.cancel});
   }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "runtime/trace.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
 #include "sql/logical.h"
@@ -29,18 +30,42 @@ std::string CompiledQuery::ExplainPhysical() const {
   return std::move(LowerTectorwise()).TakePlan().ToString();
 }
 
+namespace {
+
+/// Records one compile-stage span; stages failing mid-way still record
+/// (the scope closes on the exception path), so a trace shows where
+/// compilation stopped.
+struct StageSpan : runtime::TraceScope {
+  StageSpan(runtime::QueryTrace* trace, const char* name)
+      : runtime::TraceScope(trace, "sql", name) {}
+};
+
+}  // namespace
+
 CompileResult Compile(std::shared_ptr<const Catalog> catalog,
-                      std::string_view text,
-                      const OptimizerOptions& options) {
+                      std::string_view text, const OptimizerOptions& options,
+                      runtime::QueryTrace* trace) {
   CompileResult result;
   try {
-    const ast::Select select = Parse(text);
-    std::string ast_dump = ToString(select);
-    BoundQuery bound = Bind(*catalog, select);
-    std::string logical_dump = ToString(bound);
-    PhysicalPlan plan = Optimize(std::move(bound), options);
+    std::optional<ast::Select> select;
+    {
+      StageSpan span(trace, "sql.parse");
+      select.emplace(Parse(text));
+    }
+    std::string ast_dump = ToString(*select);
+    std::optional<BoundQuery> bound;
+    {
+      StageSpan span(trace, "sql.bind");
+      bound.emplace(Bind(*catalog, *select));
+    }
+    std::string logical_dump = ToString(*bound);
+    std::optional<PhysicalPlan> plan;
+    {
+      StageSpan span(trace, "sql.optimize");
+      plan.emplace(Optimize(std::move(*bound), options));
+    }
     result.query = std::make_shared<CompiledQuery>(
-        std::move(catalog), std::string(text), std::move(plan),
+        std::move(catalog), std::string(text), std::move(*plan),
         std::move(ast_dump), std::move(logical_dump));
   } catch (const internal::SqlException& e) {
     result.error = e.error;

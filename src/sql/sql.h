@@ -89,10 +89,15 @@ struct CompileResult {
 };
 
 /// Compiles `text` against the catalog. Never throws; malformed SQL comes
-/// back as CompileResult::error with a 1-based source position.
+/// back as CompileResult::error with a 1-based source position. A non-null
+/// `trace` records one "sql.parse"/"sql.bind"/"sql.optimize" span per
+/// stage (runtime/trace.h) — Session::PrepareSql hands its prepare-time
+/// trace in so EXPLAIN ANALYZE and Chrome exports show compile cost next
+/// to execution cost.
 CompileResult Compile(std::shared_ptr<const Catalog> catalog,
                       std::string_view text,
-                      const OptimizerOptions& options = {});
+                      const OptimizerOptions& options = {},
+                      runtime::QueryTrace* trace = nullptr);
 
 /// Convenience: builds a throwaway catalog (rescans statistics — prefer
 /// the shared-catalog overload for repeated compilation).

@@ -153,7 +153,7 @@ void HashGroup::MaybeSpillLocal() {
       ctx_.ledger == nullptr || !ctx_.ledger->UnderPressure())
     return;
   runtime::SpillFile*& file = shared_->spill_files[worker_id_];
-  if (file == nullptr) file = ctx_.spill->Create("tw.group");
+  if (file == nullptr) file = ctx_.spill->Create("tw.group", ctx_.site);
   const size_t stride = entry_size();
   std::vector<std::byte> buf;
   auto& parts = shared_->spills[worker_id_].parts;

@@ -47,7 +47,8 @@ void HashJoin::BuildPhase() {
     // file and release the pool before materializing the next batch.
     if (ctx_.spill != nullptr && !chunks_.chunks.empty() &&
         ctx_.ledger != nullptr && ctx_.ledger->UnderPressure()) {
-      if (spill_file == nullptr) spill_file = ctx_.spill->Create("tw.join");
+      if (spill_file == nullptr)
+        spill_file = ctx_.spill->Create("tw.join", ctx_.site);
       chunks_.SpillTo(spill_file, stride);
       pool_.Release();
     }

@@ -1,9 +1,11 @@
 #include "tectorwise/plan.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <set>
 
+#include "runtime/trace.h"
 #include "runtime/tuner.h"
 #include "runtime/worker_pool.h"
 
@@ -23,6 +25,7 @@ ExecContext MakeContext(const runtime::QueryOptions& opt) {
   ctx.spill = opt.spill_manager;
   ctx.knobs = opt.knobs;
   ctx.telemetry = opt.telemetry;
+  ctx.trace = opt.trace_sink;
   return ctx;
 }
 
@@ -34,10 +37,14 @@ namespace {
 /// all workers derive the same overlay from the shared KnobChoices, which
 /// keeps per-Shared agreement (e.g. HashJoin build mode) intact.
 ExecContext NodeContext(const ExecContext& base, uint32_t index) {
-  if (base.knobs == nullptr) return base;
+  if (base.knobs == nullptr && base.trace == nullptr) return base;
   using runtime::KnobChoices;
   using runtime::KnobKind;
   ExecContext ctx = base;
+  // Node scope for deep instrumentation points (per-node spill-byte
+  // attribution in hash_join/hash_group).
+  ctx.site = index;
+  if (base.knobs == nullptr) return ctx;
   if (const int64_t v = base.knobs->Get(index, KnobKind::kCompaction);
       v != KnobChoices::kUnset) {
     if (v == runtime::kCompactionNever) {
@@ -61,7 +68,78 @@ ExecContext NodeContext(const ExecContext& base, uint32_t index) {
   return ctx;
 }
 
+/// Transparent per-node timing shim (trace runs only): forwards Next()
+/// and the selection vector unchanged, accumulating busy ns / rows /
+/// batches, and records one span per node per worker when the stream
+/// ends (or at destruction, for drains that never reach end-of-stream).
+/// Results are untouched by construction — the shim owns no data path.
+class TracedOperator : public Operator {
+ public:
+  TracedOperator(std::unique_ptr<Operator> inner,
+                 runtime::QueryTrace* trace, uint32_t lane, uint32_t site,
+                 std::string label)
+      : inner_(std::move(inner)),
+        trace_(trace),
+        lane_(lane),
+        site_(site),
+        label_(std::move(label)) {}
+
+  ~TracedOperator() override { Finish(runtime::QueryTrace::NowNs()); }
+
+  size_t Next() override {
+    const uint64_t t0 = runtime::QueryTrace::NowNs();
+    if (first_ns_ == 0) first_ns_ = t0;
+    const size_t n = inner_->Next();
+    sel_ = inner_->sel();
+    const uint64_t t1 = runtime::QueryTrace::NowNs();
+    busy_ns_ += t1 - t0;
+    if (n == kEndOfStream) {
+      Finish(t1);
+    } else if (n != 0) {
+      rows_ += n;
+      ++batches_;
+    }
+    return n;
+  }
+
+ private:
+  void Finish(uint64_t end_ns) {
+    if (finished_ || first_ns_ == 0) return;
+    finished_ = true;
+    runtime::TraceSpan span;
+    span.cat = "operator";
+    span.name = label_;
+    span.start_ns = first_ns_;
+    span.end_ns = end_ns;
+    span.site = site_;
+    span.tuples = rows_;
+    span.calls = batches_;
+    trace_->AddLaneSpan(lane_, std::move(span));
+    trace_->RecordOperator(site_, busy_ns_, rows_, batches_);
+  }
+
+  std::unique_ptr<Operator> inner_;
+  runtime::QueryTrace* trace_;
+  uint32_t lane_;
+  uint32_t site_;
+  std::string label_;
+  uint64_t first_ns_ = 0;
+  uint64_t busy_ns_ = 0;
+  uint64_t rows_ = 0;
+  uint64_t batches_ = 0;
+  bool finished_ = false;
+};
+
 }  // namespace
+
+std::unique_ptr<Operator> PlanNode::InstantiateNode(
+    const PlanNode& node, plan_internal::Workspace& ws) {
+  std::unique_ptr<Operator> op = node.Instantiate(ws);
+  if (ws.ctx.trace == nullptr) return op;
+  return std::make_unique<TracedOperator>(
+      std::move(op), ws.ctx.trace, static_cast<uint32_t>(ws.worker_id),
+      node.index_, node.label_);
+}
 
 // ---------------------------------------------------------------------------
 // PlanNode declaration helpers
@@ -541,7 +619,8 @@ void Plan::Run(const runtime::QueryOptions& opt,
     plan_internal::Workspace ws{ctx,     wid,     opt.threads, &columns_,
                                 &shared, &params, {}};
     ws.slots.resize(columns_.size(), nullptr);
-    auto root = nodes_[root_]->Instantiate(ws);
+    // Through the dispatcher so the root is traced like every other node.
+    auto root = PlanNode::InstantiateNode(*nodes_[root_], ws);
     size_t n;
     while ((n = root->Next()) != kEndOfStream) {
       if (n == 0) continue;
@@ -620,6 +699,91 @@ std::string Plan::ToString() const {
   std::vector<std::string> result_names;
   for (const uint32_t id : result_) result_names.push_back(columns_[id].name);
   out += "  result: " + join_names(result_names) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string FmtMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplainAnalyzeTree(const Plan& plan,
+                               const runtime::QueryTrace& trace,
+                               size_t vector_size) {
+  const std::vector<Plan::NodeInfo> infos = plan.Describe();
+  if (vector_size == 0) vector_size = kDefaultVectorSize;
+
+  std::string out;
+  // Depth-first from the root; self time = inclusive busy ns minus the
+  // children's inclusive busy ns (a pull pipeline nests child work inside
+  // the parent's Next).
+  const std::function<void(uint32_t, size_t, const char*)> render =
+      [&](uint32_t index, size_t depth, const char* role) {
+        const Plan::NodeInfo& info = infos[index];
+        const runtime::QueryTrace::OperatorStats stats =
+            trace.OperatorAt(index);
+        uint64_t children_ns = 0;
+        for (const uint32_t child : info.children)
+          children_ns += trace.OperatorAt(child).ns;
+        const uint64_t self_ns =
+            stats.ns > children_ns ? stats.ns - children_ns : 0;
+
+        out += "  ";
+        out.append(depth * 2, ' ');
+        out += "#" + std::to_string(index) + " " + info.label;
+        if (role[0] != '\0') out += std::string(" [") + role + "]";
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  rows=%llu batches=%llu self=%s (%.1f ns/tuple)",
+                      static_cast<unsigned long long>(stats.rows),
+                      static_cast<unsigned long long>(stats.batches),
+                      FmtMs(self_ns).c_str(),
+                      static_cast<double>(self_ns) /
+                          static_cast<double>(std::max<uint64_t>(1,
+                                                                 stats.rows)));
+        out += buf;
+        if (stats.batches > 0) {
+          std::snprintf(buf, sizeof(buf), " density=%.2f",
+                        static_cast<double>(stats.rows) /
+                            static_cast<double>(stats.batches * vector_size));
+          out += buf;
+        }
+        // The join build's wall span arrives through the trace's embedded
+        // NodeTelemetry — the exact numbers the tuner's build-mode knob
+        // learns from (runtime/hashmap.h records them once).
+        const runtime::NodeTelemetry& telemetry = trace.node_telemetry();
+        if (info.kind == NodeKind::kHashJoin && telemetry.HasSpan(index)) {
+          const uint64_t build_ns = telemetry.SpanNs(index);
+          const uint64_t probe_ns =
+              self_ns > build_ns ? self_ns - build_ns : 0;
+          out += " build=" + FmtMs(build_ns) + " probe=" + FmtMs(probe_ns);
+        }
+        if (const uint64_t spilled = trace.SpillBytesAt(index);
+            spilled != 0) {
+          std::snprintf(buf, sizeof(buf), " spill=%llukB",
+                        static_cast<unsigned long long>(spilled / 1024));
+          out += buf;
+        }
+        out += "\n";
+
+        if (info.kind == NodeKind::kHashJoin && info.children.size() == 2) {
+          render(info.children[0], depth + 1, "build");
+          render(info.children[1], depth + 1, "probe");
+        } else {
+          for (const uint32_t child : info.children)
+            render(child, depth + 1, "");
+        }
+      };
+  render(plan.root(), 0, "");
   return out;
 }
 

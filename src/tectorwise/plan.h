@@ -225,11 +225,13 @@ class PlanNode {
       plan_internal::Workspace& ws) const = 0;
 
   /// Protected-access dispatcher so sibling node types can instantiate
-  /// their children.
+  /// their children. The single choke point of operator creation: when
+  /// the workspace's ExecContext carries a trace sink (runtime/trace.h),
+  /// the operator comes back wrapped in a transparent timing shim that
+  /// records one span per node per worker — tracing needs no per-node
+  /// code. Defined in plan.cc.
   static std::unique_ptr<Operator> InstantiateNode(
-      const PlanNode& node, plan_internal::Workspace& ws) {
-    return node.Instantiate(ws);
-  }
+      const PlanNode& node, plan_internal::Workspace& ws);
 
   PlanBuilder* builder_;
   NodeKind kind_;
@@ -918,6 +920,9 @@ class Plan {
   };
   std::vector<NodeInfo> Describe() const;
 
+  /// Index of the root node (the Describe() entry the collector drains).
+  uint32_t root() const { return root_; }
+
   const std::string& name() const { return name_; }
 
   /// Every parameter read the plan's steps declared (in declaration
@@ -941,6 +946,16 @@ class Plan {
   std::vector<ParamUse> param_uses_;
   size_t work_hint_ = 0;
 };
+
+/// EXPLAIN ANALYZE rendering: the plan's Describe() tree annotated with
+/// the measured per-node stats a traced run recorded (runtime/trace.h) —
+/// output rows, batches, inclusive and self ns/tuple, batch density,
+/// join build/probe wall split (from the trace's embedded NodeTelemetry,
+/// the same numbers the tuner learns from), and spill bytes per node.
+/// `vector_size` is the run's vector size (density denominator).
+std::string ExplainAnalyzeTree(const Plan& plan,
+                               const runtime::QueryTrace& trace,
+                               size_t vector_size);
 
 // ---------------------------------------------------------------------------
 // PlanBuilder
